@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * scouted multicast vs PVM-style ack/retransmit (the paper's ref [2]
+//!   negative result) under the strict posted-receive loss model;
+//! * binary vs linear scout gathering as N grows;
+//! * managed (IGMP-snooping) vs unmanaged (flooding) switch;
+//! * switch forwarding-latency sensitivity;
+//! * the naive flat tree as a lower baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_core::{BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::{FabricKind, NetParams, SwitchParams};
+use mmpi_netsim::SimDuration;
+use mmpi_transport::{run_sim_world, SimCommConfig};
+
+fn bcast_makespan(n: usize, params: NetParams, algo: BcastAlgorithm, bytes: usize) -> f64 {
+    let cluster = ClusterConfig::new(n, params, 17);
+    run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(algo);
+        let mut buf = if comm.rank() == 0 {
+            vec![1; bytes]
+        } else {
+            vec![0; bytes]
+        };
+        comm.bcast(0, &mut buf);
+    })
+    .unwrap()
+    .makespan
+    .as_micros_f64()
+}
+
+fn scouted_vs_ack_under_strict_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_strict_loss");
+    g.sample_size(10);
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.strict_posted_recv = true;
+    for (label, algo) in [
+        ("scouted-binary", BcastAlgorithm::McastBinary),
+        ("pvm-ack-retransmit", BcastAlgorithm::PvmAck),
+    ] {
+        let p = params.clone();
+        g.bench_function(label, move |b| {
+            let p = p.clone();
+            b.iter(|| bcast_makespan(6, p.clone(), algo, 2000));
+        });
+    }
+    g.finish();
+}
+
+fn scout_tree_shape(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scout_gathering");
+    g.sample_size(10);
+    for n in [4usize, 9, 16] {
+        for (label, algo) in [
+            ("binary", BcastAlgorithm::McastBinary),
+            ("linear", BcastAlgorithm::McastLinear),
+            ("flat-tree", BcastAlgorithm::FlatTree),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, move |b, &n| {
+                b.iter(|| {
+                    bcast_makespan(n, NetParams::fast_ethernet_switch(), algo, 2000)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn snooping_vs_flooding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_igmp_snooping");
+    g.sample_size(10);
+    for (label, flood) in [("snooped", false), ("flooded", true)] {
+        let params = NetParams {
+            fabric: FabricKind::Switch(SwitchParams {
+                flood_multicast: flood,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        g.bench_function(label, move |b| {
+            let params = params.clone();
+            b.iter(|| bcast_makespan(9, params.clone(), BcastAlgorithm::McastBinary, 3000));
+        });
+    }
+    g.finish();
+}
+
+fn switch_latency_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_switch_latency");
+    g.sample_size(10);
+    for us in [2u64, 10, 50] {
+        let params = NetParams {
+            fabric: FabricKind::Switch(SwitchParams {
+                forwarding_latency: SimDuration::from_micros(us),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("fwd_latency_us", us), &params, |b, p| {
+            b.iter(|| bcast_makespan(4, p.clone(), BcastAlgorithm::McastBinary, 2000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    scouted_vs_ack_under_strict_loss,
+    scout_tree_shape,
+    snooping_vs_flooding,
+    switch_latency_sweep
+);
+criterion_main!(ablations);

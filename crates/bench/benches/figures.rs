@@ -1,0 +1,107 @@
+//! Criterion benches: one group per paper figure.
+//!
+//! Each bench runs one seeded trial of the figure's workload at a
+//! representative point (the full sweep with 25 trials is the `figures`
+//! binary). Wall time here is simulator throughput; the *virtual* latency
+//! that reproduces the paper's y-axis is what the `figures` binary
+//! reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_cluster::experiment::{run_trial, Experiment, Fabric, Workload};
+use mmpi_core::{BarrierAlgorithm, BcastAlgorithm};
+
+fn bcast_exp(n: usize, fabric: Fabric, algo: BcastAlgorithm, bytes: usize) -> Experiment {
+    Experiment::new(n, fabric, Workload::Bcast { algo, bytes }).with_trials(1)
+}
+
+fn bench_bcast_figure(
+    c: &mut Criterion,
+    group_name: &str,
+    n: usize,
+    fabric: Fabric,
+    bytes: usize,
+) {
+    let mut g = c.benchmark_group(group_name);
+    g.sample_size(10);
+    for (label, algo) in [
+        ("mpich", BcastAlgorithm::MpichBinomial),
+        ("mcast-linear", BcastAlgorithm::McastLinear),
+        ("mcast-binary", BcastAlgorithm::McastBinary),
+    ] {
+        let exp = bcast_exp(n, fabric, algo, bytes);
+        g.bench_with_input(BenchmarkId::new(label, bytes), &exp, |b, exp| {
+            b.iter(|| run_trial(exp, 0));
+        });
+    }
+    g.finish();
+}
+
+fn fig07(c: &mut Criterion) {
+    bench_bcast_figure(c, "fig07_bcast_4p_hub", 4, Fabric::Hub, 2000);
+}
+
+fn fig08(c: &mut Criterion) {
+    bench_bcast_figure(c, "fig08_bcast_4p_switch", 4, Fabric::Switch, 2000);
+}
+
+fn fig09(c: &mut Criterion) {
+    bench_bcast_figure(c, "fig09_bcast_6p_switch", 6, Fabric::Switch, 2000);
+}
+
+fn fig10(c: &mut Criterion) {
+    bench_bcast_figure(c, "fig10_bcast_9p_switch", 9, Fabric::Switch, 2000);
+}
+
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_hub_vs_switch_4p");
+    g.sample_size(10);
+    for (label, fabric, algo) in [
+        ("mpich-hub", Fabric::Hub, BcastAlgorithm::MpichBinomial),
+        ("mpich-switch", Fabric::Switch, BcastAlgorithm::MpichBinomial),
+        ("binary-hub", Fabric::Hub, BcastAlgorithm::McastBinary),
+        ("binary-switch", Fabric::Switch, BcastAlgorithm::McastBinary),
+    ] {
+        let exp = bcast_exp(4, fabric, algo, 4000);
+        g.bench_function(label, |b| b.iter(|| run_trial(&exp, 0)));
+    }
+    g.finish();
+}
+
+fn fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_scaling_369p_switch");
+    g.sample_size(10);
+    for n in [3usize, 6, 9] {
+        for (label, algo) in [
+            ("mpich", BcastAlgorithm::MpichBinomial),
+            ("linear", BcastAlgorithm::McastLinear),
+        ] {
+            let exp = bcast_exp(n, Fabric::Switch, algo, 3000);
+            g.bench_with_input(BenchmarkId::new(label, n), &exp, |b, exp| {
+                b.iter(|| run_trial(exp, 0));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_barrier_hub");
+    g.sample_size(10);
+    for n in [2usize, 5, 9] {
+        for (label, algo) in [
+            ("multicast", BarrierAlgorithm::McastBinary),
+            ("mpich", BarrierAlgorithm::Mpich),
+        ] {
+            let exp = Experiment::new(n, Fabric::Hub, Workload::Barrier { algo })
+                .with_trials(1);
+            g.bench_with_input(BenchmarkId::new(label, n), &exp, |b, exp| {
+                b.iter(|| run_trial(exp, 0));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(figures, fig07, fig08, fig09, fig10, fig11, fig12, fig13);
+criterion_main!(figures);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the substrates: wire codec, reassembly, event
+//! queue, RNG, and raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
+use mmpi_netsim::event::{Event, EventQueue};
+use mmpi_netsim::ids::{DatagramDst, HostId};
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::rng::SplitMix64;
+use mmpi_netsim::time::SimTime;
+use mmpi_wire::{split_message, Assembler, MsgKind};
+
+fn wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    for size in [0usize, 1000, 10_000, 60_000] {
+        let payload = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("split", size), &payload, |b, p| {
+            b.iter(|| split_message(MsgKind::Data, 0, 1, 2, 3, p, 60_000));
+        });
+        let dgs = split_message(MsgKind::Data, 0, 1, 2, 3, &payload, 8_000);
+        g.bench_with_input(BenchmarkId::new("assemble", size), &dgs, |b, dgs| {
+            b.iter(|| {
+                let mut asm = Assembler::new();
+                let mut out = None;
+                for d in dgs {
+                    if let Some(m) = asm.feed(d).unwrap() {
+                        out = Some(m);
+                    }
+                }
+                out
+            });
+        });
+    }
+    g.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SplitMix64::new(7);
+                for i in 0..n {
+                    q.schedule(
+                        SimTime::from_nanos(rng.next_below(1_000_000)),
+                        Event::Timer {
+                            host: HostId(0),
+                            socket: None,
+                            token: i as u64,
+                        },
+                    );
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            });
+        });
+    }
+    g.finish();
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    c.bench_function("splitmix64_1k_draws", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        });
+    });
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    // How fast does the whole co-simulation machinery execute a busy
+    // 9-rank broadcast trial? (Wall time per simulated collective.)
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (name, params) in [
+        ("hub_9p_allscouts", NetParams::fast_ethernet_hub()),
+        ("switch_9p_allscouts", NetParams::fast_ethernet_switch()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = ClusterConfig::new(9, params.clone(), 42);
+                run_cluster(&cfg, |mut p| {
+                    let s = p.bind(9000);
+                    if p.rank() == 0 {
+                        for _ in 0..8 {
+                            p.recv(s);
+                        }
+                    } else {
+                        p.send(s, DatagramDst::Unicast(HostId(0)), 9000, vec![0; 1500]);
+                    }
+                })
+                .unwrap()
+                .makespan
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, wire_codec, event_queue, rng_throughput, sim_throughput);
+criterion_main!(micro);

@@ -1,0 +1,6 @@
+//! # mmpi-bench — benchmark harness for the `mcast-mpi` reproduction
+//!
+//! * `cargo run -p mmpi-bench --release --bin figures` regenerates every
+//!   figure of the paper (tables + CSV + shape checks).
+//! * `cargo bench -p mmpi-bench` runs the criterion benches: one per
+//!   paper figure plus micro-benches of the simulator and wire format.

@@ -1,0 +1,208 @@
+//! Experiment runner: repeated, seeded collective operations on the
+//! simulated testbed, measured the way the paper measures them.
+//!
+//! One *experiment point* = (workload, process count, fabric, message
+//! size), run for 20-30 trials with different seeds. The latency of a
+//! trial is "the longest completion time of the collective operation
+//! among all processes" (paper §4), and per-rank random start skew
+//! reproduces the sample scatter of the paper's plots.
+
+use mmpi_core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::stats::NetStats;
+use mmpi_netsim::SimDuration;
+use mmpi_transport::{run_sim_world, SimCommConfig};
+
+use crate::stats::Summary;
+
+/// Which physical network the simulated cluster hangs off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fabric {
+    /// Shared 100 Mbps Ethernet hub (one collision domain).
+    Hub,
+    /// Managed store-and-forward switch with IGMP snooping.
+    Switch,
+}
+
+impl Fabric {
+    /// Network parameters for this fabric.
+    pub fn params(self) -> NetParams {
+        match self {
+            Fabric::Hub => NetParams::fast_ethernet_hub(),
+            Fabric::Switch => NetParams::fast_ethernet_switch(),
+        }
+    }
+}
+
+/// The collective operation under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `MPI_Bcast` of `bytes` from rank 0.
+    Bcast {
+        /// Algorithm under test.
+        algo: BcastAlgorithm,
+        /// Message size in bytes.
+        bytes: usize,
+    },
+    /// `MPI_Barrier`.
+    Barrier {
+        /// Algorithm under test.
+        algo: BarrierAlgorithm,
+    },
+}
+
+/// One experiment point.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Number of processes.
+    pub n: usize,
+    /// Hub or switch.
+    pub fabric: Fabric,
+    /// Operation and parameters.
+    pub workload: Workload,
+    /// Trials (the paper ran 20-30 per point).
+    pub trials: usize,
+    /// Base seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+    /// Maximum per-rank start skew (models OS scheduling noise).
+    pub start_skew: SimDuration,
+}
+
+impl Experiment {
+    /// An experiment with the paper's defaults: 25 trials, 50 µs skew.
+    pub fn new(n: usize, fabric: Fabric, workload: Workload) -> Self {
+        Experiment {
+            n,
+            fabric,
+            workload,
+            trials: 25,
+            seed: 0x0EA6_1E00,
+            start_skew: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Builder-style trial count override.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of all trials of one experiment point.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Latency of each trial, microseconds.
+    pub samples_us: Vec<f64>,
+    /// Summary statistics over the samples.
+    pub summary: Summary,
+    /// Network statistics of the first trial (frame counts are identical
+    /// across trials; collision counts vary with the seed).
+    pub stats: NetStats,
+}
+
+/// Run one trial; returns (latency_us, stats).
+pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, NetStats) {
+    let workload = exp.workload;
+    let cluster = ClusterConfig::new(exp.n, exp.fabric.params(), exp.seed + trial as u64)
+        .with_start_skew(exp.start_skew);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c);
+        match workload {
+            Workload::Bcast { algo, bytes } => {
+                let mut buf = if comm.rank() == 0 {
+                    vec![0x5A; bytes]
+                } else {
+                    vec![0u8; bytes]
+                };
+                comm.bcast_with(algo, 0, &mut buf);
+                debug_assert!(buf.iter().all(|&b| b == 0x5A));
+            }
+            Workload::Barrier { algo } => {
+                comm.barrier_with(algo);
+            }
+        }
+    })
+    .expect("experiment trial failed");
+    (report.makespan.as_micros_f64(), report.stats)
+}
+
+/// Run every trial of an experiment point.
+pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
+    assert!(exp.trials > 0);
+    let mut samples = Vec::with_capacity(exp.trials);
+    let mut first_stats = None;
+    for t in 0..exp.trials {
+        let (lat, stats) = run_trial(exp, t);
+        samples.push(lat);
+        if first_stats.is_none() {
+            first_stats = Some(stats);
+        }
+    }
+    ExperimentResult {
+        summary: Summary::from_samples(&samples),
+        samples_us: samples,
+        stats: first_stats.expect("at least one trial"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_experiment_produces_consistent_samples() {
+        let exp = Experiment::new(
+            4,
+            Fabric::Switch,
+            Workload::Bcast {
+                algo: BcastAlgorithm::McastBinary,
+                bytes: 1000,
+            },
+        )
+        .with_trials(5);
+        let res = run_experiment(&exp);
+        assert_eq!(res.samples_us.len(), 5);
+        assert!(res.summary.median > 100.0 && res.summary.median < 5_000.0);
+        // Skew makes samples vary but stay in a tight band.
+        assert!(res.summary.max - res.summary.min < 500.0);
+    }
+
+    #[test]
+    fn trials_differ_by_seed_but_rerun_identically() {
+        let exp = Experiment::new(
+            3,
+            Fabric::Hub,
+            Workload::Barrier {
+                algo: BarrierAlgorithm::Mpich,
+            },
+        )
+        .with_trials(4);
+        let a = run_experiment(&exp);
+        let b = run_experiment(&exp);
+        assert_eq!(a.samples_us, b.samples_us, "same seeds, same results");
+        // Different trials see different skews, so not all equal.
+        let first = a.samples_us[0];
+        assert!(a.samples_us.iter().any(|&s| (s - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn barrier_experiment_runs_all_algorithms() {
+        for algo in [
+            BarrierAlgorithm::Mpich,
+            BarrierAlgorithm::McastBinary,
+            BarrierAlgorithm::McastLinear,
+        ] {
+            let exp = Experiment::new(5, Fabric::Switch, Workload::Barrier { algo })
+                .with_trials(2);
+            let res = run_experiment(&exp);
+            assert!(res.summary.median > 0.0, "{algo:?}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # mmpi-cluster — experiment harness for the `mcast-mpi` reproduction
+//!
+//! Turns the simulator + collectives into the paper's evaluation: seeded
+//! repeated trials of a collective on a chosen fabric and process count
+//! ([`experiment`]), order-statistic summaries ([`stats`]), and the
+//! definitions of **every figure in the paper** as runnable sweeps with
+//! text-table and CSV output ([`figures`]).
+//!
+//! ```
+//! use mmpi_cluster::experiment::{run_experiment, Experiment, Fabric, Workload};
+//! use mmpi_core::BcastAlgorithm;
+//!
+//! let exp = Experiment::new(
+//!     4,
+//!     Fabric::Switch,
+//!     Workload::Bcast { algo: BcastAlgorithm::McastBinary, bytes: 2000 },
+//! )
+//! .with_trials(3);
+//! let result = run_experiment(&exp);
+//! assert!(result.summary.median > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod stats;
+
+pub use experiment::{run_experiment, run_trial, Experiment, ExperimentResult, Fabric, Workload};
+pub use figures::{all_figures, render_table, run_figure, write_csv, FigureData, FigureSpec};
+pub use stats::Summary;

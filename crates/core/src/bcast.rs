@@ -1,0 +1,318 @@
+//! Broadcast algorithms.
+//!
+//! * [`bcast_mpich_binomial`] — the MPICH baseline the paper compares
+//!   against (its Fig. 2): a binomial tree of point-to-point sends, so the
+//!   data crosses the wire `N-1` times.
+//! * [`bcast_mcast_binary`] — the paper's *binary algorithm* (Fig. 3):
+//!   empty scout messages are reduced to the root along a binomial tree
+//!   (`N-1` scouts in `ceil(log2 N)` rounds), proving every receiver is
+//!   ready, then the root sends the data **once** via IP multicast.
+//! * [`bcast_mcast_linear`] — the paper's *linear algorithm* (Fig. 4):
+//!   every receiver sends its scout straight to the root, which ingests
+//!   them one at a time (`N-1` sequential steps), then multicasts.
+//! * [`bcast_pvm_ack`] — the sender-initiated reliable multicast of
+//!   Dunigan & Hall's PVM work (the paper's ref \[2\]): multicast first,
+//!   then retransmit until every receiver acknowledges. Implemented as an
+//!   ablation baseline; the paper notes this approach did not pay off.
+//! * [`bcast_flat_tree`] — naive root-sends-to-everyone baseline.
+
+use std::time::Duration;
+
+use mmpi_transport::Comm;
+use mmpi_wire::MsgKind;
+
+use crate::tags::{OpTags, Phase};
+
+/// Broadcast algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastAlgorithm {
+    /// MPICH binomial tree over point-to-point sends (baseline).
+    MpichBinomial,
+    /// Scout reduction along a binomial tree, then one multicast.
+    McastBinary,
+    /// Scouts straight to the root, then one multicast.
+    McastLinear,
+    /// Multicast + ack/retransmit (PVM-style, sender-initiated).
+    PvmAck,
+    /// Root unicasts to every receiver directly.
+    FlatTree,
+    /// Pipelined chain with segmentation (see `bcast_ext::bcast_chain`).
+    Chain,
+    /// Van de Geijn scatter + ring allgather (large-message baseline).
+    ScatterAllgather,
+    /// Pick by message size: MPICH for small messages (scout overhead
+    /// dominates), multicast-binary for large (see the paper's crossover).
+    Auto,
+}
+
+/// Tuning for algorithms that need it.
+#[derive(Clone, Debug)]
+pub struct BcastConfig {
+    /// `Auto` switches to multicast at or above this payload size.
+    pub auto_crossover_bytes: usize,
+    /// Ack-collection timeout per round for [`BcastAlgorithm::PvmAck`].
+    pub ack_timeout: Duration,
+    /// Retransmission rounds before `PvmAck` gives up.
+    pub max_retransmits: u32,
+    /// Segment size for [`BcastAlgorithm::Chain`].
+    pub chain_segment_bytes: usize,
+    /// Extra per-message software cost charged on each side of an
+    /// MPICH-baseline point-to-point message. Models the paper's Fig. 1:
+    /// MPICH traffic traverses the ADI / Channel / p4-over-TCP layers,
+    /// while the multicast implementation bypasses them with raw UDP.
+    pub mpich_layer_overhead: Duration,
+}
+
+impl Default for BcastConfig {
+    fn default() -> Self {
+        BcastConfig {
+            auto_crossover_bytes: 1000,
+            ack_timeout: Duration::from_millis(5),
+            max_retransmits: 20,
+            chain_segment_bytes: 4096,
+            mpich_layer_overhead: Duration::from_micros(5),
+        }
+    }
+}
+
+/// TCP ack count for a message of `len` payload bytes: one ack per
+/// MSS(1460)-sized segment. MPICH's p4 device is request-response over
+/// TCP with Nagle disabled, a pattern that defeats delayed-ack batching —
+/// era kernels acked essentially every segment of such flows.
+pub(crate) fn tcp_acks_for(len: usize) -> u32 {
+    (len / 1460) as u32 + 1
+}
+
+/// Dispatch a broadcast with the chosen algorithm.
+///
+/// On the root, `buf` is the message; on other ranks its contents are
+/// replaced with the broadcast payload.
+///
+/// Like `MPI_Bcast`, [`BcastAlgorithm::Auto`] requires every rank to know
+/// the message size: pass a `buf` of the correct length on receivers too
+/// (MPI programs know the count everywhere). The explicit algorithms are
+/// lenient — a receiver may pass an empty buffer.
+pub fn bcast<C: Comm>(
+    c: &mut C,
+    algo: BcastAlgorithm,
+    cfg: &BcastConfig,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) {
+    match algo {
+        BcastAlgorithm::MpichBinomial => {
+            bcast_mpich_binomial(c, cfg.mpich_layer_overhead, tags, root, buf)
+        }
+        BcastAlgorithm::McastBinary => bcast_mcast_binary(c, tags, root, buf),
+        BcastAlgorithm::McastLinear => bcast_mcast_linear(c, tags, root, buf),
+        BcastAlgorithm::PvmAck => bcast_pvm_ack(c, cfg, tags, root, buf),
+        BcastAlgorithm::FlatTree => bcast_flat_tree(c, tags, root, buf),
+        BcastAlgorithm::Chain => {
+            crate::bcast_ext::bcast_chain(c, cfg.chain_segment_bytes, tags, root, buf)
+        }
+        BcastAlgorithm::ScatterAllgather => {
+            crate::bcast_ext::bcast_scatter_allgather(c, tags, root, buf)
+        }
+        BcastAlgorithm::Auto => {
+            if buf.len() >= cfg.auto_crossover_bytes && c.size() > 2 {
+                bcast_mcast_binary(c, tags, root, buf)
+            } else {
+                bcast_mpich_binomial(c, cfg.mpich_layer_overhead, tags, root, buf)
+            }
+        }
+    }
+}
+
+/// The MPICH binomial-tree broadcast (paper Fig. 2).
+///
+/// With `relrank = (rank - root) mod N`: a process receives from the
+/// sub-tree root that owns it (lowest set bit of `relrank`), then fans out
+/// to `relrank + mask` for descending `mask`. `N-1` point-to-point data
+/// messages in `ceil(log2 N)` rounds.
+///
+/// `layer` is the extra per-message software cost of MPICH's protocol
+/// layering (see [`BcastConfig::mpich_layer_overhead`]), charged on each
+/// send and each receive.
+pub fn bcast_mpich_binomial<C: Comm>(
+    c: &mut C,
+    layer: Duration,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) {
+    let n = c.size();
+    let rank = c.rank();
+    if n == 1 {
+        return;
+    }
+    let tag = tags.tag(Phase::Data);
+    let relrank = (rank + n - root) % n;
+
+    // Receive from the parent (unless root).
+    let mut mask = 1usize;
+    while mask < n {
+        if relrank & mask != 0 {
+            let src = (rank + n - mask) % n;
+            *buf = c.recv(src, tag);
+            c.compute(layer);
+            // MPICH-1.x ran its p2p channel over TCP: model the kernel's
+            // acknowledgement traffic (one ack per two MSS segments).
+            c.tcp_ack_model(src, tcp_acks_for(buf.len()));
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children in descending-mask order.
+    mask >>= 1;
+    while mask > 0 {
+        if relrank + mask < n {
+            let dst = (rank + mask) % n;
+            c.compute(layer);
+            c.send(dst, tag, buf);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Reduce one empty scout per non-root process to the root along a
+/// binomial tree. Returns once the caller's sub-tree is drained (the root
+/// returns only after all `N-1` scouts arrived).
+///
+/// The paper's Fig. 3 draws a slightly different (irregular) edge set for
+/// seven processes; we use the standard binomial reduction, which has the
+/// same message count (`N-1`) and the same `ceil(log2 N)` depth the text
+/// claims.
+pub(crate) fn scout_reduce_binomial<C: Comm>(c: &mut C, tags: OpTags, root: usize) {
+    let n = c.size();
+    let rank = c.rank();
+    let tag = tags.tag(Phase::Scout);
+    let relrank = (rank + n - root) % n;
+    let mut mask = 1usize;
+    while mask < n {
+        if relrank & mask == 0 {
+            // Expect a scout from the child at relrank + mask, if it exists.
+            if relrank + mask < n {
+                let src = (rank + mask) % n;
+                c.recv_match(src, tag);
+            }
+        } else {
+            // Send our (sub-tree's) scout to the parent and stop.
+            let dst = (rank + n - mask) % n;
+            c.send_kind(dst, tag, MsgKind::Scout, &[]);
+            return;
+        }
+        mask <<= 1;
+    }
+}
+
+/// Every non-root process sends a scout directly to the root; the root
+/// receives them one at a time (`N-1` sequential receive steps).
+pub(crate) fn scout_reduce_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize) {
+    let n = c.size();
+    let tag = tags.tag(Phase::Scout);
+    if c.rank() == root {
+        for _ in 1..n {
+            c.recv_any(tag);
+        }
+    } else {
+        c.send_kind(root, tag, MsgKind::Scout, &[]);
+    }
+}
+
+/// The paper's binary algorithm: binomial scout reduction, then one
+/// multicast carrying the data.
+pub fn bcast_mcast_binary<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+    if c.size() == 1 {
+        return;
+    }
+    scout_reduce_binomial(c, tags, root);
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        c.mcast_kind(tag, MsgKind::Data, buf);
+    } else {
+        *buf = c.recv_match(root, tag).payload;
+    }
+}
+
+/// The paper's linear algorithm: direct scouts to the root, then one
+/// multicast carrying the data.
+pub fn bcast_mcast_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+    if c.size() == 1 {
+        return;
+    }
+    scout_reduce_linear(c, tags, root);
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        c.mcast_kind(tag, MsgKind::Data, buf);
+    } else {
+        *buf = c.recv_match(root, tag).payload;
+    }
+}
+
+/// Sender-initiated reliable multicast (PVM-style, the paper's ref \[2\]):
+/// multicast immediately, collect acks, retransmit the same sequence
+/// number until every receiver has acknowledged.
+///
+/// # Panics
+///
+/// On the root, if some receiver never acknowledges within
+/// `cfg.max_retransmits` rounds.
+pub fn bcast_pvm_ack<C: Comm>(
+    c: &mut C,
+    cfg: &BcastConfig,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) {
+    let n = c.size();
+    if n == 1 {
+        return;
+    }
+    let data_tag = tags.tag(Phase::Data);
+    let ack_tag = tags.tag(Phase::Ack);
+    if c.rank() == root {
+        let seq = c.mcast_kind(data_tag, MsgKind::Data, buf);
+        let mut acked = vec![false; n];
+        acked[root] = true;
+        let mut missing = n - 1;
+        let mut rounds = 0;
+        while missing > 0 {
+            match c.recv_any_timeout(ack_tag, cfg.ack_timeout) {
+                Some(m) => {
+                    let src = m.src_rank as usize;
+                    if !acked[src] {
+                        acked[src] = true;
+                        missing -= 1;
+                    }
+                }
+                None => {
+                    rounds += 1;
+                    assert!(
+                        rounds <= cfg.max_retransmits,
+                        "pvm-ack broadcast: {missing} receivers never acknowledged"
+                    );
+                    c.mcast_resend(data_tag, MsgKind::Data, buf, seq);
+                }
+            }
+        }
+    } else {
+        *buf = c.recv_match(root, data_tag).payload;
+        c.send_kind(root, ack_tag, MsgKind::Ack, &[]);
+    }
+}
+
+/// Naive flat tree: the root unicasts the full message to every receiver.
+pub fn bcast_flat_tree<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+    let n = c.size();
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        for dst in 0..n {
+            if dst != root {
+                c.send(dst, tag, buf);
+            }
+        }
+    } else {
+        *buf = c.recv(root, tag);
+    }
+}

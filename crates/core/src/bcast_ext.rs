@@ -1,0 +1,220 @@
+//! Additional broadcast algorithms beyond the paper's three.
+//!
+//! These are the other classic MPICH-era shapes, implemented so the bench
+//! harness can position the paper's multicast algorithms against the full
+//! design space:
+//!
+//! * [`bcast_chain`] — pipelined chain: the message is cut into segments
+//!   that stream down the rank chain, overlapping transfers; asymptotically
+//!   `(N-2+S)·t_seg` for `S` segments instead of `(N-1)·t_msg`.
+//! * [`bcast_scatter_allgather`] — van de Geijn's large-message broadcast:
+//!   scatter distinct blocks from the root, then a ring allgather; each
+//!   byte crosses any link at most twice regardless of `N`.
+
+use mmpi_transport::Comm;
+
+use crate::tags::{OpTags, Phase};
+
+/// Pipelined chain broadcast with `segment` bytes per stage.
+///
+/// Rank `(root+i) mod N` receives segments from its predecessor and
+/// forwards each one downstream before waiting for the next, so segment
+/// `k` and `k+1` travel concurrently on adjacent links.
+pub fn bcast_chain<C: Comm>(
+    c: &mut C,
+    segment: usize,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) {
+    let n = c.size();
+    if n == 1 {
+        return;
+    }
+    let segment = segment.max(1);
+    let rank = c.rank();
+    let relrank = (rank + n - root) % n;
+    let tag = tags.tag(Phase::Data);
+    let next = (rank + 1) % n;
+    let is_tail = relrank == n - 1;
+
+    if relrank == 0 {
+        // Root: stream segments to the successor. An empty message still
+        // sends one (empty) segment so receivers unblock.
+        if buf.is_empty() {
+            c.send(next, tag, &[]);
+            return;
+        }
+        for chunk in buf.chunks(segment) {
+            c.send(next, tag, chunk);
+        }
+    } else {
+        // Interior/tail: receive segments in order, forward immediately.
+        // The number of segments is derived from the incoming stream: the
+        // final segment is the first one shorter than `segment` (an exact
+        // multiple ends with an explicit empty terminator).
+        let mut assembled = Vec::new();
+        loop {
+            let m = c.recv_match((rank + n - 1) % n, tag);
+            let last = m.payload.len() < segment;
+            if !is_tail {
+                c.send(next, tag, &m.payload);
+            }
+            assembled.extend_from_slice(&m.payload);
+            if last {
+                break;
+            }
+        }
+        *buf = assembled;
+    }
+    // Exact-multiple case: the root must terminate the stream.
+    if relrank == 0 && !buf.is_empty() && buf.len().is_multiple_of(segment) {
+        c.send(next, tag, &[]);
+    }
+}
+
+/// Van de Geijn broadcast: scatter `N` blocks from the root, then ring
+/// allgather so every rank ends with the whole message.
+pub fn bcast_scatter_allgather<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) {
+    let n = c.size();
+    if n == 1 {
+        return;
+    }
+    let rank = c.rank();
+    let scatter_tag = tags.tag(Phase::Data);
+    let ring_tag = tags.tag(Phase::Exchange);
+
+    // Root computes block boundaries; receivers learn the total length
+    // from their scattered block header (4-byte LE total length prefix on
+    // each block keeps every rank's arithmetic consistent).
+    let mut my_block: Vec<u8>;
+    let total: usize;
+    if rank == root {
+        total = buf.len();
+        let per = total.div_ceil(n).max(1);
+        my_block = Vec::new();
+        for i in 0..n {
+            let lo = (i * per).min(total);
+            let hi = ((i + 1) * per).min(total);
+            let mut block = Vec::with_capacity(8 + hi - lo);
+            block.extend_from_slice(&(total as u32).to_le_bytes());
+            block.extend_from_slice(&(lo as u32).to_le_bytes());
+            block.extend_from_slice(&buf[lo..hi]);
+            let dst = (root + i) % n;
+            if dst == root {
+                my_block = block;
+            } else {
+                c.send(dst, scatter_tag, &block);
+            }
+        }
+    } else {
+        my_block = c.recv(root, scatter_tag);
+        total = u32::from_le_bytes(my_block[0..4].try_into().unwrap()) as usize;
+    }
+
+    // Ring allgather: in step s, send the block you received in step s-1
+    // to your successor and receive a new block from your predecessor.
+    let mut out = vec![0u8; total];
+    let place = |out: &mut [u8], block: &[u8]| {
+        let lo = u32::from_le_bytes(block[4..8].try_into().unwrap()) as usize;
+        let data = &block[8..];
+        out[lo..lo + data.len()].copy_from_slice(data);
+    };
+    place(&mut out, &my_block);
+    let next = (rank + 1) % n;
+    let prev = (rank + n - 1) % n;
+    let mut travelling = my_block;
+    for _ in 0..n - 1 {
+        c.send(next, ring_tag, &travelling);
+        travelling = c.recv(prev, ring_tag);
+        place(&mut out, &travelling);
+    }
+    *buf = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::OpCode;
+    use mmpi_transport::run_mem_world;
+
+    fn tags() -> OpTags {
+        OpTags::new(OpCode::Bcast, 0)
+    }
+
+    #[test]
+    fn chain_various_sizes_and_segments() {
+        for n in [2usize, 3, 5, 8] {
+            for len in [0usize, 1, 100, 4096, 10_000] {
+                for seg in [64usize, 1000, 4096] {
+                    let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+                    let want = payload.clone();
+                    let out = run_mem_world(n, 0, move |mut c| {
+                        let mut buf = if c.rank() == 0 {
+                            payload.clone()
+                        } else {
+                            Vec::new()
+                        };
+                        bcast_chain(&mut c, seg, tags(), 0, &mut buf);
+                        buf
+                    });
+                    for (r, o) in out.iter().enumerate() {
+                        assert_eq!(o, &want, "n={n} len={len} seg={seg} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_nonzero_root() {
+        let out = run_mem_world(5, 0, |mut c| {
+            let mut buf = if c.rank() == 3 { vec![9u8; 5000] } else { Vec::new() };
+            bcast_chain(&mut c, 1024, tags(), 3, &mut buf);
+            buf
+        });
+        assert!(out.iter().all(|o| o == &vec![9u8; 5000]));
+    }
+
+    #[test]
+    fn scatter_allgather_various() {
+        for n in [2usize, 3, 4, 7, 9] {
+            for len in [0usize, 1, n - 1, 1000, 9999] {
+                let payload: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+                let want = payload.clone();
+                let out = run_mem_world(n, 0, move |mut c| {
+                    let mut buf = if c.rank() == 0 {
+                        payload.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    bcast_scatter_allgather(&mut c, tags(), 0, &mut buf);
+                    buf
+                });
+                for (r, o) in out.iter().enumerate() {
+                    assert_eq!(o, &want, "n={n} len={len} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_nonzero_root() {
+        let out = run_mem_world(6, 0, |mut c| {
+            let mut buf = if c.rank() == 4 {
+                (0..7777u32).map(|i| i as u8).collect()
+            } else {
+                Vec::new()
+            };
+            bcast_scatter_allgather(&mut c, tags(), 4, &mut buf);
+            buf
+        });
+        let want: Vec<u8> = (0..7777u32).map(|i| i as u8).collect();
+        assert!(out.iter().all(|o| o == &want));
+    }
+}

@@ -1,0 +1,201 @@
+//! Collective operations beyond broadcast/barrier.
+//!
+//! The paper's future-work section points at many-to-one and many-to-many
+//! operations; these are the standard point-to-point formulations plus
+//! multicast-assisted composites (`allreduce`/`allgather` reuse whichever
+//! broadcast algorithm the communicator is configured with, so a multicast
+//! broadcast accelerates them too).
+//!
+//! Reductions operate on raw byte buffers with a caller-supplied
+//! associative combine function (e.g. [`combine_u64_sum`]) — MPI datatype
+//! machinery is out of scope for this reproduction.
+
+use mmpi_transport::Comm;
+
+use crate::tags::{OpTags, Phase};
+
+/// An associative combine for reductions: folds `other` into `acc`.
+pub type Combine = dyn Fn(&mut Vec<u8>, &[u8]) + Sync;
+
+/// Element-wise sum of little-endian `u64` vectors.
+#[allow(clippy::ptr_arg)] // must match the `Combine` closure type
+pub fn combine_u64_sum(acc: &mut Vec<u8>, other: &[u8]) {
+    assert_eq!(acc.len(), other.len(), "reduce buffers must match");
+    for (a, o) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+        let s = u64::from_le_bytes(a.try_into().unwrap())
+            .wrapping_add(u64::from_le_bytes(o.try_into().unwrap()));
+        a.copy_from_slice(&s.to_le_bytes());
+    }
+}
+
+/// Element-wise maximum of little-endian `u64` vectors.
+#[allow(clippy::ptr_arg)] // must match the `Combine` closure type
+pub fn combine_u64_max(acc: &mut Vec<u8>, other: &[u8]) {
+    assert_eq!(acc.len(), other.len(), "reduce buffers must match");
+    for (a, o) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+        let m = u64::from_le_bytes(a.try_into().unwrap())
+            .max(u64::from_le_bytes(o.try_into().unwrap()));
+        a.copy_from_slice(&m.to_le_bytes());
+    }
+}
+
+/// Gather each rank's buffer to `root`. Returns `Some(buffers)` (indexed
+/// by rank) on the root, `None` elsewhere.
+pub fn gather<C: Comm>(c: &mut C, tags: OpTags, root: usize, send: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let n = c.size();
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[root] = send.to_vec();
+        for _ in 0..n - 1 {
+            let m = c.recv_any(tag);
+            out[m.src_rank as usize] = m.payload;
+        }
+        Some(out)
+    } else {
+        c.send(root, tag, send);
+        None
+    }
+}
+
+/// Scatter per-rank buffers from `root`. On the root, `chunks` must hold
+/// one buffer per rank; elsewhere it is ignored. Returns this rank's
+/// buffer.
+pub fn scatter<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    chunks: Option<&[Vec<u8>]>,
+) -> Vec<u8> {
+    let n = c.size();
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        let chunks = chunks.expect("root must supply chunks");
+        assert_eq!(chunks.len(), n, "one chunk per rank");
+        for (dst, chunk) in chunks.iter().enumerate() {
+            if dst != root {
+                c.send(dst, tag, chunk);
+            }
+        }
+        chunks[root].clone()
+    } else {
+        c.recv(root, tag)
+    }
+}
+
+/// Reduce every rank's `data` to `root` along a binomial tree with the
+/// associative `combine`. Returns `Some(result)` on the root.
+pub fn reduce<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    data: Vec<u8>,
+    combine: &Combine,
+) -> Option<Vec<u8>> {
+    let n = c.size();
+    let rank = c.rank();
+    let tag = tags.tag(Phase::Data);
+    let relrank = (rank + n - root) % n;
+    let mut acc = data;
+    let mut mask = 1usize;
+    while mask < n {
+        if relrank & mask == 0 {
+            if relrank + mask < n {
+                let src = (rank + mask) % n;
+                let m = c.recv_match(src, tag);
+                combine(&mut acc, &m.payload);
+            }
+        } else {
+            let dst = (rank + n - mask) % n;
+            c.send(dst, tag, &acc);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Inclusive prefix scan along the rank chain: rank `i` ends with the
+/// combination of ranks `0..=i`.
+pub fn scan<C: Comm>(c: &mut C, tags: OpTags, data: Vec<u8>, combine: &Combine) -> Vec<u8> {
+    let n = c.size();
+    let rank = c.rank();
+    let tag = tags.tag(Phase::Data);
+    let mut acc = data;
+    if rank > 0 {
+        let prefix = c.recv(rank - 1, tag);
+        let mine = std::mem::replace(&mut acc, prefix);
+        combine(&mut acc, &mine);
+    }
+    if rank + 1 < n {
+        c.send(rank + 1, tag, &acc);
+    }
+    acc
+}
+
+/// All-to-all personalized exchange: `sends[j]` goes to rank `j`; returns
+/// the buffers received (indexed by source). Pairwise rounds: in round
+/// `k`, send to `(rank+k) % n` and receive from `(rank-k) % n`.
+pub fn alltoall<C: Comm>(c: &mut C, tags: OpTags, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let n = c.size();
+    let rank = c.rank();
+    assert_eq!(sends.len(), n, "one buffer per destination");
+    let tag = tags.tag(Phase::Exchange);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[rank] = sends[rank].clone();
+    for k in 1..n {
+        let dst = (rank + k) % n;
+        let src = (rank + n - k) % n;
+        c.send(dst, tag, &sends[dst]);
+        out[src] = c.recv(src, tag);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_sum_combines_elementwise() {
+        let mut a = [1u64, 2, 3]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>();
+        let b = [10u64, 20, 30]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>();
+        combine_u64_sum(&mut a, &b);
+        let out: Vec<u64> = a
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn u64_max_combines_elementwise() {
+        let mut a = [5u64, 200]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>();
+        let b = [100u64, 3]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>();
+        combine_u64_max(&mut a, &b);
+        let out: Vec<u64> = a
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_reduce_buffers_panic() {
+        let mut a = vec![0u8; 8];
+        combine_u64_sum(&mut a, &[0u8; 16]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Analytic cost formulas stated in §3 of the paper.
+//!
+//! These are used as *test oracles*: the simulator's frame counters must
+//! match them exactly for the corresponding algorithm, which ties the
+//! implementation to the paper's analysis.
+
+/// Frames needed to move an `m`-byte message once: the paper's
+/// `floor(M/T) + 1` with `T` the maximum network frame (MTU) size.
+pub fn frames_per_message(m: u64, t: u64) -> u64 {
+    m / t + 1
+}
+
+/// Data frames for an MPICH binomial-tree broadcast of `m` bytes to `n`
+/// processes: `(floor(M/T)+1) * (N-1)` — the message crosses the wire once
+/// per non-root process.
+pub fn mpich_bcast_frames(n: u64, m: u64, t: u64) -> u64 {
+    frames_per_message(m, t) * n.saturating_sub(1)
+}
+
+/// Total frames for a multicast broadcast (either scout algorithm):
+/// `N-1` scout frames plus one multicast copy of the data,
+/// `(N-1) + floor(M/T) + 1`.
+pub fn mcast_bcast_frames(n: u64, m: u64, t: u64) -> u64 {
+    n.saturating_sub(1) + frames_per_message(m, t)
+}
+
+/// Largest power of two not exceeding `n` (the paper's `K`).
+pub fn largest_pow2_below(n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    1 << (63 - n.leading_zeros() as u64)
+}
+
+/// Messages in the MPICH three-phase barrier:
+/// `2(N-K) + K*log2(K)` with `K` the largest power of two ≤ `N`.
+pub fn mpich_barrier_messages(n: u64) -> u64 {
+    let k = largest_pow2_below(n);
+    2 * (n - k) + k * k.trailing_zeros() as u64
+}
+
+/// Messages in the multicast barrier: `N-1` point-to-point scouts plus one
+/// multicast release.
+pub fn mcast_barrier_messages(n: u64) -> u64 {
+    (n - 1) + 1
+}
+
+/// Rounds (time steps) of the binary scout-gathering tree: the paper's
+/// `log2(K) + 1` height bound, i.e. `ceil(log2(N))` communication rounds.
+pub fn binary_scout_rounds(n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    (64 - (n - 1).leading_zeros()) as u64
+}
+
+/// Rounds of the linear scout gathering: the root receives one scout at a
+/// time, so `N-1` sequential steps.
+pub fn linear_scout_rounds(n: u64) -> u64 {
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_match_paper_examples() {
+        // Paper: with 7 nodes the multicast implementation needs one third
+        // of the data frames of MPICH (scouts excluded). For one-frame
+        // messages: MPICH = 6 frames of data, mcast = 1 frame of data.
+        assert_eq!(mpich_bcast_frames(7, 1000, 1500), 6);
+        assert_eq!(mcast_bcast_frames(7, 1000, 1500), 6 + 1);
+        // 5000-byte message: 4 frames per copy.
+        assert_eq!(frames_per_message(5000, 1500), 4);
+        assert_eq!(mpich_bcast_frames(7, 5000, 1500), 24);
+        assert_eq!(mcast_bcast_frames(7, 5000, 1500), 10);
+    }
+
+    #[test]
+    fn pow2() {
+        assert_eq!(largest_pow2_below(1), 1);
+        assert_eq!(largest_pow2_below(2), 2);
+        assert_eq!(largest_pow2_below(3), 2);
+        assert_eq!(largest_pow2_below(7), 4);
+        assert_eq!(largest_pow2_below(8), 8);
+        assert_eq!(largest_pow2_below(9), 8);
+    }
+
+    #[test]
+    fn barrier_message_counts() {
+        // N = 7, K = 4: 2*3 + 4*2 = 14 (paper's formula).
+        assert_eq!(mpich_barrier_messages(7), 14);
+        // N = 8, K = 8: 0 + 8*3 = 24.
+        assert_eq!(mpich_barrier_messages(8), 24);
+        // N = 2: K = 2: 0 + 2*1 = 2.
+        assert_eq!(mpich_barrier_messages(2), 2);
+        // Multicast barrier: N-1 scouts + 1 release.
+        assert_eq!(mcast_barrier_messages(7), 7);
+        assert_eq!(mcast_barrier_messages(2), 2);
+    }
+
+    #[test]
+    fn scout_round_counts() {
+        assert_eq!(binary_scout_rounds(2), 1);
+        assert_eq!(binary_scout_rounds(4), 2);
+        assert_eq!(binary_scout_rounds(7), 3);
+        assert_eq!(binary_scout_rounds(8), 3);
+        assert_eq!(binary_scout_rounds(9), 4);
+        assert_eq!(linear_scout_rounds(9), 8);
+    }
+
+    #[test]
+    fn mcast_beats_mpich_on_frames_for_any_n_ge_3() {
+        for n in 3..64 {
+            for m in [0u64, 1000, 3000, 5000, 20000] {
+                let mpich = mpich_bcast_frames(n, m, 1500);
+                let mcast = mcast_bcast_frames(n, m, 1500);
+                if m >= 1500 {
+                    assert!(mcast < mpich, "n={n} m={m}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Sub-communicators: run a collective over a subset of ranks.
+//!
+//! [`GroupComm`] adapts a parent [`Comm`] to a member subset, translating
+//! group ranks to world ranks and shifting the tag space so concurrent
+//! groups cannot cross-match (the MPI communicator-context idea, realized
+//! with tags because the wire context id is fixed per transport).
+//!
+//! Multicast within a group is emulated with unicast fan-out: IP-level
+//! multicast would reach non-members of the subgroup whose inboxes would
+//! then grow without bound, so — like many MPI implementations on
+//! sub-communicators — the group falls back to point-to-point for
+//! one-to-all sends. All collectives remain correct; only the multicast
+//! acceleration is limited to the world communicator.
+
+use std::time::Duration;
+
+use mmpi_transport::{Comm, Tag};
+use mmpi_wire::{Message, MsgKind};
+
+/// A communicator over a subset of a parent communicator's ranks.
+///
+/// Borrowing: the group holds the parent mutably for its lifetime —
+/// collectives on the parent and the group cannot interleave, which also
+/// enforces the MPI rule that a process participates in one collective at
+/// a time.
+pub struct GroupComm<'a, C: Comm> {
+    parent: &'a mut C,
+    /// World ranks of the members, sorted; position = group rank.
+    members: Vec<usize>,
+    /// This process's rank within the group.
+    my_rank: usize,
+    /// Tag-space shift for this group.
+    tag_shift: Tag,
+}
+
+impl<'a, C: Comm> GroupComm<'a, C> {
+    /// Build a group over `members` (world ranks, must be sorted, unique,
+    /// and include the calling process). `group_id` separates the tag
+    /// spaces of simultaneously existing groups — every member must pass
+    /// the same value.
+    pub fn new(parent: &'a mut C, members: &[usize], group_id: u16) -> Self {
+        assert!(!members.is_empty(), "group cannot be empty");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and unique"
+        );
+        let world_rank = parent.rank();
+        let my_rank = members
+            .iter()
+            .position(|&m| m == world_rank)
+            .expect("calling process must be a member of the group");
+        assert!(
+            *members.last().unwrap() < parent.size(),
+            "member rank out of range"
+        );
+        GroupComm {
+            parent,
+            members: members.to_vec(),
+            my_rank,
+            // High bits far above the communicator's op-sequence space.
+            tag_shift: 0x4000_0000u32.wrapping_add((group_id as u32) << 16),
+        }
+    }
+
+    /// Split helper mirroring `MPI_Comm_split` with an externally agreed
+    /// color map: `colors[world_rank]` assigns each process a color; the
+    /// returned group contains every rank sharing this process's color.
+    pub fn split(parent: &'a mut C, colors: &[u32], group_id: u16) -> Self {
+        assert_eq!(colors.len(), parent.size(), "one color per world rank");
+        let mine = colors[parent.rank()];
+        let members: Vec<usize> = (0..colors.len())
+            .filter(|&r| colors[r] == mine)
+            .collect();
+        GroupComm::new(parent, &members, group_id)
+    }
+
+    /// World rank of group member `group_rank`.
+    pub fn world_rank_of(&self, group_rank: usize) -> usize {
+        self.members[group_rank]
+    }
+
+    /// The member list (world ranks).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    fn shift(&self, tag: Tag) -> Tag {
+        tag.wrapping_add(self.tag_shift)
+    }
+
+    fn unshift_rank(&self, world_src: u32) -> u32 {
+        self.members
+            .iter()
+            .position(|&m| m == world_src as usize)
+            .expect("message from non-member leaked into group matching") as u32
+    }
+
+    fn group_message(&self, mut m: Message) -> Message {
+        m.tag = m.tag.wrapping_sub(self.tag_shift);
+        m.src_rank = self.unshift_rank(m.src_rank);
+        m
+    }
+}
+
+impl<C: Comm> Comm for GroupComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn context(&self) -> u32 {
+        self.parent.context()
+    }
+
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        let world = self.members[dst];
+        let t = self.shift(tag);
+        self.parent.send_kind(world, t, kind, payload)
+    }
+
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        // Unicast fan-out within the group (see module docs).
+        let t = self.shift(tag);
+        let me = self.my_rank;
+        let mut last_seq = 0;
+        for g in 0..self.members.len() {
+            if g != me {
+                let world = self.members[g];
+                last_seq = self.parent.send_kind(world, t, kind, payload);
+            }
+        }
+        last_seq
+    }
+
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], _seq: u64) {
+        // Fan-out again; per-destination sequence numbers are fresh, so
+        // receivers treat it as a new message (fan-out unicast is already
+        // reliable in order of the underlying transport's semantics).
+        self.mcast_kind(tag, kind, payload);
+    }
+
+    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
+        let world = self.members[src];
+        let t = self.shift(tag);
+        let m = self.parent.recv_match(world, t);
+        self.group_message(m)
+    }
+
+    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
+        let world = self.members[src];
+        let t = self.shift(tag);
+        self.parent
+            .recv_match_timeout(world, t, timeout)
+            .map(|m| self.group_message(m))
+    }
+
+    fn recv_any(&mut self, tag: Tag) -> Message {
+        let t = self.shift(tag);
+        let m = self.parent.recv_any(t);
+        self.group_message(m)
+    }
+
+    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
+        let t = self.shift(tag);
+        self.parent
+            .recv_any_timeout(t, timeout)
+            .map(|m| self.group_message(m))
+    }
+
+    fn compute(&mut self, d: Duration) {
+        self.parent.compute(d);
+    }
+
+    fn tcp_ack_model(&mut self, dst: usize, count: u32) {
+        let world = self.members[dst];
+        self.parent.tcp_ack_model(world, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Communicator;
+    use mmpi_transport::run_mem_world;
+
+    #[test]
+    fn split_by_parity_and_bcast_within_groups() {
+        let out = run_mem_world(6, 0, |mut c| {
+            let colors: Vec<u32> = (0..6).map(|r| (r % 2) as u32).collect();
+            let group = GroupComm::split(&mut c, &colors, 1);
+            let leader_world = group.world_rank_of(0);
+            let mut comm = Communicator::new(group);
+            let mut buf = if comm.rank() == 0 {
+                vec![leader_world as u8; 100]
+            } else {
+                Vec::new()
+            };
+            comm.bcast(0, &mut buf);
+            buf[0]
+        });
+        // Evens hear from world rank 0; odds from world rank 1.
+        assert_eq!(out, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn group_allreduce_sums_only_members() {
+        let out = run_mem_world(5, 0, |mut c| {
+            // Group = {1, 3, 4}; rank 0 and 2 run their own group {0, 2}.
+            let in_a = [1usize, 3, 4].contains(&c.rank());
+            let members: Vec<usize> = if in_a { vec![1, 3, 4] } else { vec![0, 2] };
+            let gid = if in_a { 7 } else { 8 };
+            let world_rank = c.rank();
+            let group = GroupComm::new(&mut c, &members, gid);
+            let mut comm = Communicator::new(group);
+            let s = comm.allreduce(
+                (world_rank as u64).to_le_bytes().to_vec(),
+                &crate::combine_u64_sum,
+            );
+            u64::from_le_bytes(s[..8].try_into().unwrap())
+        });
+        assert_eq!(out, vec![2, 8, 2, 8, 8]);
+    }
+
+    #[test]
+    fn concurrent_groups_do_not_cross_match() {
+        // Two disjoint groups running *different* collective sequences at
+        // the same time: tag shifting must isolate them.
+        let out = run_mem_world(4, 0, |mut c| {
+            let in_low = c.rank() < 2;
+            let members: Vec<usize> = if in_low { vec![0, 1] } else { vec![2, 3] };
+            let gid = if in_low { 1 } else { 2 };
+            let group = GroupComm::new(&mut c, &members, gid);
+            let mut comm = Communicator::new(group);
+            if in_low {
+                // Low group: three barriers.
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+                0u64
+            } else {
+                // High group: bcast + allreduce.
+                let mut b = if comm.rank() == 0 { vec![5u8; 64] } else { Vec::new() };
+                comm.bcast(0, &mut b);
+                let s = comm.allreduce(9u64.to_le_bytes().to_vec(), &crate::combine_u64_sum);
+                u64::from_le_bytes(s[..8].try_into().unwrap()) + b[0] as u64
+            }
+        });
+        assert_eq!(out, vec![0, 0, 23, 23]);
+    }
+
+    #[test]
+    fn group_gather_and_barrier_work() {
+        let out = run_mem_world(6, 0, |mut c| {
+            let members = vec![0usize, 2, 5];
+            if !members.contains(&c.rank()) {
+                return 0usize;
+            }
+            let group = GroupComm::new(&mut c, &members, 3);
+            let mut comm = Communicator::new(group);
+            let g = comm.gather(0, &[comm.rank() as u8]);
+            comm.barrier();
+            g.map(|parts| parts.len()).unwrap_or(0)
+        });
+        assert_eq!(out, vec![3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a member")]
+    fn non_member_construction_panics() {
+        let mut comms = mmpi_transport::MemComm::world(3, 0);
+        let mut rank2 = comms.pop().unwrap();
+        let _ = GroupComm::new(&mut rank2, &[0, 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn unsorted_members_panic() {
+        let mut comms = mmpi_transport::MemComm::world(3, 0);
+        let mut rank0 = comms.remove(0);
+        let _ = GroupComm::new(&mut rank0, &[1, 0], 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! # mmpi-core — MPI collective operations over IP multicast
+//!
+//! The primary contribution of *"MPI Collective Operations over IP
+//! Multicast"* (Apon, Chen, Carrasco — IPPS 2000), reimplemented as a
+//! library over the pluggable [`mmpi_transport::Comm`] interface.
+//!
+//! ## What the paper does
+//!
+//! IP multicast lets one send reach every member of a group — but it is
+//! unreliable: a receiver that is not ready loses the datagram. The paper
+//! re-implements `MPI_Bcast` and `MPI_Barrier` directly over UDP/IP
+//! multicast, using tiny **scout** messages to prove all receivers are
+//! ready before the single multicast send:
+//!
+//! * **binary algorithm** — scouts reduced to the root along a binomial
+//!   tree (`ceil(log2 N)` rounds), then one multicast;
+//! * **linear algorithm** — scouts sent straight to the root (`N-1`
+//!   sequential receives), then one multicast.
+//!
+//! Against MPICH's binomial broadcast tree the data crosses the wire once
+//! instead of `N-1` times, which wins once the message outweighs the
+//! scout overhead (the paper's ~1 kB crossover).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mmpi_core::{BcastAlgorithm, Communicator};
+//! use mmpi_transport::run_mem_world;
+//!
+//! let outputs = run_mem_world(4, 0, |c| {
+//!     let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
+//!     let mut buf = if comm.rank() == 0 { b"hello".to_vec() } else { Vec::new() };
+//!     comm.bcast(0, &mut buf);
+//!     comm.barrier();
+//!     buf
+//! });
+//! assert!(outputs.iter().all(|b| b == b"hello"));
+//! ```
+//!
+//! Swap `run_mem_world` for [`mmpi_transport::run_sim_world`] to execute
+//! the same program on the simulated hub/switch testbed, or
+//! [`mmpi_transport::run_udp_world`] for real IP multicast sockets.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod bcast;
+pub mod bcast_ext;
+pub mod coll;
+pub mod group;
+pub mod many_to_many;
+pub mod communicator;
+pub mod cost;
+pub mod tags;
+
+pub use barrier::BarrierAlgorithm;
+pub use bcast::{BcastAlgorithm, BcastConfig};
+pub use group::GroupComm;
+pub use coll::{combine_u64_max, combine_u64_sum, Combine};
+pub use communicator::{AllgatherAlgorithm, Communicator};
+pub use tags::{OpCode, OpTags, Phase};

@@ -1,0 +1,195 @@
+//! Many-to-many collectives over IP multicast — the paper's §5 future
+//! work ("it is possible this may occur in many-to-many communications
+//! and needs to be examined further"), implemented and measurable.
+//!
+//! * [`allgather_ring`] — the classic point-to-point ring: `N-1` steps,
+//!   each byte crosses every link once.
+//! * [`allgather_mcast`] — every rank multicasts its block **once**, in
+//!   rank order. `N` multicast sends replace `N(N-1)` point-to-point
+//!   transfers. Ordering gives the §4 safety property: rank `i+1` cannot
+//!   multicast before it received rank `i`'s block, so receivers are
+//!   provably inside the collective when each datagram lands.
+//! * [`alltoall_mcast_naive`] — an *intentionally bad* idea kept for the
+//!   ablation bench: all-to-all where each personalized payload still has
+//!   to be multicast to everyone (receivers discard the parts not
+//!   addressed to them). Demonstrates where multicast does **not** help.
+
+use mmpi_transport::Comm;
+use mmpi_wire::MsgKind;
+
+use crate::tags::{OpTags, Phase};
+
+/// Ring allgather: each rank contributes `mine`; returns all blocks
+/// indexed by rank.
+pub fn allgather_ring<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec<u8>> {
+    let n = c.size();
+    let rank = c.rank();
+    let tag = tags.tag(Phase::Exchange);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[rank] = mine.to_vec();
+    if n == 1 {
+        return out;
+    }
+    let next = (rank + 1) % n;
+    let prev = (rank + n - 1) % n;
+    // Travel block k = (rank - s) mod n at step s; prefix each block with
+    // its owner to stay robust to equal-length content.
+    let mut travelling = {
+        let mut b = Vec::with_capacity(4 + mine.len());
+        b.extend_from_slice(&(rank as u32).to_le_bytes());
+        b.extend_from_slice(mine);
+        b
+    };
+    for _ in 0..n - 1 {
+        c.send(next, tag, &travelling);
+        travelling = c.recv(prev, tag);
+        let owner = u32::from_le_bytes(travelling[0..4].try_into().unwrap()) as usize;
+        out[owner] = travelling[4..].to_vec();
+    }
+    out
+}
+
+/// Multicast allgather: rank `i` multicasts its block in round `i`.
+///
+/// `N` multicast datagrams total. The sequencing (each rank waits for all
+/// earlier blocks before sending its own) is both the correctness
+/// argument under the posted-receive model and natural flow control.
+pub fn allgather_mcast<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec<u8>> {
+    let n = c.size();
+    let rank = c.rank();
+    let tag = tags.tag(Phase::Data);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        if i == rank {
+            *slot = mine.to_vec();
+            if n > 1 {
+                c.mcast_kind(tag, MsgKind::Data, mine);
+            }
+        } else {
+            *slot = c.recv_match(i, tag).payload;
+        }
+    }
+    out
+}
+
+/// All-to-all where every personalized message is multicast to the whole
+/// group and receivers keep only their slice. Wire cost per rank: one
+/// multicast of the *entire* `N`-part buffer — worse than pairwise
+/// exchange unless messages are tiny. Kept as a negative result for the
+/// ablation bench.
+pub fn alltoall_mcast_naive<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    sends: &[Vec<u8>],
+) -> Vec<Vec<u8>> {
+    let n = c.size();
+    let rank = c.rank();
+    assert_eq!(sends.len(), n);
+    let tag = tags.tag(Phase::Data);
+    // Frame all N parts into one buffer.
+    let mut framed = Vec::new();
+    for p in sends {
+        framed.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        framed.extend_from_slice(p);
+    }
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // `out[i]` is written in two arms
+    for i in 0..n {
+        let buf = if i == rank {
+            out[i] = sends[rank].clone();
+            if n > 1 {
+                c.mcast_kind(tag, MsgKind::Data, &framed);
+            }
+            continue;
+        } else {
+            c.recv_match(i, tag).payload
+        };
+        // Extract only the part addressed to us.
+        let mut off = 0usize;
+        for slot in 0..n {
+            let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            if slot == rank {
+                out[i] = buf[off..off + len].to_vec();
+            }
+            off += len;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::OpCode;
+    use mmpi_transport::run_mem_world;
+
+    fn tags() -> OpTags {
+        OpTags::new(OpCode::Allgather, 0)
+    }
+
+    fn block(rank: usize, n: usize) -> Vec<u8> {
+        vec![rank as u8 + 1; (rank * 5) % (n + 3) + 1]
+    }
+
+    #[test]
+    fn ring_allgather_matches_expectation() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let out = run_mem_world(n, 0, move |mut c| {
+                let mine = block(c.rank(), n);
+                allgather_ring(&mut c, tags(), &mine)
+            });
+            for (r, parts) in out.iter().enumerate() {
+                for (src, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &block(src, n), "n={n} rank={r} src={src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcast_allgather_matches_expectation() {
+        for n in [1usize, 2, 4, 7] {
+            let out = run_mem_world(n, 0, move |mut c| {
+                let mine = block(c.rank(), n);
+                allgather_mcast(&mut c, tags(), &mine)
+            });
+            for parts in &out {
+                for (src, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &block(src, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_mcast_alltoall_is_correct_if_wasteful() {
+        for n in [1usize, 2, 4, 6] {
+            let out = run_mem_world(n, 0, move |mut c| {
+                let me = c.rank();
+                let sends: Vec<Vec<u8>> = (0..n)
+                    .map(|dst| format!("{me}=>{dst}").into_bytes())
+                    .collect();
+                alltoall_mcast_naive(&mut c, tags(), &sends)
+            });
+            for (me, got) in out.iter().enumerate() {
+                for (src, p) in got.iter().enumerate() {
+                    assert_eq!(p, format!("{src}=>{me}").as_bytes(), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcast_allgather_empty_blocks() {
+        let out = run_mem_world(3, 0, |mut c| {
+            let mine = if c.rank() == 1 { vec![5u8] } else { Vec::new() };
+            allgather_mcast(&mut c, tags(), &mine)
+        });
+        for parts in &out {
+            assert_eq!(parts[0], Vec::<u8>::new());
+            assert_eq!(parts[1], vec![5u8]);
+            assert_eq!(parts[2], Vec::<u8>::new());
+        }
+    }
+}

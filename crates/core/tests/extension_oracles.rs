@@ -1,0 +1,119 @@
+//! Frame-count oracles for the extension collectives, in the same spirit
+//! as the paper's §3 analysis.
+
+use mmpi_core::{AllgatherAlgorithm, BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::IpParams;
+use mmpi_transport::{run_sim_world, SimCommConfig};
+
+const WIRE_HEADER: u32 = 40;
+
+fn frames_for(payload: u32) -> u64 {
+    IpParams::default().fragments_for(payload + WIRE_HEADER, 1500) as u64
+}
+
+#[test]
+fn multicast_allgather_frame_count() {
+    // N multicasts of B bytes: N * frames(B) data frames, nothing else.
+    for n in [2usize, 4, 7] {
+        for b in [100u32, 2000] {
+            let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
+            let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+                let mut comm =
+                    Communicator::new(c).with_allgather(AllgatherAlgorithm::Multicast);
+                comm.allgather(&vec![comm.rank() as u8; b as usize]);
+            })
+            .unwrap();
+            assert_eq!(
+                report.stats.data_frames_sent,
+                n as u64 * frames_for(b),
+                "n={n} b={b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_allgather_frame_count() {
+    // Each of N ranks forwards N-1 blocks: N(N-1) transfers (+4-byte
+    // owner prefix per block).
+    for n in [2usize, 5] {
+        let b = 1000u32;
+        let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
+        let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+            let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Ring);
+            comm.allgather(&vec![comm.rank() as u8; b as usize]);
+        })
+        .unwrap();
+        assert_eq!(
+            report.stats.data_frames_sent,
+            (n * (n - 1)) as u64 * frames_for(b + 4),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn flat_tree_bcast_frame_count() {
+    // Root sends N-1 full copies: same as the paper's MPICH count (the
+    // tree shape does not change total frames, only the critical path).
+    let n = 6usize;
+    let b = 3000u32;
+    let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::FlatTree);
+        let mut buf = if comm.rank() == 0 {
+            vec![1; b as usize]
+        } else {
+            vec![0; b as usize]
+        };
+        comm.bcast(0, &mut buf);
+    })
+    .unwrap();
+    assert_eq!(
+        report.stats.data_frames_sent,
+        (n as u64 - 1) * frames_for(b)
+    );
+}
+
+#[test]
+fn chain_bcast_frame_count() {
+    // Chain with segment S: each of the N-1 non-tail... every rank except
+    // the tail forwards ceil(B/S) segments (+1 terminator when S divides
+    // B); total = (N-1) * segments.
+    let n = 5usize;
+    let b = 10_000usize;
+    let seg = 4096usize;
+    let segments = b.div_ceil(seg) as u64; // 3, not an exact multiple
+    let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::Chain);
+        let mut buf = if comm.rank() == 0 { vec![1; b] } else { vec![0; b] };
+        comm.bcast(0, &mut buf);
+    })
+    .unwrap();
+    // Each segment message of 4096 B payload -> frames(4096); the final
+    // short segment (1808 B) -> frames(1808).
+    let per_hop: u64 = (0..segments)
+        .map(|i| {
+            let len = if i + 1 < segments { seg } else { b - seg * (segments as usize - 1) };
+            frames_for(len as u32)
+        })
+        .sum();
+    assert_eq!(report.stats.data_frames_sent, (n as u64 - 1) * per_hop);
+}
+
+#[test]
+fn via_like_preset_has_expected_shape() {
+    use mmpi_netsim::params::{FabricKind, SwitchMode};
+    let p = NetParams::via_like();
+    assert!(p.host.strict_posted_recv, "VIA semantics require posted recv");
+    assert!(p.host.o_send < mmpi_netsim::SimDuration::from_micros(10));
+    match p.fabric {
+        FabricKind::Switch(sp) => {
+            assert!(matches!(sp.mode, SwitchMode::CutThrough { .. }));
+        }
+        FabricKind::Hub => panic!("via preset must be switched"),
+    }
+}

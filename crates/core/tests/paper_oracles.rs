@@ -1,0 +1,325 @@
+//! Tie the implementation to the paper's §3 analysis: running each
+//! algorithm on the simulated testbed must put **exactly** the predicted
+//! number of frames/messages on the wire, and the qualitative performance
+//! claims must hold.
+
+use mmpi_core::{cost, BarrierAlgorithm, BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::stats::NetStats;
+use mmpi_netsim::SimTime;
+use mmpi_transport::{run_sim_world, Comm, SimCommConfig};
+
+/// Run one broadcast on the simulator, returning (makespan, stats).
+fn run_bcast(
+    n: usize,
+    bytes: usize,
+    algo: BcastAlgorithm,
+    params: NetParams,
+    seed: u64,
+) -> (SimTime, NetStats) {
+    let cluster = ClusterConfig::new(n, params, seed);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(algo);
+        let mut buf = if comm.rank() == 0 {
+            vec![0xA5; bytes]
+        } else {
+            vec![0; bytes]
+        };
+        comm.bcast(0, &mut buf);
+        assert_eq!(buf, vec![0xA5; bytes]);
+    })
+    .unwrap();
+    (report.makespan, report.stats)
+}
+
+fn run_barrier(n: usize, algo: BarrierAlgorithm, params: NetParams, seed: u64) -> (SimTime, NetStats) {
+    let cluster = ClusterConfig::new(n, params, seed);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_barrier(algo);
+        comm.barrier();
+    })
+    .unwrap();
+    (report.makespan, report.stats)
+}
+
+#[test]
+fn mpich_bcast_frame_count_matches_formula() {
+    // Paper: (floor(M/T)+1)(N-1) data frames. Our wire header adds 40
+    // bytes to the payload, so use sizes where that cannot change the
+    // fragment count (M mod 1472 < 1432).
+    for n in [2usize, 4, 7, 9] {
+        for m in [0u64, 100, 1000, 2000, 5000] {
+            let (_t, stats) = run_bcast(
+                n,
+                m as usize,
+                BcastAlgorithm::MpichBinomial,
+                NetParams::fast_ethernet_switch(),
+                1,
+            );
+            let per_msg = mmpi_netsim::IpParams::default()
+                .fragments_for(m as u32 + 40, 1500) as u64;
+            assert_eq!(
+                stats.data_frames_sent,
+                per_msg * (n as u64 - 1),
+                "n={n} m={m}"
+            );
+            // And the paper's own T=1500 formula agrees for these sizes.
+            assert_eq!(per_msg, cost::frames_per_message(m + 40, 1500), "m={m}");
+        }
+    }
+}
+
+#[test]
+fn mcast_bcast_frame_count_matches_formula() {
+    // Paper: (N-1) scout frames + floor(M/T)+1 data frames, total
+    // (N-1) + M/T + 1, for both the binary and the linear algorithm.
+    for algo in [BcastAlgorithm::McastBinary, BcastAlgorithm::McastLinear] {
+        for n in [2usize, 4, 7, 9] {
+            for m in [0u64, 1000, 5000] {
+                let (_t, stats) = run_bcast(
+                    n,
+                    m as usize,
+                    algo,
+                    NetParams::fast_ethernet_switch(),
+                    1,
+                );
+                let data = mmpi_netsim::IpParams::default()
+                    .fragments_for(m as u32 + 40, 1500) as u64;
+                let scouts = n as u64 - 1;
+                assert_eq!(
+                    stats.data_frames_sent,
+                    scouts + data,
+                    "algo={algo:?} n={n} m={m}"
+                );
+                assert_eq!(stats.total_drops(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn mpich_barrier_message_count_matches_formula() {
+    // Paper: 2(N-K) + K log2 K point-to-point messages.
+    for n in 2usize..=9 {
+        let (_t, stats) = run_barrier(n, BarrierAlgorithm::Mpich, NetParams::fast_ethernet_switch(), 1);
+        assert_eq!(
+            stats.datagrams_sent,
+            cost::mpich_barrier_messages(n as u64),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn mcast_barrier_message_count_matches_formula() {
+    // Paper: N-1 scouts + 1 multicast release.
+    for n in 2usize..=9 {
+        let (_t, stats) = run_barrier(
+            n,
+            BarrierAlgorithm::McastBinary,
+            NetParams::fast_ethernet_switch(),
+            1,
+        );
+        assert_eq!(
+            stats.datagrams_sent,
+            cost::mcast_barrier_messages(n as u64),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn multicast_beats_mpich_for_large_messages() {
+    // The paper's headline: for messages over ~1 kB the multicast
+    // implementations win on both fabrics.
+    for params in [NetParams::fast_ethernet_hub(), NetParams::fast_ethernet_switch()] {
+        for n in [4usize, 9] {
+            let (mpich, _) = run_bcast(n, 5000, BcastAlgorithm::MpichBinomial, params.clone(), 3);
+            let (binary, _) = run_bcast(n, 5000, BcastAlgorithm::McastBinary, params.clone(), 3);
+            let (linear, _) = run_bcast(n, 5000, BcastAlgorithm::McastLinear, params.clone(), 3);
+            assert!(
+                binary < mpich,
+                "n={n}: binary {binary} should beat mpich {mpich}"
+            );
+            assert!(
+                linear < mpich,
+                "n={n}: linear {linear} should beat mpich {mpich}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mpich_wins_for_tiny_messages() {
+    // With small messages the scout overhead dominates: MPICH is faster
+    // (the region left of the paper's crossover).
+    let (mpich, _) = run_bcast(4, 0, BcastAlgorithm::MpichBinomial, NetParams::fast_ethernet_switch(), 3);
+    let (binary, _) = run_bcast(4, 0, BcastAlgorithm::McastBinary, NetParams::fast_ethernet_switch(), 3);
+    assert!(
+        mpich < binary,
+        "mpich {mpich} should beat binary {binary} at 0 bytes"
+    );
+}
+
+#[test]
+fn binary_scout_gathering_beats_linear_at_scale() {
+    // log2(N) rounds vs N-1 sequential receives at the root.
+    let (linear, _) = run_bcast(9, 2000, BcastAlgorithm::McastLinear, NetParams::fast_ethernet_switch(), 3);
+    let (binary, _) = run_bcast(9, 2000, BcastAlgorithm::McastBinary, NetParams::fast_ethernet_switch(), 3);
+    assert!(
+        binary < linear,
+        "binary {binary} should beat linear {linear} at N=9"
+    );
+}
+
+#[test]
+fn mcast_barrier_beats_mpich_barrier() {
+    // Paper Fig. 13: multicast barrier wins on the hub and the gap grows
+    // with N. (At N=4 — a power of two, where MPICH needs no extra
+    // phases — the two are within noise in our model; the paper's own
+    // advantage there is ~50 us. We assert the win for N >= 5.)
+    let mut gaps = Vec::new();
+    for n in [5usize, 6, 7, 8, 9] {
+        let (mpich, _) = run_barrier(n, BarrierAlgorithm::Mpich, NetParams::fast_ethernet_hub(), 5);
+        let (mcast, _) = run_barrier(n, BarrierAlgorithm::McastBinary, NetParams::fast_ethernet_hub(), 5);
+        assert!(mcast < mpich, "n={n}: mcast {mcast} vs mpich {mpich}");
+        gaps.push(mpich.as_micros_f64() - mcast.as_micros_f64());
+    }
+    assert!(
+        gaps.last().unwrap() > gaps.first().unwrap(),
+        "gap should grow with N: {gaps:?}"
+    );
+}
+
+#[test]
+fn linear_mcast_extra_cost_nearly_constant_in_message_size() {
+    // Paper Fig. 12: for the linear multicast algorithm the cost of more
+    // processes is almost independent of message size (scouts are fixed
+    // cost; data still crosses once). For MPICH the 3→9 gap grows
+    // strongly with size.
+    let gap_at = |m: usize, algo: BcastAlgorithm| {
+        let (t3, _) = run_bcast(3, m, algo, NetParams::fast_ethernet_switch(), 7);
+        let (t9, _) = run_bcast(9, m, algo, NetParams::fast_ethernet_switch(), 7);
+        t9.as_micros_f64() - t3.as_micros_f64()
+    };
+    let lin_small = gap_at(500, BcastAlgorithm::McastLinear);
+    let lin_large = gap_at(5000, BcastAlgorithm::McastLinear);
+    let mpich_small = gap_at(500, BcastAlgorithm::MpichBinomial);
+    let mpich_large = gap_at(5000, BcastAlgorithm::MpichBinomial);
+    // Linear multicast: gap grows by well under 2x; MPICH: more than 2x.
+    assert!(
+        lin_large < lin_small * 2.0,
+        "linear gap should be ~constant: {lin_small} -> {lin_large}"
+    );
+    assert!(
+        mpich_large > mpich_small * 2.0,
+        "mpich gap should grow: {mpich_small} -> {mpich_large}"
+    );
+}
+
+#[test]
+fn strict_mode_scouted_bcast_never_loses() {
+    // The whole point of the scout synchronization: even under the strict
+    // posted-receive loss model with skewed receivers, the multicast
+    // broadcast is reliable because the root only sends after everyone
+    // proved readiness.
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.strict_posted_recv = true;
+    for algo in [BcastAlgorithm::McastBinary, BcastAlgorithm::McastLinear] {
+        let cluster = ClusterConfig::new(7, params.clone(), 11)
+            .with_start_skew(mmpi_netsim::SimDuration::from_millis(2));
+        let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+            let mut comm = Communicator::new(c).with_bcast(algo);
+            let mut buf = if comm.rank() == 0 {
+                vec![7; 3000]
+            } else {
+                vec![0; 3000]
+            };
+            comm.bcast(0, &mut buf);
+            buf == vec![7; 3000]
+        })
+        .unwrap();
+        assert!(report.outputs.iter().all(|&ok| ok), "algo={algo:?}");
+        assert_eq!(report.stats.unposted_recv_drops, 0, "algo={algo:?}");
+    }
+}
+
+#[test]
+fn pvm_ack_recovers_from_strict_mode_loss_but_pays_for_it() {
+    // Dunigan & Hall's sender-initiated approach under the strict model:
+    // a slow receiver loses the first multicast, the root retransmits
+    // until acked. Correct, but slower than the scouted algorithm — the
+    // paper's explanation for why that work saw no performance gain.
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.strict_posted_recv = true;
+    let cluster = ClusterConfig::new(4, params.clone(), 13);
+    let slow_receiver = |c: mmpi_transport::SimComm,
+                         algo: BcastAlgorithm|
+     -> (bool, mmpi_netsim::SimTime) {
+        let mut comm = Communicator::new(c).with_bcast(algo);
+        if comm.rank() == 3 {
+            // Deterministic laggard: busy for 3 ms before entering the
+            // collective, so it cannot have a receive posted when the
+            // naive multicast arrives.
+            comm.transport_mut().compute(std::time::Duration::from_millis(3));
+        }
+        let mut buf = if comm.rank() == 0 {
+            vec![9; 2000]
+        } else {
+            vec![0; 2000]
+        };
+        comm.bcast(0, &mut buf);
+        (buf == vec![9; 2000], comm.transport().now())
+    };
+    let pvm = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        slow_receiver(c, BcastAlgorithm::PvmAck)
+    })
+    .unwrap();
+    assert!(
+        pvm.outputs.iter().all(|(ok, _)| *ok),
+        "pvm-ack must still deliver"
+    );
+    assert!(
+        pvm.stats.unposted_recv_drops > 0,
+        "the unsynchronized first multicast should have been lost by the laggard"
+    );
+
+    let scouted = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        slow_receiver(c, BcastAlgorithm::McastBinary)
+    })
+    .unwrap();
+    assert!(
+        scouted.outputs.iter().all(|(ok, _)| *ok),
+        "scouted broadcast must deliver"
+    );
+    // Compare time spent *after* the laggard wakes: the scouted algorithm
+    // finishes quickly once everyone is ready, while ack-retransmit burns
+    // at least one timeout round recovering the lost multicast.
+    let finish = |r: &mmpi_netsim::cluster::RunReport<(bool, mmpi_netsim::SimTime)>| {
+        r.outputs.iter().map(|(_, t)| *t).fold(
+            mmpi_netsim::SimTime::ZERO,
+            mmpi_netsim::SimTime::max,
+        )
+    };
+    assert!(
+        finish(&scouted) < finish(&pvm),
+        "scouted {} should beat ack-retransmit {}",
+        finish(&scouted),
+        finish(&pvm)
+    );
+}
+
+#[test]
+fn crossover_exists_between_mpich_and_mcast() {
+    // Somewhere in 0..5000 bytes the winner flips from MPICH to multicast
+    // (paper Figs. 7-8). Locate it coarsely.
+    let params = NetParams::fast_ethernet_switch;
+    let faster_mcast = |m: usize| {
+        let (mpich, _) = run_bcast(4, m, BcastAlgorithm::MpichBinomial, params(), 17);
+        let (mcast, _) = run_bcast(4, m, BcastAlgorithm::McastBinary, params(), 17);
+        mcast < mpich
+    };
+    assert!(!faster_mcast(0), "MPICH should win at 0 bytes");
+    assert!(faster_mcast(5000), "multicast should win at 5000 bytes");
+}

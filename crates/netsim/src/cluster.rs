@@ -1,0 +1,476 @@
+//! Deterministic co-simulation driver.
+//!
+//! [`run_cluster`] spawns one OS thread per MPI rank, each executing the
+//! user's SPMD closure against a [`SimProcess`] handle, and interleaves
+//! them with the discrete-event [`World`] so that the whole ensemble
+//! executes in *virtual* time:
+//!
+//! 1. ranks run native code until they call into the handle (send, recv,
+//!    compute, ...), which parks the thread and posts a request;
+//! 2. the driver applies non-blocking requests immediately (charging LogP
+//!    software overheads to the rank's local clock) in rank order;
+//! 3. once every rank is parked in a blocking receive, the driver advances
+//!    network events until one completes a receive, wakes exactly that
+//!    rank, and goes back to 1.
+//!
+//! Because ranks only interact through the driver and ties are broken by
+//! rank id and event sequence number, a run is a pure function of
+//! `(closure, config, seed)` — the property the figure harness relies on.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::SimError;
+use crate::ids::{HostId, SocketId};
+use crate::params::NetParams;
+use crate::process::{ProcShared, Request, Response, SimProcess, Slot};
+use crate::rng::SplitMix64;
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::world::{Completion, StepOutcome, World};
+
+/// Configuration for one simulated cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of ranks (== simulated hosts).
+    pub n: usize,
+    /// Network and host model parameters.
+    pub params: NetParams,
+    /// Seed for every random stream in the run (backoff, skew).
+    pub seed: u64,
+    /// Each rank starts at a uniform random offset in `[0, start_skew_max]`
+    /// — models the OS scheduling skew responsible for the scatter in the
+    /// paper's plots. Zero disables skew.
+    pub start_skew_max: SimDuration,
+    /// Deliver multicast datagrams back to the sending socket
+    /// (IP_MULTICAST_LOOP). The paper's collectives do not rely on it.
+    pub multicast_loopback: bool,
+    /// Abort if virtual time passes this limit (livelock guard).
+    pub time_limit: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` ranks with the given network parameters and seed,
+    /// no start skew, loopback off, 60 s virtual time limit.
+    pub fn new(n: usize, params: NetParams, seed: u64) -> Self {
+        ClusterConfig {
+            n,
+            params,
+            seed,
+            start_skew_max: SimDuration::ZERO,
+            multicast_loopback: false,
+            time_limit: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Builder-style: set the start skew.
+    pub fn with_start_skew(mut self, max: SimDuration) -> Self {
+        self.start_skew_max = max;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a successful cluster run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank local time at which the rank's closure returned.
+    pub completion_times: Vec<SimTime>,
+    /// The latest completion — the paper's metric ("the longest completion
+    /// time of the collective operation among all processes").
+    pub makespan: SimTime,
+    /// Network statistics for the whole run.
+    pub stats: NetStats,
+    /// Per-rank return values of the SPMD closure.
+    pub outputs: Vec<R>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RankStatus {
+    Running,
+    BlockedRecv {
+        socket: SocketId,
+        timer: Option<u64>,
+    },
+    Done,
+}
+
+/// Run `f` as an SPMD program on a simulated cluster.
+///
+/// `f` is invoked once per rank on its own thread with a [`SimProcess`]
+/// handle; its return values are collected into the report. Deterministic
+/// for a fixed `(f, config)`.
+pub fn run_cluster<F, R>(config: &ClusterConfig, f: F) -> Result<RunReport<R>, SimError>
+where
+    F: Fn(SimProcess) -> R + Sync,
+    R: Send,
+{
+    assert!(config.n > 0, "cluster needs at least one rank");
+    let mut world = World::new(config.n, config.params.clone(), config.seed);
+    let mut rng = SplitMix64::new(config.seed ^ 0x5EED_5EED_5EED_5EED);
+    let skews: Vec<SimTime> = (0..config.n)
+        .map(|_| {
+            let max = config.start_skew_max.as_nanos();
+            SimTime::from_nanos(if max == 0 { 0 } else { rng.next_below(max + 1) })
+        })
+        .collect();
+
+    let shareds: Vec<Arc<ProcShared>> =
+        (0..config.n).map(|_| Arc::new(ProcShared::new())).collect();
+    let outputs: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..config.n).map(|_| None).collect());
+
+    let result: Result<(Vec<SimTime>, NetStats), SimError> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.n);
+        for rank in 0..config.n {
+            let shared = Arc::clone(&shareds[rank]);
+            let start = skews[rank];
+            let f = &f;
+            let outputs = &outputs;
+            handles.push(scope.spawn(move || {
+                // Ensure the driver learns about this rank's exit even on
+                // panic (the guard fires during unwinding).
+                struct FinishGuard {
+                    shared: Arc<ProcShared>,
+                    armed: bool,
+                }
+                impl Drop for FinishGuard {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            *self.shared.slot.lock() = Slot::Finished { panicked: true };
+                            self.shared.to_driver.notify_one();
+                        }
+                    }
+                }
+                let mut guard = FinishGuard {
+                    shared: Arc::clone(&shared),
+                    armed: true,
+                };
+                let proc = SimProcess::new(Arc::clone(&shared), rank, start);
+                let out = f(proc);
+                outputs.lock()[rank] = Some(out);
+                guard.armed = false;
+                *shared.slot.lock() = Slot::Finished { panicked: false };
+                shared.to_driver.notify_one();
+            }));
+        }
+        let r = drive(config, &mut world, &shareds, skews);
+        // Join every rank thread; panics were already converted into
+        // driver-level errors (or are the expected abort unwinds).
+        for h in handles {
+            let _ = h.join();
+        }
+        r
+    });
+
+    let (completion_times, stats) = result?;
+    let makespan = completion_times
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    let outputs: Vec<R> = outputs
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every rank finished normally"))
+        .collect();
+    Ok(RunReport {
+        completion_times,
+        makespan,
+        stats,
+        outputs,
+    })
+}
+
+/// Wait until `shared` holds a request or a finish marker, then return a
+/// taken `Request` (slot left `Idle`, rank parked) or `None` for finished.
+fn wait_for_request(shared: &ProcShared) -> Option<Request> {
+    let mut slot = shared.slot.lock();
+    loop {
+        match &*slot {
+            Slot::Requested(_) => {
+                let Slot::Requested(req) = std::mem::replace(&mut *slot, Slot::Idle) else {
+                    unreachable!();
+                };
+                return Some(req);
+            }
+            Slot::Finished { .. } => return None,
+            _ => shared.to_driver.wait(&mut slot),
+        }
+    }
+}
+
+fn respond(shared: &ProcShared, resp: Response, at: SimTime) {
+    let mut slot = shared.slot.lock();
+    *slot = Slot::Responded(resp, at);
+    shared.to_proc.notify_one();
+}
+
+fn rank_panicked(shared: &ProcShared) -> bool {
+    matches!(*shared.slot.lock(), Slot::Finished { panicked: true })
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive(
+    config: &ClusterConfig,
+    world: &mut World,
+    shareds: &[Arc<ProcShared>],
+    skews: Vec<SimTime>,
+) -> Result<(Vec<SimTime>, NetStats), SimError> {
+    let n = config.n;
+    let hp = config.params.host.clone();
+    let mut status = vec![RankStatus::Running; n];
+    let mut local = skews;
+    let mut next_token: u64 = 0;
+    let mut pending: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+    let time_limit = SimTime::ZERO + config.time_limit;
+
+    let abort = loop {
+        // Phase 1: collect a request (or exit notice) from every running rank.
+        let mut panicked_rank = None;
+        for i in 0..n {
+            if status[i] != RankStatus::Running || pending[i].is_some() {
+                continue;
+            }
+            match wait_for_request(&shareds[i]) {
+                Some(req) => pending[i] = Some(req),
+                None => {
+                    if rank_panicked(&shareds[i]) {
+                        panicked_rank = Some(i);
+                    }
+                    status[i] = RankStatus::Done;
+                }
+            }
+        }
+        if let Some(rank) = panicked_rank {
+            break Some(SimError::RankPanicked {
+                rank,
+                message: "rank closure panicked (see stderr)".into(),
+            });
+        }
+
+        // Phase 2: apply non-blocking requests in rank order.
+        let mut any_immediate = false;
+        for i in 0..n {
+            let Some(req) = pending[i].take() else { continue };
+            let host = HostId(i as u32);
+            match req {
+                Request::Bind { port } => {
+                    let sid = world.bind(host, port);
+                    respond(&shareds[i], Response::Socket(sid), local[i]);
+                    any_immediate = true;
+                }
+                Request::JoinQuiet { socket, group } => {
+                    world.join_group_quiet(host, socket, group);
+                    respond(&shareds[i], Response::Done, local[i]);
+                    any_immediate = true;
+                }
+                Request::LeaveQuiet { socket, group } => {
+                    world.leave_group_quiet(host, socket, group);
+                    respond(&shareds[i], Response::Done, local[i]);
+                    any_immediate = true;
+                }
+                Request::JoinIgmp { socket, group } => {
+                    local[i] += hp.o_send;
+                    world.join_group_igmp(host, socket, group, local[i]);
+                    respond(&shareds[i], Response::Done, local[i]);
+                    any_immediate = true;
+                }
+                Request::Now => {
+                    respond(&shareds[i], Response::Time, local[i]);
+                    any_immediate = true;
+                }
+                Request::Compute { dur } => {
+                    local[i] += dur;
+                    respond(&shareds[i], Response::Done, local[i]);
+                    any_immediate = true;
+                }
+                Request::Send {
+                    socket,
+                    dst,
+                    dst_port,
+                    payload,
+                    kernel,
+                } => {
+                    let len = payload.len() as u64;
+                    local[i] += if kernel {
+                        hp.o_kernel_send
+                    } else {
+                        hp.o_send + hp.send_per_byte * len
+                    };
+                    let src_port = world.host(host).socket(socket).port;
+                    world.send_datagram(
+                        host,
+                        src_port,
+                        dst,
+                        dst_port,
+                        payload,
+                        local[i],
+                        config.multicast_loopback,
+                        kernel,
+                    );
+                    respond(&shareds[i], Response::Done, local[i]);
+                    any_immediate = true;
+                }
+                Request::Recv { socket, timeout } => {
+                    // Ranks only run while the world is paused, so any
+                    // buffered datagram arrived at or before the rank's
+                    // local time — it can complete the receive directly.
+                    if let Some((_arrived, dg)) = world.try_pop_buffered(host, socket) {
+                        local[i] += hp.o_recv + hp.recv_per_byte * dg.payload.len() as u64;
+                        respond(&shareds[i], Response::Datagram(Some(dg)), local[i]);
+                        any_immediate = true;
+                    } else {
+                        // The receive becomes *posted* at the rank's local
+                        // time, not at the (earlier) world time — crucial
+                        // for the strict posted-receive loss model.
+                        world.schedule_post_recv(host, socket, local[i]);
+                        let timer = timeout.map(|t| {
+                            let token = next_token;
+                            next_token += 1;
+                            world.schedule_timer(host, Some(socket), token, local[i] + t);
+                            token
+                        });
+                        status[i] = RankStatus::BlockedRecv { socket, timer };
+                    }
+                }
+            }
+        }
+        if status.iter().all(|s| *s == RankStatus::Done) {
+            break None;
+        }
+        if any_immediate {
+            continue;
+        }
+        if status.iter().all(|s| s == &RankStatus::Done) {
+            break None;
+        }
+
+        // Phase 3: everyone alive is blocked; advance the network.
+        match world.run_until_completion() {
+            StepOutcome::Quiescent => {
+                let detail: Vec<String> = status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        RankStatus::BlockedRecv { socket, .. } => {
+                            Some(format!("rank {i} blocked in recv on socket {}", socket.0))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                break Some(SimError::Deadlock {
+                    at: world.now(),
+                    detail: detail.join("; "),
+                });
+            }
+            StepOutcome::Advanced { now, completions } => {
+                if now > time_limit {
+                    break Some(SimError::TimeLimitExceeded { limit: time_limit });
+                }
+                for c in completions {
+                    match c {
+                        Completion::RecvReady { host, socket } => {
+                            let i = host.index();
+                            let RankStatus::BlockedRecv {
+                                socket: s,
+                                timer,
+                            } = status[i]
+                            else {
+                                // Spurious: the rank is no longer blocked
+                                // (cannot happen — deliveries only complete
+                                // posted receives). Ignore defensively.
+                                continue;
+                            };
+                            debug_assert_eq!(s, socket);
+                            if let Some(tok) = timer {
+                                world.cancel_timer(tok);
+                            }
+                            let (_arrived, dg) = world
+                                .take_recv(host, socket)
+                                .expect("completion implies a buffered datagram");
+                            local[i] = local[i].max(now)
+                                + hp.o_recv
+                                + hp.recv_per_byte * dg.payload.len() as u64;
+                            status[i] = RankStatus::Running;
+                            respond(&shareds[i], Response::Datagram(Some(dg)), local[i]);
+                        }
+                        Completion::TimerFired { host, socket, token } => {
+                            let i = host.index();
+                            match status[i] {
+                                RankStatus::BlockedRecv {
+                                    socket: s,
+                                    timer: Some(tok),
+                                } if tok == token => {
+                                    debug_assert_eq!(Some(s), socket);
+                                    world.cancel_recv(host, s);
+                                    local[i] = local[i].max(now);
+                                    status[i] = RankStatus::Running;
+                                    respond(&shareds[i], Response::Datagram(None), local[i]);
+                                }
+                                _ => {
+                                    // Stale timer for an already-completed
+                                    // receive; lazily cancelled.
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    match abort {
+        None => {
+            // Let in-flight traffic settle so drop/delivery counters are
+            // complete (e.g. datagrams still crossing the switch when the
+            // last rank exited).
+            while !matches!(world.step(), StepOutcome::Quiescent) {}
+            Ok((local, world.stats().clone()))
+        }
+        Some(err) => {
+            // Tear down: wake every parked or soon-to-ask rank with Aborted
+            // until all threads have exited (their handles panic, which the
+            // finish guard converts into a Finished marker).
+            let mut done: Vec<bool> = status.iter().map(|s| *s == RankStatus::Done).collect();
+            while !done.iter().all(|d| *d) {
+                for i in 0..n {
+                    if done[i] {
+                        continue;
+                    }
+                    let shared = &shareds[i];
+                    let mut slot = shared.slot.lock();
+                    loop {
+                        match &*slot {
+                            Slot::Finished { .. } => {
+                                done[i] = true;
+                                break;
+                            }
+                            Slot::Requested(_) | Slot::Idle => {
+                                *slot = Slot::Responded(Response::Aborted, local[i]);
+                                shared.to_proc.notify_one();
+                                // Wait for the rank to unwind.
+                                while !matches!(*slot, Slot::Finished { .. }) {
+                                    shared.to_driver.wait(&mut slot);
+                                }
+                                done[i] = true;
+                                break;
+                            }
+                            Slot::Responded(..) => {
+                                // Rank is waking from a previous response;
+                                // wait for its next state.
+                                shared.to_driver.wait(&mut slot);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(err)
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulation error types.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Why a cluster run failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// Every live rank is blocked in a receive and no network event can
+    /// wake any of them — the program under simulation deadlocked.
+    Deadlock {
+        /// Virtual time at which the deadlock was detected.
+        at: SimTime,
+        /// Human-readable description of who is blocked on what.
+        detail: String,
+    },
+    /// A rank's thread panicked.
+    RankPanicked {
+        /// The rank that panicked.
+        rank: usize,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// Virtual time exceeded the configured limit (livelock guard).
+    TimeLimitExceeded {
+        /// The limit that was exceeded.
+        limit: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, detail } => {
+                write!(f, "simulation deadlocked at {at}: {detail}")
+            }
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::TimeLimitExceeded { limit } => {
+                write!(f, "virtual time limit {limit} exceeded (livelock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

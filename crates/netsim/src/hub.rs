@@ -1,0 +1,175 @@
+//! Shared Fast Ethernet hub: one CSMA/CD collision domain.
+//!
+//! A hub is a physical-layer repeater — every frame reaches every station,
+//! and only one transmission can occupy the medium at a time. Stations that
+//! find the medium busy defer (1-persistent CSMA); stations that start
+//! simultaneously collide, jam, and retry after truncated binary exponential
+//! backoff.
+//!
+//! ## Model simplifications (documented deviations)
+//!
+//! Collisions are detected at arbitration instants: whenever the medium
+//! becomes free (or an idle-medium transmission is requested), every station
+//! with a pending frame and an expired backoff contends; two or more
+//! contenders at the same instant collide. The sub-slot-time race where a
+//! second station begins transmitting within one propagation delay of the
+//! first is folded into this same-instant rule. This preserves the
+//! collision behaviour that matters for the paper — synchronized
+//! algorithm steps making several stations transmit at once (its §4
+//! six-process anomaly) — while keeping the simulation deterministic.
+
+use crate::ids::HostId;
+use crate::time::SimTime;
+
+/// Arbitration outcome at a medium-free instant.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Arbitration {
+    /// Nobody wanted the medium.
+    Idle,
+    /// A single station acquired the medium and transmits.
+    Winner(HostId),
+    /// Two or more stations collided.
+    Collision(Vec<HostId>),
+}
+
+/// Hub medium state.
+#[derive(Debug)]
+pub struct Hub {
+    /// Stations (their NICs) waiting for the medium, in request order.
+    waiters: Vec<HostId>,
+    /// The medium is occupied (transmission or jam + inter-frame gap)
+    /// until this instant.
+    pub busy_until: SimTime,
+    /// An `Event::HubArbitrate` is already scheduled for this instant.
+    pub arbitrate_scheduled_at: Option<SimTime>,
+}
+
+impl Hub {
+    /// New idle hub.
+    pub fn new() -> Self {
+        Hub {
+            waiters: Vec::new(),
+            busy_until: SimTime::ZERO,
+            arbitrate_scheduled_at: None,
+        }
+    }
+
+    /// A station requests the medium at time `now`. Returns the instant at
+    /// which an arbitration event must fire, or `None` if one is already
+    /// scheduled early enough to cover this request.
+    pub fn request(&mut self, host: HostId, now: SimTime) -> Option<SimTime> {
+        if !self.waiters.contains(&host) {
+            self.waiters.push(host);
+        }
+        let fire_at = now.max(self.busy_until);
+        match self.arbitrate_scheduled_at {
+            // An arbitration at or after `fire_at` but no later than the
+            // medium-free instant will see this waiter; if the scheduled one
+            // is earlier than we need, it will simply re-schedule itself.
+            Some(t) if t <= fire_at => None,
+            _ => {
+                self.arbitrate_scheduled_at = Some(fire_at);
+                Some(fire_at)
+            }
+        }
+    }
+
+    /// Run arbitration at time `now`. Stations in `waiters` contend; the
+    /// caller handles the outcome (start a transmission, or back everyone
+    /// off). On a collision all contenders are removed from the wait list —
+    /// they re-`request` when their backoff expires.
+    pub fn arbitrate(&mut self, now: SimTime) -> Arbitration {
+        self.arbitrate_scheduled_at = None;
+        if now < self.busy_until {
+            // Stale event (a transmission started after this was scheduled);
+            // the transmission-complete path schedules a fresh arbitration.
+            return Arbitration::Idle;
+        }
+        match self.waiters.len() {
+            0 => Arbitration::Idle,
+            1 => Arbitration::Winner(self.waiters.pop().expect("len checked")),
+            _ => Arbitration::Collision(std::mem::take(&mut self.waiters)),
+        }
+    }
+
+    /// Number of stations waiting for the medium.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if any station is waiting.
+    pub fn has_waiters(&self) -> bool {
+        !self.waiters.is_empty()
+    }
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_requester_wins() {
+        let mut hub = Hub::new();
+        let t = SimTime::from_micros(1);
+        assert_eq!(hub.request(HostId(0), t), Some(t));
+        assert_eq!(hub.arbitrate(t), Arbitration::Winner(HostId(0)));
+        assert!(!hub.has_waiters());
+    }
+
+    #[test]
+    fn simultaneous_requesters_collide() {
+        let mut hub = Hub::new();
+        let t = SimTime::from_micros(1);
+        assert_eq!(hub.request(HostId(0), t), Some(t));
+        // Second request at the same instant: arbitration already scheduled.
+        assert_eq!(hub.request(HostId(1), t), None);
+        match hub.arbitrate(t) {
+            Arbitration::Collision(hosts) => {
+                assert_eq!(hosts, vec![HostId(0), HostId(1)]);
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        assert!(!hub.has_waiters(), "colliders leave the wait list");
+    }
+
+    #[test]
+    fn busy_medium_defers_request() {
+        let mut hub = Hub::new();
+        hub.busy_until = SimTime::from_micros(100);
+        let t = SimTime::from_micros(10);
+        // Arbitration must fire when the medium frees, not now.
+        assert_eq!(hub.request(HostId(2), t), Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn stale_arbitration_is_idle() {
+        let mut hub = Hub::new();
+        let t0 = SimTime::from_micros(1);
+        hub.request(HostId(0), t0);
+        // A transmission claimed the medium after this event was scheduled.
+        hub.busy_until = SimTime::from_micros(50);
+        assert_eq!(hub.arbitrate(t0), Arbitration::Idle);
+        assert!(hub.has_waiters(), "waiter kept for the rescheduled round");
+    }
+
+    #[test]
+    fn duplicate_request_not_double_counted() {
+        let mut hub = Hub::new();
+        let t = SimTime::from_micros(1);
+        hub.request(HostId(0), t);
+        hub.request(HostId(0), t);
+        assert_eq!(hub.waiting(), 1);
+    }
+
+    #[test]
+    fn empty_arbitration_is_idle() {
+        let mut hub = Hub::new();
+        assert_eq!(hub.arbitrate(SimTime::ZERO), Arbitration::Idle);
+    }
+}

@@ -1,0 +1,118 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Everything is a small integer index under the hood, but mixing up a host
+//! id with a port id is exactly the kind of bug a frame-level simulator
+//! produces, so each concept gets its own newtype.
+
+use std::fmt;
+
+/// Identifies a simulated host (one per MPI rank). Also serves as the
+/// host's MAC/IP identity on the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// Identifies an IP multicast group (a class-D address in the real world).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// A UDP port number on a simulated host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UdpPort(pub u16);
+
+/// Index of a socket within one host's socket table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SocketId(pub u32);
+
+/// A physical port on the switch (one per attached host in a star topology).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SwitchPort(pub u32);
+
+impl HostId {
+    /// The index as a usize, for indexing host tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SocketId {
+    /// The index as a usize, for indexing socket tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SwitchPort {
+    /// The index as a usize, for indexing port tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the class-D address the group would occupy.
+        write!(
+            f,
+            "239.0.{}.{}",
+            (self.0 >> 8) & 0xff,
+            self.0 & 0xff
+        )
+    }
+}
+
+impl fmt::Display for UdpPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// Destination of a UDP datagram: a specific host or a multicast group.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DatagramDst {
+    /// Point-to-point delivery to one host.
+    Unicast(HostId),
+    /// Delivery to every member of a multicast group.
+    Multicast(GroupId),
+}
+
+impl fmt::Display for DatagramDst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagramDst::Unicast(h) => write!(f, "{h}"),
+            DatagramDst::Multicast(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(HostId(3).to_string(), "host3");
+        assert_eq!(GroupId(0x0102).to_string(), "239.0.1.2");
+        assert_eq!(UdpPort(5000).to_string(), ":5000");
+        assert_eq!(DatagramDst::Unicast(HostId(1)).to_string(), "host1");
+        assert_eq!(
+            DatagramDst::Multicast(GroupId(5)).to_string(),
+            "239.0.0.5"
+        );
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(HostId(7).index(), 7);
+        assert_eq!(SocketId(2).index(), 2);
+        assert_eq!(SwitchPort(4).index(), 4);
+    }
+}

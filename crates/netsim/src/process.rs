@@ -1,0 +1,282 @@
+//! The blocking API a simulated MPI process programs against.
+//!
+//! Each rank runs on its own OS thread and talks to the simulation driver
+//! through a one-slot mailbox: the rank posts a [`Request`] and parks until
+//! the driver hands back a [`Response`] stamped with the rank's new local
+//! virtual time. The same collective-operation code therefore runs
+//! unmodified here and on a real UDP transport — only the handle differs.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::frame::Datagram;
+use crate::ids::{DatagramDst, GroupId, SocketId, UdpPort};
+use crate::time::{SimDuration, SimTime};
+
+/// What a rank asks the driver to do.
+#[derive(Debug)]
+pub enum Request {
+    /// Bind a UDP socket (free: setup-time configuration).
+    Bind {
+        /// Local port to bind.
+        port: UdpPort,
+    },
+    /// Join a multicast group without IGMP traffic (setup-time).
+    JoinQuiet {
+        /// Socket joining.
+        socket: SocketId,
+        /// Group to join.
+        group: GroupId,
+    },
+    /// Leave a multicast group (setup-time).
+    LeaveQuiet {
+        /// Socket leaving.
+        socket: SocketId,
+        /// Group to leave.
+        group: GroupId,
+    },
+    /// Join a multicast group with an IGMP membership report on the wire.
+    JoinIgmp {
+        /// Socket joining.
+        socket: SocketId,
+        /// Group to join.
+        group: GroupId,
+    },
+    /// Send a datagram (charges `o_send` + per-byte copy, or the cheap
+    /// `o_kernel_send` when `kernel` is set).
+    Send {
+        /// Sending socket.
+        socket: SocketId,
+        /// Destination host or group.
+        dst: DatagramDst,
+        /// Destination port.
+        dst_port: UdpPort,
+        /// Payload bytes.
+        payload: Vec<u8>,
+        /// Kernel-generated traffic (modelled TCP acks): cheaper host
+        /// cost, separate statistics.
+        kernel: bool,
+    },
+    /// Receive the next datagram on `socket`, optionally with a timeout.
+    Recv {
+        /// Receiving socket.
+        socket: SocketId,
+        /// Give up after this long, if set.
+        timeout: Option<SimDuration>,
+    },
+    /// Advance the local clock by `dur` (models application computation).
+    Compute {
+        /// Amount of virtual work.
+        dur: SimDuration,
+    },
+    /// Read the local clock.
+    Now,
+}
+
+/// What the driver answers.
+#[derive(Debug)]
+pub enum Response {
+    /// Socket created.
+    Socket(SocketId),
+    /// Operation done (joins, sends, compute); the timestamp is the rank's
+    /// new local time.
+    Done,
+    /// Receive completed: `None` means the timeout elapsed first.
+    Datagram(Option<Arc<Datagram>>),
+    /// Current local time answer for [`Request::Now`].
+    Time,
+    /// The run is being torn down (another rank panicked, deadlock, limit);
+    /// the handle raises a panic to unwind this rank.
+    Aborted,
+}
+
+/// Mailbox slot state.
+#[derive(Debug)]
+pub enum Slot {
+    /// Rank is executing application code.
+    Idle,
+    /// Rank posted a request and is parked.
+    Requested(Request),
+    /// Driver posted a response; rank is waking.
+    Responded(Response, SimTime),
+    /// Rank's closure returned (or unwound).
+    Finished {
+        /// True when the rank exited by panic.
+        panicked: bool,
+    },
+}
+
+/// Shared mailbox between one rank thread and the driver.
+pub struct ProcShared {
+    /// The slot.
+    pub slot: Mutex<Slot>,
+    /// Signalled by the rank when it posts a request or finishes.
+    pub to_driver: Condvar,
+    /// Signalled by the driver when it posts a response.
+    pub to_proc: Condvar,
+}
+
+impl ProcShared {
+    /// Fresh mailbox in the idle state.
+    pub fn new() -> Self {
+        ProcShared {
+            slot: Mutex::new(Slot::Idle),
+            to_driver: Condvar::new(),
+            to_proc: Condvar::new(),
+        }
+    }
+}
+
+impl Default for ProcShared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Marker payload used to unwind a rank thread during simulation teardown.
+pub struct AbortUnwind;
+
+/// Handle a rank uses to interact with the simulated network.
+///
+/// All methods block the calling thread until the driver has advanced
+/// virtual time far enough to answer. Local time is monotone per rank and
+/// reflects LogP-style software overheads charged by the driver.
+pub struct SimProcess {
+    pub(crate) shared: Arc<ProcShared>,
+    pub(crate) rank: usize,
+    pub(crate) local_time: SimTime,
+}
+
+impl SimProcess {
+    pub(crate) fn new(shared: Arc<ProcShared>, rank: usize, start: SimTime) -> Self {
+        SimProcess {
+            shared,
+            rank,
+            local_time: start,
+        }
+    }
+
+    /// This process's rank (== its simulated host id).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Local virtual time.
+    pub fn now(&self) -> SimTime {
+        self.local_time
+    }
+
+    fn call(&mut self, req: Request) -> Response {
+        let mut slot = self.shared.slot.lock();
+        debug_assert!(matches!(*slot, Slot::Idle), "re-entrant request");
+        *slot = Slot::Requested(req);
+        self.shared.to_driver.notify_one();
+        loop {
+            match &*slot {
+                Slot::Responded(..) => break,
+                _ => self.shared.to_proc.wait(&mut slot),
+            }
+        }
+        let Slot::Responded(resp, at) = std::mem::replace(&mut *slot, Slot::Idle) else {
+            unreachable!("checked above");
+        };
+        drop(slot);
+        self.local_time = at;
+        if matches!(resp, Response::Aborted) {
+            // Unwind without invoking the panic hook (this is controlled
+            // teardown, not a bug in the rank's code).
+            std::panic::resume_unwind(Box::new(AbortUnwind));
+        }
+        resp
+    }
+
+    /// Bind a UDP socket on this host (setup-time, free).
+    pub fn bind(&mut self, port: u16) -> SocketId {
+        match self.call(Request::Bind { port: UdpPort(port) }) {
+            Response::Socket(s) => s,
+            other => unreachable!("bad response {other:?}"),
+        }
+    }
+
+    /// Join `group` on `socket` without emitting IGMP traffic (models a
+    /// group set up before the timed region, like an MPI communicator).
+    pub fn join_group(&mut self, socket: SocketId, group: GroupId) {
+        self.call(Request::JoinQuiet { socket, group });
+    }
+
+    /// Leave `group` on `socket` (setup-time, free).
+    pub fn leave_group(&mut self, socket: SocketId, group: GroupId) {
+        self.call(Request::LeaveQuiet { socket, group });
+    }
+
+    /// Join `group` emitting a real IGMP membership report (costs a send
+    /// overhead and a frame on the wire).
+    pub fn join_group_igmp(&mut self, socket: SocketId, group: GroupId) {
+        self.call(Request::JoinIgmp { socket, group });
+    }
+
+    /// Send `payload` as one UDP datagram to a unicast or multicast
+    /// destination. Returns once the host stack has accepted the datagram
+    /// (UDP semantics — no delivery guarantee).
+    pub fn send(&mut self, socket: SocketId, dst: DatagramDst, dst_port: u16, payload: Vec<u8>) {
+        self.call(Request::Send {
+            socket,
+            dst,
+            dst_port: UdpPort(dst_port),
+            payload,
+            kernel: false,
+        });
+    }
+
+    /// Send kernel-generated traffic (e.g. a modelled TCP ack): the frame
+    /// occupies the wire like any other, but the host is charged only the
+    /// small `o_kernel_send` cost, and statistics count it separately.
+    pub fn send_kernel(
+        &mut self,
+        socket: SocketId,
+        dst: DatagramDst,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) {
+        self.call(Request::Send {
+            socket,
+            dst,
+            dst_port: UdpPort(dst_port),
+            payload,
+            kernel: true,
+        });
+    }
+
+    /// Block until a datagram arrives on `socket`.
+    pub fn recv(&mut self, socket: SocketId) -> Arc<Datagram> {
+        match self.call(Request::Recv {
+            socket,
+            timeout: None,
+        }) {
+            Response::Datagram(Some(d)) => d,
+            Response::Datagram(None) => unreachable!("no timeout was set"),
+            other => unreachable!("bad response {other:?}"),
+        }
+    }
+
+    /// Block until a datagram arrives or `timeout` elapses.
+    pub fn recv_timeout(
+        &mut self,
+        socket: SocketId,
+        timeout: SimDuration,
+    ) -> Option<Arc<Datagram>> {
+        match self.call(Request::Recv {
+            socket,
+            timeout: Some(timeout),
+        }) {
+            Response::Datagram(d) => d,
+            other => unreachable!("bad response {other:?}"),
+        }
+    }
+
+    /// Model `dur` of local computation.
+    pub fn compute(&mut self, dur: SimDuration) {
+        self.call(Request::Compute { dur });
+    }
+}

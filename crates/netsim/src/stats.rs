@@ -1,0 +1,137 @@
+//! Counters collected while a simulation runs.
+//!
+//! The integration tests use these to check the paper's analytic frame
+//! counts (e.g. a binomial broadcast of M bytes to N processes must put
+//! exactly `(floor(M/T)+1)(N-1)` data frames on the wire), and the benches
+//! report them alongside latency.
+
+use crate::ids::HostId;
+
+/// Classification of a transmitted frame for statistics purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Fragment of an application datagram.
+    Data,
+    /// Fragment of kernel-generated (TCP-ack-model) traffic.
+    KernelAck,
+    /// Control traffic (IGMP).
+    Control,
+}
+
+/// Aggregate network statistics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Frames that finished transmission onto the fabric.
+    pub frames_sent: u64,
+    /// Of those, frames carrying application datagram fragments (vs IGMP
+    /// control or kernel-generated ack traffic).
+    pub data_frames_sent: u64,
+    /// Frames carrying kernel-generated (ack-model) traffic.
+    pub ack_frames_sent: u64,
+    /// Kernel-generated datagrams injected (TCP-ack model).
+    pub kernel_datagrams_sent: u64,
+    /// Total MAC-payload bytes of sent frames (before min-frame padding).
+    pub payload_bytes_sent: u64,
+    /// Total wire-occupancy bytes including preamble/header/padding/FCS.
+    pub wire_bytes_sent: u64,
+    /// CSMA/CD collision events on the hub.
+    pub collisions: u64,
+    /// Frames abandoned after exceeding the attempt limit.
+    pub excessive_collision_drops: u64,
+    /// Frames dropped by a full switch output-port buffer.
+    pub switch_buffer_drops: u64,
+    /// Datagrams dropped because a socket receive buffer was full.
+    pub rx_buffer_drops: u64,
+    /// Datagrams dropped by strict posted-receive mode (no receive posted).
+    pub unposted_recv_drops: u64,
+    /// Frames lost to injected wire-level loss.
+    pub injected_frame_losses: u64,
+    /// Datagrams fully reassembled and delivered to a socket.
+    pub datagrams_delivered: u64,
+    /// Datagram sends issued by hosts.
+    pub datagrams_sent: u64,
+    /// Per-host frame transmit counts (indexed by host id).
+    pub frames_per_host: Vec<u64>,
+}
+
+impl NetStats {
+    /// Create stats sized for `n` hosts.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            frames_per_host: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Record a completed frame transmission. `class` distinguishes
+    /// application data, kernel ack-model traffic, and control frames.
+    pub fn record_frame_sent(
+        &mut self,
+        src: HostId,
+        mac_payload: u32,
+        wire_bytes: u64,
+        class: FrameClass,
+    ) {
+        self.frames_sent += 1;
+        match class {
+            FrameClass::Data => self.data_frames_sent += 1,
+            FrameClass::KernelAck => self.ack_frames_sent += 1,
+            FrameClass::Control => {}
+        }
+        self.payload_bytes_sent += mac_payload as u64;
+        self.wire_bytes_sent += wire_bytes;
+        if let Some(c) = self.frames_per_host.get_mut(src.index()) {
+            *c += 1;
+        }
+    }
+
+    /// Sum of all drop counters — nonzero means the run lost traffic.
+    pub fn total_drops(&self) -> u64 {
+        self.excessive_collision_drops
+            + self.switch_buffer_drops
+            + self.rx_buffer_drops
+            + self.unposted_recv_drops
+            + self.injected_frame_losses
+    }
+
+    /// Reset every counter (e.g. after a warm-up phase), keeping sizing.
+    pub fn reset(&mut self) {
+        let n = self.frames_per_host.len();
+        *self = NetStats::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_reset() {
+        let mut s = NetStats::new(3);
+        s.record_frame_sent(HostId(1), 100, 144, FrameClass::Data);
+        s.record_frame_sent(HostId(1), 46, 72, FrameClass::Control);
+        s.record_frame_sent(HostId(1), 46, 72, FrameClass::KernelAck);
+        assert_eq!(s.frames_sent, 3);
+        assert_eq!(s.data_frames_sent, 1);
+        assert_eq!(s.ack_frames_sent, 1);
+        assert_eq!(s.payload_bytes_sent, 192);
+        assert_eq!(s.wire_bytes_sent, 288);
+        assert_eq!(s.frames_per_host, vec![0, 3, 0]);
+        s.reset();
+        assert_eq!(s.frames_sent, 0);
+        assert_eq!(s.frames_per_host, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn total_drops_sums_all_causes() {
+        let s = NetStats {
+            excessive_collision_drops: 1,
+            switch_buffer_drops: 2,
+            rx_buffer_drops: 3,
+            unposted_recv_drops: 4,
+            injected_frame_losses: 5,
+            ..NetStats::new(1)
+        };
+        assert_eq!(s.total_drops(), 15);
+    }
+}

@@ -1,0 +1,284 @@
+//! Store-and-forward Fast Ethernet switch with IGMP snooping.
+//!
+//! Star topology: each host hangs off its own full-duplex port, so there
+//! are no collisions — the costs are serialization on two links, the
+//! switch's forwarding latency, and queueing at contended output ports.
+//! A managed switch (like the paper's HP ProCurve) snoops IGMP membership
+//! reports and forwards multicast frames only to member ports; an unmanaged
+//! one floods them everywhere.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::frame::Frame;
+use crate::ids::{GroupId, HostId, SwitchPort};
+
+/// One output port's transmit queue.
+#[derive(Debug, Default)]
+pub struct OutPort {
+    /// Frames waiting for the wire.
+    queue: VecDeque<Frame>,
+    /// Queued MAC-payload bytes (for tail-drop accounting).
+    queued_bytes: usize,
+    /// True while serializing a frame onto the host link.
+    pub tx_busy: bool,
+}
+
+/// Switch state.
+#[derive(Debug)]
+pub struct Switch {
+    /// MAC learning table: station -> port.
+    mac_table: HashMap<HostId, SwitchPort>,
+    /// IGMP-snooped group membership: group -> member ports.
+    group_table: HashMap<GroupId, HashSet<SwitchPort>>,
+    /// Output ports, indexed by port number (one per host).
+    ports: Vec<OutPort>,
+    /// Tail-drop threshold per port, in queued MAC-payload bytes.
+    buffer_limit: usize,
+    /// Flood multicast instead of snooping.
+    flood_multicast: bool,
+}
+
+/// Where a frame must be forwarded.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ForwardSet {
+    /// Output ports to enqueue on.
+    pub ports: Vec<SwitchPort>,
+}
+
+impl Switch {
+    /// A switch with `n_ports` host ports.
+    pub fn new(n_ports: usize, buffer_limit: usize, flood_multicast: bool) -> Self {
+        Switch {
+            mac_table: HashMap::new(),
+            group_table: HashMap::new(),
+            ports: (0..n_ports).map(|_| OutPort::default()).collect(),
+            buffer_limit,
+            flood_multicast,
+        }
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Learn that `host` is reachable via `port` (called on every ingress).
+    pub fn learn(&mut self, host: HostId, port: SwitchPort) {
+        self.mac_table.insert(host, port);
+    }
+
+    /// Record an IGMP join snooped on `port`.
+    pub fn snoop_join(&mut self, group: GroupId, port: SwitchPort) {
+        self.group_table.entry(group).or_default().insert(port);
+    }
+
+    /// Record an IGMP leave snooped on `port`.
+    pub fn snoop_leave(&mut self, group: GroupId, port: SwitchPort) {
+        if let Some(members) = self.group_table.get_mut(&group) {
+            members.remove(&port);
+            if members.is_empty() {
+                self.group_table.remove(&group);
+            }
+        }
+    }
+
+    /// Ports currently subscribed to `group`.
+    pub fn group_members(&self, group: GroupId) -> Vec<SwitchPort> {
+        let mut v: Vec<SwitchPort> = self
+            .group_table
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Compute the forwarding set for `frame` arriving on `in_port`.
+    pub fn forward_set(&self, frame: &Frame, in_port: SwitchPort) -> ForwardSet {
+        use crate::frame::FrameDst::*;
+        let all_but_ingress = || -> Vec<SwitchPort> {
+            (0..self.ports.len() as u32)
+                .map(SwitchPort)
+                .filter(|p| *p != in_port)
+                .collect()
+        };
+        let ports = match frame.dst {
+            Unicast(host) => match self.mac_table.get(&host) {
+                Some(&p) if p != in_port => vec![p],
+                Some(_) => vec![], // destined back out the ingress port: filter
+                None => all_but_ingress(), // unknown unicast: flood
+            },
+            Multicast(group) => {
+                if self.flood_multicast {
+                    all_but_ingress()
+                } else {
+                    self.group_members(group)
+                        .into_iter()
+                        .filter(|p| *p != in_port)
+                        .collect()
+                }
+            }
+            Broadcast => all_but_ingress(),
+        };
+        ForwardSet { ports }
+    }
+
+    /// Try to enqueue `frame` on `port`. Returns `Ok(kick)` where `kick` is
+    /// true if the port was idle (caller starts transmission), or
+    /// `Err(TailDrop)` when the port buffer is full.
+    #[allow(clippy::result_unit_err)]
+    pub fn enqueue(&mut self, port: SwitchPort, frame: Frame) -> Result<bool, ()> {
+        let p = &mut self.ports[port.index()];
+        let fbytes = frame.mac_payload as usize;
+        if p.queued_bytes + fbytes > self.buffer_limit {
+            return Err(());
+        }
+        p.queue.push_back(frame);
+        p.queued_bytes += fbytes;
+        Ok(!p.tx_busy)
+    }
+
+    /// Dequeue the next frame on `port` for transmission.
+    pub fn dequeue(&mut self, port: SwitchPort) -> Option<Frame> {
+        let p = &mut self.ports[port.index()];
+        let f = p.queue.pop_front()?;
+        p.queued_bytes -= f.mac_payload as usize;
+        Some(f)
+    }
+
+    /// Mutable access to a port (for the busy flag).
+    pub fn port_mut(&mut self, port: SwitchPort) -> &mut OutPort {
+        &mut self.ports[port.index()]
+    }
+
+    /// Frames queued on `port` (excluding any in flight).
+    pub fn queue_len(&self, port: SwitchPort) -> usize {
+        self.ports[port.index()].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameDst, FramePayload};
+
+    fn frame(dst: FrameDst, bytes: u32) -> Frame {
+        Frame {
+            id: 0,
+            src: HostId(0),
+            dst,
+            mac_payload: bytes,
+            payload: FramePayload::IgmpJoin { group: GroupId(0) },
+        }
+    }
+
+    #[test]
+    fn known_unicast_goes_to_learned_port() {
+        let mut sw = Switch::new(4, 1 << 20, false);
+        sw.learn(HostId(2), SwitchPort(2));
+        let f = frame(FrameDst::Unicast(HostId(2)), 100);
+        assert_eq!(
+            sw.forward_set(&f, SwitchPort(0)).ports,
+            vec![SwitchPort(2)]
+        );
+    }
+
+    #[test]
+    fn unknown_unicast_floods() {
+        let sw = Switch::new(3, 1 << 20, false);
+        let f = frame(FrameDst::Unicast(HostId(9)), 100);
+        assert_eq!(
+            sw.forward_set(&f, SwitchPort(1)).ports,
+            vec![SwitchPort(0), SwitchPort(2)]
+        );
+    }
+
+    #[test]
+    fn unicast_back_out_ingress_is_filtered() {
+        let mut sw = Switch::new(2, 1 << 20, false);
+        sw.learn(HostId(1), SwitchPort(1));
+        let f = frame(FrameDst::Unicast(HostId(1)), 64);
+        assert!(sw.forward_set(&f, SwitchPort(1)).ports.is_empty());
+    }
+
+    #[test]
+    fn multicast_follows_snooped_membership() {
+        let mut sw = Switch::new(4, 1 << 20, false);
+        sw.snoop_join(GroupId(5), SwitchPort(1));
+        sw.snoop_join(GroupId(5), SwitchPort(3));
+        let f = frame(FrameDst::Multicast(GroupId(5)), 100);
+        // Ingress port 1 is excluded even though it is a member.
+        assert_eq!(
+            sw.forward_set(&f, SwitchPort(1)).ports,
+            vec![SwitchPort(3)]
+        );
+        assert_eq!(
+            sw.forward_set(&f, SwitchPort(0)).ports,
+            vec![SwitchPort(1), SwitchPort(3)]
+        );
+    }
+
+    #[test]
+    fn multicast_without_members_goes_nowhere() {
+        let sw = Switch::new(4, 1 << 20, false);
+        let f = frame(FrameDst::Multicast(GroupId(9)), 100);
+        assert!(sw.forward_set(&f, SwitchPort(0)).ports.is_empty());
+    }
+
+    #[test]
+    fn unmanaged_switch_floods_multicast() {
+        let sw = Switch::new(3, 1 << 20, true);
+        let f = frame(FrameDst::Multicast(GroupId(9)), 100);
+        assert_eq!(
+            sw.forward_set(&f, SwitchPort(2)).ports,
+            vec![SwitchPort(0), SwitchPort(1)]
+        );
+    }
+
+    #[test]
+    fn leave_removes_membership() {
+        let mut sw = Switch::new(4, 1 << 20, false);
+        sw.snoop_join(GroupId(1), SwitchPort(0));
+        sw.snoop_join(GroupId(1), SwitchPort(2));
+        sw.snoop_leave(GroupId(1), SwitchPort(0));
+        assert_eq!(sw.group_members(GroupId(1)), vec![SwitchPort(2)]);
+        sw.snoop_leave(GroupId(1), SwitchPort(2));
+        assert!(sw.group_members(GroupId(1)).is_empty());
+    }
+
+    #[test]
+    fn tail_drop_when_buffer_full() {
+        let mut sw = Switch::new(1, 150, false);
+        let f = || frame(FrameDst::Broadcast, 100);
+        assert_eq!(sw.enqueue(SwitchPort(0), f()), Ok(true));
+        assert!(sw.enqueue(SwitchPort(0), f()).is_err(), "over limit");
+        // Draining frees space.
+        assert!(sw.dequeue(SwitchPort(0)).is_some());
+        assert_eq!(sw.enqueue(SwitchPort(0), f()), Ok(true));
+    }
+
+    #[test]
+    fn enqueue_reports_busy_port() {
+        let mut sw = Switch::new(1, 1 << 20, false);
+        sw.port_mut(SwitchPort(0)).tx_busy = true;
+        assert_eq!(
+            sw.enqueue(SwitchPort(0), frame(FrameDst::Broadcast, 64)),
+            Ok(false)
+        );
+        assert_eq!(sw.queue_len(SwitchPort(0)), 1);
+    }
+
+    #[test]
+    fn dequeue_fifo_order() {
+        let mut sw = Switch::new(1, 1 << 20, false);
+        for i in 0..3 {
+            let mut f = frame(FrameDst::Broadcast, 64);
+            f.id = i;
+            sw.enqueue(SwitchPort(0), f).unwrap();
+        }
+        assert_eq!(sw.dequeue(SwitchPort(0)).unwrap().id, 0);
+        assert_eq!(sw.dequeue(SwitchPort(0)).unwrap().id, 1);
+        assert_eq!(sw.dequeue(SwitchPort(0)).unwrap().id, 2);
+        assert!(sw.dequeue(SwitchPort(0)).is_none());
+    }
+}

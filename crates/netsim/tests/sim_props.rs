@@ -1,0 +1,129 @@
+//! Property-based tests of simulator invariants: determinism, datagram
+//! conservation, clock monotonicity, and collision-free switching — for
+//! randomized cluster sizes, payloads, fabrics, and seeds.
+
+use proptest::prelude::*;
+
+use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId};
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::time::SimDuration;
+
+const PORT: u16 = 6000;
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    n: usize,
+    hub: bool,
+    seed: u64,
+    skew_us: u64,
+    payloads: Vec<u16>, // one message per non-root rank, sent to rank 0
+    mcast_bytes: u16,   // rank 0 multicasts back
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..8, any::<bool>(), any::<u64>(), 0u64..200)
+        .prop_flat_map(|(n, hub, seed, skew_us)| {
+            (
+                proptest::collection::vec(0u16..5000, n - 1),
+                0u16..5000,
+            )
+                .prop_map(move |(payloads, mcast_bytes)| Scenario {
+                    n,
+                    hub,
+                    seed,
+                    skew_us,
+                    payloads,
+                    mcast_bytes,
+                })
+        })
+}
+
+/// All-to-root gather followed by a multicast release; returns the report.
+fn run(s: &Scenario) -> mmpi_netsim::RunReport<usize> {
+    let params = if s.hub {
+        NetParams::fast_ethernet_hub()
+    } else {
+        NetParams::fast_ethernet_switch()
+    };
+    let payloads = s.payloads.clone();
+    let mcast_bytes = s.mcast_bytes as usize;
+    let n = s.n;
+    let cfg = ClusterConfig::new(n, params, s.seed)
+        .with_start_skew(SimDuration::from_micros(s.skew_us));
+    run_cluster(&cfg, move |mut p| {
+        let sock = p.bind(PORT);
+        p.join_group(sock, GroupId(1));
+        if p.rank() == 0 {
+            let mut got = 0;
+            for _ in 1..n {
+                let d = p.recv(sock);
+                got += d.payload.len();
+            }
+            p.send(
+                sock,
+                DatagramDst::Multicast(GroupId(1)),
+                PORT,
+                vec![7; mcast_bytes],
+            );
+            got
+        } else {
+            let mine = payloads[p.rank() - 1] as usize;
+            p.send(sock, DatagramDst::Unicast(HostId(0)), PORT, vec![1; mine]);
+            p.recv(sock).payload.len()
+        }
+    })
+    .expect("scenario must not deadlock")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn determinism_and_conservation(s in scenario()) {
+        let a = run(&s);
+        let b = run(&s);
+
+        // Bit-identical replay.
+        prop_assert_eq!(&a.completion_times, &b.completion_times);
+        prop_assert_eq!(a.stats.frames_sent, b.stats.frames_sent);
+        prop_assert_eq!(a.stats.collisions, b.stats.collisions);
+
+        // Every rank got what it should.
+        let expected_root: usize = s.payloads.iter().map(|&p| p as usize).sum();
+        prop_assert_eq!(a.outputs[0], expected_root);
+        for r in 1..s.n {
+            prop_assert_eq!(a.outputs[r], s.mcast_bytes as usize);
+        }
+
+        // Datagram conservation: the (N-1) unicasts are delivered once
+        // each; the multicast fans out to N-1 receivers. Nothing dropped.
+        prop_assert_eq!(a.stats.total_drops(), 0);
+        prop_assert_eq!(
+            a.stats.datagrams_delivered,
+            (s.n as u64 - 1) * 2
+        );
+
+        // Clocks are plausible: completion at/after the skewed start.
+        let makespan = a.makespan;
+        for t in &a.completion_times {
+            prop_assert!(*t <= makespan);
+        }
+
+        // The switch never collides; the hub may.
+        if !s.hub {
+            prop_assert_eq!(a.stats.collisions, 0);
+        }
+    }
+
+    #[test]
+    fn seed_changes_only_timing_not_outcomes(s in scenario()) {
+        let mut s2 = s.clone();
+        s2.seed = s.seed.wrapping_add(1);
+        let a = run(&s);
+        let b = run(&s2);
+        // Different seed: payload outcomes identical, drops still zero.
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(b.stats.total_drops(), 0);
+    }
+}

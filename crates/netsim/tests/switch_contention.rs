@@ -1,0 +1,141 @@
+//! Switch queueing behaviour under contention: output-port FIFOs, fan-in
+//! serialization, and runtime membership changes.
+
+use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId};
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::time::SimDuration;
+
+const PORT: u16 = 7000;
+
+#[test]
+fn fanin_to_one_port_serializes_with_queueing_delay() {
+    // Four senders fire a 1400-byte datagram at rank 0 simultaneously.
+    // The switch's output port to rank 0 must serialize them: the last
+    // arrival is ~3 frame times after the first (plus noise), not
+    // concurrent with it.
+    let cfg = ClusterConfig::new(5, NetParams::fast_ethernet_switch(), 1);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        if p.rank() == 0 {
+            let mut arrivals = Vec::new();
+            for _ in 0..4 {
+                p.recv(s);
+                arrivals.push(p.now().as_micros_f64());
+            }
+            arrivals
+        } else {
+            p.send(s, DatagramDst::Unicast(HostId(0)), PORT, vec![1; 1400]);
+            Vec::new()
+        }
+    })
+    .unwrap();
+    let arrivals = &report.outputs[0];
+    // One 1428-byte MAC payload frame is ~118 us of wire time. Receiver
+    // software overhead (o_recv = 50 us) dominates per-message spacing
+    // only if larger; spacing must be at least the frame time.
+    let spacing: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    for (i, gap) in spacing.iter().enumerate() {
+        assert!(
+            *gap > 80.0,
+            "arrival {i}->{} spaced {gap:.1} us: frames must serialize",
+            i + 1
+        );
+    }
+    assert_eq!(report.stats.collisions, 0, "no CSMA/CD on the switch");
+}
+
+#[test]
+fn queueing_delay_grows_with_burst_depth() {
+    // One sender, back-to-back datagrams to one receiver: the k-th
+    // datagram's delivery time grows linearly (port FIFO drains in order).
+    let cfg = ClusterConfig::new(2, NetParams::fast_ethernet_switch(), 2);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        if p.rank() == 0 {
+            for i in 0..6u8 {
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![i; 1400]);
+            }
+            Vec::new()
+        } else {
+            (0..6)
+                .map(|_| {
+                    let d = p.recv(s);
+                    (d.payload[0], p.now().as_micros_f64())
+                })
+                .collect::<Vec<_>>()
+        }
+    })
+    .unwrap();
+    let deliveries = &report.outputs[1];
+    // FIFO order preserved.
+    for (i, (tagbyte, _)) in deliveries.iter().enumerate() {
+        assert_eq!(*tagbyte, i as u8, "switch must preserve FIFO order");
+    }
+    assert_eq!(report.stats.total_drops(), 0);
+}
+
+#[test]
+fn runtime_leave_stops_multicast_delivery() {
+    let cfg = ClusterConfig::new(3, NetParams::fast_ethernet_switch(), 3);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        let g = GroupId(9);
+        p.join_group(s, g);
+        match p.rank() {
+            0 => {
+                // Wait for rank 2's leave notification, then multicast.
+                p.recv(s);
+                p.send(s, DatagramDst::Multicast(g), PORT, vec![7; 200]);
+                true
+            }
+            1 => p.recv(s).payload == vec![7; 200],
+            _ => {
+                // Leave the group, tell the root, and verify silence.
+                p.leave_group(s, g);
+                p.send(s, DatagramDst::Unicast(HostId(0)), PORT, vec![]);
+                p.recv_timeout(s, SimDuration::from_millis(10)).is_none()
+            }
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs, vec![true, true, true]);
+}
+
+#[test]
+fn switch_port_buffer_overflow_drops_frames_not_whole_run() {
+    // A tiny port buffer under a many-to-one burst: some frames tail-drop
+    // at the switch, and the receiver still gets the survivors.
+    let mut params = NetParams::fast_ethernet_switch();
+    if let mmpi_netsim::params::FabricKind::Switch(sp) = &mut params.fabric {
+        sp.port_buffer_bytes = 4 * 1500;
+    }
+    let cfg = ClusterConfig::new(6, params, 4);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        if p.rank() == 0 {
+            p.compute(SimDuration::from_millis(50));
+            let mut got = 0;
+            while p.recv_timeout(s, SimDuration::from_millis(5)).is_some() {
+                got += 1;
+            }
+            got
+        } else {
+            for _ in 0..4 {
+                p.send(s, DatagramDst::Unicast(HostId(0)), PORT, vec![0; 1400]);
+            }
+            0
+        }
+    })
+    .unwrap();
+    assert!(
+        report.stats.switch_buffer_drops > 0,
+        "the burst should overflow the 6 kB port buffer"
+    );
+    // Conservation: delivered + switch drops == 20 datagrams (one frame
+    // each, so frames == datagrams here).
+    assert_eq!(
+        report.outputs[0] as u64 + report.stats.switch_buffer_drops,
+        20
+    );
+}

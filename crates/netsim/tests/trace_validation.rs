@@ -1,0 +1,142 @@
+//! Use the event trace to validate fine-grained model behaviour that the
+//! aggregate statistics cannot distinguish.
+
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId};
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::time::SimTime;
+use mmpi_netsim::trace::TraceEvent;
+use mmpi_netsim::world::{StepOutcome, World};
+
+const PORT: mmpi_netsim::UdpPort = mmpi_netsim::UdpPort(4000);
+
+fn drain(world: &mut World) {
+    while !matches!(world.step(), StepOutcome::Quiescent) {}
+}
+
+#[test]
+fn hub_collision_appears_in_trace_with_both_stations() {
+    let mut world = World::new(3, NetParams::fast_ethernet_hub(), 1);
+    world.enable_trace(128);
+    for h in 0..3u32 {
+        world.bind(HostId(h), PORT);
+    }
+    // Hosts 1 and 2 inject at the same instant: guaranteed collision.
+    let at = SimTime::from_micros(10);
+    for h in [1u32, 2] {
+        world.send_datagram(
+            HostId(h),
+            PORT,
+            DatagramDst::Unicast(HostId(0)),
+            PORT,
+            vec![h as u8; 100],
+            at,
+            false,
+            false,
+        );
+    }
+    drain(&mut world);
+    let trace = world.trace().unwrap();
+    let collisions: Vec<_> = trace
+        .records()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Collision { stations } => Some(stations.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!collisions.is_empty(), "simultaneous senders must collide");
+    assert_eq!(collisions[0], vec![HostId(1), HostId(2)]);
+    // Both frames still arrive: one TxStart + one Delivered per frame.
+    assert_eq!(trace.count(|e| matches!(e, TraceEvent::TxStart { .. })), 2);
+    assert_eq!(trace.count(|e| matches!(e, TraceEvent::Delivered { .. })), 2);
+    assert_eq!(world.stats().datagrams_delivered, 2);
+}
+
+#[test]
+fn hub_backoff_separates_retransmissions_in_time() {
+    let mut world = World::new(2, NetParams::fast_ethernet_hub(), 7);
+    world.enable_trace(256);
+    for h in 0..2u32 {
+        world.bind(HostId(h), PORT);
+    }
+    // Both ends of a 2-host hub transmit simultaneously.
+    let at = SimTime::from_micros(5);
+    world.send_datagram(HostId(0), PORT, DatagramDst::Unicast(HostId(1)), PORT, vec![0; 50], at, false, false);
+    world.send_datagram(HostId(1), PORT, DatagramDst::Unicast(HostId(0)), PORT, vec![1; 50], at, false, false);
+    drain(&mut world);
+    let trace = world.trace().unwrap();
+    let tx_times: Vec<SimTime> = trace
+        .records()
+        .filter_map(|(t, e)| matches!(e, TraceEvent::TxStart { .. }).then_some(*t))
+        .collect();
+    assert_eq!(tx_times.len(), 2);
+    // After the collision+jam, the two transmissions must be separated by
+    // at least the first frame's wire time (they won the medium serially).
+    let gap = tx_times[1] - tx_times[0];
+    let slot = world.params().ethernet.slot_time;
+    assert!(
+        gap >= world.params().ethernet.frame_wire_time(78),
+        "serialized transmissions, gap {gap}"
+    );
+    // And the first transmission cannot precede the jam's end.
+    assert!(tx_times[0] >= at + slot, "first tx after jam, got {}", tx_times[0]);
+}
+
+#[test]
+fn strict_mode_drop_reason_is_traced() {
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.strict_posted_recv = true;
+    let mut world = World::new(2, params, 3);
+    world.enable_trace(64);
+    let s0 = world.bind(HostId(0), PORT);
+    let s1 = world.bind(HostId(1), PORT);
+    world.join_group_quiet(HostId(0), s0, GroupId(1));
+    world.join_group_quiet(HostId(1), s1, GroupId(1));
+    world.send_datagram(
+        HostId(0),
+        PORT,
+        DatagramDst::Multicast(GroupId(1)),
+        PORT,
+        vec![9; 100],
+        SimTime::from_micros(1),
+        false,
+        false,
+    );
+    drain(&mut world);
+    let trace = world.trace().unwrap();
+    assert_eq!(
+        trace.count(|e| matches!(
+            e,
+            TraceEvent::Drop {
+                reason: "no posted receive (strict multicast)",
+                ..
+            }
+        )),
+        1
+    );
+    let rendered = trace.to_string();
+    assert!(rendered.contains("DROP"));
+}
+
+#[test]
+fn trace_capacity_is_respected_under_load() {
+    let mut world = World::new(2, NetParams::fast_ethernet_switch(), 5);
+    world.enable_trace(8);
+    world.bind(HostId(0), PORT);
+    world.bind(HostId(1), PORT);
+    for i in 0..20u64 {
+        world.send_datagram(
+            HostId(0),
+            PORT,
+            DatagramDst::Unicast(HostId(1)),
+            PORT,
+            vec![0; 10],
+            SimTime::from_micros(1 + i * 200),
+            false,
+            false,
+        );
+    }
+    drain(&mut world);
+    let trace = world.trace().unwrap();
+    assert_eq!(trace.len(), 8);
+    assert!(trace.evicted() > 0);
+}

@@ -1,0 +1,284 @@
+//! The blocking communication interface the collective algorithms
+//! program against.
+//!
+//! [`Comm`] deliberately mirrors what the paper's implementation had
+//! underneath MPICH's ADI: unreliable unicast/multicast datagram sends,
+//! blocking tag-matched receives, and nothing else. One implementation of
+//! a collective algorithm runs over:
+//!
+//! * [`crate::sim::SimComm`] — the deterministic network simulator,
+//! * [`crate::udp::UdpComm`] — real UDP + IP multicast sockets,
+//! * [`crate::mem::MemComm`] — in-memory channels (fast correctness tests).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use mmpi_wire::{Assembler, Message, MsgKind, WireError};
+
+/// Message tag. Collectives encode (operation, phase, round) in it.
+pub type Tag = u32;
+
+/// Tag for fire-and-forget traffic (modelled TCP acks): receivers drop
+/// these at ingest instead of buffering them for matching.
+pub const FIRE_AND_FORGET_TAG: Tag = u32::MAX;
+
+/// Blocking, tag-matching datagram communicator over an unreliable fabric.
+///
+/// Semantics shared by all implementations:
+///
+/// * `send`/`mcast` are *unreliable*: they return once the datagram has
+///   left the sender; delivery is not guaranteed (multicast to a receiver
+///   that is not ready can be lost — the paper's core hazard).
+/// * Receives match on `(source rank, tag)` within this communicator's
+///   context; non-matching messages are buffered, never dropped.
+/// * Per-sender sequence numbers deduplicate retransmitted multicasts.
+pub trait Comm {
+    /// This process's rank in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+    /// Context id separating concurrent communicators.
+    fn context(&self) -> u32;
+
+    /// Unicast `payload` to `dst`. Returns the sequence number used.
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64;
+
+    /// Multicast `payload` to every rank of the communicator's group
+    /// (excluding self). Returns the sequence number used.
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64;
+
+    /// Retransmit a multicast with an explicit (previously used) sequence
+    /// number, so receivers that already have it deduplicate.
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64);
+
+    /// Block until a message from `src` with `tag` arrives.
+    fn recv_match(&mut self, src: usize, tag: Tag) -> Message;
+
+    /// Like [`Comm::recv_match`] with a timeout.
+    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message>;
+
+    /// Block until a message with `tag` arrives from any source.
+    fn recv_any(&mut self, tag: Tag) -> Message;
+
+    /// Like [`Comm::recv_any`] with a timeout.
+    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message>;
+
+    /// Model `d` of local computation (advances virtual time in the
+    /// simulator; sleeps on real transports).
+    fn compute(&mut self, d: Duration);
+
+    /// Model the kernel-generated TCP acknowledgement traffic the
+    /// MPICH-over-TCP baseline would put on the wire: `count` minimum-size
+    /// frames to `dst`, cheap for the host, never matched by receivers.
+    /// A no-op except on the simulator (real transports genuinely run
+    /// over UDP; there is no TCP to model).
+    fn tcp_ack_model(&mut self, dst: usize, count: u32) {
+        let _ = (dst, count);
+    }
+
+    /// Convenience: unicast data.
+    fn send(&mut self, dst: usize, tag: Tag, payload: &[u8]) -> u64 {
+        self.send_kind(dst, tag, MsgKind::Data, payload)
+    }
+
+    /// Convenience: multicast data.
+    fn mcast(&mut self, tag: Tag, payload: &[u8]) -> u64 {
+        self.mcast_kind(tag, MsgKind::Data, payload)
+    }
+
+    /// Convenience: receive and return just the payload.
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        self.recv_match(src, tag).payload
+    }
+}
+
+/// Receive-side bookkeeping shared by every transport: reassembly,
+/// context filtering, duplicate suppression, and tag matching.
+#[derive(Debug)]
+pub struct Inbox {
+    context: u32,
+    rank: u32,
+    unmatched: VecDeque<Message>,
+    assembler: Assembler,
+    seen: HashMap<u32, HashSet<u64>>,
+    dropped_duplicates: u64,
+    dropped_foreign: u64,
+}
+
+impl Inbox {
+    /// Inbox for a communicator with the given context, owned by `rank`.
+    pub fn new(context: u32, rank: u32) -> Self {
+        Inbox {
+            context,
+            rank,
+            unmatched: VecDeque::new(),
+            assembler: Assembler::new(),
+            seen: HashMap::new(),
+            dropped_duplicates: 0,
+            dropped_foreign: 0,
+        }
+    }
+
+    /// Feed raw datagram bytes (from a socket). Malformed datagrams are
+    /// rejected — an unreliable network may hand us anything.
+    pub fn ingest_datagram(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.ingest_datagram_via(bytes, false)
+    }
+
+    /// Like [`Inbox::ingest_datagram`] but marking the datagram as having
+    /// arrived on a multicast socket (enables the self-echo filter).
+    pub fn ingest_datagram_via(
+        &mut self,
+        bytes: &[u8],
+        via_multicast: bool,
+    ) -> Result<(), WireError> {
+        match self.assembler.feed(bytes) {
+            Ok(Some(m)) => {
+                self.ingest_message(m, via_multicast);
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Feed an already-decoded message. `via_multicast` enables the
+    /// self-echo filter (a sender's own multicast looping back).
+    pub fn ingest_message(&mut self, m: Message, via_multicast: bool) {
+        if m.context != self.context {
+            self.dropped_foreign += 1;
+            return;
+        }
+        if via_multicast && m.src_rank == self.rank {
+            return; // our own multicast echoed back
+        }
+        if m.tag == FIRE_AND_FORGET_TAG {
+            return; // modelled ack traffic: wire-visible, never matched
+        }
+        let seqs = self.seen.entry(m.src_rank).or_default();
+        if !seqs.insert(m.seq) {
+            self.dropped_duplicates += 1;
+            return;
+        }
+        self.unmatched.push_back(m);
+    }
+
+    /// Take the oldest buffered message matching `(src, tag)`; `src =
+    /// None` matches any source.
+    pub fn take_match(&mut self, src: Option<usize>, tag: Tag) -> Option<Message> {
+        let pos = self.unmatched.iter().position(|m| {
+            m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true)
+        })?;
+        self.unmatched.remove(pos)
+    }
+
+    /// Messages buffered but not yet matched.
+    pub fn backlog(&self) -> usize {
+        self.unmatched.len()
+    }
+
+    /// Retransmitted duplicates suppressed so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dropped_duplicates
+    }
+
+    /// Messages for other communicators dropped so far.
+    pub fn foreign_dropped(&self) -> u64 {
+        self.dropped_foreign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmpi_wire::split_message;
+
+    fn msg(src: u32, tag: u32, seq: u64, payload: &[u8]) -> Message {
+        Message {
+            kind: MsgKind::Data,
+            context: 0,
+            src_rank: src,
+            tag,
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn matches_by_src_and_tag_in_fifo_order() {
+        let mut inbox = Inbox::new(0, 9);
+        inbox.ingest_message(msg(1, 5, 0, b"a"), false);
+        inbox.ingest_message(msg(2, 5, 0, b"b"), false);
+        inbox.ingest_message(msg(1, 5, 1, b"c"), false);
+        assert_eq!(inbox.take_match(Some(1), 5).unwrap().payload, b"a");
+        assert_eq!(inbox.take_match(Some(1), 5).unwrap().payload, b"c");
+        assert!(inbox.take_match(Some(1), 5).is_none());
+        assert_eq!(inbox.take_match(Some(2), 5).unwrap().payload, b"b");
+    }
+
+    #[test]
+    fn any_source_matching() {
+        let mut inbox = Inbox::new(0, 9);
+        inbox.ingest_message(msg(3, 7, 0, b"x"), false);
+        inbox.ingest_message(msg(1, 7, 0, b"y"), false);
+        assert_eq!(inbox.take_match(None, 7).unwrap().src_rank, 3);
+        assert_eq!(inbox.take_match(None, 7).unwrap().src_rank, 1);
+    }
+
+    #[test]
+    fn wrong_tag_stays_buffered() {
+        let mut inbox = Inbox::new(0, 9);
+        inbox.ingest_message(msg(1, 5, 0, b"a"), false);
+        assert!(inbox.take_match(Some(1), 6).is_none());
+        assert_eq!(inbox.backlog(), 1);
+    }
+
+    #[test]
+    fn duplicates_suppressed_by_seq() {
+        let mut inbox = Inbox::new(0, 9);
+        inbox.ingest_message(msg(1, 5, 42, b"a"), false);
+        inbox.ingest_message(msg(1, 5, 42, b"a"), false);
+        assert_eq!(inbox.backlog(), 1);
+        assert_eq!(inbox.duplicates_dropped(), 1);
+        // Same seq from a different sender is a different message.
+        inbox.ingest_message(msg(2, 5, 42, b"b"), false);
+        assert_eq!(inbox.backlog(), 2);
+    }
+
+    #[test]
+    fn foreign_context_dropped() {
+        let mut inbox = Inbox::new(3, 9);
+        let mut m = msg(1, 5, 0, b"a");
+        m.context = 4;
+        inbox.ingest_message(m, false);
+        assert_eq!(inbox.backlog(), 0);
+        assert_eq!(inbox.foreign_dropped(), 1);
+    }
+
+    #[test]
+    fn multicast_self_echo_filtered() {
+        let mut inbox = Inbox::new(0, 2);
+        inbox.ingest_message(msg(2, 5, 0, b"me"), true);
+        assert_eq!(inbox.backlog(), 0);
+        inbox.ingest_message(msg(2, 5, 0, b"me"), false);
+        assert_eq!(inbox.backlog(), 1, "unicast self-send is legitimate");
+    }
+
+    #[test]
+    fn ingest_datagram_assembles_chunks() {
+        let mut inbox = Inbox::new(0, 9);
+        let payload = vec![7u8; 5000];
+        for d in split_message(MsgKind::Data, 0, 1, 2, 3, &payload, 2000) {
+            inbox.ingest_datagram(&d).unwrap();
+        }
+        let m = inbox.take_match(Some(1), 2).unwrap();
+        assert_eq!(m.payload, payload);
+    }
+
+    #[test]
+    fn ingest_datagram_rejects_garbage() {
+        let mut inbox = Inbox::new(0, 9);
+        assert!(inbox.ingest_datagram(&[1, 2, 3]).is_err());
+        assert_eq!(inbox.backlog(), 0);
+    }
+}

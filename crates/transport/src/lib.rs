@@ -1,0 +1,27 @@
+//! # mmpi-transport — communication backends for `mcast-mpi`
+//!
+//! Defines the blocking, tag-matching [`Comm`] interface the collective
+//! algorithms in `mmpi-core` are written against, with three
+//! interchangeable implementations:
+//!
+//! | backend | fabric | use |
+//! |---|---|---|
+//! | [`sim::SimComm`] | `mmpi-netsim` virtual hub/switch | figure regeneration, deterministic experiments |
+//! | [`udp::UdpComm`] | real UDP + IP multicast (socket2) | live runs on loopback or a LAN |
+//! | [`mem::MemComm`] | in-process channels | fast algorithm correctness tests |
+//!
+//! All three speak the `mmpi-wire` datagram format and share the
+//! [`comm::Inbox`] matching/dedup logic, so a collective validated on one
+//! backend behaves identically on the others (up to timing).
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod mem;
+pub mod sim;
+pub mod udp;
+
+pub use comm::{Comm, Inbox, Tag, FIRE_AND_FORGET_TAG};
+pub use mem::{run_mem_world, MemComm};
+pub use sim::{run_sim_world, SimComm, SimCommConfig};
+pub use udp::{multicast_available, run_udp_world, UdpComm, UdpConfig};

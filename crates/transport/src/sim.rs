@@ -1,0 +1,242 @@
+//! [`Comm`] over the deterministic network simulator.
+//!
+//! [`SimComm`] wraps a [`SimProcess`] (one rank's handle into the
+//! co-simulation) and speaks the `mmpi-wire` format over simulated UDP.
+//! [`run_sim_world`] is the entry point the experiment harness and the
+//! benches use: it runs an SPMD closure over a fully-configured simulated
+//! cluster where every rank has already bound its socket and joined the
+//! communicator's multicast group.
+
+use std::time::Duration;
+
+use mmpi_netsim::cluster::{run_cluster, ClusterConfig, RunReport};
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId, SocketId};
+use mmpi_netsim::process::SimProcess;
+use mmpi_netsim::time::SimDuration;
+use mmpi_netsim::SimError;
+use mmpi_wire::{split_message, Message, MsgKind};
+
+use crate::comm::{Comm, Inbox, Tag};
+
+/// How a [`SimComm`] maps onto the simulated network.
+#[derive(Clone, Debug)]
+pub struct SimCommConfig {
+    /// UDP port every rank binds (unicast and multicast).
+    pub port: u16,
+    /// The communicator's multicast group.
+    pub group: GroupId,
+    /// Communicator context id.
+    pub context: u32,
+    /// Maximum wire-message chunk per datagram. The default keeps whole
+    /// paper-sized messages in one datagram and lets the simulated IP
+    /// layer do the fragmenting, as the paper's implementation did.
+    pub max_chunk: usize,
+}
+
+impl Default for SimCommConfig {
+    fn default() -> Self {
+        SimCommConfig {
+            port: 5000,
+            group: GroupId(1),
+            context: 0,
+            max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
+        }
+    }
+}
+
+/// A communicator bound to one simulated rank.
+pub struct SimComm {
+    proc: SimProcess,
+    socket: SocketId,
+    cfg: SimCommConfig,
+    n: usize,
+    next_seq: u64,
+    inbox: Inbox,
+}
+
+impl SimComm {
+    /// Wrap a rank's process handle: binds the port and joins the group.
+    pub fn new(mut proc: SimProcess, n: usize, cfg: SimCommConfig) -> Self {
+        let socket = proc.bind(cfg.port);
+        proc.join_group(socket, cfg.group);
+        let rank = proc.rank() as u32;
+        let inbox = Inbox::new(cfg.context, rank);
+        SimComm {
+            proc,
+            socket,
+            cfg,
+            n,
+            next_seq: 0,
+            inbox,
+        }
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn transmit(&mut self, dst: DatagramDst, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        let datagrams = split_message(
+            kind,
+            self.cfg.context,
+            self.proc.rank() as u32,
+            tag,
+            seq,
+            payload,
+            self.cfg.max_chunk,
+        );
+        for d in datagrams {
+            self.proc.send(self.socket, dst, self.cfg.port, d);
+        }
+    }
+
+    /// Local virtual time (for measurement).
+    pub fn now(&self) -> mmpi_netsim::SimTime {
+        self.proc.now()
+    }
+
+    /// The underlying process handle (advanced uses: extra sockets).
+    pub fn process_mut(&mut self) -> &mut SimProcess {
+        &mut self.proc
+    }
+}
+
+impl Comm for SimComm {
+    fn rank(&self) -> usize {
+        self.proc.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn context(&self) -> u32 {
+        self.cfg.context
+    }
+
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        assert!(dst < self.n, "rank {dst} out of range");
+        let seq = self.fresh_seq();
+        self.transmit(
+            DatagramDst::Unicast(HostId(dst as u32)),
+            tag,
+            kind,
+            payload,
+            seq,
+        );
+        seq
+    }
+
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        let seq = self.fresh_seq();
+        let group = self.cfg.group;
+        self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
+        seq
+    }
+
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        let group = self.cfg.group;
+        self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
+    }
+
+    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
+        loop {
+            if let Some(m) = self.inbox.take_match(Some(src), tag) {
+                return m;
+            }
+            let dg = self.proc.recv(self.socket);
+            let _ = self.inbox.ingest_datagram(&dg.payload);
+        }
+    }
+
+    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
+        let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
+        loop {
+            if let Some(m) = self.inbox.take_match(Some(src), tag) {
+                return Some(m);
+            }
+            let remaining = deadline.saturating_since(self.proc.now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let dg = self.proc.recv_timeout(self.socket, remaining)?;
+            let _ = self.inbox.ingest_datagram(&dg.payload);
+        }
+    }
+
+    fn recv_any(&mut self, tag: Tag) -> Message {
+        loop {
+            if let Some(m) = self.inbox.take_match(None, tag) {
+                return m;
+            }
+            let dg = self.proc.recv(self.socket);
+            let _ = self.inbox.ingest_datagram(&dg.payload);
+        }
+    }
+
+    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
+        let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
+        loop {
+            if let Some(m) = self.inbox.take_match(None, tag) {
+                return Some(m);
+            }
+            let remaining = deadline.saturating_since(self.proc.now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let dg = self.proc.recv_timeout(self.socket, remaining)?;
+            let _ = self.inbox.ingest_datagram(&dg.payload);
+        }
+    }
+
+    fn compute(&mut self, d: Duration) {
+        self.proc
+            .compute(SimDuration::from_nanos(d.as_nanos() as u64));
+    }
+
+    fn tcp_ack_model(&mut self, dst: usize, count: u32) {
+        assert!(dst < self.n, "rank {dst} out of range");
+        let rank = self.proc.rank() as u32;
+        for _ in 0..count {
+            let seq = self.fresh_seq();
+            let dgs = split_message(
+                MsgKind::Ack,
+                self.cfg.context,
+                rank,
+                crate::comm::FIRE_AND_FORGET_TAG,
+                seq,
+                &[],
+                self.cfg.max_chunk,
+            );
+            for d in dgs {
+                self.proc.send_kernel(
+                    self.socket,
+                    DatagramDst::Unicast(HostId(dst as u32)),
+                    self.cfg.port,
+                    d,
+                );
+            }
+        }
+    }
+}
+
+/// Run an SPMD closure over a simulated cluster, one [`SimComm`] per rank.
+///
+/// Deterministic for fixed `(closure, cluster config, comm config)`.
+pub fn run_sim_world<F, R>(
+    cluster: &ClusterConfig,
+    comm_cfg: &SimCommConfig,
+    f: F,
+) -> Result<RunReport<R>, SimError>
+where
+    F: Fn(SimComm) -> R + Sync,
+    R: Send,
+{
+    let n = cluster.n;
+    run_cluster(cluster, move |proc| {
+        let comm = SimComm::new(proc, n, comm_cfg.clone());
+        f(comm)
+    })
+}

@@ -1,0 +1,331 @@
+//! [`Comm`] over real UDP and IP multicast sockets.
+//!
+//! This is the paper's actual data path: unicast UDP for scout messages
+//! and one IP multicast send for the payload. Each rank owns
+//!
+//! * a point-to-point socket bound to `base_port + rank`, and
+//! * a multicast socket bound to the shared group port with
+//!   `SO_REUSEADDR`/`SO_REUSEPORT` set (the reason this crate needs
+//!   `socket2` — std cannot set them before binding), joined to the
+//!   communicator's class-D group.
+//!
+//! Ranks may be threads on one machine (the default: everything on the
+//! loopback interface with `IP_MULTICAST_LOOP` enabled) or processes on a
+//! LAN (set `iface`/`peers` accordingly).
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use mmpi_wire::{split_message, Message, MsgKind};
+use socket2::{Domain, Protocol, Socket, Type};
+
+use crate::comm::{Comm, Inbox, Tag};
+
+/// Addressing plan for a UDP world.
+#[derive(Clone, Debug)]
+pub struct UdpConfig {
+    /// Rank `i` binds its point-to-point socket to `base_port + i`.
+    pub base_port: u16,
+    /// Multicast group address (class D).
+    pub mcast_addr: Ipv4Addr,
+    /// Port the whole group shares for multicast traffic.
+    pub mcast_port: u16,
+    /// Local interface address (loopback by default).
+    pub iface: Ipv4Addr,
+    /// Per-rank host addresses; defaults to `iface` for every rank
+    /// (threads on one machine). Index = rank.
+    pub peers: Option<Vec<Ipv4Addr>>,
+    /// Communicator context id.
+    pub context: u32,
+    /// Maximum wire chunk per datagram.
+    pub max_chunk: usize,
+}
+
+impl UdpConfig {
+    /// A loopback world rooted at `base_port` (multicast on
+    /// `base_port - 1`).
+    pub fn loopback(base_port: u16) -> Self {
+        UdpConfig {
+            base_port,
+            mcast_addr: Ipv4Addr::new(239, 255, 77, 77),
+            mcast_port: base_port - 1,
+            iface: Ipv4Addr::LOCALHOST,
+            peers: None,
+            context: 0,
+            max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
+        }
+    }
+
+    fn peer_addr(&self, rank: usize) -> SocketAddrV4 {
+        let ip = self
+            .peers
+            .as_ref()
+            .map(|p| p[rank])
+            .unwrap_or(self.iface);
+        SocketAddrV4::new(ip, self.base_port + rank as u16)
+    }
+}
+
+/// A communicator over real UDP/IP-multicast sockets.
+pub struct UdpComm {
+    rank: usize,
+    n: usize,
+    cfg: UdpConfig,
+    /// Used for all sends (unicast and multicast).
+    tx: UdpSocket,
+    inbox: Inbox,
+    next_seq: u64,
+    rx: Receiver<(Vec<u8>, bool)>,
+    stop: Arc<AtomicBool>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn reader_thread(
+    sock: UdpSocket,
+    via_mcast: bool,
+    out: Sender<(Vec<u8>, bool)>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut buf = vec![0u8; 65_536];
+        while !stop.load(Ordering::Relaxed) {
+            match sock.recv_from(&mut buf) {
+                Ok((len, _from)) => {
+                    if out.send((buf[..len].to_vec(), via_mcast)).is_err() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+impl UdpComm {
+    /// Create the endpoint for `rank` of an `n`-rank world.
+    pub fn new(rank: usize, n: usize, cfg: UdpConfig) -> io::Result<Self> {
+        assert!(rank < n);
+        // Point-to-point socket: also the sending socket for multicast.
+        let p2p = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP))?;
+        p2p.set_reuse_address(true)?;
+        let p2p_addr = SocketAddrV4::new(cfg.iface, cfg.base_port + rank as u16);
+        p2p.bind(&SocketAddr::V4(p2p_addr).into())?;
+        p2p.set_multicast_if_v4(&cfg.iface)?;
+        p2p.set_multicast_loop_v4(true)?;
+        let p2p: UdpSocket = p2p.into();
+
+        // Multicast receive socket: every rank binds the same port.
+        let mc = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP))?;
+        mc.set_reuse_address(true)?;
+        #[cfg(unix)]
+        mc.set_reuse_port(true)?;
+        let mc_addr = SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, cfg.mcast_port);
+        mc.bind(&SocketAddr::V4(mc_addr).into())?;
+        mc.join_multicast_v4(&cfg.mcast_addr, &cfg.iface)?;
+        let mc: UdpSocket = mc.into();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx_chan, rx_chan) = bounded(4096);
+        let p2p_reader = p2p.try_clone()?;
+        p2p_reader.set_read_timeout(Some(Duration::from_millis(50)))?;
+        mc.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let readers = vec![
+            reader_thread(p2p_reader, false, tx_chan.clone(), Arc::clone(&stop)),
+            reader_thread(mc, true, tx_chan, Arc::clone(&stop)),
+        ];
+
+        Ok(UdpComm {
+            rank,
+            n,
+            inbox: Inbox::new(cfg.context, rank as u32),
+            cfg,
+            tx: p2p,
+            next_seq: 0,
+            rx: rx_chan,
+            stop,
+            readers,
+        })
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn transmit(&self, to: SocketAddrV4, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        for d in split_message(
+            kind,
+            self.cfg.context,
+            self.rank as u32,
+            tag,
+            seq,
+            payload,
+            self.cfg.max_chunk,
+        ) {
+            // UDP semantics: errors (e.g. peer gone) lose the datagram.
+            let _ = self.tx.send_to(&d, to);
+        }
+    }
+
+    fn pump_one(&mut self, timeout: Option<Duration>) -> bool {
+        let item = match timeout {
+            None => self.rx.recv().ok(),
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(x) => Some(x),
+                Err(RecvTimeoutError::Timeout) => return false,
+                Err(RecvTimeoutError::Disconnected) => None,
+            },
+        };
+        let Some((bytes, via_mcast)) = item else {
+            panic!("UDP reader threads died");
+        };
+        // Malformed datagrams (stray traffic on our ports) are ignored.
+        let _ = self.inbox.ingest_datagram_via(&bytes, via_mcast);
+        true
+    }
+}
+
+impl Drop for UdpComm {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Comm for UdpComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn context(&self) -> u32 {
+        self.cfg.context
+    }
+
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        assert!(dst < self.n, "rank {dst} out of range");
+        let seq = self.fresh_seq();
+        self.transmit(self.cfg.peer_addr(dst), tag, kind, payload, seq);
+        seq
+    }
+
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+        let seq = self.fresh_seq();
+        let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
+        self.transmit(to, tag, kind, payload, seq);
+        seq
+    }
+
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
+        self.transmit(to, tag, kind, payload, seq);
+    }
+
+    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
+        loop {
+            if let Some(m) = self.inbox.take_match(Some(src), tag) {
+                return m;
+            }
+            self.pump_one(None);
+        }
+    }
+
+    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.inbox.take_match(Some(src), tag) {
+                return Some(m);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
+                return self.inbox.take_match(Some(src), tag);
+            }
+        }
+    }
+
+    fn recv_any(&mut self, tag: Tag) -> Message {
+        loop {
+            if let Some(m) = self.inbox.take_match(None, tag) {
+                return m;
+            }
+            self.pump_one(None);
+        }
+    }
+
+    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.inbox.take_match(None, tag) {
+                return Some(m);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
+                return self.inbox.take_match(None, tag);
+            }
+        }
+    }
+
+    fn compute(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Build all `n` endpoints (so binds race-freely precede any traffic) and
+/// run an SPMD closure with one thread per rank.
+pub fn run_udp_world<F, R>(n: usize, cfg: &UdpConfig, f: F) -> io::Result<Vec<R>>
+where
+    F: Fn(UdpComm) -> R + Sync,
+    R: Send,
+{
+    let mut comms = Vec::with_capacity(n);
+    for rank in 0..n {
+        comms.push(UdpComm::new(rank, n, cfg.clone())?);
+    }
+    let f = &f;
+    Ok(std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| scope.spawn(move || f(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    }))
+}
+
+/// Quick probe: does IP multicast work in this environment (kernel,
+/// container, CI)? Used by tests and examples to skip gracefully.
+pub fn multicast_available(base_port: u16) -> bool {
+    let cfg = UdpConfig::loopback(base_port);
+    let probe = std::panic::catch_unwind(|| {
+        run_udp_world(2, &cfg, |mut c| {
+            if c.rank() == 0 {
+                c.mcast(1, b"probe");
+                // Wait for the ack so rank 1 has time to receive.
+                c.recv_match_timeout(1, 2, Duration::from_millis(500))
+                    .is_some()
+            } else {
+                let ok = c
+                    .recv_match_timeout(0, 1, Duration::from_millis(500))
+                    .is_some();
+                c.send(0, 2, b"ok");
+                ok
+            }
+        })
+    });
+    matches!(probe, Ok(Ok(results)) if results.iter().all(|r| *r))
+}

@@ -1,0 +1,146 @@
+//! Cross-backend behaviour: the same SPMD code must produce identical
+//! results over the simulator, in-memory channels, and (where the
+//! environment allows) real UDP multicast sockets.
+
+use std::time::Duration;
+
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::NetParams;
+use mmpi_transport::{
+    multicast_available, run_mem_world, run_sim_world, run_udp_world, Comm, SimCommConfig,
+    UdpConfig,
+};
+
+/// The SPMD program used across backends: rank 0 multicasts, everyone
+/// acks, rank 0 reports the ack count.
+fn mcast_and_ack<C: Comm>(mut c: C) -> usize {
+    const TAG_DATA: u32 = 1;
+    const TAG_ACK: u32 = 2;
+    if c.rank() == 0 {
+        c.mcast(TAG_DATA, &[0xAB; 2000]);
+        (1..c.size())
+            .map(|_| c.recv_any(TAG_ACK))
+            .filter(|m| m.payload == b"ok")
+            .count()
+    } else {
+        let m = c.recv_match(0, TAG_DATA);
+        assert_eq!(m.payload, vec![0xAB; 2000]);
+        c.send(0, TAG_ACK, b"ok");
+        0
+    }
+}
+
+#[test]
+fn sim_backend_mcast_and_ack() {
+    for params in [
+        NetParams::fast_ethernet_hub(),
+        NetParams::fast_ethernet_switch(),
+    ] {
+        let cluster = ClusterConfig::new(5, params, 42);
+        let report =
+            run_sim_world(&cluster, &SimCommConfig::default(), mcast_and_ack).unwrap();
+        assert_eq!(report.outputs[0], 4);
+    }
+}
+
+#[test]
+fn mem_backend_mcast_and_ack() {
+    let outputs = run_mem_world(5, 0, mcast_and_ack);
+    assert_eq!(outputs[0], 4);
+}
+
+#[test]
+fn udp_backend_mcast_and_ack() {
+    if !multicast_available(46_000) {
+        eprintln!("skipping: IP multicast unavailable in this environment");
+        return;
+    }
+    let cfg = UdpConfig::loopback(46_100);
+    let outputs = run_udp_world(5, &cfg, mcast_and_ack).unwrap();
+    assert_eq!(outputs[0], 4);
+}
+
+#[test]
+fn udp_unicast_works_even_without_multicast() {
+    // Plain UDP p2p should work everywhere.
+    let cfg = UdpConfig::loopback(46_200);
+    let outputs = run_udp_world(2, &cfg, |mut c| {
+        if c.rank() == 0 {
+            c.send(1, 7, b"hello");
+            c.recv(1, 8)
+        } else {
+            let m = c.recv(0, 7);
+            c.send(0, 8, &m);
+            m
+        }
+    })
+    .unwrap();
+    assert_eq!(outputs[0], b"hello");
+}
+
+#[test]
+fn sim_recv_any_collects_from_all_sources_in_arrival_order() {
+    let cluster = ClusterConfig::new(4, NetParams::fast_ethernet_switch(), 7);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |mut c| {
+        if c.rank() == 0 {
+            let mut seen: Vec<u32> = (1..4).map(|_| c.recv_any(3).src_rank).collect();
+            seen.sort();
+            seen
+        } else {
+            c.send(0, 3, &[c.rank() as u8]);
+            Vec::new()
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs[0], vec![1, 2, 3]);
+}
+
+#[test]
+fn sim_recv_timeout_expires_in_virtual_time() {
+    let cluster = ClusterConfig::new(2, NetParams::fast_ethernet_switch(), 7);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |mut c| {
+        if c.rank() == 1 {
+            let before = c.now();
+            let got = c.recv_match_timeout(0, 9, Duration::from_millis(2));
+            assert!(got.is_none());
+            (c.now() - before).as_nanos()
+        } else {
+            0
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs[1], 2_000_000);
+}
+
+#[test]
+fn sim_messages_larger_than_chunk_limit_assemble() {
+    let comm_cfg = SimCommConfig {
+        max_chunk: 1024,
+        ..Default::default()
+    };
+    let payload: Vec<u8> = (0..50_000usize).map(|i| (i % 251) as u8).collect();
+    let expect = payload.clone();
+    let cluster = ClusterConfig::new(2, NetParams::fast_ethernet_switch(), 3);
+    let report = run_sim_world(&cluster, &comm_cfg, move |mut c| {
+        if c.rank() == 0 {
+            c.send(1, 1, &payload);
+            true
+        } else {
+            c.recv(0, 1) == expect
+        }
+    })
+    .unwrap();
+    assert!(report.outputs[1]);
+}
+
+#[test]
+fn sim_deterministic_across_runs() {
+    let run = || {
+        let cluster = ClusterConfig::new(6, NetParams::fast_ethernet_hub(), 99)
+            .with_start_skew(mmpi_netsim::SimDuration::from_micros(40));
+        run_sim_world(&cluster, &SimCommConfig::default(), mcast_and_ack)
+            .unwrap()
+            .makespan
+    };
+    assert_eq!(run(), run());
+}

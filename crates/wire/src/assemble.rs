@@ -1,0 +1,289 @@
+//! Message chunking and reassembly.
+//!
+//! UDP datagrams are size-limited (~64 kB in practice; configurable here),
+//! so a logical message larger than the limit is split into chunks, each a
+//! self-describing datagram. The [`Assembler`] on the receive side puts
+//! them back together, tolerating duplicates (retransmissions) and
+//! interleaving across senders.
+
+use std::collections::HashMap;
+
+use bytes::BytesMut;
+
+use crate::error::WireError;
+use crate::header::{Header, MsgKind, HEADER_LEN};
+
+/// A fully assembled message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Message role.
+    pub kind: MsgKind,
+    /// Communicator context id.
+    pub context: u32,
+    /// Sender rank.
+    pub src_rank: u32,
+    /// Tag.
+    pub tag: u32,
+    /// Sender-assigned sequence number.
+    pub seq: u64,
+    /// Reassembled payload.
+    pub payload: Vec<u8>,
+}
+
+/// Split a message into datagram byte buffers of at most
+/// `max_chunk_payload` payload bytes each (plus [`HEADER_LEN`]).
+///
+/// Empty messages produce exactly one datagram.
+#[allow(clippy::too_many_arguments)]
+pub fn split_message(
+    kind: MsgKind,
+    context: u32,
+    src_rank: u32,
+    tag: u32,
+    seq: u64,
+    payload: &[u8],
+    max_chunk_payload: usize,
+) -> Vec<Vec<u8>> {
+    assert!(max_chunk_payload > 0, "chunk size must be positive");
+    let msg_len = payload.len() as u32;
+    let chunk_count = payload.len().div_ceil(max_chunk_payload).max(1) as u32;
+    (0..chunk_count)
+        .map(|index| {
+            let start = index as usize * max_chunk_payload;
+            let end = (start + max_chunk_payload).min(payload.len());
+            let chunk = &payload[start..end];
+            let header = Header {
+                kind,
+                context,
+                src_rank,
+                tag,
+                seq,
+                msg_len,
+                chunk_index: index,
+                chunk_count,
+                chunk_len: chunk.len() as u32,
+            };
+            let mut buf = BytesMut::with_capacity(HEADER_LEN + chunk.len());
+            header.encode(&mut buf);
+            buf.extend_from_slice(chunk);
+            buf.to_vec()
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct Partial {
+    kind: MsgKind,
+    context: u32,
+    tag: u32,
+    msg_len: u32,
+    chunk_count: u32,
+    received: Vec<bool>,
+    remaining: u32,
+    buffer: Vec<u8>,
+}
+
+/// Reassembles datagrams into [`Message`]s.
+///
+/// Keyed by `(src_rank, seq)`, so interleaved messages from many senders
+/// assemble independently. Duplicate chunks (e.g. from multicast
+/// retransmission) are ignored.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    partial: HashMap<(u32, u64), Partial>,
+}
+
+impl Assembler {
+    /// New empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one received datagram. Returns a complete message when this
+    /// datagram finishes one.
+    pub fn feed(&mut self, datagram: &[u8]) -> Result<Option<Message>, WireError> {
+        let (h, chunk) = Header::decode(datagram)?;
+        if h.chunk_count == 1 {
+            // Fast path: single-datagram message.
+            return Ok(Some(Message {
+                kind: h.kind,
+                context: h.context,
+                src_rank: h.src_rank,
+                tag: h.tag,
+                seq: h.seq,
+                payload: chunk.to_vec(),
+            }));
+        }
+        let key = (h.src_rank, h.seq);
+        let entry = self.partial.entry(key).or_insert_with(|| Partial {
+            kind: h.kind,
+            context: h.context,
+            tag: h.tag,
+            msg_len: h.msg_len,
+            chunk_count: h.chunk_count,
+            received: vec![false; h.chunk_count as usize],
+            remaining: h.chunk_count,
+            buffer: vec![0; h.msg_len as usize],
+        });
+        if entry.chunk_count != h.chunk_count || entry.msg_len != h.msg_len {
+            return Err(WireError::InconsistentMessage);
+        }
+        let idx = h.chunk_index as usize;
+        if entry.received[idx] {
+            return Ok(None); // duplicate chunk
+        }
+        // All chunks but the last carry the same (maximum) chunk size; the
+        // offset of chunk i is i * first_chunk_size. Derive it from any
+        // non-final chunk, or from msg_len when chunk_count divides evenly.
+        let full_chunk = if h.chunk_index + 1 < h.chunk_count {
+            h.chunk_len as usize
+        } else {
+            // Final chunk: offset = msg_len - chunk_len.
+            let off = h.msg_len as usize - h.chunk_len as usize;
+            if h.chunk_count > 1 && !off.is_multiple_of(h.chunk_count as usize - 1) {
+                return Err(WireError::InconsistentMessage);
+            }
+            entry.received[idx] = true;
+            entry.remaining -= 1;
+            entry.buffer[off..off + chunk.len()].copy_from_slice(chunk);
+            return Ok(self.finish_if_complete(key));
+        };
+        let off = idx * full_chunk;
+        if off + chunk.len() > entry.buffer.len() {
+            return Err(WireError::InconsistentMessage);
+        }
+        entry.received[idx] = true;
+        entry.remaining -= 1;
+        entry.buffer[off..off + chunk.len()].copy_from_slice(chunk);
+        Ok(self.finish_if_complete(key))
+    }
+
+    fn finish_if_complete(&mut self, key: (u32, u64)) -> Option<Message> {
+        if self.partial.get(&key)?.remaining > 0 {
+            return None;
+        }
+        let p = self.partial.remove(&key)?;
+        Some(Message {
+            kind: p.kind,
+            context: p.context,
+            src_rank: key.0,
+            tag: p.tag,
+            seq: key.1,
+            payload: p.buffer,
+        })
+    }
+
+    /// Number of messages still being assembled.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assemble_all(datagrams: &[Vec<u8>]) -> Vec<Message> {
+        let mut asm = Assembler::new();
+        datagrams
+            .iter()
+            .filter_map(|d| asm.feed(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn small_message_single_datagram() {
+        let dgs = split_message(MsgKind::Data, 0, 1, 2, 3, b"hello", 1000);
+        assert_eq!(dgs.len(), 1);
+        let msgs = assemble_all(&dgs);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, b"hello");
+        assert_eq!(msgs[0].src_rank, 1);
+        assert_eq!(msgs[0].tag, 2);
+        assert_eq!(msgs[0].seq, 3);
+    }
+
+    #[test]
+    fn empty_message_still_sends_one_datagram() {
+        let dgs = split_message(MsgKind::Scout, 0, 4, 9, 0, b"", 1000);
+        assert_eq!(dgs.len(), 1);
+        let msgs = assemble_all(&dgs);
+        assert_eq!(msgs[0].payload, b"");
+        assert_eq!(msgs[0].kind, MsgKind::Scout);
+    }
+
+    #[test]
+    fn large_message_chunks_and_reassembles() {
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 7, &payload, 4096);
+        assert_eq!(dgs.len(), 3);
+        let msgs = assemble_all(&dgs);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, payload);
+    }
+
+    #[test]
+    fn out_of_order_chunks_reassemble() {
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 7) as u8).collect();
+        let mut dgs = split_message(MsgKind::Data, 0, 2, 1, 9, &payload, 4000);
+        dgs.reverse();
+        let msgs = assemble_all(&dgs);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, payload);
+    }
+
+    #[test]
+    fn duplicate_chunks_ignored() {
+        let payload = vec![5u8; 8000];
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 1, &payload, 4000);
+        let mut asm = Assembler::new();
+        assert!(asm.feed(&dgs[0]).unwrap().is_none());
+        assert!(asm.feed(&dgs[0]).unwrap().is_none(), "duplicate");
+        let done = asm.feed(&dgs[1]).unwrap().unwrap();
+        assert_eq!(done.payload, payload);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_single_chunk_message_returns_twice() {
+        // Dedup of whole messages is the transport's job (by seq); the
+        // assembler just assembles.
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 1, b"x", 10);
+        let mut asm = Assembler::new();
+        assert!(asm.feed(&dgs[0]).unwrap().is_some());
+        assert!(asm.feed(&dgs[0]).unwrap().is_some());
+    }
+
+    #[test]
+    fn interleaved_senders_assemble_independently() {
+        let p1 = vec![1u8; 6000];
+        let p2 = vec![2u8; 6000];
+        let d1 = split_message(MsgKind::Data, 0, 1, 0, 5, &p1, 4000);
+        let d2 = split_message(MsgKind::Data, 0, 2, 0, 5, &p2, 4000);
+        let mut asm = Assembler::new();
+        assert!(asm.feed(&d1[0]).unwrap().is_none());
+        assert!(asm.feed(&d2[0]).unwrap().is_none());
+        assert_eq!(asm.pending(), 2);
+        let m1 = asm.feed(&d1[1]).unwrap().unwrap();
+        let m2 = asm.feed(&d2[1]).unwrap().unwrap();
+        assert_eq!(m1.payload, p1);
+        assert_eq!(m2.payload, p2);
+    }
+
+    #[test]
+    fn exact_multiple_chunking() {
+        let payload = vec![3u8; 8000];
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
+        assert_eq!(dgs.len(), 2);
+        let msgs = assemble_all(&dgs);
+        assert_eq!(msgs[0].payload, payload);
+    }
+
+    #[test]
+    fn boundary_one_byte_over() {
+        let payload = vec![4u8; 4001];
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
+        assert_eq!(dgs.len(), 2);
+        assert_eq!(assemble_all(&dgs)[0].payload, payload);
+    }
+}

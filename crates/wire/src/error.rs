@@ -1,0 +1,61 @@
+//! Wire decoding errors.
+
+use std::fmt;
+
+/// Why a datagram could not be decoded or assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram shorter than the fixed header.
+    Truncated {
+        /// Bytes actually present.
+        got: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// Magic bytes did not match — not one of our datagrams.
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown message kind discriminant.
+    BadKind(u8),
+    /// Chunk index out of range or zero chunk count.
+    BadChunking {
+        /// Claimed chunk index.
+        index: u32,
+        /// Claimed chunk count.
+        count: u32,
+    },
+    /// Chunk payload length disagrees with the datagram size.
+    LengthMismatch {
+        /// Length claimed in the header.
+        claimed: u32,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// Chunks of one message disagree about the total message length.
+    InconsistentMessage,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { got, need } => {
+                write!(f, "datagram truncated: {got} bytes, need {need}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic 0x{m:04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadChunking { index, count } => {
+                write!(f, "bad chunking: index {index} of {count}")
+            }
+            WireError::LengthMismatch { claimed, actual } => {
+                write!(f, "length mismatch: header claims {claimed}, got {actual}")
+            }
+            WireError::InconsistentMessage => {
+                write!(f, "chunks disagree about message length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,249 @@
+//! The fixed datagram header every `mcast-mpi` UDP payload starts with.
+//!
+//! Layout (little-endian, 40 bytes):
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic       0x4D43 ("MC")
+//!      2     1  version     1
+//!      3     1  kind        MsgKind discriminant
+//!      4     4  context     communicator context id
+//!      8     4  src_rank    sender's rank within the communicator
+//!     12     4  tag         user/collective tag
+//!     16     8  seq         per-sender message sequence number
+//!     24     4  msg_len     total message payload length
+//!     28     4  chunk_index this chunk's index
+//!     32     4  chunk_count total chunks in the message
+//!     36     4  chunk_len   payload bytes in this datagram
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+
+/// Magic bytes identifying an `mcast-mpi` datagram.
+pub const MAGIC: u16 = 0x4D43;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Encoded header size in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// Role of a message in the collective protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Application payload (broadcast data, point-to-point data).
+    Data = 0,
+    /// A scout: the tiny readiness-synchronization message of the paper.
+    Scout = 1,
+    /// Positive acknowledgement (PVM-style reliable multicast).
+    Ack = 2,
+    /// Barrier release (empty multicast that frees all waiters).
+    Release = 3,
+}
+
+impl MsgKind {
+    /// Decode a kind discriminant.
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => MsgKind::Data,
+            1 => MsgKind::Scout,
+            2 => MsgKind::Ack,
+            3 => MsgKind::Release,
+            other => return Err(WireError::BadKind(other)),
+        })
+    }
+}
+
+/// Decoded datagram header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Message role.
+    pub kind: MsgKind,
+    /// Communicator context id (separates concurrent communicators).
+    pub context: u32,
+    /// Sender rank.
+    pub src_rank: u32,
+    /// Tag (collective op + phase, or user tag).
+    pub tag: u32,
+    /// Per-sender sequence number (duplicate detection, reassembly key).
+    pub seq: u64,
+    /// Total message payload length across all chunks.
+    pub msg_len: u32,
+    /// Index of this chunk.
+    pub chunk_index: u32,
+    /// Number of chunks in the message.
+    pub chunk_count: u32,
+    /// Payload bytes carried by this datagram.
+    pub chunk_len: u32,
+}
+
+impl Header {
+    /// Serialize into `buf` (exactly [`HEADER_LEN`] bytes).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.kind as u8);
+        buf.put_u32_le(self.context);
+        buf.put_u32_le(self.src_rank);
+        buf.put_u32_le(self.tag);
+        buf.put_u64_le(self.seq);
+        buf.put_u32_le(self.msg_len);
+        buf.put_u32_le(self.chunk_index);
+        buf.put_u32_le(self.chunk_count);
+        buf.put_u32_le(self.chunk_len);
+    }
+
+    /// Parse and validate a header from the front of `datagram`, returning
+    /// it and the chunk payload that follows.
+    pub fn decode(datagram: &[u8]) -> Result<(Header, &[u8]), WireError> {
+        if datagram.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                got: datagram.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let mut buf = datagram;
+        let magic = buf.get_u16_le();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = MsgKind::from_u8(buf.get_u8())?;
+        let header = Header {
+            kind,
+            context: buf.get_u32_le(),
+            src_rank: buf.get_u32_le(),
+            tag: buf.get_u32_le(),
+            seq: buf.get_u64_le(),
+            msg_len: buf.get_u32_le(),
+            chunk_index: buf.get_u32_le(),
+            chunk_count: buf.get_u32_le(),
+            chunk_len: buf.get_u32_le(),
+        };
+        if header.chunk_count == 0 || header.chunk_index >= header.chunk_count {
+            return Err(WireError::BadChunking {
+                index: header.chunk_index,
+                count: header.chunk_count,
+            });
+        }
+        let payload = &datagram[HEADER_LEN..];
+        if payload.len() != header.chunk_len as usize {
+            return Err(WireError::LengthMismatch {
+                claimed: header.chunk_len,
+                actual: payload.len(),
+            });
+        }
+        Ok((header, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> Header {
+        Header {
+            kind: MsgKind::Scout,
+            context: 7,
+            src_rank: 3,
+            tag: 0xBEEF,
+            seq: 123_456_789,
+            msg_len: 10,
+            chunk_index: 0,
+            chunk_count: 1,
+            chunk_len: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        buf.extend_from_slice(&[9u8; 10]);
+        let (decoded, payload) = Header::decode(&buf).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(payload, &[9u8; 10]);
+    }
+
+    #[test]
+    fn rejects_short_datagram() {
+        assert!(matches!(
+            Header::decode(&[0u8; 5]),
+            Err(WireError::Truncated { got: 5, need: 40 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 10]);
+        buf[0] = 0;
+        assert!(matches!(Header::decode(&buf), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 10]);
+        buf[2] = 99;
+        assert!(matches!(
+            Header::decode(&buf),
+            Err(WireError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 10]);
+        buf[3] = 42;
+        assert!(matches!(Header::decode(&buf), Err(WireError::BadKind(42))));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 4]); // header claims 10
+        assert!(matches!(
+            Header::decode(&buf),
+            Err(WireError::LengthMismatch {
+                claimed: 10,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_chunking() {
+        let mut h = sample();
+        h.chunk_index = 5;
+        h.chunk_count = 2;
+        h.chunk_len = 10;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 10]);
+        assert!(matches!(
+            Header::decode(&buf),
+            Err(WireError::BadChunking { index: 5, count: 2 })
+        ));
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [MsgKind::Data, MsgKind::Scout, MsgKind::Ack, MsgKind::Release] {
+            assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
+        }
+        assert!(MsgKind::from_u8(200).is_err());
+    }
+}

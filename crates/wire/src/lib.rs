@@ -1,0 +1,25 @@
+//! # mmpi-wire — on-the-wire formats for `mcast-mpi`
+//!
+//! Every UDP datagram the collectives exchange — broadcast data, the
+//! paper's scout synchronization messages, acknowledgements, barrier
+//! releases — starts with the fixed [`header::Header`]. Messages larger
+//! than a datagram are chunked by [`assemble::split_message`] and rebuilt
+//! by [`assemble::Assembler`].
+//!
+//! The same bytes travel over the simulated network (`mmpi-netsim`) and
+//! over real UDP multicast sockets (`mmpi-transport`), which is what lets
+//! one implementation of the collective algorithms run on both.
+
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod error;
+pub mod header;
+
+pub use assemble::{split_message, Assembler, Message};
+pub use error::WireError;
+pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
+
+/// Default maximum chunk payload per datagram: comfortably under the
+/// 65,507-byte UDP limit while leaving room for the header.
+pub const DEFAULT_MAX_CHUNK: usize = 60_000;

@@ -1,0 +1,47 @@
+//! Locate the MPICH/multicast crossover point (paper Figs. 7-8).
+//!
+//! ```text
+//! cargo run --release --example bcast_crossover
+//! ```
+//!
+//! Sweeps message sizes on both fabrics and prints where the multicast
+//! broadcast starts beating MPICH — small messages are dominated by the
+//! scout synchronization, large ones by the N-1 redundant copies MPICH
+//! puts on the wire.
+
+use mcast_mpi::cluster::experiment::{run_experiment, Experiment, Fabric, Workload};
+use mcast_mpi::core::BcastAlgorithm;
+
+fn main() {
+    let n = 4;
+    let sizes = [0usize, 250, 500, 750, 1000, 1500, 2000, 3000, 4000, 5000];
+    for fabric in [Fabric::Hub, Fabric::Switch] {
+        println!("\n== {} processes over the {:?} ==", n, fabric);
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>8}",
+            "bytes", "mpich (us)", "mcast (us)", "winner"
+        );
+        let mut crossover = None;
+        for &bytes in &sizes {
+            let run = |algo| {
+                run_experiment(
+                    &Experiment::new(n, fabric, Workload::Bcast { algo, bytes })
+                        .with_trials(9),
+                )
+                .summary
+                .median
+            };
+            let mpich = run(BcastAlgorithm::MpichBinomial);
+            let mcast = run(BcastAlgorithm::McastBinary);
+            let winner = if mcast < mpich { "mcast" } else { "mpich" };
+            if mcast < mpich && crossover.is_none() {
+                crossover = Some(bytes);
+            }
+            println!("{bytes:>8}  {mpich:>12.1}  {mcast:>12.1}  {winner:>8}");
+        }
+        match crossover {
+            Some(x) => println!("-> multicast wins from ~{x} bytes (paper: ~1000 B)"),
+            None => println!("-> no crossover in this range"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A realistic SPMD application on the collective API: distributed Jacobi
+//! iteration for a diagonally dominant linear system.
+//!
+//! ```text
+//! cargo run --release --example jacobi_solver
+//! ```
+//!
+//! Each rank owns a block of rows. Every iteration needs the *whole*
+//! current solution vector on every rank — an `allgather` — and a global
+//! residual norm — an `allreduce`. Both composites ride on the
+//! communicator's broadcast algorithm, so the multicast machinery of the
+//! paper accelerates a real numerical kernel, not just a microbenchmark.
+
+use mcast_mpi::core::Communicator;
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::transport::{run_sim_world, SimCommConfig};
+
+const N: usize = 96; // unknowns
+const RANKS: usize = 6;
+const MAX_ITERS: usize = 200;
+const TOL: f64 = 1e-10;
+
+/// Dense diagonally dominant test matrix A and rhs b (same on all ranks).
+fn problem() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut a = vec![vec![0.0; N]; N];
+    let mut b = vec![0.0; N];
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if i == j {
+                2.0 * N as f64
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            };
+        }
+        b[i] = (i % 7) as f64 + 1.0;
+    }
+    (a, b)
+}
+
+fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Sum-combine for allreduce over f64 buffers.
+#[allow(clippy::ptr_arg)] // must match the `Combine` closure type
+fn combine_f64_sum(acc: &mut Vec<u8>, other: &[u8]) {
+    assert_eq!(acc.len(), other.len());
+    for (a, o) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
+        let s = f64::from_le_bytes(a.try_into().unwrap())
+            + f64::from_le_bytes(o.try_into().unwrap());
+        a.copy_from_slice(&s.to_le_bytes());
+    }
+}
+
+fn main() {
+    for (label, multicast) in [
+        ("multicast collectives", true),
+        ("MPICH p2p collectives", false),
+    ] {
+        let cluster = ClusterConfig::new(RANKS, NetParams::fast_ethernet_switch(), 3);
+        let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+            // `new` configures the paper's multicast algorithms everywhere
+            // (multicast bcast, barrier, allgather); `new_mpich` the
+            // point-to-point baselines.
+            let mut comm = if multicast {
+                Communicator::new(c)
+            } else {
+                Communicator::new_mpich(c)
+            };
+            let (a, b) = problem();
+            let rows = N / RANKS;
+            let my0 = comm.rank() * rows;
+
+            let mut x = vec![0.0f64; N];
+            let mut iters = 0;
+            for _ in 0..MAX_ITERS {
+                iters += 1;
+                // Local sweep over my rows.
+                let mut local = vec![0.0f64; rows];
+                for (li, i) in (my0..my0 + rows).enumerate() {
+                    let mut sigma = 0.0;
+                    for j in 0..N {
+                        if j != i {
+                            sigma += a[i][j] * x[j];
+                        }
+                    }
+                    local[li] = (b[i] - sigma) / a[i][i];
+                }
+                // Exchange blocks: allgather the new solution.
+                let parts = comm.allgather(&f64s_to_bytes(&local));
+                let mut new_x = Vec::with_capacity(N);
+                for p in &parts {
+                    new_x.extend(bytes_to_f64s(p));
+                }
+                // Global squared-residual via allreduce.
+                let local_diff: f64 = (my0..my0 + rows)
+                    .map(|i| (new_x[i] - x[i]).powi(2))
+                    .sum();
+                let total =
+                    comm.allreduce(f64s_to_bytes(&[local_diff]), &combine_f64_sum);
+                x = new_x;
+                if bytes_to_f64s(&total)[0].sqrt() < TOL {
+                    break;
+                }
+            }
+
+            // Verify the solution locally.
+            let max_residual = (0..N)
+                .map(|i| {
+                    let ax: f64 = (0..N).map(|j| a[i][j] * x[j]).sum();
+                    (ax - b[i]).abs()
+                })
+                .fold(0.0f64, f64::max);
+            (iters, max_residual)
+        })
+        .expect("solver run failed");
+
+        let (iters, resid) = report.outputs[0];
+        assert!(resid < 1e-6, "solver failed to converge: residual {resid}");
+        println!(
+            "{label:<24} converged in {iters:3} iterations, |Ax-b|_inf = {resid:.2e}, \
+             virtual time = {:8.1} us, frames = {}",
+            report.makespan.as_micros_f64(),
+            report.stats.frames_sent
+        );
+    }
+    println!(
+        "\nSame numerics, same convergence — the multicast collectives just\n\
+         move the per-iteration allgather/allreduce traffic once instead of\n\
+         once per receiver."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: broadcast and barrier over IP multicast on a simulated
+//! Fast Ethernet cluster.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Runs a 6-process SPMD program twice — once with the paper's
+//! multicast-binary algorithms, once with the MPICH point-to-point
+//! baselines — and prints the virtual-time cost of each collective.
+
+use mcast_mpi::core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::transport::{run_sim_world, SimCommConfig};
+
+fn run(label: &str, bcast: BcastAlgorithm, barrier: BarrierAlgorithm) {
+    let cluster = ClusterConfig::new(6, NetParams::fast_ethernet_switch(), 42);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(bcast).with_barrier(barrier);
+
+        // Rank 0 broadcasts 4 kB to everyone.
+        let mut buf = if comm.rank() == 0 {
+            b"the quick brown fox".repeat(215) // ~4 kB
+        } else {
+            vec![0; 19 * 215]
+        };
+        let t0 = comm.transport().now();
+        comm.bcast(0, &mut buf);
+        let bcast_us = (comm.transport().now() - t0).as_micros_f64();
+        assert!(buf.starts_with(b"the quick brown fox"));
+
+        // Then everyone synchronizes.
+        let t1 = comm.transport().now();
+        comm.barrier();
+        let barrier_us = (comm.transport().now() - t1).as_micros_f64();
+        (bcast_us, barrier_us)
+    })
+    .expect("simulation failed");
+
+    let bcast_max = report
+        .outputs
+        .iter()
+        .map(|(b, _)| *b)
+        .fold(f64::MIN, f64::max);
+    let barrier_max = report
+        .outputs
+        .iter()
+        .map(|(_, b)| *b)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "{label:<28} bcast(4kB) = {bcast_max:7.1} us   barrier = {barrier_max:7.1} us   \
+         frames on wire = {}",
+        report.stats.frames_sent
+    );
+}
+
+fn main() {
+    println!("6 processes, simulated 100 Mbps switched Fast Ethernet\n");
+    run(
+        "multicast (paper)",
+        BcastAlgorithm::McastBinary,
+        BarrierAlgorithm::McastBinary,
+    );
+    run(
+        "MPICH point-to-point",
+        BcastAlgorithm::MpichBinomial,
+        BarrierAlgorithm::Mpich,
+    );
+    println!(
+        "\nThe multicast implementation sends the 4 kB payload once instead of\n\
+         five times, which is the paper's whole point."
+    );
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the `mcast-mpi` workspace: MPI collective operations
+//! over IP multicast (Apon, Chen, Carrasco — IPPS 2000 reproduction).
+//!
+//! Re-exports the workspace crates under stable names. See the individual
+//! crates for details:
+//!
+//! * [`netsim`] — discrete-event Fast Ethernet / IP / UDP simulator.
+//! * [`wire`] — on-the-wire message formats (headers, fragmentation, scouts).
+//! * [`transport`] — the blocking [`transport::Comm`] abstraction and its
+//!   simulator, real-UDP-multicast and in-memory implementations.
+//! * [`core`] — the paper's contribution: broadcast and barrier over IP
+//!   multicast, plus the MPICH point-to-point baselines.
+//! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV).
+
+pub use mmpi_cluster as cluster;
+pub use mmpi_core as core;
+pub use mmpi_netsim as netsim;
+pub use mmpi_transport as transport;
+pub use mmpi_wire as wire;

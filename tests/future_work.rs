@@ -1,0 +1,153 @@
+//! The paper's §5 future work, made runnable:
+//!
+//! * multicast collectives on a **VIA-like low-latency fabric** where — as
+//!   with VIA receive descriptors — a multicast is lost unless a receive
+//!   is already posted (scouts are the enabling mechanism);
+//! * **many-to-many over multicast**: the multicast allgather vs ring vs
+//!   gather+bcast, and where naive multicast all-to-all loses.
+
+use mcast_mpi::core::{
+    AllgatherAlgorithm, BarrierAlgorithm, BcastAlgorithm, Communicator,
+};
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::netsim::SimTime;
+use mcast_mpi::transport::{run_sim_world, SimCommConfig};
+
+fn bcast_makespan(n: usize, params: NetParams, algo: BcastAlgorithm, bytes: usize) -> SimTime {
+    let cluster = ClusterConfig::new(n, params, 77);
+    run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+        let mut comm = Communicator::new(c).with_bcast(algo);
+        let mut buf = if comm.rank() == 0 {
+            vec![1; bytes]
+        } else {
+            vec![0; bytes]
+        };
+        comm.bcast(0, &mut buf);
+        assert_eq!(buf, vec![1; bytes]);
+    })
+    .unwrap()
+    .makespan
+}
+
+#[test]
+fn via_like_fabric_runs_scouted_multicast_safely() {
+    // Strict posted-receive everywhere (VIA descriptor semantics): the
+    // scouted broadcast must not lose a single datagram.
+    let params = NetParams::via_like();
+    let cluster = ClusterConfig::new(8, params, 3)
+        .with_start_skew(mcast_mpi::netsim::SimDuration::from_micros(200));
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        let mut comm = Communicator::new(c)
+            .with_bcast(BcastAlgorithm::McastBinary)
+            .with_barrier(BarrierAlgorithm::McastBinary);
+        for i in 0..5u8 {
+            let mut buf = if comm.rank() == 0 {
+                vec![i; 2000]
+            } else {
+                vec![0; 2000]
+            };
+            comm.bcast(0, &mut buf);
+            assert_eq!(buf[0], i);
+            comm.barrier();
+        }
+    })
+    .unwrap();
+    assert_eq!(report.stats.unposted_recv_drops, 0);
+    assert_eq!(report.stats.total_drops(), 0);
+}
+
+#[test]
+fn via_like_fabric_is_much_faster_than_fast_ethernet_hosts() {
+    let eth = bcast_makespan(8, NetParams::fast_ethernet_switch(), BcastAlgorithm::McastBinary, 2000);
+    let via = bcast_makespan(8, NetParams::via_like(), BcastAlgorithm::McastBinary, 2000);
+    assert!(
+        via.as_micros_f64() * 3.0 < eth.as_micros_f64(),
+        "VIA-like {via} should be well under a third of Fast-Ethernet-host {eth}"
+    );
+}
+
+#[test]
+fn multicast_keeps_winning_on_the_low_latency_fabric() {
+    // With tiny software overheads the scout cost shrinks too, so the
+    // multicast advantage persists (and the crossover moves left).
+    let params = NetParams::via_like;
+    let mpich = bcast_makespan(8, params(), BcastAlgorithm::MpichBinomial, 4000);
+    let mcast = bcast_makespan(8, params(), BcastAlgorithm::McastBinary, 4000);
+    assert!(
+        mcast < mpich,
+        "multicast {mcast} must beat point-to-point {mpich} on VIA-like too"
+    );
+}
+
+#[test]
+fn cut_through_beats_store_and_forward_per_hop() {
+    use mcast_mpi::netsim::params::{FabricKind, SwitchMode, SwitchParams};
+    let mk = |mode| NetParams {
+        fabric: FabricKind::Switch(SwitchParams {
+            mode,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let saf = bcast_makespan(2, mk(SwitchMode::StoreAndForward), BcastAlgorithm::FlatTree, 1400);
+    let ct = bcast_makespan(
+        2,
+        mk(SwitchMode::CutThrough { header_bytes: 64 }),
+        BcastAlgorithm::FlatTree,
+        1400,
+    );
+    // One 1400-byte frame: cut-through saves nearly a full frame time
+    // (~114 us at 100 Mbps).
+    let saved = saf.as_micros_f64() - ct.as_micros_f64();
+    assert!(
+        (80.0..130.0).contains(&saved),
+        "cut-through should save ~one frame time, saved {saved:.1} us"
+    );
+}
+
+#[test]
+fn allgather_algorithms_agree_and_multicast_wins_on_frames() {
+    let run = |algo: AllgatherAlgorithm| {
+        let cluster = ClusterConfig::new(6, NetParams::fast_ethernet_switch(), 5);
+        run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+            let mut comm = Communicator::new(c).with_allgather(algo);
+            let mine = vec![comm.rank() as u8 + 1; 1200];
+            let parts = comm.allgather(&mine);
+            parts
+                .iter()
+                .enumerate()
+                .all(|(src, p)| p == &vec![src as u8 + 1; 1200])
+        })
+        .unwrap()
+    };
+    let mcast = run(AllgatherAlgorithm::Multicast);
+    let ring = run(AllgatherAlgorithm::Ring);
+    let gb = run(AllgatherAlgorithm::GatherBcast);
+    assert!(mcast.outputs.iter().all(|&ok| ok));
+    assert!(ring.outputs.iter().all(|&ok| ok));
+    assert!(gb.outputs.iter().all(|&ok| ok));
+    // N multicast sends vs N(N-1) ring transfers: far fewer data frames.
+    assert!(
+        mcast.stats.data_frames_sent * 3 < ring.stats.data_frames_sent,
+        "multicast allgather {} frames vs ring {}",
+        mcast.stats.data_frames_sent,
+        ring.stats.data_frames_sent
+    );
+}
+
+#[test]
+fn chain_and_scatter_allgather_shine_for_huge_messages() {
+    // For very large broadcasts the pipelined/bandwidth-optimal shapes
+    // beat the binomial tree; multicast beats them all (one wire copy).
+    let n = 6;
+    let bytes = 60_000;
+    let params = NetParams::fast_ethernet_switch;
+    let binomial = bcast_makespan(n, params(), BcastAlgorithm::MpichBinomial, bytes);
+    let chain = bcast_makespan(n, params(), BcastAlgorithm::Chain, bytes);
+    let vdg = bcast_makespan(n, params(), BcastAlgorithm::ScatterAllgather, bytes);
+    let mcast = bcast_makespan(n, params(), BcastAlgorithm::McastBinary, bytes);
+    assert!(chain < binomial, "chain {chain} vs binomial {binomial}");
+    assert!(vdg < binomial, "scatter-allgather {vdg} vs binomial {binomial}");
+    assert!(mcast < chain && mcast < vdg, "multicast {mcast} wins overall");
+}

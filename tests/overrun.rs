@@ -1,0 +1,88 @@
+//! The paper's §5 future-work question, answered experimentally: *can a
+//! set of fast senders overrun a single receiver in many-to-many
+//! communication?* With bounded receive buffers, yes — and the collective
+//! algorithms' implicit flow control is what prevents it.
+
+use mcast_mpi::core::{combine_u64_sum, Communicator};
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::transport::{run_sim_world, Comm, SimCommConfig};
+use mmpi_wire::MsgKind;
+
+#[test]
+fn unthrottled_fanin_overruns_a_small_buffer() {
+    // Eight senders blast a receiver that is busy computing: with a 16 kB
+    // socket buffer, most of the 8 x 8 kB burst is dropped.
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.rx_buffer_bytes = 16 * 1024;
+    let cluster = ClusterConfig::new(9, params, 21);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |mut c| {
+        if c.rank() == 0 {
+            // Busy; reads nothing until long after the burst.
+            c.compute(std::time::Duration::from_millis(100));
+        } else {
+            for chunk in 0..4 {
+                c.send_kind(0, 77, MsgKind::Data, &vec![c.rank() as u8; 2048]);
+                let _ = chunk;
+            }
+        }
+    })
+    .unwrap();
+    assert!(
+        report.stats.rx_buffer_drops > 0,
+        "the burst should overflow the 16 kB buffer"
+    );
+    assert_eq!(
+        report.stats.rx_buffer_drops + report.stats.datagrams_delivered,
+        32,
+        "every datagram either delivered or counted as dropped"
+    );
+}
+
+#[test]
+fn collective_fanin_never_overruns() {
+    // The same nine ranks and the same small buffer, but the traffic goes
+    // through collectives (gather + allreduce), whose matched
+    // send/receive structure paces the senders. No drops.
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.rx_buffer_bytes = 16 * 1024;
+    let cluster = ClusterConfig::new(9, params, 22);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        let mut comm = Communicator::new(c);
+        for _ in 0..5 {
+            let gathered = comm.gather(0, &vec![comm.rank() as u8; 2048]);
+            if comm.rank() == 0 {
+                assert_eq!(gathered.unwrap().len(), 9);
+            }
+            comm.allreduce(7u64.to_le_bytes().to_vec(), &combine_u64_sum);
+        }
+    })
+    .unwrap();
+    assert_eq!(report.stats.rx_buffer_drops, 0, "collectives self-pace");
+    assert_eq!(report.stats.total_drops(), 0);
+}
+
+#[test]
+fn repeated_bcast_bursts_from_one_root_do_not_overrun() {
+    // Back-to-back multicast broadcasts: receivers consume in order, the
+    // per-broadcast scouts throttle the root (it cannot start broadcast
+    // k+1 before everyone finished k). This is the §4 safety argument as
+    // a flow-control property.
+    let mut params = NetParams::fast_ethernet_switch();
+    params.host.rx_buffer_bytes = 8 * 1024;
+    let cluster = ClusterConfig::new(6, params, 23);
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        let mut comm = Communicator::new(c);
+        for i in 0..10u8 {
+            let mut buf = if comm.rank() == 0 {
+                vec![i; 4096]
+            } else {
+                vec![0; 4096]
+            };
+            comm.bcast(0, &mut buf);
+            assert_eq!(buf[0], i);
+        }
+    })
+    .unwrap();
+    assert_eq!(report.stats.total_drops(), 0);
+}

@@ -1,0 +1,95 @@
+//! Live-socket tests: the paper's collectives over genuine UDP + IP
+//! multicast. Skipped (with a message) where the environment forbids
+//! multicast.
+
+use mcast_mpi::core::{
+    combine_u64_sum, BarrierAlgorithm, BcastAlgorithm, Communicator,
+};
+use mcast_mpi::transport::{multicast_available, run_udp_world, UdpConfig};
+
+fn guard(base: u16) -> bool {
+    if multicast_available(base) {
+        true
+    } else {
+        eprintln!("skipping live UDP test: multicast unavailable");
+        false
+    }
+}
+
+#[test]
+fn live_scouted_bcast_delivers_over_real_multicast() {
+    if !guard(49_000) {
+        return;
+    }
+    let cfg = UdpConfig::loopback(49_100);
+    for algo in [BcastAlgorithm::McastBinary, BcastAlgorithm::McastLinear] {
+        let out = run_udp_world(4, &cfg, move |c| {
+            let mut comm = Communicator::new(c).with_bcast(algo);
+            let mut buf = if comm.rank() == 0 {
+                vec![0x42; 10_000]
+            } else {
+                vec![0; 10_000]
+            };
+            comm.bcast(0, &mut buf);
+            buf == vec![0x42; 10_000]
+        })
+        .unwrap();
+        assert!(out.iter().all(|&ok| ok), "algo {algo:?}");
+    }
+}
+
+#[test]
+fn live_mcast_barrier_synchronizes() {
+    if !guard(49_300) {
+        return;
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cfg = UdpConfig::loopback(49_400);
+    let arrived = AtomicUsize::new(0);
+    let out = run_udp_world(5, &cfg, |c| {
+        let mut comm = Communicator::new(c).with_barrier(BarrierAlgorithm::McastBinary);
+        arrived.fetch_add(1, Ordering::SeqCst);
+        comm.barrier();
+        arrived.load(Ordering::SeqCst)
+    })
+    .unwrap();
+    assert!(out.iter().all(|&n| n == 5), "{out:?}");
+}
+
+#[test]
+fn live_allreduce_over_multicast_assisted_bcast() {
+    if !guard(49_600) {
+        return;
+    }
+    let cfg = UdpConfig::loopback(49_700);
+    let out = run_udp_world(4, &cfg, |c| {
+        let mut comm = Communicator::new(c);
+        let s = comm.allreduce(
+            ((comm.rank() as u64 + 1) * 100).to_le_bytes().to_vec(),
+            &combine_u64_sum,
+        );
+        u64::from_le_bytes(s[..8].try_into().unwrap())
+    })
+    .unwrap();
+    assert!(out.iter().all(|&v| v == 1000), "{out:?}");
+}
+
+#[test]
+fn live_pvm_ack_bcast_retransmits_to_completion() {
+    if !guard(49_800) {
+        return;
+    }
+    let cfg = UdpConfig::loopback(49_900);
+    let out = run_udp_world(3, &cfg, |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::PvmAck);
+        let mut buf = if comm.rank() == 0 {
+            vec![9; 500]
+        } else {
+            vec![0; 500]
+        };
+        comm.bcast(0, &mut buf);
+        buf[0]
+    })
+    .unwrap();
+    assert_eq!(out, vec![9, 9, 9]);
+}

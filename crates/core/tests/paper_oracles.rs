@@ -256,7 +256,7 @@ fn pvm_ack_recovers_from_strict_mode_loss_but_pays_for_it() {
     let cluster = ClusterConfig::new(4, params.clone(), 13);
     let slow_receiver = |c: mmpi_transport::SimComm,
                          algo: BcastAlgorithm|
-     -> (bool, mmpi_netsim::SimTime) {
+     -> (bool, SimTime) {
         let mut comm = Communicator::new(c).with_bcast(algo);
         if comm.rank() == 3 {
             // Deterministic laggard: busy for 3 ms before entering the
@@ -296,11 +296,8 @@ fn pvm_ack_recovers_from_strict_mode_loss_but_pays_for_it() {
     // Compare time spent *after* the laggard wakes: the scouted algorithm
     // finishes quickly once everyone is ready, while ack-retransmit burns
     // at least one timeout round recovering the lost multicast.
-    let finish = |r: &mmpi_netsim::cluster::RunReport<(bool, mmpi_netsim::SimTime)>| {
-        r.outputs.iter().map(|(_, t)| *t).fold(
-            mmpi_netsim::SimTime::ZERO,
-            mmpi_netsim::SimTime::max,
-        )
+    let finish = |r: &mmpi_netsim::cluster::RunReport<(bool, SimTime)>| {
+        r.outputs.iter().map(|(_, t)| *t).fold(SimTime::ZERO, SimTime::max)
     };
     assert!(
         finish(&scouted) < finish(&pvm),

@@ -24,4 +24,4 @@ pub mod udp;
 pub use comm::{Comm, Inbox, Tag, FIRE_AND_FORGET_TAG};
 pub use mem::{run_mem_world, MemComm};
 pub use sim::{run_sim_world, SimComm, SimCommConfig};
-pub use udp::{multicast_available, run_udp_world, UdpComm, UdpConfig};
+pub use udp::{multicast_available, multicast_available_cached, run_udp_world, UdpComm, UdpConfig};

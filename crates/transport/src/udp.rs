@@ -307,6 +307,22 @@ where
     }))
 }
 
+/// Like [`multicast_available`], but probes each `base_port` once per
+/// process and caches the answer. Tests that skip-or-run several times
+/// should use this so a sandboxed environment pays the probe timeout
+/// once per port instead of once per call — while a stray bind conflict
+/// on one port cannot poison the answer for a different one.
+pub fn multicast_available_cached(base_port: u16) -> bool {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u16, bool>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *cache
+        .entry(base_port)
+        .or_insert_with(|| multicast_available(base_port))
+}
+
 /// Quick probe: does IP multicast work in this environment (kernel,
 /// container, CI)? Used by tests and examples to skip gracefully.
 pub fn multicast_available(base_port: u16) -> bool {

@@ -7,7 +7,7 @@ use std::time::Duration;
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::NetParams;
 use mmpi_transport::{
-    multicast_available, run_mem_world, run_sim_world, run_udp_world, Comm, SimCommConfig,
+    multicast_available_cached, run_mem_world, run_sim_world, run_udp_world, Comm, SimCommConfig,
     UdpConfig,
 };
 
@@ -51,7 +51,7 @@ fn mem_backend_mcast_and_ack() {
 
 #[test]
 fn udp_backend_mcast_and_ack() {
-    if !multicast_available(46_000) {
+    if !multicast_available_cached(46_000) {
         eprintln!("skipping: IP multicast unavailable in this environment");
         return;
     }

@@ -11,6 +11,45 @@
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
 //!   multicast, plus the MPICH point-to-point baselines.
 //! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV).
+//!
+//! # Crate graph
+//!
+//! Dependencies point downward; everything meets at the wire format, which
+//! is what lets one implementation of the collectives run over the
+//! simulator and over real sockets alike:
+//!
+//! ```text
+//!                    mcast-mpi (umbrella: root tests/ + examples/)
+//!                        │
+//!        ┌───────────────┼────────────────┐
+//!        ▼               ▼                │
+//!   mmpi-bench ───► mmpi-cluster          │   figures, criterion benches
+//!        │               │                │
+//!        │               ▼                ▼
+//!        └─────────► mmpi-core ──────────────  collective algorithms
+//!                        │
+//!                        ▼
+//!                  mmpi-transport ───────────  Comm: sim | udp | mem
+//!                    │         │
+//!                    ▼         ▼
+//!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
+//!                                              datagram format
+//! ```
+//!
+//! # Quickstart
+//!
+//! Build and test everything (live-UDP tests self-skip where the
+//! environment forbids IP multicast):
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
+//!
+//! Regenerate the paper's figures (tables + CSV + shape checks):
+//!
+//! ```text
+//! cargo run -p mmpi-bench --release --bin figures
+//! ```
 
 pub use mmpi_cluster as cluster;
 pub use mmpi_core as core;

@@ -1,0 +1,111 @@
+//! Deterministic-replay guarantees: the same `NetParams` + seed must
+//! reproduce a run bit-for-bit — identical virtual timestamps, identical
+//! statistics, identical event traces. This is the netsim RNG contract
+//! everything above (figure regeneration, failure replay) relies on.
+
+use mcast_mpi::core::{combine_u64_sum, BcastAlgorithm, Communicator};
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::ids::{DatagramDst, GroupId, HostId, UdpPort};
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::netsim::world::{StepOutcome, World};
+use mcast_mpi::netsim::{SimDuration, SimTime};
+use mcast_mpi::transport::{run_sim_world, SimCommConfig};
+
+/// A collective-heavy workload with per-rank skew: bcast + allreduce +
+/// barrier, returning each rank's digest and final local time.
+fn replay_once(params: NetParams, seed: u64) -> (Vec<SimTime>, Vec<(u64, u64)>, String) {
+    let cluster = ClusterConfig::new(5, params, seed)
+        .with_start_skew(SimDuration::from_micros(80));
+    let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
+        let mut buf = if comm.rank() == 0 {
+            vec![0x5A; 3000]
+        } else {
+            vec![0; 3000]
+        };
+        comm.bcast(0, &mut buf);
+        let sum = comm.allreduce(
+            (comm.rank() as u64 + 1).to_le_bytes().to_vec(),
+            &combine_u64_sum,
+        );
+        comm.barrier();
+        (
+            buf.iter().map(|&b| b as u64).sum::<u64>(),
+            u64::from_le_bytes(sum[..8].try_into().unwrap()),
+        )
+    })
+    .expect("replay workload must not deadlock");
+    // Render the stats debug output so every counter participates in the
+    // byte-identical comparison.
+    let stats = format!("{:?}", report.stats);
+    (report.completion_times, report.outputs, stats)
+}
+
+#[test]
+fn run_sim_world_replays_byte_identically() {
+    for params in [
+        NetParams::fast_ethernet_hub(),
+        NetParams::fast_ethernet_switch(),
+    ] {
+        let a = replay_once(params.clone(), 0xDE7E_4A11);
+        let b = replay_once(params, 0xDE7E_4A11);
+        assert_eq!(a.0, b.0, "completion times must replay exactly");
+        assert_eq!(a.1, b.1, "outputs must replay exactly");
+        assert_eq!(a.2, b.2, "every stats counter must replay exactly");
+    }
+}
+
+#[test]
+fn different_seed_changes_timing_but_not_results() {
+    let a = replay_once(NetParams::fast_ethernet_hub(), 1);
+    let b = replay_once(NetParams::fast_ethernet_hub(), 2);
+    assert_eq!(a.1, b.1, "collective results are seed-independent");
+    assert_ne!(a.0, b.0, "start skew must differ across seeds");
+}
+
+/// World-level replay: the full event trace (rendered timeline) of a
+/// contended hub run — collisions, backoff draws and all — must be
+/// byte-identical for the same seed.
+#[test]
+fn world_trace_replays_byte_identically() {
+    let port = UdpPort(4100);
+    let trace_of = |seed: u64| -> String {
+        let mut world = World::new(4, NetParams::fast_ethernet_hub(), seed);
+        world.enable_trace(4096);
+        for h in 0..4u32 {
+            let s = world.bind(HostId(h), port);
+            world.join_group_quiet(HostId(h), s, GroupId(1));
+        }
+        // Three hosts transmit at the same instant (collision storm) and
+        // host 0 follows with a multicast.
+        let at = SimTime::from_micros(10);
+        for h in 1..4u32 {
+            world.send_datagram(
+                HostId(h),
+                port,
+                DatagramDst::Unicast(HostId(0)),
+                port,
+                vec![h as u8; 900],
+                at,
+                false,
+                false,
+            );
+        }
+        world.send_datagram(
+            HostId(0),
+            port,
+            DatagramDst::Multicast(GroupId(1)),
+            port,
+            vec![9; 2500],
+            SimTime::from_micros(15),
+            false,
+            false,
+        );
+        while !matches!(world.step(), StepOutcome::Quiescent) {}
+        format!("{}", world.trace().expect("trace enabled"))
+    };
+    let a = trace_of(0xBEEF);
+    assert!(a.contains("COLLISION"), "the storm must actually collide");
+    assert_eq!(a, trace_of(0xBEEF), "trace must replay byte-identically");
+    assert_ne!(a, trace_of(0xBEF0), "a different seed must change backoff");
+}

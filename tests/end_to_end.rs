@@ -7,14 +7,19 @@ use mcast_mpi::core::{combine_u64_sum, BcastAlgorithm, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{
-    multicast_available, run_mem_world, run_sim_world, run_udp_world, Comm, SimCommConfig,
+    multicast_available_cached, run_mem_world, run_sim_world, run_udp_world, Comm, SimCommConfig,
     UdpConfig,
 };
 
 /// A program touching every collective; returns a digest every backend
-/// must agree on.
-fn kitchen_sink<C: Comm>(c: C) -> u64 {
-    let mut comm = Communicator::new(c);
+/// must agree on. `mpich` selects the point-to-point algorithm family
+/// instead of the paper's multicast family.
+fn kitchen_sink_family<C: Comm>(c: C, mpich: bool) -> u64 {
+    let mut comm = if mpich {
+        Communicator::new_mpich(c)
+    } else {
+        Communicator::new(c)
+    };
     let me = comm.rank();
     let n = comm.size();
 
@@ -39,6 +44,11 @@ fn kitchen_sink<C: Comm>(c: C) -> u64 {
     digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
 
     digest
+}
+
+/// The multicast-family kitchen sink (the paper's default algorithms).
+fn kitchen_sink<C: Comm>(c: C) -> u64 {
+    kitchen_sink_family(c, false)
 }
 
 fn expected_digest(n: usize, rank: usize) -> u64 {
@@ -69,13 +79,50 @@ fn backends_agree_on_kitchen_sink() {
         assert_eq!(*m, want, "mem rank {rank}");
         assert_eq!(*s, want, "sim rank {rank}");
     }
-    if multicast_available(48_000) {
+    if multicast_available_cached(48_000) {
         let udp = run_udp_world(n, &UdpConfig::loopback(48_100), kitchen_sink).unwrap();
         for (rank, u) in udp.iter().enumerate() {
             assert_eq!(*u, expected_digest(n, rank), "udp rank {rank}");
         }
     } else {
         eprintln!("skipping UDP leg: multicast unavailable");
+    }
+}
+
+/// Cross-backend agreement sweep: the kitchen-sink digest must be equal
+/// across the mem, sim and (when the environment allows) UDP backends at
+/// N ∈ {2, 4, 8}, for both the multicast and the MPICH point-to-point
+/// algorithm families.
+#[test]
+fn kitchen_sink_agrees_across_backends_sizes_and_families() {
+    let mut udp_port = 50_500u16;
+    for n in [2usize, 4, 8] {
+        for mpich in [false, true] {
+            let label = if mpich { "mpich" } else { "mcast" };
+            let want: Vec<u64> = (0..n).map(|r| expected_digest(n, r)).collect();
+
+            let mem = run_mem_world(n, 0, move |c| kitchen_sink_family(c, mpich));
+            assert_eq!(mem, want, "mem backend, n={n}, family={label}");
+
+            let sim = run_sim_world(
+                &ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 101 + n as u64),
+                &SimCommConfig::default(),
+                move |c| kitchen_sink_family(c, mpich),
+            )
+            .unwrap()
+            .outputs;
+            assert_eq!(sim, want, "sim backend, n={n}, family={label}");
+
+            if multicast_available_cached(48_000) {
+                let cfg = UdpConfig::loopback(udp_port);
+                let udp =
+                    run_udp_world(n, &cfg, move |c| kitchen_sink_family(c, mpich)).unwrap();
+                assert_eq!(udp, want, "udp backend, n={n}, family={label}");
+            } else {
+                eprintln!("skipping UDP leg (n={n}, {label}): multicast unavailable");
+            }
+            udp_port += 100;
+        }
     }
 }
 

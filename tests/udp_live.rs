@@ -5,20 +5,23 @@
 use mcast_mpi::core::{
     combine_u64_sum, BarrierAlgorithm, BcastAlgorithm, Communicator,
 };
-use mcast_mpi::transport::{multicast_available, run_udp_world, UdpConfig};
+use mcast_mpi::transport::{multicast_available_cached, run_udp_world, UdpConfig};
 
-fn guard(base: u16) -> bool {
-    if multicast_available(base) {
-        true
-    } else {
+/// One cached probe for the whole binary: sandboxed CI environments
+/// without multicast routes skip every live test after a single quick
+/// check instead of paying the probe timeout per test. The probe itself
+/// is failure-proof — socket errors and panics both report "unavailable".
+fn guard() -> bool {
+    let ok = multicast_available_cached(49_000);
+    if !ok {
         eprintln!("skipping live UDP test: multicast unavailable");
-        false
     }
+    ok
 }
 
 #[test]
 fn live_scouted_bcast_delivers_over_real_multicast() {
-    if !guard(49_000) {
+    if !guard() {
         return;
     }
     let cfg = UdpConfig::loopback(49_100);
@@ -40,7 +43,7 @@ fn live_scouted_bcast_delivers_over_real_multicast() {
 
 #[test]
 fn live_mcast_barrier_synchronizes() {
-    if !guard(49_300) {
+    if !guard() {
         return;
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,7 +61,7 @@ fn live_mcast_barrier_synchronizes() {
 
 #[test]
 fn live_allreduce_over_multicast_assisted_bcast() {
-    if !guard(49_600) {
+    if !guard() {
         return;
     }
     let cfg = UdpConfig::loopback(49_700);
@@ -76,7 +79,7 @@ fn live_allreduce_over_multicast_assisted_bcast() {
 
 #[test]
 fn live_pvm_ack_bcast_retransmits_to_completion() {
-    if !guard(49_800) {
+    if !guard() {
         return;
     }
     let cfg = UdpConfig::loopback(49_900);

@@ -1,0 +1,128 @@
+//! Offline shim for the [`crossbeam`](https://docs.rs/crossbeam)
+//! channels, backed by `std::sync::mpsc`.
+//!
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver,
+//! RecvTimeoutError}` with a unified [`channel::Sender`] type (std keeps
+//! separate `Sender`/`SyncSender` types; the transports here declare one
+//! sender type for both flavours).
+
+/// Multi-producer multi-consumer channels (MPSC in this shim — the
+/// workspace only ever hands a receiver to a single consumer).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+
+    #[derive(Debug)]
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel (bounded or unbounded).
+    #[derive(Clone, Debug)]
+    pub struct Sender<T> {
+        flavor: Flavor<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; blocks while a bounded channel is full. Errors
+        /// when the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.flavor {
+                Flavor::Unbounded(s) => s.send(value),
+                Flavor::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives (errors when all senders dropped).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Block until a value arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                flavor: Flavor::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// A channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                flavor: Flavor::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(6).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(rx.recv().unwrap(), 6);
+    }
+
+    #[test]
+    fn bounded_timeout() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 1);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline shim for the [`socket2`](https://docs.rs/socket2) crate.
+//!
+//! `mmpi-transport` needs what std cannot do: set `SO_REUSEADDR` /
+//! `SO_REUSEPORT` *before* binding and configure IPv4 multicast options.
+//! This shim issues the raw `socket(2)` / `setsockopt(2)` / `bind(2)`
+//! calls directly (the symbols come from libc, which std already links),
+//! supporting exactly the IPv4/UDP surface the transport uses.
+//!
+//! Linux-only: the constants and `sockaddr_in` layout below are the
+//! Linux ABI (other unixes use different values — e.g. BSD's
+//! `SOL_SOCKET` is `0xffff` and `sockaddr_in` carries `sin_len`).
+//! Building elsewhere fails loudly instead of misconfiguring sockets;
+//! point the workspace dependency at the real `socket2` crate there.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the vendored socket2 shim hardcodes Linux syscall constants; \
+     use the real socket2 crate on other platforms"
+);
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::os::fd::{AsRawFd, FromRawFd, IntoRawFd, OwnedFd};
+use std::os::raw::{c_int, c_void};
+
+const AF_INET: c_int = 2;
+const SOCK_DGRAM: c_int = 2;
+const SOCK_CLOEXEC: c_int = 0x80000;
+const IPPROTO_UDP: c_int = 17;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const IPPROTO_IP: c_int = 0;
+const IP_MULTICAST_IF: c_int = 32;
+const IP_MULTICAST_LOOP: c_int = 34;
+const IP_ADD_MEMBERSHIP: c_int = 35;
+
+extern "C" {
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+}
+
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16,     // network byte order
+    sin_addr: u32,     // network byte order
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct IpMreq {
+    imr_multiaddr: u32, // network byte order
+    imr_interface: u32, // network byte order
+}
+
+fn addr_bits(ip: Ipv4Addr) -> u32 {
+    // The octets in memory order *are* network byte order.
+    u32::from_ne_bytes(ip.octets())
+}
+
+fn cvt(ret: c_int) -> io::Result<()> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+/// Address family selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Domain(c_int);
+
+impl Domain {
+    /// IPv4.
+    pub const IPV4: Domain = Domain(AF_INET);
+}
+
+/// Socket type selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Type(c_int);
+
+impl Type {
+    /// Datagram (UDP) socket.
+    pub const DGRAM: Type = Type(SOCK_DGRAM);
+}
+
+/// Transport protocol selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Protocol(c_int);
+
+impl Protocol {
+    /// UDP.
+    pub const UDP: Protocol = Protocol(IPPROTO_UDP);
+}
+
+/// A socket address in the C representation (IPv4 only in this shim).
+#[derive(Clone, Copy, Debug)]
+pub struct SockAddr {
+    port: u16,
+    ip: Ipv4Addr,
+}
+
+impl From<SocketAddr> for SockAddr {
+    fn from(addr: SocketAddr) -> SockAddr {
+        match addr {
+            SocketAddr::V4(v4) => SockAddr {
+                port: v4.port(),
+                ip: *v4.ip(),
+            },
+            SocketAddr::V6(_) => panic!("socket2 shim supports IPv4 only"),
+        }
+    }
+}
+
+/// A raw socket with pre-bind configuration access.
+#[derive(Debug)]
+pub struct Socket {
+    fd: OwnedFd,
+}
+
+impl Socket {
+    /// Create a socket of the given domain/type/protocol.
+    pub fn new(domain: Domain, ty: Type, protocol: Option<Protocol>) -> io::Result<Socket> {
+        let proto = protocol.map_or(0, |p| p.0);
+        let fd = unsafe { socket(domain.0, ty.0 | SOCK_CLOEXEC, proto) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, owned file descriptor.
+        Ok(Socket {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn setsockopt_raw(
+        &self,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> io::Result<()> {
+        // SAFETY: optval/optlen describe a valid, initialized value owned
+        // by the caller for the duration of the call.
+        cvt(unsafe { setsockopt(self.fd.as_raw_fd(), level, optname, optval, optlen) })
+    }
+
+    fn setsockopt_int(&self, level: c_int, optname: c_int, value: c_int) -> io::Result<()> {
+        self.setsockopt_raw(
+            level,
+            optname,
+            (&raw const value).cast(),
+            size_of::<c_int>() as u32,
+        )
+    }
+
+    /// Set `SO_REUSEADDR` (must precede `bind` to matter).
+    pub fn set_reuse_address(&self, on: bool) -> io::Result<()> {
+        self.setsockopt_int(SOL_SOCKET, SO_REUSEADDR, c_int::from(on))
+    }
+
+    /// Set `SO_REUSEPORT` so several sockets can share a multicast port.
+    pub fn set_reuse_port(&self, on: bool) -> io::Result<()> {
+        self.setsockopt_int(SOL_SOCKET, SO_REUSEPORT, c_int::from(on))
+    }
+
+    /// Bind to a local address.
+    pub fn bind(&self, addr: &SockAddr) -> io::Result<()> {
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port.to_be(),
+            sin_addr: addr_bits(addr.ip),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` is a valid sockaddr_in for the call's duration.
+        cvt(unsafe {
+            bind(
+                self.fd.as_raw_fd(),
+                (&raw const sa).cast(),
+                size_of::<SockaddrIn>() as u32,
+            )
+        })
+    }
+
+    /// Select the interface used for outgoing multicast datagrams.
+    pub fn set_multicast_if_v4(&self, iface: &Ipv4Addr) -> io::Result<()> {
+        let addr = addr_bits(*iface);
+        self.setsockopt_raw(
+            IPPROTO_IP,
+            IP_MULTICAST_IF,
+            (&raw const addr).cast(),
+            size_of::<u32>() as u32,
+        )
+    }
+
+    /// Control whether this host's own multicast sends loop back to it.
+    pub fn set_multicast_loop_v4(&self, on: bool) -> io::Result<()> {
+        self.setsockopt_int(IPPROTO_IP, IP_MULTICAST_LOOP, c_int::from(on))
+    }
+
+    /// Join a multicast group on the given interface.
+    pub fn join_multicast_v4(&self, group: &Ipv4Addr, iface: &Ipv4Addr) -> io::Result<()> {
+        let mreq = IpMreq {
+            imr_multiaddr: addr_bits(*group),
+            imr_interface: addr_bits(*iface),
+        };
+        self.setsockopt_raw(
+            IPPROTO_IP,
+            IP_ADD_MEMBERSHIP,
+            (&raw const mreq).cast(),
+            size_of::<IpMreq>() as u32,
+        )
+    }
+}
+
+impl From<Socket> for UdpSocket {
+    fn from(s: Socket) -> UdpSocket {
+        // SAFETY: ownership of the descriptor transfers to the UdpSocket.
+        unsafe { UdpSocket::from_raw_fd(s.fd.into_raw_fd()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddrV4;
+
+    #[test]
+    fn create_configure_bind_convert() {
+        let s = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP)).unwrap();
+        s.set_reuse_address(true).unwrap();
+        s.set_reuse_port(true).unwrap();
+        let addr = SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0);
+        s.bind(&SocketAddr::V4(addr).into()).unwrap();
+        let udp: UdpSocket = s.into();
+        assert_eq!(udp.local_addr().unwrap().ip(), Ipv4Addr::LOCALHOST);
+    }
+
+    #[test]
+    fn two_sockets_share_a_port_with_reuse() {
+        let mk = |port: u16| -> io::Result<UdpSocket> {
+            let s = Socket::new(Domain::IPV4, Type::DGRAM, Some(Protocol::UDP))?;
+            s.set_reuse_address(true)?;
+            s.set_reuse_port(true)?;
+            let addr = SocketAddrV4::new(Ipv4Addr::LOCALHOST, port);
+            s.bind(&SocketAddr::V4(addr).into())?;
+            Ok(s.into())
+        };
+        // Grab an ephemeral port first, then bind a second socket to it.
+        let first = mk(0).unwrap();
+        let port = first.local_addr().unwrap().port();
+        let second = mk(port);
+        assert!(second.is_ok(), "SO_REUSEPORT must allow the shared bind");
+    }
+}

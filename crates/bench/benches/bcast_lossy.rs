@@ -1,0 +1,39 @@
+//! Criterion bench: broadcast under injected per-link frame loss.
+//!
+//! Measures simulator throughput of the NACK/retransmit recovery path:
+//! one seeded trial of a 4 kB multicast-binary broadcast at 0%, 1% and
+//! 10% loss on the switch fabric (repair is enabled automatically for
+//! the lossy points by the experiment harness). Wall time grows with the
+//! loss rate because recovery rounds add simulated events; the *virtual*
+//! latency and the drop/NACK/retransmit tallies are what
+//! `mmpi_cluster::loss_sweep` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_cluster::experiment::{run_trial, Experiment, Fabric, Workload};
+use mmpi_core::BcastAlgorithm;
+
+fn bench_lossy_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_lossy_4kB_6p_switch");
+    g.sample_size(10);
+    for loss in [0.0f64, 0.01, 0.10] {
+        let exp = Experiment::new(
+            6,
+            Fabric::Switch,
+            Workload::Bcast {
+                algo: BcastAlgorithm::McastBinary,
+                bytes: 4096,
+            },
+        )
+        .with_trials(1)
+        .with_loss(loss);
+        let label = format!("loss{:02}pct", (loss * 100.0) as u32);
+        g.bench_with_input(BenchmarkId::new(label, 4096), &exp, |b, exp| {
+            b.iter(|| run_trial(exp, 0));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lossy_bcast);
+criterion_main!(benches);

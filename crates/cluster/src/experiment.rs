@@ -6,13 +6,23 @@
 //! trial is "the longest completion time of the collective operation
 //! among all processes" (paper §4), and per-rank random start skew
 //! reproduces the sample scatter of the paper's plots.
+//!
+//! Beyond the paper's lossless regime, an experiment can inject per-link
+//! frame loss ([`Experiment::with_loss`]): the NACK/retransmit repair
+//! loop is enabled automatically, the latency metric excludes the
+//! endpoints' post-workload drain, and the result carries the run's
+//! [`WorldStats`]-derived drop/NACK/retransmit counters so a
+//! [`loss_sweep`] produces the loss figures directly.
+
+use std::fmt::Write as _;
 
 use mmpi_core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::NetParams;
 use mmpi_netsim::stats::NetStats;
-use mmpi_netsim::SimDuration;
-use mmpi_transport::{run_sim_world, SimCommConfig};
+use mmpi_netsim::{SimDuration, SimTime};
+use mmpi_transport::{run_sim_world_stats, RepairConfig, SimCommConfig, WorldStats};
+use mmpi_wire::RepairStats;
 
 use crate::stats::Summary;
 
@@ -67,6 +77,9 @@ pub struct Experiment {
     pub seed: u64,
     /// Maximum per-rank start skew (models OS scheduling noise).
     pub start_skew: SimDuration,
+    /// Injected per-link frame-drop probability. Nonzero enables the
+    /// NACK/retransmit repair loop on every endpoint.
+    pub drop_prob: f64,
 }
 
 impl Experiment {
@@ -79,6 +92,7 @@ impl Experiment {
             trials: 25,
             seed: 0x0EA6_1E00,
             start_skew: SimDuration::from_micros(50),
+            drop_prob: 0.0,
         }
     }
 
@@ -93,6 +107,12 @@ impl Experiment {
         self.seed = seed;
         self
     }
+
+    /// Builder-style loss injection (enables repair on every endpoint).
+    pub fn with_loss(mut self, drop_prob: f64) -> Self {
+        self.drop_prob = drop_prob;
+        self
+    }
 }
 
 /// Result of all trials of one experiment point.
@@ -102,17 +122,31 @@ pub struct ExperimentResult {
     pub samples_us: Vec<f64>,
     /// Summary statistics over the samples.
     pub summary: Summary,
-    /// Network statistics of the first trial (frame counts are identical
-    /// across trials; collision counts vary with the seed).
+    /// Network statistics summed over every trial (so rare events — an
+    /// injected drop at 1% loss, a collision burst — show up even when a
+    /// single trial misses them).
     pub stats: NetStats,
+    /// Repair-loop counters summed over every trial (all zero when the
+    /// experiment injects no loss).
+    pub repair: RepairStats,
 }
 
-/// Run one trial; returns (latency_us, stats).
-pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, NetStats) {
+/// Run one trial; returns (latency_us, run statistics).
+///
+/// The latency is the latest end-of-workload virtual time across ranks —
+/// the paper's makespan metric. It deliberately excludes the repair
+/// drain the endpoints run after the workload, which is teardown
+/// bookkeeping, not collective latency.
+pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
     let workload = exp.workload;
-    let cluster = ClusterConfig::new(exp.n, exp.fabric.params(), exp.seed + trial as u64)
+    let params = exp.fabric.params().with_loss(exp.drop_prob);
+    let cluster = ClusterConfig::new(exp.n, params, exp.seed + trial as u64)
         .with_start_skew(exp.start_skew);
-    let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
+    let mut comm_cfg = SimCommConfig::default();
+    if exp.drop_prob > 0.0 {
+        comm_cfg.repair = Some(RepairConfig::sim_default());
+    }
+    let (report, world) = run_sim_world_stats(&cluster, &comm_cfg, move |c| {
         let mut comm = Communicator::new(c);
         match workload {
             Workload::Bcast { algo, bytes } => {
@@ -122,34 +156,101 @@ pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, NetStats) {
                     vec![0u8; bytes]
                 };
                 comm.bcast_with(algo, 0, &mut buf);
-                debug_assert!(buf.iter().all(|&b| b == 0x5A));
+                assert!(buf.iter().all(|&b| b == 0x5A), "bcast corrupted data");
             }
             Workload::Barrier { algo } => {
                 comm.barrier_with(algo);
             }
         }
+        comm.transport().now()
     })
     .expect("experiment trial failed");
-    (report.makespan.as_micros_f64(), report.stats)
+    let end = report
+        .outputs
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    (end.as_micros_f64(), world)
 }
 
 /// Run every trial of an experiment point.
 pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
     assert!(exp.trials > 0);
     let mut samples = Vec::with_capacity(exp.trials);
-    let mut first_stats = None;
+    let mut stats = NetStats::new(exp.n);
+    let mut repair = RepairStats::default();
     for t in 0..exp.trials {
-        let (lat, stats) = run_trial(exp, t);
+        let (lat, world) = run_trial(exp, t);
         samples.push(lat);
-        if first_stats.is_none() {
-            first_stats = Some(stats);
-        }
+        stats.merge(&world.net);
+        repair.merge(&world.repair);
     }
     ExperimentResult {
         summary: Summary::from_samples(&samples),
         samples_us: samples,
-        stats: first_stats.expect("at least one trial"),
+        stats,
+        repair,
     }
+}
+
+/// One row of a loss sweep: an experiment point re-run at one loss rate.
+#[derive(Clone, Debug)]
+pub struct LossSweepRow {
+    /// Injected per-link drop probability.
+    pub loss: f64,
+    /// Latency summary across trials (drain excluded).
+    pub summary: Summary,
+    /// Fabric drops summed over the trials (all causes).
+    pub drops: u64,
+    /// NACKs sent by the repair loop (summed).
+    pub nacks: u64,
+    /// Retransmissions sent (summed).
+    pub retransmits: u64,
+    /// Frames on the wire (summed).
+    pub frames: u64,
+}
+
+/// Re-run `base` at each loss rate (e.g. `[0.0, 0.01, 0.10]`) and tally
+/// latency against recovery effort — the loss-sweep figure's data.
+pub fn loss_sweep(base: &Experiment, rates: &[f64]) -> Vec<LossSweepRow> {
+    rates
+        .iter()
+        .map(|&loss| {
+            let res = run_experiment(&base.clone().with_loss(loss));
+            LossSweepRow {
+                loss,
+                summary: res.summary,
+                drops: res.stats.total_drops(),
+                nacks: res.repair.nacks_sent,
+                retransmits: res.repair.retransmits_sent,
+                frames: res.stats.frames_sent,
+            }
+        })
+        .collect()
+}
+
+/// Render a loss sweep as an aligned text table.
+pub fn render_loss_table(label: &str, rows: &[LossSweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "loss sweep — {label}");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  {:>8}  {:>8}  {:>12}  {:>8}",
+        "loss", "median_us", "drops", "nacks", "retransmits", "frames"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>7.1}%  {:>12.1}  {:>8}  {:>8}  {:>12}  {:>8}",
+            r.loss * 100.0,
+            r.summary.median,
+            r.drops,
+            r.nacks,
+            r.retransmits,
+            r.frames
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -190,6 +291,48 @@ mod tests {
         // Different trials see different skews, so not all equal.
         let first = a.samples_us[0];
         assert!(a.samples_us.iter().any(|&s| (s - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn loss_sweep_reports_recovery_effort() {
+        let base = Experiment::new(
+            4,
+            Fabric::Switch,
+            Workload::Bcast {
+                algo: BcastAlgorithm::McastBinary,
+                bytes: 3000,
+            },
+        )
+        .with_trials(3)
+        .with_seed(1);
+        let rows = loss_sweep(&base, &[0.0, 0.10]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].drops, 0, "lossless row stays clean");
+        assert_eq!(rows[0].retransmits, 0);
+        assert!(rows[1].drops > 0, "10% loss row must drop");
+        assert!(rows[1].retransmits > 0, "and recover");
+        // The rendered table carries every column.
+        let table = render_loss_table("bcast 3000B, 4 procs, switch", &rows);
+        assert!(table.contains("retransmits"));
+        assert!(table.contains("10.0%"));
+    }
+
+    #[test]
+    fn lossy_trials_replay_identically() {
+        let exp = Experiment::new(
+            3,
+            Fabric::Switch,
+            Workload::Bcast {
+                algo: BcastAlgorithm::McastBinary,
+                bytes: 2000,
+            },
+        )
+        .with_trials(3)
+        .with_loss(0.10);
+        let a = run_experiment(&exp);
+        let b = run_experiment(&exp);
+        assert_eq!(a.samples_us, b.samples_us);
+        assert_eq!(a.repair, b.repair, "repair counters replay exactly");
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! repeated trials of a collective on a chosen fabric and process count
 //! ([`experiment`]), order-statistic summaries ([`stats`]), and the
 //! definitions of **every figure in the paper** as runnable sweeps with
-//! text-table and CSV output ([`figures`]).
+//! text-table and CSV output ([`figures`]). Experiments can also inject
+//! per-link frame loss ([`experiment::Experiment::with_loss`]); the
+//! [`experiment::loss_sweep`] table reports median latency next to the
+//! drop/NACK/retransmit counters of the recovery protocol.
 //!
 //! ```
 //! use mmpi_cluster::experiment::{run_experiment, Experiment, Fabric, Workload};
@@ -26,6 +29,9 @@ pub mod experiment;
 pub mod figures;
 pub mod stats;
 
-pub use experiment::{run_experiment, run_trial, Experiment, ExperimentResult, Fabric, Workload};
+pub use experiment::{
+    loss_sweep, render_loss_table, run_experiment, run_trial, Experiment, ExperimentResult,
+    Fabric, LossSweepRow, Workload,
+};
 pub use figures::{all_figures, render_table, run_figure, write_csv, FigureData, FigureSpec};
 pub use stats::Summary;

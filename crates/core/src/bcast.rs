@@ -15,6 +15,19 @@
 //!   then retransmit until every receiver acknowledges. Implemented as an
 //!   ablation baseline; the paper notes this approach did not pay off.
 //! * [`bcast_flat_tree`] — naive root-sends-to-everyone baseline.
+//!
+//! # Behaviour under loss
+//!
+//! These algorithms assume the transport delivers every message
+//! *eventually*, not reliably: on a lossy fabric they are correct only
+//! when the transport's NACK/retransmit repair loop is enabled
+//! (`RepairConfig` in `mmpi-transport`; protocol in `docs/PROTOCOL.md`).
+//! The scout phases need no special handling — a lost scout or payload
+//! is re-requested by the blocked receiver and re-sent from the sender's
+//! retransmit ring, with per-sender sequence numbers de-duplicating any
+//! crossed copies. [`bcast_pvm_ack`] is the exception: it carries its own
+//! sender-initiated ack/retransmit machinery (the ablation baseline) and
+//! works with or without transport repair.
 
 use std::time::Duration;
 

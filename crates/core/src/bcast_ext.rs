@@ -10,6 +10,11 @@
 //! * [`bcast_scatter_allgather`] — van de Geijn's large-message broadcast:
 //!   scatter distinct blocks from the root, then a ring allgather; each
 //!   byte crosses any link at most twice regardless of `N`.
+//!
+//! Both are pure point-to-point pipelines of tag-matched receives, so on
+//! a lossy fabric they recover through the transport's NACK/retransmit
+//! repair loop like every other collective (`docs/PROTOCOL.md`); their
+//! many small segments simply mean more, cheaper, retransmissions.
 
 use mmpi_transport::Comm;
 

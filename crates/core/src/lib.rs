@@ -39,7 +39,12 @@
 //!
 //! Swap `run_mem_world` for [`mmpi_transport::run_sim_world`] to execute
 //! the same program on the simulated hub/switch testbed, or
-//! [`mmpi_transport::run_udp_world`] for real IP multicast sockets.
+//! [`mmpi_transport::run_udp_world`] for real IP multicast sockets. On a
+//! fabric with injected loss (`FaultParams` in `mmpi-netsim`), enable
+//! the transport's NACK/retransmit repair loop
+//! ([`mmpi_transport::RepairConfig`]) and the same collectives complete
+//! with correct results — see `docs/PROTOCOL.md` for the recovery
+//! protocol.
 
 #![warn(missing_docs)]
 

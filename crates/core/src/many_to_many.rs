@@ -13,6 +13,13 @@
 //!   ablation bench: all-to-all where each personalized payload still has
 //!   to be multicast to everyone (receivers discard the parts not
 //!   addressed to them). Demonstrates where multicast does **not** help.
+//!
+//! Under injected loss, [`allgather_mcast`]'s rank-ordered rounds are the
+//! stress case for the transport's NACK/retransmit repair: a receiver
+//! can spend several repair timeouts recovering round `i` before it even
+//! asks for round `i+1`, which is why finished endpoints keep answering
+//! NACKs through a drain grace period (see `RepairConfig::drain_grace`
+//! in `mmpi-transport` and the walkthrough in `docs/PROTOCOL.md`).
 
 use mmpi_transport::Comm;
 use mmpi_wire::MsgKind;

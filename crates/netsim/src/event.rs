@@ -77,6 +77,15 @@ pub enum Event {
         /// The datagram.
         datagram: Arc<Datagram>,
     },
+    /// Fault injection: a duplicated or reordered frame re-enters the
+    /// receiving link and is delivered to the host as-is (no further
+    /// fault rolls, so the extra delay/copy is bounded).
+    LinkRedeliver {
+        /// Receiving host.
+        host: HostId,
+        /// The held-back or duplicated frame.
+        frame: Frame,
+    },
     /// A rank's blocking receive becomes *posted* at its local virtual
     /// time (relevant for the strict posted-receive loss model).
     PostRecv {

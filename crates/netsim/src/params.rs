@@ -6,8 +6,30 @@
 //! software overheads (MPICH over UDP sockets on Pentium-III Linux boxes).
 //! Absolute host-overhead constants are calibration knobs — the figures the
 //! harness regenerates depend on their rough magnitude, not exact values.
+//!
+//! # Fault-injection knobs
+//!
+//! [`FaultParams`] turns the lossless testbed into an adversarial one. All
+//! probabilities are per *frame arrival on one receiving link* (so a
+//! multicast frame crossing a 4-port switch rolls four independent dice),
+//! all draws come from a dedicated deterministic RNG stream, and every
+//! knob defaults to "off":
+//!
+//! | knob | unit | default | effect |
+//! |---|---|---|---|
+//! | `drop_prob` | probability per link-arrival | 0.0 | frame silently lost |
+//! | `dup_prob` | probability per delivered frame | 0.0 | frame delivered twice |
+//! | `reorder_prob` | probability per delivered frame | 0.0 | frame delayed |
+//! | `reorder_max_delay` | virtual time | 500 µs | bound on the extra delay |
+//! | `per_link_drop` | list of `(host, prob)` | empty | per-link override of `drop_prob` |
+//! | `partition` | `[start, start+duration)` window | none | one-shot network split |
+//!
+//! The separate, older [`NetParams::frame_loss_prob`] models hardware bit
+//! errors (one roll per frame, not per link) and is kept for the paper's
+//! §2 ablations; new scenario code should prefer [`FaultParams`].
 
-use crate::time::SimDuration;
+use crate::ids::HostId;
+use crate::time::{SimDuration, SimTime};
 
 /// Ethernet physical/MAC layer constants.
 #[derive(Clone, Debug)]
@@ -216,6 +238,108 @@ impl Default for SwitchParams {
     }
 }
 
+/// A one-shot network partition: during `[start, start + duration)` every
+/// frame crossing the cut between `island` and the rest of the hosts is
+/// dropped. Traffic within either side flows normally, and the network
+/// heals (frames flow again) once the window closes.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Virtual time the partition begins.
+    pub start: SimTime,
+    /// How long the partition lasts.
+    pub duration: SimDuration,
+    /// Hosts on the minority side of the cut.
+    pub island: Vec<HostId>,
+}
+
+impl Partition {
+    /// True when the partition is in force at `now`.
+    #[inline]
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.start + self.duration
+    }
+
+    /// True when a frame from `src` to `dst` crosses the cut.
+    #[inline]
+    pub fn separates(&self, src: HostId, dst: HostId) -> bool {
+        self.island.contains(&src) != self.island.contains(&dst)
+    }
+}
+
+/// Fault-injection parameters (see the module docs for the knob table).
+///
+/// All faults are applied at the receiving end of a link — after the frame
+/// has occupied the wire and been forwarded, mirroring where real loss
+/// happens (a NIC or port dropping an arrived frame). Draws come from an
+/// RNG stream forked *independently* of the backoff/skew streams, so
+/// enabling faults never perturbs the timing of the surviving frames, and
+/// a lossy run replays byte-identically for a fixed seed.
+#[derive(Clone, Debug)]
+pub struct FaultParams {
+    /// Probability an arriving frame is dropped on a link (per receiver).
+    /// Unit: probability in `[0, 1]`. Default `0.0`.
+    pub drop_prob: f64,
+    /// Probability a delivered frame is delivered a second time, one frame
+    /// slot later. Unit: probability in `[0, 1]`. Default `0.0`.
+    pub dup_prob: f64,
+    /// Probability a delivered frame is held back and re-injected after a
+    /// uniform extra delay in `(0, reorder_max_delay]`, letting frames
+    /// behind it overtake. Unit: probability in `[0, 1]`. Default `0.0`.
+    pub reorder_prob: f64,
+    /// Upper bound on the extra delay of a reordered frame.
+    /// Unit: virtual time. Default 500 µs (a few large-frame slots).
+    pub reorder_max_delay: SimDuration,
+    /// Per-receiving-link overrides of `drop_prob`: `(host, prob)` makes
+    /// every frame arriving at `host`'s link roll `prob` instead of the
+    /// global default. Default: empty.
+    pub per_link_drop: Vec<(HostId, f64)>,
+    /// One-shot partition window, if any. Default: none.
+    pub partition: Option<Partition>,
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        FaultParams {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_max_delay: SimDuration::from_micros(500),
+            per_link_drop: Vec::new(),
+            partition: None,
+        }
+    }
+}
+
+impl FaultParams {
+    /// A uniform-loss preset: every link drops with probability `p`.
+    pub fn uniform_loss(p: f64) -> Self {
+        FaultParams {
+            drop_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// Effective drop probability for frames arriving at `dst`'s link.
+    #[inline]
+    pub fn drop_prob_for(&self, dst: HostId) -> f64 {
+        self.per_link_drop
+            .iter()
+            .find(|(h, _)| *h == dst)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.drop_prob)
+    }
+
+    /// True when no knob is set — the fast path never rolls the RNG.
+    #[inline]
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.reorder_prob <= 0.0
+            && self.per_link_drop.is_empty()
+            && self.partition.is_none()
+    }
+}
+
 /// Which fabric connects the hosts.
 #[derive(Clone, Debug)]
 pub enum FabricKind {
@@ -239,6 +363,9 @@ pub struct NetParams {
     /// Probability that any individual frame is lost on the wire
     /// (hardware-level loss; the paper assumes 0 and so do the defaults).
     pub frame_loss_prob: f64,
+    /// Injected faults: per-link loss, duplication, reordering, partitions
+    /// (all off by default; see [`FaultParams`]).
+    pub faults: FaultParams,
 }
 
 impl Default for NetParams {
@@ -249,6 +376,7 @@ impl Default for NetParams {
             host: HostParams::default(),
             fabric: FabricKind::Switch(SwitchParams::default()),
             frame_loss_prob: 0.0,
+            faults: FaultParams::default(),
         }
     }
 }
@@ -268,6 +396,19 @@ impl NetParams {
             fabric: FabricKind::Switch(SwitchParams::default()),
             ..Default::default()
         }
+    }
+
+    /// Builder-style: inject uniform per-link frame loss with probability
+    /// `p` (the headline fault-injection knob; see [`FaultParams`]).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.faults.drop_prob = p;
+        self
+    }
+
+    /// Builder-style: replace the whole fault plan.
+    pub fn with_faults(mut self, faults: FaultParams) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Preset: the paper's §5 future-work target — a VIA-like low-latency
@@ -363,6 +504,42 @@ mod tests {
                 assert!(mac <= 1500, "fragment over MTU for len = {len}");
             }
         }
+    }
+
+    #[test]
+    fn fault_defaults_are_inert() {
+        let f = FaultParams::default();
+        assert!(f.is_inert());
+        assert!(!FaultParams::uniform_loss(0.1).is_inert());
+        assert!(NetParams::default().faults.is_inert());
+        assert!(!NetParams::default().with_loss(0.01).faults.is_inert());
+    }
+
+    #[test]
+    fn per_link_drop_overrides_global() {
+        let f = FaultParams {
+            drop_prob: 0.1,
+            per_link_drop: vec![(HostId(2), 0.5)],
+            ..Default::default()
+        };
+        assert_eq!(f.drop_prob_for(HostId(0)), 0.1);
+        assert_eq!(f.drop_prob_for(HostId(2)), 0.5);
+    }
+
+    #[test]
+    fn partition_window_and_cut() {
+        let p = Partition {
+            start: SimTime::from_micros(10),
+            duration: SimDuration::from_micros(5),
+            island: vec![HostId(0), HostId(1)],
+        };
+        assert!(!p.active_at(SimTime::from_micros(9)));
+        assert!(p.active_at(SimTime::from_micros(10)));
+        assert!(p.active_at(SimTime::from_micros(14)));
+        assert!(!p.active_at(SimTime::from_micros(15)));
+        assert!(p.separates(HostId(0), HostId(2)));
+        assert!(!p.separates(HostId(0), HostId(1)));
+        assert!(!p.separates(HostId(2), HostId(3)));
     }
 
     #[test]

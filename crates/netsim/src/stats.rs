@@ -3,9 +3,28 @@
 //! The integration tests use these to check the paper's analytic frame
 //! counts (e.g. a binomial broadcast of M bytes to N processes must put
 //! exactly `(floor(M/T)+1)(N-1)` data frames on the wire), and the benches
-//! report them alongside latency.
+//! report them alongside latency. Fault injection adds a second family of
+//! counters: aggregate duplicate/reorder/partition tallies plus a
+//! [`LinkStats`] row per receiving link, so a loss sweep can show *where*
+//! the injected faults landed, not just how many there were.
 
 use crate::ids::HostId;
+
+/// Per-receiving-link fault and delivery counters (one row per host; the
+/// link is the host's drop from the fabric — a switch port or hub tap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames handed to this host's NIC filter (after surviving faults).
+    pub frames_delivered: u64,
+    /// Frames lost to the injected per-link drop probability.
+    pub injected_drops: u64,
+    /// Extra copies delivered by injected duplication.
+    pub injected_dups: u64,
+    /// Frames delayed by injected reordering.
+    pub injected_reorders: u64,
+    /// Frames dropped because a partition separated sender and receiver.
+    pub partition_drops: u64,
+}
 
 /// Classification of a transmitted frame for statistics purposes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,12 +65,20 @@ pub struct NetStats {
     pub unposted_recv_drops: u64,
     /// Frames lost to injected wire-level loss.
     pub injected_frame_losses: u64,
+    /// Extra frame copies delivered by injected duplication.
+    pub injected_duplicates: u64,
+    /// Frames delayed by injected reordering.
+    pub injected_reorders: u64,
+    /// Frames dropped by an active partition.
+    pub partition_drops: u64,
     /// Datagrams fully reassembled and delivered to a socket.
     pub datagrams_delivered: u64,
     /// Datagram sends issued by hosts.
     pub datagrams_sent: u64,
     /// Per-host frame transmit counts (indexed by host id).
     pub frames_per_host: Vec<u64>,
+    /// Per-receiving-link delivery/fault counters (indexed by host id).
+    pub links: Vec<LinkStats>,
 }
 
 impl NetStats {
@@ -59,8 +86,14 @@ impl NetStats {
     pub fn new(n: usize) -> Self {
         NetStats {
             frames_per_host: vec![0; n],
+            links: vec![LinkStats::default(); n],
             ..Default::default()
         }
+    }
+
+    /// The [`LinkStats`] row for `host`'s receiving link.
+    pub fn link_mut(&mut self, host: HostId) -> &mut LinkStats {
+        &mut self.links[host.index()]
     }
 
     /// Record a completed frame transmission. `class` distinguishes
@@ -92,12 +125,51 @@ impl NetStats {
             + self.rx_buffer_drops
             + self.unposted_recv_drops
             + self.injected_frame_losses
+            + self.partition_drops
     }
 
     /// Reset every counter (e.g. after a warm-up phase), keeping sizing.
     pub fn reset(&mut self) {
         let n = self.frames_per_host.len();
         *self = NetStats::new(n);
+    }
+
+    /// Accumulate another run's counters (e.g. summing an experiment's
+    /// trials). Host-indexed vectors are added rowwise; a size mismatch
+    /// (different cluster sizes) panics rather than mis-attributing.
+    pub fn merge(&mut self, other: &NetStats) {
+        assert_eq!(
+            self.frames_per_host.len(),
+            other.frames_per_host.len(),
+            "merging stats of different cluster sizes"
+        );
+        self.frames_sent += other.frames_sent;
+        self.data_frames_sent += other.data_frames_sent;
+        self.ack_frames_sent += other.ack_frames_sent;
+        self.kernel_datagrams_sent += other.kernel_datagrams_sent;
+        self.payload_bytes_sent += other.payload_bytes_sent;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.collisions += other.collisions;
+        self.excessive_collision_drops += other.excessive_collision_drops;
+        self.switch_buffer_drops += other.switch_buffer_drops;
+        self.rx_buffer_drops += other.rx_buffer_drops;
+        self.unposted_recv_drops += other.unposted_recv_drops;
+        self.injected_frame_losses += other.injected_frame_losses;
+        self.injected_duplicates += other.injected_duplicates;
+        self.injected_reorders += other.injected_reorders;
+        self.partition_drops += other.partition_drops;
+        self.datagrams_delivered += other.datagrams_delivered;
+        self.datagrams_sent += other.datagrams_sent;
+        for (a, b) in self.frames_per_host.iter_mut().zip(&other.frames_per_host) {
+            *a += b;
+        }
+        for (a, b) in self.links.iter_mut().zip(&other.links) {
+            a.frames_delivered += b.frames_delivered;
+            a.injected_drops += b.injected_drops;
+            a.injected_dups += b.injected_dups;
+            a.injected_reorders += b.injected_reorders;
+            a.partition_drops += b.partition_drops;
+        }
     }
 }
 
@@ -130,8 +202,34 @@ mod tests {
             rx_buffer_drops: 3,
             unposted_recv_drops: 4,
             injected_frame_losses: 5,
+            partition_drops: 6,
             ..NetStats::new(1)
         };
-        assert_eq!(s.total_drops(), 15);
+        assert_eq!(s.total_drops(), 21);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_rows() {
+        let mut a = NetStats::new(2);
+        a.record_frame_sent(HostId(0), 100, 144, FrameClass::Data);
+        a.link_mut(HostId(1)).injected_drops = 2;
+        let mut b = NetStats::new(2);
+        b.record_frame_sent(HostId(1), 50, 72, FrameClass::Data);
+        b.injected_frame_losses = 3;
+        b.link_mut(HostId(1)).injected_drops = 1;
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 2);
+        assert_eq!(a.injected_frame_losses, 3);
+        assert_eq!(a.frames_per_host, vec![1, 1]);
+        assert_eq!(a.links[1].injected_drops, 3);
+    }
+
+    #[test]
+    fn link_rows_sized_and_reset() {
+        let mut s = NetStats::new(3);
+        assert_eq!(s.links.len(), 3);
+        s.link_mut(HostId(2)).injected_drops = 7;
+        s.reset();
+        assert_eq!(s.links[2], LinkStats::default());
     }
 }

@@ -4,6 +4,13 @@
 //! at a time. It knows nothing about threads or MPI ranks — the co-sim
 //! driver in [`crate::cluster`] injects sends/receives at chosen virtual
 //! times and consumes the [`Completion`]s the world reports back.
+//!
+//! Fault injection hooks in at the last hop: every frame that survives
+//! the fabric passes through a per-link dice roll
+//! (partition, drop, reorder, duplicate — see
+//! [`crate::params::FaultParams`]) before reaching the host stack. The
+//! draws come from a dedicated RNG stream, so a lossless configuration
+//! is byte-identical to one with fault injection compiled in but off.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -17,7 +24,7 @@ use crate::params::{FabricKind, NetParams};
 use crate::rng::SplitMix64;
 use crate::stats::NetStats;
 use crate::switch::Switch;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 
 /// Something the driver has been waiting on finished.
@@ -76,6 +83,11 @@ enum Fabric {
     Switch(Switch),
 }
 
+/// Salt decorrelating the fault-injection RNG stream from the
+/// backoff/skew streams, so enabling faults never perturbs the timing of
+/// surviving frames.
+const FAULT_RNG_SALT: u64 = 0xFA17_ED11_FA17_ED11;
+
 /// The simulated network.
 pub struct World {
     now: SimTime,
@@ -85,6 +97,7 @@ pub struct World {
     params: NetParams,
     stats: NetStats,
     rng: SplitMix64,
+    fault_rng: SplitMix64,
     next_datagram_id: u64,
     next_frame_id: u64,
     cancelled_timers: HashSet<u64>,
@@ -125,6 +138,7 @@ impl World {
             params,
             stats: NetStats::new(n),
             rng: SplitMix64::new(seed),
+            fault_rng: SplitMix64::new(seed ^ FAULT_RNG_SALT),
             next_datagram_id: 0,
             next_frame_id: 0,
             cancelled_timers: HashSet::new(),
@@ -408,6 +422,7 @@ impl World {
             Event::SwitchForward { frame, in_port } => self.switch_forward(frame, in_port),
             Event::PortDelivered { frame, port } => self.port_delivered(frame, port),
             Event::PortTxNext { port } => self.port_tx_next(port),
+            Event::LinkRedeliver { host, frame } => self.receive_frame(host, &frame),
             Event::PostRecv { host, socket } => {
                 let sock = self.hosts[host.index()].socket_mut(socket);
                 sock.recv_posted = true;
@@ -540,7 +555,7 @@ impl World {
                 let accepted = frame
                     .accepted_by(host, |g| self.hosts[i].nic.is_member(g));
                 if accepted {
-                    self.receive_frame(host, &frame);
+                    self.link_deliver(host, &frame);
                 }
             }
         }
@@ -698,13 +713,80 @@ impl World {
             self.hosts[host.index()].nic.is_member(g)
         });
         if accepted {
-            self.receive_frame(host, &frame);
+            self.link_deliver(host, &frame);
         }
     }
 
     // --- reception -------------------------------------------------------
 
+    /// Last hop of a frame onto `host`'s link: roll the injected-fault
+    /// dice (partition, drop, reorder, duplicate — in that order), then
+    /// deliver. Inert fault params take the zero-draw fast path, so
+    /// fault-free runs are byte-identical to pre-fault-injection ones.
+    fn link_deliver(&mut self, host: HostId, frame: &Frame) {
+        if self.params.faults.is_inert() {
+            self.receive_frame(host, frame);
+            return;
+        }
+        let now = self.now;
+        let partitioned = self
+            .params
+            .faults
+            .partition
+            .as_ref()
+            .is_some_and(|p| p.active_at(now) && p.separates(frame.src, host));
+        if partitioned {
+            self.stats.partition_drops += 1;
+            self.stats.link_mut(host).partition_drops += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "partition",
+            });
+            return;
+        }
+        let drop_p = self.params.faults.drop_prob_for(host);
+        if drop_p > 0.0 && self.fault_rng.coin(drop_p) {
+            self.stats.injected_frame_losses += 1;
+            self.stats.link_mut(host).injected_drops += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "injected loss",
+            });
+            return;
+        }
+        let reorder_p = self.params.faults.reorder_prob;
+        if reorder_p > 0.0 && self.fault_rng.coin(reorder_p) {
+            let max = self.params.faults.reorder_max_delay.as_nanos().max(1);
+            let delay = SimDuration::from_nanos(self.fault_rng.range_inclusive(1, max));
+            self.stats.injected_reorders += 1;
+            self.stats.link_mut(host).injected_reorders += 1;
+            self.queue.schedule(
+                now + delay,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+            return;
+        }
+        let dup_p = self.params.faults.dup_prob;
+        if dup_p > 0.0 && self.fault_rng.coin(dup_p) {
+            self.stats.injected_duplicates += 1;
+            self.stats.link_mut(host).injected_dups += 1;
+            let slot = self.params.ethernet.frame_slot(frame.mac_payload);
+            self.queue.schedule(
+                now + slot,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        self.receive_frame(host, frame);
+    }
+
     fn receive_frame(&mut self, host: HostId, frame: &Frame) {
+        self.stats.link_mut(host).frames_delivered += 1;
         self.trace_push(TraceEvent::Delivered {
             dst: host,
             frame: frame.id,

@@ -1,0 +1,243 @@
+//! Behaviour of the injected-fault layer: per-link drops (with
+//! overrides), duplication, bounded reordering, one-shot partitions —
+//! and the two meta-properties everything above depends on: lossy runs
+//! replay byte-identically, and inert fault params leave a run
+//! byte-identical to one that never heard of fault injection.
+
+use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId};
+use mmpi_netsim::params::{FaultParams, NetParams, Partition};
+use mmpi_netsim::time::{SimDuration, SimTime};
+
+const PORT: u16 = 4000;
+
+#[test]
+fn certain_drop_loses_every_frame() {
+    for params in [
+        NetParams::fast_ethernet_switch().with_loss(1.0),
+        NetParams::fast_ethernet_hub().with_loss(1.0),
+    ] {
+        let cfg = ClusterConfig::new(2, params, 1);
+        let report = run_cluster(&cfg, |mut p| {
+            let s = p.bind(PORT);
+            if p.rank() == 0 {
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![0; 100]);
+            } else {
+                assert!(p.recv_timeout(s, SimDuration::from_millis(5)).is_none());
+            }
+        })
+        .unwrap();
+        assert_eq!(report.stats.injected_frame_losses, 1);
+        assert_eq!(report.stats.links[1].injected_drops, 1);
+        assert_eq!(report.stats.datagrams_delivered, 0);
+        assert!(report.stats.total_drops() > 0);
+    }
+}
+
+#[test]
+fn per_link_override_targets_one_receiver() {
+    // Global loss 0, but host 2's link drops everything: a multicast
+    // reaches host 1 and never host 2.
+    let faults = FaultParams {
+        per_link_drop: vec![(HostId(2), 1.0)],
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    let cfg = ClusterConfig::new(3, params, 7);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        let g = GroupId(9);
+        p.join_group(s, g);
+        if p.rank() == 0 {
+            p.send(s, DatagramDst::Multicast(g), PORT, vec![5; 64]);
+            true
+        } else {
+            p.recv_timeout(s, SimDuration::from_millis(5)).is_some()
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs, vec![true, true, false]);
+    assert_eq!(report.stats.links[1].injected_drops, 0);
+    assert_eq!(report.stats.links[2].injected_drops, 1);
+}
+
+#[test]
+fn duplication_delivers_twice_and_counts() {
+    let faults = FaultParams {
+        dup_prob: 1.0,
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    let cfg = ClusterConfig::new(2, params, 3);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        if p.rank() == 0 {
+            p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![9; 30]);
+            0
+        } else {
+            let mut copies = 0;
+            while p.recv_timeout(s, SimDuration::from_millis(2)).is_some() {
+                copies += 1;
+            }
+            copies
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs[1], 2, "dup_prob=1 delivers exactly twice");
+    assert_eq!(report.stats.injected_duplicates, 1);
+    assert_eq!(report.stats.links[1].injected_dups, 1);
+    // The duplicate is delivered as-is: no second fault roll, so exactly
+    // one extra copy even at probability 1.
+    assert_eq!(report.stats.datagrams_delivered, 2);
+}
+
+#[test]
+fn reordering_lets_later_frames_overtake() {
+    // Frame A is always held back ~400 µs; frame B (sent right after, by
+    // which time the reorder coin has already been burned... so force it
+    // with a one-entry window): use reorder_prob such that the first
+    // frame is delayed and check arrival order flipped.
+    let faults = FaultParams {
+        reorder_prob: 0.5,
+        reorder_max_delay: SimDuration::from_micros(400),
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    // Scan seeds for one where exactly the first of two back-to-back
+    // frames is reordered — deterministic once found.
+    let mut flipped = None;
+    for seed in 0..64 {
+        let cfg = ClusterConfig::new(2, params.clone(), seed);
+        let report = run_cluster(&cfg, |mut p| {
+            let s = p.bind(PORT);
+            if p.rank() == 0 {
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![1]);
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![2]);
+                Vec::new()
+            } else {
+                let mut order = Vec::new();
+                while let Some(d) = p.recv_timeout(s, SimDuration::from_millis(2)) {
+                    order.push(d.payload[0]);
+                }
+                order
+            }
+        })
+        .unwrap();
+        assert_eq!(report.stats.datagrams_delivered, 2, "nothing is lost");
+        if report.outputs[1] == vec![2, 1] {
+            assert!(report.stats.injected_reorders >= 1);
+            flipped = Some(seed);
+            break;
+        }
+    }
+    assert!(flipped.is_some(), "no seed in 0..64 flipped two frames");
+}
+
+#[test]
+fn partition_blocks_cut_then_heals() {
+    // Host 1 is islanded for 2 ms starting at t=0. A frame sent during
+    // the window dies; the same send after the window arrives.
+    let faults = FaultParams {
+        partition: Some(Partition {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_millis(2),
+            island: vec![HostId(1)],
+        }),
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    let cfg = ClusterConfig::new(3, params, 11);
+    let report = run_cluster(&cfg, |mut p| {
+        let s = p.bind(PORT);
+        match p.rank() {
+            0 => {
+                // Inside the window.
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![1; 10]);
+                // Same-side traffic flows during the window.
+                p.send(s, DatagramDst::Unicast(HostId(2)), PORT, vec![2; 10]);
+                // After the window: cut has healed.
+                p.compute(SimDuration::from_millis(3));
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![3; 10]);
+                0u8
+            }
+            1 => {
+                let first = p.recv(s).payload[0];
+                assert!(
+                    p.recv_timeout(s, SimDuration::from_micros(100)).is_none(),
+                    "the in-window frame must not arrive late"
+                );
+                first
+            }
+            _ => p.recv(s).payload[0],
+        }
+    })
+    .unwrap();
+    assert_eq!(report.outputs, vec![0, 3, 2]);
+    assert_eq!(report.stats.partition_drops, 1);
+    assert_eq!(report.stats.links[1].partition_drops, 1);
+}
+
+/// Lossy runs are a pure function of the seed: same seed, same drops,
+/// same stats — the replay property the loss figures rely on.
+#[test]
+fn lossy_run_replays_byte_identically() {
+    let run = |seed: u64| {
+        let params = NetParams::fast_ethernet_switch().with_loss(0.3);
+        let cfg = ClusterConfig::new(4, params, seed);
+        let report = run_cluster(&cfg, |mut p| {
+            let s = p.bind(PORT);
+            let g = GroupId(2);
+            p.join_group(s, g);
+            if p.rank() == 0 {
+                for _ in 0..10 {
+                    p.send(s, DatagramDst::Multicast(g), PORT, vec![7; 500]);
+                }
+                0
+            } else {
+                let mut got = 0u64;
+                while p.recv_timeout(s, SimDuration::from_millis(1)).is_some() {
+                    got += 1;
+                }
+                got
+            }
+        })
+        .unwrap();
+        (
+            report.outputs.clone(),
+            format!("{:?}", report.stats),
+            report.completion_times.clone(),
+        )
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seed must replay exactly");
+    let c = run(43);
+    assert_ne!(a.1, c.1, "a different seed should perturb the stats");
+}
+
+/// Inert fault params must not perturb anything: the fault RNG stream is
+/// separate, so a run with `FaultParams::default()` is byte-identical to
+/// the same run with an explicitly-zero fault plan.
+#[test]
+fn inert_faults_change_nothing() {
+    let run = |params: NetParams| {
+        let cfg = ClusterConfig::new(3, params, 99).with_start_skew(SimDuration::from_micros(40));
+        let report = run_cluster(&cfg, |mut p| {
+            let s = p.bind(PORT);
+            if p.rank() == 0 {
+                p.send(s, DatagramDst::Unicast(HostId(1)), PORT, vec![1; 777]);
+                p.send(s, DatagramDst::Unicast(HostId(2)), PORT, vec![2; 777]);
+                SimTime::ZERO
+            } else {
+                p.recv(s);
+                p.now()
+            }
+        })
+        .unwrap();
+        (format!("{:?}", report.stats), report.completion_times.clone())
+    };
+    // Hub params exercise the backoff RNG, the stream faults must not touch.
+    let a = run(NetParams::fast_ethernet_hub());
+    let b = run(NetParams::fast_ethernet_hub().with_faults(FaultParams::default()));
+    assert_eq!(a, b);
+}

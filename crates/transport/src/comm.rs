@@ -9,11 +9,66 @@
 //! * [`crate::sim::SimComm`] — the deterministic network simulator,
 //! * [`crate::udp::UdpComm`] — real UDP + IP multicast sockets,
 //! * [`crate::mem::MemComm`] — in-memory channels (fast correctness tests).
+//!
+//! The sim and UDP backends optionally run a NACK-based **repair loop**
+//! (see [`RepairConfig`] and `docs/PROTOCOL.md`): blocked receives poll
+//! with a timeout, solicit retransmissions from the awaited sender, and
+//! answer incoming NACKs out of a sender-side
+//! [`mmpi_wire::RetransmitBuffer`] — which is what lets the collectives
+//! complete unmodified on a lossy fabric.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 use mmpi_wire::{Assembler, Message, MsgKind, WireError};
+
+/// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
+/// backends. `None` (the default in both backend configs) disables repair
+/// entirely: receives block without polling and no NACK traffic exists —
+/// the right mode for a lossless fabric, and byte-identical to the
+/// pre-repair protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// How long a blocked receive waits before (re-)soliciting a
+    /// retransmission with a NACK. Every timeout expiry sends one NACK to
+    /// the awaited source (or to every peer, for any-source receives).
+    pub nack_timeout: Duration,
+    /// Quiet period an endpoint keeps servicing NACKs after its program
+    /// finished (the drain phase). Every received datagram restarts the
+    /// clock, so this must only exceed the longest *silent* gap before a
+    /// straggler asks for this endpoint's last message: a receiver can
+    /// spend `~n × nack_timeout` recovering earlier losses (e.g. the
+    /// rank-ordered allgather rounds) before it even posts the receive
+    /// that needs us, so size this several times that product or the
+    /// straggler NACKs into the void forever.
+    pub drain_grace: Duration,
+    /// Capacity of the sender-side retransmit ring, in messages.
+    pub buffer_cap: usize,
+}
+
+impl RepairConfig {
+    /// Defaults for the simulator: timings are virtual, so aggressive
+    /// (2 ms) polling costs nothing real, and the generous drain (25
+    /// NACK periods — enough for a straggler to chain-recover a dozen
+    /// earlier losses before asking for our last message) only stretches
+    /// virtual, never wall-clock, time.
+    pub fn sim_default() -> Self {
+        RepairConfig {
+            nack_timeout: Duration::from_millis(2),
+            drain_grace: Duration::from_millis(50),
+            buffer_cap: mmpi_wire::DEFAULT_RETRANSMIT_CAP,
+        }
+    }
+
+    /// Defaults for real UDP sockets: wall-clock polling, so gentler.
+    pub fn udp_default() -> Self {
+        RepairConfig {
+            nack_timeout: Duration::from_millis(40),
+            drain_grace: Duration::from_millis(400),
+            buffer_cap: mmpi_wire::DEFAULT_RETRANSMIT_CAP,
+        }
+    }
+}
 
 /// Message tag. Collectives encode (operation, phase, round) in it.
 pub type Tag = u32;
@@ -93,12 +148,15 @@ pub trait Comm {
 }
 
 /// Receive-side bookkeeping shared by every transport: reassembly,
-/// context filtering, duplicate suppression, and tag matching.
+/// context filtering, duplicate suppression, tag matching, and NACK
+/// diversion (repair solicitations never reach the application — they
+/// queue separately for the transport's repair loop).
 #[derive(Debug)]
 pub struct Inbox {
     context: u32,
     rank: u32,
     unmatched: VecDeque<Message>,
+    nacks: VecDeque<Message>,
     assembler: Assembler,
     seen: HashMap<u32, HashSet<u64>>,
     dropped_duplicates: u64,
@@ -112,6 +170,7 @@ impl Inbox {
             context,
             rank,
             unmatched: VecDeque::new(),
+            nacks: VecDeque::new(),
             assembler: Assembler::new(),
             seen: HashMap::new(),
             dropped_duplicates: 0,
@@ -160,7 +219,19 @@ impl Inbox {
             self.dropped_duplicates += 1;
             return;
         }
+        if m.kind == MsgKind::Nack {
+            // Repair solicitation: divert to the transport's repair loop.
+            // The tag field names the traffic being re-requested, so a
+            // NACK must never be matchable as that traffic itself.
+            self.nacks.push_back(m);
+            return;
+        }
         self.unmatched.push_back(m);
+    }
+
+    /// Take the oldest pending repair solicitation, if any.
+    pub fn take_nack(&mut self) -> Option<Message> {
+        self.nacks.pop_front()
     }
 
     /// Take the oldest buffered message matching `(src, tag)`; `src =
@@ -273,6 +344,19 @@ mod tests {
         }
         let m = inbox.take_match(Some(1), 2).unwrap();
         assert_eq!(m.payload, payload);
+    }
+
+    #[test]
+    fn nacks_divert_to_repair_queue_not_matching() {
+        let mut inbox = Inbox::new(0, 9);
+        let mut n = msg(1, 5, 0, b"");
+        n.kind = MsgKind::Nack;
+        inbox.ingest_message(n, false);
+        assert_eq!(inbox.backlog(), 0, "NACK must not be matchable");
+        assert!(inbox.take_match(Some(1), 5).is_none());
+        let taken = inbox.take_nack().expect("NACK queued for repair loop");
+        assert_eq!(taken.tag, 5);
+        assert!(inbox.take_nack().is_none());
     }
 
     #[test]

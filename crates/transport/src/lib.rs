@@ -13,6 +13,13 @@
 //! All three speak the `mmpi-wire` datagram format and share the
 //! [`comm::Inbox`] matching/dedup logic, so a collective validated on one
 //! backend behaves identically on the others (up to timing).
+//!
+//! The sim and UDP backends optionally run the NACK/retransmit repair
+//! loop (enable with [`comm::RepairConfig`]; walkthrough in
+//! `docs/PROTOCOL.md`), which lets the collectives complete on a fabric
+//! that drops, duplicates or reorders datagrams.
+//! [`sim::run_sim_world_stats`] reports the recovery effort alongside the
+//! network counters as a [`sim::WorldStats`].
 
 #![warn(missing_docs)]
 
@@ -21,7 +28,9 @@ pub mod mem;
 pub mod sim;
 pub mod udp;
 
-pub use comm::{Comm, Inbox, Tag, FIRE_AND_FORGET_TAG};
+pub use comm::{Comm, Inbox, RepairConfig, Tag, FIRE_AND_FORGET_TAG};
 pub use mem::{run_mem_world, MemComm};
-pub use sim::{run_sim_world, SimComm, SimCommConfig};
+pub use sim::{
+    run_sim_world, run_sim_world_stats, RepairStatsSink, SimComm, SimCommConfig, WorldStats,
+};
 pub use udp::{multicast_available, multicast_available_cached, run_udp_world, UdpComm, UdpConfig};

@@ -6,17 +6,84 @@
 //! benches use: it runs an SPMD closure over a fully-configured simulated
 //! cluster where every rank has already bound its socket and joined the
 //! communicator's multicast group.
+//!
+//! With [`SimCommConfig::repair`] set, every endpoint also runs the
+//! NACK/retransmit repair loop (`docs/PROTOCOL.md`): blocked receives
+//! poll at the repair timeout and solicit retransmissions, sends are
+//! recorded in a bounded [`RetransmitBuffer`], incoming NACKs are
+//! answered with unicast re-sends under the original sequence number, and
+//! on drop the endpoint *drains* — keeps answering NACKs through a quiet
+//! grace period so receivers missing its final message can still recover.
+//! [`run_sim_world_stats`] additionally aggregates every rank's
+//! [`RepairStats`] with the network counters into a [`WorldStats`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use mmpi_netsim::cluster::{run_cluster, ClusterConfig, RunReport};
 use mmpi_netsim::ids::{DatagramDst, GroupId, HostId, SocketId};
 use mmpi_netsim::process::SimProcess;
+use mmpi_netsim::stats::NetStats;
 use mmpi_netsim::time::SimDuration;
 use mmpi_netsim::SimError;
-use mmpi_wire::{split_message, Message, MsgKind};
+use mmpi_wire::{split_message, Message, MsgKind, RepairStats, RetransmitBuffer, SendDst};
 
-use crate::comm::{Comm, Inbox, Tag};
+use crate::comm::{Comm, Inbox, RepairConfig, Tag};
+
+/// Thread-safe accumulator the ranks of one run flush their
+/// [`RepairStats`] into (each rank adds its totals when its endpoint
+/// drops). Totals are order-independent sums, so the aggregate is as
+/// deterministic as the per-rank counters.
+#[derive(Debug, Default)]
+pub struct RepairStatsSink {
+    nacks_sent: AtomicU64,
+    nacks_received: AtomicU64,
+    retransmits_sent: AtomicU64,
+    unanswered_nacks: AtomicU64,
+}
+
+impl RepairStatsSink {
+    /// Add one endpoint's counters.
+    pub fn add(&self, s: &RepairStats) {
+        self.nacks_sent.fetch_add(s.nacks_sent, Ordering::Relaxed);
+        self.nacks_received
+            .fetch_add(s.nacks_received, Ordering::Relaxed);
+        self.retransmits_sent
+            .fetch_add(s.retransmits_sent, Ordering::Relaxed);
+        self.unanswered_nacks
+            .fetch_add(s.unanswered_nacks, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> RepairStats {
+        RepairStats {
+            nacks_sent: self.nacks_sent.load(Ordering::Relaxed),
+            nacks_received: self.nacks_received.load(Ordering::Relaxed),
+            retransmits_sent: self.retransmits_sent.load(Ordering::Relaxed),
+            unanswered_nacks: self.unanswered_nacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Network + repair statistics of one simulated run, the unit the
+/// experiment tables report: fabric-level drops alongside the protocol's
+/// recovery effort.
+#[derive(Clone, Debug)]
+pub struct WorldStats {
+    /// The simulator's frame/drop counters (includes injected faults and
+    /// per-link [`mmpi_netsim::stats::LinkStats`] rows).
+    pub net: NetStats,
+    /// Summed repair-loop counters across all ranks.
+    pub repair: RepairStats,
+}
+
+impl WorldStats {
+    /// Total frames/datagrams lost in the fabric (all causes).
+    pub fn total_drops(&self) -> u64 {
+        self.net.total_drops()
+    }
+}
 
 /// How a [`SimComm`] maps onto the simulated network.
 #[derive(Clone, Debug)]
@@ -31,6 +98,13 @@ pub struct SimCommConfig {
     /// paper-sized messages in one datagram and lets the simulated IP
     /// layer do the fragmenting, as the paper's implementation did.
     pub max_chunk: usize,
+    /// NACK/retransmit repair loop; `None` (default) disables it. Enable
+    /// whenever the cluster's [`mmpi_netsim::params::FaultParams`] inject
+    /// loss, or the collectives will block forever on a dropped datagram.
+    pub repair: Option<RepairConfig>,
+    /// Where ranks flush their repair counters on drop (see
+    /// [`run_sim_world_stats`], which wires this automatically).
+    pub stats_sink: Option<Arc<RepairStatsSink>>,
 }
 
 impl Default for SimCommConfig {
@@ -40,7 +114,17 @@ impl Default for SimCommConfig {
             group: GroupId(1),
             context: 0,
             max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
+            repair: None,
+            stats_sink: None,
         }
+    }
+}
+
+impl SimCommConfig {
+    /// Builder-style: enable the repair loop with simulator defaults.
+    pub fn with_repair(mut self) -> Self {
+        self.repair = Some(RepairConfig::sim_default());
+        self
     }
 }
 
@@ -52,6 +136,8 @@ pub struct SimComm {
     n: usize,
     next_seq: u64,
     inbox: Inbox,
+    rtx: RetransmitBuffer,
+    rstats: RepairStats,
 }
 
 impl SimComm {
@@ -61,6 +147,11 @@ impl SimComm {
         proc.join_group(socket, cfg.group);
         let rank = proc.rank() as u32;
         let inbox = Inbox::new(cfg.context, rank);
+        let rtx = RetransmitBuffer::new(
+            cfg.repair
+                .map(|r| r.buffer_cap)
+                .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
+        );
         SimComm {
             proc,
             socket,
@@ -68,6 +159,8 @@ impl SimComm {
             n,
             next_seq: 0,
             inbox,
+            rtx,
+            rstats: RepairStats::default(),
         }
     }
 
@@ -92,6 +185,120 @@ impl SimComm {
         }
     }
 
+    fn ingest(&mut self, payload: &[u8]) {
+        // Malformed datagrams are impossible on the simulated fabric, but
+        // the inbox API reports them; keep UDP's ignore semantics.
+        let _ = self.inbox.ingest_datagram(payload);
+    }
+
+    /// Answer every queued NACK out of the retransmit buffer: unicast
+    /// re-sends to the requester, original sequence numbers (receivers
+    /// that already have the message dedup the copy).
+    fn service_nacks(&mut self) {
+        if self.cfg.repair.is_none() {
+            return;
+        }
+        while let Some(nack) = self.inbox.take_nack() {
+            self.rstats.nacks_received += 1;
+            let requester = nack.src_rank;
+            if requester as usize >= self.n {
+                // Malformed rank (cannot happen on the closed simulated
+                // fabric, but keep the sim and UDP loops identical).
+                continue;
+            }
+            let records: Vec<(u64, MsgKind, Tag, Vec<u8>)> = self
+                .rtx
+                .matching(requester, nack.tag)
+                .map(|r| (r.seq, r.kind, r.tag, r.payload.clone()))
+                .collect();
+            if records.is_empty() {
+                self.rstats.unanswered_nacks += 1;
+                continue;
+            }
+            for (seq, kind, tag, payload) in records {
+                self.rstats.retransmits_sent += 1;
+                self.transmit(
+                    DatagramDst::Unicast(HostId(requester)),
+                    tag,
+                    kind,
+                    &payload,
+                    seq,
+                );
+            }
+        }
+    }
+
+    /// Solicit a retransmission of `tag` traffic: NACK the awaited source
+    /// (or, for an any-source receive, every peer).
+    fn solicit(&mut self, src: Option<usize>, tag: Tag) {
+        let me = self.proc.rank();
+        match src {
+            Some(s) if s != me => self.send_nack(s, tag),
+            Some(_) => {}
+            None => {
+                for p in 0..self.n {
+                    if p != me {
+                        self.send_nack(p, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_nack(&mut self, dst: usize, tag: Tag) {
+        self.rstats.nacks_sent += 1;
+        let seq = self.fresh_seq();
+        self.transmit(
+            DatagramDst::Unicast(HostId(dst as u32)),
+            tag,
+            MsgKind::Nack,
+            &[],
+            seq,
+        );
+    }
+
+    /// One blocking-receive step against an absolute solicitation
+    /// deadline. Ingests whatever arrives first; once `repair_at` passes,
+    /// solicits and returns the next deadline. The deadline is absolute —
+    /// not a quiet period — so a NACK storm from stuck peers cannot
+    /// starve this rank's own repair requests by keeping its socket busy.
+    fn pump_repair(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        repair_at: Option<mmpi_netsim::SimTime>,
+    ) -> Option<mmpi_netsim::SimTime> {
+        let Some(rc) = self.cfg.repair else {
+            let dg = self.proc.recv(self.socket);
+            self.ingest(&dg.payload);
+            return None;
+        };
+        let at = repair_at.expect("repair on implies a solicitation deadline");
+        let now = self.proc.now();
+        if now >= at {
+            self.solicit(src, tag);
+            return Some(
+                self.proc.now() + SimDuration::from_nanos(rc.nack_timeout.as_nanos() as u64),
+            );
+        }
+        if let Some(dg) = self.proc.recv_timeout(self.socket, at - now) {
+            self.ingest(&dg.payload);
+        }
+        Some(at)
+    }
+
+    /// First solicitation deadline for a fresh blocking receive.
+    fn first_repair_at(&self) -> Option<mmpi_netsim::SimTime> {
+        self.cfg.repair.map(|rc| {
+            self.proc.now() + SimDuration::from_nanos(rc.nack_timeout.as_nanos() as u64)
+        })
+    }
+
+    /// Repair counters of this endpoint so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.rstats
+    }
+
     /// Local virtual time (for measurement).
     pub fn now(&self) -> mmpi_netsim::SimTime {
         self.proc.now()
@@ -100,6 +307,28 @@ impl SimComm {
     /// The underlying process handle (advanced uses: extra sockets).
     pub fn process_mut(&mut self) -> &mut SimProcess {
         &mut self.proc
+    }
+}
+
+impl Drop for SimComm {
+    fn drop(&mut self) {
+        // Drain: a peer may still be missing our *final* message, so keep
+        // answering NACKs until the link has been quiet for the grace
+        // period. Skipped while unwinding — the driver is tearing the run
+        // down and every blocking call would re-panic.
+        if !std::thread::panicking() {
+            if let Some(rc) = self.cfg.repair {
+                self.service_nacks();
+                let grace = SimDuration::from_nanos(rc.drain_grace.as_nanos() as u64);
+                while let Some(dg) = self.proc.recv_timeout(self.socket, grace) {
+                    self.ingest(&dg.payload);
+                    self.service_nacks();
+                }
+            }
+        }
+        if let Some(sink) = &self.cfg.stats_sink {
+            sink.add(&self.rstats);
+        }
     }
 }
 
@@ -119,6 +348,10 @@ impl Comm for SimComm {
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
         assert!(dst < self.n, "rank {dst} out of range");
         let seq = self.fresh_seq();
+        if self.cfg.repair.is_some() {
+            self.rtx
+                .record(seq, SendDst::Rank(dst as u32), tag, kind, payload);
+        }
         self.transmit(
             DatagramDst::Unicast(HostId(dst as u32)),
             tag,
@@ -131,63 +364,95 @@ impl Comm for SimComm {
 
     fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
         let seq = self.fresh_seq();
+        if self.cfg.repair.is_some() {
+            self.rtx
+                .record(seq, SendDst::Multicast, tag, kind, payload);
+        }
         let group = self.cfg.group;
         self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
         seq
     }
 
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        // Already recorded under this seq when first multicast.
         let group = self.cfg.group;
         self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(Some(src), tag) {
                 return m;
             }
-            let dg = self.proc.recv(self.socket);
-            let _ = self.inbox.ingest_datagram(&dg.payload);
+            repair_at = self.pump_repair(Some(src), tag, repair_at);
         }
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
         let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(Some(src), tag) {
                 return Some(m);
             }
-            let remaining = deadline.saturating_since(self.proc.now());
-            if remaining.is_zero() {
+            let now = self.proc.now();
+            if now >= deadline {
                 return None;
             }
-            let dg = self.proc.recv_timeout(self.socket, remaining)?;
-            let _ = self.inbox.ingest_datagram(&dg.payload);
+            match repair_at {
+                Some(at) if now >= at => {
+                    // Deadline-based: traffic cannot starve solicitation.
+                    self.solicit(Some(src), tag);
+                    repair_at = self.first_repair_at();
+                }
+                _ => {
+                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
+                    if let Some(dg) = self.proc.recv_timeout(self.socket, until - now) {
+                        self.ingest(&dg.payload);
+                    }
+                }
+            }
         }
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(None, tag) {
                 return m;
             }
-            let dg = self.proc.recv(self.socket);
-            let _ = self.inbox.ingest_datagram(&dg.payload);
+            repair_at = self.pump_repair(None, tag, repair_at);
         }
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
         let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(None, tag) {
                 return Some(m);
             }
-            let remaining = deadline.saturating_since(self.proc.now());
-            if remaining.is_zero() {
+            let now = self.proc.now();
+            if now >= deadline {
                 return None;
             }
-            let dg = self.proc.recv_timeout(self.socket, remaining)?;
-            let _ = self.inbox.ingest_datagram(&dg.payload);
+            match repair_at {
+                Some(at) if now >= at => {
+                    self.solicit(None, tag);
+                    repair_at = self.first_repair_at();
+                }
+                _ => {
+                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
+                    if let Some(dg) = self.proc.recv_timeout(self.socket, until - now) {
+                        self.ingest(&dg.payload);
+                    }
+                }
+            }
         }
     }
 
@@ -239,4 +504,35 @@ where
         let comm = SimComm::new(proc, n, comm_cfg.clone());
         f(comm)
     })
+}
+
+/// Like [`run_sim_world`], additionally collecting a [`WorldStats`]:
+/// the network's frame/drop/fault counters plus the summed repair-loop
+/// counters of every rank. This is the entry point for loss-sweep
+/// experiments — it answers both "what did the fabric do to us" and
+/// "what did recovery cost".
+pub fn run_sim_world_stats<F, R>(
+    cluster: &ClusterConfig,
+    comm_cfg: &SimCommConfig,
+    f: F,
+) -> Result<(RunReport<R>, WorldStats), SimError>
+where
+    F: Fn(SimComm) -> R + Sync,
+    R: Send,
+{
+    // Reuse a caller-supplied sink rather than silently replacing it
+    // (the returned totals then include whatever that sink had already
+    // accumulated — e.g. across several runs sharing one sink).
+    let sink = match &comm_cfg.stats_sink {
+        Some(s) => Arc::clone(s),
+        None => Arc::new(RepairStatsSink::default()),
+    };
+    let mut cfg = comm_cfg.clone();
+    cfg.stats_sink = Some(Arc::clone(&sink));
+    let report = run_sim_world(cluster, &cfg, f)?;
+    let stats = WorldStats {
+        net: report.stats.clone(),
+        repair: sink.snapshot(),
+    };
+    Ok((report, stats))
 }

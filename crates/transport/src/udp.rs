@@ -20,10 +20,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use mmpi_wire::{split_message, Message, MsgKind};
+use mmpi_wire::{split_message, Message, MsgKind, RepairStats, RetransmitBuffer, SendDst};
 use socket2::{Domain, Protocol, Socket, Type};
 
-use crate::comm::{Comm, Inbox, Tag};
+use crate::comm::{Comm, Inbox, RepairConfig, Tag};
 
 /// Addressing plan for a UDP world.
 #[derive(Clone, Debug)]
@@ -43,6 +43,12 @@ pub struct UdpConfig {
     pub context: u32,
     /// Maximum wire chunk per datagram.
     pub max_chunk: usize,
+    /// NACK/retransmit repair loop; `None` (default) disables it. With
+    /// repair on, blocked receives poll at `nack_timeout` wall-clock
+    /// intervals and endpoints drain briefly on drop — never enable it in
+    /// quick availability probes, which must give up fast instead of
+    /// re-soliciting (see [`multicast_available`]).
+    pub repair: Option<RepairConfig>,
 }
 
 impl UdpConfig {
@@ -57,7 +63,14 @@ impl UdpConfig {
             peers: None,
             context: 0,
             max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
+            repair: None,
         }
+    }
+
+    /// Builder-style: enable the repair loop with UDP defaults.
+    pub fn with_repair(mut self) -> Self {
+        self.repair = Some(RepairConfig::udp_default());
+        self
     }
 
     fn peer_addr(&self, rank: usize) -> SocketAddrV4 {
@@ -82,6 +95,8 @@ pub struct UdpComm {
     rx: Receiver<(Vec<u8>, bool)>,
     stop: Arc<AtomicBool>,
     readers: Vec<std::thread::JoinHandle<()>>,
+    rtx: RetransmitBuffer,
+    rstats: RepairStats,
 }
 
 fn reader_thread(
@@ -141,6 +156,11 @@ impl UdpComm {
             reader_thread(mc, true, tx_chan, Arc::clone(&stop)),
         ];
 
+        let rtx = RetransmitBuffer::new(
+            cfg.repair
+                .map(|r| r.buffer_cap)
+                .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
+        );
         Ok(UdpComm {
             rank,
             n,
@@ -151,6 +171,8 @@ impl UdpComm {
             rx: rx_chan,
             stop,
             readers,
+            rtx,
+            rstats: RepairStats::default(),
         })
     }
 
@@ -191,10 +213,115 @@ impl UdpComm {
         let _ = self.inbox.ingest_datagram_via(&bytes, via_mcast);
         true
     }
+
+    /// Answer every queued NACK out of the retransmit buffer (unicast
+    /// re-sends to the requester, original sequence numbers).
+    fn service_nacks(&mut self) {
+        if self.cfg.repair.is_none() {
+            return;
+        }
+        while let Some(nack) = self.inbox.take_nack() {
+            self.rstats.nacks_received += 1;
+            let requester = nack.src_rank as usize;
+            if requester >= self.n {
+                // Malformed rank in stray traffic on our port: ignore
+                // (matching the sim loop's behaviour).
+                continue;
+            }
+            let to = self.cfg.peer_addr(requester);
+            let records: Vec<(u64, MsgKind, Tag, Vec<u8>)> = self
+                .rtx
+                .matching(nack.src_rank, nack.tag)
+                .map(|r| (r.seq, r.kind, r.tag, r.payload.clone()))
+                .collect();
+            if records.is_empty() {
+                self.rstats.unanswered_nacks += 1;
+                continue;
+            }
+            for (seq, kind, tag, payload) in records {
+                self.rstats.retransmits_sent += 1;
+                self.transmit(to, tag, kind, &payload, seq);
+            }
+        }
+    }
+
+    /// Solicit a retransmission of `tag` traffic from `src` (or everyone).
+    fn solicit(&mut self, src: Option<usize>, tag: Tag) {
+        match src {
+            Some(s) if s != self.rank => self.send_nack(s, tag),
+            Some(_) => {}
+            None => {
+                for p in 0..self.n {
+                    if p != self.rank {
+                        self.send_nack(p, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_nack(&mut self, dst: usize, tag: Tag) {
+        self.rstats.nacks_sent += 1;
+        let seq = self.fresh_seq();
+        let to = self.cfg.peer_addr(dst);
+        self.transmit(to, tag, MsgKind::Nack, &[], seq);
+    }
+
+    /// One blocking-receive step against an absolute solicitation
+    /// deadline. The deadline is absolute — not a quiet period — so peer
+    /// NACK storms cannot starve this endpoint's own repair requests.
+    fn pump_repair(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        repair_at: Option<std::time::Instant>,
+    ) -> Option<std::time::Instant> {
+        let Some(rc) = self.cfg.repair else {
+            self.pump_one(None);
+            return None;
+        };
+        let at = repair_at.expect("repair on implies a solicitation deadline");
+        let now = std::time::Instant::now();
+        if now >= at {
+            self.solicit(src, tag);
+            return Some(std::time::Instant::now() + rc.nack_timeout);
+        }
+        self.pump_one(Some(at - now));
+        Some(at)
+    }
+
+    /// First solicitation deadline for a fresh blocking receive.
+    fn first_repair_at(&self) -> Option<std::time::Instant> {
+        self.cfg
+            .repair
+            .map(|rc| std::time::Instant::now() + rc.nack_timeout)
+    }
+
+    /// Repair counters of this endpoint so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.rstats
+    }
 }
 
 impl Drop for UdpComm {
     fn drop(&mut self) {
+        // Drain: keep answering NACKs until the sockets have been quiet
+        // for the grace period, so peers missing our final message can
+        // still recover. Skipped while unwinding (a panicking rank must
+        // not linger) — and bounded regardless, so a sandbox that drops
+        // everything silently skips out after one quiet grace period.
+        if !std::thread::panicking() {
+            if let Some(rc) = self.cfg.repair {
+                self.service_nacks();
+                // Unlike pump_one, tolerate dead reader threads here: a
+                // hard socket error must not turn teardown into a
+                // panic-in-Drop (which would abort the process).
+                while let Ok((bytes, via_mcast)) = self.rx.recv_timeout(rc.drain_grace) {
+                    let _ = self.inbox.ingest_datagram_via(&bytes, via_mcast);
+                    self.service_nacks();
+                }
+            }
+        }
         self.stop.store(true, Ordering::Relaxed);
         for h in self.readers.drain(..) {
             let _ = h.join();
@@ -218,62 +345,99 @@ impl Comm for UdpComm {
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
         assert!(dst < self.n, "rank {dst} out of range");
         let seq = self.fresh_seq();
+        if self.cfg.repair.is_some() {
+            self.rtx
+                .record(seq, SendDst::Rank(dst as u32), tag, kind, payload);
+        }
         self.transmit(self.cfg.peer_addr(dst), tag, kind, payload, seq);
         seq
     }
 
     fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
         let seq = self.fresh_seq();
+        if self.cfg.repair.is_some() {
+            self.rtx
+                .record(seq, SendDst::Multicast, tag, kind, payload);
+        }
         let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
         self.transmit(to, tag, kind, payload, seq);
         seq
     }
 
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+        // Already recorded under this seq when first multicast.
         let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
         self.transmit(to, tag, kind, payload, seq);
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(Some(src), tag) {
                 return m;
             }
-            self.pump_one(None);
+            repair_at = self.pump_repair(Some(src), tag, repair_at);
         }
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(Some(src), tag) {
                 return Some(m);
             }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
-                return self.inbox.take_match(Some(src), tag);
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match repair_at {
+                Some(at) if now >= at => {
+                    self.solicit(Some(src), tag);
+                    repair_at = self.first_repair_at();
+                }
+                _ => {
+                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
+                    self.pump_one(Some(until - now));
+                }
             }
         }
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(None, tag) {
                 return m;
             }
-            self.pump_one(None);
+            repair_at = self.pump_repair(None, tag, repair_at);
         }
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut repair_at = self.first_repair_at();
         loop {
+            self.service_nacks();
             if let Some(m) = self.inbox.take_match(None, tag) {
                 return Some(m);
             }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
-                return self.inbox.take_match(None, tag);
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match repair_at {
+                Some(at) if now >= at => {
+                    self.solicit(None, tag);
+                    repair_at = self.first_repair_at();
+                }
+                _ => {
+                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
+                    self.pump_one(Some(until - now));
+                }
             }
         }
     }
@@ -325,8 +489,15 @@ pub fn multicast_available_cached(base_port: u16) -> bool {
 
 /// Quick probe: does IP multicast work in this environment (kernel,
 /// container, CI)? Used by tests and examples to skip gracefully.
+///
+/// The probe runs with the repair loop **disabled** (and pins it off even
+/// if the loopback default ever changes): in a sandbox where multicast
+/// silently goes nowhere, a repair-enabled receive would keep NACKing to
+/// its deadline and the endpoints would linger in their drain grace —
+/// the probe must give its verdict in one bounded timeout instead.
 pub fn multicast_available(base_port: u16) -> bool {
-    let cfg = UdpConfig::loopback(base_port);
+    let mut cfg = UdpConfig::loopback(base_port);
+    cfg.repair = None;
     let probe = std::panic::catch_unwind(|| {
         run_udp_world(2, &cfg, |mut c| {
             if c.rank() == 0 {

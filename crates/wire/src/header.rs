@@ -40,6 +40,12 @@ pub enum MsgKind {
     Ack = 2,
     /// Barrier release (empty multicast that frees all waiters).
     Release = 3,
+    /// Negative acknowledgement: a receiver blocked on `tag` solicits a
+    /// retransmission from the sender's
+    /// [`retransmit buffer`](crate::retransmit::RetransmitBuffer).
+    /// Consumed by the transport's repair loop, never delivered to the
+    /// application.
+    Nack = 4,
 }
 
 impl MsgKind {
@@ -50,6 +56,7 @@ impl MsgKind {
             1 => MsgKind::Scout,
             2 => MsgKind::Ack,
             3 => MsgKind::Release,
+            4 => MsgKind::Nack,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -241,7 +248,13 @@ mod tests {
 
     #[test]
     fn all_kinds_roundtrip() {
-        for kind in [MsgKind::Data, MsgKind::Scout, MsgKind::Ack, MsgKind::Release] {
+        for kind in [
+            MsgKind::Data,
+            MsgKind::Scout,
+            MsgKind::Ack,
+            MsgKind::Release,
+            MsgKind::Nack,
+        ] {
             assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
         }
         assert!(MsgKind::from_u8(200).is_err());

@@ -2,9 +2,13 @@
 //!
 //! Every UDP datagram the collectives exchange — broadcast data, the
 //! paper's scout synchronization messages, acknowledgements, barrier
-//! releases — starts with the fixed [`header::Header`]. Messages larger
-//! than a datagram are chunked by [`assemble::split_message`] and rebuilt
-//! by [`assemble::Assembler`].
+//! releases, repair NACKs — starts with the fixed [`header::Header`].
+//! Messages larger than a datagram are chunked by
+//! [`assemble::split_message`] and rebuilt by [`assemble::Assembler`].
+//! Loss recovery lives in [`retransmit`]: a bounded sender-side
+//! [`retransmit::RetransmitBuffer`] answers receiver-driven
+//! [`MsgKind::Nack`] solicitations by re-sending under the original
+//! sequence number (the protocol walkthrough is in `docs/PROTOCOL.md`).
 //!
 //! The same bytes travel over the simulated network (`mmpi-netsim`) and
 //! over real UDP multicast sockets (`mmpi-transport`), which is what lets
@@ -15,10 +19,14 @@
 pub mod assemble;
 pub mod error;
 pub mod header;
+pub mod retransmit;
 
 pub use assemble::{split_message, Assembler, Message};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
+pub use retransmit::{
+    RepairStats, RetransmitBuffer, SendDst, SentRecord, DEFAULT_RETRANSMIT_CAP,
+};
 
 /// Default maximum chunk payload per datagram: comfortably under the
 /// 65,507-byte UDP limit while leaving room for the header.

@@ -1,0 +1,213 @@
+//! Sender-side retransmission ring buffer and repair-loop counters.
+//!
+//! The collectives send over an *unreliable* fabric: a multicast (or
+//! unicast) datagram may never arrive. Recovery is **receiver-driven**: a
+//! receiver that has been blocked on `(src, tag)` longer than the repair
+//! timeout sends a [`MsgKind::Nack`] carrying the awaited tag; the sender
+//! answers out of its [`RetransmitBuffer`] — a bounded ring of the last
+//! `capacity` messages it sent — by re-sending, *unicast to the
+//! requester*, every buffered message the requester could legitimately
+//! match (original multicasts, plus unicasts that were addressed to it).
+//! Retransmissions reuse the original sequence number, so receivers that
+//! already have the message drop the copy in their dedup layer.
+//!
+//! The buffer is deliberately dumb: no per-receiver ack state, no timers.
+//! All policy (when to NACK, how long to keep draining) lives in the
+//! transport's repair loop; see `docs/PROTOCOL.md` at the repository root
+//! for the full state machine and a worked lost-fragment timeline.
+
+use std::collections::VecDeque;
+
+use crate::header::MsgKind;
+
+/// Default retransmission ring capacity (messages, not bytes). Collective
+/// protocols re-request only recent traffic; 512 comfortably covers many
+/// in-flight collectives at the paper's scales.
+pub const DEFAULT_RETRANSMIT_CAP: usize = 512;
+
+/// Where a recorded message was originally addressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendDst {
+    /// Unicast to one rank.
+    Rank(u32),
+    /// Multicast to the communicator's group.
+    Multicast,
+}
+
+/// One sent message, as remembered for possible retransmission.
+#[derive(Clone, Debug)]
+pub struct SentRecord {
+    /// The sequence number the message went out with (reused on resend).
+    pub seq: u64,
+    /// Original destination.
+    pub dst: SendDst,
+    /// Wire tag.
+    pub tag: u32,
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Full message payload (pre-chunking).
+    pub payload: Vec<u8>,
+}
+
+impl SentRecord {
+    /// True if `requester` could legitimately match this message: it was
+    /// multicast, or unicast to the requester. Unicasts addressed to
+    /// *other* ranks are never replayed to a requester — that would leak
+    /// another rank's point-to-point payload into the wrong inbox.
+    pub fn matches(&self, requester: u32, tag: u32) -> bool {
+        self.tag == tag
+            && match self.dst {
+                SendDst::Multicast => true,
+                SendDst::Rank(r) => r == requester,
+            }
+    }
+}
+
+/// Bounded ring of recently sent messages, keyed by send order.
+///
+/// `record` on every send, `matching` on every received NACK. When the
+/// ring overflows, the oldest record is evicted; a NACK for evicted
+/// traffic goes unanswered (and `evicted()` tells you it happened — size
+/// the ring up if a workload ever trips this).
+#[derive(Debug)]
+pub struct RetransmitBuffer {
+    ring: VecDeque<SentRecord>,
+    cap: usize,
+    evicted: u64,
+}
+
+impl RetransmitBuffer {
+    /// A ring holding at most `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "retransmit buffer needs room for one message");
+        RetransmitBuffer {
+            ring: VecDeque::with_capacity(capacity.min(64)),
+            cap: capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Remember a sent message. NACKs themselves are not recorded (the
+    /// repair loop must never retransmit repair traffic).
+    pub fn record(&mut self, seq: u64, dst: SendDst, tag: u32, kind: MsgKind, payload: &[u8]) {
+        if kind == MsgKind::Nack {
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(SentRecord {
+            seq,
+            dst,
+            tag,
+            kind,
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Every buffered message `requester` could match on `tag`, oldest
+    /// first (so a multi-message tag replays in the original order).
+    pub fn matching(&self, requester: u32, tag: u32) -> impl Iterator<Item = &SentRecord> {
+        self.ring.iter().filter(move |r| r.matches(requester, tag))
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records evicted by ring overflow so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+impl Default for RetransmitBuffer {
+    fn default() -> Self {
+        RetransmitBuffer::new(DEFAULT_RETRANSMIT_CAP)
+    }
+}
+
+/// Counters kept by a transport's repair loop (per endpoint; summed into
+/// the run-level `WorldStats` by the harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// NACKs this endpoint sent (timeout-driven solicitations).
+    pub nacks_sent: u64,
+    /// NACKs this endpoint received and serviced.
+    pub nacks_received: u64,
+    /// Messages re-sent out of the retransmit buffer.
+    pub retransmits_sent: u64,
+    /// NACKs that matched nothing in the buffer (evicted or never ours).
+    pub unanswered_nacks: u64,
+}
+
+impl RepairStats {
+    /// Accumulate another endpoint's counters into this one.
+    pub fn merge(&mut self, other: &RepairStats) {
+        self.nacks_sent += other.nacks_sent;
+        self.nacks_received += other.nacks_received;
+        self.retransmits_sent += other.retransmits_sent;
+        self.unanswered_nacks += other.unanswered_nacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf3() -> RetransmitBuffer {
+        let mut b = RetransmitBuffer::new(3);
+        b.record(0, SendDst::Multicast, 10, MsgKind::Data, b"mc");
+        b.record(1, SendDst::Rank(2), 10, MsgKind::Data, b"to2");
+        b.record(2, SendDst::Rank(3), 10, MsgKind::Scout, b"");
+        b
+    }
+
+    #[test]
+    fn matching_replays_multicast_and_own_unicast_only() {
+        let b = buf3();
+        let for2: Vec<u64> = b.matching(2, 10).map(|r| r.seq).collect();
+        assert_eq!(for2, vec![0, 1], "rank 2 gets the mcast + its unicast");
+        let for3: Vec<u64> = b.matching(3, 10).map(|r| r.seq).collect();
+        assert_eq!(for3, vec![0, 2], "rank 3 never sees rank 2's payload");
+        assert_eq!(b.matching(2, 99).count(), 0, "tag filter");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut b = buf3();
+        assert_eq!(b.len(), 3);
+        b.record(3, SendDst::Multicast, 11, MsgKind::Data, b"new");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.evicted(), 1);
+        assert_eq!(b.matching(2, 10).count(), 1, "seq 0 evicted");
+    }
+
+    #[test]
+    fn nacks_are_never_recorded() {
+        let mut b = RetransmitBuffer::new(2);
+        b.record(0, SendDst::Rank(1), 5, MsgKind::Nack, b"");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = RepairStats {
+            nacks_sent: 1,
+            nacks_received: 2,
+            retransmits_sent: 3,
+            unanswered_nacks: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.nacks_sent, 2);
+        assert_eq!(a.retransmits_sent, 6);
+        assert_eq!(a.unanswered_nacks, 8);
+    }
+}

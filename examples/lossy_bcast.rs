@@ -1,0 +1,93 @@
+//! Broadcast on a *lossy* simulated fabric, recovered by the
+//! NACK/retransmit repair loop (`docs/PROTOCOL.md`).
+//!
+//! ```text
+//! cargo run --release --example lossy_bcast            # default loss sweep
+//! MMPI_LOSS=0.25 cargo run --release --example lossy_bcast   # one rate
+//! ```
+//!
+//! What to expect in the output: one table row per loss rate (0%, 1% and
+//! 10% by default, or just the `MMPI_LOSS` rate if that environment
+//! variable is set). Every row reports `digest ok` — the broadcast
+//! payload arrives byte-identical at every rank no matter the loss —
+//! while the `drops` / `nacks` / `retransmits` columns grow with the
+//! loss rate and the median latency climbs as recovery rounds stack up.
+//! The 0% row stays all-zero: with nothing to repair, the repair loop
+//! costs nothing. Runs are deterministic: same binary, same numbers.
+
+use mcast_mpi::core::Communicator;
+use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::params::NetParams;
+use mcast_mpi::transport::{run_sim_world_stats, SimCommConfig};
+
+const N: usize = 6;
+const BYTES: usize = 4096;
+
+fn run_at(loss: f64) {
+    let params = NetParams::fast_ethernet_switch().with_loss(loss);
+    let cluster = ClusterConfig::new(N, params, 0xD15C0);
+    let (report, stats) = run_sim_world_stats(
+        &cluster,
+        &SimCommConfig::default().with_repair(),
+        |c| {
+            let mut comm = Communicator::new(c);
+            let mut buf = if comm.rank() == 0 {
+                vec![0xAB; BYTES]
+            } else {
+                vec![0; BYTES]
+            };
+            let t0 = comm.transport().now();
+            comm.bcast(0, &mut buf);
+            comm.barrier();
+            let elapsed = (comm.transport().now() - t0).as_micros_f64();
+            (buf == vec![0xAB; BYTES], elapsed)
+        },
+    )
+    .expect("lossy broadcast must recover");
+
+    let ok = report.outputs.iter().all(|&(ok, _)| ok);
+    let worst = report
+        .outputs
+        .iter()
+        .map(|&(_, us)| us)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "{:>5.1}%  digest {}   bcast+barrier = {:>8.1} us   drops = {:>3}  nacks = {:>3}  retransmits = {:>3}",
+        loss * 100.0,
+        if ok { "ok " } else { "BAD" },
+        worst,
+        stats.total_drops(),
+        stats.repair.nacks_sent,
+        stats.repair.retransmits_sent,
+    );
+    assert!(ok, "recovery must deliver identical bytes");
+}
+
+fn main() {
+    println!(
+        "{N} processes, switched Fast Ethernet, {BYTES} B broadcast + barrier\n\
+         (set MMPI_LOSS=<0..1> to pick a single loss rate)\n"
+    );
+    let rates: Vec<f64> = match std::env::var("MMPI_LOSS") {
+        Ok(v) => {
+            let p: f64 = v.parse().expect("MMPI_LOSS must be a float in [0, 1)");
+            // At 1.0 even NACKs and retransmits die on the wire, so no
+            // repair can ever complete — reject instead of hanging.
+            assert!(
+                (0.0..1.0).contains(&p),
+                "MMPI_LOSS must be in [0, 1): a fabric that drops everything \
+                 is unrecoverable by definition"
+            );
+            vec![p]
+        }
+        Err(_) => vec![0.0, 0.01, 0.10],
+    };
+    for loss in rates {
+        run_at(loss);
+    }
+    println!(
+        "\nEvery run completes with correct digests: lost frames are re-\n\
+         requested by NACK and re-sent from the sender's retransmit ring\n\
+         (protocol walkthrough in docs/PROTOCOL.md)."
+    );
+}

@@ -8,6 +8,19 @@
 //! Runs a 6-process SPMD program twice — once with the paper's
 //! multicast-binary algorithms, once with the MPICH point-to-point
 //! baselines — and prints the virtual-time cost of each collective.
+//!
+//! What to expect in the output: two lines, one per algorithm family,
+//! each reporting the worst-rank `bcast(4kB)` and `barrier` latencies in
+//! virtual microseconds plus the total frame count the run put on the
+//! wire. The multicast line should show *both* a lower broadcast latency
+//! and markedly fewer frames (the 4 kB payload crosses the wire once
+//! instead of five times) — that difference is the paper's whole point.
+//! The numbers are deterministic: re-running prints identical values.
+//!
+//! This example runs on a lossless fabric. To see the same broadcast
+//! survive injected frame loss (`NetParams::with_loss` / the
+//! `MMPI_LOSS` environment variable), run
+//! `cargo run --release --example lossy_bcast`.
 
 use mcast_mpi::core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;

@@ -4,36 +4,49 @@
 //! Re-exports the workspace crates under stable names. See the individual
 //! crates for details:
 //!
-//! * [`netsim`] — discrete-event Fast Ethernet / IP / UDP simulator.
-//! * [`wire`] — on-the-wire message formats (headers, fragmentation, scouts).
+//! * [`netsim`] — discrete-event Fast Ethernet / IP / UDP simulator,
+//!   with injectable per-link faults (loss, duplication, reordering,
+//!   partitions).
+//! * [`wire`] — on-the-wire message formats (headers, fragmentation,
+//!   scouts, NACKs) and the sender-side retransmit ring.
 //! * [`transport`] — the blocking [`transport::Comm`] abstraction and its
-//!   simulator, real-UDP-multicast and in-memory implementations.
+//!   simulator, real-UDP-multicast and in-memory implementations, plus
+//!   the NACK/retransmit repair loop (`docs/PROTOCOL.md`).
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
 //!   multicast, plus the MPICH point-to-point baselines.
-//! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV).
+//! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV,
+//!   loss sweeps with drop/NACK/retransmit columns).
 //!
 //! # Crate graph
 //!
 //! Dependencies point downward; everything meets at the wire format, which
 //! is what lets one implementation of the collectives run over the
-//! simulator and over real sockets alike:
+//! simulator and over real sockets alike. The repair path (right-hand
+//! column) is the receiver-driven recovery protocol: the transport's
+//! repair loop answers NACKs out of `wire`'s retransmit ring, healing the
+//! losses `netsim`'s fault layer injects:
 //!
 //! ```text
 //!                    mcast-mpi (umbrella: root tests/ + examples/)
 //!                        │
 //!        ┌───────────────┼────────────────┐
 //!        ▼               ▼                │
-//!   mmpi-bench ───► mmpi-cluster          │   figures, criterion benches
-//!        │               │                │
+//!   mmpi-bench ───► mmpi-cluster          │   figures, benches,
+//!        │               │                │   loss-sweep tables
 //!        │               ▼                ▼
 //!        └─────────► mmpi-core ──────────────  collective algorithms
-//!                        │
+//!                        │                     (loss-oblivious)
 //!                        ▼
 //!                  mmpi-transport ───────────  Comm: sim | udp | mem
-//!                    │         │
+//!                    │         │               · repair loop: NACK on
+//!                    │         │                 timeout, drain on exit
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
-//!                                              datagram format
+//!                │                 │           datagram format
+//!                │                 └─ RetransmitBuffer: replays sent
+//!                │                    msgs by (requester, tag), orig seq
+//!                └─ FaultParams: per-link drop · dup · reorder ·
+//!                   partition, on a dedicated deterministic RNG stream
 //! ```
 //!
 //! # Quickstart

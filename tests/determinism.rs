@@ -63,6 +63,47 @@ fn different_seed_changes_timing_but_not_results() {
     assert_ne!(a.0, b.0, "start skew must differ across seeds");
 }
 
+/// Lossy-run replay: with fault injection *and* the NACK/retransmit
+/// repair loop active, a run is still a pure function of the seed —
+/// identical timings, identical drop counters, identical repair effort.
+/// (The fault RNG is a separate stream, so this holds independently of
+/// the backoff/skew draws.)
+#[test]
+fn lossy_repaired_run_replays_byte_identically() {
+    use mcast_mpi::transport::run_sim_world_stats;
+    let replay = |seed: u64| {
+        let params = NetParams::fast_ethernet_switch().with_loss(0.10);
+        let cluster = ClusterConfig::new(4, params, seed)
+            .with_start_skew(SimDuration::from_micros(80));
+        let (report, stats) = run_sim_world_stats(
+            &cluster,
+            &SimCommConfig::default().with_repair(),
+            |c| {
+                let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
+                let mut buf = if comm.rank() == 0 {
+                    vec![0x5A; 3000]
+                } else {
+                    vec![0; 3000]
+                };
+                comm.bcast(0, &mut buf);
+                comm.barrier();
+                buf.iter().map(|&b| b as u64).sum::<u64>()
+            },
+        )
+        .expect("lossy replay workload must recover");
+        (
+            report.completion_times,
+            report.outputs,
+            format!("{:?}", stats.net),
+            format!("{:?}", stats.repair),
+        )
+    };
+    let a = replay(0x0105_5EED);
+    let b = replay(0x0105_5EED);
+    assert_eq!(a, b, "lossy repaired runs must replay byte-identically");
+    assert_eq!(a.1, vec![0x5A * 3000; 4], "and still be correct");
+}
+
 /// World-level replay: the full event trace (rendered timeline) of a
 /// contended hub run — collisions, backoff draws and all — must be
 /// byte-identical for the same seed.

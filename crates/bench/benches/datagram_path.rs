@@ -1,0 +1,158 @@
+//! The datagram hot path end-to-end: split → retransmit-record →
+//! NACK-replay → assemble, at paper-relevant message sizes and repair
+//! fan-outs.
+//!
+//! This is the benchmark group behind the recorded `BENCH_3.json`
+//! baseline: it measures exactly the per-message software path every
+//! collective send/receive takes, independent of any network model, so
+//! a change to the buffer-ownership strategy (see `docs/PERFORMANCE.md`)
+//! shows up here undiluted. The recorded "before" numbers are from the
+//! pre-zero-copy implementation (`Vec<Vec<u8>>` chunks, payload-copying
+//! record/replay); the benchmark ids are unchanged so the JSON reports
+//! compare directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mmpi_wire::{
+    split_message, Assembler, Bytes, Datagram, Message, MsgKind, RetransmitBuffer, SendDst,
+};
+
+/// Wire-realistic chunking: one chunk per MTU-sized datagram, the mode
+/// where per-chunk costs dominate.
+const MTU_CHUNK: usize = 1472;
+
+const KIB: usize = 1024;
+const TAG: u32 = 7;
+
+fn payload(size: usize) -> Bytes {
+    (0..size).map(|i| (i * 131) as u8).collect::<Vec<u8>>().into()
+}
+
+fn assemble_one(dgs: &[Datagram]) -> Option<Message> {
+    let mut asm = Assembler::new();
+    let mut out = None;
+    for d in dgs {
+        if let Some(m) = asm.feed(d).unwrap() {
+            out = Some(m);
+        }
+    }
+    out
+}
+
+/// Split a message into MTU-sized datagrams and reassemble it — the
+/// baseline-acceptance path (sender-side encode plus one receiver-side
+/// pass over every payload byte).
+fn split_assemble(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagram_path");
+    for size in [KIB, 64 * KIB, 1024 * KIB] {
+        let p = payload(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("split_assemble", size), &p, |b, p| {
+            b.iter(|| {
+                let dgs = split_message(MsgKind::Data, 0, 1, TAG, 3, p, MTU_CHUNK);
+                assemble_one(&dgs).unwrap()
+            });
+        });
+    }
+    // Default chunking (60 kB: the simulated-IP-fragmentation mode).
+    for size in [64 * KIB, 1024 * KIB] {
+        let p = payload(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("split_assemble_60k", size), &p, |b, p| {
+            b.iter(|| {
+                let dgs =
+                    split_message(MsgKind::Data, 0, 1, TAG, 3, p, mmpi_wire::DEFAULT_MAX_CHUNK);
+                assemble_one(&dgs).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Recording a sent message into the retransmit ring (every repair-armed
+/// send pays this). Now a handful of refcount bumps.
+fn retransmit_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagram_path");
+    for size in [64 * KIB, 1024 * KIB] {
+        let dgs = split_message(MsgKind::Data, 0, 1, TAG, 1, &payload(size), MTU_CHUNK);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("record", size), &dgs, |b, dgs| {
+            let mut rtx = RetransmitBuffer::new(8);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                rtx.record(seq, SendDst::Multicast, TAG, MsgKind::Data, dgs);
+                rtx.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Answering NACKs from `n` stuck receivers out of the ring, the way the
+/// transports' repair loop does (replay every matching record to each
+/// requester as wire datagrams).
+fn nack_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagram_path");
+    let size = 64 * KIB;
+    let dgs = split_message(MsgKind::Data, 0, 1, TAG, 1, &payload(size), MTU_CHUNK);
+    let mut rtx = RetransmitBuffer::new(8);
+    rtx.record(1, SendDst::Multicast, TAG, MsgKind::Data, &dgs);
+    for n in [4usize, 16, 64] {
+        g.throughput(Throughput::Bytes((size * n) as u64));
+        g.bench_with_input(BenchmarkId::new("nack_replay", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                for requester in 0..n as u32 {
+                    for r in rtx.matching(requester, TAG) {
+                        // The transport sends the recorded views as-is.
+                        for d in &r.datagrams {
+                            sent += criterion::black_box(d.clone()).len();
+                        }
+                    }
+                }
+                sent
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The whole per-message lifecycle at fan-out `n`: the sender splits and
+/// records once, `n` receivers each assemble, one receiver lost the
+/// original multicast entirely and recovers via a NACK replay.
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagram_path");
+    let size = 64 * KIB;
+    let p = payload(size);
+    for n in [4usize, 16, 64] {
+        g.throughput(Throughput::Bytes((size * (n + 1)) as u64));
+        g.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rtx = RetransmitBuffer::new(8);
+                let dgs = split_message(MsgKind::Data, 0, 1, TAG, 3, &p, MTU_CHUNK);
+                rtx.record(3, SendDst::Multicast, TAG, MsgKind::Data, &dgs);
+                for _receiver in 0..n {
+                    assemble_one(&dgs).unwrap();
+                }
+                // Receiver 0 saw nothing: one NACK round re-sends the
+                // buffered views, which it assembles from scratch.
+                let mut done = None;
+                for r in rtx.matching(0, TAG) {
+                    done = assemble_one(&r.datagrams);
+                }
+                done.unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    datagram_path,
+    split_assemble,
+    retransmit_record,
+    nack_replay,
+    pipeline
+);
+criterion_main!(datagram_path);

@@ -9,12 +9,12 @@ use mmpi_netsim::ids::{DatagramDst, HostId};
 use mmpi_netsim::params::NetParams;
 use mmpi_netsim::rng::SplitMix64;
 use mmpi_netsim::time::SimTime;
-use mmpi_wire::{split_message, Assembler, MsgKind};
+use mmpi_wire::{split_message, Assembler, Bytes, MsgKind};
 
 fn wire_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_codec");
     for size in [0usize, 1000, 10_000, 60_000] {
-        let payload = vec![0xA5u8; size];
+        let payload = Bytes::from(vec![0xA5u8; size]);
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("split", size), &payload, |b, p| {
             b.iter(|| split_message(MsgKind::Data, 0, 1, 2, 3, p, 60_000));

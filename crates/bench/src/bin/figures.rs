@@ -14,8 +14,10 @@
 
 use std::path::PathBuf;
 
+use mmpi_cluster::experiment::{loss_sweep, render_loss_table};
 use mmpi_cluster::figures::{
-    all_figures, crossover_point, render_table, run_figure, write_csv, FigureData,
+    all_figures, crossover_point, loss_figure_base, loss_figure_rates, render_table, run_figure,
+    write_csv, write_loss_csv, FigureData,
 };
 use mmpi_core::{AllgatherAlgorithm, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
@@ -27,6 +29,7 @@ struct Args {
     trials: usize,
     out: PathBuf,
     ext: bool,
+    loss: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +38,7 @@ fn parse_args() -> Args {
         trials: 25,
         out: PathBuf::from("target/figures"),
         ext: false,
+        loss: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,11 +60,13 @@ fn parse_args() -> Args {
                 args.out = PathBuf::from(it.next().expect("--out needs a path"));
             }
             "--ext" => args.ext = true,
+            "--no-loss" => args.loss = false,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--fig N]... [--trials T] [--out DIR] [--ext]\n\
+                    "usage: figures [--fig N]... [--trials T] [--out DIR] [--ext] [--no-loss]\n\
                      --ext adds the beyond-the-paper extension experiments\n\
-                     (multicast allgather scaling, VIA-like fabric)"
+                     (multicast allgather scaling, VIA-like fabric);\n\
+                     --no-loss skips the figloss lossy-recovery sweep"
                 );
                 std::process::exit(0);
             }
@@ -202,6 +208,9 @@ fn main() {
     if checks.is_empty() {
         println!("  (run more figures for shape checks)");
     }
+    if args.loss && args.figs.is_none() {
+        loss_figure(&args);
+    }
     println!(
         "\nCSV written to {} ({} figures)",
         args.out.display(),
@@ -213,6 +222,39 @@ fn main() {
     if failed > 0 {
         eprintln!("{failed} shape check(s) FAILED");
         std::process::exit(1);
+    }
+}
+
+/// The figloss lossy-recovery figure (ROADMAP "loss figures"): re-run
+/// the paper's binary multicast broadcast under injected per-link loss,
+/// with the NACK/retransmit repair loop armed, and tabulate latency
+/// against recovery effort. Lossy trials are slower to simulate, so the
+/// sweep caps its trial count.
+fn loss_figure(args: &Args) {
+    let n = 8;
+    let bytes = 3000;
+    let trials = args.trials.min(10);
+    eprintln!("running figloss ({} rates x {trials} trials, n={n}, {bytes} B)...", loss_figure_rates().len());
+    let t0 = std::time::Instant::now();
+    let base = loss_figure_base(n, bytes).with_trials(trials);
+    let rows = loss_sweep(&base, &loss_figure_rates());
+    eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "{}",
+        render_loss_table(&format!("figloss — mcast-binary bcast, {n} procs, {bytes} B, switch"), &rows)
+    );
+    write_loss_csv(&rows, &args.out).expect("write figloss CSV");
+    let lossless = rows.first().expect("rates are non-empty");
+    assert_eq!(lossless.drops, 0, "0% loss must drop nothing");
+    for r in &rows[1..] {
+        // Low rates over few trials may legitimately drop nothing; once
+        // the fabric did drop frames, the repair loop must have resent.
+        assert!(
+            r.drops == 0 || r.retransmits > 0,
+            "loss rate {} dropped {} frames but sent no retransmissions",
+            r.loss,
+            r.drops
+        );
     }
 }
 

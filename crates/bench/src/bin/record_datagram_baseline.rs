@@ -1,0 +1,397 @@
+//! Record the `BENCH_3.json` before/after baseline for the zero-copy
+//! datagram path.
+//!
+//! "Before" is a faithful reimplementation of the seed (pre-zero-copy)
+//! wire path — per-chunk `Vec<Vec<u8>>` split, zero-filled reassembly
+//! buffer, payload-copying retransmit record, clone-and-resplit NACK
+//! replay — measured by the same loop as the current implementation, so
+//! the comparison is apples-to-apples on whatever machine this runs on:
+//!
+//! ```text
+//! cargo run -q --release -p mmpi-bench --bin record_datagram_baseline [out.json]
+//! ```
+//!
+//! A counting global allocator additionally reports heap allocations per
+//! message, the evidence behind the "zero per-chunk allocations in
+//! steady state" acceptance line (the per-message count must not grow
+//! with the chunk count).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mmpi_wire::{
+    split_message, Assembler, Bytes, Header, MsgKind, RetransmitBuffer, SendDst, HEADER_LEN,
+};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+// --- the seed implementation, verbatim behaviour -------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn seed_split(
+    kind: MsgKind,
+    context: u32,
+    src_rank: u32,
+    tag: u32,
+    seq: u64,
+    payload: &[u8],
+    max_chunk: usize,
+) -> Vec<Vec<u8>> {
+    let msg_len = payload.len() as u32;
+    let chunk_count = payload.len().div_ceil(max_chunk).max(1) as u32;
+    (0..chunk_count)
+        .map(|index| {
+            let start = index as usize * max_chunk;
+            let end = (start + max_chunk).min(payload.len());
+            let chunk = &payload[start..end];
+            let header = Header {
+                kind,
+                context,
+                src_rank,
+                tag,
+                seq,
+                msg_len,
+                chunk_index: index,
+                chunk_count,
+                chunk_len: chunk.len() as u32,
+            };
+            // The seed built a BytesMut then copied out with `to_vec()`.
+            let mut buf = Vec::with_capacity(HEADER_LEN + chunk.len());
+            header.encode(&mut buf);
+            buf.extend_from_slice(chunk);
+            buf.to_vec()
+        })
+        .collect()
+}
+
+struct SeedPartial {
+    received: Vec<bool>,
+    remaining: u32,
+    buffer: Vec<u8>,
+}
+
+#[derive(Default)]
+struct SeedAssembler {
+    partial: HashMap<(u32, u64), SeedPartial>,
+}
+
+impl SeedAssembler {
+    fn feed(&mut self, d: &[u8]) -> Option<Vec<u8>> {
+        let (h, chunk) = Header::decode(d).unwrap();
+        if h.chunk_count == 1 {
+            return Some(chunk.to_vec());
+        }
+        let key = (h.src_rank, h.seq);
+        let e = self.partial.entry(key).or_insert_with(|| SeedPartial {
+            received: vec![false; h.chunk_count as usize],
+            remaining: h.chunk_count,
+            buffer: vec![0; h.msg_len as usize],
+        });
+        let idx = h.chunk_index as usize;
+        if e.received[idx] {
+            return None;
+        }
+        let off = if h.chunk_index + 1 < h.chunk_count {
+            idx * h.chunk_len as usize
+        } else {
+            h.msg_len as usize - h.chunk_len as usize
+        };
+        e.received[idx] = true;
+        e.remaining -= 1;
+        e.buffer[off..off + chunk.len()].copy_from_slice(chunk);
+        if e.remaining == 0 {
+            return Some(self.partial.remove(&key).unwrap().buffer);
+        }
+        None
+    }
+}
+
+/// The seed retransmit record: one full payload copy per recorded send.
+struct SeedRecord {
+    seq: u64,
+    kind: MsgKind,
+    tag: u32,
+    payload: Vec<u8>,
+}
+
+// --- measurement ---------------------------------------------------------
+
+fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn allocs_per(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        f();
+    }
+    (ALLOCS.load(Ordering::Relaxed) - before) / iters as u64
+}
+
+struct Row {
+    id: String,
+    bytes: usize,
+    before_us: f64,
+    after_us: f64,
+}
+
+fn mib_s(bytes: usize, us: f64) -> f64 {
+    bytes as f64 / us * 1e6 / (1 << 20) as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    const TAG: u32 = 7;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // split + assemble, both chunkings.
+    for (size, chunk, iters) in [
+        (1024usize, 1472usize, 20_000usize),
+        (65_536, 1472, 5_000),
+        (1_048_576, 1472, 400),
+        (65_536, 60_000, 5_000),
+        (1_048_576, 60_000, 400),
+    ] {
+        let raw: Vec<u8> = (0..size).map(|i| (i * 131) as u8).collect();
+        let shared = Bytes::from(raw.clone());
+        let before_us = time_us(iters, || {
+            let dgs = seed_split(MsgKind::Data, 0, 1, TAG, 3, &raw, chunk);
+            let mut asm = SeedAssembler::default();
+            let mut out = None;
+            for d in &dgs {
+                if let Some(m) = asm.feed(d) {
+                    out = Some(m);
+                }
+            }
+            std::hint::black_box(out.unwrap());
+        });
+        let after_us = time_us(iters, || {
+            let dgs = split_message(MsgKind::Data, 0, 1, TAG, 3, &shared, chunk);
+            let mut asm = Assembler::new();
+            let mut out = None;
+            for d in &dgs {
+                if let Some(m) = asm.feed(d).unwrap() {
+                    out = Some(m);
+                }
+            }
+            std::hint::black_box(out.unwrap());
+        });
+        rows.push(Row {
+            id: format!("split_assemble/{size}/chunk{chunk}"),
+            bytes: size,
+            before_us,
+            after_us,
+        });
+    }
+
+    // retransmit record.
+    for size in [65_536usize, 1_048_576] {
+        let raw: Vec<u8> = (0..size).map(|i| (i * 131) as u8).collect();
+        let dgs = split_message(MsgKind::Data, 0, 1, TAG, 1, &Bytes::from(raw.clone()), 1472);
+        let mut seed_ring: Vec<SeedRecord> = Vec::new();
+        let before_us = time_us(2_000, || {
+            if seed_ring.len() >= 8 {
+                seed_ring.remove(0);
+            }
+            seed_ring.push(SeedRecord {
+                seq: 1,
+                kind: MsgKind::Data,
+                tag: TAG,
+                payload: raw.to_vec(),
+            });
+            std::hint::black_box(seed_ring.len());
+        });
+        let mut rtx = RetransmitBuffer::new(8);
+        let after_us = time_us(2_000, || {
+            rtx.record(1, SendDst::Multicast, TAG, MsgKind::Data, &dgs);
+            std::hint::black_box(rtx.len());
+        });
+        rows.push(Row {
+            id: format!("record/{size}"),
+            bytes: size,
+            before_us,
+            after_us,
+        });
+    }
+
+    // NACK replay to n requesters (sender-side work only, as in the
+    // transports' repair loop).
+    {
+        let size = 65_536usize;
+        let raw: Vec<u8> = (0..size).map(|i| (i * 131) as u8).collect();
+        let dgs = split_message(MsgKind::Data, 0, 1, TAG, 1, &Bytes::from(raw.clone()), 1472);
+        let mut rtx = RetransmitBuffer::new(8);
+        rtx.record(1, SendDst::Multicast, TAG, MsgKind::Data, &dgs);
+        let seed_rec = SeedRecord {
+            seq: 1,
+            kind: MsgKind::Data,
+            tag: TAG,
+            payload: raw.clone(),
+        };
+        for n in [4usize, 16, 64] {
+            let before_us = time_us(1_000, || {
+                let mut sent = 0usize;
+                for _req in 0..n {
+                    // Seed repair loop: clone the payload out of the ring,
+                    // then re-split it into fresh wire datagrams.
+                    let pl = seed_rec.payload.clone();
+                    for d in seed_split(seed_rec.kind, 0, 1, seed_rec.tag, seed_rec.seq, &pl, 1472)
+                    {
+                        sent += d.len();
+                    }
+                }
+                std::hint::black_box(sent);
+            });
+            let after_us = time_us(1_000, || {
+                let mut sent = 0usize;
+                for req in 0..n as u32 {
+                    for r in rtx.matching(req, TAG) {
+                        for d in &r.datagrams {
+                            sent += std::hint::black_box(d.clone()).len();
+                        }
+                    }
+                }
+                std::hint::black_box(sent);
+            });
+            rows.push(Row {
+                id: format!("nack_replay/65536/n{n}"),
+                bytes: size * n,
+                before_us,
+                after_us,
+            });
+        }
+    }
+
+    // Allocation counts per message: must be constant in the chunk count
+    // for the new path ("zero per-chunk heap allocations").
+    let mut alloc_rows = Vec::new();
+    for (chunks, chunk) in [(2usize, 60_000usize), (45, 1472)] {
+        let size = 65_536usize;
+        let raw: Vec<u8> = (0..size).map(|i| (i * 131) as u8).collect();
+        let shared = Bytes::from(raw.clone());
+        let before = allocs_per(500, || {
+            let dgs = seed_split(MsgKind::Data, 0, 1, TAG, 3, &raw, chunk);
+            let mut asm = SeedAssembler::default();
+            for d in &dgs {
+                std::hint::black_box(asm.feed(d));
+            }
+        });
+        let after = allocs_per(500, || {
+            let dgs = split_message(MsgKind::Data, 0, 1, TAG, 3, &shared, chunk);
+            let mut asm = Assembler::new();
+            for d in &dgs {
+                std::hint::black_box(asm.feed(d).unwrap());
+            }
+        });
+        alloc_rows.push((chunks, before, after));
+    }
+
+    // Render JSON by hand (no serde in the offline workspace).
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"bench\": \"datagram_path\",");
+    let _ = writeln!(
+        j,
+        "  \"method\": \"cargo run -q --release -p mmpi-bench --bin record_datagram_baseline\","
+    );
+    let _ = writeln!(
+        j,
+        "  \"note\": \"before = seed wire path (per-chunk Vec<Vec<u8>> split, zero-filled reassembly, payload-copying record, clone+resplit replay), reimplemented verbatim in the recorder and measured by the same loop as the current zero-copy Bytes path\","
+    );
+    let _ = writeln!(j, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"id\": \"{}\", \"before_us\": {:.3}, \"after_us\": {:.3}, \"before_mib_s\": {:.0}, \"after_mib_s\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.id,
+            r.before_us,
+            r.after_us,
+            mib_s(r.bytes, r.before_us),
+            mib_s(r.bytes, r.after_us),
+            r.before_us / r.after_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"allocations_per_message\": [");
+    for (i, (chunks, before, after)) in alloc_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"id\": \"split_assemble 64KiB, {chunks} chunks\", \"before\": {before}, \"after\": {after}}}{}",
+            if i + 1 < alloc_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let sa64 = rows
+        .iter()
+        .find(|r| r.id == "split_assemble/65536/chunk60000")
+        .expect("present");
+    let sa64_mtu = rows
+        .iter()
+        .find(|r| r.id == "split_assemble/65536/chunk1472")
+        .expect("present");
+    let (a2, a45) = (alloc_rows[0].2, alloc_rows[1].2);
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(
+        j,
+        "    \"split_assemble_64KiB_default_chunking_speedup\": {:.2},",
+        sa64.before_us / sa64.after_us
+    );
+    let _ = writeln!(
+        j,
+        "    \"split_assemble_64KiB_mtu_chunking_speedup\": {:.2},",
+        sa64_mtu.before_us / sa64_mtu.after_us
+    );
+    let _ = writeln!(
+        j,
+        "    \"per_message_allocs_2_chunks\": {a2},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"per_message_allocs_45_chunks\": {a45},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"per_chunk_allocs_steady_state\": {}",
+        if a45 <= a2 + 2 { "0" } else { "-1" }
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out_path, &j).expect("write baseline json");
+    println!("{j}");
+    eprintln!("wrote {out_path}");
+}

@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use mmpi_transport::Comm;
-use mmpi_wire::MsgKind;
+use mmpi_wire::{Bytes, MsgKind};
 
 use crate::bcast::{scout_reduce_binomial, scout_reduce_linear};
 use crate::tags::{OpTags, Phase};
@@ -64,7 +64,7 @@ pub fn barrier_dissemination<C: Comm>(c: &mut C, tags: OpTags) {
     while dist < n {
         let to = (rank + dist) % n;
         let from = (rank + n - dist) % n;
-        c.send_kind(to, tag, MsgKind::Scout, &[]);
+        c.send_kind(to, tag, MsgKind::Scout, &Bytes::new());
         c.recv_match(from, tag);
         dist <<= 1;
     }
@@ -85,7 +85,7 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
     if rank >= k {
         // Phase 1: report in; phase 3: wait for release.
         c.compute(layer);
-        c.send_kind(rank - k, scout, MsgKind::Scout, &[]);
+        c.send_kind(rank - k, scout, MsgKind::Scout, &Bytes::new());
         c.recv_match(rank - k, release);
         c.compute(layer);
         c.tcp_ack_model(rank - k, 1);
@@ -102,7 +102,7 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
     while mask < k {
         let partner = rank ^ mask;
         c.compute(layer);
-        c.send_kind(partner, exch, MsgKind::Scout, &[]);
+        c.send_kind(partner, exch, MsgKind::Scout, &Bytes::new());
         c.recv_match(partner, exch);
         c.compute(layer);
         c.tcp_ack_model(partner, 1);
@@ -111,7 +111,7 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
     // Phase 3: release the overflow processes.
     if rank + k < n {
         c.compute(layer);
-        c.send_kind(rank + k, release, MsgKind::Release, &[]);
+        c.send_kind(rank + k, release, MsgKind::Release, &Bytes::new());
     }
 }
 
@@ -124,7 +124,7 @@ pub fn barrier_mcast_binary<C: Comm>(c: &mut C, tags: OpTags) {
     scout_reduce_binomial(c, tags, 0);
     let release = tags.tag(Phase::Release);
     if c.rank() == 0 {
-        c.mcast_kind(release, MsgKind::Release, &[]);
+        c.mcast_kind(release, MsgKind::Release, &Bytes::new());
     } else {
         c.recv_match(0, release);
     }
@@ -138,7 +138,7 @@ pub fn barrier_mcast_linear<C: Comm>(c: &mut C, tags: OpTags) {
     scout_reduce_linear(c, tags, 0);
     let release = tags.tag(Phase::Release);
     if c.rank() == 0 {
-        c.mcast_kind(release, MsgKind::Release, &[]);
+        c.mcast_kind(release, MsgKind::Release, &Bytes::new());
     } else {
         c.recv_match(0, release);
     }

@@ -32,7 +32,7 @@
 use std::time::Duration;
 
 use mmpi_transport::Comm;
-use mmpi_wire::MsgKind;
+use mmpi_wire::{Bytes, MsgKind};
 
 use crate::tags::{OpTags, Phase};
 
@@ -176,15 +176,20 @@ pub fn bcast_mpich_binomial<C: Comm>(
         }
         mask <<= 1;
     }
-    // Forward to children in descending-mask order.
+    // Forward to children in descending-mask order. Import the buffer
+    // into shared wire form once; every child send slices it. Leaf
+    // ranks (mask already 0) skip the import entirely.
     mask >>= 1;
-    while mask > 0 {
-        if relrank + mask < n {
-            let dst = (rank + mask) % n;
-            c.compute(layer);
-            c.send(dst, tag, buf);
+    if mask > 0 {
+        let wire = Bytes::from(&*buf);
+        while mask > 0 {
+            if relrank + mask < n {
+                let dst = (rank + mask) % n;
+                c.compute(layer);
+                c.send_kind(dst, tag, MsgKind::Data, &wire);
+            }
+            mask >>= 1;
         }
-        mask >>= 1;
     }
 }
 
@@ -212,7 +217,7 @@ pub(crate) fn scout_reduce_binomial<C: Comm>(c: &mut C, tags: OpTags, root: usiz
         } else {
             // Send our (sub-tree's) scout to the parent and stop.
             let dst = (rank + n - mask) % n;
-            c.send_kind(dst, tag, MsgKind::Scout, &[]);
+            c.send_kind(dst, tag, MsgKind::Scout, &Bytes::new());
             return;
         }
         mask <<= 1;
@@ -229,7 +234,7 @@ pub(crate) fn scout_reduce_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize)
             c.recv_any(tag);
         }
     } else {
-        c.send_kind(root, tag, MsgKind::Scout, &[]);
+        c.send_kind(root, tag, MsgKind::Scout, &Bytes::new());
     }
 }
 
@@ -242,9 +247,9 @@ pub fn bcast_mcast_binary<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &m
     scout_reduce_binomial(c, tags, root);
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
-        c.mcast_kind(tag, MsgKind::Data, buf);
+        c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));
     } else {
-        *buf = c.recv_match(root, tag).payload;
+        *buf = c.recv_match(root, tag).into_vec();
     }
 }
 
@@ -257,9 +262,9 @@ pub fn bcast_mcast_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &m
     scout_reduce_linear(c, tags, root);
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
-        c.mcast_kind(tag, MsgKind::Data, buf);
+        c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));
     } else {
-        *buf = c.recv_match(root, tag).payload;
+        *buf = c.recv_match(root, tag).into_vec();
     }
 }
 
@@ -285,7 +290,9 @@ pub fn bcast_pvm_ack<C: Comm>(
     let data_tag = tags.tag(Phase::Data);
     let ack_tag = tags.tag(Phase::Ack);
     if c.rank() == root {
-        let seq = c.mcast_kind(data_tag, MsgKind::Data, buf);
+        // Written into wire form once; every retransmission re-slices it.
+        let wire = Bytes::from(&*buf);
+        let seq = c.mcast_kind(data_tag, MsgKind::Data, &wire);
         let mut acked = vec![false; n];
         acked[root] = true;
         let mut missing = n - 1;
@@ -305,13 +312,13 @@ pub fn bcast_pvm_ack<C: Comm>(
                         rounds <= cfg.max_retransmits,
                         "pvm-ack broadcast: {missing} receivers never acknowledged"
                     );
-                    c.mcast_resend(data_tag, MsgKind::Data, buf, seq);
+                    c.mcast_resend(data_tag, MsgKind::Data, &wire, seq);
                 }
             }
         }
     } else {
-        *buf = c.recv_match(root, data_tag).payload;
-        c.send_kind(root, ack_tag, MsgKind::Ack, &[]);
+        *buf = c.recv_match(root, data_tag).into_vec();
+        c.send_kind(root, ack_tag, MsgKind::Ack, &Bytes::new());
     }
 }
 
@@ -320,9 +327,10 @@ pub fn bcast_flat_tree<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut 
     let n = c.size();
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
+        let wire = Bytes::from(&*buf);
         for dst in 0..n {
             if dst != root {
-                c.send(dst, tag, buf);
+                c.send_kind(dst, tag, MsgKind::Data, &wire);
             }
         }
     } else {

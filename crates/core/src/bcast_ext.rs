@@ -63,7 +63,9 @@ pub fn bcast_chain<C: Comm>(
             let m = c.recv_match((rank + n - 1) % n, tag);
             let last = m.payload.len() < segment;
             if !is_tail {
-                c.send(next, tag, &m.payload);
+                // Forward the received segment as the shared view it
+                // already is — no per-hop copy.
+                c.send_kind(next, tag, mmpi_wire::MsgKind::Data, &m.payload);
             }
             assembled.extend_from_slice(&m.payload);
             if last {

@@ -49,7 +49,8 @@ pub fn gather<C: Comm>(c: &mut C, tags: OpTags, root: usize, send: &[u8]) -> Opt
         out[root] = send.to_vec();
         for _ in 0..n - 1 {
             let m = c.recv_any(tag);
-            out[m.src_rank as usize] = m.payload;
+            let src = m.src_rank as usize;
+            out[src] = m.into_vec();
         }
         Some(out)
     } else {

@@ -15,7 +15,7 @@
 use std::time::Duration;
 
 use mmpi_transport::{Comm, Tag};
-use mmpi_wire::{Message, MsgKind};
+use mmpi_wire::{Bytes, Message, MsgKind};
 
 /// A communicator over a subset of a parent communicator's ranks.
 ///
@@ -115,13 +115,13 @@ impl<C: Comm> Comm for GroupComm<'_, C> {
         self.parent.context()
     }
 
-    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
         let world = self.members[dst];
         let t = self.shift(tag);
         self.parent.send_kind(world, t, kind, payload)
     }
 
-    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
         // Unicast fan-out within the group (see module docs).
         let t = self.shift(tag);
         let me = self.my_rank;
@@ -135,7 +135,7 @@ impl<C: Comm> Comm for GroupComm<'_, C> {
         last_seq
     }
 
-    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], _seq: u64) {
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, _seq: u64) {
         // Fan-out again; per-destination sequence numbers are fresh, so
         // receivers treat it as a new message (fan-out unicast is already
         // reliable in order of the underlying transport's semantics).

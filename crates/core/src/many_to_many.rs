@@ -22,7 +22,7 @@
 //! in `mmpi-transport` and the walkthrough in `docs/PROTOCOL.md`).
 
 use mmpi_transport::Comm;
-use mmpi_wire::MsgKind;
+use mmpi_wire::{Bytes, MsgKind};
 
 use crate::tags::{OpTags, Phase};
 
@@ -70,10 +70,10 @@ pub fn allgather_mcast<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec
         if i == rank {
             *slot = mine.to_vec();
             if n > 1 {
-                c.mcast_kind(tag, MsgKind::Data, mine);
+                c.mcast_kind(tag, MsgKind::Data, &Bytes::from(mine));
             }
         } else {
-            *slot = c.recv_match(i, tag).payload;
+            *slot = c.recv_match(i, tag).into_vec();
         }
     }
     out
@@ -105,11 +105,11 @@ pub fn alltoall_mcast_naive<C: Comm>(
         let buf = if i == rank {
             out[i] = sends[rank].clone();
             if n > 1 {
-                c.mcast_kind(tag, MsgKind::Data, &framed);
+                c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&framed));
             }
             continue;
         } else {
-            c.recv_match(i, tag).payload
+            c.recv_match(i, tag).into_vec()
         };
         // Extract only the part addressed to us.
         let mut off = 0usize;

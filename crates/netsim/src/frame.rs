@@ -6,10 +6,95 @@
 //! reference to its datagram (an `Arc`, so fragmentation never copies
 //! payload bytes) plus its fragment index. A host reassembles a datagram
 //! when all of its fragments have arrived.
+//!
+//! Payload bytes are carried as a [`SharedPayload`] — a short sequence of
+//! reference-counted [`Bytes`] segments (typically a wire-header view
+//! plus a payload view) — so a datagram entering the simulator is never
+//! flattened or copied, no matter how often its frames are cloned for
+//! multicast fan-out, duplication, or reordering redelivery.
 
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use crate::ids::{DatagramDst, GroupId, HostId, UdpPort};
+
+/// The bytes of one UDP datagram, as zero-copy shared segments.
+///
+/// The simulator only ever needs lengths (for timing and buffer
+/// accounting); protocol code above reconstructs its wire view from the
+/// segments without a copy. `clone` is a few reference-count bumps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharedPayload {
+    segments: Vec<Bytes>,
+    len: usize,
+}
+
+impl SharedPayload {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from shared segments, kept verbatim (including empty ones —
+    /// protocol code may rely on the segment arity, e.g. a wire header
+    /// view followed by an empty payload view).
+    pub fn from_segments(segments: Vec<Bytes>) -> Self {
+        let len = segments.iter().map(Bytes::len).sum();
+        SharedPayload { segments, len }
+    }
+
+    /// Total payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying shared segments.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Flatten into one freshly allocated `Vec` (tests and tracing; the
+    /// data path never calls this).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len);
+        for s in &self.segments {
+            v.extend_from_slice(s);
+        }
+        v
+    }
+}
+
+impl std::ops::Index<usize> for SharedPayload {
+    type Output = u8;
+    fn index(&self, index: usize) -> &u8 {
+        let mut i = index;
+        for s in &self.segments {
+            if i < s.len() {
+                return &s[i];
+            }
+            i -= s.len();
+        }
+        panic!("index {index} out of bounds of {}-byte payload", self.len);
+    }
+}
+
+impl From<Vec<u8>> for SharedPayload {
+    fn from(v: Vec<u8>) -> Self {
+        SharedPayload::from_segments(vec![Bytes::from(v)])
+    }
+}
+
+impl From<Bytes> for SharedPayload {
+    fn from(b: Bytes) -> Self {
+        SharedPayload::from_segments(vec![b])
+    }
+}
 
 /// One UDP datagram in flight.
 #[derive(Debug)]
@@ -24,8 +109,9 @@ pub struct Datagram {
     pub dst: DatagramDst,
     /// Destination UDP port.
     pub dst_port: UdpPort,
-    /// The payload handed to the simulated socket layer.
-    pub payload: Vec<u8>,
+    /// The payload handed to the simulated socket layer (shared, never
+    /// copied inside the simulator).
+    pub payload: SharedPayload,
     /// True for kernel-generated traffic (e.g. modelled TCP acks): charged
     /// a smaller host overhead and excluded from data-frame statistics.
     pub kernel: bool,
@@ -149,7 +235,7 @@ mod tests {
             src_port: UdpPort(1000),
             dst,
             dst_port: UdpPort(2000),
-            payload: vec![0xAB; len],
+            payload: vec![0xAB; len].into(),
             kernel: false,
         })
     }

@@ -243,7 +243,7 @@ mod tests {
             src_port: UdpPort(9),
             dst,
             dst_port: UdpPort(dst_port),
-            payload: vec![1; len],
+            payload: vec![1; len].into(),
             kernel: false,
         })
     }

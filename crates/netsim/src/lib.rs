@@ -40,7 +40,7 @@
 //!         p.send(sock, DatagramDst::Multicast(group), 5000, vec![7u8; 1024]);
 //!         Vec::new()
 //!     } else {
-//!         p.recv(sock).payload.clone()
+//!         p.recv(sock).payload.to_vec()
 //!     }
 //! })
 //! .unwrap();
@@ -68,6 +68,7 @@ pub mod world;
 
 pub use cluster::{run_cluster, ClusterConfig, RunReport};
 pub use error::SimError;
+pub use frame::{Datagram, SharedPayload};
 pub use ids::{DatagramDst, GroupId, HostId, SocketId, UdpPort};
 pub use params::{EthernetParams, FabricKind, HostParams, IpParams, NetParams, SwitchParams};
 pub use process::SimProcess;

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::frame::Datagram;
+use crate::frame::{Datagram, SharedPayload};
 use crate::ids::{DatagramDst, GroupId, SocketId, UdpPort};
 use crate::time::{SimDuration, SimTime};
 
@@ -52,8 +52,8 @@ pub enum Request {
         dst: DatagramDst,
         /// Destination port.
         dst_port: UdpPort,
-        /// Payload bytes.
-        payload: Vec<u8>,
+        /// Payload bytes (shared segments — never copied by the driver).
+        payload: SharedPayload,
         /// Kernel-generated traffic (modelled TCP acks): cheaper host
         /// cost, separate statistics.
         kernel: bool,
@@ -218,13 +218,22 @@ impl SimProcess {
 
     /// Send `payload` as one UDP datagram to a unicast or multicast
     /// destination. Returns once the host stack has accepted the datagram
-    /// (UDP semantics — no delivery guarantee).
-    pub fn send(&mut self, socket: SocketId, dst: DatagramDst, dst_port: u16, payload: Vec<u8>) {
+    /// (UDP semantics — no delivery guarantee). Accepts anything
+    /// convertible into a [`SharedPayload`] (a `Vec<u8>`, a
+    /// `bytes::Bytes`, or pre-built shared segments) — conversion never
+    /// copies payload bytes.
+    pub fn send(
+        &mut self,
+        socket: SocketId,
+        dst: DatagramDst,
+        dst_port: u16,
+        payload: impl Into<SharedPayload>,
+    ) {
         self.call(Request::Send {
             socket,
             dst,
             dst_port: UdpPort(dst_port),
-            payload,
+            payload: payload.into(),
             kernel: false,
         });
     }
@@ -237,13 +246,13 @@ impl SimProcess {
         socket: SocketId,
         dst: DatagramDst,
         dst_port: u16,
-        payload: Vec<u8>,
+        payload: impl Into<SharedPayload>,
     ) {
         self.call(Request::Send {
             socket,
             dst,
             dst_port: UdpPort(dst_port),
-            payload,
+            payload: payload.into(),
             kernel: true,
         });
     }

@@ -16,7 +16,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::event::{Event, EventQueue};
-use crate::frame::{fragment_datagram, Datagram, Frame, FramePayload};
+use crate::frame::{fragment_datagram, Datagram, Frame, FramePayload, SharedPayload};
 use crate::host::{Delivery, DeliveryFailure, HostStack};
 use crate::hub::{Arbitration, Hub};
 use crate::ids::{DatagramDst, GroupId, HostId, SocketId, SwitchPort, UdpPort};
@@ -259,7 +259,7 @@ impl World {
         src_port: UdpPort,
         dst: DatagramDst,
         dst_port: UdpPort,
-        payload: Vec<u8>,
+        payload: SharedPayload,
         at: SimTime,
         multicast_loopback: bool,
         kernel: bool,

@@ -285,7 +285,7 @@ fn self_send_uses_loopback_not_wire() {
         p.recv(s).payload.clone()
     })
     .unwrap();
-    assert_eq!(report.outputs[0], vec![1, 2, 3]);
+    assert_eq!(report.outputs[0].to_vec(), vec![1, 2, 3]);
     assert_eq!(report.stats.frames_sent, 0, "loopback bypasses the wire");
 }
 

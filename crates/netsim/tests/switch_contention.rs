@@ -89,7 +89,7 @@ fn runtime_leave_stops_multicast_delivery() {
                 p.send(s, DatagramDst::Multicast(g), PORT, vec![7; 200]);
                 true
             }
-            1 => p.recv(s).payload == vec![7; 200],
+            1 => p.recv(s).payload.to_vec() == vec![7; 200],
             _ => {
                 // Leave the group, tell the root, and verify silence.
                 p.leave_group(s, g);

@@ -28,7 +28,7 @@ fn hub_collision_appears_in_trace_with_both_stations() {
             PORT,
             DatagramDst::Unicast(HostId(0)),
             PORT,
-            vec![h as u8; 100],
+            vec![h as u8; 100].into(),
             at,
             false,
             false,
@@ -60,8 +60,8 @@ fn hub_backoff_separates_retransmissions_in_time() {
     }
     // Both ends of a 2-host hub transmit simultaneously.
     let at = SimTime::from_micros(5);
-    world.send_datagram(HostId(0), PORT, DatagramDst::Unicast(HostId(1)), PORT, vec![0; 50], at, false, false);
-    world.send_datagram(HostId(1), PORT, DatagramDst::Unicast(HostId(0)), PORT, vec![1; 50], at, false, false);
+    world.send_datagram(HostId(0), PORT, DatagramDst::Unicast(HostId(1)), PORT, vec![0; 50].into(), at, false, false);
+    world.send_datagram(HostId(1), PORT, DatagramDst::Unicast(HostId(0)), PORT, vec![1; 50].into(), at, false, false);
     drain(&mut world);
     let trace = world.trace().unwrap();
     let tx_times: Vec<SimTime> = trace
@@ -96,7 +96,7 @@ fn strict_mode_drop_reason_is_traced() {
         PORT,
         DatagramDst::Multicast(GroupId(1)),
         PORT,
-        vec![9; 100],
+        vec![9; 100].into(),
         SimTime::from_micros(1),
         false,
         false,
@@ -129,7 +129,7 @@ fn trace_capacity_is_respected_under_load() {
             PORT,
             DatagramDst::Unicast(HostId(1)),
             PORT,
-            vec![0; 10],
+            vec![0; 10].into(),
             SimTime::from_micros(1 + i * 200),
             false,
             false,

@@ -1,5 +1,5 @@
 //! The blocking communication interface the collective algorithms
-//! program against.
+//! program against — and the backend-shared halves of it.
 //!
 //! [`Comm`] deliberately mirrors what the paper's implementation had
 //! underneath MPICH's ADI: unreliable unicast/multicast datagram sends,
@@ -10,17 +10,25 @@
 //! * [`crate::udp::UdpComm`] — real UDP + IP multicast sockets,
 //! * [`crate::mem::MemComm`] — in-memory channels (fast correctness tests).
 //!
+//! Payloads are [`Bytes`]: a message is written once (by the sender into
+//! its wire encoding) and only *sliced* thereafter — chunking, the
+//! retransmit ring, NACK replays, and multicast fan-out all clone
+//! reference-counted views, never payload bytes (`docs/PERFORMANCE.md`).
+//!
 //! The sim and UDP backends optionally run a NACK-based **repair loop**
-//! (see [`RepairConfig`] and `docs/PROTOCOL.md`): blocked receives poll
-//! with a timeout, solicit retransmissions from the awaited sender, and
-//! answer incoming NACKs out of a sender-side
-//! [`mmpi_wire::RetransmitBuffer`] — which is what lets the collectives
-//! complete unmodified on a lossy fabric.
+//! (see [`RepairConfig`] and `docs/PROTOCOL.md`). The *policy* — when to
+//! solicit, how NACKs are serviced, how an endpoint drains on shutdown —
+//! is implemented exactly once, in [`EndpointCore`], parameterized over
+//! the backend's clock and socket primitives via the [`RepairPump`]
+//! trait; the two backends cannot drift (ROADMAP "repair-loop dedup").
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
-use mmpi_wire::{Assembler, Message, MsgKind, WireError};
+use mmpi_wire::{
+    split_message, Assembler, Bytes, Datagram, Message, MsgKind, RepairStats, RetransmitBuffer,
+    SendDst, WireError,
+};
 
 /// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
 /// backends. `None` (the default in both backend configs) disables repair
@@ -87,6 +95,11 @@ pub const FIRE_AND_FORGET_TAG: Tag = u32::MAX;
 /// * Receives match on `(source rank, tag)` within this communicator's
 ///   context; non-matching messages are buffered, never dropped.
 /// * Per-sender sequence numbers deduplicate retransmitted multicasts.
+///
+/// The `*_kind` primitives take `&Bytes` so an already-shared payload
+/// (e.g. a received [`Message`] being forwarded) moves through without a
+/// copy; the [`Comm::send`]/[`Comm::mcast`] conveniences accept anything
+/// convertible (slices and `Vec`s pay the one unavoidable import copy).
 pub trait Comm {
     /// This process's rank in `0..size()`.
     fn rank(&self) -> usize;
@@ -96,15 +109,15 @@ pub trait Comm {
     fn context(&self) -> u32;
 
     /// Unicast `payload` to `dst`. Returns the sequence number used.
-    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64;
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64;
 
     /// Multicast `payload` to every rank of the communicator's group
     /// (excluding self). Returns the sequence number used.
-    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64;
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64;
 
     /// Retransmit a multicast with an explicit (previously used) sequence
     /// number, so receivers that already have it deduplicate.
-    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64);
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64);
 
     /// Block until a message from `src` with `tag` arrives.
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message;
@@ -132,18 +145,28 @@ pub trait Comm {
     }
 
     /// Convenience: unicast data.
-    fn send(&mut self, dst: usize, tag: Tag, payload: &[u8]) -> u64 {
-        self.send_kind(dst, tag, MsgKind::Data, payload)
+    fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Bytes>) -> u64
+    where
+        Self: Sized,
+    {
+        let payload = payload.into();
+        self.send_kind(dst, tag, MsgKind::Data, &payload)
     }
 
     /// Convenience: multicast data.
-    fn mcast(&mut self, tag: Tag, payload: &[u8]) -> u64 {
-        self.mcast_kind(tag, MsgKind::Data, payload)
+    fn mcast(&mut self, tag: Tag, payload: impl Into<Bytes>) -> u64
+    where
+        Self: Sized,
+    {
+        let payload = payload.into();
+        self.mcast_kind(tag, MsgKind::Data, &payload)
     }
 
-    /// Convenience: receive and return just the payload.
+    /// Convenience: receive and return just the payload, as an owned
+    /// `Vec` (free when the message owns its buffer, one copy when it is
+    /// a zero-copy slice of a larger receive buffer).
     fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        self.recv_match(src, tag).payload
+        self.recv_match(src, tag).into_vec()
     }
 }
 
@@ -178,20 +201,11 @@ impl Inbox {
         }
     }
 
-    /// Feed raw datagram bytes (from a socket). Malformed datagrams are
-    /// rejected — an unreliable network may hand us anything.
-    pub fn ingest_datagram(&mut self, bytes: &[u8]) -> Result<(), WireError> {
-        self.ingest_datagram_via(bytes, false)
-    }
-
-    /// Like [`Inbox::ingest_datagram`] but marking the datagram as having
-    /// arrived on a multicast socket (enables the self-echo filter).
-    pub fn ingest_datagram_via(
-        &mut self,
-        bytes: &[u8],
-        via_multicast: bool,
-    ) -> Result<(), WireError> {
-        match self.assembler.feed(bytes) {
+    /// Feed one wire datagram (already in header-view/payload-view form —
+    /// zero-copy). Malformed datagrams are rejected — an unreliable
+    /// network may hand us anything.
+    pub fn ingest_wire(&mut self, datagram: &Datagram, via_multicast: bool) -> Result<(), WireError> {
+        match self.assembler.feed(datagram) {
             Ok(Some(m)) => {
                 self.ingest_message(m, via_multicast);
                 Ok(())
@@ -199,6 +213,22 @@ impl Inbox {
             Ok(None) => Ok(()),
             Err(e) => Err(e),
         }
+    }
+
+    /// Feed raw contiguous datagram bytes (one socket read).
+    pub fn ingest_datagram(&mut self, bytes: &Bytes) -> Result<(), WireError> {
+        self.ingest_datagram_via(bytes, false)
+    }
+
+    /// Like [`Inbox::ingest_datagram`] but marking the datagram as having
+    /// arrived on a multicast socket (enables the self-echo filter).
+    pub fn ingest_datagram_via(
+        &mut self,
+        bytes: &Bytes,
+        via_multicast: bool,
+    ) -> Result<(), WireError> {
+        let dg = Datagram::from_contiguous(bytes.clone())?;
+        self.ingest_wire(&dg, via_multicast)
     }
 
     /// Feed an already-decoded message. `via_multicast` enables the
@@ -259,6 +289,282 @@ impl Inbox {
     }
 }
 
+/// Backend primitives the shared repair/receive loops are parameterized
+/// over: a clock (virtual or wall) and a socket pump. Implemented by the
+/// sim backend over [`mmpi_netsim::SimTime`] and by the UDP backend over
+/// [`std::time::Instant`]; the loops in [`EndpointCore`] are written once
+/// against this trait.
+pub trait RepairPump {
+    /// Monotone instant on this backend's clock.
+    type Instant: Copy + PartialOrd;
+
+    /// The current instant.
+    fn now(&mut self) -> Self::Instant;
+
+    /// The instant `d` from now.
+    fn deadline_in(&mut self, d: Duration) -> Self::Instant;
+
+    /// Block until one datagram has been received and ingested into
+    /// `core`'s inbox, or `until` passes (`None`: wait indefinitely).
+    /// Malformed datagrams are ingested-and-ignored, not errors.
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Self::Instant>);
+
+    /// Drain-phase pump: wait up to `quiet` for one datagram, ingesting
+    /// it into `core`. Returns `false` when the wait elapsed silently
+    /// (or the backend is tearing down — drain must never panic).
+    fn pump_drain(&mut self, core: &mut EndpointCore, quiet: Duration) -> bool;
+
+    /// Hand already-encoded datagrams to rank `dst`, unicast. Used for
+    /// NACKs and retransmissions — the datagrams are shared views, so
+    /// implementations must not need to copy payload bytes (a real
+    /// socket's contiguous write is the one allowed exception).
+    fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]);
+}
+
+/// The backend-independent half of a transport endpoint: sequence
+/// numbers, wire encoding, the receive inbox, the retransmit ring, and —
+/// written exactly once for all backends — the NACK service / solicit /
+/// drain policy of `docs/PROTOCOL.md`, driven through a [`RepairPump`].
+#[derive(Debug)]
+pub struct EndpointCore {
+    context: u32,
+    rank: usize,
+    n: usize,
+    max_chunk: usize,
+    /// Repair tuning; `None` disables the repair loop entirely.
+    pub repair: Option<RepairConfig>,
+    /// Receive-side bookkeeping.
+    pub inbox: Inbox,
+    rtx: RetransmitBuffer,
+    rstats: RepairStats,
+    next_seq: u64,
+}
+
+impl EndpointCore {
+    /// A fresh endpoint core for `rank` of `n`, chunking at `max_chunk`.
+    pub fn new(
+        context: u32,
+        rank: usize,
+        n: usize,
+        max_chunk: usize,
+        repair: Option<RepairConfig>,
+    ) -> Self {
+        EndpointCore {
+            context,
+            rank,
+            n,
+            max_chunk,
+            repair,
+            inbox: Inbox::new(context, rank as u32),
+            rtx: RetransmitBuffer::new(
+                repair
+                    .map(|r| r.buffer_cap)
+                    .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
+            ),
+            rstats: RepairStats::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Communicator context id.
+    pub fn context(&self) -> u32 {
+        self.context
+    }
+
+    /// Allocate the next send sequence number.
+    pub fn fresh_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Encode a message into wire datagrams (zero-copy views of
+    /// `payload`).
+    pub fn encode(&self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) -> Vec<Datagram> {
+        split_message(
+            kind,
+            self.context,
+            self.rank as u32,
+            tag,
+            seq,
+            payload,
+            self.max_chunk,
+        )
+    }
+
+    /// Remember an encoded send for retransmission — only when the repair
+    /// loop is armed (recording clones `Bytes` handles, never bytes).
+    pub fn record_if_armed(
+        &mut self,
+        seq: u64,
+        dst: SendDst,
+        tag: Tag,
+        kind: MsgKind,
+        datagrams: &[Datagram],
+    ) {
+        if self.repair.is_some() {
+            self.rtx.record(seq, dst, tag, kind, datagrams);
+        }
+    }
+
+    /// Repair counters of this endpoint so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.rstats
+    }
+
+    /// Answer every queued NACK out of the retransmit buffer: unicast
+    /// re-sends to the requester, original sequence numbers (receivers
+    /// that already have the message dedup the copy). The re-sent
+    /// datagrams are the recorded views themselves — no per-record clone.
+    pub fn service_nacks<P: RepairPump>(&mut self, io: &mut P) {
+        if self.repair.is_none() {
+            return;
+        }
+        while let Some(nack) = self.inbox.take_nack() {
+            self.rstats.nacks_received += 1;
+            let requester = nack.src_rank;
+            if requester as usize >= self.n {
+                // Malformed rank (stray traffic on a real port; cannot
+                // happen on the closed simulated fabric): ignore.
+                continue;
+            }
+            let mut answered = false;
+            for record in self.rtx.matching(requester, nack.tag) {
+                self.rstats.retransmits_sent += 1;
+                io.send_encoded(requester as usize, &record.datagrams);
+                answered = true;
+            }
+            if !answered {
+                self.rstats.unanswered_nacks += 1;
+            }
+        }
+    }
+
+    /// Solicit a retransmission of `tag` traffic: NACK the awaited source
+    /// (or, for an any-source receive, every peer).
+    fn solicit<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) {
+        match src {
+            Some(s) if s != self.rank => self.send_nack(io, s, tag),
+            Some(_) => {}
+            None => {
+                for p in 0..self.n {
+                    if p != self.rank {
+                        self.send_nack(io, p, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_nack<P: RepairPump>(&mut self, io: &mut P, dst: usize, tag: Tag) {
+        self.rstats.nacks_sent += 1;
+        let seq = self.fresh_seq();
+        let dgs = self.encode(tag, MsgKind::Nack, &Bytes::new(), seq);
+        io.send_encoded(dst, &dgs);
+    }
+
+    /// First solicitation deadline for a fresh blocking receive.
+    fn first_repair_at<P: RepairPump>(&self, io: &mut P) -> Option<P::Instant> {
+        self.repair.map(|rc| io.deadline_in(rc.nack_timeout))
+    }
+
+    /// One blocking-receive step against an absolute solicitation
+    /// deadline. Ingests whatever arrives first; once `repair_at` passes,
+    /// solicits and returns the next deadline. The deadline is absolute —
+    /// not a quiet period — so a NACK storm from stuck peers cannot
+    /// starve this rank's own repair requests by keeping its socket busy.
+    fn pump_repair<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        src: Option<usize>,
+        tag: Tag,
+        repair_at: Option<P::Instant>,
+    ) -> Option<P::Instant> {
+        let Some(rc) = self.repair else {
+            io.pump_one(self, None);
+            return None;
+        };
+        let at = repair_at.expect("repair on implies a solicitation deadline");
+        if io.now() >= at {
+            self.solicit(io, src, tag);
+            return Some(io.deadline_in(rc.nack_timeout));
+        }
+        io.pump_one(self, Some(at));
+        Some(at)
+    }
+
+    /// The blocking receive loop (any backend): service NACKs, match,
+    /// otherwise pump with repair solicitation.
+    pub fn recv_loop<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) -> Message {
+        let mut repair_at = self.first_repair_at(io);
+        loop {
+            self.service_nacks(io);
+            if let Some(m) = self.inbox.take_match(src, tag) {
+                return m;
+            }
+            repair_at = self.pump_repair(io, src, tag, repair_at);
+        }
+    }
+
+    /// [`EndpointCore::recv_loop`] with a deadline.
+    pub fn recv_loop_timeout<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Option<Message> {
+        let deadline = io.deadline_in(timeout);
+        let mut repair_at = self.first_repair_at(io);
+        loop {
+            self.service_nacks(io);
+            if let Some(m) = self.inbox.take_match(src, tag) {
+                return Some(m);
+            }
+            let now = io.now();
+            if now >= deadline {
+                return None;
+            }
+            match repair_at {
+                Some(at) if now >= at => {
+                    // Deadline-based: traffic cannot starve solicitation.
+                    self.solicit(io, src, tag);
+                    repair_at = self.first_repair_at(io);
+                }
+                _ => {
+                    let until = repair_at
+                        .map_or(deadline, |at| if at < deadline { at } else { deadline });
+                    io.pump_one(self, Some(until));
+                }
+            }
+        }
+    }
+
+    /// Shutdown drain: a peer may still be missing this endpoint's
+    /// *final* message, so keep answering NACKs until the link has been
+    /// quiet for the grace period. No-op with repair off.
+    pub fn drain<P: RepairPump>(&mut self, io: &mut P) {
+        if self.repair.is_none() {
+            return;
+        }
+        let grace = self.repair.expect("checked").drain_grace;
+        self.service_nacks(io);
+        while io.pump_drain(self, grace) {
+            self.service_nacks(io);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,7 +577,7 @@ mod tests {
             src_rank: src,
             tag,
             seq,
-            payload: payload.to_vec(),
+            payload: Bytes::copy_from_slice(payload),
         }
     }
 
@@ -336,13 +642,29 @@ mod tests {
     }
 
     #[test]
-    fn ingest_datagram_assembles_chunks() {
+    fn ingest_wire_assembles_chunks_zero_copy() {
         let mut inbox = Inbox::new(0, 9);
-        let payload = vec![7u8; 5000];
+        let payload = Bytes::from(vec![7u8; 5000]);
         for d in split_message(MsgKind::Data, 0, 1, 2, 3, &payload, 2000) {
-            inbox.ingest_datagram(&d).unwrap();
+            inbox.ingest_wire(&d, false).unwrap();
         }
         let m = inbox.take_match(Some(1), 2).unwrap();
+        assert_eq!(m.payload, payload);
+    }
+
+    #[test]
+    fn ingest_single_chunk_shares_receive_buffer() {
+        let mut inbox = Inbox::new(0, 9);
+        let payload = Bytes::from(vec![1u8; 100]);
+        let dgs = split_message(MsgKind::Data, 0, 1, 2, 3, &payload, 2000);
+        inbox.ingest_wire(&dgs[0], false).unwrap();
+        drop(dgs);
+        let m = inbox.take_match(Some(1), 2).unwrap();
+        assert_eq!(
+            payload.handle_count(),
+            2,
+            "matched message still views the sender's buffer"
+        );
         assert_eq!(m.payload, payload);
     }
 
@@ -362,7 +684,7 @@ mod tests {
     #[test]
     fn ingest_datagram_rejects_garbage() {
         let mut inbox = Inbox::new(0, 9);
-        assert!(inbox.ingest_datagram(&[1, 2, 3]).is_err());
+        assert!(inbox.ingest_datagram(&Bytes::from(&[1u8, 2, 3][..])).is_err());
         assert_eq!(inbox.backlog(), 0);
     }
 }

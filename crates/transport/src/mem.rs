@@ -5,11 +5,15 @@
 //! can be tested quickly and independently of both the simulator and real
 //! sockets. It still goes through the wire encode/decode path, so header
 //! bugs surface here too.
+//!
+//! The channels carry [`mmpi_wire::Datagram`] handles: a multicast to
+//! `n - 1` peers splits the message once and fans out reference-counted
+//! views — every receiver reads the sender's single encode buffer.
 
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use mmpi_wire::{split_message, Message, MsgKind};
+use mmpi_wire::{split_message, Bytes, Datagram, Message, MsgKind};
 
 use crate::comm::{Comm, Inbox, Tag};
 
@@ -21,8 +25,8 @@ pub struct MemComm {
     next_seq: u64,
     inbox: Inbox,
     /// `senders[i]` delivers datagrams to rank `i`.
-    senders: Vec<Sender<Vec<u8>>>,
-    rx: Receiver<Vec<u8>>,
+    senders: Vec<Sender<Datagram>>,
+    rx: Receiver<Datagram>,
 }
 
 impl MemComm {
@@ -51,8 +55,8 @@ impl MemComm {
         s
     }
 
-    fn transmit_to(&self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
-        for d in split_message(
+    fn encode(&self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) -> Vec<Datagram> {
+        split_message(
             kind,
             self.context,
             self.rank as u32,
@@ -60,10 +64,15 @@ impl MemComm {
             seq,
             payload,
             mmpi_wire::DEFAULT_MAX_CHUNK,
-        ) {
+        )
+    }
+
+    fn transmit_to(&self, dst: usize, dgs: &[Datagram]) {
+        for d in dgs {
             // A dropped receiver just means that rank exited; UDP
-            // semantics say the datagram silently disappears.
-            let _ = self.senders[dst].send(d);
+            // semantics say the datagram silently disappears. Cloning a
+            // datagram clones two `Bytes` handles, not its bytes.
+            let _ = self.senders[dst].send(d.clone());
         }
     }
 
@@ -79,7 +88,7 @@ impl MemComm {
                 Err(RecvTimeoutError::Disconnected) => return false,
             },
         };
-        let _ = self.inbox.ingest_datagram(&dg);
+        let _ = self.inbox.ingest_wire(&dg, false);
         true
     }
 }
@@ -97,27 +106,31 @@ impl Comm for MemComm {
         self.context
     }
 
-    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
         assert!(dst < self.n, "rank {dst} out of range");
         let seq = self.fresh_seq();
-        self.transmit_to(dst, tag, kind, payload, seq);
+        let dgs = self.encode(tag, kind, payload, seq);
+        self.transmit_to(dst, &dgs);
         seq
     }
 
-    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
         let seq = self.fresh_seq();
+        // Split once; every peer receives views of the same buffers.
+        let dgs = self.encode(tag, kind, payload, seq);
         for dst in 0..self.n {
             if dst != self.rank {
-                self.transmit_to(dst, tag, kind, payload, seq);
+                self.transmit_to(dst, &dgs);
             }
         }
         seq
     }
 
-    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
+        let dgs = self.encode(tag, kind, payload, seq);
         for dst in 0..self.n {
             if dst != self.rank {
-                self.transmit_to(dst, tag, kind, payload, seq);
+                self.transmit_to(dst, &dgs);
             }
         }
     }
@@ -226,6 +239,24 @@ mod tests {
     }
 
     #[test]
+    fn mcast_fanout_shares_one_encode_buffer() {
+        // The observable guarantee behind the zero-copy fan-out: every
+        // receiver gets byte-identical data from one multicast of a
+        // shared payload.
+        let payload = Bytes::from(vec![42u8; 10_000]);
+        let expect = payload.to_vec();
+        let out = run_mem_world(5, 0, move |mut c| {
+            if c.rank() == 0 {
+                c.mcast_kind(9, MsgKind::Data, &payload);
+                Vec::new()
+            } else {
+                c.recv(0, 9)
+            }
+        });
+        assert!(out[1..].iter().all(|o| *o == expect));
+    }
+
+    #[test]
     fn recv_timeout_expires() {
         let out = run_mem_world(2, 0, |mut c| {
             if c.rank() == 0 {
@@ -242,9 +273,10 @@ mod tests {
     fn resend_is_deduplicated() {
         let out = run_mem_world(2, 0, |mut c| {
             if c.rank() == 0 {
-                let seq = c.mcast(3, b"once");
-                c.mcast_resend(3, MsgKind::Data, b"once", seq);
-                c.mcast_resend(3, MsgKind::Data, b"once", seq);
+                let once = Bytes::from(&b"once"[..]);
+                let seq = c.mcast(3, once.clone());
+                c.mcast_resend(3, MsgKind::Data, &once, seq);
+                c.mcast_resend(3, MsgKind::Data, &once, seq);
                 // Give the duplicates time to land, then signal done.
                 c.send(1, 4, b"done");
                 0

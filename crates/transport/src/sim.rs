@@ -7,15 +7,20 @@
 //! cluster where every rank has already bound its socket and joined the
 //! communicator's multicast group.
 //!
+//! Wire datagrams travel through the simulator as
+//! [`mmpi_netsim::SharedPayload`] segments — the header view and payload
+//! view produced by `split_message` — so a multicast to N ranks, an
+//! injected duplicate, or a NACK-triggered retransmission never copies
+//! payload bytes anywhere between the sender's encode and the receiver's
+//! reassembly.
+//!
 //! With [`SimCommConfig::repair`] set, every endpoint also runs the
-//! NACK/retransmit repair loop (`docs/PROTOCOL.md`): blocked receives
-//! poll at the repair timeout and solicit retransmissions, sends are
-//! recorded in a bounded [`RetransmitBuffer`], incoming NACKs are
-//! answered with unicast re-sends under the original sequence number, and
-//! on drop the endpoint *drains* — keeps answering NACKs through a quiet
-//! grace period so receivers missing its final message can still recover.
-//! [`run_sim_world_stats`] additionally aggregates every rank's
-//! [`RepairStats`] with the network counters into a [`WorldStats`].
+//! NACK/retransmit repair loop (`docs/PROTOCOL.md`), whose policy lives
+//! backend-independently in [`EndpointCore`]; this file only provides the
+//! simulator's clock and socket pump ([`RepairPump`] over
+//! [`mmpi_netsim::SimTime`]). [`run_sim_world_stats`] additionally
+//! aggregates every rank's [`RepairStats`] with the network counters into
+//! a [`WorldStats`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,10 +31,10 @@ use mmpi_netsim::ids::{DatagramDst, GroupId, HostId, SocketId};
 use mmpi_netsim::process::SimProcess;
 use mmpi_netsim::stats::NetStats;
 use mmpi_netsim::time::SimDuration;
-use mmpi_netsim::SimError;
-use mmpi_wire::{split_message, Message, MsgKind, RepairStats, RetransmitBuffer, SendDst};
+use mmpi_netsim::{SharedPayload, SimError, SimTime};
+use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats, SendDst};
 
-use crate::comm::{Comm, Inbox, RepairConfig, Tag};
+use crate::comm::{Comm, EndpointCore, RepairConfig, RepairPump, Tag};
 
 /// Thread-safe accumulator the ranks of one run flush their
 /// [`RepairStats`] into (each rank adds its totals when its endpoint
@@ -128,16 +133,94 @@ impl SimCommConfig {
     }
 }
 
-/// A communicator bound to one simulated rank.
-pub struct SimComm {
+/// The simulator half of the endpoint: process handle, socket, and
+/// addressing. Implements [`RepairPump`] over virtual time.
+struct SimIo {
     proc: SimProcess,
     socket: SocketId,
-    cfg: SimCommConfig,
-    n: usize,
-    next_seq: u64,
-    inbox: Inbox,
-    rtx: RetransmitBuffer,
-    rstats: RepairStats,
+    port: u16,
+    group: GroupId,
+}
+
+/// A wire datagram as simulator payload segments (header view + payload
+/// view — refcount bumps only).
+fn segments(d: &Datagram) -> SharedPayload {
+    SharedPayload::from_segments(vec![d.header().clone(), d.payload().clone()])
+}
+
+impl SimIo {
+    fn ingest(core: &mut EndpointCore, dg: &mmpi_netsim::Datagram) {
+        // Malformed datagrams are impossible on the simulated fabric, but
+        // the inbox API reports them; keep UDP's ignore semantics.
+        if let Ok(wire) = Datagram::from_segments(dg.payload.segments()) {
+            let _ = core.inbox.ingest_wire(&wire, false);
+        }
+    }
+
+    fn send_mcast(&mut self, dgs: &[Datagram]) {
+        for d in dgs {
+            self.proc
+                .send(self.socket, DatagramDst::Multicast(self.group), self.port, segments(d));
+        }
+    }
+}
+
+impl RepairPump for SimIo {
+    type Instant = SimTime;
+
+    fn now(&mut self) -> SimTime {
+        self.proc.now()
+    }
+
+    fn deadline_in(&mut self, d: Duration) -> SimTime {
+        self.proc.now() + SimDuration::from_nanos(d.as_nanos() as u64)
+    }
+
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<SimTime>) {
+        match until {
+            None => {
+                let dg = self.proc.recv(self.socket);
+                Self::ingest(core, &dg);
+            }
+            Some(at) => {
+                let now = self.proc.now();
+                if at > now {
+                    if let Some(dg) = self.proc.recv_timeout(self.socket, at - now) {
+                        Self::ingest(core, &dg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pump_drain(&mut self, core: &mut EndpointCore, quiet: Duration) -> bool {
+        let quiet = SimDuration::from_nanos(quiet.as_nanos() as u64);
+        match self.proc.recv_timeout(self.socket, quiet) {
+            Some(dg) => {
+                Self::ingest(core, &dg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]) {
+        for d in datagrams {
+            self.proc.send(
+                self.socket,
+                DatagramDst::Unicast(HostId(dst as u32)),
+                self.port,
+                segments(d),
+            );
+        }
+    }
+}
+
+/// A communicator bound to one simulated rank.
+pub struct SimComm {
+    io: SimIo,
+    core: EndpointCore,
+    stats_sink: Option<Arc<RepairStatsSink>>,
 }
 
 impl SimComm {
@@ -145,168 +228,33 @@ impl SimComm {
     pub fn new(mut proc: SimProcess, n: usize, cfg: SimCommConfig) -> Self {
         let socket = proc.bind(cfg.port);
         proc.join_group(socket, cfg.group);
-        let rank = proc.rank() as u32;
-        let inbox = Inbox::new(cfg.context, rank);
-        let rtx = RetransmitBuffer::new(
-            cfg.repair
-                .map(|r| r.buffer_cap)
-                .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
-        );
+        let rank = proc.rank();
+        let core = EndpointCore::new(cfg.context, rank, n, cfg.max_chunk, cfg.repair);
         SimComm {
-            proc,
-            socket,
-            cfg,
-            n,
-            next_seq: 0,
-            inbox,
-            rtx,
-            rstats: RepairStats::default(),
+            io: SimIo {
+                proc,
+                socket,
+                port: cfg.port,
+                group: cfg.group,
+            },
+            core,
+            stats_sink: cfg.stats_sink,
         }
-    }
-
-    fn fresh_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-
-    fn transmit(&mut self, dst: DatagramDst, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
-        let datagrams = split_message(
-            kind,
-            self.cfg.context,
-            self.proc.rank() as u32,
-            tag,
-            seq,
-            payload,
-            self.cfg.max_chunk,
-        );
-        for d in datagrams {
-            self.proc.send(self.socket, dst, self.cfg.port, d);
-        }
-    }
-
-    fn ingest(&mut self, payload: &[u8]) {
-        // Malformed datagrams are impossible on the simulated fabric, but
-        // the inbox API reports them; keep UDP's ignore semantics.
-        let _ = self.inbox.ingest_datagram(payload);
-    }
-
-    /// Answer every queued NACK out of the retransmit buffer: unicast
-    /// re-sends to the requester, original sequence numbers (receivers
-    /// that already have the message dedup the copy).
-    fn service_nacks(&mut self) {
-        if self.cfg.repair.is_none() {
-            return;
-        }
-        while let Some(nack) = self.inbox.take_nack() {
-            self.rstats.nacks_received += 1;
-            let requester = nack.src_rank;
-            if requester as usize >= self.n {
-                // Malformed rank (cannot happen on the closed simulated
-                // fabric, but keep the sim and UDP loops identical).
-                continue;
-            }
-            let records: Vec<(u64, MsgKind, Tag, Vec<u8>)> = self
-                .rtx
-                .matching(requester, nack.tag)
-                .map(|r| (r.seq, r.kind, r.tag, r.payload.clone()))
-                .collect();
-            if records.is_empty() {
-                self.rstats.unanswered_nacks += 1;
-                continue;
-            }
-            for (seq, kind, tag, payload) in records {
-                self.rstats.retransmits_sent += 1;
-                self.transmit(
-                    DatagramDst::Unicast(HostId(requester)),
-                    tag,
-                    kind,
-                    &payload,
-                    seq,
-                );
-            }
-        }
-    }
-
-    /// Solicit a retransmission of `tag` traffic: NACK the awaited source
-    /// (or, for an any-source receive, every peer).
-    fn solicit(&mut self, src: Option<usize>, tag: Tag) {
-        let me = self.proc.rank();
-        match src {
-            Some(s) if s != me => self.send_nack(s, tag),
-            Some(_) => {}
-            None => {
-                for p in 0..self.n {
-                    if p != me {
-                        self.send_nack(p, tag);
-                    }
-                }
-            }
-        }
-    }
-
-    fn send_nack(&mut self, dst: usize, tag: Tag) {
-        self.rstats.nacks_sent += 1;
-        let seq = self.fresh_seq();
-        self.transmit(
-            DatagramDst::Unicast(HostId(dst as u32)),
-            tag,
-            MsgKind::Nack,
-            &[],
-            seq,
-        );
-    }
-
-    /// One blocking-receive step against an absolute solicitation
-    /// deadline. Ingests whatever arrives first; once `repair_at` passes,
-    /// solicits and returns the next deadline. The deadline is absolute —
-    /// not a quiet period — so a NACK storm from stuck peers cannot
-    /// starve this rank's own repair requests by keeping its socket busy.
-    fn pump_repair(
-        &mut self,
-        src: Option<usize>,
-        tag: Tag,
-        repair_at: Option<mmpi_netsim::SimTime>,
-    ) -> Option<mmpi_netsim::SimTime> {
-        let Some(rc) = self.cfg.repair else {
-            let dg = self.proc.recv(self.socket);
-            self.ingest(&dg.payload);
-            return None;
-        };
-        let at = repair_at.expect("repair on implies a solicitation deadline");
-        let now = self.proc.now();
-        if now >= at {
-            self.solicit(src, tag);
-            return Some(
-                self.proc.now() + SimDuration::from_nanos(rc.nack_timeout.as_nanos() as u64),
-            );
-        }
-        if let Some(dg) = self.proc.recv_timeout(self.socket, at - now) {
-            self.ingest(&dg.payload);
-        }
-        Some(at)
-    }
-
-    /// First solicitation deadline for a fresh blocking receive.
-    fn first_repair_at(&self) -> Option<mmpi_netsim::SimTime> {
-        self.cfg.repair.map(|rc| {
-            self.proc.now() + SimDuration::from_nanos(rc.nack_timeout.as_nanos() as u64)
-        })
     }
 
     /// Repair counters of this endpoint so far.
     pub fn repair_stats(&self) -> RepairStats {
-        self.rstats
+        self.core.repair_stats()
     }
 
     /// Local virtual time (for measurement).
-    pub fn now(&self) -> mmpi_netsim::SimTime {
-        self.proc.now()
+    pub fn now(&self) -> SimTime {
+        self.io.proc.now()
     }
 
     /// The underlying process handle (advanced uses: extra sockets).
     pub fn process_mut(&mut self) -> &mut SimProcess {
-        &mut self.proc
+        &mut self.io.proc
     }
 }
 
@@ -317,170 +265,91 @@ impl Drop for SimComm {
         // period. Skipped while unwinding — the driver is tearing the run
         // down and every blocking call would re-panic.
         if !std::thread::panicking() {
-            if let Some(rc) = self.cfg.repair {
-                self.service_nacks();
-                let grace = SimDuration::from_nanos(rc.drain_grace.as_nanos() as u64);
-                while let Some(dg) = self.proc.recv_timeout(self.socket, grace) {
-                    self.ingest(&dg.payload);
-                    self.service_nacks();
-                }
-            }
+            self.core.drain(&mut self.io);
         }
-        if let Some(sink) = &self.cfg.stats_sink {
-            sink.add(&self.rstats);
+        if let Some(sink) = &self.stats_sink {
+            sink.add(&self.core.repair_stats());
         }
     }
 }
 
 impl Comm for SimComm {
     fn rank(&self) -> usize {
-        self.proc.rank()
+        self.core.rank()
     }
 
     fn size(&self) -> usize {
-        self.n
+        self.core.size()
     }
 
     fn context(&self) -> u32 {
-        self.cfg.context
+        self.core.context()
     }
 
-    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
-        assert!(dst < self.n, "rank {dst} out of range");
-        let seq = self.fresh_seq();
-        if self.cfg.repair.is_some() {
-            self.rtx
-                .record(seq, SendDst::Rank(dst as u32), tag, kind, payload);
-        }
-        self.transmit(
-            DatagramDst::Unicast(HostId(dst as u32)),
-            tag,
-            kind,
-            payload,
-            seq,
-        );
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        assert!(dst < self.core.size(), "rank {dst} out of range");
+        let seq = self.core.fresh_seq();
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        self.core
+            .record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
+        self.io.send_encoded(dst, &dgs);
         seq
     }
 
-    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
-        let seq = self.fresh_seq();
-        if self.cfg.repair.is_some() {
-            self.rtx
-                .record(seq, SendDst::Multicast, tag, kind, payload);
-        }
-        let group = self.cfg.group;
-        self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        let seq = self.core.fresh_seq();
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        self.core
+            .record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
+        self.io.send_mcast(&dgs);
         seq
     }
 
-    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
         // Already recorded under this seq when first multicast.
-        let group = self.cfg.group;
-        self.transmit(DatagramDst::Multicast(group), tag, kind, payload, seq);
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        self.io.send_mcast(&dgs);
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return m;
-            }
-            repair_at = self.pump_repair(Some(src), tag, repair_at);
-        }
+        self.core.recv_loop(&mut self.io, Some(src), tag)
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return Some(m);
-            }
-            let now = self.proc.now();
-            if now >= deadline {
-                return None;
-            }
-            match repair_at {
-                Some(at) if now >= at => {
-                    // Deadline-based: traffic cannot starve solicitation.
-                    self.solicit(Some(src), tag);
-                    repair_at = self.first_repair_at();
-                }
-                _ => {
-                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
-                    if let Some(dg) = self.proc.recv_timeout(self.socket, until - now) {
-                        self.ingest(&dg.payload);
-                    }
-                }
-            }
-        }
+        self.core
+            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout)
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return m;
-            }
-            repair_at = self.pump_repair(None, tag, repair_at);
-        }
+        self.core.recv_loop(&mut self.io, None, tag)
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = self.proc.now() + SimDuration::from_nanos(timeout.as_nanos() as u64);
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return Some(m);
-            }
-            let now = self.proc.now();
-            if now >= deadline {
-                return None;
-            }
-            match repair_at {
-                Some(at) if now >= at => {
-                    self.solicit(None, tag);
-                    repair_at = self.first_repair_at();
-                }
-                _ => {
-                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
-                    if let Some(dg) = self.proc.recv_timeout(self.socket, until - now) {
-                        self.ingest(&dg.payload);
-                    }
-                }
-            }
-        }
+        self.core.recv_loop_timeout(&mut self.io, None, tag, timeout)
     }
 
     fn compute(&mut self, d: Duration) {
-        self.proc
+        self.io
+            .proc
             .compute(SimDuration::from_nanos(d.as_nanos() as u64));
     }
 
     fn tcp_ack_model(&mut self, dst: usize, count: u32) {
-        assert!(dst < self.n, "rank {dst} out of range");
-        let rank = self.proc.rank() as u32;
+        assert!(dst < self.core.size(), "rank {dst} out of range");
         for _ in 0..count {
-            let seq = self.fresh_seq();
-            let dgs = split_message(
-                MsgKind::Ack,
-                self.cfg.context,
-                rank,
+            let seq = self.core.fresh_seq();
+            let dgs = self.core.encode(
                 crate::comm::FIRE_AND_FORGET_TAG,
+                MsgKind::Ack,
+                &Bytes::new(),
                 seq,
-                &[],
-                self.cfg.max_chunk,
             );
-            for d in dgs {
-                self.proc.send_kernel(
-                    self.socket,
+            for d in &dgs {
+                self.io.proc.send_kernel(
+                    self.io.socket,
                     DatagramDst::Unicast(HostId(dst as u32)),
-                    self.cfg.port,
-                    d,
+                    self.io.port,
+                    segments(d),
                 );
             }
         }

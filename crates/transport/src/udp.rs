@@ -12,18 +12,28 @@
 //! Ranks may be threads on one machine (the default: everything on the
 //! loopback interface with `IP_MULTICAST_LOOP` enabled) or processes on a
 //! LAN (set `iface`/`peers` accordingly).
+//!
+//! Buffer ownership: each socket read lands in one shared [`Bytes`]
+//! buffer that flows to the reader channel, the reassembler, and (for
+//! single-chunk messages) the matched [`Message`] itself without another
+//! copy; each send concatenates a datagram's header and payload views
+//! into one reusable scratch buffer — the sole copy a contiguous socket
+//! write requires (kernel-side vectored IO would remove it; see
+//! `docs/PERFORMANCE.md`). The NACK/retransmit repair loop policy lives
+//! in [`EndpointCore`]; this file provides only the wall-clock
+//! [`RepairPump`].
 
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use mmpi_wire::{split_message, Message, MsgKind, RepairStats, RetransmitBuffer, SendDst};
+use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats, SendDst};
 use socket2::{Domain, Protocol, Socket, Type};
 
-use crate::comm::{Comm, Inbox, RepairConfig, Tag};
+use crate::comm::{Comm, EndpointCore, RepairConfig, RepairPump, Tag};
 
 /// Addressing plan for a UDP world.
 #[derive(Clone, Debug)]
@@ -83,34 +93,24 @@ impl UdpConfig {
     }
 }
 
-/// A communicator over real UDP/IP-multicast sockets.
-pub struct UdpComm {
-    rank: usize,
-    n: usize,
-    cfg: UdpConfig,
-    /// Used for all sends (unicast and multicast).
-    tx: UdpSocket,
-    inbox: Inbox,
-    next_seq: u64,
-    rx: Receiver<(Vec<u8>, bool)>,
-    stop: Arc<AtomicBool>,
-    readers: Vec<std::thread::JoinHandle<()>>,
-    rtx: RetransmitBuffer,
-    rstats: RepairStats,
-}
-
 fn reader_thread(
     sock: UdpSocket,
     via_mcast: bool,
-    out: Sender<(Vec<u8>, bool)>,
+    out: Sender<(Bytes, bool)>,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
+        // One reusable receive buffer; each datagram is imported into a
+        // freshly shared `Bytes` exactly once (the kernel-boundary copy)
+        // and never copied again on its way to the application.
         let mut buf = vec![0u8; 65_536];
         while !stop.load(Ordering::Relaxed) {
             match sock.recv_from(&mut buf) {
                 Ok((len, _from)) => {
-                    if out.send((buf[..len].to_vec(), via_mcast)).is_err() {
+                    if out
+                        .send((Bytes::copy_from_slice(&buf[..len]), via_mcast))
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -121,6 +121,108 @@ fn reader_thread(
             }
         }
     })
+}
+
+/// The socket half of a UDP endpoint. Implements [`RepairPump`] over
+/// wall-clock time.
+struct UdpIo {
+    cfg: UdpConfig,
+    /// Used for all sends (unicast and multicast).
+    tx: UdpSocket,
+    rx: Receiver<(Bytes, bool)>,
+    stop: Arc<AtomicBool>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    /// Reusable scratch for the contiguous socket write.
+    scratch: Vec<u8>,
+}
+
+impl UdpIo {
+    fn ingest(core: &mut EndpointCore, bytes: &Bytes, via_mcast: bool) {
+        // Malformed datagrams (stray traffic on our ports) are ignored.
+        let _ = core.inbox.ingest_datagram_via(bytes, via_mcast);
+    }
+
+    /// Send encoded datagrams to an explicit address (unicast or the
+    /// multicast group). The one copy here is the contiguous write a
+    /// plain UDP socket demands.
+    fn send_to_addr(&mut self, to: SocketAddrV4, dgs: &[Datagram]) {
+        for d in dgs {
+            self.scratch.clear();
+            d.write_contiguous(&mut self.scratch);
+            // UDP semantics: errors (e.g. peer gone) lose the datagram.
+            let _ = self.tx.send_to(&self.scratch, to);
+        }
+    }
+
+    fn mcast_addr(&self) -> SocketAddrV4 {
+        SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port)
+    }
+
+    fn pump_chan(&mut self, core: &mut EndpointCore, timeout: Option<Duration>) -> bool {
+        let item = match timeout {
+            None => self.rx.recv().ok(),
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(x) => Some(x),
+                Err(RecvTimeoutError::Timeout) => return false,
+                Err(RecvTimeoutError::Disconnected) => None,
+            },
+        };
+        let Some((bytes, via_mcast)) = item else {
+            panic!("UDP reader threads died");
+        };
+        Self::ingest(core, &bytes, via_mcast);
+        true
+    }
+}
+
+impl RepairPump for UdpIo {
+    type Instant = Instant;
+
+    fn now(&mut self) -> Instant {
+        Instant::now()
+    }
+
+    fn deadline_in(&mut self, d: Duration) -> Instant {
+        Instant::now() + d
+    }
+
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Instant>) {
+        match until {
+            None => {
+                self.pump_chan(core, None);
+            }
+            Some(at) => {
+                let now = Instant::now();
+                if at > now {
+                    self.pump_chan(core, Some(at - now));
+                }
+            }
+        }
+    }
+
+    fn pump_drain(&mut self, core: &mut EndpointCore, quiet: Duration) -> bool {
+        // Unlike pump_one, tolerate dead reader threads here: a hard
+        // socket error must not turn teardown into a panic-in-Drop
+        // (which would abort the process).
+        match self.rx.recv_timeout(quiet) {
+            Ok((bytes, via_mcast)) => {
+                Self::ingest(core, &bytes, via_mcast);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]) {
+        let to = self.cfg.peer_addr(dst);
+        self.send_to_addr(to, datagrams);
+    }
+}
+
+/// A communicator over real UDP/IP-multicast sockets.
+pub struct UdpComm {
+    io: UdpIo,
+    core: EndpointCore,
 }
 
 impl UdpComm {
@@ -156,150 +258,23 @@ impl UdpComm {
             reader_thread(mc, true, tx_chan, Arc::clone(&stop)),
         ];
 
-        let rtx = RetransmitBuffer::new(
-            cfg.repair
-                .map(|r| r.buffer_cap)
-                .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
-        );
+        let core = EndpointCore::new(cfg.context, rank, n, cfg.max_chunk, cfg.repair);
         Ok(UdpComm {
-            rank,
-            n,
-            inbox: Inbox::new(cfg.context, rank as u32),
-            cfg,
-            tx: p2p,
-            next_seq: 0,
-            rx: rx_chan,
-            stop,
-            readers,
-            rtx,
-            rstats: RepairStats::default(),
-        })
-    }
-
-    fn fresh_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-
-    fn transmit(&self, to: SocketAddrV4, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
-        for d in split_message(
-            kind,
-            self.cfg.context,
-            self.rank as u32,
-            tag,
-            seq,
-            payload,
-            self.cfg.max_chunk,
-        ) {
-            // UDP semantics: errors (e.g. peer gone) lose the datagram.
-            let _ = self.tx.send_to(&d, to);
-        }
-    }
-
-    fn pump_one(&mut self, timeout: Option<Duration>) -> bool {
-        let item = match timeout {
-            None => self.rx.recv().ok(),
-            Some(t) => match self.rx.recv_timeout(t) {
-                Ok(x) => Some(x),
-                Err(RecvTimeoutError::Timeout) => return false,
-                Err(RecvTimeoutError::Disconnected) => None,
+            io: UdpIo {
+                cfg,
+                tx: p2p,
+                rx: rx_chan,
+                stop,
+                readers,
+                scratch: Vec::new(),
             },
-        };
-        let Some((bytes, via_mcast)) = item else {
-            panic!("UDP reader threads died");
-        };
-        // Malformed datagrams (stray traffic on our ports) are ignored.
-        let _ = self.inbox.ingest_datagram_via(&bytes, via_mcast);
-        true
-    }
-
-    /// Answer every queued NACK out of the retransmit buffer (unicast
-    /// re-sends to the requester, original sequence numbers).
-    fn service_nacks(&mut self) {
-        if self.cfg.repair.is_none() {
-            return;
-        }
-        while let Some(nack) = self.inbox.take_nack() {
-            self.rstats.nacks_received += 1;
-            let requester = nack.src_rank as usize;
-            if requester >= self.n {
-                // Malformed rank in stray traffic on our port: ignore
-                // (matching the sim loop's behaviour).
-                continue;
-            }
-            let to = self.cfg.peer_addr(requester);
-            let records: Vec<(u64, MsgKind, Tag, Vec<u8>)> = self
-                .rtx
-                .matching(nack.src_rank, nack.tag)
-                .map(|r| (r.seq, r.kind, r.tag, r.payload.clone()))
-                .collect();
-            if records.is_empty() {
-                self.rstats.unanswered_nacks += 1;
-                continue;
-            }
-            for (seq, kind, tag, payload) in records {
-                self.rstats.retransmits_sent += 1;
-                self.transmit(to, tag, kind, &payload, seq);
-            }
-        }
-    }
-
-    /// Solicit a retransmission of `tag` traffic from `src` (or everyone).
-    fn solicit(&mut self, src: Option<usize>, tag: Tag) {
-        match src {
-            Some(s) if s != self.rank => self.send_nack(s, tag),
-            Some(_) => {}
-            None => {
-                for p in 0..self.n {
-                    if p != self.rank {
-                        self.send_nack(p, tag);
-                    }
-                }
-            }
-        }
-    }
-
-    fn send_nack(&mut self, dst: usize, tag: Tag) {
-        self.rstats.nacks_sent += 1;
-        let seq = self.fresh_seq();
-        let to = self.cfg.peer_addr(dst);
-        self.transmit(to, tag, MsgKind::Nack, &[], seq);
-    }
-
-    /// One blocking-receive step against an absolute solicitation
-    /// deadline. The deadline is absolute — not a quiet period — so peer
-    /// NACK storms cannot starve this endpoint's own repair requests.
-    fn pump_repair(
-        &mut self,
-        src: Option<usize>,
-        tag: Tag,
-        repair_at: Option<std::time::Instant>,
-    ) -> Option<std::time::Instant> {
-        let Some(rc) = self.cfg.repair else {
-            self.pump_one(None);
-            return None;
-        };
-        let at = repair_at.expect("repair on implies a solicitation deadline");
-        let now = std::time::Instant::now();
-        if now >= at {
-            self.solicit(src, tag);
-            return Some(std::time::Instant::now() + rc.nack_timeout);
-        }
-        self.pump_one(Some(at - now));
-        Some(at)
-    }
-
-    /// First solicitation deadline for a fresh blocking receive.
-    fn first_repair_at(&self) -> Option<std::time::Instant> {
-        self.cfg
-            .repair
-            .map(|rc| std::time::Instant::now() + rc.nack_timeout)
+            core,
+        })
     }
 
     /// Repair counters of this endpoint so far.
     pub fn repair_stats(&self) -> RepairStats {
-        self.rstats
+        self.core.repair_stats()
     }
 }
 
@@ -311,19 +286,10 @@ impl Drop for UdpComm {
         // not linger) — and bounded regardless, so a sandbox that drops
         // everything silently skips out after one quiet grace period.
         if !std::thread::panicking() {
-            if let Some(rc) = self.cfg.repair {
-                self.service_nacks();
-                // Unlike pump_one, tolerate dead reader threads here: a
-                // hard socket error must not turn teardown into a
-                // panic-in-Drop (which would abort the process).
-                while let Ok((bytes, via_mcast)) = self.rx.recv_timeout(rc.drain_grace) {
-                    let _ = self.inbox.ingest_datagram_via(&bytes, via_mcast);
-                    self.service_nacks();
-                }
-            }
+            self.core.drain(&mut self.io);
         }
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.readers.drain(..) {
+        self.io.stop.store(true, Ordering::Relaxed);
+        for h in self.io.readers.drain(..) {
             let _ = h.join();
         }
     }
@@ -331,115 +297,59 @@ impl Drop for UdpComm {
 
 impl Comm for UdpComm {
     fn rank(&self) -> usize {
-        self.rank
+        self.core.rank()
     }
 
     fn size(&self) -> usize {
-        self.n
+        self.core.size()
     }
 
     fn context(&self) -> u32 {
-        self.cfg.context
+        self.core.context()
     }
 
-    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
-        assert!(dst < self.n, "rank {dst} out of range");
-        let seq = self.fresh_seq();
-        if self.cfg.repair.is_some() {
-            self.rtx
-                .record(seq, SendDst::Rank(dst as u32), tag, kind, payload);
-        }
-        self.transmit(self.cfg.peer_addr(dst), tag, kind, payload, seq);
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        assert!(dst < self.core.size(), "rank {dst} out of range");
+        let seq = self.core.fresh_seq();
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        self.core
+            .record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
+        self.io.send_encoded(dst, &dgs);
         seq
     }
 
-    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &[u8]) -> u64 {
-        let seq = self.fresh_seq();
-        if self.cfg.repair.is_some() {
-            self.rtx
-                .record(seq, SendDst::Multicast, tag, kind, payload);
-        }
-        let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
-        self.transmit(to, tag, kind, payload, seq);
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        let seq = self.core.fresh_seq();
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        self.core
+            .record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
+        let to = self.io.mcast_addr();
+        self.io.send_to_addr(to, &dgs);
         seq
     }
 
-    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &[u8], seq: u64) {
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
         // Already recorded under this seq when first multicast.
-        let to = SocketAddrV4::new(self.cfg.mcast_addr, self.cfg.mcast_port);
-        self.transmit(to, tag, kind, payload, seq);
+        let dgs = self.core.encode(tag, kind, payload, seq);
+        let to = self.io.mcast_addr();
+        self.io.send_to_addr(to, &dgs);
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return m;
-            }
-            repair_at = self.pump_repair(Some(src), tag, repair_at);
-        }
+        self.core.recv_loop(&mut self.io, Some(src), tag)
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return Some(m);
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            match repair_at {
-                Some(at) if now >= at => {
-                    self.solicit(Some(src), tag);
-                    repair_at = self.first_repair_at();
-                }
-                _ => {
-                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
-                    self.pump_one(Some(until - now));
-                }
-            }
-        }
+        self.core
+            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout)
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return m;
-            }
-            repair_at = self.pump_repair(None, tag, repair_at);
-        }
+        self.core.recv_loop(&mut self.io, None, tag)
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut repair_at = self.first_repair_at();
-        loop {
-            self.service_nacks();
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return Some(m);
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            match repair_at {
-                Some(at) if now >= at => {
-                    self.solicit(None, tag);
-                    repair_at = self.first_repair_at();
-                }
-                _ => {
-                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
-                    self.pump_one(Some(until - now));
-                }
-            }
-        }
+        self.core.recv_loop_timeout(&mut self.io, None, tag, timeout)
     }
 
     fn compute(&mut self, d: Duration) {

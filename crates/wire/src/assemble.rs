@@ -1,17 +1,154 @@
-//! Message chunking and reassembly.
+//! Message chunking and reassembly — the zero-copy datagram path.
 //!
 //! UDP datagrams are size-limited (~64 kB in practice; configurable here),
 //! so a logical message larger than the limit is split into chunks, each a
 //! self-describing datagram. The [`Assembler`] on the receive side puts
 //! them back together, tolerating duplicates (retransmissions) and
 //! interleaving across senders.
+//!
+//! Ownership model (`docs/PERFORMANCE.md` has the full walkthrough):
+//! a [`Datagram`] is two shared [`Bytes`] views — a 40-byte header slice
+//! of one per-message header buffer, and a payload slice of the caller's
+//! message — so [`split_message`] copies **no payload bytes** and heap
+//! allocation per message is constant regardless of chunk count.
+//! Reassembly writes each chunk once into a single preallocated buffer;
+//! single-chunk messages (the common case at the paper's sizes) are
+//! returned as zero-copy slices of the received datagram.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 
 use crate::error::WireError;
 use crate::header::{Header, MsgKind, HEADER_LEN};
+
+/// A multiply-mix hasher for the assembler's `(src_rank, seq)` keys.
+/// The keys are trusted protocol state (not attacker-controlled strings),
+/// so SipHash's DoS resistance buys nothing and its per-chunk cost is
+/// measurable on the reassembly hot path.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-integer fields (none in our keys).
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // SplitMix64-style finalizer: full avalanche, two multiplies.
+        let mut z = self.0 ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One wire datagram: a header view plus a payload view, both cheap
+/// reference-counted slices. Transports that genuinely need contiguous
+/// bytes (a real socket write) concatenate at the last moment with
+/// [`Datagram::write_contiguous`]; everything else passes the two views
+/// around by handle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    header: Bytes,
+    payload: Bytes,
+}
+
+impl Datagram {
+    /// Assemble from an exact header view (must be [`HEADER_LEN`] bytes —
+    /// validated on [`Datagram::decode`]) and a payload view.
+    pub fn from_parts(header: Bytes, payload: Bytes) -> Self {
+        Datagram { header, payload }
+    }
+
+    /// View a contiguous received buffer (e.g. one socket read) as a
+    /// datagram, without copying. Fails only on impossible lengths; full
+    /// validation happens in [`Datagram::decode`].
+    pub fn from_contiguous(bytes: Bytes) -> Result<Self, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                got: bytes.len(),
+                need: HEADER_LEN,
+            });
+        }
+        Ok(Datagram {
+            header: bytes.slice(..HEADER_LEN),
+            payload: bytes.slice(HEADER_LEN..),
+        })
+    }
+
+    /// Rebuild a datagram from the shared segments a zero-copy transport
+    /// delivered: either `[header, payload]` as produced by
+    /// [`split_message`], or a single contiguous segment. Anything else
+    /// (corrupt segmentation) is flattened and re-parsed.
+    pub fn from_segments(segments: &[Bytes]) -> Result<Self, WireError> {
+        match segments {
+            [one] => Self::from_contiguous(one.clone()),
+            [header, payload] if header.len() == HEADER_LEN => {
+                Ok(Self::from_parts(header.clone(), payload.clone()))
+            }
+            _ => {
+                let total: usize = segments.iter().map(Bytes::len).sum();
+                let mut flat = BytesMut::with_capacity(total);
+                for s in segments {
+                    flat.extend_from_slice(s);
+                }
+                Self::from_contiguous(flat.freeze())
+            }
+        }
+    }
+
+    /// The header view.
+    pub fn header(&self) -> &Bytes {
+        &self.header
+    }
+
+    /// The chunk-payload view.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Total wire length (header + payload).
+    pub fn len(&self) -> usize {
+        self.header.len() + self.payload.len()
+    }
+
+    /// True for a (malformed) zero-length datagram.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parse and validate the header against this datagram's payload.
+    pub fn decode(&self) -> Result<Header, WireError> {
+        Header::decode_parts(&self.header, self.payload.len())
+    }
+
+    /// Append the wire bytes contiguously into `out` (the one copy a
+    /// real-socket send needs; `out` is a reusable scratch buffer).
+    pub fn write_contiguous(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The wire bytes as one freshly allocated `Vec` (tests, tracing).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        self.write_contiguous(&mut v);
+        v
+    }
+}
 
 /// A fully assembled message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,12 +163,25 @@ pub struct Message {
     pub tag: u32,
     /// Sender-assigned sequence number.
     pub seq: u64,
-    /// Reassembled payload.
-    pub payload: Vec<u8>,
+    /// Reassembled payload (a zero-copy slice of the received datagram
+    /// for single-chunk messages).
+    pub payload: Bytes,
 }
 
-/// Split a message into datagram byte buffers of at most
-/// `max_chunk_payload` payload bytes each (plus [`HEADER_LEN`]).
+impl Message {
+    /// Move the payload out as a `Vec<u8>` — free when this message is
+    /// the sole owner of a full buffer (multi-chunk reassembly), one copy
+    /// otherwise (single-chunk slices of a larger receive buffer).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.payload.into_vec()
+    }
+}
+
+/// Split a message into datagrams of at most `max_chunk_payload` payload
+/// bytes each (plus [`HEADER_LEN`]). Zero-copy: all chunk headers are
+/// encoded into one contiguous buffer and each returned [`Datagram`]
+/// holds a slice of it plus a slice of `payload` — payload bytes are
+/// never copied, and the allocation count is constant in the chunk count.
 ///
 /// Empty messages produce exactly one datagram.
 #[allow(clippy::too_many_arguments)]
@@ -41,34 +191,45 @@ pub fn split_message(
     src_rank: u32,
     tag: u32,
     seq: u64,
-    payload: &[u8],
+    payload: &Bytes,
     max_chunk_payload: usize,
-) -> Vec<Vec<u8>> {
+) -> Vec<Datagram> {
     assert!(max_chunk_payload > 0, "chunk size must be positive");
     let msg_len = payload.len() as u32;
     let chunk_count = payload.len().div_ceil(max_chunk_payload).max(1) as u32;
-    (0..chunk_count)
-        .map(|index| {
-            let start = index as usize * max_chunk_payload;
-            let end = (start + max_chunk_payload).min(payload.len());
-            let chunk = &payload[start..end];
-            let header = Header {
-                kind,
-                context,
-                src_rank,
-                tag,
-                seq,
-                msg_len,
-                chunk_index: index,
-                chunk_count,
-                chunk_len: chunk.len() as u32,
-            };
-            let mut buf = BytesMut::with_capacity(HEADER_LEN + chunk.len());
-            header.encode(&mut buf);
-            buf.extend_from_slice(chunk);
-            buf.to_vec()
-        })
-        .collect()
+    // Encode every chunk header into one contiguous buffer: a template
+    // encode once, then per-chunk patches of the two varying fields.
+    let mut template = Header {
+        kind,
+        context,
+        src_rank,
+        tag,
+        seq,
+        msg_len,
+        chunk_index: 0,
+        chunk_count,
+        chunk_len: max_chunk_payload.min(payload.len()) as u32,
+    }
+    .encode_array();
+    let mut headers = BytesMut::with_capacity(HEADER_LEN * chunk_count as usize);
+    for index in 0..chunk_count {
+        let start = index as usize * max_chunk_payload;
+        let end = (start + max_chunk_payload).min(payload.len());
+        template[28..32].copy_from_slice(&index.to_le_bytes());
+        template[36..40].copy_from_slice(&((end - start) as u32).to_le_bytes());
+        headers.extend_from_slice(&template);
+    }
+    let headers = headers.freeze();
+    let mut out = Vec::with_capacity(chunk_count as usize);
+    for index in 0..chunk_count as usize {
+        let start = index * max_chunk_payload;
+        let end = (start + max_chunk_payload).min(payload.len());
+        out.push(Datagram {
+            header: headers.slice(index * HEADER_LEN..(index + 1) * HEADER_LEN),
+            payload: payload.slice(start..end),
+        });
+    }
+    out
 }
 
 #[derive(Debug)]
@@ -80,17 +241,44 @@ struct Partial {
     chunk_count: u32,
     received: Vec<bool>,
     remaining: u32,
+    /// Reassembly buffer. For in-order arrival (the overwhelmingly common
+    /// case) chunks are appended into reserved capacity — no zero-fill
+    /// pass; the first out-of-order chunk zero-extends to full length and
+    /// later chunks write at their offsets.
     buffer: Vec<u8>,
+}
+
+impl Partial {
+    /// Place `chunk` at `off`, growing by append when it lands exactly at
+    /// the current end.
+    fn place(&mut self, off: usize, chunk: &[u8]) {
+        if off == self.buffer.len() {
+            self.buffer.extend_from_slice(chunk);
+        } else {
+            if self.buffer.len() < self.msg_len as usize {
+                self.buffer.resize(self.msg_len as usize, 0);
+            }
+            self.buffer[off..off + chunk.len()].copy_from_slice(chunk);
+        }
+    }
 }
 
 /// Reassembles datagrams into [`Message`]s.
 ///
 /// Keyed by `(src_rank, seq)`, so interleaved messages from many senders
 /// assemble independently. Duplicate chunks (e.g. from multicast
-/// retransmission) are ignored.
+/// retransmission) are ignored. Each arriving chunk is copied exactly
+/// once into a single per-message buffer (appended for in-order arrival,
+/// written at its offset otherwise).
+///
+/// The message currently streaming in sits in a dedicated `current` slot:
+/// the usual case — all chunks of one message arriving back to back —
+/// costs no hash-map work at all; interleaved messages spill to the map
+/// and swap back in on their next chunk.
 #[derive(Debug, Default)]
 pub struct Assembler {
-    partial: HashMap<(u32, u64), Partial>,
+    current: Option<((u32, u64), Partial)>,
+    partial: HashMap<(u32, u64), Partial, BuildHasherDefault<KeyHasher>>,
 }
 
 impl Assembler {
@@ -101,30 +289,46 @@ impl Assembler {
 
     /// Feed one received datagram. Returns a complete message when this
     /// datagram finishes one.
-    pub fn feed(&mut self, datagram: &[u8]) -> Result<Option<Message>, WireError> {
-        let (h, chunk) = Header::decode(datagram)?;
+    pub fn feed(&mut self, datagram: &Datagram) -> Result<Option<Message>, WireError> {
+        let h = datagram.decode()?;
+        let chunk = datagram.payload();
         if h.chunk_count == 1 {
-            // Fast path: single-datagram message.
+            // Fast path: single-datagram message — the payload is handed
+            // out as a shared slice of the received datagram, zero-copy.
             return Ok(Some(Message {
                 kind: h.kind,
                 context: h.context,
                 src_rank: h.src_rank,
                 tag: h.tag,
                 seq: h.seq,
-                payload: chunk.to_vec(),
+                payload: chunk.clone(),
             }));
         }
+        if h.chunk_len > h.msg_len {
+            return Err(WireError::InconsistentMessage);
+        }
         let key = (h.src_rank, h.seq);
-        let entry = self.partial.entry(key).or_insert_with(|| Partial {
-            kind: h.kind,
-            context: h.context,
-            tag: h.tag,
-            msg_len: h.msg_len,
-            chunk_count: h.chunk_count,
-            received: vec![false; h.chunk_count as usize],
-            remaining: h.chunk_count,
-            buffer: vec![0; h.msg_len as usize],
-        });
+        // Bring the message into the `current` slot (no map traffic when
+        // it is already there).
+        match &self.current {
+            Some((k, _)) if *k == key => {}
+            _ => {
+                let incoming = self.partial.remove(&key).unwrap_or_else(|| Partial {
+                    kind: h.kind,
+                    context: h.context,
+                    tag: h.tag,
+                    msg_len: h.msg_len,
+                    chunk_count: h.chunk_count,
+                    received: vec![false; h.chunk_count as usize],
+                    remaining: h.chunk_count,
+                    buffer: Vec::with_capacity(h.msg_len as usize),
+                });
+                if let Some((k, p)) = self.current.replace((key, incoming)) {
+                    self.partial.insert(k, p);
+                }
+            }
+        }
+        let entry = &mut self.current.as_mut().expect("just installed").1;
         if entry.chunk_count != h.chunk_count || entry.msg_len != h.msg_len {
             return Err(WireError::InconsistentMessage);
         }
@@ -135,47 +339,40 @@ impl Assembler {
         // All chunks but the last carry the same (maximum) chunk size; the
         // offset of chunk i is i * first_chunk_size. Derive it from any
         // non-final chunk, or from msg_len when chunk_count divides evenly.
-        let full_chunk = if h.chunk_index + 1 < h.chunk_count {
-            h.chunk_len as usize
+        let off = if h.chunk_index + 1 < h.chunk_count {
+            let off = idx * h.chunk_len as usize;
+            if off + chunk.len() > entry.msg_len as usize {
+                return Err(WireError::InconsistentMessage);
+            }
+            off
         } else {
             // Final chunk: offset = msg_len - chunk_len.
             let off = h.msg_len as usize - h.chunk_len as usize;
             if h.chunk_count > 1 && !off.is_multiple_of(h.chunk_count as usize - 1) {
                 return Err(WireError::InconsistentMessage);
             }
-            entry.received[idx] = true;
-            entry.remaining -= 1;
-            entry.buffer[off..off + chunk.len()].copy_from_slice(chunk);
-            return Ok(self.finish_if_complete(key));
+            off
         };
-        let off = idx * full_chunk;
-        if off + chunk.len() > entry.buffer.len() {
-            return Err(WireError::InconsistentMessage);
-        }
         entry.received[idx] = true;
         entry.remaining -= 1;
-        entry.buffer[off..off + chunk.len()].copy_from_slice(chunk);
-        Ok(self.finish_if_complete(key))
-    }
-
-    fn finish_if_complete(&mut self, key: (u32, u64)) -> Option<Message> {
-        if self.partial.get(&key)?.remaining > 0 {
-            return None;
+        entry.place(off, chunk);
+        if entry.remaining > 0 {
+            return Ok(None);
         }
-        let p = self.partial.remove(&key)?;
-        Some(Message {
+        let (key, p) = self.current.take().expect("checked above");
+        Ok(Some(Message {
             kind: p.kind,
             context: p.context,
             src_rank: key.0,
             tag: p.tag,
             seq: key.1,
-            payload: p.buffer,
-        })
+            payload: Bytes::from(p.buffer),
+        }))
     }
 
     /// Number of messages still being assembled.
     pub fn pending(&self) -> usize {
-        self.partial.len()
+        self.partial.len() + usize::from(self.current.is_some())
     }
 }
 
@@ -183,7 +380,19 @@ impl Assembler {
 mod tests {
     use super::*;
 
-    fn assemble_all(datagrams: &[Vec<u8>]) -> Vec<Message> {
+    fn split(
+        kind: MsgKind,
+        context: u32,
+        src: u32,
+        tag: u32,
+        seq: u64,
+        payload: &[u8],
+        chunk: usize,
+    ) -> Vec<Datagram> {
+        split_message(kind, context, src, tag, seq, &Bytes::copy_from_slice(payload), chunk)
+    }
+
+    fn assemble_all(datagrams: &[Datagram]) -> Vec<Message> {
         let mut asm = Assembler::new();
         datagrams
             .iter()
@@ -193,7 +402,7 @@ mod tests {
 
     #[test]
     fn small_message_single_datagram() {
-        let dgs = split_message(MsgKind::Data, 0, 1, 2, 3, b"hello", 1000);
+        let dgs = split(MsgKind::Data, 0, 1, 2, 3, b"hello", 1000);
         assert_eq!(dgs.len(), 1);
         let msgs = assemble_all(&dgs);
         assert_eq!(msgs.len(), 1);
@@ -205,7 +414,7 @@ mod tests {
 
     #[test]
     fn empty_message_still_sends_one_datagram() {
-        let dgs = split_message(MsgKind::Scout, 0, 4, 9, 0, b"", 1000);
+        let dgs = split(MsgKind::Scout, 0, 4, 9, 0, b"", 1000);
         assert_eq!(dgs.len(), 1);
         let msgs = assemble_all(&dgs);
         assert_eq!(msgs[0].payload, b"");
@@ -215,7 +424,7 @@ mod tests {
     #[test]
     fn large_message_chunks_and_reassembles() {
         let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
-        let dgs = split_message(MsgKind::Data, 0, 0, 0, 7, &payload, 4096);
+        let dgs = split(MsgKind::Data, 0, 0, 0, 7, &payload, 4096);
         assert_eq!(dgs.len(), 3);
         let msgs = assemble_all(&dgs);
         assert_eq!(msgs.len(), 1);
@@ -225,7 +434,7 @@ mod tests {
     #[test]
     fn out_of_order_chunks_reassemble() {
         let payload: Vec<u8> = (0..9000u32).map(|i| (i * 7) as u8).collect();
-        let mut dgs = split_message(MsgKind::Data, 0, 2, 1, 9, &payload, 4000);
+        let mut dgs = split(MsgKind::Data, 0, 2, 1, 9, &payload, 4000);
         dgs.reverse();
         let msgs = assemble_all(&dgs);
         assert_eq!(msgs.len(), 1);
@@ -235,7 +444,7 @@ mod tests {
     #[test]
     fn duplicate_chunks_ignored() {
         let payload = vec![5u8; 8000];
-        let dgs = split_message(MsgKind::Data, 0, 0, 0, 1, &payload, 4000);
+        let dgs = split(MsgKind::Data, 0, 0, 0, 1, &payload, 4000);
         let mut asm = Assembler::new();
         assert!(asm.feed(&dgs[0]).unwrap().is_none());
         assert!(asm.feed(&dgs[0]).unwrap().is_none(), "duplicate");
@@ -248,7 +457,7 @@ mod tests {
     fn duplicate_single_chunk_message_returns_twice() {
         // Dedup of whole messages is the transport's job (by seq); the
         // assembler just assembles.
-        let dgs = split_message(MsgKind::Data, 0, 0, 0, 1, b"x", 10);
+        let dgs = split(MsgKind::Data, 0, 0, 0, 1, b"x", 10);
         let mut asm = Assembler::new();
         assert!(asm.feed(&dgs[0]).unwrap().is_some());
         assert!(asm.feed(&dgs[0]).unwrap().is_some());
@@ -258,8 +467,8 @@ mod tests {
     fn interleaved_senders_assemble_independently() {
         let p1 = vec![1u8; 6000];
         let p2 = vec![2u8; 6000];
-        let d1 = split_message(MsgKind::Data, 0, 1, 0, 5, &p1, 4000);
-        let d2 = split_message(MsgKind::Data, 0, 2, 0, 5, &p2, 4000);
+        let d1 = split(MsgKind::Data, 0, 1, 0, 5, &p1, 4000);
+        let d2 = split(MsgKind::Data, 0, 2, 0, 5, &p2, 4000);
         let mut asm = Assembler::new();
         assert!(asm.feed(&d1[0]).unwrap().is_none());
         assert!(asm.feed(&d2[0]).unwrap().is_none());
@@ -273,7 +482,7 @@ mod tests {
     #[test]
     fn exact_multiple_chunking() {
         let payload = vec![3u8; 8000];
-        let dgs = split_message(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
+        let dgs = split(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
         assert_eq!(dgs.len(), 2);
         let msgs = assemble_all(&dgs);
         assert_eq!(msgs[0].payload, payload);
@@ -282,8 +491,49 @@ mod tests {
     #[test]
     fn boundary_one_byte_over() {
         let payload = vec![4u8; 4001];
-        let dgs = split_message(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
+        let dgs = split(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
         assert_eq!(dgs.len(), 2);
         assert_eq!(assemble_all(&dgs)[0].payload, payload);
+    }
+
+    #[test]
+    fn split_shares_not_copies() {
+        let payload = Bytes::from(vec![9u8; 10_000]);
+        let dgs = split_message(MsgKind::Data, 0, 0, 0, 2, &payload, 4000);
+        // 1 (this handle) + one per chunk view.
+        assert_eq!(payload.handle_count(), 1 + dgs.len());
+        // All headers share one buffer.
+        assert_eq!(dgs[0].header().handle_count(), dgs.len());
+    }
+
+    #[test]
+    fn single_chunk_assembly_is_zero_copy() {
+        let dgs = split(MsgKind::Data, 0, 0, 0, 1, b"abc", 10);
+        let before = dgs[0].payload().handle_count();
+        let mut asm = Assembler::new();
+        let m = asm.feed(&dgs[0]).unwrap().unwrap();
+        assert_eq!(
+            m.payload.handle_count(),
+            before + 1,
+            "message payload is a shared view of the datagram"
+        );
+    }
+
+    #[test]
+    fn from_segments_shapes() {
+        let dgs = split(MsgKind::Data, 0, 1, 2, 3, b"hello world", 100);
+        let d = &dgs[0];
+        // [header, payload] round-trips without copying.
+        let two = Datagram::from_segments(&[d.header().clone(), d.payload().clone()]).unwrap();
+        assert_eq!(&two, d);
+        // A single contiguous segment parses too.
+        let one = Datagram::from_contiguous(Bytes::from(d.to_vec())).unwrap();
+        assert_eq!(one.decode().unwrap(), d.decode().unwrap());
+        assert_eq!(one.payload(), d.payload());
+        // Odd segmentation is flattened and still parses.
+        let flat = Bytes::from(d.to_vec());
+        let weird =
+            Datagram::from_segments(&[flat.slice(..10), flat.slice(10..)]).unwrap();
+        assert_eq!(weird.decode().unwrap(), d.decode().unwrap());
     }
 }

@@ -88,29 +88,40 @@ pub struct Header {
 impl Header {
     /// Serialize into `buf` (exactly [`HEADER_LEN`] bytes).
     pub fn encode(&self, buf: &mut impl BufMut) {
-        buf.put_u16_le(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.kind as u8);
-        buf.put_u32_le(self.context);
-        buf.put_u32_le(self.src_rank);
-        buf.put_u32_le(self.tag);
-        buf.put_u64_le(self.seq);
-        buf.put_u32_le(self.msg_len);
-        buf.put_u32_le(self.chunk_index);
-        buf.put_u32_le(self.chunk_count);
-        buf.put_u32_le(self.chunk_len);
+        buf.put_slice(&self.encode_array());
     }
 
-    /// Parse and validate a header from the front of `datagram`, returning
-    /// it and the chunk payload that follows.
-    pub fn decode(datagram: &[u8]) -> Result<(Header, &[u8]), WireError> {
-        if datagram.len() < HEADER_LEN {
+    /// Serialize into a stack array — the hot-path form: straight-line
+    /// stores, one append into the caller's buffer.
+    pub fn encode_array(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        b[2] = VERSION;
+        b[3] = self.kind as u8;
+        b[4..8].copy_from_slice(&self.context.to_le_bytes());
+        b[8..12].copy_from_slice(&self.src_rank.to_le_bytes());
+        b[12..16].copy_from_slice(&self.tag.to_le_bytes());
+        b[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        b[24..28].copy_from_slice(&self.msg_len.to_le_bytes());
+        b[28..32].copy_from_slice(&self.chunk_index.to_le_bytes());
+        b[32..36].copy_from_slice(&self.chunk_count.to_le_bytes());
+        b[36..40].copy_from_slice(&self.chunk_len.to_le_bytes());
+        b
+    }
+
+    /// Parse and validate a header given separately from its chunk
+    /// payload — the zero-copy path, where a datagram is a header view
+    /// plus a payload view and is never flattened. `header` must hold at
+    /// least [`HEADER_LEN`] bytes; `payload_len` is validated against the
+    /// header's `chunk_len` claim.
+    pub fn decode_parts(header: &[u8], payload_len: usize) -> Result<Header, WireError> {
+        if header.len() < HEADER_LEN {
             return Err(WireError::Truncated {
-                got: datagram.len(),
+                got: header.len() + payload_len,
                 need: HEADER_LEN,
             });
         }
-        let mut buf = datagram;
+        let mut buf = header;
         let magic = buf.get_u16_le();
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
@@ -137,14 +148,26 @@ impl Header {
                 count: header.chunk_count,
             });
         }
-        let payload = &datagram[HEADER_LEN..];
-        if payload.len() != header.chunk_len as usize {
+        if payload_len != header.chunk_len as usize {
             return Err(WireError::LengthMismatch {
                 claimed: header.chunk_len,
-                actual: payload.len(),
+                actual: payload_len,
             });
         }
-        Ok((header, payload))
+        Ok(header)
+    }
+
+    /// Parse and validate a header from the front of `datagram`, returning
+    /// it and the chunk payload that follows.
+    pub fn decode(datagram: &[u8]) -> Result<(Header, &[u8]), WireError> {
+        if datagram.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                got: datagram.len(),
+                need: HEADER_LEN,
+            });
+        }
+        let header = Self::decode_parts(&datagram[..HEADER_LEN], datagram.len() - HEADER_LEN)?;
+        Ok((header, &datagram[HEADER_LEN..]))
     }
 }
 

@@ -13,6 +13,13 @@
 //! The same bytes travel over the simulated network (`mmpi-netsim`) and
 //! over real UDP multicast sockets (`mmpi-transport`), which is what lets
 //! one implementation of the collective algorithms run on both.
+//!
+//! The whole datagram lifecycle is **zero-copy**: a [`Datagram`] is a
+//! pair of shared [`Bytes`] views (header + payload), [`split_message`]
+//! never copies payload bytes, the [`RetransmitBuffer`] records the
+//! encoded views, and the [`Assembler`] hands single-chunk messages out
+//! as slices of the receive buffer. `docs/PERFORMANCE.md` documents who
+//! allocates, who slices, and when memory is released.
 
 #![warn(missing_docs)]
 
@@ -21,7 +28,8 @@ pub mod error;
 pub mod header;
 pub mod retransmit;
 
-pub use assemble::{split_message, Assembler, Message};
+pub use assemble::{split_message, Assembler, Datagram, Message};
+pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
 pub use retransmit::{

@@ -11,6 +11,13 @@
 //! Retransmissions reuse the original sequence number, so receivers that
 //! already have the message drop the copy in their dedup layer.
 //!
+//! The ring stores the **already-encoded** [`Datagram`]s of each message
+//! — cheap [`bytes::Bytes`] views of the original send's header buffer
+//! and payload, so recording costs a handful of reference-count bumps
+//! (never a payload copy) and a NACK answer re-sends the very same
+//! buffers. When a record is evicted its views drop, releasing the
+//! underlying message memory.
+//!
 //! The buffer is deliberately dumb: no per-receiver ack state, no timers.
 //! All policy (when to NACK, how long to keep draining) lives in the
 //! transport's repair loop; see `docs/PROTOCOL.md` at the repository root
@@ -18,6 +25,7 @@
 
 use std::collections::VecDeque;
 
+use crate::assemble::Datagram;
 use crate::header::MsgKind;
 
 /// Default retransmission ring capacity (messages, not bytes). Collective
@@ -45,8 +53,9 @@ pub struct SentRecord {
     pub tag: u32,
     /// Message kind.
     pub kind: MsgKind,
-    /// Full message payload (pre-chunking).
-    pub payload: Vec<u8>,
+    /// The encoded wire datagrams of the original send (shared views —
+    /// re-sending clones handles, not bytes).
+    pub datagrams: Vec<Datagram>,
 }
 
 impl SentRecord {
@@ -87,9 +96,17 @@ impl RetransmitBuffer {
         }
     }
 
-    /// Remember a sent message. NACKs themselves are not recorded (the
+    /// Remember a sent message as its already-encoded datagrams (clones
+    /// the `Bytes` handles only). NACKs themselves are not recorded (the
     /// repair loop must never retransmit repair traffic).
-    pub fn record(&mut self, seq: u64, dst: SendDst, tag: u32, kind: MsgKind, payload: &[u8]) {
+    pub fn record(
+        &mut self,
+        seq: u64,
+        dst: SendDst,
+        tag: u32,
+        kind: MsgKind,
+        datagrams: &[Datagram],
+    ) {
         if kind == MsgKind::Nack {
             return;
         }
@@ -102,7 +119,7 @@ impl RetransmitBuffer {
             dst,
             tag,
             kind,
-            payload: payload.to_vec(),
+            datagrams: datagrams.to_vec(),
         });
     }
 
@@ -161,12 +178,18 @@ impl RepairStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assemble::split_message;
+    use bytes::Bytes;
+
+    fn dgs(kind: MsgKind, tag: u32, seq: u64, payload: &[u8]) -> Vec<Datagram> {
+        split_message(kind, 0, 1, tag, seq, &Bytes::copy_from_slice(payload), 60_000)
+    }
 
     fn buf3() -> RetransmitBuffer {
         let mut b = RetransmitBuffer::new(3);
-        b.record(0, SendDst::Multicast, 10, MsgKind::Data, b"mc");
-        b.record(1, SendDst::Rank(2), 10, MsgKind::Data, b"to2");
-        b.record(2, SendDst::Rank(3), 10, MsgKind::Scout, b"");
+        b.record(0, SendDst::Multicast, 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 0, b"mc"));
+        b.record(1, SendDst::Rank(2), 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 1, b"to2"));
+        b.record(2, SendDst::Rank(3), 10, MsgKind::Scout, &dgs(MsgKind::Scout, 10, 2, b""));
         b
     }
 
@@ -184,7 +207,7 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut b = buf3();
         assert_eq!(b.len(), 3);
-        b.record(3, SendDst::Multicast, 11, MsgKind::Data, b"new");
+        b.record(3, SendDst::Multicast, 11, MsgKind::Data, &dgs(MsgKind::Data, 11, 3, b"new"));
         assert_eq!(b.len(), 3);
         assert_eq!(b.evicted(), 1);
         assert_eq!(b.matching(2, 10).count(), 1, "seq 0 evicted");
@@ -193,8 +216,26 @@ mod tests {
     #[test]
     fn nacks_are_never_recorded() {
         let mut b = RetransmitBuffer::new(2);
-        b.record(0, SendDst::Rank(1), 5, MsgKind::Nack, b"");
+        b.record(0, SendDst::Rank(1), 5, MsgKind::Nack, &dgs(MsgKind::Nack, 5, 0, b""));
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn record_shares_payload_and_eviction_releases_it() {
+        let payload = Bytes::from(vec![7u8; 50_000]);
+        let sent = split_message(MsgKind::Data, 0, 1, 4, 9, &payload, 1472);
+        let chunks = sent.len();
+        let mut b = RetransmitBuffer::new(1);
+        b.record(9, SendDst::Multicast, 4, MsgKind::Data, &sent);
+        // 1 (ours) + one view per chunk in `sent` + the same again in the
+        // ring: recording bumped refcounts, it did not copy 50 kB.
+        assert_eq!(payload.handle_count(), 1 + 2 * chunks);
+        drop(sent);
+        assert_eq!(payload.handle_count(), 1 + chunks);
+        // Overwriting the only slot evicts the record and releases every
+        // payload view it held.
+        b.record(10, SendDst::Multicast, 4, MsgKind::Data, &[]);
+        assert_eq!(payload.handle_count(), 1, "eviction frees the message");
     }
 
     #[test]

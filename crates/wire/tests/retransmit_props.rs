@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use mmpi_wire::{split_message, Assembler, MsgKind, RetransmitBuffer, SendDst};
+use mmpi_wire::{split_message, Assembler, Bytes, MsgKind, RetransmitBuffer, SendDst};
 
 proptest! {
     /// The tentpole property: drop any subset of chunks on the wire, then
@@ -21,14 +21,16 @@ proptest! {
     ) {
         let tag = 5u32;
         let seq = 77u64;
-        // Sender side: record the whole message, then transmit chunks.
+        // Sender side: encode the message once, record the encoded
+        // datagrams (shared views), then transmit them.
+        let shared = Bytes::from(payload.clone());
+        let dgs = split_message(MsgKind::Data, 0, 1, tag, seq, &shared, chunk);
         let mut rtx = RetransmitBuffer::new(8);
-        rtx.record(seq, SendDst::Multicast, tag, MsgKind::Data, &payload);
-        let dgs = split_message(MsgKind::Data, 0, 1, tag, seq, &payload, chunk);
+        rtx.record(seq, SendDst::Multicast, tag, MsgKind::Data, &dgs);
 
         // The wire: drop an arbitrary subset of the datagrams.
         let mut s = drop_seed;
-        let survived: Vec<&Vec<u8>> = dgs
+        let survived: Vec<_> = dgs
             .iter()
             .filter(|_| {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -47,9 +49,9 @@ proptest! {
         }
 
         if done.is_none() {
-            // Something is missing: one NACK round. The sender re-splits
-            // the buffered record and re-sends every chunk; duplicates of
-            // chunks the receiver already has are ignored.
+            // Something is missing: one NACK round. The sender re-sends
+            // the recorded views as-is; duplicates of chunks the receiver
+            // already has are ignored.
             let records: Vec<_> = rtx.matching(9, tag).collect();
             prop_assert_eq!(records.len(), 1, "the message must be buffered");
             let r = records[0];
@@ -57,8 +59,8 @@ proptest! {
             // Like the transport's repair loop, the receiver stops
             // consuming once its blocked receive is satisfied (chunks
             // past the completing one would seed a fresh partial).
-            for d in split_message(r.kind, 0, 1, r.tag, r.seq, &r.payload, chunk) {
-                if let Some(m) = asm.feed(&d).unwrap() {
+            for d in &r.datagrams {
+                if let Some(m) = asm.feed(d).unwrap() {
                     done = Some(m);
                     break;
                 }
@@ -66,7 +68,7 @@ proptest! {
         }
 
         let m = done.expect("one repair round must complete the message");
-        prop_assert_eq!(m.payload, payload);
+        prop_assert_eq!(&m.payload, &payload);
         prop_assert_eq!(m.seq, seq);
         prop_assert_eq!(asm.pending(), 0);
     }
@@ -83,7 +85,9 @@ proptest! {
         for (i, &d) in dsts.iter().enumerate() {
             // dst 0 encodes "multicast", 1..6 are ranks.
             let dst = if d == 0 { SendDst::Multicast } else { SendDst::Rank(d) };
-            rtx.record(i as u64, dst, i as u32 % 4, MsgKind::Data, &[i as u8]);
+            let payload = Bytes::from(vec![i as u8]);
+            let dgs = split_message(MsgKind::Data, 0, 1, i as u32 % 4, i as u64, &payload, 60_000);
+            rtx.record(i as u64, dst, i as u32 % 4, MsgKind::Data, &dgs);
         }
         for r in rtx.matching(requester, tag) {
             prop_assert_eq!(r.tag, tag);

@@ -8,7 +8,8 @@
 //!   with injectable per-link faults (loss, duplication, reordering,
 //!   partitions).
 //! * [`wire`] — on-the-wire message formats (headers, fragmentation,
-//!   scouts, NACKs) and the sender-side retransmit ring.
+//!   scouts, NACKs) and the sender-side retransmit ring, built as a
+//!   zero-copy `Bytes` datagram path (`docs/PERFORMANCE.md`).
 //! * [`transport`] — the blocking [`transport::Comm`] abstraction and its
 //!   simulator, real-UDP-multicast and in-memory implementations, plus
 //!   the NACK/retransmit repair loop (`docs/PROTOCOL.md`).
@@ -43,8 +44,17 @@
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
 //!                │                 │           datagram format
-//!                │                 └─ RetransmitBuffer: replays sent
-//!                │                    msgs by (requester, tag), orig seq
+//!                │                 ├─ zero-copy path: Datagram = header
+//!                │                 │  view + payload view (Bytes); split,
+//!                │                 │  record, replay, fan-out clone
+//!                │                 │  handles, never payload bytes
+//!                │                 │  (docs/PERFORMANCE.md, BENCH_3.json)
+//!                │                 └─ RetransmitBuffer: replays recorded
+//!                │                    datagrams by (requester, tag),
+//!                │                    original seq
+//!                ├─ SharedPayload: datagrams cross the simulator as
+//!                │  shared Bytes segments (fan-out/dup/redeliver are
+//!                │  refcount bumps)
 //!                └─ FaultParams: per-link drop · dup · reorder ·
 //!                   partition, on a dedicated deterministic RNG stream
 //! ```

@@ -126,7 +126,7 @@ fn world_trace_replays_byte_identically() {
                 port,
                 DatagramDst::Unicast(HostId(0)),
                 port,
-                vec![h as u8; 900],
+                vec![h as u8; 900].into(),
                 at,
                 false,
                 false,
@@ -137,7 +137,7 @@ fn world_trace_replays_byte_identically() {
             port,
             DatagramDst::Multicast(GroupId(1)),
             port,
-            vec![9; 2500],
+            vec![9; 2500].into(),
             SimTime::from_micros(15),
             false,
             false,

@@ -22,7 +22,7 @@ fn unthrottled_fanin_overruns_a_small_buffer() {
             c.compute(std::time::Duration::from_millis(100));
         } else {
             for chunk in 0..4 {
-                c.send_kind(0, 77, MsgKind::Data, &vec![c.rank() as u8; 2048]);
+                c.send_kind(0, 77, MsgKind::Data, &vec![c.rank() as u8; 2048].into());
                 let _ = chunk;
             }
         }

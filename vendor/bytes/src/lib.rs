@@ -1,11 +1,16 @@
 //! Offline shim for the [`bytes`](https://docs.rs/bytes) crate.
 //!
 //! The build environment has no registry access, so this vendored crate
-//! provides exactly the API subset `mmpi-wire` uses: the little-endian
-//! accessors of [`Buf`]/[`BufMut`] and a `Vec<u8>`-backed [`BytesMut`].
-//! Point the workspace dependency at crates.io to use the real crate.
+//! provides exactly the API subset the workspace uses: the little-endian
+//! accessors of [`Buf`]/[`BufMut`], a `Vec<u8>`-backed [`BytesMut`], and
+//! a reference-counted [`Bytes`] with cheap `clone`/`slice`/`split_to`
+//! (an `Arc<Vec<u8>>` plus a window, mirroring the real crate's
+//! semantics without its unsafe buffer management). Point the workspace
+//! dependency at crates.io to use the real crate; the only deliberate
+//! deviations are noted on the items below.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
 /// Read access to a buffer of bytes, consuming from the front.
 pub trait Buf {
@@ -108,6 +113,13 @@ impl BytesMut {
         }
     }
 
+    /// New buffer of `len` zero bytes (for write-at-offset reassembly).
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0; len],
+        }
+    }
+
     /// Append raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.inner.extend_from_slice(src);
@@ -127,6 +139,30 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+
+    /// Shorten to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    ///
+    /// Shim deviation: the real crate shares one allocation between the
+    /// two halves; this shim moves the tail into a fresh `Vec` (so the
+    /// call is O(`len - at`), not O(1)). The workspace only calls it
+    /// with an empty or tiny tail.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.inner.split_off(at);
+        BytesMut {
+            inner: std::mem::replace(&mut self.inner, tail),
+        }
+    }
+
+    /// Freeze into an immutable, cheaply clonable [`Bytes`]. Moves the
+    /// backing allocation — no bytes are copied.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
 }
 
 impl Deref for BytesMut {
@@ -145,6 +181,212 @@ impl DerefMut for BytesMut {
 impl From<BytesMut> for Vec<u8> {
     fn from(b: BytesMut) -> Vec<u8> {
         b.inner
+    }
+}
+
+/// Immutable, reference-counted bytes: a shared allocation plus a
+/// `[start, end)` window. `clone`, [`Bytes::slice`] and
+/// [`Bytes::split_to`] are O(1) and never copy payload bytes — the core
+/// primitive of the zero-copy datagram path (`docs/PERFORMANCE.md`).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// New empty `Bytes`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `src` into a freshly allocated `Bytes` (the one unavoidable
+    /// copy when importing from a transient buffer, e.g. a socket read).
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Bytes in the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// O(1) sub-view of this view (indices relative to `self`).
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds, like the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice {begin}..{end} out of bounds of {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    /// O(1): both views share the allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Move out as a `Vec<u8>`. Free exactly when this handle is the
+    /// sole owner of the full allocation; otherwise one copy.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.start == 0 && self.end == self.data.len() {
+            match Arc::try_unwrap(self.data) {
+                Ok(v) => return v,
+                Err(shared) => return shared[self.start..self.end].to_vec(),
+            }
+        }
+        self.as_slice().to_vec()
+    }
+
+    /// Number of live handles sharing this allocation (shim-only
+    /// diagnostic, used by leak tests; absent from the real crate).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "… ({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&Vec<u8>> for Bytes {
+    fn from(v: &Vec<u8>) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(a: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(a)
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
     }
 }
 
@@ -174,5 +416,65 @@ mod tests {
         buf[0] = 9;
         assert_eq!(buf.to_vec(), vec![9, 2, 3]);
         assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn freeze_and_slice_share_storage() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.extend_from_slice(b"abcdefgh");
+        let whole = buf.freeze();
+        let mid = whole.slice(2..6);
+        assert_eq!(mid, b"cdef");
+        assert_eq!(mid.slice(1..3), b"de");
+        assert_eq!(whole.handle_count(), 2, "slice shares, never copies");
+        drop(whole);
+        assert_eq!(mid.handle_count(), 1);
+    }
+
+    #[test]
+    fn split_to_is_a_window_move() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head, [1, 2]);
+        assert_eq!(b, [3, 4, 5]);
+        assert_eq!(head.handle_count(), 2);
+    }
+
+    #[test]
+    fn into_vec_is_free_for_sole_full_owner() {
+        let v = vec![9u8; 1000];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "sole owner moves, no copy");
+        let b2 = Bytes::from(back);
+        let clone = b2.clone();
+        assert_eq!(clone.into_vec().len(), 1000, "shared owner copies");
+        assert_eq!(b2.len(), 1000);
+    }
+
+    #[test]
+    fn equality_against_common_shapes() {
+        let b = Bytes::from(&b"xyz"[..]);
+        assert_eq!(b, b"xyz");
+        assert_eq!(b, vec![b'x', b'y', b'z']);
+        assert_eq!(b, &b"xyz"[..]);
+        assert!(b == *b"xyz");
+    }
+
+    #[test]
+    fn bytesmut_zeroed_and_writes() {
+        let mut m = BytesMut::zeroed(4);
+        m[1..3].copy_from_slice(&[7, 8]);
+        assert_eq!(m.freeze(), [0, 7, 8, 0]);
+    }
+
+    #[test]
+    fn bytesmut_split_to_front() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"headtail");
+        let head = m.split_to(4);
+        assert_eq!(head.freeze(), b"head");
+        assert_eq!(m.freeze(), b"tail");
     }
 }

@@ -6,14 +6,65 @@
 //! one warm-up iteration, then batches until ~200 ms or 30 iterations,
 //! reporting the mean time per iteration. No statistics, plots, or CLI —
 //! point the workspace dependency at crates.io for the real harness.
+//!
+//! Two extensions beyond stdout reporting, used by CI's quick-mode perf
+//! job (`.github/workflows/ci.yml`) and the recorded `BENCH_*.json`
+//! baselines:
+//!
+//! * `--quick` on the bench binary's command line (i.e.
+//!   `cargo bench -- --quick`), or `MMPI_BENCH_QUICK=1`, shrinks the
+//!   per-benchmark budget ~8x — a smoke-level measurement that still
+//!   produces comparable numbers.
+//! * `MMPI_BENCH_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"id":…,"mean_ns":…,"mib_per_s":…}`) to `<path>`, so CI can
+//!   upload a machine-readable report instead of scraping stdout.
 
 use std::fmt::{self, Display};
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Measurement budget per benchmark (soft cap).
 const TIME_BUDGET: Duration = Duration::from_millis(200);
 /// Iteration cap per benchmark.
 const MAX_ITERS: u64 = 30;
+
+/// True when the run was asked for a reduced measurement budget, via the
+/// `--quick` CLI flag (criterion-compatible) or `MMPI_BENCH_QUICK=1`.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("MMPI_BENCH_QUICK").is_some_and(|v| v == "1")
+}
+
+/// Per-benchmark measurement budget honouring quick mode.
+fn budget() -> (Duration, u64) {
+    if quick_mode() {
+        (TIME_BUDGET / 8, MAX_ITERS / 3)
+    } else {
+        (TIME_BUDGET, MAX_ITERS)
+    }
+}
+
+/// Append one result line to the JSON report named by `MMPI_BENCH_JSON`.
+fn report_json(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let Some(path) = std::env::var_os("MMPI_BENCH_JSON") else {
+        return;
+    };
+    let mib_per_s = match throughput {
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("{:.3}", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+        }
+        _ => "null".to_string(),
+    };
+    // Benchmark ids are generated from code (`group/function/param`);
+    // escape the two JSON-significant characters anyway.
+    let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"mib_per_s\":{mib_per_s}}}"
+        );
+    }
+}
 
 /// Throughput annotation for a benchmark (recorded, reported alongside).
 #[derive(Clone, Copy, Debug)]
@@ -67,9 +118,10 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up (also primes lazy state).
         let _ = routine();
+        let (time_budget, max_iters) = budget();
         let start = Instant::now();
         let mut iters = 0u64;
-        while iters < MAX_ITERS && (iters == 0 || start.elapsed() < TIME_BUDGET) {
+        while iters < max_iters && (iters == 0 || start.elapsed() < time_budget) {
             let _ = routine();
             iters += 1;
         }
@@ -102,6 +154,7 @@ fn run_one(id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Benc
         _ => String::new(),
     };
     println!("{:<50} time: {}{}", id, human(b.mean_ns), rate);
+    report_json(id, b.mean_ns, throughput);
 }
 
 /// The benchmark manager (a printing stub in this shim).

@@ -1,0 +1,73 @@
+//! Criterion bench: the NACK-storm scale axis of the SRM repair
+//! scale-out (`docs/PROTOCOL.md` §8).
+//!
+//! One seeded lossy trial — a 3000-byte multicast-binary broadcast plus
+//! a barrier at 10% per-link loss on the switch — run at N ∈ {4, 16, 64}
+//! with suppression on and off. The measured wall time tracks simulator
+//! event volume (repair traffic is most of it at 10% loss); alongside
+//! each timing the bench prints the run's solicit / suppressed /
+//! retransmit counters once, which is the data `BENCH_4.json` records:
+//! with suppression on, NACK solicits grow sub-linearly in N, without it
+//! they explode.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_core::{BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::SimDuration;
+use mmpi_transport::{run_sim_world_stats, Comm, RepairConfig, SimCommConfig, WorldStats};
+
+fn storm_trial(n: usize, srm: bool, seed: u64) -> WorldStats {
+    let mut cfg = SimCommConfig::default();
+    let repair = RepairConfig::sim_default().with_seed(seed);
+    cfg.repair = Some(if srm { repair } else { repair.without_srm() });
+    let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch().with_loss(0.10), seed)
+        .with_start_skew(SimDuration::from_micros(50));
+    let (_, stats) = run_sim_world_stats(&cluster, &cfg, |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
+        let mut buf = if comm.rank() == 0 {
+            vec![0x5A; 3000]
+        } else {
+            vec![0u8; 3000]
+        };
+        comm.bcast(0, &mut buf);
+        comm.barrier();
+        assert!(buf.iter().all(|&b| b == 0x5A), "bcast corrupted data");
+        comm.transport_mut().compute(Duration::from_micros(10));
+    })
+    .expect("storm trial failed");
+    stats
+}
+
+fn bench_nack_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nack_storm_3kB_10pct_switch");
+    g.sample_size(10);
+    for n in [4usize, 16, 64] {
+        for srm in [true, false] {
+            let label = if srm { "suppress_on" } else { "suppress_off" };
+            // Report the deterministic repair-traffic counters once per
+            // case — the sub-linearity evidence next to the timing.
+            let s = storm_trial(n, srm, 1);
+            println!(
+                "# nack_storm n={n} {label}: drops={} nacks={} suppressed={} \
+                 overheard={} retransmits={} repairs_suppressed={}",
+                s.total_drops(),
+                s.repair.nacks_sent,
+                s.repair.nacks_suppressed,
+                s.repair.nacks_overheard,
+                s.repair.retransmits_sent,
+                s.repair.repairs_suppressed,
+            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| storm_trial(n, srm, 1));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nack_storm);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use mmpi_cluster::experiment::{loss_sweep, render_loss_table};
+use mmpi_cluster::experiment::{loss_sweep, render_loss_table, render_scale_table, scale_sweep};
 use mmpi_cluster::figures::{
     all_figures, crossover_point, loss_figure_base, loss_figure_rates, render_table, run_figure,
     write_csv, write_loss_csv, FigureData,
@@ -245,17 +245,36 @@ fn loss_figure(args: &Args) {
     );
     write_loss_csv(&rows, &args.out).expect("write figloss CSV");
     let lossless = rows.first().expect("rates are non-empty");
-    assert_eq!(lossless.drops, 0, "0% loss must drop nothing");
+    assert_eq!(lossless.counters.drops, 0, "0% loss must drop nothing");
     for r in &rows[1..] {
         // Low rates over few trials may legitimately drop nothing; once
         // the fabric did drop frames, the repair loop must have resent.
         assert!(
-            r.drops == 0 || r.retransmits > 0,
+            r.counters.drops == 0 || r.counters.retransmits > 0,
             "loss rate {} dropped {} frames but sent no retransmissions",
             r.loss,
-            r.drops
+            r.counters.drops
         );
     }
+
+    // The repair scale axis: the same lossy broadcast across growing
+    // process counts, showing the SRM suppression keeping solicit
+    // traffic sub-linear in N.
+    let scale_ns = [4usize, 8, 16, 32];
+    eprintln!("running repair scale sweep (n in {scale_ns:?}, 10% loss)...");
+    let t0 = std::time::Instant::now();
+    let scale_rows = scale_sweep(
+        &loss_figure_base(n, bytes).with_trials(trials.min(3)).with_loss(0.10),
+        &scale_ns,
+    );
+    eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "{}",
+        render_scale_table(
+            &format!("mcast-binary bcast, {bytes} B, 10% loss, switch"),
+            &scale_rows
+        )
+    );
 }
 
 /// Beyond-the-paper experiments (DESIGN.md §7): many-to-many collectives

@@ -144,7 +144,9 @@ pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
         .with_start_skew(exp.start_skew);
     let mut comm_cfg = SimCommConfig::default();
     if exp.drop_prob > 0.0 {
-        comm_cfg.repair = Some(RepairConfig::sim_default());
+        // Reseed the randomized NACK backoff per trial so trials draw
+        // decorrelated jitter while each replays exactly.
+        comm_cfg.repair = Some(RepairConfig::sim_default().with_seed(exp.seed + trial as u64));
     }
     let (report, world) = run_sim_world_stats(&cluster, &comm_cfg, move |c| {
         let mut comm = Communicator::new(c);
@@ -193,6 +195,54 @@ pub fn run_experiment(exp: &Experiment) -> ExperimentResult {
     }
 }
 
+/// The recovery-effort columns every repair sweep reports, extracted
+/// once from an [`ExperimentResult`] so the loss sweep, the scale
+/// sweep, their renderers and the CSV writer cannot drift as counters
+/// are added.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairCounters {
+    /// Fabric drops summed over the trials (all causes).
+    pub drops: u64,
+    /// NACK solicits actually sent by the repair loop (summed).
+    pub nacks: u64,
+    /// Solicits suppressed because a peer's NACK for the same traffic
+    /// was overheard first (SRM suppression; summed).
+    pub suppressed: u64,
+    /// Retransmissions sent (summed).
+    pub retransmits: u64,
+    /// Retransmissions avoided by the responder-side multicast-repair
+    /// window or the requester's missing-range advertisement (summed).
+    pub repairs_suppressed: u64,
+}
+
+impl RepairCounters {
+    fn from_result(res: &ExperimentResult) -> Self {
+        RepairCounters {
+            drops: res.stats.total_drops(),
+            nacks: res.repair.nacks_sent,
+            suppressed: res.repair.nacks_suppressed,
+            retransmits: res.repair.retransmits_sent,
+            repairs_suppressed: res.repair.repairs_suppressed,
+        }
+    }
+
+    /// The aligned table header shared by the sweep renderers.
+    fn table_header() -> String {
+        format!(
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}",
+            "drops", "nacks", "suppressed", "retransmits", "repairs_suppr"
+        )
+    }
+
+    /// The aligned table cells matching [`RepairCounters::table_header`].
+    fn table_cells(&self) -> String {
+        format!(
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}",
+            self.drops, self.nacks, self.suppressed, self.retransmits, self.repairs_suppressed
+        )
+    }
+}
+
 /// One row of a loss sweep: an experiment point re-run at one loss rate.
 #[derive(Clone, Debug)]
 pub struct LossSweepRow {
@@ -200,12 +250,8 @@ pub struct LossSweepRow {
     pub loss: f64,
     /// Latency summary across trials (drain excluded).
     pub summary: Summary,
-    /// Fabric drops summed over the trials (all causes).
-    pub drops: u64,
-    /// NACKs sent by the repair loop (summed).
-    pub nacks: u64,
-    /// Retransmissions sent (summed).
-    pub retransmits: u64,
+    /// Recovery-effort counters (summed over trials).
+    pub counters: RepairCounters,
     /// Frames on the wire (summed).
     pub frames: u64,
 }
@@ -219,10 +265,8 @@ pub fn loss_sweep(base: &Experiment, rates: &[f64]) -> Vec<LossSweepRow> {
             let res = run_experiment(&base.clone().with_loss(loss));
             LossSweepRow {
                 loss,
-                summary: res.summary,
-                drops: res.stats.total_drops(),
-                nacks: res.repair.nacks_sent,
-                retransmits: res.repair.retransmits_sent,
+                summary: res.summary.clone(),
+                counters: RepairCounters::from_result(&res),
                 frames: res.stats.frames_sent,
             }
         })
@@ -235,19 +279,74 @@ pub fn render_loss_table(label: &str, rows: &[LossSweepRow]) -> String {
     let _ = writeln!(out, "loss sweep — {label}");
     let _ = writeln!(
         out,
-        "{:>8}  {:>12}  {:>8}  {:>8}  {:>12}  {:>8}",
-        "loss", "median_us", "drops", "nacks", "retransmits", "frames"
+        "{:>8}  {:>12}  {}  {:>8}",
+        "loss",
+        "median_us",
+        RepairCounters::table_header(),
+        "frames"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:>7.1}%  {:>12.1}  {:>8}  {:>8}  {:>12}  {:>8}",
+            "{:>7.1}%  {:>12.1}  {}  {:>8}",
             r.loss * 100.0,
             r.summary.median,
-            r.drops,
-            r.nacks,
-            r.retransmits,
+            r.counters.table_cells(),
             r.frames
+        );
+    }
+    out
+}
+
+/// One row of a repair *scale* sweep: the same lossy workload re-run at
+/// a growing process count, so the solicit/suppressed/repair counters
+/// show how recovery traffic scales with the group (the SRM scale-out's
+/// acceptance axis — solicits must grow sub-linearly in N).
+#[derive(Clone, Debug)]
+pub struct ScaleSweepRow {
+    /// Process count of this row.
+    pub n: usize,
+    /// Latency summary across trials (drain excluded).
+    pub summary: Summary,
+    /// Recovery-effort counters (summed over trials).
+    pub counters: RepairCounters,
+}
+
+/// Re-run `base` at each process count, keeping its loss rate. The base
+/// experiment must inject loss (otherwise every repair column is zero).
+pub fn scale_sweep(base: &Experiment, ns: &[usize]) -> Vec<ScaleSweepRow> {
+    ns.iter()
+        .map(|&n| {
+            let mut exp = base.clone();
+            exp.n = n;
+            let res = run_experiment(&exp);
+            ScaleSweepRow {
+                n,
+                summary: res.summary.clone(),
+                counters: RepairCounters::from_result(&res),
+            }
+        })
+        .collect()
+}
+
+/// Render a scale sweep as an aligned text table.
+pub fn render_scale_table(label: &str, rows: &[ScaleSweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "repair scale sweep — {label}");
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>12}  {}",
+        "n",
+        "median_us",
+        RepairCounters::table_header()
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12.1}  {}",
+            r.n,
+            r.summary.median,
+            r.counters.table_cells()
         );
     }
     out
@@ -307,10 +406,10 @@ mod tests {
         .with_seed(1);
         let rows = loss_sweep(&base, &[0.0, 0.10]);
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].drops, 0, "lossless row stays clean");
-        assert_eq!(rows[0].retransmits, 0);
-        assert!(rows[1].drops > 0, "10% loss row must drop");
-        assert!(rows[1].retransmits > 0, "and recover");
+        assert_eq!(rows[0].counters.drops, 0, "lossless row stays clean");
+        assert_eq!(rows[0].counters.retransmits, 0);
+        assert!(rows[1].counters.drops > 0, "10% loss row must drop");
+        assert!(rows[1].counters.retransmits > 0, "and recover");
         // The rendered table carries every column.
         let table = render_loss_table("bcast 3000B, 4 procs, switch", &rows);
         assert!(table.contains("retransmits"));
@@ -333,6 +432,46 @@ mod tests {
         let b = run_experiment(&exp);
         assert_eq!(a.samples_us, b.samples_us);
         assert_eq!(a.repair, b.repair, "repair counters replay exactly");
+    }
+
+    #[test]
+    fn scale_sweep_reports_suppression_up_to_32() {
+        let base = Experiment::new(
+            4,
+            Fabric::Switch,
+            Workload::Bcast {
+                algo: BcastAlgorithm::McastBinary,
+                bytes: 3000,
+            },
+        )
+        .with_trials(2)
+        .with_seed(1)
+        .with_loss(0.10);
+        let rows = scale_sweep(&base, &[4, 16, 32]);
+        assert_eq!(rows.len(), 3);
+        let r16 = &rows[1];
+        let r32 = &rows[2];
+        assert_eq!(r32.n, 32);
+        assert!(r32.counters.drops > 0 && r32.counters.retransmits > 0, "lossy and recovering");
+        assert!(
+            r32.counters.suppressed > 0,
+            "at n=32 the SRM suppression must visibly fire"
+        );
+        // The scale-out's point: solicits grow sub-linearly in N — the
+        // per-drop solicit rate must not rise from 16 to 32 ranks (it
+        // falls, because more stuck receivers share each overheard NACK
+        // and each multicast repair).
+        let per_drop = |r: &ScaleSweepRow| r.counters.nacks as f64 / r.counters.drops.max(1) as f64;
+        assert!(r16.counters.nacks > 0, "n=16 must need recovery for the comparison");
+        assert!(
+            per_drop(r32) <= per_drop(r16) * 1.5,
+            "solicits per drop must not explode with N: {} vs {}",
+            per_drop(r32),
+            per_drop(r16)
+        );
+        let table = render_scale_table("bcast 3000B, 10% loss, switch", &rows);
+        assert!(table.contains("suppressed"));
+        assert!(table.contains("32"));
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct NetStats {
     pub datagrams_delivered: u64,
     /// Datagram sends issued by hosts.
     pub datagrams_sent: u64,
+    /// Of the application datagrams sent, those addressed to a multicast
+    /// group — one send fanning out to every member. The repair scale-out
+    /// work (multicast NACKs, multicast retransmissions) shows up here:
+    /// repair traffic shifts from the unicast to the multicast column.
+    pub mcast_datagrams_sent: u64,
+    /// Application datagrams addressed to a single host.
+    pub unicast_datagrams_sent: u64,
     /// Per-host frame transmit counts (indexed by host id).
     pub frames_per_host: Vec<u64>,
     /// Per-receiving-link delivery/fault counters (indexed by host id).
@@ -160,6 +167,8 @@ impl NetStats {
         self.partition_drops += other.partition_drops;
         self.datagrams_delivered += other.datagrams_delivered;
         self.datagrams_sent += other.datagrams_sent;
+        self.mcast_datagrams_sent += other.mcast_datagrams_sent;
+        self.unicast_datagrams_sent += other.unicast_datagrams_sent;
         for (a, b) in self.frames_per_host.iter_mut().zip(&other.frames_per_host) {
             *a += b;
         }
@@ -213,15 +222,20 @@ mod tests {
         let mut a = NetStats::new(2);
         a.record_frame_sent(HostId(0), 100, 144, FrameClass::Data);
         a.link_mut(HostId(1)).injected_drops = 2;
+        a.mcast_datagrams_sent = 4;
         let mut b = NetStats::new(2);
         b.record_frame_sent(HostId(1), 50, 72, FrameClass::Data);
         b.injected_frame_losses = 3;
         b.link_mut(HostId(1)).injected_drops = 1;
+        b.mcast_datagrams_sent = 1;
+        b.unicast_datagrams_sent = 2;
         a.merge(&b);
         assert_eq!(a.frames_sent, 2);
         assert_eq!(a.injected_frame_losses, 3);
         assert_eq!(a.frames_per_host, vec![1, 1]);
         assert_eq!(a.links[1].injected_drops, 3);
+        assert_eq!(a.mcast_datagrams_sent, 5);
+        assert_eq!(a.unicast_datagrams_sent, 2);
     }
 
     #[test]

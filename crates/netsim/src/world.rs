@@ -279,6 +279,10 @@ impl World {
             self.stats.kernel_datagrams_sent += 1;
         } else {
             self.stats.datagrams_sent += 1;
+            match dst {
+                DatagramDst::Multicast(_) => self.stats.mcast_datagrams_sent += 1,
+                DatagramDst::Unicast(_) => self.stats.unicast_datagrams_sent += 1,
+            }
         }
         match dst {
             DatagramDst::Unicast(d) if d == host => {

@@ -152,6 +152,8 @@ fn switch_has_no_collisions() {
     .unwrap();
     assert_eq!(report.stats.collisions, 0);
     assert_eq!(report.stats.datagrams_delivered, 5);
+    assert_eq!(report.stats.unicast_datagrams_sent, 5);
+    assert_eq!(report.stats.mcast_datagrams_sent, 0);
 }
 
 #[test]
@@ -179,6 +181,9 @@ fn multicast_on_switch_reaches_only_members() {
     assert_eq!(report.outputs, vec![0, 100, 100, 0]);
     // Exactly two copies left the switch (one per member port).
     assert_eq!(report.stats.datagrams_delivered, 2);
+    // The fan-out classification: one multicast send, no unicasts.
+    assert_eq!(report.stats.mcast_datagrams_sent, 1);
+    assert_eq!(report.stats.unicast_datagrams_sent, 0);
 }
 
 #[test]

@@ -23,11 +23,13 @@
 //! trait; the two backends cannot drift (ROADMAP "repair-loop dedup").
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::time::Duration;
 
+use mmpi_netsim::rng::SplitMix64;
 use mmpi_wire::{
-    split_message, Assembler, Bytes, Datagram, Message, MsgKind, RepairStats, RetransmitBuffer,
-    SendDst, WireError,
+    split_message, Assembler, Bytes, Datagram, Message, MsgKind, NackPayload, RepairStats,
+    RetransmitBuffer, SendDst, UnavailPayload, WireError, NACK_TARGET_ANY,
 };
 
 /// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
@@ -35,48 +37,161 @@ use mmpi_wire::{
 /// entirely: receives block without polling and no NACK traffic exists —
 /// the right mode for a lossless fabric, and byte-identical to the
 /// pre-repair protocol.
+///
+/// With [`RepairConfig::srm`] set (the default), recovery runs the
+/// SRM-style scale-out of `docs/PROTOCOL.md` §8: solicitation deadlines
+/// carry a seeded random [`RepairConfig::backoff`], NACKs are *multicast*
+/// so peers stuck on the same traffic overhear and suppress their own,
+/// and the origin answers one NACK with a *multicast* retransmission that
+/// heals every stuck receiver at once.
 #[derive(Clone, Copy, Debug)]
 pub struct RepairConfig {
     /// How long a blocked receive waits before (re-)soliciting a
-    /// retransmission with a NACK. Every timeout expiry sends one NACK to
-    /// the awaited source (or to every peer, for any-source receives).
+    /// retransmission with a NACK (plus a random backoff when `srm`).
     pub nack_timeout: Duration,
-    /// Quiet period an endpoint keeps servicing NACKs after its program
-    /// finished (the drain phase). Every received datagram restarts the
-    /// clock, so this must only exceed the longest *silent* gap before a
-    /// straggler asks for this endpoint's last message: a receiver can
-    /// spend `~n × nack_timeout` recovering earlier losses (e.g. the
-    /// rank-ordered allgather rounds) before it even posts the receive
-    /// that needs us, so size this several times that product or the
-    /// straggler NACKs into the void forever.
+    /// Base quiet period an endpoint keeps servicing NACKs after its
+    /// program finished (the drain phase). Every received datagram
+    /// restarts the clock. The *effective* grace scales with group size
+    /// (see [`RepairConfig::effective_drain_grace`]): a straggler can
+    /// spend `~n × (nack_timeout + backoff)` chaining through
+    /// earlier-round recoveries (rank-ordered multicast allgather is the
+    /// worst case) before it even posts the receive that needs this
+    /// endpoint's final message.
     pub drain_grace: Duration,
     /// Capacity of the sender-side retransmit ring, in messages.
     pub buffer_cap: usize,
+    /// SRM-style repair scale-out: randomized NACK backoff, multicast
+    /// NACKs with overheard-solicit suppression, multicast repair with a
+    /// responder-side suppression window. `false` reverts to the
+    /// PR-2-era unicast solicit/answer protocol (kept for A/B loss
+    /// sweeps and regression tests).
+    pub srm: bool,
+    /// Maximum random extra delay added to every solicitation deadline
+    /// (uniform in `[0, backoff]`, drawn from a [`SplitMix64`] stream
+    /// seeded by `seed ^ rank ^ context` — deterministic replay holds).
+    /// Zero disables the randomization even with `srm` on.
+    pub backoff: Duration,
+    /// Suppression window: an overheard solicit for the same traffic
+    /// younger than this cancels our own solicit, and a multicast
+    /// retransmission younger than this is not repeated by the
+    /// responder.
+    pub suppress_window: Duration,
+    /// Upper bound on the group-size-scaled drain grace. The scaling is
+    /// free in the simulator (virtual time) but on UDP it is wall-clock
+    /// spent in every endpoint's destructor, so it must stay bounded no
+    /// matter how large the world is.
+    pub drain_grace_cap: Duration,
+    /// Base seed of the per-endpoint backoff stream.
+    pub seed: u64,
+    /// Pin the drain grace to exactly [`RepairConfig::drain_grace`]
+    /// instead of scaling it with group size — the pre-scale-out
+    /// behavior, kept only so regression tests can demonstrate the
+    /// livelock it caused (`tests/lossy_recovery.rs`).
+    pub fixed_drain: bool,
 }
 
 impl RepairConfig {
     /// Defaults for the simulator: timings are virtual, so aggressive
-    /// (2 ms) polling costs nothing real, and the generous drain (25
-    /// NACK periods — enough for a straggler to chain-recover a dozen
-    /// earlier losses before asking for our last message) only stretches
-    /// virtual, never wall-clock, time.
+    /// (2 ms) polling costs nothing real, and generous drain only
+    /// stretches virtual, never wall-clock, time.
     pub fn sim_default() -> Self {
         RepairConfig {
             nack_timeout: Duration::from_millis(2),
             drain_grace: Duration::from_millis(50),
             buffer_cap: mmpi_wire::DEFAULT_RETRANSMIT_CAP,
+            srm: true,
+            backoff: Duration::from_millis(2),
+            suppress_window: Duration::from_millis(4),
+            drain_grace_cap: Duration::from_secs(1),
+            seed: 0x5EED_BACC_0FF5,
+            fixed_drain: false,
         }
     }
 
-    /// Defaults for real UDP sockets: wall-clock polling, so gentler.
+    /// Defaults for real UDP sockets: wall-clock polling, so gentler —
+    /// and a drain cap of one second, since the scaled grace is real
+    /// time every endpoint's destructor spends listening.
     pub fn udp_default() -> Self {
         RepairConfig {
             nack_timeout: Duration::from_millis(40),
             drain_grace: Duration::from_millis(400),
             buffer_cap: mmpi_wire::DEFAULT_RETRANSMIT_CAP,
+            srm: true,
+            backoff: Duration::from_millis(40),
+            suppress_window: Duration::from_millis(80),
+            drain_grace_cap: Duration::from_secs(1),
+            seed: 0x5EED_BACC_0FF5,
+            fixed_drain: false,
+        }
+    }
+
+    /// Builder-style: disable the SRM scale-out (unicast solicits and
+    /// repairs, no backoff/suppression) — the PR-2-era protocol.
+    pub fn without_srm(mut self) -> Self {
+        self.srm = false;
+        self
+    }
+
+    /// Builder-style: reseed the randomized-backoff stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The drain grace actually applied by an endpoint in an `n`-rank
+    /// world: the configured base, or — unless [`RepairConfig::fixed_drain`]
+    /// — the group-size-derived bound `2 × n × (nack_timeout + backoff)`
+    /// capped at [`RepairConfig::drain_grace_cap`], whichever is larger.
+    /// The derivation covers the documented worst case of a straggler
+    /// chaining through `~n` earlier-round recoveries, each costing up
+    /// to a solicitation deadline plus its backoff, before posting the
+    /// receive that needs this endpoint's final message; the cap — not a
+    /// hidden clamp on `n` — is the sole bound, because on UDP the grace
+    /// is wall-clock time spent in every destructor.
+    pub fn effective_drain_grace(&self, n: usize) -> Duration {
+        if self.fixed_drain {
+            return self.drain_grace;
+        }
+        let chained = (self.nack_timeout + self.backoff) * 2 * (n.max(2) as u32);
+        self.drain_grace.max(chained.min(self.drain_grace_cap))
+    }
+}
+
+/// Typed unrecoverable-loss errors a repair-enabled receive can surface
+/// (see [`Comm::recv_checked`]). The blocking conveniences
+/// ([`Comm::recv_match`] & co.) panic on these instead — an unrecoverable
+/// loss inside a collective has no sane continuation — so only code that
+/// opts into the checked API needs to handle them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// The awaited sender answered our NACK with `MsgKind::Unavail`: the
+    /// traffic was evicted from its retransmit ring and can never be
+    /// re-sent. Without this answer the receiver would re-solicit
+    /// forever (the PR-2 livelock).
+    Unavailable {
+        /// The rank that advertised the eviction.
+        src: u32,
+        /// The tag we were blocked on.
+        tag: Tag,
+        /// The responder's eviction floor: tags at or below this are gone.
+        tag_floor: u32,
+    },
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Unavailable { src, tag, tag_floor } => write!(
+                f,
+                "repair unavailable: rank {src} evicted tag {tag} traffic from its \
+                 retransmit ring (eviction floor {tag_floor}); size the ring up or \
+                 shorten the tag distance the workload re-requests"
+            ),
         }
     }
 }
+
+impl std::error::Error for RecvError {}
 
 /// Message tag. Collectives encode (operation, phase, round) in it.
 pub type Tag = u32;
@@ -131,6 +246,26 @@ pub trait Comm {
     /// Like [`Comm::recv_any`] with a timeout.
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message>;
 
+    /// Blocking receive that surfaces unrecoverable-loss conditions as a
+    /// typed [`RecvError`] instead of panicking: `src = None` matches any
+    /// source, `timeout = None` blocks until a message (or error)
+    /// arrives. Backends without a repair loop can never fail; the
+    /// default implementation delegates to the panicking primitives
+    /// (which, on such backends, never panic).
+    fn recv_checked(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Message>, RecvError> {
+        Ok(match (src, timeout) {
+            (Some(s), None) => Some(self.recv_match(s, tag)),
+            (Some(s), Some(t)) => self.recv_match_timeout(s, tag, t),
+            (None, None) => Some(self.recv_any(tag)),
+            (None, Some(t)) => self.recv_any_timeout(tag, t),
+        })
+    }
+
     /// Model `d` of local computation (advances virtual time in the
     /// simulator; sleeps on real transports).
     fn compute(&mut self, d: Duration);
@@ -180,8 +315,12 @@ pub struct Inbox {
     rank: u32,
     unmatched: VecDeque<Message>,
     nacks: VecDeque<Message>,
+    unavail: VecDeque<Message>,
     assembler: Assembler,
     seen: HashMap<u32, HashSet<u64>>,
+    /// Per-source high-water mark of accepted seqs (bounds the
+    /// [`Inbox::missing_from`] walk without scanning the seen-set).
+    seen_max: HashMap<u32, u64>,
     dropped_duplicates: u64,
     dropped_foreign: u64,
 }
@@ -194,8 +333,10 @@ impl Inbox {
             rank,
             unmatched: VecDeque::new(),
             nacks: VecDeque::new(),
+            unavail: VecDeque::new(),
             assembler: Assembler::new(),
             seen: HashMap::new(),
+            seen_max: HashMap::new(),
             dropped_duplicates: 0,
             dropped_foreign: 0,
         }
@@ -249,11 +390,29 @@ impl Inbox {
             self.dropped_duplicates += 1;
             return;
         }
+        self.seen_max
+            .entry(m.src_rank)
+            .and_modify(|mx| *mx = (*mx).max(m.seq))
+            .or_insert(m.seq);
         if m.kind == MsgKind::Nack {
             // Repair solicitation: divert to the transport's repair loop.
             // The tag field names the traffic being re-requested, so a
             // NACK must never be matchable as that traffic itself.
             self.nacks.push_back(m);
+            return;
+        }
+        if m.kind == MsgKind::Unavail {
+            // Eviction-floor advertisement: also repair-loop traffic —
+            // it answers a NACK, it must never match as the data itself.
+            // One live entry per (responder, tag) — every re-solicit
+            // draws a fresh answer under a fresh seq — and a bounded
+            // queue, so stale advertisements cannot accumulate.
+            self.unavail
+                .retain(|u| !(u.src_rank == m.src_rank && u.tag == m.tag));
+            self.unavail.push_back(m);
+            if self.unavail.len() > 64 {
+                self.unavail.pop_front();
+            }
             return;
         }
         self.unmatched.push_back(m);
@@ -262,6 +421,67 @@ impl Inbox {
     /// Take the oldest pending repair solicitation, if any.
     pub fn take_nack(&mut self) -> Option<Message> {
         self.nacks.pop_front()
+    }
+
+    /// Take the oldest `Unavail` advertisement matching `(src, tag)`, if
+    /// any (`src = None` matches any source) — the signal that the
+    /// awaited traffic is permanently unrecoverable.
+    pub fn take_unavail(&mut self, src: Option<usize>, tag: Tag) -> Option<Message> {
+        let pos = self.unavail.iter().position(|m| {
+            m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true)
+        })?;
+        self.unavail.remove(pos)
+    }
+
+    /// The sequence ranges *not yet received* from `src`, as sorted
+    /// disjoint ranges — what a NACK advertises so the responder replays
+    /// only what this endpoint is actually missing. Holes are computed
+    /// precisely only inside a recent window below the source's
+    /// high-water mark (retransmittable traffic is recent — the sender's
+    /// ring is bounded); everything below the window is one conservative
+    /// "missing" range, which can only cause a redundant replay, never a
+    /// missed one. Cost is O(window) membership probes per solicit, not
+    /// a scan of the whole receive history. The result may exceed what a
+    /// NACK payload can carry — seqs the source unicast to *other* ranks
+    /// look like holes here — in which case `NackPayload::encode`
+    /// collapses the overflow into an open-ended tail; the collapse is
+    /// conservative (covers more, suppresses less) and preserves the
+    /// lowest hole, which the responder's eviction-horizon check relies
+    /// on. Never empty: "no information" would disable that check.
+    pub fn missing_from(&self, src: u32) -> Vec<mmpi_wire::SeqRange> {
+        /// Sequence distance below the high-water mark inside which
+        /// holes are reported precisely (≥ any sane retransmit ring).
+        const PRECISE_WINDOW: u64 = 1024;
+        let (Some(seen), Some(&max)) = (self.seen.get(&src), self.seen_max.get(&src)) else {
+            // Nothing received from this source yet: everything missing.
+            return vec![mmpi_wire::SeqRange {
+                start: 0,
+                end: u64::MAX,
+            }];
+        };
+        let wstart = max.saturating_sub(PRECISE_WINDOW);
+        let mut out = Vec::new();
+        // A hole open on entry covers everything below the window.
+        let mut hole_start = (wstart > 0).then_some(0u64);
+        for s in wstart..=max {
+            match (seen.contains(&s), hole_start) {
+                (true, Some(start)) => {
+                    out.push(mmpi_wire::SeqRange { start, end: s - 1 });
+                    hole_start = None;
+                }
+                (false, None) => hole_start = Some(s),
+                _ => {}
+            }
+        }
+        // Everything above the high-water mark is unseen by definition
+        // (`max` itself is always seen, so no hole is open here).
+        if max < u64::MAX {
+            out.push(mmpi_wire::SeqRange {
+                start: max + 1,
+                end: u64::MAX,
+            });
+        }
+        out
     }
 
     /// Take the oldest buffered message matching `(src, tag)`; `src =
@@ -289,25 +509,27 @@ impl Inbox {
     }
 }
 
+/// Nanoseconds on a backend's monotone clock (virtual nanos for the
+/// simulator, wall nanos since endpoint creation for UDP). The repair
+/// loops' timer arithmetic — deadlines, backoff jitter, suppression
+/// windows — is plain integer math on this one representation, which is
+/// what lets [`EndpointCore`] persist timestamps across calls without
+/// being generic over a backend instant type.
+pub type Nanos = u64;
+
 /// Backend primitives the shared repair/receive loops are parameterized
 /// over: a clock (virtual or wall) and a socket pump. Implemented by the
 /// sim backend over [`mmpi_netsim::SimTime`] and by the UDP backend over
 /// [`std::time::Instant`]; the loops in [`EndpointCore`] are written once
 /// against this trait.
 pub trait RepairPump {
-    /// Monotone instant on this backend's clock.
-    type Instant: Copy + PartialOrd;
-
-    /// The current instant.
-    fn now(&mut self) -> Self::Instant;
-
-    /// The instant `d` from now.
-    fn deadline_in(&mut self, d: Duration) -> Self::Instant;
+    /// The current instant, as [`Nanos`] on this backend's clock.
+    fn now(&mut self) -> Nanos;
 
     /// Block until one datagram has been received and ingested into
     /// `core`'s inbox, or `until` passes (`None`: wait indefinitely).
     /// Malformed datagrams are ingested-and-ignored, not errors.
-    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Self::Instant>);
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Nanos>);
 
     /// Drain-phase pump: wait up to `quiet` for one datagram, ingesting
     /// it into `core`. Returns `false` when the wait elapsed silently
@@ -319,12 +541,112 @@ pub trait RepairPump {
     /// implementations must not need to copy payload bytes (a real
     /// socket's contiguous write is the one allowed exception).
     fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]);
+
+    /// Hand already-encoded datagrams to the communicator's multicast
+    /// group. Used by the SRM scale-out for NACK solicitations (so peers
+    /// overhear and suppress) and repair retransmissions (one answer
+    /// heals everyone); same zero-copy contract as
+    /// [`RepairPump::send_encoded`].
+    fn send_encoded_mcast(&mut self, datagrams: &[Datagram]);
+
+    /// Carry one SRM solicitation to the fabric. The default multicasts
+    /// only — peers must overhear it for suppression to work. The UDP
+    /// backend *additionally* unicasts a directed solicit to its target,
+    /// so point-to-point repair keeps working in environments that
+    /// silently eat multicast (the target's inbox dedups the duplicate
+    /// by sequence number).
+    fn send_solicit(&mut self, target: Option<usize>, datagrams: &[Datagram]) {
+        let _ = target;
+        self.send_encoded_mcast(datagrams);
+    }
+}
+
+/// Duration → backend-clock [`Nanos`].
+fn dur_nanos(d: Duration) -> Nanos {
+    d.as_nanos() as Nanos
+}
+
+/// Drop stale entries once a suppression map has grown past a small
+/// bound — keeps the maps O(live window) without a timer wheel.
+fn prune_stale<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Nanos>, now: Nanos, window: Nanos) {
+    if map.len() >= 128 {
+        map.retain(|_, &mut at| now.saturating_sub(at) < window);
+    }
+}
+
+/// Per-endpoint SRM scale-out state: the seeded backoff stream plus the
+/// two suppression memories (solicits overheard from peers, repairs this
+/// endpoint already multicast). Exists only when
+/// [`RepairConfig::srm`] is set.
+#[derive(Debug)]
+struct SrmState {
+    /// Deterministic backoff jitter: seeded from
+    /// `(config seed, rank, context)`, so a replayed simulation draws the
+    /// identical delays.
+    rng: SplitMix64,
+    /// `(target, tag) → when` we last overheard a peer's solicit for that
+    /// traffic. Our own deadline expiring inside the suppression window
+    /// of such an entry is suppressed: the peer's NACK will trigger a
+    /// multicast repair that heals us too.
+    heard: HashMap<(u32, Tag), Nanos>,
+    /// `seq → when` we last answered with a *multicast* retransmission —
+    /// the responder-side window that keeps one loss from producing one
+    /// repair per stuck receiver.
+    repaired: HashMap<u64, Nanos>,
+}
+
+impl SrmState {
+    fn new(seed: u64, rank: usize, context: u32) -> Self {
+        // Decorrelate endpoints sharing one configured seed.
+        let mix = seed
+            ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (context as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        SrmState {
+            rng: SplitMix64::new(mix),
+            heard: HashMap::new(),
+            repaired: HashMap::new(),
+        }
+    }
+
+    fn note_heard(&mut self, target: u32, tag: Tag, now: Nanos, window: Nanos) {
+        prune_stale(&mut self.heard, now, window);
+        self.heard.insert((target, tag), now);
+    }
+
+    /// Was a peer's solicit *covering* `(target, tag)` overheard within
+    /// the window? A specific target is covered by an overheard solicit
+    /// naming the same rank or naming any-source (every peer answers an
+    /// ANY solicit, the target included). Our own any-source wait
+    /// (`target = None`) is covered only by an overheard ANY solicit —
+    /// a solicit naming one specific rank draws only *that* rank's
+    /// records, which need not include the message our wait is for.
+    fn heard_recently(&self, target: Option<u32>, tag: Tag, now: Nanos, window: Nanos) -> bool {
+        let fresh = |at: &Nanos| now.saturating_sub(*at) < window;
+        let covered = |k: &(u32, Tag)| self.heard.get(k).is_some_and(fresh);
+        match target {
+            Some(t) => covered(&(t, tag)) || covered(&(NACK_TARGET_ANY, tag)),
+            None => covered(&(NACK_TARGET_ANY, tag)),
+        }
+    }
+
+    fn recently_repaired(&self, seq: u64, now: Nanos, window: Nanos) -> bool {
+        self.repaired
+            .get(&seq)
+            .is_some_and(|&at| now.saturating_sub(at) < window)
+    }
+
+    fn note_repaired(&mut self, seq: u64, now: Nanos, window: Nanos) {
+        prune_stale(&mut self.repaired, now, window);
+        self.repaired.insert(seq, now);
+    }
 }
 
 /// The backend-independent half of a transport endpoint: sequence
 /// numbers, wire encoding, the receive inbox, the retransmit ring, and —
 /// written exactly once for all backends — the NACK service / solicit /
-/// drain policy of `docs/PROTOCOL.md`, driven through a [`RepairPump`].
+/// drain policy of `docs/PROTOCOL.md` (including the SRM
+/// backoff/suppression/multicast-repair scale-out of §8), driven through
+/// a [`RepairPump`].
 #[derive(Debug)]
 pub struct EndpointCore {
     context: u32,
@@ -337,6 +659,7 @@ pub struct EndpointCore {
     pub inbox: Inbox,
     rtx: RetransmitBuffer,
     rstats: RepairStats,
+    srm: Option<SrmState>,
     next_seq: u64,
 }
 
@@ -362,6 +685,9 @@ impl EndpointCore {
                     .unwrap_or(mmpi_wire::DEFAULT_RETRANSMIT_CAP),
             ),
             rstats: RepairStats::default(),
+            srm: repair
+                .filter(|r| r.srm)
+                .map(|r| SrmState::new(r.seed, rank, context)),
             next_seq: 0,
         }
     }
@@ -422,95 +748,285 @@ impl EndpointCore {
         self.rstats
     }
 
-    /// Answer every queued NACK out of the retransmit buffer: unicast
-    /// re-sends to the requester, original sequence numbers (receivers
-    /// that already have the message dedup the copy). The re-sent
-    /// datagrams are the recorded views themselves — no per-record clone.
+    /// Answer every queued NACK out of the retransmit buffer. With SRM
+    /// on, a solicit addressed to another rank is only *overheard* (it
+    /// arms the suppression memory); one addressed to us answers with a
+    /// **multicast** re-send for originally-multicast records — one
+    /// repair heals every stuck receiver, and a responder-side window
+    /// keeps the same loss from being repaired once per requester —
+    /// while unicast records still replay unicast to their requester
+    /// (re-multicasting them would leak point-to-point payload). A NACK
+    /// matching nothing whose tag falls at or below the ring's eviction
+    /// floor is answered with `Unavail`, so the requester fails fast
+    /// instead of re-soliciting forever. Re-sends always reuse the
+    /// original sequence number (receivers that already have the message
+    /// dedup the copy) and re-send the recorded views themselves — no
+    /// per-record clone.
     pub fn service_nacks<P: RepairPump>(&mut self, io: &mut P) {
-        if self.repair.is_none() {
+        let Some(rc) = self.repair else {
             return;
-        }
+        };
+        let window = dur_nanos(rc.suppress_window);
         while let Some(nack) = self.inbox.take_nack() {
-            self.rstats.nacks_received += 1;
             let requester = nack.src_rank;
             if requester as usize >= self.n {
                 // Malformed rank (stray traffic on a real port; cannot
                 // happen on the closed simulated fabric): ignore.
                 continue;
             }
-            let mut answered = false;
-            for record in self.rtx.matching(requester, nack.tag) {
-                self.rstats.retransmits_sent += 1;
-                io.send_encoded(requester as usize, &record.datagrams);
-                answered = true;
+            // An empty payload is the legacy unicast form: it was sent
+            // *to us*, about our traffic, with no range information.
+            let payload = if nack.payload.is_empty() {
+                NackPayload::addressed_to(self.rank as u32)
+            } else {
+                match NackPayload::decode(&nack.payload) {
+                    Ok(p) => p,
+                    Err(_) => continue, // malformed stray traffic
+                }
+            };
+            let now = io.now();
+            // Every foreign solicit — whoever it targets, ourselves and
+            // any-source included — arms the suppression memory: if we
+            // are stuck on the same traffic, the repair it triggers will
+            // heal us too, so our own deadline expiry can stay quiet.
+            if let Some(srm) = &mut self.srm {
+                srm.note_heard(payload.target, nack.tag, now, window);
             }
-            if !answered {
+            if payload.target != self.rank as u32 && payload.target != NACK_TARGET_ANY {
+                // Addressed to another rank: suppression signal only.
+                self.rstats.nacks_overheard += 1;
+                continue;
+            }
+            self.rstats.nacks_received += 1;
+            // `matched_any`: some retained record carries the tag at
+            // all. `answered`: a record the requester is actually
+            // missing was re-sent (or its multicast repair is already in
+            // flight) — only that satisfies the solicit.
+            let mut matched_any = false;
+            let mut answered = false;
+            let mut mcast_guard = self.srm.as_mut();
+            for record in self.rtx.matching(requester, nack.tag) {
+                matched_any = true;
+                if !payload.covers(record.seq) {
+                    // The requester's missing-ranges say it already holds
+                    // this message — nothing to re-send.
+                    self.rstats.repairs_suppressed += 1;
+                    continue;
+                }
+                answered = true;
+                match (record.dst, &mut mcast_guard) {
+                    (SendDst::Multicast, Some(srm)) => {
+                        if srm.recently_repaired(record.seq, now, window) {
+                            self.rstats.repairs_suppressed += 1;
+                        } else {
+                            self.rstats.retransmits_sent += 1;
+                            io.send_encoded_mcast(&record.datagrams);
+                            srm.note_repaired(record.seq, now, window);
+                        }
+                    }
+                    _ => {
+                        self.rstats.retransmits_sent += 1;
+                        io.send_encoded(requester as usize, &record.datagrams);
+                    }
+                }
+            }
+            // Fail-fast advertisement. Tags are nondecreasing per
+            // sender, so a tag at or below the eviction floor names
+            // traffic that can be gone for good; the wrap guard keeps a
+            // stale floor inert after the 24-bit op-sequence in the tag
+            // layout wraps. Only solicits that name *us* specifically
+            // qualify — an any-source NACK is serviced by every peer,
+            // and a peer that never held the traffic must not declare it
+            // unrecoverable while the real holder's repair is in flight.
+            // Two unanswerable shapes: no retained record carries the
+            // tag at all, or (same-tag streams past the ring) newer
+            // same-tag records survive but the requester's advertised
+            // holes reach at or below the eviction horizon in seq space
+            // and none of the retained records fills them.
+            let unavailable = payload.target == self.rank as u32
+                && match self.rtx.evicted_tag_max() {
+                    Some(floor) if nack.tag <= floor && floor - nack.tag < (1 << 31) => {
+                        !matched_any
+                            || (!answered
+                                && self.rtx.evicted_seq_max().is_some_and(|horizon| {
+                                    payload.missing.iter().any(|r| r.start <= horizon)
+                                }))
+                    }
+                    _ => false,
+                };
+            if unavailable {
+                self.rstats.unavailable_sent += 1;
+                let floor = self.rtx.evicted_tag_max().expect("checked above");
+                let pl = UnavailPayload { tag_floor: floor }.encode();
+                let seq = self.fresh_seq();
+                let dgs = self.encode(nack.tag, MsgKind::Unavail, &pl, seq);
+                io.send_encoded(requester as usize, &dgs);
+            } else if !matched_any {
+                // Not yet sent (the normal-path match will handle it) or
+                // never ours: count and stay silent.
                 self.rstats.unanswered_nacks += 1;
             }
         }
     }
 
-    /// Solicit a retransmission of `tag` traffic: NACK the awaited source
-    /// (or, for an any-source receive, every peer).
+    /// Solicit a retransmission of `tag` traffic. SRM: one *multicast*
+    /// NACK naming the target (or any-source) plus the sequence ranges we
+    /// are missing — peers overhear it and suppress their own. Legacy:
+    /// unicast to the awaited source (or every peer for any-source).
     fn solicit<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) {
-        match src {
-            Some(s) if s != self.rank => self.send_nack(io, s, tag),
-            Some(_) => {}
-            None => {
-                for p in 0..self.n {
-                    if p != self.rank {
-                        self.send_nack(io, p, tag);
+        if src == Some(self.rank) {
+            return; // self-sends never need repair
+        }
+        if self.srm.is_some() {
+            let target = src.map_or(NACK_TARGET_ANY, |s| s as u32);
+            let missing = match src {
+                Some(s) => self.inbox.missing_from(s as u32),
+                None => Vec::new(),
+            };
+            let payload = NackPayload { target, missing }.encode();
+            self.rstats.nacks_sent += 1;
+            let seq = self.fresh_seq();
+            let dgs = self.encode(tag, MsgKind::Nack, &payload, seq);
+            io.send_solicit(src, &dgs);
+        } else {
+            match src {
+                // Directed: the empty payload is the PR-2 wire form,
+                // read by the responder as "addressed to you".
+                Some(s) => self.send_nack(io, s, tag, Bytes::new()),
+                // Any-source: must carry an explicit ANY target even on
+                // the legacy path — an empty payload would read as
+                // "addressed to you" at every peer, and a peer that
+                // never held the traffic could then answer `Unavail`.
+                None => {
+                    let payload = NackPayload::addressed_to(NACK_TARGET_ANY).encode();
+                    for p in 0..self.n {
+                        if p != self.rank {
+                            self.send_nack(io, p, tag, payload.clone());
+                        }
                     }
                 }
             }
         }
     }
 
-    fn send_nack<P: RepairPump>(&mut self, io: &mut P, dst: usize, tag: Tag) {
+    fn send_nack<P: RepairPump>(&mut self, io: &mut P, dst: usize, tag: Tag, payload: Bytes) {
         self.rstats.nacks_sent += 1;
         let seq = self.fresh_seq();
-        let dgs = self.encode(tag, MsgKind::Nack, &Bytes::new(), seq);
+        let dgs = self.encode(tag, MsgKind::Nack, &payload, seq);
         io.send_encoded(dst, &dgs);
     }
 
-    /// First solicitation deadline for a fresh blocking receive.
-    fn first_repair_at<P: RepairPump>(&self, io: &mut P) -> Option<P::Instant> {
-        self.repair.map(|rc| io.deadline_in(rc.nack_timeout))
+    /// Next solicitation deadline: `now + nack_timeout`, plus — with SRM
+    /// — a uniform draw from `[0, backoff]` off the endpoint's seeded
+    /// stream. The jitter is what de-synchronizes the group's stuck
+    /// receivers so one solicit goes out first and the rest overhear it.
+    fn solicit_deadline<P: RepairPump>(&mut self, io: &mut P) -> Option<Nanos> {
+        let rc = self.repair?;
+        let mut at = io.now() + dur_nanos(rc.nack_timeout);
+        if let Some(srm) = &mut self.srm {
+            let b = dur_nanos(rc.backoff);
+            if b > 0 {
+                at += srm.rng.next_below(b + 1);
+            }
+        }
+        Some(at)
+    }
+
+    /// True when our own solicit for `(src, tag)` should be skipped
+    /// because a peer's was overheard inside the suppression window.
+    fn solicit_suppressed(&self, now: Nanos, src: Option<usize>, tag: Tag) -> bool {
+        match (&self.srm, self.repair) {
+            (Some(srm), Some(rc)) => srm.heard_recently(
+                src.map(|s| s as u32),
+                tag,
+                now,
+                dur_nanos(rc.suppress_window),
+            ),
+            _ => false,
+        }
+    }
+
+    /// Solicit-or-suppress at an expired deadline, returning the next one.
+    fn solicit_step<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        now: Nanos,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> Option<Nanos> {
+        if self.solicit_suppressed(now, src, tag) {
+            self.rstats.nacks_suppressed += 1;
+        } else {
+            self.solicit(io, src, tag);
+        }
+        self.solicit_deadline(io)
     }
 
     /// One blocking-receive step against an absolute solicitation
     /// deadline. Ingests whatever arrives first; once `repair_at` passes,
-    /// solicits and returns the next deadline. The deadline is absolute —
-    /// not a quiet period — so a NACK storm from stuck peers cannot
-    /// starve this rank's own repair requests by keeping its socket busy.
+    /// solicits (or suppresses) and returns the next deadline. The
+    /// deadline is absolute — not a quiet period — so a NACK storm from
+    /// stuck peers cannot starve this rank's own repair requests by
+    /// keeping its socket busy.
     fn pump_repair<P: RepairPump>(
         &mut self,
         io: &mut P,
         src: Option<usize>,
         tag: Tag,
-        repair_at: Option<P::Instant>,
-    ) -> Option<P::Instant> {
-        let Some(rc) = self.repair else {
+        repair_at: Option<Nanos>,
+    ) -> Option<Nanos> {
+        if self.repair.is_none() {
             io.pump_one(self, None);
             return None;
         };
         let at = repair_at.expect("repair on implies a solicitation deadline");
-        if io.now() >= at {
-            self.solicit(io, src, tag);
-            return Some(io.deadline_in(rc.nack_timeout));
+        let now = io.now();
+        if now >= at {
+            return self.solicit_step(io, now, src, tag);
         }
         io.pump_one(self, Some(at));
         Some(at)
     }
 
+    /// Turn a matching `Unavail` advertisement into the typed error —
+    /// only for *directed* waits. An advertisement names one responder's
+    /// eviction; an any-source wait could still be satisfied by another
+    /// peer (and, since any-source solicits are never answered with
+    /// `Unavail`, any queued entry it would see is a leftover from an
+    /// earlier directed wait — consuming it would fail recoverable
+    /// traffic).
+    fn take_unavailable(&mut self, src: Option<usize>, tag: Tag) -> Option<RecvError> {
+        src?;
+        let m = self.inbox.take_unavail(src, tag)?;
+        let tag_floor = UnavailPayload::decode(&m.payload)
+            .map(|u| u.tag_floor)
+            .unwrap_or(m.tag);
+        Some(RecvError::Unavailable {
+            src: m.src_rank,
+            tag,
+            tag_floor,
+        })
+    }
+
     /// The blocking receive loop (any backend): service NACKs, match,
-    /// otherwise pump with repair solicitation.
-    pub fn recv_loop<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) -> Message {
-        let mut repair_at = self.first_repair_at(io);
+    /// otherwise pump with repair solicitation. Returns
+    /// [`RecvError::Unavailable`] when the awaited sender advertises
+    /// that the traffic was evicted from its retransmit ring —
+    /// unrecoverable, so blocking on would livelock.
+    pub fn recv_loop<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> Result<Message, RecvError> {
+        let mut repair_at = self.solicit_deadline(io);
         loop {
             self.service_nacks(io);
             if let Some(m) = self.inbox.take_match(src, tag) {
-                return m;
+                return Ok(m);
+            }
+            if let Some(e) = self.take_unavailable(src, tag) {
+                return Err(e);
             }
             repair_at = self.pump_repair(io, src, tag, repair_at);
         }
@@ -523,41 +1039,69 @@ impl EndpointCore {
         src: Option<usize>,
         tag: Tag,
         timeout: Duration,
-    ) -> Option<Message> {
-        let deadline = io.deadline_in(timeout);
-        let mut repair_at = self.first_repair_at(io);
+    ) -> Result<Option<Message>, RecvError> {
+        let deadline = io.now() + dur_nanos(timeout);
+        let mut repair_at = self.solicit_deadline(io);
         loop {
             self.service_nacks(io);
             if let Some(m) = self.inbox.take_match(src, tag) {
-                return Some(m);
+                return Ok(Some(m));
+            }
+            if let Some(e) = self.take_unavailable(src, tag) {
+                return Err(e);
             }
             let now = io.now();
             if now >= deadline {
-                return None;
+                return Ok(None);
             }
             match repair_at {
                 Some(at) if now >= at => {
                     // Deadline-based: traffic cannot starve solicitation.
-                    self.solicit(io, src, tag);
-                    repair_at = self.first_repair_at(io);
+                    repair_at = self.solicit_step(io, now, src, tag);
                 }
                 _ => {
-                    let until = repair_at
-                        .map_or(deadline, |at| if at < deadline { at } else { deadline });
+                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
                     io.pump_one(self, Some(until));
                 }
             }
         }
     }
 
+    /// [`EndpointCore::recv_loop`]/[`EndpointCore::recv_loop_timeout`]
+    /// behind one optional-timeout entry point — the body of every
+    /// backend's [`Comm::recv_checked`].
+    pub fn recv_loop_checked<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Message>, RecvError> {
+        match timeout {
+            None => self.recv_loop(io, src, tag).map(Some),
+            Some(t) => self.recv_loop_timeout(io, src, tag, t),
+        }
+    }
+
+    /// Unwrap a repair-loop receive result for the panicking [`Comm`]
+    /// conveniences: an unrecoverable loss inside a collective has no
+    /// sane continuation, so it aborts the rank loudly (instead of the
+    /// pre-`Unavail` behavior of re-soliciting forever).
+    pub fn expect_recv<T>(&self, result: Result<T, RecvError>) -> T {
+        result.unwrap_or_else(|e| panic!("unrecoverable loss at rank {}: {e}", self.rank))
+    }
+
     /// Shutdown drain: a peer may still be missing this endpoint's
     /// *final* message, so keep answering NACKs until the link has been
-    /// quiet for the grace period. No-op with repair off.
+    /// quiet for the grace period — which scales with group size
+    /// ([`RepairConfig::effective_drain_grace`]), because a straggler can
+    /// chain through `~n` earlier-round recoveries before posting the
+    /// receive that needs us. No-op with repair off.
     pub fn drain<P: RepairPump>(&mut self, io: &mut P) {
-        if self.repair.is_none() {
+        let Some(rc) = self.repair else {
             return;
-        }
-        let grace = self.repair.expect("checked").drain_grace;
+        };
+        let grace = rc.effective_drain_grace(self.n);
         self.service_nacks(io);
         while io.pump_drain(self, grace) {
             self.service_nacks(io);
@@ -679,6 +1223,89 @@ mod tests {
         let taken = inbox.take_nack().expect("NACK queued for repair loop");
         assert_eq!(taken.tag, 5);
         assert!(inbox.take_nack().is_none());
+    }
+
+    #[test]
+    fn effective_drain_grace_scales_and_caps() {
+        let sim = RepairConfig::sim_default();
+        // Small worlds keep the configured base.
+        assert_eq!(sim.effective_drain_grace(4), sim.drain_grace);
+        // n=16: 2 × 16 × (2+2) ms = 128 ms — the straggler-chain bound.
+        assert_eq!(
+            sim.effective_drain_grace(16),
+            Duration::from_millis(128)
+        );
+        // UDP at n=64 would be 2 × 64 × 80 ms = 10.24 s of wall-clock
+        // teardown; the cap bounds it.
+        let udp = RepairConfig::udp_default();
+        assert_eq!(udp.effective_drain_grace(64), udp.drain_grace_cap);
+        // Pinned legacy behavior ignores scaling entirely.
+        let mut fixed = sim;
+        fixed.fixed_drain = true;
+        assert_eq!(fixed.effective_drain_grace(64), fixed.drain_grace);
+    }
+
+    #[test]
+    fn missing_from_reports_holes_and_tail() {
+        let mut inbox = Inbox::new(0, 9);
+        for seq in [0u64, 1, 3] {
+            inbox.ingest_message(msg(1, 5, seq, b"x"), false);
+        }
+        assert_eq!(
+            inbox.missing_from(1),
+            vec![
+                mmpi_wire::SeqRange { start: 2, end: 2 },
+                mmpi_wire::SeqRange {
+                    start: 4,
+                    end: u64::MAX
+                },
+            ]
+        );
+        // Unknown source: everything is missing (one conservative range).
+        assert_eq!(
+            inbox.missing_from(7),
+            vec![mmpi_wire::SeqRange {
+                start: 0,
+                end: u64::MAX
+            }]
+        );
+        // More holes than a NACK payload can carry: the full set is
+        // still produced (never empty — the responder's eviction-horizon
+        // check needs the lowest hole) and the wire encode collapses the
+        // overflow conservatively, preserving that lowest hole.
+        let mut holey = Inbox::new(0, 9);
+        for seq in (0u64..40).step_by(2) {
+            holey.ingest_message(msg(1, 5, seq, b"x"), false);
+        }
+        let ranges = holey.missing_from(1);
+        assert!(ranges.len() > mmpi_wire::MAX_NACK_RANGES);
+        assert_eq!(ranges[0], mmpi_wire::SeqRange { start: 1, end: 1 });
+        let encoded = NackPayload {
+            target: 1,
+            missing: ranges,
+        }
+        .encode();
+        let decoded = NackPayload::decode(&encoded).unwrap();
+        assert_eq!(decoded.missing.len(), mmpi_wire::MAX_NACK_RANGES);
+        assert_eq!(decoded.missing[0].start, 1, "lowest hole survives");
+    }
+
+    #[test]
+    fn unavail_queue_dedups_per_responder_and_tag() {
+        let mut inbox = Inbox::new(0, 9);
+        for seq in 0..3 {
+            let mut m = msg(1, 5, seq, b"");
+            m.kind = MsgKind::Unavail;
+            inbox.ingest_message(m, false);
+        }
+        let mut other = msg(2, 5, 0, b"");
+        other.kind = MsgKind::Unavail;
+        inbox.ingest_message(other, false);
+        // Three answers from rank 1 collapse to the freshest one; rank
+        // 2's is independent.
+        assert!(inbox.take_unavail(Some(1), 5).is_some());
+        assert!(inbox.take_unavail(Some(1), 5).is_none());
+        assert!(inbox.take_unavail(Some(2), 5).is_some());
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod mem;
 pub mod sim;
 pub mod udp;
 
-pub use comm::{Comm, EndpointCore, Inbox, RepairConfig, RepairPump, Tag, FIRE_AND_FORGET_TAG};
+pub use comm::{
+    Comm, EndpointCore, Inbox, Nanos, RecvError, RepairConfig, RepairPump, Tag,
+    FIRE_AND_FORGET_TAG,
+};
 pub use mem::{run_mem_world, MemComm};
 pub use sim::{
     run_sim_world, run_sim_world_stats, RepairStatsSink, SimComm, SimCommConfig, WorldStats,

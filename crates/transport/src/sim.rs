@@ -46,6 +46,10 @@ pub struct RepairStatsSink {
     nacks_received: AtomicU64,
     retransmits_sent: AtomicU64,
     unanswered_nacks: AtomicU64,
+    nacks_suppressed: AtomicU64,
+    nacks_overheard: AtomicU64,
+    repairs_suppressed: AtomicU64,
+    unavailable_sent: AtomicU64,
 }
 
 impl RepairStatsSink {
@@ -58,6 +62,14 @@ impl RepairStatsSink {
             .fetch_add(s.retransmits_sent, Ordering::Relaxed);
         self.unanswered_nacks
             .fetch_add(s.unanswered_nacks, Ordering::Relaxed);
+        self.nacks_suppressed
+            .fetch_add(s.nacks_suppressed, Ordering::Relaxed);
+        self.nacks_overheard
+            .fetch_add(s.nacks_overheard, Ordering::Relaxed);
+        self.repairs_suppressed
+            .fetch_add(s.repairs_suppressed, Ordering::Relaxed);
+        self.unavailable_sent
+            .fetch_add(s.unavailable_sent, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -67,6 +79,10 @@ impl RepairStatsSink {
             nacks_received: self.nacks_received.load(Ordering::Relaxed),
             retransmits_sent: self.retransmits_sent.load(Ordering::Relaxed),
             unanswered_nacks: self.unanswered_nacks.load(Ordering::Relaxed),
+            nacks_suppressed: self.nacks_suppressed.load(Ordering::Relaxed),
+            nacks_overheard: self.nacks_overheard.load(Ordering::Relaxed),
+            repairs_suppressed: self.repairs_suppressed.load(Ordering::Relaxed),
+            unavailable_sent: self.unavailable_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -166,26 +182,21 @@ impl SimIo {
 }
 
 impl RepairPump for SimIo {
-    type Instant = SimTime;
-
-    fn now(&mut self) -> SimTime {
-        self.proc.now()
+    fn now(&mut self) -> u64 {
+        self.proc.now().as_nanos()
     }
 
-    fn deadline_in(&mut self, d: Duration) -> SimTime {
-        self.proc.now() + SimDuration::from_nanos(d.as_nanos() as u64)
-    }
-
-    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<SimTime>) {
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<u64>) {
         match until {
             None => {
                 let dg = self.proc.recv(self.socket);
                 Self::ingest(core, &dg);
             }
             Some(at) => {
-                let now = self.proc.now();
+                let now = self.proc.now().as_nanos();
                 if at > now {
-                    if let Some(dg) = self.proc.recv_timeout(self.socket, at - now) {
+                    let wait = SimDuration::from_nanos(at - now);
+                    if let Some(dg) = self.proc.recv_timeout(self.socket, wait) {
                         Self::ingest(core, &dg);
                     }
                 }
@@ -213,6 +224,10 @@ impl RepairPump for SimIo {
                 segments(d),
             );
         }
+    }
+
+    fn send_encoded_mcast(&mut self, datagrams: &[Datagram]) {
+        self.send_mcast(datagrams);
     }
 }
 
@@ -312,20 +327,34 @@ impl Comm for SimComm {
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        self.core.recv_loop(&mut self.io, Some(src), tag)
+        let r = self.core.recv_loop(&mut self.io, Some(src), tag);
+        self.core.expect_recv(r)
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        self.core
-            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout)
+        let r = self
+            .core
+            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout);
+        self.core.expect_recv(r)
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
-        self.core.recv_loop(&mut self.io, None, tag)
+        let r = self.core.recv_loop(&mut self.io, None, tag);
+        self.core.expect_recv(r)
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        self.core.recv_loop_timeout(&mut self.io, None, tag, timeout)
+        let r = self.core.recv_loop_timeout(&mut self.io, None, tag, timeout);
+        self.core.expect_recv(r)
+    }
+
+    fn recv_checked(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Message>, crate::comm::RecvError> {
+        self.core.recv_loop_checked(&mut self.io, src, tag, timeout)
     }
 
     fn compute(&mut self, d: Duration) {

@@ -134,6 +134,8 @@ struct UdpIo {
     readers: Vec<std::thread::JoinHandle<()>>,
     /// Reusable scratch for the contiguous socket write.
     scratch: Vec<u8>,
+    /// Epoch of this endpoint's repair clock (wall nanos since creation).
+    epoch: Instant,
 }
 
 impl UdpIo {
@@ -176,25 +178,19 @@ impl UdpIo {
 }
 
 impl RepairPump for UdpIo {
-    type Instant = Instant;
-
-    fn now(&mut self) -> Instant {
-        Instant::now()
+    fn now(&mut self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
-    fn deadline_in(&mut self, d: Duration) -> Instant {
-        Instant::now() + d
-    }
-
-    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Instant>) {
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<u64>) {
         match until {
             None => {
                 self.pump_chan(core, None);
             }
             Some(at) => {
-                let now = Instant::now();
+                let now = self.epoch.elapsed().as_nanos() as u64;
                 if at > now {
-                    self.pump_chan(core, Some(at - now));
+                    self.pump_chan(core, Some(Duration::from_nanos(at - now)));
                 }
             }
         }
@@ -216,6 +212,21 @@ impl RepairPump for UdpIo {
     fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]) {
         let to = self.cfg.peer_addr(dst);
         self.send_to_addr(to, datagrams);
+    }
+
+    fn send_encoded_mcast(&mut self, datagrams: &[Datagram]) {
+        let to = self.mcast_addr();
+        self.send_to_addr(to, datagrams);
+    }
+
+    fn send_solicit(&mut self, target: Option<usize>, datagrams: &[Datagram]) {
+        // Multicast for suppression, plus a directed unicast so repair
+        // still works where the environment silently eats multicast
+        // (loopback sandboxes, containers); the target dedups the copy.
+        self.send_encoded_mcast(datagrams);
+        if let Some(t) = target {
+            self.send_encoded(t, datagrams);
+        }
     }
 }
 
@@ -267,6 +278,7 @@ impl UdpComm {
                 stop,
                 readers,
                 scratch: Vec::new(),
+                epoch: Instant::now(),
             },
             core,
         })
@@ -336,20 +348,34 @@ impl Comm for UdpComm {
     }
 
     fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        self.core.recv_loop(&mut self.io, Some(src), tag)
+        let r = self.core.recv_loop(&mut self.io, Some(src), tag);
+        self.core.expect_recv(r)
     }
 
     fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        self.core
-            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout)
+        let r = self
+            .core
+            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout);
+        self.core.expect_recv(r)
     }
 
     fn recv_any(&mut self, tag: Tag) -> Message {
-        self.core.recv_loop(&mut self.io, None, tag)
+        let r = self.core.recv_loop(&mut self.io, None, tag);
+        self.core.expect_recv(r)
     }
 
     fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        self.core.recv_loop_timeout(&mut self.io, None, tag, timeout)
+        let r = self.core.recv_loop_timeout(&mut self.io, None, tag, timeout);
+        self.core.expect_recv(r)
+    }
+
+    fn recv_checked(
+        &mut self,
+        src: Option<usize>,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Message>, crate::comm::RecvError> {
+        self.core.recv_loop_checked(&mut self.io, src, tag, timeout)
     }
 
     fn compute(&mut self, d: Duration) {

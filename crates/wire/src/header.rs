@@ -44,8 +44,17 @@ pub enum MsgKind {
     /// retransmission from the sender's
     /// [`retransmit buffer`](crate::retransmit::RetransmitBuffer).
     /// Consumed by the transport's repair loop, never delivered to the
-    /// application.
+    /// application. With SRM-style repair the payload carries a
+    /// [`crate::nack::NackPayload`] (target rank + missing seq ranges);
+    /// an empty payload is the legacy unicast form ("addressed to you").
     Nack = 4,
+    /// Repair-unavailable: the answer to a NACK for traffic that has been
+    /// evicted from the sender's retransmit ring. Carries a
+    /// [`crate::nack::UnavailPayload`] advertising the eviction floor so
+    /// the requester fails fast with a typed error instead of
+    /// re-soliciting forever. Consumed by the repair loop, never
+    /// delivered to the application.
+    Unavail = 5,
 }
 
 impl MsgKind {
@@ -57,6 +66,7 @@ impl MsgKind {
             2 => MsgKind::Ack,
             3 => MsgKind::Release,
             4 => MsgKind::Nack,
+            5 => MsgKind::Unavail,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -277,6 +287,7 @@ mod tests {
             MsgKind::Ack,
             MsgKind::Release,
             MsgKind::Nack,
+            MsgKind::Unavail,
         ] {
             assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
         }

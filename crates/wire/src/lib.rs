@@ -26,12 +26,14 @@
 pub mod assemble;
 pub mod error;
 pub mod header;
+pub mod nack;
 pub mod retransmit;
 
 pub use assemble::{split_message, Assembler, Datagram, Message};
 pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
+pub use nack::{NackPayload, SeqRange, UnavailPayload, MAX_NACK_RANGES, NACK_TARGET_ANY};
 pub use retransmit::{
     RepairStats, RetransmitBuffer, SendDst, SentRecord, DEFAULT_RETRANSMIT_CAP,
 };

@@ -1,0 +1,243 @@
+//! Payload codecs for the SRM-style repair control messages.
+//!
+//! With suppression enabled (`docs/PROTOCOL.md` §8) a NACK is *multicast*
+//! to the whole group instead of unicast to the awaited sender, so every
+//! stuck receiver can overhear it and defer its own solicitation. The
+//! datagram header still carries the solicited tag (and the requester as
+//! `src_rank`), but the header alone can no longer say *whose* traffic is
+//! being re-requested — that moves into the payload, together with a
+//! compact encoding of the sequence ranges the requester is missing, so
+//! the responder re-sends only what the requester does not already hold.
+//!
+//! The companion [`UnavailPayload`] answers a NACK for traffic that has
+//! been evicted from the responder's retransmit ring: it advertises the
+//! eviction floor (the highest tag known to be gone), letting the
+//! requester surface a typed unrecoverable-loss error instead of
+//! re-soliciting forever.
+//!
+//! Both codecs are deliberately tiny, fixed little-endian layouts; an
+//! empty NACK payload remains valid and means the legacy unicast
+//! semantics ("addressed to whoever received it, everything matching the
+//! tag").
+
+use bytes::{Bytes, BytesMut};
+
+use crate::error::WireError;
+
+/// `target` value naming no specific rank: an any-source solicitation —
+/// every peer holding matching traffic may answer.
+pub const NACK_TARGET_ANY: u32 = u32::MAX;
+
+/// Cap on encoded missing ranges. A requester with more holes than this
+/// collapses the tail into one open-ended range — the NACK payload stays
+/// a bounded handful of bytes no matter how lossy the fabric was.
+pub const MAX_NACK_RANGES: usize = 8;
+
+/// An inclusive range of per-sender sequence numbers the requester has
+/// not received.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First missing sequence number.
+    pub start: u64,
+    /// Last missing sequence number (inclusive; `u64::MAX` = open-ended).
+    pub end: u64,
+}
+
+impl SeqRange {
+    /// True when `seq` falls inside this range.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.start <= seq && seq <= self.end
+    }
+}
+
+/// Decoded body of a [`crate::MsgKind::Nack`] datagram (SRM form).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NackPayload {
+    /// Rank whose traffic is solicited, or [`NACK_TARGET_ANY`].
+    pub target: u32,
+    /// Sequence ranges (of the target's per-sender counter) the requester
+    /// is missing, sorted and disjoint. Empty = "anything matching the
+    /// tag" (always the case for any-source solicits and legacy NACKs).
+    pub missing: Vec<SeqRange>,
+}
+
+/// Wire size of the fixed payload prefix (target + range count).
+const NACK_FIXED: usize = 6;
+/// Wire size of one encoded range.
+const RANGE_LEN: usize = 16;
+
+impl NackPayload {
+    /// A solicitation addressed to one rank with no range information —
+    /// also how an empty (legacy) payload is interpreted by the receiver.
+    pub fn addressed_to(target: u32) -> Self {
+        NackPayload {
+            target,
+            missing: Vec::new(),
+        }
+    }
+
+    /// True when the requester's missing set covers `seq` (an empty set
+    /// covers everything — no information means "send all matches").
+    pub fn covers(&self, seq: u64) -> bool {
+        self.missing.is_empty() || self.missing.iter().any(|r| r.contains(seq))
+    }
+
+    /// Encode into a fresh payload buffer. Ranges beyond
+    /// [`MAX_NACK_RANGES`] are collapsed into a final open-ended range.
+    pub fn encode(&self) -> Bytes {
+        let mut ranges: Vec<SeqRange> = self.missing.clone();
+        if ranges.len() > MAX_NACK_RANGES {
+            let tail_start = ranges[MAX_NACK_RANGES - 1].start;
+            ranges.truncate(MAX_NACK_RANGES - 1);
+            ranges.push(SeqRange {
+                start: tail_start,
+                end: u64::MAX,
+            });
+        }
+        let mut buf = BytesMut::with_capacity(NACK_FIXED + ranges.len() * RANGE_LEN);
+        buf.extend_from_slice(&self.target.to_le_bytes());
+        buf.extend_from_slice(&(ranges.len() as u16).to_le_bytes());
+        for r in &ranges {
+            buf.extend_from_slice(&r.start.to_le_bytes());
+            buf.extend_from_slice(&r.end.to_le_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Decode a non-empty NACK payload. (Empty payloads are the legacy
+    /// unicast form and carry no target — the caller substitutes its own
+    /// rank via [`NackPayload::addressed_to`].)
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < NACK_FIXED {
+            return Err(WireError::Truncated {
+                got: bytes.len(),
+                need: NACK_FIXED,
+            });
+        }
+        let target = u32::from_le_bytes(bytes[0..4].try_into().expect("checked"));
+        let count = u16::from_le_bytes(bytes[4..6].try_into().expect("checked")) as usize;
+        let need = NACK_FIXED + count * RANGE_LEN;
+        if bytes.len() < need || count > MAX_NACK_RANGES {
+            return Err(WireError::Truncated {
+                got: bytes.len(),
+                need,
+            });
+        }
+        let mut missing = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = NACK_FIXED + i * RANGE_LEN;
+            missing.push(SeqRange {
+                start: u64::from_le_bytes(bytes[off..off + 8].try_into().expect("checked")),
+                end: u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("checked")),
+            });
+        }
+        Ok(NackPayload { target, missing })
+    }
+}
+
+/// Decoded body of a [`crate::MsgKind::Unavail`] datagram: the responder's
+/// eviction-floor advertisement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnavailPayload {
+    /// Highest tag among the records evicted from the responder's
+    /// retransmit ring: traffic tagged at or below this can never be
+    /// re-sent. (Sound because the collective layer issues nondecreasing
+    /// tags per sender — see `RetransmitBuffer::evicted_tag_max`.)
+    pub tag_floor: u32,
+}
+
+impl UnavailPayload {
+    /// Encode into a fresh payload buffer.
+    pub fn encode(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.tag_floor.to_le_bytes())
+    }
+
+    /// Decode an Unavail payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 4 {
+            return Err(WireError::Truncated {
+                got: bytes.len(),
+                need: 4,
+            });
+        }
+        Ok(UnavailPayload {
+            tag_floor: u32::from_le_bytes(bytes[0..4].try_into().expect("checked")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_ranges() {
+        let p = NackPayload {
+            target: 3,
+            missing: vec![
+                SeqRange { start: 2, end: 4 },
+                SeqRange {
+                    start: 9,
+                    end: u64::MAX,
+                },
+            ],
+        };
+        let enc = p.encode();
+        assert_eq!(NackPayload::decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_any_target_no_ranges() {
+        let p = NackPayload::addressed_to(NACK_TARGET_ANY);
+        let enc = p.encode();
+        let dec = NackPayload::decode(&enc).unwrap();
+        assert_eq!(dec.target, NACK_TARGET_ANY);
+        assert!(dec.missing.is_empty());
+        assert!(dec.covers(0) && dec.covers(u64::MAX));
+    }
+
+    #[test]
+    fn covers_respects_ranges() {
+        let p = NackPayload {
+            target: 0,
+            missing: vec![SeqRange { start: 5, end: 7 }],
+        };
+        assert!(!p.covers(4));
+        assert!(p.covers(5) && p.covers(7));
+        assert!(!p.covers(8));
+    }
+
+    #[test]
+    fn encode_caps_ranges_with_open_tail() {
+        let missing: Vec<SeqRange> = (0..20)
+            .map(|i| SeqRange {
+                start: i * 10,
+                end: i * 10 + 1,
+            })
+            .collect();
+        let p = NackPayload { target: 1, missing };
+        let dec = NackPayload::decode(&p.encode()).unwrap();
+        assert_eq!(dec.missing.len(), MAX_NACK_RANGES);
+        assert_eq!(dec.missing.last().unwrap().end, u64::MAX);
+        // Everything the original ranges covered is still covered.
+        for r in &p.missing {
+            assert!(dec.covers(r.start), "seq {} lost by capping", r.start);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(NackPayload::decode(&[1, 2, 3]).is_err());
+        // Claimed count larger than the bytes present.
+        let mut short = NackPayload::addressed_to(0).encode().into_vec();
+        short[4] = 5;
+        assert!(NackPayload::decode(&short).is_err());
+    }
+
+    #[test]
+    fn unavail_roundtrip() {
+        let u = UnavailPayload { tag_floor: 0xBEEF };
+        assert_eq!(UnavailPayload::decode(&u.encode()).unwrap(), u);
+        assert!(UnavailPayload::decode(&[1]).is_err());
+    }
+}

@@ -83,6 +83,8 @@ pub struct RetransmitBuffer {
     ring: VecDeque<SentRecord>,
     cap: usize,
     evicted: u64,
+    evicted_tag_max: Option<u32>,
+    evicted_seq_max: Option<u64>,
 }
 
 impl RetransmitBuffer {
@@ -93,6 +95,8 @@ impl RetransmitBuffer {
             ring: VecDeque::with_capacity(capacity.min(64)),
             cap: capacity,
             evicted: 0,
+            evicted_tag_max: None,
+            evicted_seq_max: None,
         }
     }
 
@@ -111,8 +115,17 @@ impl RetransmitBuffer {
             return;
         }
         if self.ring.len() == self.cap {
-            self.ring.pop_front();
-            self.evicted += 1;
+            if let Some(old) = self.ring.pop_front() {
+                self.evicted += 1;
+                self.evicted_tag_max = Some(
+                    self.evicted_tag_max
+                        .map_or(old.tag, |m| m.max(old.tag)),
+                );
+                self.evicted_seq_max = Some(
+                    self.evicted_seq_max
+                        .map_or(old.seq, |m| m.max(old.seq)),
+                );
+            }
         }
         self.ring.push_back(SentRecord {
             seq,
@@ -143,6 +156,27 @@ impl RetransmitBuffer {
     pub fn evicted(&self) -> u64 {
         self.evicted
     }
+
+    /// The eviction floor: the highest tag among evicted records, if any
+    /// were evicted. Because every sender issues tags in nondecreasing
+    /// order (collective op-sequence numbers dominate the tag layout) and
+    /// the ring evicts in send order, a NACK whose tag is at or below
+    /// this floor names traffic that is *permanently* unanswerable — the
+    /// responder advertises it with a `MsgKind::Unavail` so the requester
+    /// can fail fast instead of re-soliciting forever.
+    pub fn evicted_tag_max(&self) -> Option<u32> {
+        self.evicted_tag_max
+    }
+
+    /// The eviction horizon in sequence space: the highest seq among
+    /// evicted records (seqs are allocated in send order, so this is the
+    /// seq of the most recently evicted record). A requester whose
+    /// missing-range advertisement reaches at or below this horizon may
+    /// be asking for a message that is gone even while *newer* records
+    /// with the same tag are still retained.
+    pub fn evicted_seq_max(&self) -> Option<u64> {
+        self.evicted_seq_max
+    }
 }
 
 impl Default for RetransmitBuffer {
@@ -157,12 +191,24 @@ impl Default for RetransmitBuffer {
 pub struct RepairStats {
     /// NACKs this endpoint sent (timeout-driven solicitations).
     pub nacks_sent: u64,
-    /// NACKs this endpoint received and serviced.
+    /// NACKs this endpoint received and serviced (addressed to it).
     pub nacks_received: u64,
     /// Messages re-sent out of the retransmit buffer.
     pub retransmits_sent: u64,
     /// NACKs that matched nothing in the buffer (evicted or never ours).
     pub unanswered_nacks: u64,
+    /// Solicitations this endpoint *suppressed*: its deadline expired but
+    /// a peer's overheard NACK for the same traffic was recent enough
+    /// that re-soliciting would be redundant (SRM suppression).
+    pub nacks_suppressed: u64,
+    /// Multicast NACKs overheard that were addressed to another rank —
+    /// the suppression signal fan-in.
+    pub nacks_overheard: u64,
+    /// Retransmissions *not* re-sent because the same message was already
+    /// multicast-repaired within the responder's suppression window.
+    pub repairs_suppressed: u64,
+    /// `Unavail` answers sent for NACKs naming ring-evicted traffic.
+    pub unavailable_sent: u64,
 }
 
 impl RepairStats {
@@ -172,6 +218,10 @@ impl RepairStats {
         self.nacks_received += other.nacks_received;
         self.retransmits_sent += other.retransmits_sent;
         self.unanswered_nacks += other.unanswered_nacks;
+        self.nacks_suppressed += other.nacks_suppressed;
+        self.nacks_overheard += other.nacks_overheard;
+        self.repairs_suppressed += other.repairs_suppressed;
+        self.unavailable_sent += other.unavailable_sent;
     }
 }
 
@@ -245,10 +295,31 @@ mod tests {
             nacks_received: 2,
             retransmits_sent: 3,
             unanswered_nacks: 4,
+            nacks_suppressed: 5,
+            nacks_overheard: 6,
+            repairs_suppressed: 7,
+            unavailable_sent: 8,
         };
         a.merge(&a.clone());
         assert_eq!(a.nacks_sent, 2);
         assert_eq!(a.retransmits_sent, 6);
         assert_eq!(a.unanswered_nacks, 8);
+        assert_eq!(a.nacks_suppressed, 10);
+        assert_eq!(a.nacks_overheard, 12);
+        assert_eq!(a.repairs_suppressed, 14);
+        assert_eq!(a.unavailable_sent, 16);
+    }
+
+    #[test]
+    fn eviction_floor_tracks_highest_evicted_tag() {
+        let mut b = RetransmitBuffer::new(2);
+        assert_eq!(b.evicted_tag_max(), None);
+        b.record(0, SendDst::Multicast, 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 0, b"a"));
+        b.record(1, SendDst::Multicast, 11, MsgKind::Data, &dgs(MsgKind::Data, 11, 1, b"b"));
+        assert_eq!(b.evicted_tag_max(), None, "nothing evicted yet");
+        b.record(2, SendDst::Multicast, 12, MsgKind::Data, &dgs(MsgKind::Data, 12, 2, b"c"));
+        assert_eq!(b.evicted_tag_max(), Some(10), "tag 10 evicted");
+        b.record(3, SendDst::Multicast, 13, MsgKind::Data, &dgs(MsgKind::Data, 13, 3, b"d"));
+        assert_eq!(b.evicted_tag_max(), Some(11), "floor advances in send order");
     }
 }

@@ -41,6 +41,10 @@
 //!                  mmpi-transport ───────────  Comm: sim | udp | mem
 //!                    │         │               · repair loop: NACK on
 //!                    │         │                 timeout, drain on exit
+//!                    │         │               · SRM scale-out: seeded
+//!                    │         │                 backoff, mcast NACK
+//!                    │         │                 suppression, mcast
+//!                    │         │                 repair, Unavail floor
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
 //!                │                 │           datagram format

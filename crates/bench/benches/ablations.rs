@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mmpi_core::{BcastAlgorithm, Communicator};
+use mmpi_core::{expect_coll, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::{FabricKind, NetParams, SwitchParams};
 use mmpi_netsim::SimDuration;
@@ -24,7 +24,7 @@ fn bcast_makespan(n: usize, params: NetParams, algo: BcastAlgorithm, bytes: usiz
         } else {
             vec![0; bytes]
         };
-        comm.bcast(0, &mut buf);
+        expect_coll(comm.bcast(0, &mut buf));
     })
     .unwrap()
     .makespan
@@ -59,9 +59,7 @@ fn scout_tree_shape(c: &mut Criterion) {
             ("flat-tree", BcastAlgorithm::FlatTree),
         ] {
             g.bench_with_input(BenchmarkId::new(label, n), &n, move |b, &n| {
-                b.iter(|| {
-                    bcast_makespan(n, NetParams::fast_ethernet_switch(), algo, 2000)
-                });
+                b.iter(|| bcast_makespan(n, NetParams::fast_ethernet_switch(), algo, 2000));
             });
         }
     }

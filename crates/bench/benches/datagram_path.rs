@@ -25,7 +25,10 @@ const KIB: usize = 1024;
 const TAG: u32 = 7;
 
 fn payload(size: usize) -> Bytes {
-    (0..size).map(|i| (i * 131) as u8).collect::<Vec<u8>>().into()
+    (0..size)
+        .map(|i| (i * 131) as u8)
+        .collect::<Vec<u8>>()
+        .into()
 }
 
 fn assemble_one(dgs: &[Datagram]) -> Option<Message> {

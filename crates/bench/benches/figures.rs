@@ -15,13 +15,7 @@ fn bcast_exp(n: usize, fabric: Fabric, algo: BcastAlgorithm, bytes: usize) -> Ex
     Experiment::new(n, fabric, Workload::Bcast { algo, bytes }).with_trials(1)
 }
 
-fn bench_bcast_figure(
-    c: &mut Criterion,
-    group_name: &str,
-    n: usize,
-    fabric: Fabric,
-    bytes: usize,
-) {
+fn bench_bcast_figure(c: &mut Criterion, group_name: &str, n: usize, fabric: Fabric, bytes: usize) {
     let mut g = c.benchmark_group(group_name);
     g.sample_size(10);
     for (label, algo) in [
@@ -58,7 +52,11 @@ fn fig11(c: &mut Criterion) {
     g.sample_size(10);
     for (label, fabric, algo) in [
         ("mpich-hub", Fabric::Hub, BcastAlgorithm::MpichBinomial),
-        ("mpich-switch", Fabric::Switch, BcastAlgorithm::MpichBinomial),
+        (
+            "mpich-switch",
+            Fabric::Switch,
+            BcastAlgorithm::MpichBinomial,
+        ),
         ("binary-hub", Fabric::Hub, BcastAlgorithm::McastBinary),
         ("binary-switch", Fabric::Switch, BcastAlgorithm::McastBinary),
     ] {
@@ -93,8 +91,7 @@ fn fig13(c: &mut Criterion) {
             ("multicast", BarrierAlgorithm::McastBinary),
             ("mpich", BarrierAlgorithm::Mpich),
         ] {
-            let exp = Experiment::new(n, Fabric::Hub, Workload::Barrier { algo })
-                .with_trials(1);
+            let exp = Experiment::new(n, Fabric::Hub, Workload::Barrier { algo }).with_trials(1);
             g.bench_with_input(BenchmarkId::new(label, n), &exp, |b, exp| {
                 b.iter(|| run_trial(exp, 0));
             });

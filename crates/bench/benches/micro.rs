@@ -108,5 +108,11 @@ fn sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, wire_codec, event_queue, rng_throughput, sim_throughput);
+criterion_group!(
+    micro,
+    wire_codec,
+    event_queue,
+    rng_throughput,
+    sim_throughput
+);
 criterion_main!(micro);

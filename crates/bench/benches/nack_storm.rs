@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mmpi_core::{BcastAlgorithm, Communicator};
+use mmpi_core::{expect_coll, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::NetParams;
 use mmpi_netsim::SimDuration;
@@ -33,8 +33,8 @@ fn storm_trial(n: usize, srm: bool, seed: u64) -> WorldStats {
         } else {
             vec![0u8; 3000]
         };
-        comm.bcast(0, &mut buf);
-        comm.barrier();
+        expect_coll(comm.bcast(0, &mut buf));
+        expect_coll(comm.barrier());
         assert!(buf.iter().all(|&b| b == 0x5A), "bcast corrupted data");
         comm.transport_mut().compute(Duration::from_micros(10));
     })

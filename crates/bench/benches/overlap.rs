@@ -1,0 +1,120 @@
+//! Criterion bench: blocking vs request-based collectives (ISSUE 5).
+//!
+//! Two operations at N ∈ {4, 16, 64} over the in-memory backend (real
+//! threads — measured wall time is genuine end-to-end cost):
+//!
+//! * `ring_allgather` — the classic ring, blocking
+//!   (`many_to_many::allgather_ring`: each travelling block is received
+//!   into an owned buffer and re-imported for the next hop) vs the
+//!   request-based `Communicator::iallgather` state machine (all ring
+//!   receives posted upfront, every claimed block forwarded as the
+//!   shared `Bytes` view it arrived in — zero per-hop payload copies).
+//! * `pipelined_bcast` — van de Geijn scatter + ring allgather,
+//!   blocking (`bcast_scatter_allgather`) vs the request-based
+//!   `Communicator::ibcast` scatter machine (same wire format, same
+//!   block framing, zero-copy ring forwarding).
+//!
+//! Block sizes shrink as N grows so one iteration moves a comparable
+//! amount of data per rank at every point. `BENCH_5.json` records a
+//! quick-mode run; the `overlap` group is part of the CI quick JSON job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mmpi_core::{expect_coll, AllgatherAlgorithm, BcastAlgorithm, CollRequest, Communicator};
+use mmpi_transport::run_mem_world;
+
+/// Per-rank block size for an N-rank ring: keep total per-iteration
+/// traffic in the same ballpark across N.
+fn block_bytes(n: usize) -> usize {
+    match n {
+        // Single-chunk blocks (wire chunk limit is 60 kB): the arrival
+        // payload is a zero-copy slice of the sender's encode buffer,
+        // which is exactly what the request path forwards for free.
+        0..=32 => 48 * 1024,
+        _ => 8 * 1024,
+    }
+}
+
+fn ring_allgather_blocking(n: usize, bytes: usize) {
+    let out = run_mem_world(n, 0, move |c| {
+        let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Ring);
+        let mine = vec![comm.rank() as u8; bytes];
+        expect_coll(comm.allgather(&mine)).len()
+    });
+    assert!(out.iter().all(|&l| l == n));
+}
+
+fn ring_allgather_requests(n: usize, bytes: usize) {
+    let out = run_mem_world(n, 0, move |c| {
+        let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Ring);
+        let mine = vec![comm.rank() as u8; bytes];
+        let req = comm.iallgather(&mine);
+        expect_coll(req.wait(comm.transport_mut())).len()
+    });
+    assert!(out.iter().all(|&l| l == n));
+}
+
+fn pipelined_bcast_blocking(n: usize, bytes: usize) {
+    let out = run_mem_world(n, 0, move |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::ScatterAllgather);
+        let mut buf = if comm.rank() == 0 {
+            vec![0x5A; bytes]
+        } else {
+            vec![0; bytes]
+        };
+        expect_coll(comm.bcast(0, &mut buf));
+        buf.len()
+    });
+    assert!(out.iter().all(|&l| l == bytes));
+}
+
+fn pipelined_bcast_requests(n: usize, bytes: usize) {
+    let out = run_mem_world(n, 0, move |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::ScatterAllgather);
+        let buf = if comm.rank() == 0 {
+            vec![0x5A; bytes]
+        } else {
+            Vec::new()
+        };
+        let req = comm.ibcast(0, buf);
+        expect_coll(req.wait(comm.transport_mut())).len()
+    });
+    assert!(out.iter().all(|&l| l == bytes));
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap");
+    g.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let bytes = block_bytes(n);
+        // Every rank contributes one block; the whole op moves n blocks.
+        g.throughput(Throughput::Bytes((n * bytes) as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("ring_allgather/blocking/{}KiB", bytes / 1024), n),
+            &n,
+            |b, &n| b.iter(|| ring_allgather_blocking(n, bytes)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("ring_allgather/request/{}KiB", bytes / 1024), n),
+            &n,
+            |b, &n| b.iter(|| ring_allgather_requests(n, bytes)),
+        );
+        // The broadcast moves one n-block message end to end.
+        let total = n * bytes;
+        g.throughput(Throughput::Bytes(total as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("pipelined_bcast/blocking/{}KiB", total / 1024), n),
+            &n,
+            |b, &n| b.iter(|| pipelined_bcast_blocking(n, total)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("pipelined_bcast/request/{}KiB", total / 1024), n),
+            &n,
+            |b, &n| b.iter(|| pipelined_bcast_requests(n, total)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ use mmpi_cluster::figures::{
     all_figures, crossover_point, loss_figure_base, loss_figure_rates, render_table, run_figure,
     write_csv, write_loss_csv, FigureData,
 };
-use mmpi_core::{AllgatherAlgorithm, BcastAlgorithm, Communicator};
+use mmpi_core::{expect_coll, AllgatherAlgorithm, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::NetParams;
 use mmpi_transport::{run_sim_world, SimCommConfig};
@@ -234,14 +234,20 @@ fn loss_figure(args: &Args) {
     let n = 8;
     let bytes = 3000;
     let trials = args.trials.min(10);
-    eprintln!("running figloss ({} rates x {trials} trials, n={n}, {bytes} B)...", loss_figure_rates().len());
+    eprintln!(
+        "running figloss ({} rates x {trials} trials, n={n}, {bytes} B)...",
+        loss_figure_rates().len()
+    );
     let t0 = std::time::Instant::now();
     let base = loss_figure_base(n, bytes).with_trials(trials);
     let rows = loss_sweep(&base, &loss_figure_rates());
     eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
     println!(
         "{}",
-        render_loss_table(&format!("figloss — mcast-binary bcast, {n} procs, {bytes} B, switch"), &rows)
+        render_loss_table(
+            &format!("figloss — mcast-binary bcast, {n} procs, {bytes} B, switch"),
+            &rows
+        )
     );
     write_loss_csv(&rows, &args.out).expect("write figloss CSV");
     let lossless = rows.first().expect("rates are non-empty");
@@ -264,7 +270,9 @@ fn loss_figure(args: &Args) {
     eprintln!("running repair scale sweep (n in {scale_ns:?}, 10% loss)...");
     let t0 = std::time::Instant::now();
     let scale_rows = scale_sweep(
-        &loss_figure_base(n, bytes).with_trials(trials.min(3)).with_loss(0.10),
+        &loss_figure_base(n, bytes)
+            .with_trials(trials.min(3))
+            .with_loss(0.10),
         &scale_ns,
     );
     eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
@@ -292,7 +300,7 @@ fn extension_experiments() {
             run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
                 let mut comm = Communicator::new(c).with_allgather(algo);
                 let mine = vec![comm.rank() as u8; 1000];
-                let parts = comm.allgather(&mine);
+                let parts = expect_coll(comm.allgather(&mine));
                 assert_eq!(parts.len(), n);
             })
             .unwrap()
@@ -308,7 +316,10 @@ fn extension_experiments() {
     }
 
     println!("\n== extension: VIA-like low-latency fabric (8 procs, strict posted-recv) ==");
-    println!("{:>8}  {:>12}  {:>14}", "bytes", "mpich us", "mcast-binary us");
+    println!(
+        "{:>8}  {:>12}  {:>14}",
+        "bytes", "mpich us", "mcast-binary us"
+    );
     for bytes in [0usize, 1000, 4000] {
         let run = |algo: BcastAlgorithm| {
             let cluster = ClusterConfig::new(8, NetParams::via_like(), 13);
@@ -319,7 +330,7 @@ fn extension_experiments() {
                 } else {
                     vec![0; bytes]
                 };
-                comm.bcast(0, &mut buf);
+                expect_coll(comm.bcast(0, &mut buf));
             })
             .unwrap()
             .makespan

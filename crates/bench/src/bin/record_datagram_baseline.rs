@@ -375,14 +375,8 @@ fn main() {
         "    \"split_assemble_64KiB_mtu_chunking_speedup\": {:.2},",
         sa64_mtu.before_us / sa64_mtu.after_us
     );
-    let _ = writeln!(
-        j,
-        "    \"per_message_allocs_2_chunks\": {a2},"
-    );
-    let _ = writeln!(
-        j,
-        "    \"per_message_allocs_45_chunks\": {a45},"
-    );
+    let _ = writeln!(j, "    \"per_message_allocs_2_chunks\": {a2},");
+    let _ = writeln!(j, "    \"per_message_allocs_45_chunks\": {a45},");
     let _ = writeln!(
         j,
         "    \"per_chunk_allocs_steady_state\": {}",

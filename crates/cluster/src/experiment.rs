@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 
-use mmpi_core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
+use mmpi_core::{expect_coll, BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::params::NetParams;
 use mmpi_netsim::stats::NetStats;
@@ -140,8 +140,8 @@ pub struct ExperimentResult {
 pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
     let workload = exp.workload;
     let params = exp.fabric.params().with_loss(exp.drop_prob);
-    let cluster = ClusterConfig::new(exp.n, params, exp.seed + trial as u64)
-        .with_start_skew(exp.start_skew);
+    let cluster =
+        ClusterConfig::new(exp.n, params, exp.seed + trial as u64).with_start_skew(exp.start_skew);
     let mut comm_cfg = SimCommConfig::default();
     if exp.drop_prob > 0.0 {
         // Reseed the randomized NACK backoff per trial so trials draw
@@ -157,11 +157,11 @@ pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
                 } else {
                     vec![0u8; bytes]
                 };
-                comm.bcast_with(algo, 0, &mut buf);
+                expect_coll(comm.bcast_with(algo, 0, &mut buf));
                 assert!(buf.iter().all(|&b| b == 0x5A), "bcast corrupted data");
             }
             Workload::Barrier { algo } => {
-                comm.barrier_with(algo);
+                expect_coll(comm.barrier_with(algo));
             }
         }
         comm.transport().now()
@@ -452,7 +452,10 @@ mod tests {
         let r16 = &rows[1];
         let r32 = &rows[2];
         assert_eq!(r32.n, 32);
-        assert!(r32.counters.drops > 0 && r32.counters.retransmits > 0, "lossy and recovering");
+        assert!(
+            r32.counters.drops > 0 && r32.counters.retransmits > 0,
+            "lossy and recovering"
+        );
         assert!(
             r32.counters.suppressed > 0,
             "at n=32 the SRM suppression must visibly fire"
@@ -462,7 +465,10 @@ mod tests {
         // falls, because more stuck receivers share each overheard NACK
         // and each multicast repair).
         let per_drop = |r: &ScaleSweepRow| r.counters.nacks as f64 / r.counters.drops.max(1) as f64;
-        assert!(r16.counters.nacks > 0, "n=16 must need recovery for the comparison");
+        assert!(
+            r16.counters.nacks > 0,
+            "n=16 must need recovery for the comparison"
+        );
         assert!(
             per_drop(r32) <= per_drop(r16) * 1.5,
             "solicits per drop must not explode with N: {} vs {}",
@@ -481,8 +487,7 @@ mod tests {
             BarrierAlgorithm::McastBinary,
             BarrierAlgorithm::McastLinear,
         ] {
-            let exp = Experiment::new(5, Fabric::Switch, Workload::Barrier { algo })
-                .with_trials(2);
+            let exp = Experiment::new(5, Fabric::Switch, Workload::Barrier { algo }).with_trials(2);
             let res = run_experiment(&exp);
             assert!(res.summary.median > 0.0, "{algo:?}");
         }

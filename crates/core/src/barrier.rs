@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 use mmpi_wire::{Bytes, MsgKind};
 
 use crate::bcast::{scout_reduce_binomial, scout_reduce_linear};
@@ -37,7 +37,12 @@ pub enum BarrierAlgorithm {
 /// extra per-message cost of MPICH's protocol layering (only the MPICH
 /// baseline pays it — the multicast barriers bypass those layers, paper
 /// Fig. 1).
-pub fn barrier<C: Comm>(c: &mut C, algo: BarrierAlgorithm, mpich_layer: Duration, tags: OpTags) {
+pub fn barrier<C: Comm>(
+    c: &mut C,
+    algo: BarrierAlgorithm,
+    mpich_layer: Duration,
+    tags: OpTags,
+) -> Result<(), RecvError> {
     match algo {
         BarrierAlgorithm::Mpich => barrier_mpich(c, mpich_layer, tags),
         BarrierAlgorithm::McastBinary => barrier_mcast_binary(c, tags),
@@ -53,11 +58,11 @@ pub fn barrier<C: Comm>(c: &mut C, algo: BarrierAlgorithm, mpich_layer: Duration
 ///
 /// Rounds are distinguished by the low tag bits of `Phase::Exchange`
 /// offsets — partners differ per round, so one tag suffices for matching.
-pub fn barrier_dissemination<C: Comm>(c: &mut C, tags: OpTags) {
+pub fn barrier_dissemination<C: Comm>(c: &mut C, tags: OpTags) -> Result<(), RecvError> {
     let n = c.size();
     let rank = c.rank();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let tag = tags.tag(Phase::Exchange);
     let mut dist = 1usize;
@@ -65,17 +70,18 @@ pub fn barrier_dissemination<C: Comm>(c: &mut C, tags: OpTags) {
         let to = (rank + dist) % n;
         let from = (rank + n - dist) % n;
         c.send_kind(to, tag, MsgKind::Scout, &Bytes::new());
-        c.recv_match(from, tag);
+        c.recv_match(from, tag)?;
         dist <<= 1;
     }
+    Ok(())
 }
 
 /// MPICH's three-phase barrier (paper Fig. 5).
-pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
+pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) -> Result<(), RecvError> {
     let n = c.size();
     let rank = c.rank();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let k = crate::cost::largest_pow2_below(n as u64) as usize;
     let scout = tags.tag(Phase::Scout);
@@ -86,14 +92,14 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
         // Phase 1: report in; phase 3: wait for release.
         c.compute(layer);
         c.send_kind(rank - k, scout, MsgKind::Scout, &Bytes::new());
-        c.recv_match(rank - k, release);
+        c.recv_match(rank - k, release)?;
         c.compute(layer);
         c.tcp_ack_model(rank - k, 1);
-        return;
+        return Ok(());
     }
     // Phase 1 (receiving side).
     if rank + k < n {
-        c.recv_match(rank + k, scout);
+        c.recv_match(rank + k, scout)?;
         c.compute(layer);
         c.tcp_ack_model(rank + k, 1);
     }
@@ -103,7 +109,7 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
         let partner = rank ^ mask;
         c.compute(layer);
         c.send_kind(partner, exch, MsgKind::Scout, &Bytes::new());
-        c.recv_match(partner, exch);
+        c.recv_match(partner, exch)?;
         c.compute(layer);
         c.tcp_ack_model(partner, 1);
         mask <<= 1;
@@ -113,33 +119,36 @@ pub fn barrier_mpich<C: Comm>(c: &mut C, layer: Duration, tags: OpTags) {
         c.compute(layer);
         c.send_kind(rank + k, release, MsgKind::Release, &Bytes::new());
     }
+    Ok(())
 }
 
 /// The paper's multicast barrier: binomial scout reduction to rank 0,
 /// then a single empty multicast release.
-pub fn barrier_mcast_binary<C: Comm>(c: &mut C, tags: OpTags) {
+pub fn barrier_mcast_binary<C: Comm>(c: &mut C, tags: OpTags) -> Result<(), RecvError> {
     if c.size() == 1 {
-        return;
+        return Ok(());
     }
-    scout_reduce_binomial(c, tags, 0);
+    scout_reduce_binomial(c, tags, 0)?;
     let release = tags.tag(Phase::Release);
     if c.rank() == 0 {
         c.mcast_kind(release, MsgKind::Release, &Bytes::new());
     } else {
-        c.recv_match(0, release);
+        c.recv_match(0, release)?;
     }
+    Ok(())
 }
 
 /// Multicast barrier with linear scout gathering at rank 0.
-pub fn barrier_mcast_linear<C: Comm>(c: &mut C, tags: OpTags) {
+pub fn barrier_mcast_linear<C: Comm>(c: &mut C, tags: OpTags) -> Result<(), RecvError> {
     if c.size() == 1 {
-        return;
+        return Ok(());
     }
-    scout_reduce_linear(c, tags, 0);
+    scout_reduce_linear(c, tags, 0)?;
     let release = tags.tag(Phase::Release);
     if c.rank() == 0 {
         c.mcast_kind(release, MsgKind::Release, &Bytes::new());
     } else {
-        c.recv_match(0, release);
+        c.recv_match(0, release)?;
     }
+    Ok(())
 }

@@ -31,7 +31,7 @@
 
 use std::time::Duration;
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 use mmpi_wire::{Bytes, MsgKind};
 
 use crate::tags::{OpTags, Phase};
@@ -112,7 +112,7 @@ pub fn bcast<C: Comm>(
     tags: OpTags,
     root: usize,
     buf: &mut Vec<u8>,
-) {
+) -> Result<(), RecvError> {
     match algo {
         BcastAlgorithm::MpichBinomial => {
             bcast_mpich_binomial(c, cfg.mpich_layer_overhead, tags, root, buf)
@@ -153,11 +153,11 @@ pub fn bcast_mpich_binomial<C: Comm>(
     tags: OpTags,
     root: usize,
     buf: &mut Vec<u8>,
-) {
+) -> Result<(), RecvError> {
     let n = c.size();
     let rank = c.rank();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let tag = tags.tag(Phase::Data);
     let relrank = (rank + n - root) % n;
@@ -167,7 +167,7 @@ pub fn bcast_mpich_binomial<C: Comm>(
     while mask < n {
         if relrank & mask != 0 {
             let src = (rank + n - mask) % n;
-            *buf = c.recv(src, tag);
+            *buf = c.recv(src, tag)?;
             c.compute(layer);
             // MPICH-1.x ran its p2p channel over TCP: model the kernel's
             // acknowledgement traffic (one ack per two MSS segments).
@@ -191,6 +191,7 @@ pub fn bcast_mpich_binomial<C: Comm>(
             mask >>= 1;
         }
     }
+    Ok(())
 }
 
 /// Reduce one empty scout per non-root process to the root along a
@@ -201,7 +202,11 @@ pub fn bcast_mpich_binomial<C: Comm>(
 /// seven processes; we use the standard binomial reduction, which has the
 /// same message count (`N-1`) and the same `ceil(log2 N)` depth the text
 /// claims.
-pub(crate) fn scout_reduce_binomial<C: Comm>(c: &mut C, tags: OpTags, root: usize) {
+pub(crate) fn scout_reduce_binomial<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+) -> Result<(), RecvError> {
     let n = c.size();
     let rank = c.rank();
     let tag = tags.tag(Phase::Scout);
@@ -212,60 +217,78 @@ pub(crate) fn scout_reduce_binomial<C: Comm>(c: &mut C, tags: OpTags, root: usiz
             // Expect a scout from the child at relrank + mask, if it exists.
             if relrank + mask < n {
                 let src = (rank + mask) % n;
-                c.recv_match(src, tag);
+                c.recv_match(src, tag)?;
             }
         } else {
             // Send our (sub-tree's) scout to the parent and stop.
             let dst = (rank + n - mask) % n;
             c.send_kind(dst, tag, MsgKind::Scout, &Bytes::new());
-            return;
+            return Ok(());
         }
         mask <<= 1;
     }
+    Ok(())
 }
 
 /// Every non-root process sends a scout directly to the root; the root
 /// receives them one at a time (`N-1` sequential receive steps).
-pub(crate) fn scout_reduce_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize) {
+pub(crate) fn scout_reduce_linear<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+) -> Result<(), RecvError> {
     let n = c.size();
     let tag = tags.tag(Phase::Scout);
     if c.rank() == root {
         for _ in 1..n {
-            c.recv_any(tag);
+            c.recv_any(tag)?;
         }
     } else {
         c.send_kind(root, tag, MsgKind::Scout, &Bytes::new());
     }
+    Ok(())
 }
 
 /// The paper's binary algorithm: binomial scout reduction, then one
 /// multicast carrying the data.
-pub fn bcast_mcast_binary<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+pub fn bcast_mcast_binary<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), RecvError> {
     if c.size() == 1 {
-        return;
+        return Ok(());
     }
-    scout_reduce_binomial(c, tags, root);
+    scout_reduce_binomial(c, tags, root)?;
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
         c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));
     } else {
-        *buf = c.recv_match(root, tag).into_vec();
+        *buf = c.recv_match(root, tag)?.into_vec();
     }
+    Ok(())
 }
 
 /// The paper's linear algorithm: direct scouts to the root, then one
 /// multicast carrying the data.
-pub fn bcast_mcast_linear<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+pub fn bcast_mcast_linear<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), RecvError> {
     if c.size() == 1 {
-        return;
+        return Ok(());
     }
-    scout_reduce_linear(c, tags, root);
+    scout_reduce_linear(c, tags, root)?;
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
         c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));
     } else {
-        *buf = c.recv_match(root, tag).into_vec();
+        *buf = c.recv_match(root, tag)?.into_vec();
     }
+    Ok(())
 }
 
 /// Sender-initiated reliable multicast (PVM-style, the paper's ref \[2\]):
@@ -282,10 +305,10 @@ pub fn bcast_pvm_ack<C: Comm>(
     tags: OpTags,
     root: usize,
     buf: &mut Vec<u8>,
-) {
+) -> Result<(), RecvError> {
     let n = c.size();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let data_tag = tags.tag(Phase::Data);
     let ack_tag = tags.tag(Phase::Ack);
@@ -298,7 +321,7 @@ pub fn bcast_pvm_ack<C: Comm>(
         let mut missing = n - 1;
         let mut rounds = 0;
         while missing > 0 {
-            match c.recv_any_timeout(ack_tag, cfg.ack_timeout) {
+            match c.recv_any_timeout(ack_tag, cfg.ack_timeout)? {
                 Some(m) => {
                     let src = m.src_rank as usize;
                     if !acked[src] {
@@ -317,13 +340,19 @@ pub fn bcast_pvm_ack<C: Comm>(
             }
         }
     } else {
-        *buf = c.recv_match(root, data_tag).into_vec();
+        *buf = c.recv_match(root, data_tag)?.into_vec();
         c.send_kind(root, ack_tag, MsgKind::Ack, &Bytes::new());
     }
+    Ok(())
 }
 
 /// Naive flat tree: the root unicasts the full message to every receiver.
-pub fn bcast_flat_tree<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut Vec<u8>) {
+pub fn bcast_flat_tree<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), RecvError> {
     let n = c.size();
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
@@ -334,6 +363,7 @@ pub fn bcast_flat_tree<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: &mut 
             }
         }
     } else {
-        *buf = c.recv(root, tag);
+        *buf = c.recv(root, tag)?;
     }
+    Ok(())
 }

@@ -16,7 +16,7 @@
 //! repair loop like every other collective (`docs/PROTOCOL.md`); their
 //! many small segments simply mean more, cheaper, retransmissions.
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 
 use crate::tags::{OpTags, Phase};
 
@@ -31,10 +31,10 @@ pub fn bcast_chain<C: Comm>(
     tags: OpTags,
     root: usize,
     buf: &mut Vec<u8>,
-) {
+) -> Result<(), RecvError> {
     let n = c.size();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let segment = segment.max(1);
     let rank = c.rank();
@@ -48,7 +48,7 @@ pub fn bcast_chain<C: Comm>(
         // sends one (empty) segment so receivers unblock.
         if buf.is_empty() {
             c.send(next, tag, &[]);
-            return;
+            return Ok(());
         }
         for chunk in buf.chunks(segment) {
             c.send(next, tag, chunk);
@@ -60,7 +60,7 @@ pub fn bcast_chain<C: Comm>(
         // multiple ends with an explicit empty terminator).
         let mut assembled = Vec::new();
         loop {
-            let m = c.recv_match((rank + n - 1) % n, tag);
+            let m = c.recv_match((rank + n - 1) % n, tag)?;
             let last = m.payload.len() < segment;
             if !is_tail {
                 // Forward the received segment as the shared view it
@@ -78,6 +78,7 @@ pub fn bcast_chain<C: Comm>(
     if relrank == 0 && !buf.is_empty() && buf.len().is_multiple_of(segment) {
         c.send(next, tag, &[]);
     }
+    Ok(())
 }
 
 /// Van de Geijn broadcast: scatter `N` blocks from the root, then ring
@@ -87,10 +88,10 @@ pub fn bcast_scatter_allgather<C: Comm>(
     tags: OpTags,
     root: usize,
     buf: &mut Vec<u8>,
-) {
+) -> Result<(), RecvError> {
     let n = c.size();
     if n == 1 {
-        return;
+        return Ok(());
     }
     let rank = c.rank();
     let scatter_tag = tags.tag(Phase::Data);
@@ -120,28 +121,31 @@ pub fn bcast_scatter_allgather<C: Comm>(
             }
         }
     } else {
-        my_block = c.recv(root, scatter_tag);
+        my_block = c.recv(root, scatter_tag)?;
         total = u32::from_le_bytes(my_block[0..4].try_into().unwrap()) as usize;
     }
 
-    // Ring allgather: in step s, send the block you received in step s-1
-    // to your successor and receive a new block from your predecessor.
+    // Ring allgather. Forwarding is decided by block identity, not
+    // receive order: under the repair loop a recovered block can arrive
+    // after blocks sent later, so every received block travels on
+    // except the one the successor itself started with (the shared
+    // [`crate::ring::SuccessorSkip`] rule).
     let mut out = vec![0u8; total];
-    let place = |out: &mut [u8], block: &[u8]| {
-        let lo = u32::from_le_bytes(block[4..8].try_into().unwrap()) as usize;
-        let data = &block[8..];
-        out[lo..lo + data.len()].copy_from_slice(data);
-    };
-    place(&mut out, &my_block);
+    crate::ring::place_block(&mut out, &my_block);
     let next = (rank + 1) % n;
     let prev = (rank + n - 1) % n;
-    let mut travelling = my_block;
+    let mut skip = crate::ring::SuccessorSkip::new(n, root, next, total);
+    c.send(next, ring_tag, &my_block);
     for _ in 0..n - 1 {
-        c.send(next, ring_tag, &travelling);
-        travelling = c.recv(prev, ring_tag);
-        place(&mut out, &travelling);
+        let travelling = c.recv(prev, ring_tag)?;
+        let lo = u32::from_le_bytes(travelling[4..8].try_into().unwrap());
+        if !skip.should_skip(lo) {
+            c.send(next, ring_tag, &travelling);
+        }
+        crate::ring::place_block(&mut out, &travelling);
     }
     *buf = out;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -167,7 +171,7 @@ mod tests {
                         } else {
                             Vec::new()
                         };
-                        bcast_chain(&mut c, seg, tags(), 0, &mut buf);
+                        bcast_chain(&mut c, seg, tags(), 0, &mut buf).unwrap();
                         buf
                     });
                     for (r, o) in out.iter().enumerate() {
@@ -181,8 +185,12 @@ mod tests {
     #[test]
     fn chain_nonzero_root() {
         let out = run_mem_world(5, 0, |mut c| {
-            let mut buf = if c.rank() == 3 { vec![9u8; 5000] } else { Vec::new() };
-            bcast_chain(&mut c, 1024, tags(), 3, &mut buf);
+            let mut buf = if c.rank() == 3 {
+                vec![9u8; 5000]
+            } else {
+                Vec::new()
+            };
+            bcast_chain(&mut c, 1024, tags(), 3, &mut buf).unwrap();
             buf
         });
         assert!(out.iter().all(|o| o == &vec![9u8; 5000]));
@@ -200,7 +208,7 @@ mod tests {
                     } else {
                         Vec::new()
                     };
-                    bcast_scatter_allgather(&mut c, tags(), 0, &mut buf);
+                    bcast_scatter_allgather(&mut c, tags(), 0, &mut buf).unwrap();
                     buf
                 });
                 for (r, o) in out.iter().enumerate() {
@@ -218,7 +226,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            bcast_scatter_allgather(&mut c, tags(), 4, &mut buf);
+            bcast_scatter_allgather(&mut c, tags(), 4, &mut buf).unwrap();
             buf
         });
         let want: Vec<u8> = (0..7777u32).map(|i| i as u8).collect();

@@ -10,7 +10,7 @@
 //! associative combine function (e.g. [`combine_u64_sum`]) — MPI datatype
 //! machinery is out of scope for this reproduction.
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 
 use crate::tags::{OpTags, Phase};
 
@@ -41,21 +41,26 @@ pub fn combine_u64_max(acc: &mut Vec<u8>, other: &[u8]) {
 
 /// Gather each rank's buffer to `root`. Returns `Some(buffers)` (indexed
 /// by rank) on the root, `None` elsewhere.
-pub fn gather<C: Comm>(c: &mut C, tags: OpTags, root: usize, send: &[u8]) -> Option<Vec<Vec<u8>>> {
+pub fn gather<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    send: &[u8],
+) -> Result<Option<Vec<Vec<u8>>>, RecvError> {
     let n = c.size();
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[root] = send.to_vec();
         for _ in 0..n - 1 {
-            let m = c.recv_any(tag);
+            let m = c.recv_any(tag)?;
             let src = m.src_rank as usize;
             out[src] = m.into_vec();
         }
-        Some(out)
+        Ok(Some(out))
     } else {
         c.send(root, tag, send);
-        None
+        Ok(None)
     }
 }
 
@@ -67,7 +72,7 @@ pub fn scatter<C: Comm>(
     tags: OpTags,
     root: usize,
     chunks: Option<&[Vec<u8>]>,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, RecvError> {
     let n = c.size();
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
@@ -78,7 +83,7 @@ pub fn scatter<C: Comm>(
                 c.send(dst, tag, chunk);
             }
         }
-        chunks[root].clone()
+        Ok(chunks[root].clone())
     } else {
         c.recv(root, tag)
     }
@@ -92,7 +97,7 @@ pub fn reduce<C: Comm>(
     root: usize,
     data: Vec<u8>,
     combine: &Combine,
-) -> Option<Vec<u8>> {
+) -> Result<Option<Vec<u8>>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     let tag = tags.tag(Phase::Data);
@@ -103,41 +108,50 @@ pub fn reduce<C: Comm>(
         if relrank & mask == 0 {
             if relrank + mask < n {
                 let src = (rank + mask) % n;
-                let m = c.recv_match(src, tag);
+                let m = c.recv_match(src, tag)?;
                 combine(&mut acc, &m.payload);
             }
         } else {
             let dst = (rank + n - mask) % n;
             c.send(dst, tag, &acc);
-            return None;
+            return Ok(None);
         }
         mask <<= 1;
     }
-    Some(acc)
+    Ok(Some(acc))
 }
 
 /// Inclusive prefix scan along the rank chain: rank `i` ends with the
 /// combination of ranks `0..=i`.
-pub fn scan<C: Comm>(c: &mut C, tags: OpTags, data: Vec<u8>, combine: &Combine) -> Vec<u8> {
+pub fn scan<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    data: Vec<u8>,
+    combine: &Combine,
+) -> Result<Vec<u8>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     let tag = tags.tag(Phase::Data);
     let mut acc = data;
     if rank > 0 {
-        let prefix = c.recv(rank - 1, tag);
+        let prefix = c.recv(rank - 1, tag)?;
         let mine = std::mem::replace(&mut acc, prefix);
         combine(&mut acc, &mine);
     }
     if rank + 1 < n {
         c.send(rank + 1, tag, &acc);
     }
-    acc
+    Ok(acc)
 }
 
 /// All-to-all personalized exchange: `sends[j]` goes to rank `j`; returns
 /// the buffers received (indexed by source). Pairwise rounds: in round
 /// `k`, send to `(rank+k) % n` and receive from `(rank-k) % n`.
-pub fn alltoall<C: Comm>(c: &mut C, tags: OpTags, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+pub fn alltoall<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    sends: &[Vec<u8>],
+) -> Result<Vec<Vec<u8>>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     assert_eq!(sends.len(), n, "one buffer per destination");
@@ -148,9 +162,9 @@ pub fn alltoall<C: Comm>(c: &mut C, tags: OpTags, sends: &[Vec<u8>]) -> Vec<Vec<
         let dst = (rank + k) % n;
         let src = (rank + n - k) % n;
         c.send(dst, tag, &sends[dst]);
-        out[src] = c.recv(src, tag);
+        out[src] = c.recv(src, tag)?;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -8,12 +8,13 @@
 //! requirement the paper's §4 discusses; the deterministic tag scheme
 //! depends on it.
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 
 use crate::barrier::{barrier, BarrierAlgorithm};
 use crate::bcast::{bcast, BcastAlgorithm, BcastConfig};
 use crate::coll::{self, Combine};
 use crate::many_to_many;
+use crate::request::{IallgatherRequest, IbarrierRequest, IbcastRequest};
 use crate::tags::{OpCode, OpTags};
 
 /// Allgather algorithm selector.
@@ -120,52 +121,89 @@ impl<C: Comm> Communicator<C> {
 
     /// MPI_Bcast: broadcast `buf` from `root` to all ranks, using the
     /// communicator's configured algorithm.
-    pub fn bcast(&mut self, root: usize, buf: &mut Vec<u8>) {
+    pub fn bcast(&mut self, root: usize, buf: &mut Vec<u8>) -> Result<(), RecvError> {
         let tags = self.next_tags(OpCode::Bcast);
         let algo = self.bcast_algo;
         let cfg = self.bcast_cfg.clone();
-        bcast(&mut self.comm, algo, &cfg, tags, root, buf);
+        bcast(&mut self.comm, algo, &cfg, tags, root, buf)
     }
 
     /// MPI_Bcast with an explicit algorithm (still consumes one op slot,
     /// so mixed-algorithm programs remain tag-safe).
-    pub fn bcast_with(&mut self, algo: BcastAlgorithm, root: usize, buf: &mut Vec<u8>) {
+    pub fn bcast_with(
+        &mut self,
+        algo: BcastAlgorithm,
+        root: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), RecvError> {
         let tags = self.next_tags(OpCode::Bcast);
         let cfg = self.bcast_cfg.clone();
-        bcast(&mut self.comm, algo, &cfg, tags, root, buf);
+        bcast(&mut self.comm, algo, &cfg, tags, root, buf)
+    }
+
+    /// MPI_Ibcast: nonblocking broadcast. Consumes one op slot like
+    /// [`Communicator::bcast`]; the returned state machine is driven with
+    /// [`crate::request::CollRequest::poll`] against the transport
+    /// (`comm.transport_mut()`) and resolves to the broadcast buffer.
+    /// Supported shapes: the MPICH binomial tree for
+    /// [`BcastAlgorithm::MpichBinomial`], the overlapped scatter +
+    /// ring-allgather for [`BcastAlgorithm::ScatterAllgather`], and the
+    /// paper's scout-reduce + multicast for every other selector.
+    pub fn ibcast(&mut self, root: usize, buf: Vec<u8>) -> IbcastRequest {
+        let tags = self.next_tags(OpCode::Bcast);
+        let algo = self.bcast_algo;
+        let layer = self.bcast_cfg.mpich_layer_overhead;
+        IbcastRequest::new(&mut self.comm, algo, layer, tags, root, buf)
     }
 
     /// MPI_Barrier: block until every rank has entered the barrier.
-    pub fn barrier(&mut self) {
+    pub fn barrier(&mut self) -> Result<(), RecvError> {
         let tags = self.next_tags(OpCode::Barrier);
         let algo = self.barrier_algo;
         let layer = self.bcast_cfg.mpich_layer_overhead;
-        barrier(&mut self.comm, algo, layer, tags);
+        barrier(&mut self.comm, algo, layer, tags)
     }
 
     /// MPI_Barrier with an explicit algorithm.
-    pub fn barrier_with(&mut self, algo: BarrierAlgorithm) {
+    pub fn barrier_with(&mut self, algo: BarrierAlgorithm) -> Result<(), RecvError> {
         let tags = self.next_tags(OpCode::Barrier);
         let layer = self.bcast_cfg.mpich_layer_overhead;
-        barrier(&mut self.comm, algo, layer, tags);
+        barrier(&mut self.comm, algo, layer, tags)
+    }
+
+    /// MPI_Ibarrier: nonblocking barrier (the paper's scout-reduce +
+    /// multicast-release shape, regardless of the blocking selector).
+    /// Consumes one op slot.
+    pub fn ibarrier(&mut self) -> IbarrierRequest {
+        let tags = self.next_tags(OpCode::Barrier);
+        IbarrierRequest::new(&mut self.comm, tags)
     }
 
     /// MPI_Gather: collect every rank's buffer at `root` (returns `Some`
     /// on the root).
-    pub fn gather(&mut self, root: usize, send: &[u8]) -> Option<Vec<Vec<u8>>> {
+    pub fn gather(&mut self, root: usize, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>, RecvError> {
         let tags = self.next_tags(OpCode::Gather);
         coll::gather(&mut self.comm, tags, root, send)
     }
 
     /// MPI_Scatter: distribute per-rank buffers from `root`.
-    pub fn scatter(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+    pub fn scatter(
+        &mut self,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>, RecvError> {
         let tags = self.next_tags(OpCode::Scatter);
         coll::scatter(&mut self.comm, tags, root, chunks)
     }
 
     /// MPI_Reduce: combine every rank's buffer at `root` (returns `Some`
     /// on the root).
-    pub fn reduce(&mut self, root: usize, data: Vec<u8>, combine: &Combine) -> Option<Vec<u8>> {
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        data: Vec<u8>,
+        combine: &Combine,
+    ) -> Result<Option<Vec<u8>>, RecvError> {
         let tags = self.next_tags(OpCode::Reduce);
         coll::reduce(&mut self.comm, tags, root, data, combine)
     }
@@ -173,19 +211,19 @@ impl<C: Comm> Communicator<C> {
     /// MPI_Allreduce: reduce to rank 0, then broadcast the result with the
     /// configured broadcast algorithm — so multicast accelerates this
     /// many-to-many operation too (the paper's future-work direction).
-    pub fn allreduce(&mut self, data: Vec<u8>, combine: &Combine) -> Vec<u8> {
+    pub fn allreduce(&mut self, data: Vec<u8>, combine: &Combine) -> Result<Vec<u8>, RecvError> {
         let tags = self.next_tags(OpCode::Allreduce);
-        let reduced = coll::reduce(&mut self.comm, tags, 0, data, combine);
+        let reduced = coll::reduce(&mut self.comm, tags, 0, data, combine)?;
         let mut buf = reduced.unwrap_or_default();
         let algo = self.bcast_algo;
         let cfg = self.bcast_cfg.clone();
-        bcast(&mut self.comm, algo, &cfg, tags, 0, &mut buf);
-        buf
+        bcast(&mut self.comm, algo, &cfg, tags, 0, &mut buf)?;
+        Ok(buf)
     }
 
     /// MPI_Allgather: gather everyone's buffer everywhere, with the
     /// configured [`AllgatherAlgorithm`].
-    pub fn allgather(&mut self, send: &[u8]) -> Vec<Vec<u8>> {
+    pub fn allgather(&mut self, send: &[u8]) -> Result<Vec<Vec<u8>>, RecvError> {
         let algo = self.allgather_algo;
         let tags = self.next_tags(OpCode::Allgather);
         match algo {
@@ -197,10 +235,27 @@ impl<C: Comm> Communicator<C> {
         }
     }
 
+    /// MPI_Iallgather: nonblocking allgather. Consumes one op slot; the
+    /// state machine keeps every per-peer receive posted at once (the
+    /// overlap rework — see `crate::request`). Uses the overlapped ring
+    /// for [`AllgatherAlgorithm::Ring`] and
+    /// [`AllgatherAlgorithm::GatherBcast`] (the latter has no nonblocking
+    /// shape of its own; the result is identical), and the rank-ordered
+    /// multicast exchange for [`AllgatherAlgorithm::Multicast`].
+    pub fn iallgather(&mut self, send: &[u8]) -> IallgatherRequest {
+        let algo = self.allgather_algo;
+        let tags = self.next_tags(OpCode::Allgather);
+        IallgatherRequest::new(&mut self.comm, algo, tags, send)
+    }
+
     /// Gather-to-0 + broadcast of the framed concatenation.
-    fn allgather_gather_bcast(&mut self, tags: OpTags, send: &[u8]) -> Vec<Vec<u8>> {
+    fn allgather_gather_bcast(
+        &mut self,
+        tags: OpTags,
+        send: &[u8],
+    ) -> Result<Vec<Vec<u8>>, RecvError> {
         let n = self.comm.size();
-        let gathered = coll::gather(&mut self.comm, tags, 0, send);
+        let gathered = coll::gather(&mut self.comm, tags, 0, send)?;
         // Frame the concatenation so variable-length buffers survive.
         let mut buf = gathered
             .map(|parts| {
@@ -214,7 +269,7 @@ impl<C: Comm> Communicator<C> {
             .unwrap_or_default();
         let algo = self.bcast_algo;
         let cfg = self.bcast_cfg.clone();
-        bcast(&mut self.comm, algo, &cfg, tags, 0, &mut buf);
+        bcast(&mut self.comm, algo, &cfg, tags, 0, &mut buf)?;
         // Decode.
         let mut out = Vec::with_capacity(n);
         let mut off = 0usize;
@@ -225,17 +280,17 @@ impl<C: Comm> Communicator<C> {
             off += len;
         }
         assert_eq!(out.len(), n, "allgather decoded wrong part count");
-        out
+        Ok(out)
     }
 
     /// MPI_Alltoall: personalized exchange; `sends[j]` goes to rank `j`.
-    pub fn alltoall(&mut self, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    pub fn alltoall(&mut self, sends: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RecvError> {
         let tags = self.next_tags(OpCode::Alltoall);
         coll::alltoall(&mut self.comm, tags, sends)
     }
 
     /// MPI_Scan: inclusive prefix combine along ranks.
-    pub fn scan(&mut self, data: Vec<u8>, combine: &Combine) -> Vec<u8> {
+    pub fn scan(&mut self, data: Vec<u8>, combine: &Combine) -> Result<Vec<u8>, RecvError> {
         let tags = self.next_tags(OpCode::Scan);
         coll::scan(&mut self.comm, tags, data, combine)
     }

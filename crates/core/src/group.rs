@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use mmpi_transport::{Comm, Tag};
+use mmpi_transport::{Comm, RecvError, RecvReq, Tag};
 use mmpi_wire::{Bytes, Message, MsgKind};
 
 /// A communicator over a subset of a parent communicator's ranks.
@@ -68,9 +68,7 @@ impl<'a, C: Comm> GroupComm<'a, C> {
     pub fn split(parent: &'a mut C, colors: &[u32], group_id: u16) -> Self {
         assert_eq!(colors.len(), parent.size(), "one color per world rank");
         let mine = colors[parent.rank()];
-        let members: Vec<usize> = (0..colors.len())
-            .filter(|&r| colors[r] == mine)
-            .collect();
+        let members: Vec<usize> = (0..colors.len()).filter(|&r| colors[r] == mine).collect();
         GroupComm::new(parent, &members, group_id)
     }
 
@@ -99,6 +97,27 @@ impl<'a, C: Comm> GroupComm<'a, C> {
         m.tag = m.tag.wrapping_sub(self.tag_shift);
         m.src_rank = self.unshift_rank(m.src_rank);
         m
+    }
+
+    fn group_error(&self, e: RecvError) -> RecvError {
+        match e {
+            RecvError::Unavailable {
+                src,
+                tag,
+                tag_floor,
+            } => RecvError::Unavailable {
+                src: self.unshift_rank(src),
+                tag: tag.wrapping_sub(self.tag_shift),
+                // The floor lives in the parent's tag space; translate it
+                // the same way so the caller compares like with like.
+                tag_floor: tag_floor.wrapping_sub(self.tag_shift),
+            },
+        }
+    }
+
+    fn group_result(&self, r: Result<Message, RecvError>) -> Result<Message, RecvError> {
+        r.map(|m| self.group_message(m))
+            .map_err(|e| self.group_error(e))
     }
 }
 
@@ -142,32 +161,58 @@ impl<C: Comm> Comm for GroupComm<'_, C> {
         self.mcast_kind(tag, kind, payload);
     }
 
-    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        let world = self.members[src];
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq {
+        let world = src.map(|s| self.members[s]);
         let t = self.shift(tag);
-        let m = self.parent.recv_match(world, t);
-        self.group_message(m)
+        self.parent.post_recv(world, t)
     }
 
-    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let world = self.members[src];
-        let t = self.shift(tag);
-        self.parent
-            .recv_match_timeout(world, t, timeout)
-            .map(|m| self.group_message(m))
+    fn progress(&mut self) {
+        self.parent.progress();
     }
 
-    fn recv_any(&mut self, tag: Tag) -> Message {
-        let t = self.shift(tag);
-        let m = self.parent.recv_any(t);
-        self.group_message(m)
+    fn progress_block(&mut self) {
+        self.parent.progress_block();
     }
 
-    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let t = self.shift(tag);
-        self.parent
-            .recv_any_timeout(t, timeout)
-            .map(|m| self.group_message(m))
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.parent.test(req).map(|r| self.group_result(r))
+    }
+
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.parent.test_claimed(req).map(|r| self.group_result(r))
+    }
+
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError> {
+        let r = self.parent.wait(req);
+        self.group_result(r)
+    }
+
+    fn wait_deadline(
+        &mut self,
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        match self.parent.wait_deadline(req, timeout) {
+            Ok(Some(m)) => Ok(Some(self.group_message(m))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.group_error(e)),
+        }
+    }
+
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError> {
+        match self.parent.wait_any(reqs) {
+            Ok((i, m)) => Ok((i, self.group_message(m))),
+            Err(e) => Err(self.group_error(e)),
+        }
+    }
+
+    fn wait_ready(&mut self, reqs: &[RecvReq]) {
+        self.parent.wait_ready(reqs);
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.parent.cancel_recv(req);
     }
 
     fn compute(&mut self, d: Duration) {
@@ -198,7 +243,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            comm.bcast(0, &mut buf);
+            comm.bcast(0, &mut buf).unwrap();
             buf[0]
         });
         // Evens hear from world rank 0; odds from world rank 1.
@@ -215,10 +260,12 @@ mod tests {
             let world_rank = c.rank();
             let group = GroupComm::new(&mut c, &members, gid);
             let mut comm = Communicator::new(group);
-            let s = comm.allreduce(
-                (world_rank as u64).to_le_bytes().to_vec(),
-                &crate::combine_u64_sum,
-            );
+            let s = comm
+                .allreduce(
+                    (world_rank as u64).to_le_bytes().to_vec(),
+                    &crate::combine_u64_sum,
+                )
+                .unwrap();
             u64::from_le_bytes(s[..8].try_into().unwrap())
         });
         assert_eq!(out, vec![2, 8, 2, 8, 8]);
@@ -237,14 +284,20 @@ mod tests {
             if in_low {
                 // Low group: three barriers.
                 for _ in 0..3 {
-                    comm.barrier();
+                    comm.barrier().unwrap();
                 }
                 0u64
             } else {
                 // High group: bcast + allreduce.
-                let mut b = if comm.rank() == 0 { vec![5u8; 64] } else { Vec::new() };
-                comm.bcast(0, &mut b);
-                let s = comm.allreduce(9u64.to_le_bytes().to_vec(), &crate::combine_u64_sum);
+                let mut b = if comm.rank() == 0 {
+                    vec![5u8; 64]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(0, &mut b).unwrap();
+                let s = comm
+                    .allreduce(9u64.to_le_bytes().to_vec(), &crate::combine_u64_sum)
+                    .unwrap();
                 u64::from_le_bytes(s[..8].try_into().unwrap()) + b[0] as u64
             }
         });
@@ -260,8 +313,8 @@ mod tests {
             }
             let group = GroupComm::new(&mut c, &members, 3);
             let mut comm = Communicator::new(group);
-            let g = comm.gather(0, &[comm.rank() as u8]);
-            comm.barrier();
+            let g = comm.gather(0, &[comm.rank() as u8]).unwrap();
+            comm.barrier().unwrap();
             g.map(|parts| parts.len()).unwrap_or(0)
         });
         assert_eq!(out, vec![3, 0, 0, 0, 0, 0]);

@@ -52,15 +52,32 @@ pub mod barrier;
 pub mod bcast;
 pub mod bcast_ext;
 pub mod coll;
-pub mod group;
-pub mod many_to_many;
 pub mod communicator;
 pub mod cost;
+pub mod group;
+pub mod many_to_many;
+pub mod request;
+mod ring;
 pub mod tags;
+mod tree;
 
 pub use barrier::BarrierAlgorithm;
 pub use bcast::{BcastAlgorithm, BcastConfig};
-pub use group::GroupComm;
 pub use coll::{combine_u64_max, combine_u64_sum, Combine};
 pub use communicator::{AllgatherAlgorithm, Communicator};
+pub use group::GroupComm;
+pub use request::{CollRequest, IallgatherRequest, IbarrierRequest, IbcastRequest};
 pub use tags::{OpCode, OpTags, Phase};
+
+/// Re-export of the transport's typed unrecoverable-loss error — what
+/// every collective's `Result` carries.
+pub use mmpi_transport::RecvError;
+
+/// Unwrap a collective result at a program boundary — examples, benches,
+/// and experiment drivers, where an unrecoverable loss has no sane
+/// continuation. The panic message carries the error's source rank, tag,
+/// and eviction floor (via [`RecvError`]'s `Display`). Library code
+/// propagates the typed error instead of calling this.
+pub fn expect_coll<T>(result: Result<T, RecvError>) -> T {
+    result.unwrap_or_else(|e| panic!("collective failed with unrecoverable loss: {e}"))
+}

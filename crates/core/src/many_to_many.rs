@@ -21,39 +21,47 @@
 //! NACKs through a drain grace period (see `RepairConfig::drain_grace`
 //! in `mmpi-transport` and the walkthrough in `docs/PROTOCOL.md`).
 
-use mmpi_transport::Comm;
+use mmpi_transport::{Comm, RecvError};
 use mmpi_wire::{Bytes, MsgKind};
 
 use crate::tags::{OpTags, Phase};
 
 /// Ring allgather: each rank contributes `mine`; returns all blocks
 /// indexed by rank.
-pub fn allgather_ring<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec<u8>> {
+pub fn allgather_ring<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    mine: &[u8],
+) -> Result<Vec<Vec<u8>>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     let tag = tags.tag(Phase::Exchange);
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
     out[rank] = mine.to_vec();
     if n == 1 {
-        return out;
+        return Ok(out);
     }
     let next = (rank + 1) % n;
     let prev = (rank + n - 1) % n;
-    // Travel block k = (rank - s) mod n at step s; prefix each block with
-    // its owner to stay robust to equal-length content.
-    let mut travelling = {
-        let mut b = Vec::with_capacity(4 + mine.len());
-        b.extend_from_slice(&(rank as u32).to_le_bytes());
-        b.extend_from_slice(mine);
-        b
-    };
+    // Each block is prefixed with its owner, both to stay robust to
+    // equal-length content and to decide forwarding by *identity*:
+    // under the repair loop a NACK-recovered block can arrive after
+    // blocks sent later, so "forward all but the last received" would
+    // withhold the wrong block from the successor. Every received
+    // block except the successor's own travels on.
+    let mut own = Vec::with_capacity(4 + mine.len());
+    own.extend_from_slice(&(rank as u32).to_le_bytes());
+    own.extend_from_slice(mine);
+    c.send(next, tag, &own);
     for _ in 0..n - 1 {
-        c.send(next, tag, &travelling);
-        travelling = c.recv(prev, tag);
+        let travelling = c.recv(prev, tag)?;
         let owner = u32::from_le_bytes(travelling[0..4].try_into().unwrap()) as usize;
+        if owner != next {
+            c.send(next, tag, &travelling);
+        }
         out[owner] = travelling[4..].to_vec();
     }
-    out
+    Ok(out)
 }
 
 /// Multicast allgather: rank `i` multicasts its block in round `i`.
@@ -61,7 +69,11 @@ pub fn allgather_ring<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec<
 /// `N` multicast datagrams total. The sequencing (each rank waits for all
 /// earlier blocks before sending its own) is both the correctness
 /// argument under the posted-receive model and natural flow control.
-pub fn allgather_mcast<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec<u8>> {
+pub fn allgather_mcast<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    mine: &[u8],
+) -> Result<Vec<Vec<u8>>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     let tag = tags.tag(Phase::Data);
@@ -73,10 +85,10 @@ pub fn allgather_mcast<C: Comm>(c: &mut C, tags: OpTags, mine: &[u8]) -> Vec<Vec
                 c.mcast_kind(tag, MsgKind::Data, &Bytes::from(mine));
             }
         } else {
-            *slot = c.recv_match(i, tag).into_vec();
+            *slot = c.recv_match(i, tag)?.into_vec();
         }
     }
-    out
+    Ok(out)
 }
 
 /// All-to-all where every personalized message is multicast to the whole
@@ -88,7 +100,7 @@ pub fn alltoall_mcast_naive<C: Comm>(
     c: &mut C,
     tags: OpTags,
     sends: &[Vec<u8>],
-) -> Vec<Vec<u8>> {
+) -> Result<Vec<Vec<u8>>, RecvError> {
     let n = c.size();
     let rank = c.rank();
     assert_eq!(sends.len(), n);
@@ -109,7 +121,7 @@ pub fn alltoall_mcast_naive<C: Comm>(
             }
             continue;
         } else {
-            c.recv_match(i, tag).into_vec()
+            c.recv_match(i, tag)?.into_vec()
         };
         // Extract only the part addressed to us.
         let mut off = 0usize;
@@ -122,7 +134,7 @@ pub fn alltoall_mcast_naive<C: Comm>(
             off += len;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -144,7 +156,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8] {
             let out = run_mem_world(n, 0, move |mut c| {
                 let mine = block(c.rank(), n);
-                allgather_ring(&mut c, tags(), &mine)
+                allgather_ring(&mut c, tags(), &mine).unwrap()
             });
             for (r, parts) in out.iter().enumerate() {
                 for (src, p) in parts.iter().enumerate() {
@@ -159,7 +171,7 @@ mod tests {
         for n in [1usize, 2, 4, 7] {
             let out = run_mem_world(n, 0, move |mut c| {
                 let mine = block(c.rank(), n);
-                allgather_mcast(&mut c, tags(), &mine)
+                allgather_mcast(&mut c, tags(), &mine).unwrap()
             });
             for parts in &out {
                 for (src, p) in parts.iter().enumerate() {
@@ -177,7 +189,7 @@ mod tests {
                 let sends: Vec<Vec<u8>> = (0..n)
                     .map(|dst| format!("{me}=>{dst}").into_bytes())
                     .collect();
-                alltoall_mcast_naive(&mut c, tags(), &sends)
+                alltoall_mcast_naive(&mut c, tags(), &sends).unwrap()
             });
             for (me, got) in out.iter().enumerate() {
                 for (src, p) in got.iter().enumerate() {
@@ -191,7 +203,7 @@ mod tests {
     fn mcast_allgather_empty_blocks() {
         let out = run_mem_world(3, 0, |mut c| {
             let mine = if c.rank() == 1 { vec![5u8] } else { Vec::new() };
-            allgather_mcast(&mut c, tags(), &mine)
+            allgather_mcast(&mut c, tags(), &mine).unwrap()
         });
         for parts in &out {
             assert_eq!(parts[0], Vec::<u8>::new());

@@ -1,0 +1,1040 @@
+//! Nonblocking collectives: `MPI_Ibcast` / `MPI_Ibarrier` /
+//! `MPI_Iallgather`-style state machines over the transport's request
+//! layer.
+//!
+//! Each machine is created by its [`crate::Communicator`] entry point
+//! (`ibcast`/`ibarrier`/`iallgather`), which consumes one operation slot
+//! exactly like the blocking call — nonblocking and blocking collectives
+//! can be mixed freely as long as every rank issues the same sequence
+//! (the MPI "safe program" requirement). Construction posts the
+//! operation's receives and fires its first sends; afterwards the caller
+//! drives the machine with [`CollRequest::poll`] (nonblocking) or
+//! [`CollRequest::wait`] (which parks in [`Comm::progress_block`]
+//! between polls, so simulator virtual time advances correctly), doing
+//! its own work in between — the compute/communication overlap the
+//! blocking API cannot express.
+//!
+//! Beyond overlap with *computation*, the machines overlap
+//! *communication with communication*:
+//!
+//! * every per-peer receive of an operation is posted **upfront**, so
+//!   with repair armed the transport solicits retransmissions for all of
+//!   them concurrently instead of head-of-line-blocking on one;
+//! * the ring machines ([`IallgatherRequest`] with the ring algorithm,
+//!   [`IbcastRequest`] with scatter–allgather) forward each claimed
+//!   block to the successor as the shared [`Bytes`] view it arrived in —
+//!   no per-hop copy, unlike the blocking formulations, which re-import
+//!   every travelling block (`benches/overlap.rs` measures the gap);
+//! * several operations can be in flight on one communicator at once
+//!   (distinct op slots keep their tag spaces disjoint).
+//!
+//! On unrecoverable loss (`RecvError`), a machine cancels its remaining
+//! posted receives and surfaces the error; polling it again afterwards
+//! is a programming error and panics.
+
+use std::time::Duration;
+
+use mmpi_transport::{Comm, RecvError, RecvReq, Tag};
+use mmpi_wire::{Bytes, MsgKind};
+
+use crate::bcast::{tcp_acks_for, BcastAlgorithm};
+use crate::communicator::AllgatherAlgorithm;
+use crate::tags::{OpTags, Phase};
+use crate::tree;
+
+/// A nonblocking collective in flight: poll it to completion, then take
+/// the output. `wait` is the blocking convenience (poll + park loop).
+pub trait CollRequest {
+    /// What the operation resolves to.
+    type Output;
+
+    /// Drive the state machine as far as currently possible without
+    /// blocking. `Ok(true)` once the operation is complete (the output
+    /// is then available via [`CollRequest::take_output`] — or keep it
+    /// simple and use [`CollRequest::wait`]).
+    ///
+    /// Implementation contract: a poll must **claim every completed
+    /// receive the operation has posted** before returning `Ok(false)`
+    /// (stashing data it cannot use yet) — [`CollRequest::wait`] parks
+    /// until one of [`CollRequest::pending`] completes, so a completion
+    /// the poll keeps skipping would turn that park into a spin that,
+    /// on the simulator, also freezes virtual time and with it the
+    /// repair timers the operation may be waiting on.
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<bool, RecvError>;
+
+    /// Take the completed operation's output. Panics if the operation
+    /// has not completed (or the output was already taken).
+    fn take_output(&mut self) -> Self::Output;
+
+    /// The transport requests this operation is currently blocked on —
+    /// what [`CollRequest::wait`] parks against. Empty once complete.
+    fn pending(&self) -> Vec<RecvReq>;
+
+    /// Abandon an in-flight operation, cancelling its posted receives.
+    /// **Dropping an incomplete machine without calling this leaks
+    /// them**: the transport would keep each leaked receive's repair
+    /// state live forever, and once its traffic arrives the parked
+    /// completion would pin [`Comm::progress_block`] awake. (A `Drop`
+    /// impl cannot do this — cancellation needs the transport handle.)
+    fn cancel<C: Comm>(self, c: &mut C)
+    where
+        Self: Sized,
+    {
+        for r in self.pending() {
+            c.cancel_recv(r);
+        }
+    }
+
+    /// Drive to completion, parking in [`Comm::wait_ready`] on this
+    /// operation's own posted receives between polls — so the backend's
+    /// time model advances while this rank has nothing to do, and an
+    /// *unrelated* operation's parked completion cannot make the wait
+    /// spin.
+    fn wait<C: Comm>(mut self, c: &mut C) -> Result<Self::Output, RecvError>
+    where
+        Self: Sized,
+    {
+        loop {
+            if self.poll(c)? {
+                return Ok(self.take_output());
+            }
+            let reqs = self.pending();
+            if reqs.is_empty() {
+                // Between claims and completion (cannot normally happen:
+                // an incomplete machine is blocked on something); fall
+                // back to a generic blocking pass rather than spin.
+                c.progress_block();
+            } else {
+                c.wait_ready(&reqs);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scout reduction (shared by ibcast-mcast and ibarrier)
+// ---------------------------------------------------------------------
+
+/// The binomial scout reduction as a sub-machine: all child scouts are
+/// posted at once (claimed in any order — overlap the blocking version's
+/// strict mask order cannot have), then one scout goes to the parent.
+#[derive(Debug)]
+struct ScoutReduce {
+    tag: Tag,
+    parent: Option<usize>,
+    child_reqs: Vec<RecvReq>,
+    done: bool,
+}
+
+impl ScoutReduce {
+    fn new<C: Comm>(c: &mut C, tags: OpTags, root: usize) -> Self {
+        let n = c.size();
+        let rank = c.rank();
+        let tag = tags.tag(Phase::Scout);
+        let child_reqs = tree::binomial_children(rank, n, root)
+            .into_iter()
+            .map(|src| c.post_recv(Some(src), tag))
+            .collect();
+        ScoutReduce {
+            tag,
+            parent: tree::binomial_parent(rank, n, root),
+            child_reqs,
+            done: n == 1,
+        }
+    }
+
+    /// Claim-only poll (the owning machine's poll ran the progress pass).
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<bool, RecvError> {
+        if self.done {
+            return Ok(true);
+        }
+        let mut i = 0;
+        while i < self.child_reqs.len() {
+            let req = self.child_reqs[i];
+            match c.test_claimed(req) {
+                None => i += 1,
+                Some(Ok(_)) => {
+                    self.child_reqs.swap_remove(i);
+                }
+                Some(Err(e)) => {
+                    self.child_reqs.swap_remove(i);
+                    for r in self.child_reqs.drain(..) {
+                        c.cancel_recv(r);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if self.child_reqs.is_empty() {
+            if let Some(p) = self.parent {
+                c.send_kind(p, self.tag, MsgKind::Scout, &Bytes::new());
+            }
+            self.done = true;
+        }
+        Ok(self.done)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ibarrier
+// ---------------------------------------------------------------------
+
+/// Nonblocking barrier: the paper's scout reduction to rank 0 followed
+/// by one multicast release.
+#[derive(Debug)]
+pub struct IbarrierRequest {
+    state: BarrierState,
+}
+
+#[derive(Debug)]
+enum BarrierState {
+    Running {
+        scout: ScoutReduce,
+        release_tag: Tag,
+        /// Posted release receive (non-rank-0 only).
+        release_req: Option<RecvReq>,
+    },
+    Complete,
+    Claimed,
+    Failed,
+}
+
+impl IbarrierRequest {
+    pub(crate) fn new<C: Comm>(c: &mut C, tags: OpTags) -> Self {
+        if c.size() == 1 {
+            return IbarrierRequest {
+                state: BarrierState::Complete,
+            };
+        }
+        let release_tag = tags.tag(Phase::Release);
+        // Post the release receive alongside the scout machinery: with
+        // repair armed both phases solicit concurrently.
+        let release_req = (c.rank() != 0).then(|| c.post_recv(Some(0), release_tag));
+        let scout = ScoutReduce::new(c, tags, 0);
+        IbarrierRequest {
+            state: BarrierState::Running {
+                scout,
+                release_tag,
+                release_req,
+            },
+        }
+    }
+}
+
+impl CollRequest for IbarrierRequest {
+    type Output = ();
+
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<bool, RecvError> {
+        c.progress();
+        match &mut self.state {
+            BarrierState::Complete => Ok(true),
+            BarrierState::Claimed => panic!("ibarrier polled after its output was taken"),
+            BarrierState::Failed => panic!("ibarrier polled after it failed"),
+            BarrierState::Running {
+                scout,
+                release_tag,
+                release_req,
+            } => {
+                let release_tag = *release_tag;
+                match scout.poll(c) {
+                    Ok(true) => {}
+                    Ok(false) => return Ok(false),
+                    Err(e) => {
+                        if let Some(r) = release_req.take() {
+                            c.cancel_recv(r);
+                        }
+                        self.state = BarrierState::Failed;
+                        return Err(e);
+                    }
+                }
+                match release_req {
+                    None => {
+                        // Rank 0: every scout arrived — release the world.
+                        c.mcast_kind(release_tag, MsgKind::Release, &Bytes::new());
+                        self.state = BarrierState::Complete;
+                        Ok(true)
+                    }
+                    Some(req) => match c.test_claimed(*req) {
+                        None => Ok(false),
+                        Some(Ok(_)) => {
+                            self.state = BarrierState::Complete;
+                            Ok(true)
+                        }
+                        Some(Err(e)) => {
+                            self.state = BarrierState::Failed;
+                            Err(e)
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn take_output(&mut self) {
+        match std::mem::replace(&mut self.state, BarrierState::Claimed) {
+            BarrierState::Complete => (),
+            other => panic!("ibarrier output taken before completion ({other:?})"),
+        }
+    }
+
+    fn pending(&self) -> Vec<RecvReq> {
+        match &self.state {
+            BarrierState::Running {
+                scout, release_req, ..
+            } => scout
+                .child_reqs
+                .iter()
+                .copied()
+                .chain(release_req.iter().copied())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ibcast
+// ---------------------------------------------------------------------
+
+/// Nonblocking broadcast. The shape follows the communicator's
+/// configured algorithm: MPICH binomial tree, overlapped
+/// scatter–ring-allgather, or (for every other selector) the paper's
+/// scout-reduce + single multicast.
+#[derive(Debug)]
+pub struct IbcastRequest {
+    state: BcastState,
+}
+
+#[derive(Debug)]
+enum BcastState {
+    Mcast {
+        scout: ScoutReduce,
+        data_tag: Tag,
+        /// Root: the payload to multicast once the scouts are in.
+        send_buf: Option<Vec<u8>>,
+        /// Non-root: the posted data receive.
+        data_req: Option<RecvReq>,
+    },
+    Binomial {
+        tag: Tag,
+        layer: Duration,
+        /// Posted receive from the parent (non-root only).
+        parent_req: RecvReq,
+        /// Relative-rank children, descending mask order.
+        children: Vec<usize>,
+    },
+    Scatter(Box<ScatterAllgather>),
+    Complete(Vec<u8>),
+    Claimed,
+    Failed,
+}
+
+impl IbcastRequest {
+    pub(crate) fn new<C: Comm>(
+        c: &mut C,
+        algo: BcastAlgorithm,
+        layer: Duration,
+        tags: OpTags,
+        root: usize,
+        buf: Vec<u8>,
+    ) -> Self {
+        let n = c.size();
+        let rank = c.rank();
+        if n == 1 {
+            return IbcastRequest {
+                state: BcastState::Complete(buf),
+            };
+        }
+        let state = match algo {
+            BcastAlgorithm::MpichBinomial => {
+                let tag = tags.tag(Phase::Data);
+                if rank == root {
+                    // Root: every send fires at post time; complete.
+                    let wire = Bytes::from(&buf);
+                    for dst in tree::binomial_children(rank, n, root) {
+                        c.compute(layer);
+                        c.send_kind(dst, tag, MsgKind::Data, &wire);
+                    }
+                    BcastState::Complete(buf)
+                } else {
+                    let parent =
+                        tree::binomial_parent(rank, n, root).expect("non-root rank has a parent");
+                    BcastState::Binomial {
+                        tag,
+                        layer,
+                        parent_req: c.post_recv(Some(parent), tag),
+                        children: tree::binomial_children(rank, n, root),
+                    }
+                }
+            }
+            BcastAlgorithm::ScatterAllgather => {
+                BcastState::Scatter(Box::new(ScatterAllgather::new(c, tags, root, buf)))
+            }
+            _ => {
+                // The paper's binary shape for every multicast-capable
+                // selector (and the linear/flat/auto variants — the data
+                // movement is identical for the nonblocking caller).
+                let data_tag = tags.tag(Phase::Data);
+                let data_req = (rank != root).then(|| c.post_recv(Some(root), data_tag));
+                let scout = ScoutReduce::new(c, tags, root);
+                BcastState::Mcast {
+                    scout,
+                    data_tag,
+                    send_buf: (rank == root).then_some(buf),
+                    data_req,
+                }
+            }
+        };
+        IbcastRequest { state }
+    }
+}
+
+impl CollRequest for IbcastRequest {
+    type Output = Vec<u8>;
+
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<bool, RecvError> {
+        c.progress();
+        match &mut self.state {
+            BcastState::Complete(_) => Ok(true),
+            BcastState::Claimed => panic!("ibcast polled after its output was taken"),
+            BcastState::Failed => panic!("ibcast polled after it failed"),
+            BcastState::Mcast {
+                scout,
+                data_tag,
+                send_buf,
+                data_req,
+            } => {
+                let data_tag = *data_tag;
+                match scout.poll(c) {
+                    Ok(true) => {}
+                    Ok(false) => return Ok(false),
+                    Err(e) => {
+                        if let Some(r) = data_req.take() {
+                            c.cancel_recv(r);
+                        }
+                        self.state = BcastState::Failed;
+                        return Err(e);
+                    }
+                }
+                match data_req {
+                    None => {
+                        let buf = send_buf.take().expect("root buffer present");
+                        c.mcast_kind(data_tag, MsgKind::Data, &Bytes::from(&buf));
+                        self.state = BcastState::Complete(buf);
+                        Ok(true)
+                    }
+                    Some(req) => match c.test_claimed(*req) {
+                        None => Ok(false),
+                        Some(Ok(m)) => {
+                            self.state = BcastState::Complete(m.into_vec());
+                            Ok(true)
+                        }
+                        Some(Err(e)) => {
+                            self.state = BcastState::Failed;
+                            Err(e)
+                        }
+                    },
+                }
+            }
+            BcastState::Binomial {
+                tag,
+                layer,
+                parent_req,
+                children,
+            } => match c.test_claimed(*parent_req) {
+                None => Ok(false),
+                Some(Ok(m)) => {
+                    let (tag, layer) = (*tag, *layer);
+                    let src = m.src_rank as usize;
+                    let buf = m.into_vec();
+                    c.compute(layer);
+                    c.tcp_ack_model(src, tcp_acks_for(buf.len()));
+                    let children = std::mem::take(children);
+                    let wire = Bytes::from(&buf);
+                    for dst in children {
+                        c.compute(layer);
+                        c.send_kind(dst, tag, MsgKind::Data, &wire);
+                    }
+                    self.state = BcastState::Complete(buf);
+                    Ok(true)
+                }
+                Some(Err(e)) => {
+                    self.state = BcastState::Failed;
+                    Err(e)
+                }
+            },
+            BcastState::Scatter(sm) => match sm.poll(c) {
+                Ok(Some(out)) => {
+                    self.state = BcastState::Complete(out);
+                    Ok(true)
+                }
+                Ok(None) => Ok(false),
+                Err(e) => {
+                    self.state = BcastState::Failed;
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    fn take_output(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, BcastState::Claimed) {
+            BcastState::Complete(buf) => buf,
+            other => panic!("ibcast output taken before completion ({other:?})"),
+        }
+    }
+
+    fn pending(&self) -> Vec<RecvReq> {
+        match &self.state {
+            BcastState::Mcast {
+                scout, data_req, ..
+            } => scout
+                .child_reqs
+                .iter()
+                .copied()
+                .chain(data_req.iter().copied())
+                .collect(),
+            BcastState::Binomial { parent_req, .. } => vec![*parent_req],
+            BcastState::Scatter(sm) => sm.pending(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overlapped scatter + ring allgather (van de Geijn, request-based)
+// ---------------------------------------------------------------------
+
+/// The request-based rework of `bcast_scatter_allgather`: every ring
+/// receive is posted upfront, each claimed block is placed into the
+/// output and forwarded to the successor **as the shared view it
+/// arrived in** (the blocking version re-imports every travelling
+/// block), and the scatter receive overlaps with the ring posts.
+/// Wire-compatible with the blocking formulation: same tags, same
+/// `[total, offset, data]` block framing.
+///
+/// Forwarding is decided by block *identity*, never by claim order:
+/// with repair armed, a NACK-recovered block completes after blocks
+/// that arrived intact, so "forward all but the last claimed" would
+/// withhold the wrong block from the successor. Each rank forwards
+/// every claimed block except the one the successor itself owns,
+/// identified by its offset (tied offsets only occur between empty —
+/// hence interchangeable — trailing blocks, where skipping the first
+/// match is equivalent).
+#[derive(Debug)]
+struct ScatterAllgather {
+    n: usize,
+    next: usize,
+    ring_tag: Tag,
+    /// Non-root until its scatter block arrives.
+    scatter_req: Option<RecvReq>,
+    /// Ring receives from the predecessor, in step order.
+    ring_reqs: std::collections::VecDeque<RecvReq>,
+    /// Ring blocks claimed so far.
+    claimed: usize,
+    root: usize,
+    /// The shared withhold-from-successor rule (armed once `total` is
+    /// known — see [`crate::ring::SuccessorSkip`]).
+    skip: Option<crate::ring::SuccessorSkip>,
+    /// Ring blocks claimed before our own scatter block arrived (the
+    /// predecessor can enter its ring first, and under loss our scatter
+    /// block can be the one needing repair). Claimed eagerly — a poll
+    /// must never leave a completed receive unclaimed, or
+    /// [`CollRequest::wait`]'s readiness park degenerates into a spin —
+    /// and replayed once the ring is entered.
+    early: Vec<mmpi_wire::Message>,
+    out: Option<Vec<u8>>,
+}
+
+impl ScatterAllgather {
+    fn new<C: Comm>(c: &mut C, tags: OpTags, root: usize, buf: Vec<u8>) -> Self {
+        let n = c.size();
+        let rank = c.rank();
+        let scatter_tag = tags.tag(Phase::Data);
+        let ring_tag = tags.tag(Phase::Exchange);
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+
+        // Post everything this rank will ever receive, before any send:
+        // the repair engine then solicits for all of it concurrently.
+        let scatter_req = (rank != root).then(|| c.post_recv(Some(root), scatter_tag));
+        let ring_reqs: std::collections::VecDeque<RecvReq> = (0..n - 1)
+            .map(|_| c.post_recv(Some(prev), ring_tag))
+            .collect();
+
+        let mut sm = ScatterAllgather {
+            n,
+            next,
+            ring_tag,
+            scatter_req,
+            ring_reqs,
+            claimed: 0,
+            root,
+            skip: None,
+            early: Vec::new(),
+            out: None,
+        };
+
+        if rank == root {
+            // Scatter: frame and send every block, keep our own.
+            let total = buf.len();
+            let per = total.div_ceil(n).max(1);
+            let mut my_block = Vec::new();
+            for i in 0..n {
+                let lo = (i * per).min(total);
+                let hi = ((i + 1) * per).min(total);
+                let mut block = Vec::with_capacity(8 + hi - lo);
+                block.extend_from_slice(&(total as u32).to_le_bytes());
+                block.extend_from_slice(&(lo as u32).to_le_bytes());
+                block.extend_from_slice(&buf[lo..hi]);
+                let dst = (root + i) % n;
+                if dst == rank {
+                    my_block = block;
+                } else {
+                    c.send(dst, scatter_tag, &block);
+                }
+            }
+            sm.enter_ring(c, total, &my_block);
+        }
+        sm
+    }
+
+    /// Own block in hand (scattered or locally built): allocate the
+    /// output, compute which block offset belongs to the successor,
+    /// place ours, and send it on its way around the ring.
+    fn enter_ring<C: Comm>(&mut self, c: &mut C, total: usize, my_block: &[u8]) {
+        self.skip = Some(crate::ring::SuccessorSkip::new(
+            self.n, self.root, self.next, total,
+        ));
+        let mut out = vec![0u8; total];
+        crate::ring::place_block(&mut out, my_block);
+        self.out = Some(out);
+        c.send(self.next, self.ring_tag, my_block);
+        // Replay ring blocks that beat our scatter block here.
+        for m in std::mem::take(&mut self.early) {
+            self.process_ring_block(c, &m);
+        }
+    }
+
+    /// Place one claimed ring block and forward it unless it is the
+    /// successor's own (see the forwarding rules in the type docs).
+    fn process_ring_block<C: Comm>(&mut self, c: &mut C, m: &mmpi_wire::Message) {
+        self.claimed += 1;
+        let lo = u32::from_le_bytes(m.payload[4..8].try_into().unwrap());
+        if !self.skip.as_mut().expect("ring entered").should_skip(lo) {
+            // Zero-copy forward of the shared arrival view.
+            c.send_kind(self.next, self.ring_tag, MsgKind::Data, &m.payload);
+        }
+        crate::ring::place_block(self.out.as_mut().expect("ring entered"), &m.payload);
+    }
+
+    fn pending(&self) -> Vec<RecvReq> {
+        self.scatter_req
+            .iter()
+            .copied()
+            .chain(self.ring_reqs.iter().copied())
+            .collect()
+    }
+
+    fn cancel_all<C: Comm>(&mut self, c: &mut C) {
+        if let Some(r) = self.scatter_req.take() {
+            c.cancel_recv(r);
+        }
+        for r in self.ring_reqs.drain(..) {
+            c.cancel_recv(r);
+        }
+    }
+
+    /// `Ok(Some(buf))` when the full message has been assembled.
+    /// Claim-only (the owning machine's poll ran the progress pass).
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<Option<Vec<u8>>, RecvError> {
+        if let Some(req) = self.scatter_req {
+            match c.test_claimed(req) {
+                None => {}
+                Some(Ok(m)) => {
+                    self.scatter_req = None;
+                    let block = m.into_vec();
+                    let total = u32::from_le_bytes(block[0..4].try_into().unwrap()) as usize;
+                    self.enter_ring(c, total, &block);
+                }
+                Some(Err(e)) => {
+                    self.scatter_req = None;
+                    self.cancel_all(c);
+                    return Err(e);
+                }
+            }
+        }
+        // Claim whatever ring blocks have completed — even before our
+        // scatter block arrives (stashing them until the ring is
+        // entered). Identity-based forwarding: skip exactly the block
+        // owned by the successor, whatever order the blocks complete in.
+        while let Some(&front) = self.ring_reqs.front() {
+            match c.test_claimed(front) {
+                None => break,
+                Some(Ok(m)) => {
+                    self.ring_reqs.pop_front();
+                    if self.out.is_some() {
+                        self.process_ring_block(c, &m);
+                    } else {
+                        self.early.push(m);
+                    }
+                }
+                Some(Err(e)) => {
+                    self.ring_reqs.pop_front();
+                    self.cancel_all(c);
+                    return Err(e);
+                }
+            }
+        }
+        if self.out.is_some() && self.claimed == self.n - 1 {
+            return Ok(Some(self.out.take().expect("assembled")));
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Iallgather
+// ---------------------------------------------------------------------
+
+/// Nonblocking allgather: the overlapped ring (every receive posted
+/// upfront, claimed blocks forwarded as shared views) or the
+/// rank-ordered multicast exchange, per the communicator's configured
+/// algorithm.
+#[derive(Debug)]
+pub struct IallgatherRequest {
+    state: AllgatherState,
+}
+
+#[derive(Debug)]
+enum AllgatherState {
+    Ring {
+        next: usize,
+        tag: Tag,
+        ring_reqs: std::collections::VecDeque<RecvReq>,
+        claimed: usize,
+        out: Vec<Vec<u8>>,
+    },
+    Mcast {
+        tag: Tag,
+        /// `reqs[i]` is the posted receive for rank `i`'s block.
+        reqs: Vec<Option<RecvReq>>,
+        remaining: usize,
+        /// Our block, multicast once every lower rank's block is in.
+        mine: Option<Vec<u8>>,
+        out: Vec<Vec<u8>>,
+    },
+    Complete(Vec<Vec<u8>>),
+    Claimed,
+    Failed,
+}
+
+impl IallgatherRequest {
+    pub(crate) fn new<C: Comm>(
+        c: &mut C,
+        algo: AllgatherAlgorithm,
+        tags: OpTags,
+        mine: &[u8],
+    ) -> Self {
+        let n = c.size();
+        let rank = c.rank();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[rank] = mine.to_vec();
+        if n == 1 {
+            return IallgatherRequest {
+                state: AllgatherState::Complete(out),
+            };
+        }
+        let state = match algo {
+            // GatherBcast has no nonblocking shape of its own; the
+            // overlapped ring produces the identical result.
+            AllgatherAlgorithm::Ring | AllgatherAlgorithm::GatherBcast => {
+                let tag = tags.tag(Phase::Exchange);
+                let next = (rank + 1) % n;
+                let prev = (rank + n - 1) % n;
+                let ring_reqs = (0..n - 1).map(|_| c.post_recv(Some(prev), tag)).collect();
+                // Owner-prefixed travelling block, as in the blocking ring.
+                let mut block = Vec::with_capacity(4 + mine.len());
+                block.extend_from_slice(&(rank as u32).to_le_bytes());
+                block.extend_from_slice(mine);
+                c.send(next, tag, &block);
+                AllgatherState::Ring {
+                    next,
+                    tag,
+                    ring_reqs,
+                    claimed: 0,
+                    out,
+                }
+            }
+            AllgatherAlgorithm::Multicast => {
+                let tag = tags.tag(Phase::Data);
+                let reqs: Vec<Option<RecvReq>> = (0..n)
+                    .map(|i| (i != rank).then(|| c.post_recv(Some(i), tag)))
+                    .collect();
+                let mut state = AllgatherState::Mcast {
+                    tag,
+                    reqs,
+                    remaining: n - 1,
+                    mine: Some(mine.to_vec()),
+                    out,
+                };
+                // Rank 0 owes the first block and owes nobody a wait.
+                if rank == 0 {
+                    if let AllgatherState::Mcast { tag, mine, .. } = &mut state {
+                        c.mcast_kind(*tag, MsgKind::Data, &Bytes::from(&mine.take().unwrap()[..]));
+                    }
+                }
+                state
+            }
+        };
+        IallgatherRequest { state }
+    }
+}
+
+impl CollRequest for IallgatherRequest {
+    type Output = Vec<Vec<u8>>;
+
+    fn poll<C: Comm>(&mut self, c: &mut C) -> Result<bool, RecvError> {
+        c.progress();
+        match &mut self.state {
+            AllgatherState::Complete(_) => Ok(true),
+            AllgatherState::Claimed => panic!("iallgather polled after its output was taken"),
+            AllgatherState::Failed => panic!("iallgather polled after it failed"),
+            AllgatherState::Ring {
+                next,
+                tag,
+                ring_reqs,
+                claimed,
+                out,
+            } => {
+                let n = out.len();
+                while let Some(&front) = ring_reqs.front() {
+                    match c.test_claimed(front) {
+                        None => break,
+                        Some(Ok(m)) => {
+                            ring_reqs.pop_front();
+                            *claimed += 1;
+                            let owner =
+                                u32::from_le_bytes(m.payload[0..4].try_into().unwrap()) as usize;
+                            // Identity-based forwarding: with repair
+                            // armed a recovered block completes after
+                            // blocks that arrived intact, so claim
+                            // order is not step order — forward every
+                            // block except the successor's own (which
+                            // it started with), whatever order they
+                            // complete in.
+                            if owner != *next {
+                                // Zero-copy forward of the arrival view.
+                                c.send_kind(*next, *tag, MsgKind::Data, &m.payload);
+                            }
+                            out[owner] = m.payload[4..].to_vec();
+                        }
+                        Some(Err(e)) => {
+                            ring_reqs.pop_front();
+                            for r in ring_reqs.drain(..) {
+                                c.cancel_recv(r);
+                            }
+                            self.state = AllgatherState::Failed;
+                            return Err(e);
+                        }
+                    }
+                }
+                if *claimed == n - 1 {
+                    let out = std::mem::take(out);
+                    self.state = AllgatherState::Complete(out);
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+            AllgatherState::Mcast {
+                tag,
+                reqs,
+                remaining,
+                mine,
+                out,
+            } => {
+                let rank = c.rank();
+                loop {
+                    let mut progressed = false;
+                    for i in 0..reqs.len() {
+                        let Some(req) = reqs[i] else { continue };
+                        match c.test_claimed(req) {
+                            None => {}
+                            Some(Ok(m)) => {
+                                reqs[i] = None;
+                                *remaining -= 1;
+                                out[i] = m.into_vec();
+                                progressed = true;
+                            }
+                            Some(Err(e)) => {
+                                reqs[i] = None;
+                                for r in reqs.iter_mut().filter_map(Option::take) {
+                                    c.cancel_recv(r);
+                                }
+                                self.state = AllgatherState::Failed;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    // Rank-ordered safety: multicast our block only once
+                    // every lower rank's block has arrived (they are
+                    // provably inside the collective — the paper's §4
+                    // argument, unchanged).
+                    if mine.is_some() && reqs[..rank].iter().all(Option::is_none) {
+                        c.mcast_kind(*tag, MsgKind::Data, &Bytes::from(&mine.take().unwrap()[..]));
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                if *remaining == 0 && mine.is_none() {
+                    let out = std::mem::take(out);
+                    self.state = AllgatherState::Complete(out);
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn take_output(&mut self) -> Vec<Vec<u8>> {
+        match std::mem::replace(&mut self.state, AllgatherState::Claimed) {
+            AllgatherState::Complete(out) => out,
+            other => panic!("iallgather output taken before completion ({other:?})"),
+        }
+    }
+
+    fn pending(&self) -> Vec<RecvReq> {
+        match &self.state {
+            AllgatherState::Ring { ring_reqs, .. } => ring_reqs.iter().copied().collect(),
+            AllgatherState::Mcast { reqs, .. } => reqs.iter().filter_map(|r| *r).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::OpCode;
+    use mmpi_transport::run_mem_world;
+
+    #[test]
+    fn ibarrier_completes_everywhere() {
+        for n in [1usize, 2, 5, 8] {
+            let out = run_mem_world(n, 0, |mut c| {
+                let req = IbarrierRequest::new(&mut c, OpTags::new(OpCode::Barrier, 0));
+                req.wait(&mut c).is_ok()
+            });
+            assert!(out.iter().all(|&ok| ok), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ibcast_matches_blocking_for_all_shapes() {
+        for algo in [
+            BcastAlgorithm::McastBinary,
+            BcastAlgorithm::MpichBinomial,
+            BcastAlgorithm::ScatterAllgather,
+        ] {
+            for n in [1usize, 2, 3, 5, 8] {
+                for len in [0usize, 1, 1000, 9000] {
+                    let payload: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+                    let want = payload.clone();
+                    let out = run_mem_world(n, 0, move |mut c| {
+                        let buf = if c.rank() == 2 % n {
+                            payload.clone()
+                        } else {
+                            Vec::new()
+                        };
+                        let req = IbcastRequest::new(
+                            &mut c,
+                            algo,
+                            Duration::ZERO,
+                            OpTags::new(OpCode::Bcast, 0),
+                            2 % n,
+                            buf,
+                        );
+                        req.wait(&mut c).unwrap()
+                    });
+                    for (r, o) in out.iter().enumerate() {
+                        assert_eq!(o, &want, "{algo:?} n={n} len={len} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iallgather_matches_blocking_for_both_shapes() {
+        for algo in [AllgatherAlgorithm::Ring, AllgatherAlgorithm::Multicast] {
+            for n in [1usize, 2, 4, 7] {
+                let out = run_mem_world(n, 0, move |mut c| {
+                    let mine = vec![c.rank() as u8 + 1; (c.rank() * 3) % 5 + 1];
+                    let req = IallgatherRequest::new(
+                        &mut c,
+                        algo,
+                        OpTags::new(OpCode::Allgather, 0),
+                        &mine,
+                    );
+                    req.wait(&mut c).unwrap()
+                });
+                for parts in &out {
+                    for (src, p) in parts.iter().enumerate() {
+                        assert_eq!(p, &vec![src as u8 + 1; (src * 3) % 5 + 1], "{algo:?} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_collectives_in_flight_interleave() {
+        // Two nonblocking operations on one communicator, polled
+        // round-robin: distinct op slots keep their tags disjoint, so
+        // both complete regardless of interleaving.
+        let out = run_mem_world(4, 0, |mut c| {
+            let bcast_buf = if c.rank() == 0 {
+                vec![7u8; 500]
+            } else {
+                Vec::new()
+            };
+            let mut a = IbcastRequest::new(
+                &mut c,
+                BcastAlgorithm::McastBinary,
+                Duration::ZERO,
+                OpTags::new(OpCode::Bcast, 0),
+                0,
+                bcast_buf,
+            );
+            let mine = [c.rank() as u8; 2];
+            let mut b = IallgatherRequest::new(
+                &mut c,
+                AllgatherAlgorithm::Ring,
+                OpTags::new(OpCode::Allgather, 1),
+                &mine,
+            );
+            let (mut a_done, mut b_done) = (false, false);
+            while !(a_done && b_done) {
+                if !a_done {
+                    a_done = a.poll(&mut c).unwrap();
+                }
+                if !b_done {
+                    b_done = b.poll(&mut c).unwrap();
+                }
+                if !(a_done && b_done) {
+                    c.progress_block();
+                }
+            }
+            let bcast = a.take_output();
+            let gathered = b.take_output();
+            assert_eq!(bcast, vec![7u8; 500]);
+            for (src, p) in gathered.iter().enumerate() {
+                assert_eq!(p, &[src as u8; 2]);
+            }
+            true
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+}

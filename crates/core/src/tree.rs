@@ -1,0 +1,70 @@
+//! Binomial-tree arithmetic shared by the collective formulations.
+//!
+//! The blocking algorithms (`bcast_mpich_binomial`,
+//! `scout_reduce_binomial`, `coll::reduce`) carry the relative-rank /
+//! mask derivation inline, interleaved with their sends and receives;
+//! the request-based state machines in [`crate::request`] need the same
+//! neighbourhood *up front* (to post every receive at construction), so
+//! it lives here as pure functions of `(rank, n, root)`.
+
+/// The parent `rank` reports to in the binomial tree rooted at `root`
+/// (`None` for the root itself): the rank at distance `lowest set bit
+/// of relrank` below.
+pub(crate) fn binomial_parent(rank: usize, n: usize, root: usize) -> Option<usize> {
+    let relrank = (rank + n - root) % n;
+    if relrank == 0 {
+        return None;
+    }
+    let mask = relrank & relrank.wrapping_neg();
+    Some((rank + n - mask) % n)
+}
+
+/// The children `rank` owns in the binomial tree rooted at `root`, in
+/// descending-mask order (the blocking fan-out order). Ascending-mask
+/// order — the blocking *reduction* order — is the reverse.
+pub(crate) fn binomial_children(rank: usize, n: usize, root: usize) -> Vec<usize> {
+    let relrank = (rank + n - root) % n;
+    let mut mask = 1usize;
+    while mask < n && relrank & mask == 0 {
+        mask <<= 1;
+    }
+    let mut children = Vec::new();
+    let mut m = mask >> 1;
+    while m > 0 {
+        if relrank + m < n {
+            children.push((rank + m) % n);
+        }
+        m >>= 1;
+    }
+    children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parent/child must be mutually consistent for every (rank, n,
+    /// root), and the edges must form a tree (n-1 edges, root has no
+    /// parent).
+    #[test]
+    fn parent_and_children_are_consistent() {
+        for n in 1..=17usize {
+            for root in [0, n / 2, n - 1] {
+                let mut edges = 0;
+                for rank in 0..n {
+                    match binomial_parent(rank, n, root) {
+                        None => assert_eq!(rank, root, "only the root lacks a parent"),
+                        Some(p) => {
+                            assert!(
+                                binomial_children(p, n, root).contains(&rank),
+                                "n={n} root={root}: {p} must list {rank} as child"
+                            );
+                            edges += 1;
+                        }
+                    }
+                }
+                assert_eq!(edges, n - 1, "n={n} root={root}: tree edge count");
+            }
+        }
+    }
+}

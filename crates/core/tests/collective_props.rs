@@ -52,8 +52,11 @@ fn allgather_algo(i: u8) -> AllgatherAlgorithm {
 
 fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), 0..n, 0usize..3000)
-            .prop_map(|(algo, root, len)| Op::Bcast { algo, root, len }),
+        (any::<u8>(), 0..n, 0usize..3000).prop_map(|(algo, root, len)| Op::Bcast {
+            algo,
+            root,
+            len
+        }),
         any::<u8>().prop_map(|algo| Op::Barrier { algo }),
         any::<u64>().prop_map(|value| Op::Allreduce { value }),
         (any::<u8>(), 0usize..500).prop_map(|(algo, len)| Op::Allgather { algo, len }),
@@ -83,25 +86,27 @@ fn execute(mut comm: Communicator<mmpi_transport::MemComm>, ops: &[Op]) -> Vec<u
                 } else {
                     vec![0; *len]
                 };
-                comm.bcast(*root, &mut buf);
+                comm.bcast(*root, &mut buf).unwrap();
                 digest.push(buf.iter().map(|&b| b as u64).sum());
             }
             Op::Barrier { algo } => {
                 comm.barrier_algo = barrier_algo(*algo);
-                comm.barrier();
+                comm.barrier().unwrap();
                 digest.push(0xBA);
             }
             Op::Allreduce { value } => {
-                let s = comm.allreduce(
-                    value.wrapping_add(me as u64).to_le_bytes().to_vec(),
-                    &combine_u64_sum,
-                );
+                let s = comm
+                    .allreduce(
+                        value.wrapping_add(me as u64).to_le_bytes().to_vec(),
+                        &combine_u64_sum,
+                    )
+                    .unwrap();
                 digest.push(u64::from_le_bytes(s[..8].try_into().unwrap()));
             }
             Op::Allgather { algo, len } => {
                 comm.allgather_algo = allgather_algo(*algo);
                 let mine = vec![me as u8; *len];
-                let parts = comm.allgather(&mine);
+                let parts = comm.allgather(&mine).unwrap();
                 digest.push(
                     parts
                         .iter()
@@ -111,7 +116,7 @@ fn execute(mut comm: Communicator<mmpi_transport::MemComm>, ops: &[Op]) -> Vec<u
                 );
             }
             Op::Gather { root, len } => {
-                let g = comm.gather(*root, &vec![me as u8; *len]);
+                let g = comm.gather(*root, &vec![me as u8; *len]).unwrap();
                 digest.push(match g {
                     Some(parts) => parts.iter().map(|p| p.len() as u64).sum(),
                     None => 0,
@@ -120,20 +125,22 @@ fn execute(mut comm: Communicator<mmpi_transport::MemComm>, ops: &[Op]) -> Vec<u
             Op::Scatter { len } => {
                 let chunks: Option<Vec<Vec<u8>>> =
                     (me == 0).then(|| (0..n).map(|r| vec![r as u8; *len]).collect());
-                let got = comm.scatter(0, chunks.as_deref());
+                let got = comm.scatter(0, chunks.as_deref()).unwrap();
                 digest.push(got.len() as u64 * (got.first().copied().unwrap_or(0) as u64 + 1));
             }
             Op::Scan { value } => {
-                let s = comm.scan(
-                    value.wrapping_add(me as u64).to_le_bytes().to_vec(),
-                    &combine_u64_sum,
-                );
+                let s = comm
+                    .scan(
+                        value.wrapping_add(me as u64).to_le_bytes().to_vec(),
+                        &combine_u64_sum,
+                    )
+                    .unwrap();
                 digest.push(u64::from_le_bytes(s[..8].try_into().unwrap()));
             }
             Op::Alltoall { len } => {
                 let sends: Vec<Vec<u8>> =
                     (0..n).map(|dst| vec![(me * n + dst) as u8; *len]).collect();
-                let got = comm.alltoall(&sends);
+                let got = comm.alltoall(&sends).unwrap();
                 digest.push(
                     got.iter()
                         .enumerate()

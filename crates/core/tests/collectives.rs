@@ -1,9 +1,7 @@
 //! Correctness of every collective over the in-memory backend, for many
 //! process counts, roots, and payload sizes.
 
-use mmpi_core::{
-    combine_u64_max, combine_u64_sum, BarrierAlgorithm, BcastAlgorithm, Communicator,
-};
+use mmpi_core::{combine_u64_max, combine_u64_sum, BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mmpi_transport::{run_mem_world, Comm};
 
 const SIZES: &[usize] = &[2, 3, 4, 5, 7, 8, 9, 16];
@@ -50,7 +48,7 @@ fn bcast_all_algorithms_all_sizes_all_roots() {
                         } else {
                             vec![0; len]
                         };
-                        comm.bcast(root, &mut buf);
+                        comm.bcast(root, &mut buf).unwrap();
                         buf
                     });
                     for (r, o) in out.iter().enumerate() {
@@ -82,7 +80,7 @@ fn barrier_all_algorithms_release_everyone() {
             let ok = run_mem_world(n, 0, |c| {
                 let mut comm = Communicator::new(c).with_barrier(algo);
                 counter.fetch_add(1, Ordering::SeqCst);
-                comm.barrier();
+                comm.barrier().unwrap();
                 counter.load(Ordering::SeqCst) == n
             });
             assert!(
@@ -99,7 +97,7 @@ fn repeated_barriers_do_not_interfere() {
         let out = run_mem_world(n, 0, |c| {
             let mut comm = Communicator::new(c);
             for _ in 0..25 {
-                comm.barrier();
+                comm.barrier().unwrap();
             }
             true
         });
@@ -114,7 +112,7 @@ fn gather_collects_every_ranks_buffer() {
             let out = run_mem_world(n, 0, move |c| {
                 let mut comm = Communicator::new(c);
                 let mine = payload_for(comm.rank(), 64 + comm.rank());
-                comm.gather(root, &mine)
+                comm.gather(root, &mine).unwrap()
             });
             for (r, o) in out.iter().enumerate() {
                 if r == root {
@@ -136,9 +134,9 @@ fn scatter_distributes_chunks() {
     for &n in SIZES {
         let out = run_mem_world(n, 0, move |c| {
             let mut comm = Communicator::new(c);
-            let chunks: Option<Vec<Vec<u8>>> = (comm.rank() == 0)
-                .then(|| (0..n).map(|r| payload_for(r, 32)).collect());
-            comm.scatter(0, chunks.as_deref())
+            let chunks: Option<Vec<Vec<u8>>> =
+                (comm.rank() == 0).then(|| (0..n).map(|r| payload_for(r, 32)).collect());
+            comm.scatter(0, chunks.as_deref()).unwrap()
         });
         for (r, o) in out.iter().enumerate() {
             assert_eq!(o, &payload_for(r, 32), "n={n} rank={r}");
@@ -153,7 +151,7 @@ fn reduce_sums_across_ranks() {
             let out = run_mem_world(n, 0, move |c| {
                 let mut comm = Communicator::new(c);
                 let data = u64s(&[comm.rank() as u64, 1, 10 * comm.rank() as u64]);
-                comm.reduce(root, data, &combine_u64_sum)
+                comm.reduce(root, data, &combine_u64_sum).unwrap()
             });
             let total: u64 = (0..n as u64).sum();
             for (r, o) in out.iter().enumerate() {
@@ -178,7 +176,7 @@ fn allreduce_gives_everyone_the_result() {
             let out = run_mem_world(n, 0, move |c| {
                 let mut comm = Communicator::new(c).with_bcast(algo);
                 let data = u64s(&[comm.rank() as u64 + 1]);
-                from_u64s(&comm.allreduce(data, &combine_u64_sum))
+                from_u64s(&comm.allreduce(data, &combine_u64_sum).unwrap())
             });
             let want = (1..=n as u64).sum::<u64>();
             assert!(
@@ -194,7 +192,7 @@ fn allreduce_max() {
     let out = run_mem_world(6, 0, |c| {
         let mut comm = Communicator::new(c);
         let data = u64s(&[(comm.rank() as u64 * 7) % 5, comm.rank() as u64]);
-        from_u64s(&comm.allreduce(data, &combine_u64_max))
+        from_u64s(&comm.allreduce(data, &combine_u64_max).unwrap())
     });
     assert!(out.iter().all(|o| o == &vec![4, 5]));
 }
@@ -205,7 +203,7 @@ fn allgather_variable_lengths() {
         let out = run_mem_world(n, 0, move |c| {
             let mut comm = Communicator::new(c);
             let mine = payload_for(comm.rank(), comm.rank() * 3); // rank 0 sends empty
-            comm.allgather(&mine)
+            comm.allgather(&mine).unwrap()
         });
         for (r, parts) in out.iter().enumerate() {
             assert_eq!(parts.len(), n, "n={n} rank={r}");
@@ -225,7 +223,7 @@ fn alltoall_personalized_exchange() {
             let sends: Vec<Vec<u8>> = (0..n)
                 .map(|dst| format!("{me}->{dst}").into_bytes())
                 .collect();
-            comm.alltoall(&sends)
+            comm.alltoall(&sends).unwrap()
         });
         for (me, received) in out.iter().enumerate() {
             for (src, buf) in received.iter().enumerate() {
@@ -241,7 +239,7 @@ fn scan_prefix_sums() {
         let out = run_mem_world(n, 0, move |c| {
             let mut comm = Communicator::new(c);
             let data = u64s(&[comm.rank() as u64 + 1]);
-            from_u64s(&comm.scan(data, &combine_u64_sum))
+            from_u64s(&comm.scan(data, &combine_u64_sum).unwrap())
         });
         for (r, o) in out.iter().enumerate() {
             let want: u64 = (1..=r as u64 + 1).sum();
@@ -263,10 +261,10 @@ fn mixed_collective_sequences_stay_tag_safe() {
             } else {
                 Vec::new()
             };
-            comm.bcast((round as usize) % 5, &mut b);
+            comm.bcast((round as usize) % 5, &mut b).unwrap();
             log.extend(from_u64s(&b));
-            comm.barrier();
-            let s = comm.allreduce(u64s(&[round]), &combine_u64_sum);
+            comm.barrier().unwrap();
+            let s = comm.allreduce(u64s(&[round]), &combine_u64_sum).unwrap();
             log.extend(from_u64s(&s));
         }
         log
@@ -289,7 +287,7 @@ fn paper_section4_ordering_example() {
             } else {
                 Vec::new()
             };
-            comm.bcast(root, &mut buf);
+            comm.bcast(root, &mut buf).unwrap();
             order.push(buf[0]);
         }
         order
@@ -302,11 +300,14 @@ fn single_rank_world_collectives_are_noops() {
     let out = run_mem_world(1, 0, |c| {
         let mut comm = Communicator::new(c);
         let mut buf = b"solo".to_vec();
-        comm.bcast(0, &mut buf);
-        comm.barrier();
-        let g = comm.gather(0, &buf).unwrap();
-        let r = comm.reduce(0, u64s(&[7]), &combine_u64_sum).unwrap();
-        let ag = comm.allgather(&buf);
+        comm.bcast(0, &mut buf).unwrap();
+        comm.barrier().unwrap();
+        let g = comm.gather(0, &buf).unwrap().unwrap();
+        let r = comm
+            .reduce(0, u64s(&[7]), &combine_u64_sum)
+            .unwrap()
+            .unwrap();
+        let ag = comm.allgather(&buf).unwrap();
         (buf, g.len(), from_u64s(&r), ag.len())
     });
     assert_eq!(out[0].0, b"solo");
@@ -335,7 +336,7 @@ fn bcast_with_explicit_algorithm_interops_across_calls() {
             } else {
                 Vec::new()
             };
-            comm.bcast_with(algo, 0, &mut buf);
+            comm.bcast_with(algo, 0, &mut buf).unwrap();
             results.push(buf);
         }
         results

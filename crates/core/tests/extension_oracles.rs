@@ -20,9 +20,9 @@ fn multicast_allgather_frame_count() {
         for b in [100u32, 2000] {
             let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
             let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
-                let mut comm =
-                    Communicator::new(c).with_allgather(AllgatherAlgorithm::Multicast);
-                comm.allgather(&vec![comm.rank() as u8; b as usize]);
+                let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Multicast);
+                comm.allgather(&vec![comm.rank() as u8; b as usize])
+                    .unwrap();
             })
             .unwrap();
             assert_eq!(
@@ -43,7 +43,8 @@ fn ring_allgather_frame_count() {
         let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
         let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
             let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Ring);
-            comm.allgather(&vec![comm.rank() as u8; b as usize]);
+            comm.allgather(&vec![comm.rank() as u8; b as usize])
+                .unwrap();
         })
         .unwrap();
         assert_eq!(
@@ -68,7 +69,7 @@ fn flat_tree_bcast_frame_count() {
         } else {
             vec![0; b as usize]
         };
-        comm.bcast(0, &mut buf);
+        comm.bcast(0, &mut buf).unwrap();
     })
     .unwrap();
     assert_eq!(
@@ -89,15 +90,23 @@ fn chain_bcast_frame_count() {
     let cluster = ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 1);
     let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
         let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::Chain);
-        let mut buf = if comm.rank() == 0 { vec![1; b] } else { vec![0; b] };
-        comm.bcast(0, &mut buf);
+        let mut buf = if comm.rank() == 0 {
+            vec![1; b]
+        } else {
+            vec![0; b]
+        };
+        comm.bcast(0, &mut buf).unwrap();
     })
     .unwrap();
     // Each segment message of 4096 B payload -> frames(4096); the final
     // short segment (1808 B) -> frames(1808).
     let per_hop: u64 = (0..segments)
         .map(|i| {
-            let len = if i + 1 < segments { seg } else { b - seg * (segments as usize - 1) };
+            let len = if i + 1 < segments {
+                seg
+            } else {
+                b - seg * (segments as usize - 1)
+            };
             frames_for(len as u32)
         })
         .sum();
@@ -108,7 +117,10 @@ fn chain_bcast_frame_count() {
 fn via_like_preset_has_expected_shape() {
     use mmpi_netsim::params::{FabricKind, SwitchMode};
     let p = NetParams::via_like();
-    assert!(p.host.strict_posted_recv, "VIA semantics require posted recv");
+    assert!(
+        p.host.strict_posted_recv,
+        "VIA semantics require posted recv"
+    );
     assert!(p.host.o_send < mmpi_netsim::SimDuration::from_micros(10));
     match p.fabric {
         FabricKind::Switch(sp) => {

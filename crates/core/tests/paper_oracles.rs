@@ -26,18 +26,23 @@ fn run_bcast(
         } else {
             vec![0; bytes]
         };
-        comm.bcast(0, &mut buf);
+        comm.bcast(0, &mut buf).unwrap();
         assert_eq!(buf, vec![0xA5; bytes]);
     })
     .unwrap();
     (report.makespan, report.stats)
 }
 
-fn run_barrier(n: usize, algo: BarrierAlgorithm, params: NetParams, seed: u64) -> (SimTime, NetStats) {
+fn run_barrier(
+    n: usize,
+    algo: BarrierAlgorithm,
+    params: NetParams,
+    seed: u64,
+) -> (SimTime, NetStats) {
     let cluster = ClusterConfig::new(n, params, seed);
     let report = run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
         let mut comm = Communicator::new(c).with_barrier(algo);
-        comm.barrier();
+        comm.barrier().unwrap();
     })
     .unwrap();
     (report.makespan, report.stats)
@@ -57,8 +62,8 @@ fn mpich_bcast_frame_count_matches_formula() {
                 NetParams::fast_ethernet_switch(),
                 1,
             );
-            let per_msg = mmpi_netsim::IpParams::default()
-                .fragments_for(m as u32 + 40, 1500) as u64;
+            let per_msg =
+                mmpi_netsim::IpParams::default().fragments_for(m as u32 + 40, 1500) as u64;
             assert_eq!(
                 stats.data_frames_sent,
                 per_msg * (n as u64 - 1),
@@ -77,15 +82,10 @@ fn mcast_bcast_frame_count_matches_formula() {
     for algo in [BcastAlgorithm::McastBinary, BcastAlgorithm::McastLinear] {
         for n in [2usize, 4, 7, 9] {
             for m in [0u64, 1000, 5000] {
-                let (_t, stats) = run_bcast(
-                    n,
-                    m as usize,
-                    algo,
-                    NetParams::fast_ethernet_switch(),
-                    1,
-                );
-                let data = mmpi_netsim::IpParams::default()
-                    .fragments_for(m as u32 + 40, 1500) as u64;
+                let (_t, stats) =
+                    run_bcast(n, m as usize, algo, NetParams::fast_ethernet_switch(), 1);
+                let data =
+                    mmpi_netsim::IpParams::default().fragments_for(m as u32 + 40, 1500) as u64;
                 let scouts = n as u64 - 1;
                 assert_eq!(
                     stats.data_frames_sent,
@@ -102,7 +102,12 @@ fn mcast_bcast_frame_count_matches_formula() {
 fn mpich_barrier_message_count_matches_formula() {
     // Paper: 2(N-K) + K log2 K point-to-point messages.
     for n in 2usize..=9 {
-        let (_t, stats) = run_barrier(n, BarrierAlgorithm::Mpich, NetParams::fast_ethernet_switch(), 1);
+        let (_t, stats) = run_barrier(
+            n,
+            BarrierAlgorithm::Mpich,
+            NetParams::fast_ethernet_switch(),
+            1,
+        );
         assert_eq!(
             stats.datagrams_sent,
             cost::mpich_barrier_messages(n as u64),
@@ -133,7 +138,10 @@ fn mcast_barrier_message_count_matches_formula() {
 fn multicast_beats_mpich_for_large_messages() {
     // The paper's headline: for messages over ~1 kB the multicast
     // implementations win on both fabrics.
-    for params in [NetParams::fast_ethernet_hub(), NetParams::fast_ethernet_switch()] {
+    for params in [
+        NetParams::fast_ethernet_hub(),
+        NetParams::fast_ethernet_switch(),
+    ] {
         for n in [4usize, 9] {
             let (mpich, _) = run_bcast(n, 5000, BcastAlgorithm::MpichBinomial, params.clone(), 3);
             let (binary, _) = run_bcast(n, 5000, BcastAlgorithm::McastBinary, params.clone(), 3);
@@ -154,8 +162,20 @@ fn multicast_beats_mpich_for_large_messages() {
 fn mpich_wins_for_tiny_messages() {
     // With small messages the scout overhead dominates: MPICH is faster
     // (the region left of the paper's crossover).
-    let (mpich, _) = run_bcast(4, 0, BcastAlgorithm::MpichBinomial, NetParams::fast_ethernet_switch(), 3);
-    let (binary, _) = run_bcast(4, 0, BcastAlgorithm::McastBinary, NetParams::fast_ethernet_switch(), 3);
+    let (mpich, _) = run_bcast(
+        4,
+        0,
+        BcastAlgorithm::MpichBinomial,
+        NetParams::fast_ethernet_switch(),
+        3,
+    );
+    let (binary, _) = run_bcast(
+        4,
+        0,
+        BcastAlgorithm::McastBinary,
+        NetParams::fast_ethernet_switch(),
+        3,
+    );
     assert!(
         mpich < binary,
         "mpich {mpich} should beat binary {binary} at 0 bytes"
@@ -165,8 +185,20 @@ fn mpich_wins_for_tiny_messages() {
 #[test]
 fn binary_scout_gathering_beats_linear_at_scale() {
     // log2(N) rounds vs N-1 sequential receives at the root.
-    let (linear, _) = run_bcast(9, 2000, BcastAlgorithm::McastLinear, NetParams::fast_ethernet_switch(), 3);
-    let (binary, _) = run_bcast(9, 2000, BcastAlgorithm::McastBinary, NetParams::fast_ethernet_switch(), 3);
+    let (linear, _) = run_bcast(
+        9,
+        2000,
+        BcastAlgorithm::McastLinear,
+        NetParams::fast_ethernet_switch(),
+        3,
+    );
+    let (binary, _) = run_bcast(
+        9,
+        2000,
+        BcastAlgorithm::McastBinary,
+        NetParams::fast_ethernet_switch(),
+        3,
+    );
     assert!(
         binary < linear,
         "binary {binary} should beat linear {linear} at N=9"
@@ -181,8 +213,18 @@ fn mcast_barrier_beats_mpich_barrier() {
     // advantage there is ~50 us. We assert the win for N >= 5.)
     let mut gaps = Vec::new();
     for n in [5usize, 6, 7, 8, 9] {
-        let (mpich, _) = run_barrier(n, BarrierAlgorithm::Mpich, NetParams::fast_ethernet_hub(), 5);
-        let (mcast, _) = run_barrier(n, BarrierAlgorithm::McastBinary, NetParams::fast_ethernet_hub(), 5);
+        let (mpich, _) = run_barrier(
+            n,
+            BarrierAlgorithm::Mpich,
+            NetParams::fast_ethernet_hub(),
+            5,
+        );
+        let (mcast, _) = run_barrier(
+            n,
+            BarrierAlgorithm::McastBinary,
+            NetParams::fast_ethernet_hub(),
+            5,
+        );
         assert!(mcast < mpich, "n={n}: mcast {mcast} vs mpich {mpich}");
         gaps.push(mpich.as_micros_f64() - mcast.as_micros_f64());
     }
@@ -236,7 +278,7 @@ fn strict_mode_scouted_bcast_never_loses() {
             } else {
                 vec![0; 3000]
             };
-            comm.bcast(0, &mut buf);
+            comm.bcast(0, &mut buf).unwrap();
             buf == vec![7; 3000]
         })
         .unwrap();
@@ -254,22 +296,21 @@ fn pvm_ack_recovers_from_strict_mode_loss_but_pays_for_it() {
     let mut params = NetParams::fast_ethernet_switch();
     params.host.strict_posted_recv = true;
     let cluster = ClusterConfig::new(4, params.clone(), 13);
-    let slow_receiver = |c: mmpi_transport::SimComm,
-                         algo: BcastAlgorithm|
-     -> (bool, SimTime) {
+    let slow_receiver = |c: mmpi_transport::SimComm, algo: BcastAlgorithm| -> (bool, SimTime) {
         let mut comm = Communicator::new(c).with_bcast(algo);
         if comm.rank() == 3 {
             // Deterministic laggard: busy for 3 ms before entering the
             // collective, so it cannot have a receive posted when the
             // naive multicast arrives.
-            comm.transport_mut().compute(std::time::Duration::from_millis(3));
+            comm.transport_mut()
+                .compute(std::time::Duration::from_millis(3));
         }
         let mut buf = if comm.rank() == 0 {
             vec![9; 2000]
         } else {
             vec![0; 2000]
         };
-        comm.bcast(0, &mut buf);
+        comm.bcast(0, &mut buf).unwrap();
         (buf == vec![9; 2000], comm.transport().now())
     };
     let pvm = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
@@ -297,7 +338,10 @@ fn pvm_ack_recovers_from_strict_mode_loss_but_pays_for_it() {
     // finishes quickly once everyone is ready, while ack-retransmit burns
     // at least one timeout round recovering the lost multicast.
     let finish = |r: &mmpi_netsim::cluster::RunReport<(bool, SimTime)>| {
-        r.outputs.iter().map(|(_, t)| *t).fold(SimTime::ZERO, SimTime::max)
+        r.outputs
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(SimTime::ZERO, SimTime::max)
     };
     assert!(
         finish(&scouted) < finish(&pvm),

@@ -123,8 +123,7 @@ where
 
     let shareds: Vec<Arc<ProcShared>> =
         (0..config.n).map(|_| Arc::new(ProcShared::new())).collect();
-    let outputs: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..config.n).map(|_| None).collect());
+    let outputs: Mutex<Vec<Option<R>>> = Mutex::new((0..config.n).map(|_| None).collect());
 
     let result: Result<(Vec<SimTime>, NetStats), SimError> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.n);
@@ -257,7 +256,9 @@ fn drive(
         // Phase 2: apply non-blocking requests in rank order.
         let mut any_immediate = false;
         for i in 0..n {
-            let Some(req) = pending[i].take() else { continue };
+            let Some(req) = pending[i].take() else {
+                continue;
+            };
             let host = HostId(i as u32);
             match req {
                 Request::Bind { port } => {
@@ -377,11 +378,7 @@ fn drive(
                     match c {
                         Completion::RecvReady { host, socket } => {
                             let i = host.index();
-                            let RankStatus::BlockedRecv {
-                                socket: s,
-                                timer,
-                            } = status[i]
-                            else {
+                            let RankStatus::BlockedRecv { socket: s, timer } = status[i] else {
                                 // Spurious: the rank is no longer blocked
                                 // (cannot happen — deliveries only complete
                                 // posted receives). Ignore defensively.
@@ -400,7 +397,11 @@ fn drive(
                             status[i] = RankStatus::Running;
                             respond(&shareds[i], Response::Datagram(Some(dg)), local[i]);
                         }
-                        Completion::TimerFired { host, socket, token } => {
+                        Completion::TimerFired {
+                            host,
+                            socket,
+                            token,
+                        } => {
                             let i = host.index();
                             match status[i] {
                                 RankStatus::BlockedRecv {

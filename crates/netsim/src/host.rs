@@ -212,8 +212,7 @@ impl HostStack {
         // The strict readiness model is a *multicast* hazard (the paper's
         // §1): unicast UDP is buffered by the kernel regardless, but an IP
         // multicast datagram is lost for any receiver not ready for it.
-        let strict =
-            self.strict_posted_recv && matches!(dg.dst, DatagramDst::Multicast(_));
+        let strict = self.strict_posted_recv && matches!(dg.dst, DatagramDst::Multicast(_));
         let limit = self.rx_buffer_limit;
         let sock = self.socket_mut(sid);
         if strict && !sock.recv_posted {
@@ -256,7 +255,10 @@ mod tests {
     fn unicast_delivery_to_bound_port() {
         let mut h = host();
         let s = h.bind(UdpPort(500));
-        let d = h.deliver(dg(1, DatagramDst::Unicast(HostId(0)), 500, 10), SimTime::ZERO);
+        let d = h.deliver(
+            dg(1, DatagramDst::Unicast(HostId(0)), 500, 10),
+            SimTime::ZERO,
+        );
         assert_eq!(
             d,
             Delivery::Delivered {
@@ -271,7 +273,10 @@ mod tests {
     fn unbound_port_drops() {
         let mut h = host();
         h.bind(UdpPort(500));
-        let d = h.deliver(dg(1, DatagramDst::Unicast(HostId(0)), 501, 10), SimTime::ZERO);
+        let d = h.deliver(
+            dg(1, DatagramDst::Unicast(HostId(0)), 501, 10),
+            SimTime::ZERO,
+        );
         assert_eq!(d, Delivery::Dropped(DeliveryFailure::NoMatchingSocket));
     }
 

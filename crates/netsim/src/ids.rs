@@ -60,12 +60,7 @@ impl fmt::Display for HostId {
 impl fmt::Display for GroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Render as the class-D address the group would occupy.
-        write!(
-            f,
-            "239.0.{}.{}",
-            (self.0 >> 8) & 0xff,
-            self.0 & 0xff
-        )
+        write!(f, "239.0.{}.{}", (self.0 >> 8) & 0xff, self.0 & 0xff)
     }
 }
 
@@ -103,10 +98,7 @@ mod tests {
         assert_eq!(GroupId(0x0102).to_string(), "239.0.1.2");
         assert_eq!(UdpPort(5000).to_string(), ":5000");
         assert_eq!(DatagramDst::Unicast(HostId(1)).to_string(), "host1");
-        assert_eq!(
-            DatagramDst::Multicast(GroupId(5)).to_string(),
-            "239.0.0.5"
-        );
+        assert_eq!(DatagramDst::Multicast(GroupId(5)).to_string(), "239.0.0.5");
     }
 
     #[test]

@@ -91,8 +91,7 @@ impl EthernetParams {
     /// correctly).
     pub fn frame_wire_time(&self, payload: u32) -> SimDuration {
         let padded = payload.max(self.min_payload_bytes);
-        let total =
-            self.preamble_bytes + self.mac_header_bytes + padded + self.fcs_bytes;
+        let total = self.preamble_bytes + self.mac_header_bytes + padded + self.fcs_bytes;
         self.byte_time(total as u64)
     }
 

@@ -193,7 +193,9 @@ impl SimProcess {
 
     /// Bind a UDP socket on this host (setup-time, free).
     pub fn bind(&mut self, port: u16) -> SocketId {
-        match self.call(Request::Bind { port: UdpPort(port) }) {
+        match self.call(Request::Bind {
+            port: UdpPort(port),
+        }) {
             Response::Socket(s) => s,
             other => unreachable!("bad response {other:?}"),
         }

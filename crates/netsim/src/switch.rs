@@ -177,10 +177,7 @@ mod tests {
         let mut sw = Switch::new(4, 1 << 20, false);
         sw.learn(HostId(2), SwitchPort(2));
         let f = frame(FrameDst::Unicast(HostId(2)), 100);
-        assert_eq!(
-            sw.forward_set(&f, SwitchPort(0)).ports,
-            vec![SwitchPort(2)]
-        );
+        assert_eq!(sw.forward_set(&f, SwitchPort(0)).ports, vec![SwitchPort(2)]);
     }
 
     #[test]
@@ -208,10 +205,7 @@ mod tests {
         sw.snoop_join(GroupId(5), SwitchPort(3));
         let f = frame(FrameDst::Multicast(GroupId(5)), 100);
         // Ingress port 1 is excluded even though it is a member.
-        assert_eq!(
-            sw.forward_set(&f, SwitchPort(1)).ports,
-            vec![SwitchPort(3)]
-        );
+        assert_eq!(sw.forward_set(&f, SwitchPort(1)).ports, vec![SwitchPort(3)]);
         assert_eq!(
             sw.forward_set(&f, SwitchPort(0)).ports,
             vec![SwitchPort(1), SwitchPort(3)]

@@ -112,8 +112,7 @@ impl fmt::Display for Trace {
                     writeln!(f, "{at:>14}  {dst} rx frame#{frame}")?
                 }
                 TraceEvent::Collision { stations } => {
-                    let names: Vec<String> =
-                        stations.iter().map(|h| h.to_string()).collect();
+                    let names: Vec<String> = stations.iter().map(|h| h.to_string()).collect();
                     writeln!(f, "{at:>14}  COLLISION [{}]", names.join(", "))?
                 }
                 TraceEvent::Drop { host, reason } => {
@@ -136,8 +135,21 @@ mod tests {
     #[test]
     fn push_and_iterate_in_order() {
         let mut tr = Trace::new(10);
-        tr.push(t(1), TraceEvent::TxStart { src: HostId(0), frame: 1, bytes: 64 });
-        tr.push(t(2), TraceEvent::Delivered { dst: HostId(1), frame: 1 });
+        tr.push(
+            t(1),
+            TraceEvent::TxStart {
+                src: HostId(0),
+                frame: 1,
+                bytes: 64,
+            },
+        );
+        tr.push(
+            t(2),
+            TraceEvent::Delivered {
+                dst: HostId(1),
+                frame: 1,
+            },
+        );
         assert_eq!(tr.len(), 2);
         let times: Vec<u64> = tr.records().map(|(at, _)| at.as_nanos()).collect();
         assert_eq!(times, vec![1, 2]);
@@ -148,7 +160,13 @@ mod tests {
     fn capacity_evicts_oldest() {
         let mut tr = Trace::new(3);
         for i in 0..5u64 {
-            tr.push(t(i), TraceEvent::Delivered { dst: HostId(0), frame: i });
+            tr.push(
+                t(i),
+                TraceEvent::Delivered {
+                    dst: HostId(0),
+                    frame: i,
+                },
+            );
         }
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.evicted(), 2);
@@ -165,18 +183,53 @@ mod tests {
     #[test]
     fn count_filters() {
         let mut tr = Trace::new(10);
-        tr.push(t(0), TraceEvent::Collision { stations: vec![HostId(0), HostId(1)] });
-        tr.push(t(1), TraceEvent::Delivered { dst: HostId(0), frame: 0 });
-        tr.push(t(2), TraceEvent::Collision { stations: vec![HostId(2), HostId(3)] });
+        tr.push(
+            t(0),
+            TraceEvent::Collision {
+                stations: vec![HostId(0), HostId(1)],
+            },
+        );
+        tr.push(
+            t(1),
+            TraceEvent::Delivered {
+                dst: HostId(0),
+                frame: 0,
+            },
+        );
+        tr.push(
+            t(2),
+            TraceEvent::Collision {
+                stations: vec![HostId(2), HostId(3)],
+            },
+        );
         assert_eq!(tr.count(|e| matches!(e, TraceEvent::Collision { .. })), 2);
     }
 
     #[test]
     fn display_renders_all_variants() {
         let mut tr = Trace::new(2);
-        tr.push(t(0), TraceEvent::TxStart { src: HostId(0), frame: 9, bytes: 100 });
-        tr.push(t(1), TraceEvent::Drop { host: HostId(2), reason: "buffer full" });
-        tr.push(t(2), TraceEvent::Delivered { dst: HostId(1), frame: 9 });
+        tr.push(
+            t(0),
+            TraceEvent::TxStart {
+                src: HostId(0),
+                frame: 9,
+                bytes: 100,
+            },
+        );
+        tr.push(
+            t(1),
+            TraceEvent::Drop {
+                host: HostId(2),
+                reason: "buffer full",
+            },
+        );
+        tr.push(
+            t(2),
+            TraceEvent::Delivered {
+                dst: HostId(1),
+                frame: 9,
+            },
+        );
         let s = tr.to_string();
         assert!(s.contains("evicted"));
         assert!(s.contains("DROP: buffer full"));

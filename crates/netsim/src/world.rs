@@ -231,13 +231,7 @@ impl World {
 
     /// Runtime multicast join: joins locally and emits an IGMP membership
     /// report frame on the wire at time `at` so a managed switch can snoop.
-    pub fn join_group_igmp(
-        &mut self,
-        host: HostId,
-        socket: SocketId,
-        group: GroupId,
-        at: SimTime,
-    ) {
+    pub fn join_group_igmp(&mut self, host: HostId, socket: SocketId, group: GroupId, at: SimTime) {
         self.hosts[host.index()].join_group(socket, group);
         let frame = Frame {
             id: self.fresh_frame_id(),
@@ -287,13 +281,8 @@ impl World {
         match dst {
             DatagramDst::Unicast(d) if d == host => {
                 // Self-send never touches the wire.
-                self.queue.schedule(
-                    at,
-                    Event::LoopbackDelivery {
-                        host,
-                        datagram,
-                    },
-                );
+                self.queue
+                    .schedule(at, Event::LoopbackDelivery { host, datagram });
             }
             _ => {
                 if multicast_loopback && matches!(dst, DatagramDst::Multicast(_)) {
@@ -305,7 +294,8 @@ impl World {
                         },
                     );
                 }
-                self.queue.schedule(at, Event::DatagramReady { host, datagram });
+                self.queue
+                    .schedule(at, Event::DatagramReady { host, datagram });
             }
         }
         id
@@ -330,7 +320,11 @@ impl World {
 
     /// Take the datagram that satisfied a [`Completion::RecvReady`] and
     /// clear the pending-receive flag.
-    pub fn take_recv(&mut self, host: HostId, socket: SocketId) -> Option<(SimTime, Arc<Datagram>)> {
+    pub fn take_recv(
+        &mut self,
+        host: HostId,
+        socket: SocketId,
+    ) -> Option<(SimTime, Arc<Datagram>)> {
         let sock = self.hosts[host.index()].socket_mut(socket);
         sock.recv_posted = false;
         sock.pop()
@@ -342,8 +336,21 @@ impl World {
     }
 
     /// Schedule a timer that fires at `at` with `token`.
-    pub fn schedule_timer(&mut self, host: HostId, socket: Option<SocketId>, token: u64, at: SimTime) {
-        self.queue.schedule(at, Event::Timer { host, socket, token });
+    pub fn schedule_timer(
+        &mut self,
+        host: HostId,
+        socket: Option<SocketId>,
+        token: u64,
+        at: SimTime,
+    ) {
+        self.queue.schedule(
+            at,
+            Event::Timer {
+                host,
+                socket,
+                token,
+            },
+        );
     }
 
     /// Lazily cancel a previously scheduled timer.
@@ -431,13 +438,21 @@ impl World {
                 let sock = self.hosts[host.index()].socket_mut(socket);
                 sock.recv_posted = true;
                 if sock.buffered() > 0 {
-                    self.completions.push(Completion::RecvReady { host, socket });
+                    self.completions
+                        .push(Completion::RecvReady { host, socket });
                 }
             }
-            Event::Timer { host, socket, token } => {
+            Event::Timer {
+                host,
+                socket,
+                token,
+            } => {
                 if !self.cancelled_timers.remove(&token) {
-                    self.completions
-                        .push(Completion::TimerFired { host, socket, token });
+                    self.completions.push(Completion::TimerFired {
+                        host,
+                        socket,
+                        token,
+                    });
                 }
             }
         }
@@ -556,8 +571,7 @@ impl World {
                 if host == src {
                     continue;
                 }
-                let accepted = frame
-                    .accepted_by(host, |g| self.hosts[i].nic.is_member(g));
+                let accepted = frame.accepted_by(host, |g| self.hosts[i].nic.is_member(g));
                 if accepted {
                     self.link_deliver(host, &frame);
                 }
@@ -615,12 +629,12 @@ impl World {
             FabricKind::Switch(sp) => match sp.mode {
                 crate::params::SwitchMode::StoreAndForward => wire,
                 crate::params::SwitchMode::CutThrough { header_bytes } => {
-                    eth.byte_time(u64::from(
-                        (eth.preamble_bytes + header_bytes)
-                            .min(eth.preamble_bytes + eth.mac_header_bytes
-                                + frame.mac_payload.max(eth.min_payload_bytes)
-                                + eth.fcs_bytes),
-                    ))
+                    eth.byte_time(u64::from((eth.preamble_bytes + header_bytes).min(
+                        eth.preamble_bytes
+                            + eth.mac_header_bytes
+                            + frame.mac_payload.max(eth.min_payload_bytes)
+                            + eth.fcs_bytes,
+                    )))
                 }
             },
             FabricKind::Hub => wire,
@@ -663,7 +677,8 @@ impl World {
             }
             FramePayload::Fragment { .. } => {
                 let at = self.now + latency;
-                self.queue.schedule(at, Event::SwitchForward { frame, in_port });
+                self.queue
+                    .schedule(at, Event::SwitchForward { frame, in_port });
             }
         }
     }
@@ -713,9 +728,7 @@ impl World {
                 return;
             }
         }
-        let accepted = frame.accepted_by(host, |g| {
-            self.hosts[host.index()].nic.is_member(g)
-        });
+        let accepted = frame.accepted_by(host, |g| self.hosts[host.index()].nic.is_member(g));
         if accepted {
             self.link_deliver(host, &frame);
         }
@@ -801,8 +814,7 @@ impl World {
             count,
         } = &frame.payload
         {
-            let complete =
-                self.hosts[host.index()].receive_fragment(datagram, *index, *count);
+            let complete = self.hosts[host.index()].receive_fragment(datagram, *index, *count);
             if let Some(dg) = complete {
                 self.deliver_datagram(host, dg);
             }
@@ -819,7 +831,8 @@ impl World {
             } => {
                 self.stats.datagrams_delivered += 1;
                 if had_posted_recv {
-                    self.completions.push(Completion::RecvReady { host, socket });
+                    self.completions
+                        .push(Completion::RecvReady { host, socket });
                 }
             }
             Delivery::Dropped(DeliveryFailure::BufferOverflow) => {

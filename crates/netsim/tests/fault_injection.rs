@@ -234,7 +234,10 @@ fn inert_faults_change_nothing() {
             }
         })
         .unwrap();
-        (format!("{:?}", report.stats), report.completion_times.clone())
+        (
+            format!("{:?}", report.stats),
+            report.completion_times.clone(),
+        )
     };
     // Hub params exercise the backoff RNG, the stream faults must not touch.
     let a = run(NetParams::fast_ethernet_hub());

@@ -124,7 +124,12 @@ fn simultaneous_hub_senders_collide_and_all_deliver() {
                 p.recv(s);
             }
         } else {
-            p.send(s, DatagramDst::Unicast(HostId(0)), PORT, vec![p.rank() as u8]);
+            p.send(
+                s,
+                DatagramDst::Unicast(HostId(0)),
+                PORT,
+                vec![p.rank() as u8],
+            );
         }
     })
     .unwrap();
@@ -146,7 +151,12 @@ fn switch_has_no_collisions() {
                 p.recv(s);
             }
         } else {
-            p.send(s, DatagramDst::Unicast(HostId(0)), PORT, vec![p.rank() as u8]);
+            p.send(
+                s,
+                DatagramDst::Unicast(HostId(0)),
+                PORT,
+                vec![p.rank() as u8],
+            );
         }
     })
     .unwrap();
@@ -321,7 +331,10 @@ fn makespan_is_max_completion_time() {
     .unwrap();
     assert_eq!(report.makespan, SimTime::from_micros(300));
     assert_eq!(report.completion_times.len(), 3);
-    assert!(report.completion_times.iter().all(|t| *t <= report.makespan));
+    assert!(report
+        .completion_times
+        .iter()
+        .all(|t| *t <= report.makespan));
 }
 
 #[test]

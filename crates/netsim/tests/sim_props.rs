@@ -22,21 +22,18 @@ struct Scenario {
 }
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..8, any::<bool>(), any::<u64>(), 0u64..200)
-        .prop_flat_map(|(n, hub, seed, skew_us)| {
-            (
-                proptest::collection::vec(0u16..5000, n - 1),
-                0u16..5000,
-            )
-                .prop_map(move |(payloads, mcast_bytes)| Scenario {
-                    n,
-                    hub,
-                    seed,
-                    skew_us,
-                    payloads,
-                    mcast_bytes,
-                })
-        })
+    (2usize..8, any::<bool>(), any::<u64>(), 0u64..200).prop_flat_map(|(n, hub, seed, skew_us)| {
+        (proptest::collection::vec(0u16..5000, n - 1), 0u16..5000).prop_map(
+            move |(payloads, mcast_bytes)| Scenario {
+                n,
+                hub,
+                seed,
+                skew_us,
+                payloads,
+                mcast_bytes,
+            },
+        )
+    })
 }
 
 /// All-to-root gather followed by a multicast release; returns the report.
@@ -49,8 +46,8 @@ fn run(s: &Scenario) -> mmpi_netsim::RunReport<usize> {
     let payloads = s.payloads.clone();
     let mcast_bytes = s.mcast_bytes as usize;
     let n = s.n;
-    let cfg = ClusterConfig::new(n, params, s.seed)
-        .with_start_skew(SimDuration::from_micros(s.skew_us));
+    let cfg =
+        ClusterConfig::new(n, params, s.seed).with_start_skew(SimDuration::from_micros(s.skew_us));
     run_cluster(&cfg, move |mut p| {
         let sock = p.bind(PORT);
         p.join_group(sock, GroupId(1));

@@ -47,7 +47,10 @@ fn hub_collision_appears_in_trace_with_both_stations() {
     assert_eq!(collisions[0], vec![HostId(1), HostId(2)]);
     // Both frames still arrive: one TxStart + one Delivered per frame.
     assert_eq!(trace.count(|e| matches!(e, TraceEvent::TxStart { .. })), 2);
-    assert_eq!(trace.count(|e| matches!(e, TraceEvent::Delivered { .. })), 2);
+    assert_eq!(
+        trace.count(|e| matches!(e, TraceEvent::Delivered { .. })),
+        2
+    );
     assert_eq!(world.stats().datagrams_delivered, 2);
 }
 
@@ -60,8 +63,26 @@ fn hub_backoff_separates_retransmissions_in_time() {
     }
     // Both ends of a 2-host hub transmit simultaneously.
     let at = SimTime::from_micros(5);
-    world.send_datagram(HostId(0), PORT, DatagramDst::Unicast(HostId(1)), PORT, vec![0; 50].into(), at, false, false);
-    world.send_datagram(HostId(1), PORT, DatagramDst::Unicast(HostId(0)), PORT, vec![1; 50].into(), at, false, false);
+    world.send_datagram(
+        HostId(0),
+        PORT,
+        DatagramDst::Unicast(HostId(1)),
+        PORT,
+        vec![0; 50].into(),
+        at,
+        false,
+        false,
+    );
+    world.send_datagram(
+        HostId(1),
+        PORT,
+        DatagramDst::Unicast(HostId(0)),
+        PORT,
+        vec![1; 50].into(),
+        at,
+        false,
+        false,
+    );
     drain(&mut world);
     let trace = world.trace().unwrap();
     let tx_times: Vec<SimTime> = trace
@@ -78,7 +99,11 @@ fn hub_backoff_separates_retransmissions_in_time() {
         "serialized transmissions, gap {gap}"
     );
     // And the first transmission cannot precede the jam's end.
-    assert!(tx_times[0] >= at + slot, "first tx after jam, got {}", tx_times[0]);
+    assert!(
+        tx_times[0] >= at + slot,
+        "first tx after jam, got {}",
+        tx_times[0]
+    );
 }
 
 #[test]

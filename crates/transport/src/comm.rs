@@ -1,10 +1,19 @@
-//! The blocking communication interface the collective algorithms
+//! The request-based communication interface the collective algorithms
 //! program against — and the backend-shared halves of it.
 //!
-//! [`Comm`] deliberately mirrors what the paper's implementation had
-//! underneath MPICH's ADI: unreliable unicast/multicast datagram sends,
-//! blocking tag-matched receives, and nothing else. One implementation of
-//! a collective algorithm runs over:
+//! [`Comm`] is an MPI-3-flavoured *nonblocking* surface over what the
+//! paper's implementation had underneath MPICH's ADI: unreliable
+//! unicast/multicast datagram sends and tag-matched receives. Receives
+//! are **posted** ([`Comm::post_recv`]) and produce a [`RecvReq`] handle
+//! that is driven to completion through the **progress engine**
+//! ([`Comm::progress`], [`Comm::test`], [`Comm::wait`],
+//! [`Comm::wait_any`]). The engine advances *every* outstanding request
+//! at once — matching, reassembly, and (with repair armed) the NACK
+//! solicitation deadlines of all posted receives, not just the one the
+//! caller happens to be blocked on. The blocking calls of the original
+//! API ([`Comm::recv_match`] & co.) survive as thin post-and-wait
+//! conveniences, now returning the typed [`RecvError`] instead of
+//! panicking. One implementation of a collective algorithm runs over:
 //!
 //! * [`crate::sim::SimComm`] — the deterministic network simulator,
 //! * [`crate::udp::UdpComm`] — real UDP + IP multicast sockets,
@@ -14,13 +23,19 @@
 //! its wire encoding) and only *sliced* thereafter — chunking, the
 //! retransmit ring, NACK replays, and multicast fan-out all clone
 //! reference-counted views, never payload bytes (`docs/PERFORMANCE.md`).
+//! Because the transport takes ownership of a shared view at post time,
+//! [`Comm::post_send`]/[`Comm::post_mcast`] complete *immediately* (the
+//! [`SendReq`] they return exists for API symmetry and carries the
+//! sequence number).
 //!
 //! The sim and UDP backends optionally run a NACK-based **repair loop**
 //! (see [`RepairConfig`] and `docs/PROTOCOL.md`). The *policy* — when to
 //! solicit, how NACKs are serviced, how an endpoint drains on shutdown —
-//! is implemented exactly once, in [`EndpointCore`], parameterized over
-//! the backend's clock and socket primitives via the [`RepairPump`]
-//! trait; the two backends cannot drift (ROADMAP "repair-loop dedup").
+//! is implemented exactly once, in [`EndpointCore`]'s progress engine,
+//! parameterized over the backend's clock and socket primitives via the
+//! [`RepairPump`] trait; the backends cannot drift (ROADMAP "repair-loop
+//! dedup"). A walkthrough of a posted receive's lifecycle through the
+//! engine is in `docs/API.md`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -181,7 +196,11 @@ pub enum RecvError {
 impl fmt::Display for RecvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RecvError::Unavailable { src, tag, tag_floor } => write!(
+            RecvError::Unavailable {
+                src,
+                tag,
+                tag_floor,
+            } => write!(
                 f,
                 "repair unavailable: rank {src} evicted tag {tag} traffic from its \
                  retransmit ring (eviction floor {tag_floor}); size the ring up or \
@@ -193,6 +212,42 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Handle to a **posted receive** — a ticket into the endpoint's pending
+/// request table. Obtained from [`Comm::post_recv`]; driven by the
+/// progress engine; consumed by the completing call ([`Comm::test`]
+/// returning `Some`, [`Comm::wait`], [`Comm::wait_any`] picking it, or
+/// [`Comm::cancel_recv`]). The handle is `Copy` for ergonomic bookkeeping
+/// (MPI-style request arrays); using a handle after it completed, was
+/// cancelled, or against a different endpoint is a programming error and
+/// panics with a descriptive message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecvReq(u64);
+
+/// Handle to a posted send. Datagram sends on this transport are
+/// fire-and-forget and the payload is a shared [`Bytes`] view the
+/// endpoint may hold as long as it needs (retransmit ring), so a send is
+/// **complete the moment it is posted** — there is no buffer the caller
+/// must keep alive, hence nothing to test or wait for. The handle exists
+/// for API symmetry with MPI's `Isend` and carries the sequence number
+/// the send used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendReq {
+    seq: u64,
+}
+
+impl SendReq {
+    /// The sequence number the posted send used (what
+    /// [`Comm::send_kind`] returns on the blocking path).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Always true — see the type docs.
+    pub fn is_complete(&self) -> bool {
+        true
+    }
+}
+
 /// Message tag. Collectives encode (operation, phase, round) in it.
 pub type Tag = u32;
 
@@ -200,16 +255,26 @@ pub type Tag = u32;
 /// these at ingest instead of buffering them for matching.
 pub const FIRE_AND_FORGET_TAG: Tag = u32::MAX;
 
-/// Blocking, tag-matching datagram communicator over an unreliable fabric.
+/// Request-based, tag-matching datagram communicator over an unreliable
+/// fabric.
 ///
 /// Semantics shared by all implementations:
 ///
 /// * `send`/`mcast` are *unreliable*: they return once the datagram has
 ///   left the sender; delivery is not guaranteed (multicast to a receiver
 ///   that is not ready can be lost — the paper's core hazard).
-/// * Receives match on `(source rank, tag)` within this communicator's
-///   context; non-matching messages are buffered, never dropped.
+/// * Receives are **posted** and match on `(source rank, tag)` within
+///   this communicator's context; non-matching messages are buffered,
+///   never dropped. When several posted receives share a matcher,
+///   messages complete them in post order (FIFO both ways).
 /// * Per-sender sequence numbers deduplicate retransmitted multicasts.
+/// * The progress engine ([`Comm::progress`] and every blocking call)
+///   advances *all* outstanding requests — with repair armed, every
+///   posted receive keeps its own NACK solicitation deadline live even
+///   while the caller waits on an unrelated request.
+/// * No primitive panics on unrecoverable loss: completion is always a
+///   `Result` carrying the typed [`RecvError`]. Backends without a
+///   repair loop can never fail.
 ///
 /// The `*_kind` primitives take `&Bytes` so an already-shared payload
 /// (e.g. a received [`Message`] being forwarded) moves through without a
@@ -234,36 +299,151 @@ pub trait Comm {
     /// number, so receivers that already have it deduplicate.
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64);
 
-    /// Block until a message from `src` with `tag` arrives.
-    fn recv_match(&mut self, src: usize, tag: Tag) -> Message;
+    // ------------------------------------------------------------------
+    // The request layer: post / progress / test / wait.
+    // ------------------------------------------------------------------
 
-    /// Like [`Comm::recv_match`] with a timeout.
-    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message>;
+    /// Post a receive for `(src, tag)` (`src = None` matches any source)
+    /// and return its handle. Posting never blocks and never fails; the
+    /// request is completed by the progress engine and claimed through
+    /// [`Comm::test`], [`Comm::wait`], [`Comm::wait_deadline`] or
+    /// [`Comm::wait_any`]. With repair armed, the post also arms the
+    /// request's NACK solicitation deadline.
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq;
+
+    /// One nonblocking pass of the progress engine: ingest every datagram
+    /// already available, service queued NACKs, match buffered messages
+    /// to posted requests, and fire any expired solicitation deadlines.
+    /// Never blocks, never fails — completions (including errors) park in
+    /// their request slots until claimed.
+    fn progress(&mut self);
+
+    /// Block until the progress engine observes one event — a datagram
+    /// ingested or a solicitation deadline fired — then run a progress
+    /// pass; returns *immediately* when any posted receive already holds
+    /// an unclaimed completion (claimable work must never be parked
+    /// over). The building block for round-robin polling of several
+    /// composed operations: loop `poll each → progress_block` and
+    /// virtual/wall time advances correctly on every backend. Spurious
+    /// wakeups are allowed.
+    fn progress_block(&mut self);
+
+    /// Block until at least one of `reqs` is complete, without claiming
+    /// it (follow up with [`Comm::test`]). Unlike
+    /// [`Comm::progress_block`], this parks even while *other* posted
+    /// receives sit complete-but-unclaimed — the wait a single composed
+    /// operation uses when unrelated operations are outstanding on the
+    /// same endpoint. No-op on an empty slice.
+    fn wait_ready(&mut self, reqs: &[RecvReq]);
+
+    /// Nonblocking completion check. `None` means still pending;
+    /// `Some(result)` claims the completion and **retires the handle**.
+    /// Runs a nonblocking progress pass first, so a lone `test` loop
+    /// observes arrivals (but see [`Comm::progress_block`] for how to
+    /// wait without spinning).
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>>;
+
+    /// Claim-only variant of [`Comm::test`]: no progress pass, just a
+    /// table lookup. For pollers checking many requests after one
+    /// explicit [`Comm::progress`] — avoids a socket drain (and, on the
+    /// simulator, a driver round-trip) per request.
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>>;
+
+    /// Block until `req` completes and claim it.
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError>;
+
+    /// Block until `req` completes or `timeout` elapses. `Ok(None)` means
+    /// the timeout won — the request is **cancelled** (an already-matched
+    /// message would be requeued, but claim beats cancel, so none is
+    /// lost) and the handle retired. This is the single deadline
+    /// implementation every backend's timeout receive goes through.
+    fn wait_deadline(
+        &mut self,
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError>;
+
+    /// Block until *one* of `reqs` completes; claim it and return its
+    /// index in `reqs` with the message. The other requests stay posted.
+    /// On `Err`, the failing request is the one consumed and its handle
+    /// retired; to abandon the operation, [`Comm::cancel_recv`] every
+    /// handle in `reqs` — cancel is a no-op on the retired one, so no
+    /// identification is needed (testing it would panic). Panics on an
+    /// empty slice — that wait could never return.
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError>;
+
+    /// Abandon a posted receive: its handle is retired and its repair
+    /// state dropped. A message already matched to it is requeued for the
+    /// next matching request, so cancel never loses data. No-op on an
+    /// already-retired handle.
+    fn cancel_recv(&mut self, req: RecvReq);
+
+    /// Post a unicast send. Completes immediately (see [`SendReq`]).
+    fn post_send(&mut self, dst: usize, tag: Tag, payload: &Bytes) -> SendReq {
+        SendReq {
+            seq: self.send_kind(dst, tag, MsgKind::Data, payload),
+        }
+    }
+
+    /// Post a multicast send. Completes immediately (see [`SendReq`]).
+    fn post_mcast(&mut self, tag: Tag, payload: &Bytes) -> SendReq {
+        SendReq {
+            seq: self.mcast_kind(tag, MsgKind::Data, payload),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking conveniences: thin post-and-wait wrappers (compatibility
+    // with the original blocking API, now Result-typed).
+    // ------------------------------------------------------------------
+
+    /// Block until a message from `src` with `tag` arrives.
+    fn recv_match(&mut self, src: usize, tag: Tag) -> Result<Message, RecvError> {
+        let req = self.post_recv(Some(src), tag);
+        self.wait(req)
+    }
+
+    /// Like [`Comm::recv_match`] with a timeout (`Ok(None)` on expiry).
+    fn recv_match_timeout(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        let req = self.post_recv(Some(src), tag);
+        self.wait_deadline(req, timeout)
+    }
 
     /// Block until a message with `tag` arrives from any source.
-    fn recv_any(&mut self, tag: Tag) -> Message;
+    fn recv_any(&mut self, tag: Tag) -> Result<Message, RecvError> {
+        let req = self.post_recv(None, tag);
+        self.wait(req)
+    }
 
-    /// Like [`Comm::recv_any`] with a timeout.
-    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message>;
+    /// Like [`Comm::recv_any`] with a timeout (`Ok(None)` on expiry).
+    fn recv_any_timeout(
+        &mut self,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        let req = self.post_recv(None, tag);
+        self.wait_deadline(req, timeout)
+    }
 
-    /// Blocking receive that surfaces unrecoverable-loss conditions as a
-    /// typed [`RecvError`] instead of panicking: `src = None` matches any
-    /// source, `timeout = None` blocks until a message (or error)
-    /// arrives. Backends without a repair loop can never fail; the
-    /// default implementation delegates to the panicking primitives
-    /// (which, on such backends, never panic).
+    /// Blocking receive behind one optional-source, optional-timeout
+    /// entry point (kept for compatibility; new code can post and wait
+    /// directly).
     fn recv_checked(
         &mut self,
         src: Option<usize>,
         tag: Tag,
         timeout: Option<Duration>,
     ) -> Result<Option<Message>, RecvError> {
-        Ok(match (src, timeout) {
-            (Some(s), None) => Some(self.recv_match(s, tag)),
-            (Some(s), Some(t)) => self.recv_match_timeout(s, tag, t),
-            (None, None) => Some(self.recv_any(tag)),
-            (None, Some(t)) => self.recv_any_timeout(tag, t),
-        })
+        let req = self.post_recv(src, tag);
+        match timeout {
+            None => self.wait(req).map(Some),
+            Some(t) => self.wait_deadline(req, t),
+        }
     }
 
     /// Model `d` of local computation (advances virtual time in the
@@ -300,8 +480,8 @@ pub trait Comm {
     /// Convenience: receive and return just the payload, as an owned
     /// `Vec` (free when the message owns its buffer, one copy when it is
     /// a zero-copy slice of a larger receive buffer).
-    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        self.recv_match(src, tag).into_vec()
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, RecvError> {
+        self.recv_match(src, tag).map(Message::into_vec)
     }
 }
 
@@ -345,7 +525,11 @@ impl Inbox {
     /// Feed one wire datagram (already in header-view/payload-view form —
     /// zero-copy). Malformed datagrams are rejected — an unreliable
     /// network may hand us anything.
-    pub fn ingest_wire(&mut self, datagram: &Datagram, via_multicast: bool) -> Result<(), WireError> {
+    pub fn ingest_wire(
+        &mut self,
+        datagram: &Datagram,
+        via_multicast: bool,
+    ) -> Result<(), WireError> {
         match self.assembler.feed(datagram) {
             Ok(Some(m)) => {
                 self.ingest_message(m, via_multicast);
@@ -427,9 +611,10 @@ impl Inbox {
     /// any (`src = None` matches any source) — the signal that the
     /// awaited traffic is permanently unrecoverable.
     pub fn take_unavail(&mut self, src: Option<usize>, tag: Tag) -> Option<Message> {
-        let pos = self.unavail.iter().position(|m| {
-            m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true)
-        })?;
+        let pos = self
+            .unavail
+            .iter()
+            .position(|m| m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true))?;
         self.unavail.remove(pos)
     }
 
@@ -484,12 +669,21 @@ impl Inbox {
         out
     }
 
+    /// Put a message back at the *front* of the matching queue — the
+    /// cancel path of a posted receive that had already claimed its
+    /// match. Front, not back: the message was the oldest match, and the
+    /// next request with the same matcher must see it first.
+    pub fn requeue_front(&mut self, m: Message) {
+        self.unmatched.push_front(m);
+    }
+
     /// Take the oldest buffered message matching `(src, tag)`; `src =
     /// None` matches any source.
     pub fn take_match(&mut self, src: Option<usize>, tag: Tag) -> Option<Message> {
-        let pos = self.unmatched.iter().position(|m| {
-            m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true)
-        })?;
+        let pos = self
+            .unmatched
+            .iter()
+            .position(|m| m.tag == tag && src.map(|s| m.src_rank == s as u32).unwrap_or(true))?;
         self.unmatched.remove(pos)
     }
 
@@ -530,6 +724,14 @@ pub trait RepairPump {
     /// `core`'s inbox, or `until` passes (`None`: wait indefinitely).
     /// Malformed datagrams are ingested-and-ignored, not errors.
     fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Nanos>);
+
+    /// Nonblocking pump: ingest one datagram into `core` *if one is
+    /// already available*, without waiting. Returns whether a datagram
+    /// was ingested. The progress engine drains with this in
+    /// [`Comm::progress`]/[`Comm::test`]; blocking waits use
+    /// [`RepairPump::pump_one`] so a backend's time model (virtual time
+    /// in the simulator) advances while the caller is parked.
+    fn pump_ready(&mut self, core: &mut EndpointCore) -> bool;
 
     /// Drain-phase pump: wait up to `quiet` for one datagram, ingesting
     /// it into `core`. Returns `false` when the wait elapsed silently
@@ -641,12 +843,27 @@ impl SrmState {
     }
 }
 
+/// One posted receive in the endpoint's request table: its matcher, its
+/// private NACK solicitation deadline, and — once the progress engine
+/// completes it — the parked result awaiting a claim.
+#[derive(Debug)]
+struct PendingRecv {
+    id: u64,
+    src: Option<usize>,
+    tag: Tag,
+    /// Next solicitation deadline (`None` with repair off).
+    solicit_at: Option<Nanos>,
+    /// Parked completion; claimed by `test`/`wait`/`wait_any`.
+    done: Option<Result<Message, RecvError>>,
+}
+
 /// The backend-independent half of a transport endpoint: sequence
-/// numbers, wire encoding, the receive inbox, the retransmit ring, and —
-/// written exactly once for all backends — the NACK service / solicit /
-/// drain policy of `docs/PROTOCOL.md` (including the SRM
-/// backoff/suppression/multicast-repair scale-out of §8), driven through
-/// a [`RepairPump`].
+/// numbers, wire encoding, the receive inbox, the retransmit ring, the
+/// posted-receive request table, and — written exactly once for all
+/// backends — the **progress engine** driving the NACK service / solicit
+/// / drain policy of `docs/PROTOCOL.md` (including the SRM
+/// backoff/suppression/multicast-repair scale-out of §8) for *every*
+/// outstanding request, through a [`RepairPump`].
 #[derive(Debug)]
 pub struct EndpointCore {
     context: u32,
@@ -661,6 +878,9 @@ pub struct EndpointCore {
     rstats: RepairStats,
     srm: Option<SrmState>,
     next_seq: u64,
+    /// Posted receives, in post order (the matching priority).
+    pending: Vec<PendingRecv>,
+    next_req: u64,
 }
 
 impl EndpointCore {
@@ -689,6 +909,8 @@ impl EndpointCore {
                 .filter(|r| r.srm)
                 .map(|r| SrmState::new(r.seed, rank, context)),
             next_seq: 0,
+            pending: Vec::new(),
+            next_req: 0,
         }
     }
 
@@ -746,6 +968,54 @@ impl EndpointCore {
     /// Repair counters of this endpoint so far.
     pub fn repair_stats(&self) -> RepairStats {
         self.rstats
+    }
+
+    /// The shared unicast send path: allocate a sequence number, encode,
+    /// record for retransmission when armed, hand to the pump. Every
+    /// backend's [`Comm::send_kind`] is this.
+    pub fn send_message<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        dst: usize,
+        tag: Tag,
+        kind: MsgKind,
+        payload: &Bytes,
+    ) -> u64 {
+        assert!(dst < self.n, "rank {dst} out of range");
+        let seq = self.fresh_seq();
+        let dgs = self.encode(tag, kind, payload, seq);
+        self.record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
+        io.send_encoded(dst, &dgs);
+        seq
+    }
+
+    /// The shared multicast send path (see [`EndpointCore::send_message`]).
+    pub fn mcast_message<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        tag: Tag,
+        kind: MsgKind,
+        payload: &Bytes,
+    ) -> u64 {
+        let seq = self.fresh_seq();
+        let dgs = self.encode(tag, kind, payload, seq);
+        self.record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
+        io.send_encoded_mcast(&dgs);
+        seq
+    }
+
+    /// Re-multicast under an explicit (previously used) sequence number —
+    /// already recorded when first sent, so no re-record.
+    pub fn mcast_resend_message<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        tag: Tag,
+        kind: MsgKind,
+        payload: &Bytes,
+        seq: u64,
+    ) {
+        let dgs = self.encode(tag, kind, payload, seq);
+        io.send_encoded_mcast(&dgs);
     }
 
     /// Answer every queued NACK out of the retransmit buffer. With SRM
@@ -962,32 +1232,6 @@ impl EndpointCore {
         self.solicit_deadline(io)
     }
 
-    /// One blocking-receive step against an absolute solicitation
-    /// deadline. Ingests whatever arrives first; once `repair_at` passes,
-    /// solicits (or suppresses) and returns the next deadline. The
-    /// deadline is absolute — not a quiet period — so a NACK storm from
-    /// stuck peers cannot starve this rank's own repair requests by
-    /// keeping its socket busy.
-    fn pump_repair<P: RepairPump>(
-        &mut self,
-        io: &mut P,
-        src: Option<usize>,
-        tag: Tag,
-        repair_at: Option<Nanos>,
-    ) -> Option<Nanos> {
-        if self.repair.is_none() {
-            io.pump_one(self, None);
-            return None;
-        };
-        let at = repair_at.expect("repair on implies a solicitation deadline");
-        let now = io.now();
-        if now >= at {
-            return self.solicit_step(io, now, src, tag);
-        }
-        io.pump_one(self, Some(at));
-        Some(at)
-    }
-
     /// Turn a matching `Unavail` advertisement into the typed error —
     /// only for *directed* waits. An advertisement names one responder's
     /// eviction; an any-source wait could still be satisfied by another
@@ -1008,28 +1252,294 @@ impl EndpointCore {
         })
     }
 
-    /// The blocking receive loop (any backend): service NACKs, match,
-    /// otherwise pump with repair solicitation. Returns
-    /// [`RecvError::Unavailable`] when the awaited sender advertises
-    /// that the traffic was evicted from its retransmit ring —
-    /// unrecoverable, so blocking on would livelock.
+    // ------------------------------------------------------------------
+    // The progress engine: posted receives, matching, per-request repair.
+    // ------------------------------------------------------------------
+
+    /// Post a receive into the request table, arming its solicitation
+    /// deadline when repair is on. Never blocks.
+    pub fn post_recv<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> RecvReq {
+        let id = self.next_req;
+        self.next_req += 1;
+        let solicit_at = self.solicit_deadline(io);
+        self.pending.push(PendingRecv {
+            id,
+            src,
+            tag,
+            solicit_at,
+            done: None,
+        });
+        RecvReq(id)
+    }
+
+    /// One pass of the engine over everything already in hand: service
+    /// queued NACKs, then for every incomplete posted receive try to
+    /// complete it from the inbox (matched message or `Unavail`
+    /// advertisement) and fire its solicitation deadline if expired.
+    /// Does **not** pump the socket — callers decide whether to drain
+    /// nonblockingly ([`EndpointCore::progress`]) or park
+    /// ([`EndpointCore::wait_req`] & co.).
+    fn advance<P: RepairPump>(&mut self, io: &mut P) {
+        self.service_nacks(io);
+        for i in 0..self.pending.len() {
+            if self.pending[i].done.is_some() {
+                continue;
+            }
+            let (src, tag) = (self.pending[i].src, self.pending[i].tag);
+            if let Some(m) = self.inbox.take_match(src, tag) {
+                self.pending[i].done = Some(Ok(m));
+                continue;
+            }
+            if let Some(e) = self.take_unavailable(src, tag) {
+                self.pending[i].done = Some(Err(e));
+                continue;
+            }
+            if let Some(at) = self.pending[i].solicit_at {
+                let now = io.now();
+                if now >= at {
+                    // Deadline-based, per request: a busy socket cannot
+                    // starve any posted receive's solicitation, and a
+                    // wait on one request advances the repair state of
+                    // every other.
+                    let next = self.solicit_step(io, now, src, tag);
+                    self.pending[i].solicit_at = next;
+                    // One solicit serves every posted receive with the
+                    // same matcher — the NACK's missing-seq ranges are
+                    // computed from the shared inbox, so duplicates
+                    // would be byte-identical. Re-arm them all to the
+                    // fresh deadline; otherwise a ring posting n-1
+                    // same-matcher receives would multicast n-1 copies
+                    // of the same NACK per timeout window (the storm
+                    // the SRM scale-out exists to prevent).
+                    for j in 0..self.pending.len() {
+                        if j != i
+                            && self.pending[j].done.is_none()
+                            && self.pending[j].src == src
+                            && self.pending[j].tag == tag
+                        {
+                            self.pending[j].solicit_at = next;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Earliest live solicitation deadline across all incomplete posted
+    /// receives — what a blocking pump may park until.
+    fn earliest_solicit(&self) -> Option<Nanos> {
+        self.pending
+            .iter()
+            .filter(|p| p.done.is_none())
+            .filter_map(|p| p.solicit_at)
+            .min()
+    }
+
+    /// Claim a parked completion, retiring the handle. `None` while
+    /// pending.
+    fn claim(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        let i = self.pending.iter().position(|p| p.id == req.0)?;
+        if self.pending[i].done.is_some() {
+            // Order-preserving removal: post order is the matching
+            // priority of the survivors.
+            self.pending.remove(i).done
+        } else {
+            None
+        }
+    }
+
+    fn expect_posted(&self, req: RecvReq) {
+        assert!(
+            self.pending.iter().any(|p| p.id == req.0),
+            "receive request {} is not posted on this endpoint \
+             (already completed, cancelled, or foreign)",
+            req.0
+        );
+    }
+
+    /// Nonblocking progress pass: drain every datagram already available,
+    /// then advance the request table.
+    pub fn progress<P: RepairPump>(&mut self, io: &mut P) {
+        while io.pump_ready(self) {}
+        self.advance(io);
+    }
+
+    /// Claim-only completion check: [`EndpointCore::test_req`] minus the
+    /// progress pass. For pollers that already ran
+    /// [`EndpointCore::progress`] this turn and are checking many
+    /// requests — one engine pass, then O(1)-ish claims, instead of a
+    /// socket drain per request (on the simulator every drain is a
+    /// driver round-trip).
+    pub fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.expect_posted(req);
+        self.claim(req)
+    }
+
+    /// Blocking progress step: park until one datagram arrives or the
+    /// earliest solicitation deadline fires, then advance the table —
+    /// **unless** some posted receive already holds an unclaimed
+    /// completion, in which case return immediately. The early return is
+    /// what makes round-robin polling of several composed operations
+    /// safe: one operation's nonblocking poll may drain the socket and
+    /// park another operation's *last* message in its slot, and a park
+    /// here would then wait for a datagram that will never come.
+    pub fn progress_block<P: RepairPump>(&mut self, io: &mut P) {
+        self.advance(io);
+        if self.pending.iter().any(|p| p.done.is_some()) {
+            return;
+        }
+        let until = self.earliest_solicit();
+        io.pump_one(self, until);
+        self.advance(io);
+    }
+
+    /// Block until at least one of `reqs` holds a parked completion,
+    /// without claiming anything — the set-scoped wait a composed
+    /// operation parks on while *other* requests on the endpoint may
+    /// already be complete-but-unclaimed (a plain
+    /// [`EndpointCore::progress_block`] would return immediately for
+    /// those and the caller would spin). No-op on an empty set.
+    pub fn wait_ready<P: RepairPump>(&mut self, io: &mut P, reqs: &[RecvReq]) {
+        if reqs.is_empty() {
+            return;
+        }
+        for r in reqs {
+            self.expect_posted(*r);
+        }
+        loop {
+            self.advance(io);
+            let ready = |id: u64| self.pending.iter().any(|p| p.id == id && p.done.is_some());
+            if reqs.iter().any(|r| ready(r.0)) {
+                return;
+            }
+            let until = self.earliest_solicit();
+            io.pump_one(self, until);
+        }
+    }
+
+    /// Nonblocking completion check; claims and retires on completion.
+    pub fn test_req<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        req: RecvReq,
+    ) -> Option<Result<Message, RecvError>> {
+        self.expect_posted(req);
+        self.progress(io);
+        self.claim(req)
+    }
+
+    /// Block until `req` completes; the single wait loop every blocking
+    /// receive convenience goes through. Identical to the pre-request
+    /// blocking loop when `req` is the only posted receive; with more
+    /// outstanding, every one of them keeps soliciting while this one is
+    /// waited on.
+    pub fn wait_req<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        req: RecvReq,
+    ) -> Result<Message, RecvError> {
+        self.expect_posted(req);
+        loop {
+            self.advance(io);
+            if let Some(r) = self.claim(req) {
+                return r;
+            }
+            let until = self.earliest_solicit();
+            io.pump_one(self, until);
+        }
+    }
+
+    /// [`EndpointCore::wait_req`] against a deadline — the one timeout
+    /// implementation shared by every backend (`Ok(None)`: timed out,
+    /// request cancelled).
+    pub fn wait_req_deadline<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        self.expect_posted(req);
+        let deadline = io.now() + dur_nanos(timeout);
+        loop {
+            self.advance(io);
+            if let Some(r) = self.claim(req) {
+                return r.map(Some);
+            }
+            let now = io.now();
+            if now >= deadline {
+                self.cancel_req(req);
+                return Ok(None);
+            }
+            let until = self
+                .earliest_solicit()
+                .map_or(deadline, |at| at.min(deadline));
+            io.pump_one(self, Some(until));
+        }
+    }
+
+    /// Block until one of `reqs` completes; claim it and return its index
+    /// with the result.
+    pub fn wait_any_req<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        reqs: &[RecvReq],
+    ) -> Result<(usize, Message), RecvError> {
+        assert!(
+            !reqs.is_empty(),
+            "wait_any on no requests would block forever"
+        );
+        for r in reqs {
+            self.expect_posted(*r);
+        }
+        loop {
+            self.advance(io);
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some(res) = self.claim(*r) {
+                    return res.map(|m| (i, m));
+                }
+            }
+            let until = self.earliest_solicit();
+            io.pump_one(self, until);
+        }
+    }
+
+    /// Abandon a posted receive; an already-matched message is requeued
+    /// so no data is lost (a parked error is discarded — cancelling
+    /// declares the caller no longer cares). No-op on a retired handle.
+    pub fn cancel_req(&mut self, req: RecvReq) {
+        if let Some(i) = self.pending.iter().position(|p| p.id == req.0) {
+            if let Some(Ok(m)) = self.pending.remove(i).done {
+                self.inbox.requeue_front(m);
+            }
+        }
+    }
+
+    /// Posted receives not yet claimed (diagnostics; a steadily growing
+    /// value means requests are being leaked instead of waited or
+    /// cancelled).
+    pub fn outstanding_recvs(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking compatibility wrappers over the engine.
+    // ------------------------------------------------------------------
+
+    /// Post-and-wait in one call (the pre-request-API receive loop,
+    /// preserved for tests and simple endpoint drivers).
     pub fn recv_loop<P: RepairPump>(
         &mut self,
         io: &mut P,
         src: Option<usize>,
         tag: Tag,
     ) -> Result<Message, RecvError> {
-        let mut repair_at = self.solicit_deadline(io);
-        loop {
-            self.service_nacks(io);
-            if let Some(m) = self.inbox.take_match(src, tag) {
-                return Ok(m);
-            }
-            if let Some(e) = self.take_unavailable(src, tag) {
-                return Err(e);
-            }
-            repair_at = self.pump_repair(io, src, tag, repair_at);
-        }
+        let req = self.post_recv(io, src, tag);
+        self.wait_req(io, req)
     }
 
     /// [`EndpointCore::recv_loop`] with a deadline.
@@ -1040,53 +1550,16 @@ impl EndpointCore {
         tag: Tag,
         timeout: Duration,
     ) -> Result<Option<Message>, RecvError> {
-        let deadline = io.now() + dur_nanos(timeout);
-        let mut repair_at = self.solicit_deadline(io);
-        loop {
-            self.service_nacks(io);
-            if let Some(m) = self.inbox.take_match(src, tag) {
-                return Ok(Some(m));
-            }
-            if let Some(e) = self.take_unavailable(src, tag) {
-                return Err(e);
-            }
-            let now = io.now();
-            if now >= deadline {
-                return Ok(None);
-            }
-            match repair_at {
-                Some(at) if now >= at => {
-                    // Deadline-based: traffic cannot starve solicitation.
-                    repair_at = self.solicit_step(io, now, src, tag);
-                }
-                _ => {
-                    let until = repair_at.map_or(deadline, |at| at.min(deadline));
-                    io.pump_one(self, Some(until));
-                }
-            }
-        }
+        let req = self.post_recv(io, src, tag);
+        self.wait_req_deadline(io, req, timeout)
     }
 
-    /// [`EndpointCore::recv_loop`]/[`EndpointCore::recv_loop_timeout`]
-    /// behind one optional-timeout entry point — the body of every
-    /// backend's [`Comm::recv_checked`].
-    pub fn recv_loop_checked<P: RepairPump>(
-        &mut self,
-        io: &mut P,
-        src: Option<usize>,
-        tag: Tag,
-        timeout: Option<Duration>,
-    ) -> Result<Option<Message>, RecvError> {
-        match timeout {
-            None => self.recv_loop(io, src, tag).map(Some),
-            Some(t) => self.recv_loop_timeout(io, src, tag, t),
-        }
-    }
-
-    /// Unwrap a repair-loop receive result for the panicking [`Comm`]
-    /// conveniences: an unrecoverable loss inside a collective has no
-    /// sane continuation, so it aborts the rank loudly (instead of the
-    /// pre-`Unavail` behavior of re-soliciting forever).
+    /// Unwrap a receive result at a program boundary (examples, benches,
+    /// endpoint drivers) where an unrecoverable loss has no sane
+    /// continuation. The panic message carries the rank plus the error's
+    /// source rank, tag, and eviction floor. Library code — the [`Comm`]
+    /// trait and the collectives — never panics; it propagates the typed
+    /// [`RecvError`] instead.
     pub fn expect_recv<T>(&self, result: Result<T, RecvError>) -> T {
         result.unwrap_or_else(|e| panic!("unrecoverable loss at rank {}: {e}", self.rank))
     }
@@ -1231,10 +1704,7 @@ mod tests {
         // Small worlds keep the configured base.
         assert_eq!(sim.effective_drain_grace(4), sim.drain_grace);
         // n=16: 2 × 16 × (2+2) ms = 128 ms — the straggler-chain bound.
-        assert_eq!(
-            sim.effective_drain_grace(16),
-            Duration::from_millis(128)
-        );
+        assert_eq!(sim.effective_drain_grace(16), Duration::from_millis(128));
         // UDP at n=64 would be 2 × 64 × 80 ms = 10.24 s of wall-clock
         // teardown; the cap bounds it.
         let udp = RepairConfig::udp_default();
@@ -1311,7 +1781,177 @@ mod tests {
     #[test]
     fn ingest_datagram_rejects_garbage() {
         let mut inbox = Inbox::new(0, 9);
-        assert!(inbox.ingest_datagram(&Bytes::from(&[1u8, 2, 3][..])).is_err());
+        assert!(inbox
+            .ingest_datagram(&Bytes::from(&[1u8, 2, 3][..]))
+            .is_err());
         assert_eq!(inbox.backlog(), 0);
+    }
+
+    /// Minimal scripted pump for engine-level tests: a manual clock and a
+    /// queue of inbound datagrams; outbound traffic is only counted.
+    struct QueuePump {
+        now: Nanos,
+        inbound: VecDeque<Datagram>,
+        unicasts_out: usize,
+        mcasts_out: usize,
+    }
+
+    impl QueuePump {
+        fn new() -> Self {
+            QueuePump {
+                now: 0,
+                inbound: Default::default(),
+                unicasts_out: 0,
+                mcasts_out: 0,
+            }
+        }
+
+        fn queue_message(&mut self, src: u32, tag: Tag, seq: u64, payload: &[u8]) {
+            let shared = Bytes::copy_from_slice(payload);
+            for d in split_message(MsgKind::Data, 0, src, tag, seq, &shared, 60_000) {
+                self.inbound.push_back(d);
+            }
+        }
+    }
+
+    impl RepairPump for QueuePump {
+        fn now(&mut self) -> Nanos {
+            self.now
+        }
+
+        fn pump_one(&mut self, core: &mut EndpointCore, until: Option<Nanos>) {
+            if let Some(d) = self.inbound.pop_front() {
+                let _ = core.inbox.ingest_wire(&d, false);
+            } else if let Some(at) = until {
+                self.now = self.now.max(at);
+            } else {
+                panic!("blocking receive with nothing queued would hang");
+            }
+        }
+
+        fn pump_ready(&mut self, core: &mut EndpointCore) -> bool {
+            match self.inbound.pop_front() {
+                Some(d) => {
+                    let _ = core.inbox.ingest_wire(&d, false);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn pump_drain(&mut self, _core: &mut EndpointCore, _quiet: Duration) -> bool {
+            false
+        }
+
+        fn send_encoded(&mut self, _dst: usize, datagrams: &[Datagram]) {
+            self.unicasts_out += datagrams.len();
+        }
+
+        fn send_encoded_mcast(&mut self, datagrams: &[Datagram]) {
+            self.mcasts_out += datagrams.len();
+        }
+    }
+
+    #[test]
+    fn cancel_requeues_matched_message_for_next_request() {
+        let mut core = EndpointCore::new(0, 1, 2, 60_000, None);
+        let mut io = QueuePump::new();
+        let req = core.post_recv(&mut io, Some(0), 5);
+        io.queue_message(0, 5, 0, b"survivor");
+        // The progress pass matches the message into the request slot.
+        core.progress(&mut io);
+        core.cancel_req(req);
+        // The cancel must have requeued it: a fresh request claims it.
+        let again = core.post_recv(&mut io, Some(0), 5);
+        let got = core.test_req(&mut io, again).expect("requeued message");
+        assert_eq!(got.unwrap().payload, b"survivor");
+    }
+
+    #[test]
+    fn test_retires_the_handle() {
+        let mut core = EndpointCore::new(0, 1, 2, 60_000, None);
+        let mut io = QueuePump::new();
+        let req = core.post_recv(&mut io, Some(0), 5);
+        io.queue_message(0, 5, 0, b"x");
+        assert!(core.test_req(&mut io, req).is_some());
+        assert_eq!(core.outstanding_recvs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not posted")]
+    fn waiting_a_retired_handle_panics() {
+        let mut core = EndpointCore::new(0, 1, 2, 60_000, None);
+        let mut io = QueuePump::new();
+        let req = core.post_recv(&mut io, Some(0), 5);
+        io.queue_message(0, 5, 0, b"x");
+        assert!(core.test_req(&mut io, req).is_some());
+        let _ = core.test_req(&mut io, req); // second use: programming error
+    }
+
+    /// Regression (found by the overlapping-collectives kitchen sink):
+    /// `progress_block` must NOT park while a posted receive already
+    /// holds an unclaimed completion — a round-robin poller's other
+    /// operation may have drained the socket and parked this one's
+    /// *last* message, and no further datagram will ever arrive. The
+    /// scripted pump panics on a blocking pump with nothing queued, so
+    /// the old behaviour fails loudly here.
+    #[test]
+    fn progress_block_returns_instead_of_parking_over_claimable_work() {
+        let mut core = EndpointCore::new(0, 1, 2, 60_000, None);
+        let mut io = QueuePump::new();
+        let a = core.post_recv(&mut io, Some(0), 1);
+        let b = core.post_recv(&mut io, Some(0), 2);
+        io.queue_message(0, 1, 0, b"for-a");
+        io.queue_message(0, 2, 1, b"for-b");
+        // A nonblocking test of `b` drains the queue and parks BOTH
+        // completions; claiming `b` leaves `a` complete-but-unclaimed.
+        assert!(core.test_req(&mut io, b).is_some());
+        core.progress_block(&mut io); // must return, not pump
+        assert_eq!(core.claim(a).unwrap().unwrap().payload, b"for-a");
+    }
+
+    /// The dual contract: `wait_ready` on a specific set must keep
+    /// pumping even while an unrelated request sits complete-but-
+    /// unclaimed (a `progress_block` loop would spin on it).
+    #[test]
+    fn wait_ready_pumps_past_unrelated_parked_completions() {
+        let mut core = EndpointCore::new(0, 1, 2, 60_000, None);
+        let mut io = QueuePump::new();
+        let unrelated = core.post_recv(&mut io, Some(0), 1);
+        let target = core.post_recv(&mut io, Some(0), 2);
+        io.queue_message(0, 1, 0, b"parked");
+        core.progress(&mut io); // parks `unrelated`, leaves it unclaimed
+        io.queue_message(0, 2, 1, b"wanted");
+        core.wait_ready(&mut io, &[target]); // must pump to `target`
+        assert_eq!(core.claim(target).unwrap().unwrap().payload, b"wanted");
+        core.cancel_req(unrelated);
+    }
+
+    /// The tentpole property at unit level: a wait on one request keeps
+    /// the solicitation deadlines of *every other* posted request firing
+    /// — repair is not head-of-line-blocked on the request being waited.
+    #[test]
+    fn waiting_one_request_solicits_for_all_posted() {
+        let mut rc = RepairConfig::sim_default().without_srm();
+        rc.backoff = Duration::ZERO;
+        let mut core = EndpointCore::new(0, 1, 4, 60_000, Some(rc));
+        let mut io = QueuePump::new();
+        // Three directed receives from three different peers, none of
+        // which will ever arrive.
+        let _a = core.post_recv(&mut io, Some(0), 10);
+        let _b = core.post_recv(&mut io, Some(2), 11);
+        let c = core.post_recv(&mut io, Some(3), 12);
+        // Park on the *last* one long enough for two solicitation rounds.
+        let waited = core
+            .wait_req_deadline(&mut io, c, rc.nack_timeout * 2 + Duration::from_millis(1))
+            .expect("nothing unavailable here");
+        assert!(waited.is_none(), "nothing ever arrives");
+        let s = core.repair_stats();
+        assert!(
+            s.nacks_sent >= 6,
+            "each of the 3 posted receives must have solicited at least \
+             twice while only one was being waited on (got {})",
+            s.nacks_sent
+        );
     }
 }

@@ -1,8 +1,11 @@
 //! # mmpi-transport — communication backends for `mcast-mpi`
 //!
-//! Defines the blocking, tag-matching [`Comm`] interface the collective
-//! algorithms in `mmpi-core` are written against, with three
-//! interchangeable implementations:
+//! Defines the request-based, tag-matching [`Comm`] interface the
+//! collective algorithms in `mmpi-core` are written against — posted
+//! receives ([`Comm::post_recv`]) driven by a shared progress engine
+//! ([`Comm::progress`]/[`Comm::test`]/[`Comm::wait`]/[`Comm::wait_any`]),
+//! with blocking receives kept as thin post-and-wait conveniences — and
+//! three interchangeable implementations:
 //!
 //! | backend | fabric | use |
 //! |---|---|---|
@@ -29,7 +32,7 @@ pub mod sim;
 pub mod udp;
 
 pub use comm::{
-    Comm, EndpointCore, Inbox, Nanos, RecvError, RepairConfig, RepairPump, Tag,
+    Comm, EndpointCore, Inbox, Nanos, RecvError, RecvReq, RepairConfig, RepairPump, SendReq, Tag,
     FIRE_AND_FORGET_TAG,
 };
 pub use mem::{run_mem_world, MemComm};

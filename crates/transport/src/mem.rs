@@ -9,24 +9,108 @@
 //! The channels carry [`mmpi_wire::Datagram`] handles: a multicast to
 //! `n - 1` peers splits the message once and fans out reference-counted
 //! views — every receiver reads the sender's single encode buffer.
+//!
+//! Like the other backends, the endpoint is an [`EndpointCore`] (request
+//! table, progress engine, wire bookkeeping) over a thin [`RepairPump`]
+//! of channel primitives — mem simply never arms the repair loop, since
+//! its fabric is lossless by construction.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use mmpi_wire::{split_message, Bytes, Datagram, Message, MsgKind};
+use mmpi_wire::{Bytes, Datagram, Message, MsgKind};
 
-use crate::comm::{Comm, Inbox, Tag};
+use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairPump, Tag};
 
-/// One rank's endpoint of an in-memory world.
-pub struct MemComm {
+/// The channel half of an in-memory endpoint. Implements [`RepairPump`]
+/// over wall-clock time (only timeouts ever read the clock — mem has no
+/// time model).
+struct MemIo {
     rank: usize,
-    n: usize,
-    context: u32,
-    next_seq: u64,
-    inbox: Inbox,
     /// `senders[i]` delivers datagrams to rank `i`.
     senders: Vec<Sender<Datagram>>,
     rx: Receiver<Datagram>,
+    /// Epoch of the timeout clock (wall nanos since endpoint creation).
+    epoch: Instant,
+}
+
+impl MemIo {
+    fn transmit_to(&self, dst: usize, dgs: &[Datagram]) {
+        for d in dgs {
+            // A dropped receiver just means that rank exited; UDP
+            // semantics say the datagram silently disappears. Cloning a
+            // datagram clones two `Bytes` handles, not its bytes.
+            let _ = self.senders[dst].send(d.clone());
+        }
+    }
+}
+
+impl RepairPump for MemIo {
+    fn now(&mut self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn pump_one(&mut self, core: &mut EndpointCore, until: Option<u64>) {
+        match until {
+            None => match self.rx.recv() {
+                Ok(d) => {
+                    let _ = core.inbox.ingest_wire(&d, false);
+                }
+                Err(_) => panic!("all senders disconnected: lone rank blocked in recv"),
+            },
+            Some(at) => {
+                let now = self.epoch.elapsed().as_nanos() as u64;
+                if at > now {
+                    match self.rx.recv_timeout(Duration::from_nanos(at - now)) {
+                        Ok(d) => {
+                            let _ = core.inbox.ingest_wire(&d, false);
+                        }
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn pump_ready(&mut self, core: &mut EndpointCore) -> bool {
+        match self.rx.try_recv() {
+            Ok(d) => {
+                let _ = core.inbox.ingest_wire(&d, false);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn pump_drain(&mut self, core: &mut EndpointCore, quiet: Duration) -> bool {
+        // Mem never arms repair, so this is never reached in practice;
+        // implemented anyway for trait completeness.
+        match self.rx.recv_timeout(quiet) {
+            Ok(d) => {
+                let _ = core.inbox.ingest_wire(&d, false);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn send_encoded(&mut self, dst: usize, datagrams: &[Datagram]) {
+        self.transmit_to(dst, datagrams);
+    }
+
+    fn send_encoded_mcast(&mut self, datagrams: &[Datagram]) {
+        for dst in 0..self.senders.len() {
+            if dst != self.rank {
+                self.transmit_to(dst, datagrams);
+            }
+        }
+    }
+}
+
+/// One rank's endpoint of an in-memory world.
+pub struct MemComm {
+    io: MemIo,
+    core: EndpointCore,
 }
 
 impl MemComm {
@@ -38,145 +122,87 @@ impl MemComm {
             .into_iter()
             .enumerate()
             .map(|(rank, rx)| MemComm {
-                rank,
-                n,
-                context,
-                next_seq: 0,
-                inbox: Inbox::new(context, rank as u32),
-                senders: senders.clone(),
-                rx,
+                io: MemIo {
+                    rank,
+                    senders: senders.clone(),
+                    rx,
+                    epoch: Instant::now(),
+                },
+                core: EndpointCore::new(context, rank, n, mmpi_wire::DEFAULT_MAX_CHUNK, None),
             })
             .collect()
-    }
-
-    fn fresh_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-
-    fn encode(&self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) -> Vec<Datagram> {
-        split_message(
-            kind,
-            self.context,
-            self.rank as u32,
-            tag,
-            seq,
-            payload,
-            mmpi_wire::DEFAULT_MAX_CHUNK,
-        )
-    }
-
-    fn transmit_to(&self, dst: usize, dgs: &[Datagram]) {
-        for d in dgs {
-            // A dropped receiver just means that rank exited; UDP
-            // semantics say the datagram silently disappears. Cloning a
-            // datagram clones two `Bytes` handles, not its bytes.
-            let _ = self.senders[dst].send(d.clone());
-        }
-    }
-
-    fn pump_one(&mut self, timeout: Option<Duration>) -> bool {
-        let dg = match timeout {
-            None => match self.rx.recv() {
-                Ok(d) => d,
-                Err(_) => panic!("all senders disconnected: lone rank blocked in recv"),
-            },
-            Some(t) => match self.rx.recv_timeout(t) {
-                Ok(d) => d,
-                Err(RecvTimeoutError::Timeout) => return false,
-                Err(RecvTimeoutError::Disconnected) => return false,
-            },
-        };
-        let _ = self.inbox.ingest_wire(&dg, false);
-        true
     }
 }
 
 impl Comm for MemComm {
     fn rank(&self) -> usize {
-        self.rank
+        self.core.rank()
     }
 
     fn size(&self) -> usize {
-        self.n
+        self.core.size()
     }
 
     fn context(&self) -> u32 {
-        self.context
+        self.core.context()
     }
 
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        assert!(dst < self.n, "rank {dst} out of range");
-        let seq = self.fresh_seq();
-        let dgs = self.encode(tag, kind, payload, seq);
-        self.transmit_to(dst, &dgs);
-        seq
+        self.core
+            .send_message(&mut self.io, dst, tag, kind, payload)
     }
 
     fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        let seq = self.fresh_seq();
-        // Split once; every peer receives views of the same buffers.
-        let dgs = self.encode(tag, kind, payload, seq);
-        for dst in 0..self.n {
-            if dst != self.rank {
-                self.transmit_to(dst, &dgs);
-            }
-        }
-        seq
+        self.core.mcast_message(&mut self.io, tag, kind, payload)
     }
 
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
-        let dgs = self.encode(tag, kind, payload, seq);
-        for dst in 0..self.n {
-            if dst != self.rank {
-                self.transmit_to(dst, &dgs);
-            }
-        }
+        self.core
+            .mcast_resend_message(&mut self.io, tag, kind, payload, seq);
     }
 
-    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        loop {
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return m;
-            }
-            self.pump_one(None);
-        }
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq {
+        self.core.post_recv(&mut self.io, src, tag)
     }
 
-    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if let Some(m) = self.inbox.take_match(Some(src), tag) {
-                return Some(m);
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
-                return self.inbox.take_match(Some(src), tag);
-            }
-        }
+    fn progress(&mut self) {
+        self.core.progress(&mut self.io);
     }
 
-    fn recv_any(&mut self, tag: Tag) -> Message {
-        loop {
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return m;
-            }
-            self.pump_one(None);
-        }
+    fn progress_block(&mut self) {
+        self.core.progress_block(&mut self.io);
     }
 
-    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if let Some(m) = self.inbox.take_match(None, tag) {
-                return Some(m);
-            }
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() || !self.pump_one(Some(remaining)) {
-                return self.inbox.take_match(None, tag);
-            }
-        }
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_req(&mut self.io, req)
+    }
+
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_claimed(req)
+    }
+
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError> {
+        self.core.wait_req(&mut self.io, req)
+    }
+
+    fn wait_deadline(
+        &mut self,
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        self.core.wait_req_deadline(&mut self.io, req, timeout)
+    }
+
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError> {
+        self.core.wait_any_req(&mut self.io, reqs)
+    }
+
+    fn wait_ready(&mut self, reqs: &[RecvReq]) {
+        self.core.wait_ready(&mut self.io, reqs);
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.core.cancel_req(req);
     }
 
     fn compute(&mut self, _d: Duration) {
@@ -214,9 +240,9 @@ mod tests {
         let out = run_mem_world(2, 0, |mut c| {
             if c.rank() == 0 {
                 c.send(1, 1, b"ping");
-                c.recv(1, 2)
+                c.recv(1, 2).unwrap()
             } else {
-                let m = c.recv(0, 1);
+                let m = c.recv(0, 1).unwrap();
                 assert_eq!(m, b"ping");
                 c.send(0, 2, b"pong");
                 m
@@ -232,7 +258,7 @@ mod tests {
                 c.mcast(9, b"hello");
                 b"hello".to_vec()
             } else {
-                c.recv(0, 9)
+                c.recv(0, 9).unwrap()
             }
         });
         assert!(out.iter().all(|o| o == b"hello"));
@@ -250,7 +276,7 @@ mod tests {
                 c.mcast_kind(9, MsgKind::Data, &payload);
                 Vec::new()
             } else {
-                c.recv(0, 9)
+                c.recv(0, 9).unwrap()
             }
         });
         assert!(out[1..].iter().all(|o| *o == expect));
@@ -263,7 +289,9 @@ mod tests {
                 // Never send.
                 true
             } else {
-                c.recv_match_timeout(0, 1, Duration::from_millis(20)).is_none()
+                c.recv_match_timeout(0, 1, Duration::from_millis(20))
+                    .unwrap()
+                    .is_none()
             }
         });
         assert!(out[1]);
@@ -281,12 +309,13 @@ mod tests {
                 c.send(1, 4, b"done");
                 0
             } else {
-                c.recv(0, 3);
-                c.recv(0, 4);
+                c.recv(0, 3).unwrap();
+                c.recv(0, 4).unwrap();
                 // Only the tag-3 original should have matched; duplicates
                 // are suppressed, so nothing else with tag 3 is pending.
                 usize::from(
                     c.recv_match_timeout(0, 3, Duration::from_millis(10))
+                        .unwrap()
                         .is_some(),
                 )
             }
@@ -303,7 +332,7 @@ mod tests {
                 c.send(1, 1, &payload);
                 Vec::new()
             } else {
-                c.recv(0, 1)
+                c.recv(0, 1).unwrap()
             }
         });
         assert_eq!(out[1], expect);
@@ -318,11 +347,102 @@ mod tests {
                 Vec::new()
             } else {
                 // Receive in reverse tag order.
-                let b = c.recv(0, 20);
-                let a = c.recv(0, 10);
+                let b = c.recv(0, 20).unwrap();
+                let a = c.recv(0, 10).unwrap();
                 [a, b].concat()
             }
         });
         assert_eq!(out[1], b"firstsecond");
+    }
+
+    #[test]
+    fn posted_requests_complete_in_post_order() {
+        // Two receives posted for the same matcher: messages claim them
+        // FIFO both ways.
+        let out = run_mem_world(2, 0, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 7, b"first");
+                c.send(1, 7, b"second");
+                Vec::new()
+            } else {
+                let a = c.post_recv(Some(0), 7);
+                let b = c.post_recv(Some(0), 7);
+                // Wait the *later* one first: it must get the *second*
+                // message (post order is the matching priority).
+                let mb = c.wait(b).unwrap();
+                let ma = c.wait(a).unwrap();
+                assert_eq!(ma.payload, b"first");
+                assert_eq!(mb.payload, b"second");
+                ma.into_vec()
+            }
+        });
+        assert_eq!(out[1], b"first");
+    }
+
+    #[test]
+    fn wait_any_returns_whichever_completes() {
+        let out = run_mem_world(3, 0, |mut c| {
+            match c.rank() {
+                0 => {
+                    // Only rank 0 sends; rank 2's wait_any must complete
+                    // via the rank-0 request while the rank-1 request
+                    // stays pending (and is then cancelled).
+                    c.send(2, 5, b"from-zero");
+                    0
+                }
+                1 => 0,
+                _ => {
+                    let r0 = c.post_recv(Some(0), 5);
+                    let r1 = c.post_recv(Some(1), 5);
+                    let (idx, m) = c.wait_any(&[r0, r1]).unwrap();
+                    assert_eq!(idx, 0);
+                    assert_eq!(m.payload, b"from-zero");
+                    c.cancel_recv(r1);
+                    idx
+                }
+            }
+        });
+        assert_eq!(out[2], 0);
+    }
+
+    #[test]
+    fn test_claims_and_retires() {
+        let out = run_mem_world(2, 0, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 3, b"x");
+                true
+            } else {
+                let req = c.post_recv(Some(0), 3);
+                // Poll until the progress engine completes it.
+                loop {
+                    if let Some(r) = c.test(req) {
+                        assert_eq!(r.unwrap().payload, b"x");
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cancelled_request_does_not_steal_later_traffic() {
+        let out = run_mem_world(2, 0, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 9, b"payload");
+                true
+            } else {
+                // Cancel an unfulfilled posted receive, then receive the
+                // same traffic through a fresh request: nothing is lost.
+                let stale = c.post_recv(Some(0), 9);
+                c.cancel_recv(stale);
+                let m = c.recv_match(0, 9).unwrap();
+                assert_eq!(m.payload, b"payload");
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
     }
 }

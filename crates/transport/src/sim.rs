@@ -32,9 +32,9 @@ use mmpi_netsim::process::SimProcess;
 use mmpi_netsim::stats::NetStats;
 use mmpi_netsim::time::SimDuration;
 use mmpi_netsim::{SharedPayload, SimError, SimTime};
-use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats, SendDst};
+use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats};
 
-use crate::comm::{Comm, EndpointCore, RepairConfig, RepairPump, Tag};
+use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, Tag};
 
 /// Thread-safe accumulator the ranks of one run flush their
 /// [`RepairStats`] into (each rank adds its totals when its endpoint
@@ -175,8 +175,12 @@ impl SimIo {
 
     fn send_mcast(&mut self, dgs: &[Datagram]) {
         for d in dgs {
-            self.proc
-                .send(self.socket, DatagramDst::Multicast(self.group), self.port, segments(d));
+            self.proc.send(
+                self.socket,
+                DatagramDst::Multicast(self.group),
+                self.port,
+                segments(d),
+            );
         }
     }
 }
@@ -201,6 +205,22 @@ impl RepairPump for SimIo {
                     }
                 }
             }
+        }
+    }
+
+    fn pump_ready(&mut self, core: &mut EndpointCore) -> bool {
+        // A zero-duration receive: the driver completes it immediately
+        // from the socket buffer when a datagram is queued, and otherwise
+        // answers the zero timer without advancing this rank's clock.
+        match self
+            .proc
+            .recv_timeout(self.socket, SimDuration::from_nanos(0))
+        {
+            Some(dg) => {
+                Self::ingest(core, &dg);
+                true
+            }
+            None => false,
         }
     }
 
@@ -302,59 +322,61 @@ impl Comm for SimComm {
     }
 
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        assert!(dst < self.core.size(), "rank {dst} out of range");
-        let seq = self.core.fresh_seq();
-        let dgs = self.core.encode(tag, kind, payload, seq);
         self.core
-            .record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
-        self.io.send_encoded(dst, &dgs);
-        seq
+            .send_message(&mut self.io, dst, tag, kind, payload)
     }
 
     fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        let seq = self.core.fresh_seq();
-        let dgs = self.core.encode(tag, kind, payload, seq);
-        self.core
-            .record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
-        self.io.send_mcast(&dgs);
-        seq
+        self.core.mcast_message(&mut self.io, tag, kind, payload)
     }
 
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
-        // Already recorded under this seq when first multicast.
-        let dgs = self.core.encode(tag, kind, payload, seq);
-        self.io.send_mcast(&dgs);
+        self.core
+            .mcast_resend_message(&mut self.io, tag, kind, payload, seq);
     }
 
-    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        let r = self.core.recv_loop(&mut self.io, Some(src), tag);
-        self.core.expect_recv(r)
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq {
+        self.core.post_recv(&mut self.io, src, tag)
     }
 
-    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let r = self
-            .core
-            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout);
-        self.core.expect_recv(r)
+    fn progress(&mut self) {
+        self.core.progress(&mut self.io);
     }
 
-    fn recv_any(&mut self, tag: Tag) -> Message {
-        let r = self.core.recv_loop(&mut self.io, None, tag);
-        self.core.expect_recv(r)
+    fn progress_block(&mut self) {
+        self.core.progress_block(&mut self.io);
     }
 
-    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let r = self.core.recv_loop_timeout(&mut self.io, None, tag, timeout);
-        self.core.expect_recv(r)
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_req(&mut self.io, req)
     }
 
-    fn recv_checked(
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_claimed(req)
+    }
+
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError> {
+        self.core.wait_req(&mut self.io, req)
+    }
+
+    fn wait_deadline(
         &mut self,
-        src: Option<usize>,
-        tag: Tag,
-        timeout: Option<Duration>,
-    ) -> Result<Option<Message>, crate::comm::RecvError> {
-        self.core.recv_loop_checked(&mut self.io, src, tag, timeout)
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        self.core.wait_req_deadline(&mut self.io, req, timeout)
+    }
+
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError> {
+        self.core.wait_any_req(&mut self.io, reqs)
+    }
+
+    fn wait_ready(&mut self, reqs: &[RecvReq]) {
+        self.core.wait_ready(&mut self.io, reqs);
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.core.cancel_req(req);
     }
 
     fn compute(&mut self, d: Duration) {

@@ -30,10 +30,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats, SendDst};
+use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats};
 use socket2::{Domain, Protocol, Socket, Type};
 
-use crate::comm::{Comm, EndpointCore, RepairConfig, RepairPump, Tag};
+use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, Tag};
 
 /// Addressing plan for a UDP world.
 #[derive(Clone, Debug)]
@@ -84,11 +84,7 @@ impl UdpConfig {
     }
 
     fn peer_addr(&self, rank: usize) -> SocketAddrV4 {
-        let ip = self
-            .peers
-            .as_ref()
-            .map(|p| p[rank])
-            .unwrap_or(self.iface);
+        let ip = self.peers.as_ref().map(|p| p[rank]).unwrap_or(self.iface);
         SocketAddrV4::new(ip, self.base_port + rank as u16)
     }
 }
@@ -193,6 +189,16 @@ impl RepairPump for UdpIo {
                     self.pump_chan(core, Some(Duration::from_nanos(at - now)));
                 }
             }
+        }
+    }
+
+    fn pump_ready(&mut self, core: &mut EndpointCore) -> bool {
+        match self.rx.try_recv() {
+            Ok((bytes, via_mcast)) => {
+                Self::ingest(core, &bytes, via_mcast);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -321,61 +327,61 @@ impl Comm for UdpComm {
     }
 
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        assert!(dst < self.core.size(), "rank {dst} out of range");
-        let seq = self.core.fresh_seq();
-        let dgs = self.core.encode(tag, kind, payload, seq);
         self.core
-            .record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
-        self.io.send_encoded(dst, &dgs);
-        seq
+            .send_message(&mut self.io, dst, tag, kind, payload)
     }
 
     fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
-        let seq = self.core.fresh_seq();
-        let dgs = self.core.encode(tag, kind, payload, seq);
-        self.core
-            .record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
-        let to = self.io.mcast_addr();
-        self.io.send_to_addr(to, &dgs);
-        seq
+        self.core.mcast_message(&mut self.io, tag, kind, payload)
     }
 
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
-        // Already recorded under this seq when first multicast.
-        let dgs = self.core.encode(tag, kind, payload, seq);
-        let to = self.io.mcast_addr();
-        self.io.send_to_addr(to, &dgs);
+        self.core
+            .mcast_resend_message(&mut self.io, tag, kind, payload, seq);
     }
 
-    fn recv_match(&mut self, src: usize, tag: Tag) -> Message {
-        let r = self.core.recv_loop(&mut self.io, Some(src), tag);
-        self.core.expect_recv(r)
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq {
+        self.core.post_recv(&mut self.io, src, tag)
     }
 
-    fn recv_match_timeout(&mut self, src: usize, tag: Tag, timeout: Duration) -> Option<Message> {
-        let r = self
-            .core
-            .recv_loop_timeout(&mut self.io, Some(src), tag, timeout);
-        self.core.expect_recv(r)
+    fn progress(&mut self) {
+        self.core.progress(&mut self.io);
     }
 
-    fn recv_any(&mut self, tag: Tag) -> Message {
-        let r = self.core.recv_loop(&mut self.io, None, tag);
-        self.core.expect_recv(r)
+    fn progress_block(&mut self) {
+        self.core.progress_block(&mut self.io);
     }
 
-    fn recv_any_timeout(&mut self, tag: Tag, timeout: Duration) -> Option<Message> {
-        let r = self.core.recv_loop_timeout(&mut self.io, None, tag, timeout);
-        self.core.expect_recv(r)
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_req(&mut self.io, req)
     }
 
-    fn recv_checked(
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.core.test_claimed(req)
+    }
+
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError> {
+        self.core.wait_req(&mut self.io, req)
+    }
+
+    fn wait_deadline(
         &mut self,
-        src: Option<usize>,
-        tag: Tag,
-        timeout: Option<Duration>,
-    ) -> Result<Option<Message>, crate::comm::RecvError> {
-        self.core.recv_loop_checked(&mut self.io, src, tag, timeout)
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        self.core.wait_req_deadline(&mut self.io, req, timeout)
+    }
+
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError> {
+        self.core.wait_any_req(&mut self.io, reqs)
+    }
+
+    fn wait_ready(&mut self, reqs: &[RecvReq]) {
+        self.core.wait_ready(&mut self.io, reqs);
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.core.cancel_req(req);
     }
 
     fn compute(&mut self, d: Duration) {
@@ -417,7 +423,9 @@ pub fn multicast_available_cached(base_port: u16) -> bool {
     use std::sync::{Mutex, OnceLock};
     static CACHE: OnceLock<Mutex<HashMap<u16, bool>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut cache = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     *cache
         .entry(base_port)
         .or_insert_with(|| multicast_available(base_port))
@@ -439,12 +447,15 @@ pub fn multicast_available(base_port: u16) -> bool {
             if c.rank() == 0 {
                 c.mcast(1, b"probe");
                 // Wait for the ack so rank 1 has time to receive.
-                c.recv_match_timeout(1, 2, Duration::from_millis(500))
-                    .is_some()
+                matches!(
+                    c.recv_match_timeout(1, 2, Duration::from_millis(500)),
+                    Ok(Some(_))
+                )
             } else {
-                let ok = c
-                    .recv_match_timeout(0, 1, Duration::from_millis(500))
-                    .is_some();
+                let ok = matches!(
+                    c.recv_match_timeout(0, 1, Duration::from_millis(500)),
+                    Ok(Some(_))
+                );
                 c.send(0, 2, b"ok");
                 ok
             }

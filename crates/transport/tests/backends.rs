@@ -19,11 +19,11 @@ fn mcast_and_ack<C: Comm>(mut c: C) -> usize {
     if c.rank() == 0 {
         c.mcast(TAG_DATA, &[0xAB; 2000]);
         (1..c.size())
-            .map(|_| c.recv_any(TAG_ACK))
+            .map(|_| c.recv_any(TAG_ACK).unwrap())
             .filter(|m| m.payload == b"ok")
             .count()
     } else {
-        let m = c.recv_match(0, TAG_DATA);
+        let m = c.recv_match(0, TAG_DATA).unwrap();
         assert_eq!(m.payload, vec![0xAB; 2000]);
         c.send(0, TAG_ACK, b"ok");
         0
@@ -37,8 +37,7 @@ fn sim_backend_mcast_and_ack() {
         NetParams::fast_ethernet_switch(),
     ] {
         let cluster = ClusterConfig::new(5, params, 42);
-        let report =
-            run_sim_world(&cluster, &SimCommConfig::default(), mcast_and_ack).unwrap();
+        let report = run_sim_world(&cluster, &SimCommConfig::default(), mcast_and_ack).unwrap();
         assert_eq!(report.outputs[0], 4);
     }
 }
@@ -67,9 +66,9 @@ fn udp_unicast_works_even_without_multicast() {
     let outputs = run_udp_world(2, &cfg, |mut c| {
         if c.rank() == 0 {
             c.send(1, 7, b"hello");
-            c.recv(1, 8)
+            c.recv(1, 8).unwrap()
         } else {
-            let m = c.recv(0, 7);
+            let m = c.recv(0, 7).unwrap();
             c.send(0, 8, &m);
             m
         }
@@ -83,7 +82,7 @@ fn sim_recv_any_collects_from_all_sources_in_arrival_order() {
     let cluster = ClusterConfig::new(4, NetParams::fast_ethernet_switch(), 7);
     let report = run_sim_world(&cluster, &SimCommConfig::default(), |mut c| {
         if c.rank() == 0 {
-            let mut seen: Vec<u32> = (1..4).map(|_| c.recv_any(3).src_rank).collect();
+            let mut seen: Vec<u32> = (1..4).map(|_| c.recv_any(3).unwrap().src_rank).collect();
             seen.sort();
             seen
         } else {
@@ -101,7 +100,9 @@ fn sim_recv_timeout_expires_in_virtual_time() {
     let report = run_sim_world(&cluster, &SimCommConfig::default(), |mut c| {
         if c.rank() == 1 {
             let before = c.now();
-            let got = c.recv_match_timeout(0, 9, Duration::from_millis(2));
+            let got = c
+                .recv_match_timeout(0, 9, Duration::from_millis(2))
+                .unwrap();
             assert!(got.is_none());
             (c.now() - before).as_nanos()
         } else {
@@ -126,7 +127,7 @@ fn sim_messages_larger_than_chunk_limit_assemble() {
             c.send(1, 1, &payload);
             true
         } else {
-            c.recv(0, 1) == expect
+            c.recv(0, 1).unwrap() == expect
         }
     })
     .unwrap();
@@ -162,8 +163,7 @@ fn sim_repair_recovers_heavy_loss() {
         per_link_drop: vec![(HostId(1), 0.6)],
         ..Default::default()
     };
-    let cluster =
-        ClusterConfig::new(3, NetParams::fast_ethernet_switch().with_faults(faults), 7);
+    let cluster = ClusterConfig::new(3, NetParams::fast_ethernet_switch().with_faults(faults), 7);
     let (report, stats) = run_sim_world_stats(
         &cluster,
         &SimCommConfig::default().with_repair(),

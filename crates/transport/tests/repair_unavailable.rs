@@ -42,6 +42,16 @@ impl RepairPump for PipeIo {
         }
     }
 
+    fn pump_ready(&mut self, core: &mut EndpointCore) -> bool {
+        match self.inbound.borrow_mut().pop_front() {
+            Some(b) => {
+                let _ = core.inbox.ingest_datagram(&b);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn pump_drain(&mut self, _core: &mut EndpointCore, _quiet: Duration) -> bool {
         false
     }
@@ -111,8 +121,7 @@ fn evicted_traffic_fails_fast_with_typed_error() {
     let err = loop {
         // One bounded receive attempt: long enough (5 ms against a 2 ms
         // nack_timeout + ≤2 ms backoff) that every attempt solicits.
-        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5))
-        {
+        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5)) {
             Err(e) => break e,
             Ok(Some(_)) => panic!("the message was lost; nothing can arrive"),
             Ok(None) => {}
@@ -189,8 +198,7 @@ fn retained_traffic_still_recovers_after_eviction() {
     // Tag 14 is still in the 4-slot ring (12..=15 retained).
     let mut attempts = 0;
     let got = loop {
-        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 14, Duration::from_millis(5))
-        {
+        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 14, Duration::from_millis(5)) {
             Err(e) => panic!("tag 14 is retained; {e}"),
             Ok(Some(m)) => break m,
             Ok(None) => {}
@@ -254,7 +262,10 @@ fn evicted_seq_behind_retained_same_tag_records_fails_fast() {
         sender.record_if_armed(seq, SendDst::Rank(1), 10, MsgKind::Data, &dgs);
         if seq >= 2 {
             for d in &dgs {
-                receiver_io.inbound.borrow_mut().push_back(Bytes::from(d.to_vec()));
+                receiver_io
+                    .inbound
+                    .borrow_mut()
+                    .push_back(Bytes::from(d.to_vec()));
             }
         }
     }
@@ -270,8 +281,7 @@ fn evicted_seq_behind_retained_same_tag_records_fails_fast() {
     // even though newer tag-10 records are still retained.
     let mut attempts = 0;
     let err = loop {
-        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5))
-        {
+        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5)) {
             Err(e) => break e,
             Ok(Some(_)) => panic!("seqs 0/1 are gone; nothing can arrive"),
             Ok(None) => {}
@@ -283,7 +293,14 @@ fn evicted_seq_behind_retained_same_tag_records_fails_fast() {
         }
         sender.service_nacks(&mut sender_io);
     };
-    assert!(matches!(err, RecvError::Unavailable { src: 0, tag: 10, .. }));
+    assert!(matches!(
+        err,
+        RecvError::Unavailable {
+            src: 0,
+            tag: 10,
+            ..
+        }
+    ));
     assert_eq!(
         sender.repair_stats().retransmits_sent,
         0,
@@ -304,8 +321,7 @@ fn stale_directed_unavail_does_not_fail_any_source_waits() {
 
     // Directed wait fails fast, as designed...
     let err = loop {
-        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5))
-        {
+        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5)) {
             Err(e) => break e,
             Ok(Some(_)) => panic!("the message was lost; nothing can arrive"),
             Ok(None) => {}
@@ -355,8 +371,7 @@ fn legacy_any_source_nack_never_answered_unavailable() {
 
     // A legacy *directed* solicit still gets the fail-fast answer.
     let err = loop {
-        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5))
-        {
+        match receiver.recv_loop_timeout(&mut receiver_io, Some(0), 10, Duration::from_millis(5)) {
             Err(e) => break e,
             Ok(Some(_)) => panic!("the message was lost; nothing can arrive"),
             Ok(None) => {}
@@ -366,7 +381,14 @@ fn legacy_any_source_nack_never_answered_unavailable() {
         }
         sender.service_nacks(&mut sender_io);
     };
-    assert!(matches!(err, RecvError::Unavailable { src: 0, tag: 10, .. }));
+    assert!(matches!(
+        err,
+        RecvError::Unavailable {
+            src: 0,
+            tag: 10,
+            ..
+        }
+    ));
 }
 
 /// Overheard *any-source* solicits arm the suppression memory too: a
@@ -434,10 +456,8 @@ fn sim_partition_provokes_eviction_and_typed_error() {
     rc.buffer_cap = 4;
     comm_cfg.repair = Some(rc);
 
-    let (report, stats) = run_sim_world_stats(
-        &ClusterConfig::new(2, params, 42),
-        &comm_cfg,
-        |mut c| {
+    let (report, stats) =
+        run_sim_world_stats(&ClusterConfig::new(2, params, 42), &comm_cfg, |mut c| {
             if c.rank() == 0 {
                 // Inside the partition window: tag 10 plus five evicting
                 // sends, none of which reach rank 1.
@@ -452,9 +472,8 @@ fn sim_partition_provokes_eviction_and_typed_error() {
                 c.compute(Duration::from_millis(6));
                 c.recv_checked(Some(0), 10, Some(Duration::from_millis(100)))
             }
-        },
-    )
-    .expect("sim run failed");
+        })
+        .expect("sim run failed");
 
     assert_eq!(
         report.outputs[1],

@@ -389,7 +389,15 @@ mod tests {
         payload: &[u8],
         chunk: usize,
     ) -> Vec<Datagram> {
-        split_message(kind, context, src, tag, seq, &Bytes::copy_from_slice(payload), chunk)
+        split_message(
+            kind,
+            context,
+            src,
+            tag,
+            seq,
+            &Bytes::copy_from_slice(payload),
+            chunk,
+        )
     }
 
     fn assemble_all(datagrams: &[Datagram]) -> Vec<Message> {
@@ -532,8 +540,7 @@ mod tests {
         assert_eq!(one.payload(), d.payload());
         // Odd segmentation is flattened and still parses.
         let flat = Bytes::from(d.to_vec());
-        let weird =
-            Datagram::from_segments(&[flat.slice(..10), flat.slice(10..)]).unwrap();
+        let weird = Datagram::from_segments(&[flat.slice(..10), flat.slice(10..)]).unwrap();
         assert_eq!(weird.decode().unwrap(), d.decode().unwrap());
     }
 }

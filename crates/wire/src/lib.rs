@@ -34,9 +34,7 @@ pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
 pub use nack::{NackPayload, SeqRange, UnavailPayload, MAX_NACK_RANGES, NACK_TARGET_ANY};
-pub use retransmit::{
-    RepairStats, RetransmitBuffer, SendDst, SentRecord, DEFAULT_RETRANSMIT_CAP,
-};
+pub use retransmit::{RepairStats, RetransmitBuffer, SendDst, SentRecord, DEFAULT_RETRANSMIT_CAP};
 
 /// Default maximum chunk payload per datagram: comfortably under the
 /// 65,507-byte UDP limit while leaving room for the header.

@@ -117,14 +117,10 @@ impl RetransmitBuffer {
         if self.ring.len() == self.cap {
             if let Some(old) = self.ring.pop_front() {
                 self.evicted += 1;
-                self.evicted_tag_max = Some(
-                    self.evicted_tag_max
-                        .map_or(old.tag, |m| m.max(old.tag)),
-                );
-                self.evicted_seq_max = Some(
-                    self.evicted_seq_max
-                        .map_or(old.seq, |m| m.max(old.seq)),
-                );
+                self.evicted_tag_max =
+                    Some(self.evicted_tag_max.map_or(old.tag, |m| m.max(old.tag)));
+                self.evicted_seq_max =
+                    Some(self.evicted_seq_max.map_or(old.seq, |m| m.max(old.seq)));
             }
         }
         self.ring.push_back(SentRecord {
@@ -232,14 +228,40 @@ mod tests {
     use bytes::Bytes;
 
     fn dgs(kind: MsgKind, tag: u32, seq: u64, payload: &[u8]) -> Vec<Datagram> {
-        split_message(kind, 0, 1, tag, seq, &Bytes::copy_from_slice(payload), 60_000)
+        split_message(
+            kind,
+            0,
+            1,
+            tag,
+            seq,
+            &Bytes::copy_from_slice(payload),
+            60_000,
+        )
     }
 
     fn buf3() -> RetransmitBuffer {
         let mut b = RetransmitBuffer::new(3);
-        b.record(0, SendDst::Multicast, 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 0, b"mc"));
-        b.record(1, SendDst::Rank(2), 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 1, b"to2"));
-        b.record(2, SendDst::Rank(3), 10, MsgKind::Scout, &dgs(MsgKind::Scout, 10, 2, b""));
+        b.record(
+            0,
+            SendDst::Multicast,
+            10,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 10, 0, b"mc"),
+        );
+        b.record(
+            1,
+            SendDst::Rank(2),
+            10,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 10, 1, b"to2"),
+        );
+        b.record(
+            2,
+            SendDst::Rank(3),
+            10,
+            MsgKind::Scout,
+            &dgs(MsgKind::Scout, 10, 2, b""),
+        );
         b
     }
 
@@ -257,7 +279,13 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut b = buf3();
         assert_eq!(b.len(), 3);
-        b.record(3, SendDst::Multicast, 11, MsgKind::Data, &dgs(MsgKind::Data, 11, 3, b"new"));
+        b.record(
+            3,
+            SendDst::Multicast,
+            11,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 11, 3, b"new"),
+        );
         assert_eq!(b.len(), 3);
         assert_eq!(b.evicted(), 1);
         assert_eq!(b.matching(2, 10).count(), 1, "seq 0 evicted");
@@ -266,7 +294,13 @@ mod tests {
     #[test]
     fn nacks_are_never_recorded() {
         let mut b = RetransmitBuffer::new(2);
-        b.record(0, SendDst::Rank(1), 5, MsgKind::Nack, &dgs(MsgKind::Nack, 5, 0, b""));
+        b.record(
+            0,
+            SendDst::Rank(1),
+            5,
+            MsgKind::Nack,
+            &dgs(MsgKind::Nack, 5, 0, b""),
+        );
         assert!(b.is_empty());
     }
 
@@ -314,12 +348,40 @@ mod tests {
     fn eviction_floor_tracks_highest_evicted_tag() {
         let mut b = RetransmitBuffer::new(2);
         assert_eq!(b.evicted_tag_max(), None);
-        b.record(0, SendDst::Multicast, 10, MsgKind::Data, &dgs(MsgKind::Data, 10, 0, b"a"));
-        b.record(1, SendDst::Multicast, 11, MsgKind::Data, &dgs(MsgKind::Data, 11, 1, b"b"));
+        b.record(
+            0,
+            SendDst::Multicast,
+            10,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 10, 0, b"a"),
+        );
+        b.record(
+            1,
+            SendDst::Multicast,
+            11,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 11, 1, b"b"),
+        );
         assert_eq!(b.evicted_tag_max(), None, "nothing evicted yet");
-        b.record(2, SendDst::Multicast, 12, MsgKind::Data, &dgs(MsgKind::Data, 12, 2, b"c"));
+        b.record(
+            2,
+            SendDst::Multicast,
+            12,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 12, 2, b"c"),
+        );
         assert_eq!(b.evicted_tag_max(), Some(10), "tag 10 evicted");
-        b.record(3, SendDst::Multicast, 13, MsgKind::Data, &dgs(MsgKind::Data, 13, 3, b"d"));
-        assert_eq!(b.evicted_tag_max(), Some(11), "floor advances in send order");
+        b.record(
+            3,
+            SendDst::Multicast,
+            13,
+            MsgKind::Data,
+            &dgs(MsgKind::Data, 13, 3, b"d"),
+        );
+        assert_eq!(
+            b.evicted_tag_max(),
+            Some(11),
+            "floor advances in send order"
+        );
     }
 }

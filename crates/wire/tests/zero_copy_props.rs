@@ -72,15 +72,7 @@ fn golden_digest_matches_seed_build() {
         let payload: Vec<u8> = (0..size)
             .map(|i| (i as u64 * 2654435761).to_le_bytes()[0])
             .collect();
-        let dgs = split_message(
-            MsgKind::Data,
-            7,
-            3,
-            99,
-            seq,
-            &Bytes::from(payload),
-            chunk,
-        );
+        let dgs = split_message(MsgKind::Data, 7, 3, 99, seq, &Bytes::from(payload), chunk);
         fnv(&mut acc, &(dgs.len() as u64).to_le_bytes());
         for d in &dgs {
             fnv(&mut acc, &(d.len() as u64).to_le_bytes());

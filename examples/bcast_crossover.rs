@@ -25,8 +25,7 @@ fn main() {
         for &bytes in &sizes {
             let run = |algo| {
                 run_experiment(
-                    &Experiment::new(n, fabric, Workload::Bcast { algo, bytes })
-                        .with_trials(9),
+                    &Experiment::new(n, fabric, Workload::Bcast { algo, bytes }).with_trials(9),
                 )
                 .summary
                 .median

@@ -11,7 +11,7 @@
 //! communicator's broadcast algorithm, so the multicast machinery of the
 //! paper accelerates a real numerical kernel, not just a microbenchmark.
 
-use mcast_mpi::core::Communicator;
+use mcast_mpi::core::{expect_coll, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{run_sim_world, SimCommConfig};
@@ -53,8 +53,8 @@ fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
 fn combine_f64_sum(acc: &mut Vec<u8>, other: &[u8]) {
     assert_eq!(acc.len(), other.len());
     for (a, o) in acc.chunks_exact_mut(8).zip(other.chunks_exact(8)) {
-        let s = f64::from_le_bytes(a.try_into().unwrap())
-            + f64::from_le_bytes(o.try_into().unwrap());
+        let s =
+            f64::from_le_bytes(a.try_into().unwrap()) + f64::from_le_bytes(o.try_into().unwrap());
         a.copy_from_slice(&s.to_le_bytes());
     }
 }
@@ -94,17 +94,15 @@ fn main() {
                     local[li] = (b[i] - sigma) / a[i][i];
                 }
                 // Exchange blocks: allgather the new solution.
-                let parts = comm.allgather(&f64s_to_bytes(&local));
+                let parts = expect_coll(comm.allgather(&f64s_to_bytes(&local)));
                 let mut new_x = Vec::with_capacity(N);
                 for p in &parts {
                     new_x.extend(bytes_to_f64s(p));
                 }
                 // Global squared-residual via allreduce.
-                let local_diff: f64 = (my0..my0 + rows)
-                    .map(|i| (new_x[i] - x[i]).powi(2))
-                    .sum();
+                let local_diff: f64 = (my0..my0 + rows).map(|i| (new_x[i] - x[i]).powi(2)).sum();
                 let total =
-                    comm.allreduce(f64s_to_bytes(&[local_diff]), &combine_f64_sum);
+                    expect_coll(comm.allreduce(f64s_to_bytes(&[local_diff]), &combine_f64_sum));
                 x = new_x;
                 if bytes_to_f64s(&total)[0].sqrt() < TOL {
                     break;

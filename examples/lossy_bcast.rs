@@ -15,7 +15,7 @@
 //! The 0% row stays all-zero: with nothing to repair, the repair loop
 //! costs nothing. Runs are deterministic: same binary, same numbers.
 
-use mcast_mpi::core::Communicator;
+use mcast_mpi::core::{expect_coll, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{run_sim_world_stats, SimCommConfig};
@@ -26,10 +26,8 @@ const BYTES: usize = 4096;
 fn run_at(loss: f64) {
     let params = NetParams::fast_ethernet_switch().with_loss(loss);
     let cluster = ClusterConfig::new(N, params, 0xD15C0);
-    let (report, stats) = run_sim_world_stats(
-        &cluster,
-        &SimCommConfig::default().with_repair(),
-        |c| {
+    let (report, stats) =
+        run_sim_world_stats(&cluster, &SimCommConfig::default().with_repair(), |c| {
             let mut comm = Communicator::new(c);
             let mut buf = if comm.rank() == 0 {
                 vec![0xAB; BYTES]
@@ -37,13 +35,12 @@ fn run_at(loss: f64) {
                 vec![0; BYTES]
             };
             let t0 = comm.transport().now();
-            comm.bcast(0, &mut buf);
-            comm.barrier();
+            expect_coll(comm.bcast(0, &mut buf));
+            expect_coll(comm.barrier());
             let elapsed = (comm.transport().now() - t0).as_micros_f64();
             (buf == vec![0xAB; BYTES], elapsed)
-        },
-    )
-    .expect("lossy broadcast must recover");
+        })
+        .expect("lossy broadcast must recover");
 
     let ok = report.outputs.iter().all(|&(ok, _)| ok);
     let worst = report

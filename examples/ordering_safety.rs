@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use mcast_mpi::core::{BcastAlgorithm, Communicator};
+use mcast_mpi::core::{expect_coll, BcastAlgorithm, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{run_sim_world, Comm, SimCommConfig};
@@ -31,7 +31,7 @@ fn ordering_demo() {
             } else {
                 Vec::new()
             };
-            comm.bcast(root, &mut buf);
+            expect_coll(comm.bcast(root, &mut buf));
             seen.push(buf[0]);
         }
         seen
@@ -63,7 +63,7 @@ fn loss_demo() {
         } else {
             vec![0; 1000]
         };
-        comm.bcast(0, &mut buf);
+        expect_coll(comm.bcast(0, &mut buf));
         buf[0]
     })
     .unwrap();
@@ -83,7 +83,7 @@ fn loss_demo() {
         } else {
             vec![0; 1000]
         };
-        comm.bcast(0, &mut buf);
+        expect_coll(comm.bcast(0, &mut buf));
         buf[0]
     })
     .unwrap();

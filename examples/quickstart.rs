@@ -22,7 +22,7 @@
 //! `MMPI_LOSS` environment variable), run
 //! `cargo run --release --example lossy_bcast`.
 
-use mcast_mpi::core::{BarrierAlgorithm, BcastAlgorithm, Communicator};
+use mcast_mpi::core::{expect_coll, BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{run_sim_world, SimCommConfig};
@@ -39,13 +39,13 @@ fn run(label: &str, bcast: BcastAlgorithm, barrier: BarrierAlgorithm) {
             vec![0; 19 * 215]
         };
         let t0 = comm.transport().now();
-        comm.bcast(0, &mut buf);
+        expect_coll(comm.bcast(0, &mut buf));
         let bcast_us = (comm.transport().now() - t0).as_micros_f64();
         assert!(buf.starts_with(b"the quick brown fox"));
 
         // Then everyone synchronizes.
         let t1 = comm.transport().now();
-        comm.barrier();
+        expect_coll(comm.barrier());
         let barrier_us = (comm.transport().now() - t1).as_micros_f64();
         (bcast_us, barrier_us)
     })

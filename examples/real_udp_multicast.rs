@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use mcast_mpi::core::{BcastAlgorithm, Communicator};
+use mcast_mpi::core::{expect_coll, BcastAlgorithm, Communicator};
 use mcast_mpi::transport::{multicast_available, run_udp_world, Comm, UdpConfig};
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -31,7 +31,7 @@ fn bench(algo: BcastAlgorithm, base_port: u16, bytes: usize, reps: usize) -> f64
                 vec![0; bytes]
             };
             let t0 = Instant::now();
-            comm.bcast(0, &mut buf);
+            expect_coll(comm.bcast(0, &mut buf));
             samples.push(t0.elapsed().as_secs_f64() * 1e6);
             assert!(buf.iter().all(|&b| b == 0xC3));
             // Settle between reps so runs do not overlap.
@@ -54,7 +54,10 @@ fn main() {
         return;
     }
     println!("5 ranks as threads, loopback interface, real sockets\n");
-    println!("{:>8}  {:>16}  {:>16}", "bytes", "mcast-binary(us)", "mpich-tree(us)");
+    println!(
+        "{:>8}  {:>16}  {:>16}",
+        "bytes", "mcast-binary(us)", "mpich-tree(us)"
+    );
     let mut port = 47_100;
     for bytes in [100usize, 1000, 10_000, 60_000] {
         let mcast = bench(BcastAlgorithm::McastBinary, port, bytes, 21);

@@ -10,11 +10,13 @@
 //! * [`wire`] — on-the-wire message formats (headers, fragmentation,
 //!   scouts, NACKs) and the sender-side retransmit ring, built as a
 //!   zero-copy `Bytes` datagram path (`docs/PERFORMANCE.md`).
-//! * [`transport`] — the blocking [`transport::Comm`] abstraction and its
+//! * [`transport`] — the request-based [`transport::Comm`] abstraction
+//!   (posted receives + progress engine, `docs/API.md`) and its
 //!   simulator, real-UDP-multicast and in-memory implementations, plus
 //!   the NACK/retransmit repair loop (`docs/PROTOCOL.md`).
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
-//!   multicast, plus the MPICH point-to-point baselines.
+//!   multicast, plus the MPICH point-to-point baselines and the
+//!   nonblocking `ibcast`/`ibarrier`/`iallgather` state machines.
 //! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV,
 //!   loss sweeps with drop/NACK/retransmit columns).
 //!
@@ -36,11 +38,22 @@
 //!        │               │                │   loss-sweep tables
 //!        │               ▼                ▼
 //!        └─────────► mmpi-core ──────────────  collective algorithms
-//!                        │                     (loss-oblivious)
+//!                        │                     (loss-oblivious), typed
+//!                        │                     RecvError results, and
+//!                        │                     nonblocking ibcast /
+//!                        │                     ibarrier / iallgather
+//!                        │                     (overlapped ring, zero-
+//!                        │                     copy step forwarding)
 //!                        ▼
 //!                  mmpi-transport ───────────  Comm: sim | udp | mem
-//!                    │         │               · repair loop: NACK on
-//!                    │         │                 timeout, drain on exit
+//!                    │         │               · request layer: posted
+//!                    │         │                 recvs, one progress
+//!                    │         │                 engine (test / wait /
+//!                    │         │                 wait_any, docs/API.md)
+//!                    │         │               · repair loop: per-request
+//!                    │         │                 NACK deadlines driven
+//!                    │         │                 for ALL posted recvs,
+//!                    │         │                 drain on exit
 //!                    │         │               · SRM scale-out: seeded
 //!                    │         │                 backoff, mcast NACK
 //!                    │         │                 suppression, mcast

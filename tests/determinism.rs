@@ -14,8 +14,7 @@ use mcast_mpi::transport::{run_sim_world, SimCommConfig};
 /// A collective-heavy workload with per-rank skew: bcast + allreduce +
 /// barrier, returning each rank's digest and final local time.
 fn replay_once(params: NetParams, seed: u64) -> (Vec<SimTime>, Vec<(u64, u64)>, String) {
-    let cluster = ClusterConfig::new(5, params, seed)
-        .with_start_skew(SimDuration::from_micros(80));
+    let cluster = ClusterConfig::new(5, params, seed).with_start_skew(SimDuration::from_micros(80));
     let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
         let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
         let mut buf = if comm.rank() == 0 {
@@ -23,12 +22,14 @@ fn replay_once(params: NetParams, seed: u64) -> (Vec<SimTime>, Vec<(u64, u64)>, 
         } else {
             vec![0; 3000]
         };
-        comm.bcast(0, &mut buf);
-        let sum = comm.allreduce(
-            (comm.rank() as u64 + 1).to_le_bytes().to_vec(),
-            &combine_u64_sum,
-        );
-        comm.barrier();
+        comm.bcast(0, &mut buf).unwrap();
+        let sum = comm
+            .allreduce(
+                (comm.rank() as u64 + 1).to_le_bytes().to_vec(),
+                &combine_u64_sum,
+            )
+            .unwrap();
+        comm.barrier().unwrap();
         (
             buf.iter().map(|&b| b as u64).sum::<u64>(),
             u64::from_le_bytes(sum[..8].try_into().unwrap()),
@@ -73,24 +74,21 @@ fn lossy_repaired_run_replays_byte_identically() {
     use mcast_mpi::transport::run_sim_world_stats;
     let replay = |seed: u64| {
         let params = NetParams::fast_ethernet_switch().with_loss(0.10);
-        let cluster = ClusterConfig::new(4, params, seed)
-            .with_start_skew(SimDuration::from_micros(80));
-        let (report, stats) = run_sim_world_stats(
-            &cluster,
-            &SimCommConfig::default().with_repair(),
-            |c| {
+        let cluster =
+            ClusterConfig::new(4, params, seed).with_start_skew(SimDuration::from_micros(80));
+        let (report, stats) =
+            run_sim_world_stats(&cluster, &SimCommConfig::default().with_repair(), |c| {
                 let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
                 let mut buf = if comm.rank() == 0 {
                     vec![0x5A; 3000]
                 } else {
                     vec![0; 3000]
                 };
-                comm.bcast(0, &mut buf);
-                comm.barrier();
+                comm.bcast(0, &mut buf).unwrap();
+                comm.barrier().unwrap();
                 buf.iter().map(|&b| b as u64).sum::<u64>()
-            },
-        )
-        .expect("lossy replay workload must recover");
+            })
+            .expect("lossy replay workload must recover");
         (
             report.completion_times,
             report.outputs,

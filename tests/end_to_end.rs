@@ -3,7 +3,7 @@
 //! transport → collectives → experiment harness) must hold together.
 
 use mcast_mpi::cluster::experiment::{run_experiment, Experiment, Fabric, Workload};
-use mcast_mpi::core::{combine_u64_sum, BcastAlgorithm, Communicator};
+use mcast_mpi::core::{combine_u64_sum, BcastAlgorithm, CollRequest, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::transport::{
@@ -23,24 +23,27 @@ fn kitchen_sink_family<C: Comm>(c: C, mpich: bool) -> u64 {
     let me = comm.rank();
     let n = comm.size();
 
-    let mut buf = if me == 0 { vec![3u8; 2048] } else { vec![0; 2048] };
-    comm.bcast(0, &mut buf);
+    let mut buf = if me == 0 {
+        vec![3u8; 2048]
+    } else {
+        vec![0; 2048]
+    };
+    comm.bcast(0, &mut buf).unwrap();
     let mut digest = buf.iter().map(|&b| b as u64).sum::<u64>();
 
-    comm.barrier();
+    comm.barrier().unwrap();
 
-    let gathered = comm.gather(1 % n, &[me as u8]);
+    let gathered = comm.gather(1 % n, &[me as u8]).unwrap();
     if let Some(parts) = gathered {
         digest += parts.iter().map(|p| p[0] as u64).sum::<u64>();
     }
 
-    let summed = comm.allreduce(
-        (me as u64 + 1).to_le_bytes().to_vec(),
-        &combine_u64_sum,
-    );
+    let summed = comm
+        .allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum)
+        .unwrap();
     digest += u64::from_le_bytes(summed[..8].try_into().unwrap());
 
-    let everyone = comm.allgather(&[me as u8; 3]);
+    let everyone = comm.allgather(&[me as u8; 3]).unwrap();
     digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
 
     digest
@@ -49,6 +52,58 @@ fn kitchen_sink_family<C: Comm>(c: C, mpich: bool) -> u64 {
 /// The multicast-family kitchen sink (the paper's default algorithms).
 fn kitchen_sink<C: Comm>(c: C) -> u64 {
     kitchen_sink_family(c, false)
+}
+
+/// The same program through the request-based API: nonblocking
+/// collectives where they exist (ibcast / ibarrier / iallgather — the
+/// last two genuinely in flight at once, polled round-robin), blocking
+/// calls for the rest. Must produce byte-identical digests.
+fn kitchen_sink_requests<C: Comm>(c: C) -> u64 {
+    let mut comm = Communicator::new(c);
+    let me = comm.rank();
+    let n = comm.size();
+
+    let buf0 = if me == 0 {
+        vec![3u8; 2048]
+    } else {
+        vec![0; 2048]
+    };
+    let buf = comm.ibcast(0, buf0).wait(comm.transport_mut()).unwrap();
+    let mut digest = buf.iter().map(|&b| b as u64).sum::<u64>();
+
+    let gathered = comm.gather(1 % n, &[me as u8]).unwrap();
+    if let Some(parts) = gathered {
+        digest += parts.iter().map(|p| p[0] as u64).sum::<u64>();
+    }
+
+    let summed = comm
+        .allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum)
+        .unwrap();
+    digest += u64::from_le_bytes(summed[..8].try_into().unwrap());
+
+    // Barrier and allgather overlapped: both posted, polled round-robin
+    // until each completes — two collectives in flight on one
+    // communicator (distinct op slots keep their tags disjoint).
+    let mut bar = comm.ibarrier();
+    let mut gather = comm.iallgather(&[me as u8; 3]);
+    let t = comm.transport_mut();
+    let (mut bar_done, mut gather_done) = (false, false);
+    let mut everyone = Vec::new();
+    while !(bar_done && gather_done) {
+        if !bar_done {
+            bar_done = bar.poll(t).unwrap();
+        }
+        if !gather_done && gather.poll(t).unwrap() {
+            gather_done = true;
+            everyone = gather.take_output();
+        }
+        if !(bar_done && gather_done) {
+            t.progress_block();
+        }
+    }
+    digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
+
+    digest
 }
 
 fn expected_digest(n: usize, rank: usize) -> u64 {
@@ -115,14 +170,47 @@ fn kitchen_sink_agrees_across_backends_sizes_and_families() {
 
             if multicast_available_cached(48_000) {
                 let cfg = UdpConfig::loopback(udp_port);
-                let udp =
-                    run_udp_world(n, &cfg, move |c| kitchen_sink_family(c, mpich)).unwrap();
+                let udp = run_udp_world(n, &cfg, move |c| kitchen_sink_family(c, mpich)).unwrap();
                 assert_eq!(udp, want, "udp backend, n={n}, family={label}");
             } else {
                 eprintln!("skipping UDP leg (n={n}, {label}): multicast unavailable");
             }
             udp_port += 100;
         }
+    }
+}
+
+/// Acceptance (ISSUE 5): the request-based and blocking paths produce
+/// byte-identical digests, across backends and sizes.
+#[test]
+fn request_api_matches_blocking_digests_across_backends() {
+    let mut udp_port = 52_500u16;
+    for n in [2usize, 4, 8] {
+        let want: Vec<u64> = (0..n).map(|r| expected_digest(n, r)).collect();
+
+        let blocking = run_mem_world(n, 0, kitchen_sink);
+        assert_eq!(blocking, want, "blocking mem baseline, n={n}");
+
+        let mem = run_mem_world(n, 0, kitchen_sink_requests);
+        assert_eq!(mem, want, "request-based mem, n={n}");
+
+        let sim = run_sim_world(
+            &ClusterConfig::new(n, NetParams::fast_ethernet_switch(), 300 + n as u64),
+            &SimCommConfig::default(),
+            kitchen_sink_requests,
+        )
+        .unwrap()
+        .outputs;
+        assert_eq!(sim, want, "request-based sim, n={n}");
+
+        if multicast_available_cached(48_000) {
+            let udp =
+                run_udp_world(n, &UdpConfig::loopback(udp_port), kitchen_sink_requests).unwrap();
+            assert_eq!(udp, want, "request-based udp, n={n}");
+        } else {
+            eprintln!("skipping UDP leg (n={n}): multicast unavailable");
+        }
+        udp_port += 100;
     }
 }
 
@@ -176,16 +264,18 @@ fn deep_collective_pipeline_survives_many_rounds() {
                         } else {
                             vec![0; 8]
                         };
-                        comm.bcast((round as usize) % 4, &mut b);
+                        comm.bcast((round as usize) % 4, &mut b).unwrap();
                         acc += u64::from_le_bytes(b[..8].try_into().unwrap());
                     }
-                    1 => comm.barrier(),
+                    1 => comm.barrier().unwrap(),
                     2 => {
-                        let s = comm.allreduce(round.to_le_bytes().to_vec(), &combine_u64_sum);
+                        let s = comm
+                            .allreduce(round.to_le_bytes().to_vec(), &combine_u64_sum)
+                            .unwrap();
                         acc += u64::from_le_bytes(s[..8].try_into().unwrap());
                     }
                     _ => {
-                        let parts = comm.allgather(&[round as u8]);
+                        let parts = comm.allgather(&[round as u8]).unwrap();
                         acc += parts.len() as u64;
                     }
                 }

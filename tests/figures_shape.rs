@@ -114,8 +114,14 @@ fn fig13_barrier_shape() {
     let xs = d.spec.xaxis.values();
     // Multicast wins for the majority of N (the paper's "better on the
     // average"), certainly for large non-power-of-two N.
-    let wins = (0..xs.len()).filter(|&i| med(&d, 0, i) < med(&d, 1, i)).count();
-    assert!(wins * 2 > xs.len(), "multicast won only {wins}/{}", xs.len());
+    let wins = (0..xs.len())
+        .filter(|&i| med(&d, 0, i) < med(&d, 1, i))
+        .count();
+    assert!(
+        wins * 2 > xs.len(),
+        "multicast won only {wins}/{}",
+        xs.len()
+    );
     for (i, &n) in xs.iter().enumerate() {
         if n >= 5 {
             assert!(

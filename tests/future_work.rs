@@ -6,9 +6,7 @@
 //! * **many-to-many over multicast**: the multicast allgather vs ring vs
 //!   gather+bcast, and where naive multicast all-to-all loses.
 
-use mcast_mpi::core::{
-    AllgatherAlgorithm, BarrierAlgorithm, BcastAlgorithm, Communicator,
-};
+use mcast_mpi::core::{AllgatherAlgorithm, BarrierAlgorithm, BcastAlgorithm, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
 use mcast_mpi::netsim::params::NetParams;
 use mcast_mpi::netsim::SimTime;
@@ -23,7 +21,7 @@ fn bcast_makespan(n: usize, params: NetParams, algo: BcastAlgorithm, bytes: usiz
         } else {
             vec![0; bytes]
         };
-        comm.bcast(0, &mut buf);
+        comm.bcast(0, &mut buf).unwrap();
         assert_eq!(buf, vec![1; bytes]);
     })
     .unwrap()
@@ -47,9 +45,9 @@ fn via_like_fabric_runs_scouted_multicast_safely() {
             } else {
                 vec![0; 2000]
             };
-            comm.bcast(0, &mut buf);
+            comm.bcast(0, &mut buf).unwrap();
             assert_eq!(buf[0], i);
-            comm.barrier();
+            comm.barrier().unwrap();
         }
     })
     .unwrap();
@@ -59,7 +57,12 @@ fn via_like_fabric_runs_scouted_multicast_safely() {
 
 #[test]
 fn via_like_fabric_is_much_faster_than_fast_ethernet_hosts() {
-    let eth = bcast_makespan(8, NetParams::fast_ethernet_switch(), BcastAlgorithm::McastBinary, 2000);
+    let eth = bcast_makespan(
+        8,
+        NetParams::fast_ethernet_switch(),
+        BcastAlgorithm::McastBinary,
+        2000,
+    );
     let via = bcast_makespan(8, NetParams::via_like(), BcastAlgorithm::McastBinary, 2000);
     assert!(
         via.as_micros_f64() * 3.0 < eth.as_micros_f64(),
@@ -90,7 +93,12 @@ fn cut_through_beats_store_and_forward_per_hop() {
         }),
         ..Default::default()
     };
-    let saf = bcast_makespan(2, mk(SwitchMode::StoreAndForward), BcastAlgorithm::FlatTree, 1400);
+    let saf = bcast_makespan(
+        2,
+        mk(SwitchMode::StoreAndForward),
+        BcastAlgorithm::FlatTree,
+        1400,
+    );
     let ct = bcast_makespan(
         2,
         mk(SwitchMode::CutThrough { header_bytes: 64 }),
@@ -113,7 +121,7 @@ fn allgather_algorithms_agree_and_multicast_wins_on_frames() {
         run_sim_world(&cluster, &SimCommConfig::default(), move |c| {
             let mut comm = Communicator::new(c).with_allgather(algo);
             let mine = vec![comm.rank() as u8 + 1; 1200];
-            let parts = comm.allgather(&mine);
+            let parts = comm.allgather(&mine).unwrap();
             parts
                 .iter()
                 .enumerate()
@@ -148,6 +156,12 @@ fn chain_and_scatter_allgather_shine_for_huge_messages() {
     let vdg = bcast_makespan(n, params(), BcastAlgorithm::ScatterAllgather, bytes);
     let mcast = bcast_makespan(n, params(), BcastAlgorithm::McastBinary, bytes);
     assert!(chain < binomial, "chain {chain} vs binomial {binomial}");
-    assert!(vdg < binomial, "scatter-allgather {vdg} vs binomial {binomial}");
-    assert!(mcast < chain && mcast < vdg, "multicast {mcast} wins overall");
+    assert!(
+        vdg < binomial,
+        "scatter-allgather {vdg} vs binomial {binomial}"
+    );
+    assert!(
+        mcast < chain && mcast < vdg,
+        "multicast {mcast} wins overall"
+    );
 }

@@ -5,11 +5,11 @@
 //! lossy simulated run must equal the digest of a lossless in-memory run
 //! — and the run's `WorldStats` must show the faults actually happened.
 
-use mcast_mpi::core::{combine_u64_sum, Communicator};
+use mcast_mpi::core::{combine_u64_sum, CollRequest, Communicator};
 use mcast_mpi::netsim::cluster::ClusterConfig;
+use mcast_mpi::netsim::ids::HostId;
 use mcast_mpi::netsim::params::{FaultParams, NetParams, Partition};
 use mcast_mpi::netsim::time::{SimDuration, SimTime};
-use mcast_mpi::netsim::ids::HostId;
 use mcast_mpi::transport::{run_mem_world, run_sim_world_stats, Comm, SimCommConfig};
 
 /// Every multicast-family collective the paper cares about; returns a
@@ -19,21 +19,75 @@ fn kitchen_sink<C: Comm>(c: C) -> u64 {
     let me = comm.rank();
     let n = comm.size();
 
-    let mut buf = if me == 0 { vec![3u8; 2048] } else { vec![0; 2048] };
-    comm.bcast(0, &mut buf);
+    let mut buf = if me == 0 {
+        vec![3u8; 2048]
+    } else {
+        vec![0; 2048]
+    };
+    comm.bcast(0, &mut buf).unwrap();
     let mut digest = buf.iter().map(|&b| b as u64).sum::<u64>();
 
-    comm.barrier();
+    comm.barrier().unwrap();
 
-    let gathered = comm.gather(1 % n, &[me as u8]);
+    let gathered = comm.gather(1 % n, &[me as u8]).unwrap();
     if let Some(parts) = gathered {
         digest += parts.iter().map(|p| p[0] as u64).sum::<u64>();
     }
 
-    let summed = comm.allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum);
+    let summed = comm
+        .allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum)
+        .unwrap();
     digest += u64::from_le_bytes(summed[..8].try_into().unwrap());
 
-    let everyone = comm.allgather(&[me as u8; 3]);
+    let everyone = comm.allgather(&[me as u8; 3]).unwrap();
+    digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
+
+    digest
+}
+
+/// The kitchen sink through the request-based API (ISSUE 5): ibcast,
+/// ibarrier + iallgather genuinely in flight together, blocking calls
+/// for the rest. Digest-identical to [`kitchen_sink`] by construction.
+fn kitchen_sink_requests<C: Comm>(c: C) -> u64 {
+    let mut comm = Communicator::new(c);
+    let me = comm.rank();
+    let n = comm.size();
+
+    let buf0 = if me == 0 {
+        vec![3u8; 2048]
+    } else {
+        vec![0; 2048]
+    };
+    let buf = comm.ibcast(0, buf0).wait(comm.transport_mut()).unwrap();
+    let mut digest = buf.iter().map(|&b| b as u64).sum::<u64>();
+
+    let gathered = comm.gather(1 % n, &[me as u8]).unwrap();
+    if let Some(parts) = gathered {
+        digest += parts.iter().map(|p| p[0] as u64).sum::<u64>();
+    }
+
+    let summed = comm
+        .allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum)
+        .unwrap();
+    digest += u64::from_le_bytes(summed[..8].try_into().unwrap());
+
+    let mut bar = comm.ibarrier();
+    let mut gather = comm.iallgather(&[me as u8; 3]);
+    let t = comm.transport_mut();
+    let (mut bar_done, mut gather_done) = (false, false);
+    let mut everyone = Vec::new();
+    while !(bar_done && gather_done) {
+        if !bar_done {
+            bar_done = bar.poll(t).unwrap();
+        }
+        if !gather_done && gather.poll(t).unwrap() {
+            gather_done = true;
+            everyone = gather.take_output();
+        }
+        if !(bar_done && gather_done) {
+            t.progress_block();
+        }
+    }
     digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
 
     digest
@@ -41,6 +95,95 @@ fn kitchen_sink<C: Comm>(c: C) -> u64 {
 
 fn lossy_cluster(n: usize, loss: f64, seed: u64) -> ClusterConfig {
     ClusterConfig::new(n, NetParams::fast_ethernet_switch().with_loss(loss), seed)
+}
+
+/// Acceptance (ISSUE 5): the request-based path recovers losses exactly
+/// like the blocking one — lossy sim digests equal the lossless mem
+/// digests, with every posted receive's repair state driven by the one
+/// progress engine (collectives here hold several receives posted at
+/// once while parked).
+#[test]
+fn request_api_digest_survives_ten_percent_loss() {
+    for (n, seed) in [(4usize, 1u64), (8, 1), (16, 1)] {
+        let mem = run_mem_world(n, 0, kitchen_sink);
+        let (report, stats) = run_sim_world_stats(
+            &lossy_cluster(n, 0.10, seed),
+            &SimCommConfig::default().with_repair(),
+            kitchen_sink_requests,
+        )
+        .unwrap_or_else(|e| panic!("lossy request-path run failed at n={n}: {e:?}"));
+        assert_eq!(report.outputs, mem, "digest mismatch at n={n}");
+        assert!(
+            stats.net.injected_frame_losses > 0 && stats.repair.retransmits_sent > 0,
+            "the run must actually lose and recover (n={n}: {:?})",
+            stats.repair
+        );
+    }
+}
+
+/// The ring formulations under loss — blocking and request-based ring
+/// allgather plus the scatter–allgather broadcast. These are the
+/// order-sensitive shapes: a NACK-recovered block completes *after*
+/// blocks that arrived intact, so any forward-by-position rule silently
+/// corrupts the output (or wedges the ring). Forwarding is decided by
+/// block identity instead; this sweep pins it across seeds at 25%
+/// per-link loss, where the reordering actually happens.
+#[test]
+fn ring_collectives_survive_heavy_loss() {
+    let mem = run_mem_world(4, 0, ring_workload);
+    for seed in 1u64..=6 {
+        let (report, stats) = run_sim_world_stats(
+            &lossy_cluster(4, 0.25, seed),
+            &SimCommConfig::default().with_repair(),
+            ring_workload,
+        )
+        .unwrap_or_else(|e| panic!("lossy ring run failed at seed={seed}: {e:?}"));
+        assert_eq!(report.outputs, mem, "ring digest mismatch at seed={seed}");
+        assert!(
+            stats.net.injected_frame_losses > 0 && stats.repair.retransmits_sent > 0,
+            "25% loss must lose and recover (seed={seed})"
+        );
+    }
+}
+
+/// Backend-generic body of [`ring_collectives_survive_heavy_loss`]:
+/// blocking and request-based ring allgather + scatter–allgather bcast.
+fn ring_workload<C: Comm>(c: C) -> u64 {
+    let mut comm = Communicator::new(c)
+        .with_allgather(mcast_mpi::core::AllgatherAlgorithm::Ring)
+        .with_bcast(mcast_mpi::core::BcastAlgorithm::ScatterAllgather);
+    let me = comm.rank();
+
+    let parts = comm.allgather(&vec![me as u8 + 1; 700 + me]).unwrap();
+    let mut digest: u64 = parts
+        .iter()
+        .enumerate()
+        .map(|(src, p)| (src as u64 + 1) * p.iter().map(|&b| b as u64).sum::<u64>())
+        .sum();
+    let mut buf = if me == 0 {
+        vec![0xC3; 3000]
+    } else {
+        vec![0; 3000]
+    };
+    comm.bcast(0, &mut buf).unwrap();
+    digest += buf.iter().map(|&b| b as u64).sum::<u64>();
+
+    let req = comm.iallgather(&vec![me as u8 + 1; 700 + me]);
+    let parts = req.wait(comm.transport_mut()).unwrap();
+    digest += parts
+        .iter()
+        .enumerate()
+        .map(|(src, p)| (src as u64 + 1) * p.iter().map(|&b| b as u64).sum::<u64>())
+        .sum::<u64>();
+    let ibuf = if me == 0 {
+        vec![0x3C; 3000]
+    } else {
+        Vec::new()
+    };
+    let req = comm.ibcast(0, ibuf);
+    let out = req.wait(comm.transport_mut()).unwrap();
+    digest += out.iter().map(|&b| b as u64).sum::<u64>();
+    digest
 }
 
 /// The acceptance sweep: mem (lossless) and sim-with-10%-loss agree on
@@ -154,8 +297,14 @@ fn srm_suppression_scales_and_replays() {
 
         let (r_on, s_on) = run(true);
         let (r_off, s_off) = run(false);
-        assert_eq!(r_on.outputs, mem, "digest mismatch with suppression (n={n})");
-        assert_eq!(r_off.outputs, mem, "digest mismatch without suppression (n={n})");
+        assert_eq!(
+            r_on.outputs, mem,
+            "digest mismatch with suppression (n={n})"
+        );
+        assert_eq!(
+            r_off.outputs, mem,
+            "digest mismatch without suppression (n={n})"
+        );
         assert!(
             s_on.net.injected_frame_losses > 0 && s_on.repair.retransmits_sent > 0,
             "the sweep must actually lose and recover (n={n})"
@@ -189,7 +338,10 @@ fn srm_suppression_scales_and_replays() {
 
         // (c) Byte-identical replay, randomized backoff included.
         let (r2, s2) = run(true);
-        assert_eq!(r_on.completion_times, r2.completion_times, "timing replay (n={n})");
+        assert_eq!(
+            r_on.completion_times, r2.completion_times,
+            "timing replay (n={n})"
+        );
         assert_eq!(
             format!("{:?}{:?}", s_on.net, s_on.repair),
             format!("{:?}{:?}", s2.net, s2.repair),

@@ -50,11 +50,12 @@ fn collective_fanin_never_overruns() {
     let report = run_sim_world(&cluster, &SimCommConfig::default(), |c| {
         let mut comm = Communicator::new(c);
         for _ in 0..5 {
-            let gathered = comm.gather(0, &vec![comm.rank() as u8; 2048]);
+            let gathered = comm.gather(0, &vec![comm.rank() as u8; 2048]).unwrap();
             if comm.rank() == 0 {
                 assert_eq!(gathered.unwrap().len(), 9);
             }
-            comm.allreduce(7u64.to_le_bytes().to_vec(), &combine_u64_sum);
+            comm.allreduce(7u64.to_le_bytes().to_vec(), &combine_u64_sum)
+                .unwrap();
         }
     })
     .unwrap();
@@ -79,7 +80,7 @@ fn repeated_bcast_bursts_from_one_root_do_not_overrun() {
             } else {
                 vec![0; 4096]
             };
-            comm.bcast(0, &mut buf);
+            comm.bcast(0, &mut buf).unwrap();
             assert_eq!(buf[0], i);
         }
     })

@@ -15,7 +15,9 @@ fn parity_groups_run_concurrently_on_the_switch() {
         let mut comm = Communicator::new(group);
         // Each group allreduces its members' world ranks.
         let world = comm.transport().world_rank_of(comm.rank());
-        let s = comm.allreduce((world as u64).to_le_bytes().to_vec(), &combine_u64_sum);
+        let s = comm
+            .allreduce((world as u64).to_le_bytes().to_vec(), &combine_u64_sum)
+            .unwrap();
         u64::from_le_bytes(s[..8].try_into().unwrap())
     })
     .unwrap();
@@ -35,14 +37,20 @@ fn world_collective_after_group_collective() {
             let colors = vec![0u32, 0, 1, 1];
             let group = GroupComm::split(&mut c, &colors, 9);
             let mut g = Communicator::new(group).with_bcast(BcastAlgorithm::FlatTree);
-            let mut buf = if g.rank() == 0 { vec![7u8; 100] } else { vec![0; 100] };
-            g.bcast(0, &mut buf);
+            let mut buf = if g.rank() == 0 {
+                vec![7u8; 100]
+            } else {
+                vec![0; 100]
+            };
+            g.bcast(0, &mut buf).unwrap();
             assert_eq!(buf, vec![7u8; 100]);
         }
         // Phase 2: the whole world synchronizes and allreduces.
         let mut world = Communicator::new(c);
-        world.barrier();
-        let s = world.allreduce(1u64.to_le_bytes().to_vec(), &combine_u64_sum);
+        world.barrier().unwrap();
+        let s = world
+            .allreduce(1u64.to_le_bytes().to_vec(), &combine_u64_sum)
+            .unwrap();
         u64::from_le_bytes(s[..8].try_into().unwrap())
     })
     .unwrap();
@@ -57,8 +65,8 @@ fn singleton_group_is_trivial() {
         let group = GroupComm::new(&mut c, &[me], me as u16);
         let mut comm = Communicator::new(group);
         let mut buf = vec![me as u8; 10];
-        comm.bcast(0, &mut buf);
-        comm.barrier();
+        comm.bcast(0, &mut buf).unwrap();
+        comm.barrier().unwrap();
         buf[0]
     })
     .unwrap();

@@ -3,7 +3,7 @@
 //! multicast.
 
 use mcast_mpi::core::{
-    combine_u64_sum, BarrierAlgorithm, BcastAlgorithm, Communicator,
+    combine_u64_sum, expect_coll, BarrierAlgorithm, BcastAlgorithm, Communicator,
 };
 use mcast_mpi::transport::{multicast_available_cached, run_udp_world, UdpConfig};
 
@@ -36,7 +36,7 @@ fn live_scouted_bcast_delivers_over_real_multicast() {
             } else {
                 vec![0; 10_000]
             };
-            comm.bcast(0, &mut buf);
+            expect_coll(comm.bcast(0, &mut buf));
             buf == vec![0x42; 10_000]
         })
         .unwrap();
@@ -55,7 +55,7 @@ fn live_mcast_barrier_synchronizes() {
     let out = run_udp_world(5, &cfg, |c| {
         let mut comm = Communicator::new(c).with_barrier(BarrierAlgorithm::McastBinary);
         arrived.fetch_add(1, Ordering::SeqCst);
-        comm.barrier();
+        expect_coll(comm.barrier());
         arrived.load(Ordering::SeqCst)
     })
     .unwrap();
@@ -70,10 +70,10 @@ fn live_allreduce_over_multicast_assisted_bcast() {
     let cfg = UdpConfig::loopback(49_700);
     let out = run_udp_world(4, &cfg, |c| {
         let mut comm = Communicator::new(c);
-        let s = comm.allreduce(
+        let s = expect_coll(comm.allreduce(
             ((comm.rank() as u64 + 1) * 100).to_le_bytes().to_vec(),
             &combine_u64_sum,
-        );
+        ));
         u64::from_le_bytes(s[..8].try_into().unwrap())
     })
     .unwrap();
@@ -98,12 +98,12 @@ fn live_collectives_with_repair_loop_armed() {
         } else {
             vec![0; 4096]
         };
-        comm.bcast(0, &mut buf);
-        comm.barrier();
-        let s = comm.allreduce(
+        expect_coll(comm.bcast(0, &mut buf));
+        expect_coll(comm.barrier());
+        let s = expect_coll(comm.allreduce(
             ((comm.rank() as u64 + 1) * 10).to_le_bytes().to_vec(),
             &combine_u64_sum,
-        );
+        ));
         (
             buf == vec![0x5C; 4096],
             u64::from_le_bytes(s[..8].try_into().unwrap()),
@@ -126,7 +126,7 @@ fn live_pvm_ack_bcast_retransmits_to_completion() {
         } else {
             vec![0; 500]
         };
-        comm.bcast(0, &mut buf);
+        expect_coll(comm.bcast(0, &mut buf));
         buf[0]
     })
     .unwrap();

@@ -238,7 +238,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(begin <= end && end <= len, "slice {begin}..{end} out of bounds of {len}");
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds of {len}"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + begin,

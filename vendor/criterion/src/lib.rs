@@ -58,7 +58,11 @@ fn report_json(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
     // Benchmark ids are generated from code (`group/function/param`);
     // escape the two JSON-significant characters anyway.
     let id = id.replace('\\', "\\\\").replace('"', "\\\"");
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = writeln!(
             f,
             "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"mib_per_s\":{mib_per_s}}}"
@@ -146,7 +150,10 @@ fn run_one(id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Benc
     f(&mut b);
     let rate = match throughput {
         Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
-            format!("  ({:.1} MiB/s)", n as f64 / b.mean_ns * 1e9 / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / b.mean_ns * 1e9 / (1 << 20) as f64
+            )
         }
         Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
             format!("  ({:.0} elem/s)", n as f64 / b.mean_ns * 1e9)

@@ -379,10 +379,7 @@ mod tests {
     }
 
     fn kind() -> impl Strategy<Value = Kind> {
-        prop_oneof![
-            Just(Kind::A),
-            (0u8..10).prop_map(Kind::B),
-        ]
+        prop_oneof![Just(Kind::A), (0u8..10).prop_map(Kind::B),]
     }
 
     proptest! {

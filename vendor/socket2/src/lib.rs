@@ -50,8 +50,8 @@ extern "C" {
 #[repr(C)]
 struct SockaddrIn {
     sin_family: u16,
-    sin_port: u16,     // network byte order
-    sin_addr: u32,     // network byte order
+    sin_port: u16, // network byte order
+    sin_addr: u32, // network byte order
     sin_zero: [u8; 8],
 }
 

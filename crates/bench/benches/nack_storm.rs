@@ -1,5 +1,6 @@
 //! Criterion bench: the NACK-storm scale axis of the SRM repair
-//! scale-out (`docs/PROTOCOL.md` §8).
+//! scale-out (`docs/PROTOCOL.md` §8) and the adaptive control plane on
+//! top of it (§9).
 //!
 //! One seeded lossy trial — a 3000-byte multicast-binary broadcast plus
 //! a barrier at 10% per-link loss on the switch — run at N ∈ {4, 16, 64}
@@ -9,6 +10,12 @@
 //! retransmit counters once, which is the data `BENCH_4.json` records:
 //! with suppression on, NACK solicits grow sub-linearly in N, without it
 //! they explode.
+//!
+//! Two §9 groups ride along (recorded in `BENCH_6.json`):
+//! `nack_storm_hetero` replays the storm on *heterogeneous* links (a
+//! quarter of the hosts behind 4–12 ms extra delay) with fixed versus
+//! RTT-adapted timers, and `nack_storm_backpressure` overruns a tiny
+//! retransmit ring with and without the send window.
 
 use std::time::Duration;
 
@@ -16,9 +23,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mmpi_core::{expect_coll, BcastAlgorithm, Communicator};
 use mmpi_netsim::cluster::ClusterConfig;
-use mmpi_netsim::params::NetParams;
+use mmpi_netsim::ids::HostId;
+use mmpi_netsim::params::{FaultParams, NetParams};
 use mmpi_netsim::SimDuration;
-use mmpi_transport::{run_sim_world_stats, Comm, RepairConfig, SimCommConfig, WorldStats};
+use mmpi_transport::{
+    run_sim_world_stats, Comm, RecvError, RepairConfig, SimCommConfig, WorldStats,
+};
 
 fn storm_trial(n: usize, srm: bool, seed: u64) -> WorldStats {
     let mut cfg = SimCommConfig::default();
@@ -40,6 +50,95 @@ fn storm_trial(n: usize, srm: bool, seed: u64) -> WorldStats {
     })
     .expect("storm trial failed");
     stats
+}
+
+/// The §8 storm on heterogeneous links: hosts `h % 4 == 3` receive
+/// every frame 4–12 ms late, far past the fixed 2 ms solicitation
+/// timer. Fixed timers solicit traffic that is merely still in flight;
+/// the RTT-adapted ones stretch per peer.
+fn hetero_trial(n: usize, adaptive: bool, seed: u64) -> WorldStats {
+    let faults = FaultParams {
+        drop_prob: 0.10,
+        per_link_extra_delay: (0..n)
+            .filter(|h| h % 4 == 3)
+            .map(|h| {
+                (
+                    HostId(h as u32),
+                    SimDuration::from_nanos(4_000_000 * (1 + (h / 16) as u64)),
+                )
+            })
+            .collect(),
+        ..Default::default()
+    };
+    let mut cfg = SimCommConfig::default();
+    let repair = RepairConfig::sim_default().with_seed(seed);
+    cfg.repair = Some(if adaptive {
+        repair.with_adaptive()
+    } else {
+        repair
+    });
+    let cluster = ClusterConfig::new(
+        n,
+        NetParams::fast_ethernet_switch().with_faults(faults),
+        seed,
+    );
+    let (_, stats) = run_sim_world_stats(&cluster, &cfg, |c| {
+        let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::McastBinary);
+        for round in 0..3u8 {
+            let mut buf = if comm.rank() == 0 {
+                vec![round; 3000]
+            } else {
+                vec![0u8; 3000]
+            };
+            expect_coll(comm.bcast(0, &mut buf));
+            assert!(buf.iter().all(|&b| b == round), "bcast corrupted data");
+            expect_coll(comm.barrier());
+        }
+    })
+    .expect("hetero trial failed");
+    stats
+}
+
+/// The §9.4 overrun: a 64-message unicast stream through an 8-record
+/// ring at 10% loss. Without the send window, capacity eviction loses
+/// history and receives fail `Unavailable`; with it, the sender stalls
+/// until ACK horizons free the ring. Returns the receiver's
+/// `Unavailable` count alongside the stats.
+fn backpressure_trial(window: bool, seed: u64) -> (u64, WorldStats) {
+    const TAG: u32 = 77;
+    const MSGS: usize = 64;
+    let mut rc = RepairConfig::sim_default().with_seed(seed);
+    rc.buffer_cap = 8;
+    if window {
+        rc = rc
+            .with_send_window(4 * 1024)
+            .with_horizon_interval(Duration::from_micros(500));
+    }
+    let cfg = SimCommConfig {
+        repair: Some(rc),
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_loss(0.10);
+    let (report, stats) =
+        run_sim_world_stats(&ClusterConfig::new(2, params, seed), &cfg, |mut c| {
+            if c.rank() == 0 {
+                for i in 0..MSGS {
+                    c.send(1, TAG, vec![i as u8; 1024]);
+                }
+                0u64
+            } else {
+                let mut unavailable = 0u64;
+                for _ in 0..MSGS {
+                    match c.recv_match(0, TAG) {
+                        Ok(_) => {}
+                        Err(RecvError::Unavailable { .. }) => unavailable += 1,
+                    }
+                }
+                unavailable
+            }
+        })
+        .expect("backpressure trial failed");
+    (report.outputs[1], stats)
 }
 
 fn bench_nack_storm(c: &mut Criterion) {
@@ -69,5 +168,51 @@ fn bench_nack_storm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_nack_storm);
+fn bench_hetero(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nack_storm_hetero");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        for adaptive in [false, true] {
+            let label = if adaptive { "adaptive" } else { "fixed" };
+            let s = hetero_trial(n, adaptive, 1);
+            println!(
+                "# nack_storm_hetero n={n} {label}: drops={} delayed={} nacks={} \
+                 retransmits={} rtt_samples={} horizons={}",
+                s.total_drops(),
+                s.net.link_delayed_frames,
+                s.repair.nacks_sent,
+                s.repair.retransmits_sent,
+                s.repair.rtt_samples,
+                s.repair.horizons_sent,
+            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| hetero_trial(n, adaptive, 1));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_backpressure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nack_storm_backpressure");
+    g.sample_size(10);
+    for window in [false, true] {
+        let label = if window { "window_on" } else { "window_off" };
+        let (unavailable, s) = backpressure_trial(window, 5);
+        println!(
+            "# nack_storm_backpressure {label}: unavailable={unavailable} \
+             stalls={} acked_freed={} unavail_sent={} retransmits={}",
+            s.repair.send_window_stalls,
+            s.repair.acked_records_freed,
+            s.repair.unavailable_sent,
+            s.repair.retransmits_sent,
+        );
+        g.bench_with_input(BenchmarkId::new(label, 2usize), &2usize, |b, _| {
+            b.iter(|| backpressure_trial(window, 5));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nack_storm, bench_hetero, bench_backpressure);
 criterion_main!(benches);

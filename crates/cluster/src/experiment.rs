@@ -213,6 +213,15 @@ pub struct RepairCounters {
     /// Retransmissions avoided by the responder-side multicast-repair
     /// window or the requester's missing-range advertisement (summed).
     pub repairs_suppressed: u64,
+    /// ACK-horizon session messages multicast (summed); zero unless the
+    /// adaptive control plane's horizon cadence is enabled.
+    pub horizons: u64,
+    /// Retransmit-ring records freed by ACK-horizon reconciliation
+    /// rather than capacity eviction (summed).
+    pub acked_freed: u64,
+    /// Per-peer RTT samples folded into the adaptive timer estimators
+    /// (summed).
+    pub rtt_samples: u64,
 }
 
 impl RepairCounters {
@@ -223,22 +232,39 @@ impl RepairCounters {
             suppressed: res.repair.nacks_suppressed,
             retransmits: res.repair.retransmits_sent,
             repairs_suppressed: res.repair.repairs_suppressed,
+            horizons: res.repair.horizons_sent,
+            acked_freed: res.repair.acked_records_freed,
+            rtt_samples: res.repair.rtt_samples,
         }
     }
 
     /// The aligned table header shared by the sweep renderers.
     fn table_header() -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}",
-            "drops", "nacks", "suppressed", "retransmits", "repairs_suppr"
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}",
+            "drops",
+            "nacks",
+            "suppressed",
+            "retransmits",
+            "repairs_suppr",
+            "horizons",
+            "acked_freed",
+            "rtt_samples"
         )
     }
 
     /// The aligned table cells matching [`RepairCounters::table_header`].
     fn table_cells(&self) -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}",
-            self.drops, self.nacks, self.suppressed, self.retransmits, self.repairs_suppressed
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}",
+            self.drops,
+            self.nacks,
+            self.suppressed,
+            self.retransmits,
+            self.repairs_suppressed,
+            self.horizons,
+            self.acked_freed,
+            self.rtt_samples
         )
     }
 }

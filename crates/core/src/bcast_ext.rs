@@ -25,6 +25,15 @@ use crate::tags::{OpTags, Phase};
 /// Rank `(root+i) mod N` receives segments from its predecessor and
 /// forwards each one downstream before waiting for the next, so segment
 /// `k` and `k+1` travel concurrently on adjacent links.
+///
+/// Each travelling segment is framed with an 8-byte `[index, count]`
+/// little-endian header, and assembly is decided by that *identity* —
+/// never by arrival order. Under the repair loop a NACK-recovered
+/// segment completes after segments sent later, so the earlier
+/// stream-shaped formulation ("assemble in receive order, stop at the
+/// first short segment") both scrambled the payload and could terminate
+/// earlier ranks' loops on the wrong segment. Same rule as the ring
+/// collectives (`ring::SuccessorSkip`).
 pub fn bcast_chain<C: Comm>(
     c: &mut C,
     segment: usize,
@@ -44,39 +53,50 @@ pub fn bcast_chain<C: Comm>(
     let is_tail = relrank == n - 1;
 
     if relrank == 0 {
-        // Root: stream segments to the successor. An empty message still
-        // sends one (empty) segment so receivers unblock.
-        if buf.is_empty() {
-            c.send(next, tag, &[]);
-            return Ok(());
-        }
-        for chunk in buf.chunks(segment) {
-            c.send(next, tag, chunk);
+        // Root: frame and stream segments to the successor. An empty
+        // message is one (empty) segment so receivers unblock.
+        let count = buf.len().div_ceil(segment).max(1);
+        for i in 0..count {
+            let lo = (i * segment).min(buf.len());
+            let hi = ((i + 1) * segment).min(buf.len());
+            let mut seg = Vec::with_capacity(8 + hi - lo);
+            seg.extend_from_slice(&(i as u32).to_le_bytes());
+            seg.extend_from_slice(&(count as u32).to_le_bytes());
+            seg.extend_from_slice(&buf[lo..hi]);
+            c.send(next, tag, &seg);
         }
     } else {
-        // Interior/tail: receive segments in order, forward immediately.
-        // The number of segments is derived from the incoming stream: the
-        // final segment is the first one shorter than `segment` (an exact
-        // multiple ends with an explicit empty terminator).
-        let mut assembled = Vec::new();
+        // Interior/tail: forward every segment immediately (identity
+        // framing means order does not matter downstream either), place
+        // it by its index, and finish when all `count` are present.
+        let prev = (rank + n - 1) % n;
+        let mut parts: Vec<Option<mmpi_wire::Bytes>> = Vec::new();
+        let mut got = 0usize;
         loop {
-            let m = c.recv_match((rank + n - 1) % n, tag)?;
-            let last = m.payload.len() < segment;
+            let m = c.recv_match(prev, tag)?;
             if !is_tail {
                 // Forward the received segment as the shared view it
                 // already is — no per-hop copy.
                 c.send_kind(next, tag, mmpi_wire::MsgKind::Data, &m.payload);
             }
-            assembled.extend_from_slice(&m.payload);
-            if last {
+            let idx = u32::from_le_bytes(m.payload[0..4].try_into().unwrap()) as usize;
+            let count = u32::from_le_bytes(m.payload[4..8].try_into().unwrap()) as usize;
+            if parts.is_empty() {
+                parts.resize(count, None);
+            }
+            debug_assert_eq!(parts.len(), count, "inconsistent segment count");
+            if parts[idx].replace(m.payload.slice(8..)).is_none() {
+                got += 1;
+            }
+            if got == parts.len() {
                 break;
             }
         }
+        let mut assembled = Vec::with_capacity(parts.iter().flatten().map(|p| p.len()).sum());
+        for p in parts {
+            assembled.extend_from_slice(&p.expect("all segments present"));
+        }
         *buf = assembled;
-    }
-    // Exact-multiple case: the root must terminate the stream.
-    if relrank == 0 && !buf.is_empty() && buf.len().is_multiple_of(segment) {
-        c.send(next, tag, &[]);
     }
     Ok(())
 }

@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use mmpi_transport::{Comm, RecvError, RecvReq, Tag};
+use mmpi_transport::{CancelSink, Comm, RecvError, RecvReq, SendReq, SendWindowFull, Tag};
 use mmpi_wire::{Bytes, Message, MsgKind};
 
 /// A communicator over a subset of a parent communicator's ranks.
@@ -213,6 +213,38 @@ impl<C: Comm> Comm for GroupComm<'_, C> {
 
     fn cancel_recv(&mut self, req: RecvReq) {
         self.parent.cancel_recv(req);
+    }
+
+    fn cancel_sink(&self) -> CancelSink {
+        // Handles are the parent's; the shared sink cancels them there.
+        self.parent.cancel_sink()
+    }
+
+    fn try_post_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<SendReq, SendWindowFull> {
+        let world = self.members[dst];
+        let t = self.shift(tag);
+        self.parent.try_post_send(world, t, payload)
+    }
+
+    fn try_post_mcast(&mut self, tag: Tag, payload: &Bytes) -> Result<SendReq, SendWindowFull> {
+        // Unicast fan-out, nonblocking: give up on the first full window
+        // (already-sent copies stand — same partial-progress semantics as
+        // a blocked fan-out interrupted mid-loop).
+        let t = self.shift(tag);
+        let me = self.my_rank;
+        let mut last = SendReq::default();
+        for g in 0..self.members.len() {
+            if g != me {
+                let world = self.members[g];
+                last = self.parent.try_post_send(world, t, payload)?;
+            }
+        }
+        Ok(last)
     }
 
     fn compute(&mut self, d: Duration) {

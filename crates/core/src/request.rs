@@ -34,7 +34,7 @@
 
 use std::time::Duration;
 
-use mmpi_transport::{Comm, RecvError, RecvReq, Tag};
+use mmpi_transport::{CancelSink, Comm, RecvError, RecvReq, Tag};
 use mmpi_wire::{Bytes, MsgKind};
 
 use crate::bcast::{tcp_acks_for, BcastAlgorithm};
@@ -70,12 +70,12 @@ pub trait CollRequest {
     /// what [`CollRequest::wait`] parks against. Empty once complete.
     fn pending(&self) -> Vec<RecvReq>;
 
-    /// Abandon an in-flight operation, cancelling its posted receives.
-    /// **Dropping an incomplete machine without calling this leaks
-    /// them**: the transport would keep each leaked receive's repair
-    /// state live forever, and once its traffic arrives the parked
-    /// completion would pin [`Comm::progress_block`] awake. (A `Drop`
-    /// impl cannot do this — cancellation needs the transport handle.)
+    /// Abandon an in-flight operation, cancelling its posted receives
+    /// immediately. Dropping an incomplete machine instead is also safe:
+    /// its `Drop` impl pushes the outstanding handles into the
+    /// endpoint's [`CancelSink`] and the progress engine cancels them on
+    /// its next pass — `cancel` just does it now, without waiting for
+    /// that pass.
     fn cancel<C: Comm>(self, c: &mut C)
     where
         Self: Sized,
@@ -184,6 +184,7 @@ impl ScoutReduce {
 #[derive(Debug)]
 pub struct IbarrierRequest {
     state: BarrierState,
+    sink: CancelSink,
 }
 
 #[derive(Debug)]
@@ -204,6 +205,7 @@ impl IbarrierRequest {
         if c.size() == 1 {
             return IbarrierRequest {
                 state: BarrierState::Complete,
+                sink: c.cancel_sink(),
             };
         }
         let release_tag = tags.tag(Phase::Release);
@@ -217,6 +219,20 @@ impl IbarrierRequest {
                 release_tag,
                 release_req,
             },
+            sink: c.cancel_sink(),
+        }
+    }
+}
+
+impl Drop for IbarrierRequest {
+    fn drop(&mut self) {
+        // Deferred cancel of an abandoned operation: push the
+        // outstanding receives into the endpoint's sink; the progress
+        // engine cancels them on its next pass (no-op for handles
+        // already cancelled explicitly).
+        let reqs = self.pending();
+        if !reqs.is_empty() {
+            self.sink.push_all(reqs);
         }
     }
 }
@@ -303,6 +319,7 @@ impl CollRequest for IbarrierRequest {
 #[derive(Debug)]
 pub struct IbcastRequest {
     state: BcastState,
+    sink: CancelSink,
 }
 
 #[derive(Debug)]
@@ -343,6 +360,7 @@ impl IbcastRequest {
         if n == 1 {
             return IbcastRequest {
                 state: BcastState::Complete(buf),
+                sink: c.cancel_sink(),
             };
         }
         let state = match algo {
@@ -385,7 +403,20 @@ impl IbcastRequest {
                 }
             }
         };
-        IbcastRequest { state }
+        IbcastRequest {
+            state,
+            sink: c.cancel_sink(),
+        }
+    }
+}
+
+impl Drop for IbcastRequest {
+    fn drop(&mut self) {
+        // Deferred cancel (see `IbarrierRequest`'s `Drop`).
+        let reqs = self.pending();
+        if !reqs.is_empty() {
+            self.sink.push_all(reqs);
+        }
     }
 }
 
@@ -704,6 +735,7 @@ impl ScatterAllgather {
 #[derive(Debug)]
 pub struct IallgatherRequest {
     state: AllgatherState,
+    sink: CancelSink,
 }
 
 #[derive(Debug)]
@@ -743,6 +775,7 @@ impl IallgatherRequest {
         if n == 1 {
             return IallgatherRequest {
                 state: AllgatherState::Complete(out),
+                sink: c.cancel_sink(),
             };
         }
         let state = match algo {
@@ -787,7 +820,20 @@ impl IallgatherRequest {
                 state
             }
         };
-        IallgatherRequest { state }
+        IallgatherRequest {
+            state,
+            sink: c.cancel_sink(),
+        }
+    }
+}
+
+impl Drop for IallgatherRequest {
+    fn drop(&mut self) {
+        // Deferred cancel (see `IbarrierRequest`'s `Drop`).
+        let reqs = self.pending();
+        if !reqs.is_empty() {
+            self.sink.push_all(reqs);
+        }
     }
 }
 
@@ -987,6 +1033,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dropped_machine_cancels_outstanding_receives_via_sink() {
+        // Abandoning a half-finished machine must not leak its posted
+        // receives: `Drop` pushes them into the endpoint's cancel sink
+        // and the next progress pass retires them.
+        let out = run_mem_world(2, 0, |mut c| {
+            let req = IbarrierRequest::new(&mut c, OpTags::new(OpCode::Barrier, 0));
+            // Rank 0 posted the scout receive, rank 1 the release receive.
+            assert_eq!(c.outstanding_recvs(), 1);
+            drop(req);
+            c.progress();
+            c.outstanding_recvs()
+        });
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn dropped_ring_machine_cancels_all_posted_receives() {
+        // The allgather ring posts n-1 receives upfront; dropping it
+        // unpolled must retire every one of them (and a fresh identical
+        // operation afterwards still completes — no traffic was stolen).
+        let out = run_mem_world(4, 0, |mut c| {
+            let mine = [c.rank() as u8; 2];
+            let abandoned = IallgatherRequest::new(
+                &mut c,
+                AllgatherAlgorithm::Ring,
+                OpTags::new(OpCode::Allgather, 0),
+                &mine,
+            );
+            assert_eq!(c.outstanding_recvs(), 3);
+            drop(abandoned);
+            c.progress();
+            let after_drop = c.outstanding_recvs();
+            // The abandoned op's first-step block is in flight toward the
+            // successor, but its op slot is dead; a fresh slot must be
+            // unaffected.
+            let req = IallgatherRequest::new(
+                &mut c,
+                AllgatherAlgorithm::Ring,
+                OpTags::new(OpCode::Allgather, 1),
+                &mine,
+            );
+            let parts = req.wait(&mut c).unwrap();
+            for (src, p) in parts.iter().enumerate() {
+                assert_eq!(p, &[src as u8; 2]);
+            }
+            after_drop
+        });
+        assert_eq!(out, vec![0, 0, 0, 0]);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | `reorder_prob` | probability per delivered frame | 0.0 | frame delayed |
 //! | `reorder_max_delay` | virtual time | 500 µs | bound on the extra delay |
 //! | `per_link_drop` | list of `(host, prob)` | empty | per-link override of `drop_prob` |
+//! | `per_link_extra_delay` | list of `(host, delay)` | empty | extra latency on frames arriving at `host` |
 //! | `partition` | `[start, start+duration)` window | none | one-shot network split |
 //!
 //! The separate, older [`NetParams::frame_loss_prob`] models hardware bit
@@ -292,6 +293,12 @@ pub struct FaultParams {
     /// every frame arriving at `host`'s link roll `prob` instead of the
     /// global default. Default: empty.
     pub per_link_drop: Vec<(HostId, f64)>,
+    /// Heterogeneous link latency: `(host, delay)` adds `delay` to every
+    /// frame arriving at `host`'s link (a slow last hop — longer cable
+    /// run, congested edge port, WAN-ish member). Applied *after* the
+    /// fault dice with no RNG draw of its own, so turning it on never
+    /// perturbs which frames the other knobs hit. Default: empty.
+    pub per_link_extra_delay: Vec<(HostId, SimDuration)>,
     /// One-shot partition window, if any. Default: none.
     pub partition: Option<Partition>,
 }
@@ -304,6 +311,7 @@ impl Default for FaultParams {
             reorder_prob: 0.0,
             reorder_max_delay: SimDuration::from_micros(500),
             per_link_drop: Vec::new(),
+            per_link_extra_delay: Vec::new(),
             partition: None,
         }
     }
@@ -328,6 +336,17 @@ impl FaultParams {
             .unwrap_or(self.drop_prob)
     }
 
+    /// Extra latency for frames arriving at `dst`'s link (zero unless
+    /// overridden by `per_link_extra_delay`).
+    #[inline]
+    pub fn extra_delay_for(&self, dst: HostId) -> SimDuration {
+        self.per_link_extra_delay
+            .iter()
+            .find(|(h, _)| *h == dst)
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::from_nanos(0))
+    }
+
     /// True when no knob is set — the fast path never rolls the RNG.
     #[inline]
     pub fn is_inert(&self) -> bool {
@@ -335,6 +354,7 @@ impl FaultParams {
             && self.dup_prob <= 0.0
             && self.reorder_prob <= 0.0
             && self.per_link_drop.is_empty()
+            && self.per_link_extra_delay.is_empty()
             && self.partition.is_none()
     }
 }

@@ -22,6 +22,8 @@ pub struct LinkStats {
     pub injected_dups: u64,
     /// Frames delayed by injected reordering.
     pub injected_reorders: u64,
+    /// Frames held back by this link's heterogeneous extra delay.
+    pub delayed_frames: u64,
     /// Frames dropped because a partition separated sender and receiver.
     pub partition_drops: u64,
 }
@@ -69,6 +71,8 @@ pub struct NetStats {
     pub injected_duplicates: u64,
     /// Frames delayed by injected reordering.
     pub injected_reorders: u64,
+    /// Frames held back by heterogeneous per-link extra delay.
+    pub link_delayed_frames: u64,
     /// Frames dropped by an active partition.
     pub partition_drops: u64,
     /// Datagrams fully reassembled and delivered to a socket.
@@ -164,6 +168,7 @@ impl NetStats {
         self.injected_frame_losses += other.injected_frame_losses;
         self.injected_duplicates += other.injected_duplicates;
         self.injected_reorders += other.injected_reorders;
+        self.link_delayed_frames += other.link_delayed_frames;
         self.partition_drops += other.partition_drops;
         self.datagrams_delivered += other.datagrams_delivered;
         self.datagrams_sent += other.datagrams_sent;
@@ -177,6 +182,7 @@ impl NetStats {
             a.injected_drops += b.injected_drops;
             a.injected_dups += b.injected_dups;
             a.injected_reorders += b.injected_reorders;
+            a.delayed_frames += b.delayed_frames;
             a.partition_drops += b.partition_drops;
         }
     }

@@ -738,8 +738,11 @@ impl World {
 
     /// Last hop of a frame onto `host`'s link: roll the injected-fault
     /// dice (partition, drop, reorder, duplicate — in that order), then
-    /// deliver. Inert fault params take the zero-draw fast path, so
-    /// fault-free runs are byte-identical to pre-fault-injection ones.
+    /// deliver — late, when the link carries a heterogeneous extra delay
+    /// (applied after the dice with no RNG draw of its own, so enabling
+    /// it never perturbs which frames the probabilistic knobs hit).
+    /// Inert fault params take the zero-draw fast path, so fault-free
+    /// runs are byte-identical to pre-fault-injection ones.
     fn link_deliver(&mut self, host: HostId, frame: &Frame) {
         if self.params.faults.is_inert() {
             self.receive_frame(host, frame);
@@ -798,6 +801,19 @@ impl World {
                     frame: frame.clone(),
                 },
             );
+        }
+        let extra = self.params.faults.extra_delay_for(host);
+        if extra.as_nanos() > 0 {
+            self.stats.link_delayed_frames += 1;
+            self.stats.link_mut(host).delayed_frames += 1;
+            self.queue.schedule(
+                now + extra,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+            return;
         }
         self.receive_frame(host, frame);
     }

@@ -37,14 +37,16 @@
 //! dedup"). A walkthrough of a posted receive's lifecycle through the
 //! engine is in `docs/API.md`.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mmpi_netsim::rng::SplitMix64;
 use mmpi_wire::{
-    split_message, Assembler, Bytes, Datagram, Message, MsgKind, NackPayload, RepairStats,
-    RetransmitBuffer, SendDst, UnavailPayload, WireError, NACK_TARGET_ANY,
+    split_message, AckHorizonPayload, Assembler, Bytes, Datagram, HorizonEcho, Message, MsgKind,
+    NackPayload, RepairStats, RetransmitBuffer, SendDst, SourceHorizon, UnavailPayload, WireError,
+    MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES, NACK_TARGET_ANY,
 };
 
 /// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
@@ -103,6 +105,33 @@ pub struct RepairConfig {
     /// behavior, kept only so regression tests can demonstrate the
     /// livelock it caused (`tests/lossy_recovery.rs`).
     pub fixed_drain: bool,
+    /// Period of the ACK-horizon session message (`MsgKind::AckHorizon`,
+    /// `docs/PROTOCOL.md` §9): each endpoint periodically multicasts its
+    /// per-source delivery frontiers plus RTT probe/echo timestamps.
+    /// Enables retransmit-ring garbage collection (acknowledged history
+    /// is freed instead of waiting for capacity eviction), feeds the
+    /// adaptive timers, and is what advances the send window. `None`
+    /// (the default) disables the session-message plane entirely —
+    /// byte-identical to the pre-horizon protocol.
+    pub horizon_interval: Option<Duration>,
+    /// Derive `nack_timeout`/`backoff`/`suppress_window` per peer from
+    /// the measured RTT (SRM-style EWMA of srtt/var, clamped to
+    /// `[nack_timeout, 16 × nack_timeout]`) instead of using the
+    /// configured constants. Falls back to the constants for peers with
+    /// no samples yet, so enabling this is safe before any horizon
+    /// exchange has happened. Estimates come from the virtual clock and
+    /// the seeded streams, so sim replay stays deterministic.
+    pub adaptive: bool,
+    /// Send-window back-pressure: when the wire bytes of
+    /// unacknowledged `Data` traffic held in the retransmit ring exceed
+    /// this, `post_send`/`post_mcast` block (and the `try_post_*`
+    /// request path returns [`SendWindowFull`]) until peers' ACK
+    /// horizons advance. Requires [`RepairConfig::horizon_interval`] —
+    /// without the session messages nothing could ever open the window,
+    /// so the window is ignored. `None` disables back-pressure: a fast
+    /// sender can outrun its own repair history (capacity eviction +
+    /// `Unavail` is then the only bound).
+    pub send_window: Option<usize>,
 }
 
 impl RepairConfig {
@@ -120,6 +149,9 @@ impl RepairConfig {
             drain_grace_cap: Duration::from_secs(1),
             seed: 0x5EED_BACC_0FF5,
             fixed_drain: false,
+            horizon_interval: None,
+            adaptive: false,
+            send_window: None,
         }
     }
 
@@ -137,6 +169,9 @@ impl RepairConfig {
             drain_grace_cap: Duration::from_secs(1),
             seed: 0x5EED_BACC_0FF5,
             fixed_drain: false,
+            horizon_interval: None,
+            adaptive: false,
+            send_window: None,
         }
     }
 
@@ -151,6 +186,48 @@ impl RepairConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style: turn on the full adaptive control plane — ACK
+    /// horizons every `4 × nack_timeout` (unless an interval was already
+    /// set) plus RTT-derived per-peer timers.
+    pub fn with_adaptive(mut self) -> Self {
+        if self.horizon_interval.is_none() {
+            self.horizon_interval = Some(self.nack_timeout * 4);
+        }
+        self.adaptive = true;
+        self
+    }
+
+    /// Builder-style: set the ACK-horizon session-message period.
+    pub fn with_horizon_interval(mut self, interval: Duration) -> Self {
+        self.horizon_interval = Some(interval);
+        self
+    }
+
+    /// Builder-style: arm send-window back-pressure at `bytes` of
+    /// unacknowledged `Data` traffic (enables horizons at the default
+    /// period if no interval was set — the window needs them to open).
+    pub fn with_send_window(mut self, bytes: usize) -> Self {
+        if self.horizon_interval.is_none() {
+            self.horizon_interval = Some(self.nack_timeout * 4);
+        }
+        self.send_window = Some(bytes);
+        self
+    }
+
+    /// The horizon period actually used by an endpoint in an `n`-rank
+    /// world: the configured interval stretched by `n/2` (floor 1×).
+    /// Every endpoint multicasts its session message each period, so
+    /// aggregate horizon traffic per receiving link is `(n-1)/period` —
+    /// linear in `n` at a fixed period, which saturates the fabric long
+    /// before the sizes this transport targets. Scaling the period by
+    /// `n/2` pins that aggregate near `2/interval` regardless of group
+    /// size (the same constant-bandwidth-share rule SRM applies to its
+    /// session messages).
+    pub fn effective_horizon_interval(&self, n: usize) -> Option<Duration> {
+        let base = self.horizon_interval?;
+        Some(base.saturating_mul((n as u32 / 2).max(1)))
     }
 
     /// The drain grace actually applied by an endpoint in an `n`-rank
@@ -212,6 +289,64 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// `WouldBlock` of the nonblocking send path ([`Comm::try_post_send`] /
+/// [`Comm::try_post_mcast`]): the send window is full — the wire bytes of
+/// unacknowledged `Data` traffic exceed [`RepairConfig::send_window`] —
+/// and one nonblocking progress pass did not open it. Keep progressing
+/// (peers' ACK horizons advance the window) and retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendWindowFull;
+
+impl fmt::Display for SendWindowFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "send window full: unacknowledged bytes exceed the configured \
+             window; progress until peers' ACK horizons advance, then retry"
+        )
+    }
+}
+
+impl std::error::Error for SendWindowFull {}
+
+/// Deferred-cancel sink: a cheap cloneable handle into an endpoint's
+/// progress engine through which *dropped* request machines (see
+/// `mmpi-core`'s `CollRequest`) register their outstanding receive
+/// handles for cancellation. A `Drop` impl has no `&mut Comm` to call
+/// [`Comm::cancel_recv`] on, so it pushes the handles here instead; the
+/// engine drains the sink at the start of every progress pass. Handles
+/// are never reused, so a raced double-cancel (explicit cancel *and*
+/// drop) is a harmless no-op.
+#[derive(Clone, Debug, Default)]
+pub struct CancelSink(Arc<Mutex<Vec<RecvReq>>>);
+
+impl CancelSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a receive handle for deferred cancellation.
+    pub fn push(&self, req: RecvReq) {
+        self.0.lock().expect("cancel sink poisoned").push(req);
+    }
+
+    /// Register every handle in `reqs` for deferred cancellation.
+    pub fn push_all(&self, reqs: impl IntoIterator<Item = RecvReq>) {
+        self.0.lock().expect("cancel sink poisoned").extend(reqs);
+    }
+
+    /// Take every deferred handle (the engine's half).
+    pub fn drain(&self) -> Vec<RecvReq> {
+        std::mem::take(&mut *self.0.lock().expect("cancel sink poisoned"))
+    }
+
+    /// True when no cancellations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().expect("cancel sink poisoned").is_empty()
+    }
+}
+
 /// Handle to a **posted receive** — a ticket into the endpoint's pending
 /// request table. Obtained from [`Comm::post_recv`]; driven by the
 /// progress engine; consumed by the completing call ([`Comm::test`]
@@ -230,12 +365,18 @@ pub struct RecvReq(u64);
 /// must keep alive, hence nothing to test or wait for. The handle exists
 /// for API symmetry with MPI's `Isend` and carries the sequence number
 /// the send used.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SendReq {
     seq: u64,
 }
 
 impl SendReq {
+    /// Wrap a completed send's sequence number (used by backends
+    /// implementing the `try_post_*` window paths).
+    pub(crate) fn completed(seq: u64) -> SendReq {
+        SendReq { seq }
+    }
+
     /// The sequence number the posted send used (what
     /// [`Comm::send_kind`] returns on the blocking path).
     pub fn seq(&self) -> u64 {
@@ -378,18 +519,48 @@ pub trait Comm {
     /// already-retired handle.
     fn cancel_recv(&mut self, req: RecvReq);
 
-    /// Post a unicast send. Completes immediately (see [`SendReq`]).
+    /// The endpoint's deferred-cancel sink: dropped request machines push
+    /// their outstanding receive handles here and the progress engine
+    /// cancels them on its next pass (a `Drop` impl has no `&mut Comm`).
+    /// Clones share the sink.
+    fn cancel_sink(&self) -> CancelSink;
+
+    /// Post a unicast send. Completes immediately (see [`SendReq`]) —
+    /// but with a send window configured ([`RepairConfig::send_window`]),
+    /// *posting itself* blocks while the window is full, progressing the
+    /// engine until peers' ACK horizons open it (the back-pressure that
+    /// keeps a fast sender from outrunning its repair history). Use
+    /// [`Comm::try_post_send`] to get `WouldBlock` instead.
     fn post_send(&mut self, dst: usize, tag: Tag, payload: &Bytes) -> SendReq {
         SendReq {
             seq: self.send_kind(dst, tag, MsgKind::Data, payload),
         }
     }
 
-    /// Post a multicast send. Completes immediately (see [`SendReq`]).
+    /// Post a multicast send. Completes immediately, with the same
+    /// send-window blocking semantics as [`Comm::post_send`].
     fn post_mcast(&mut self, tag: Tag, payload: &Bytes) -> SendReq {
         SendReq {
             seq: self.mcast_kind(tag, MsgKind::Data, payload),
         }
+    }
+
+    /// Nonblocking [`Comm::post_send`]: with the send window full (after
+    /// one nonblocking progress pass that may open it) returns
+    /// [`SendWindowFull`] instead of blocking. Backends without a send
+    /// window never fail.
+    fn try_post_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<SendReq, SendWindowFull> {
+        Ok(self.post_send(dst, tag, payload))
+    }
+
+    /// Nonblocking [`Comm::post_mcast`] (see [`Comm::try_post_send`]).
+    fn try_post_mcast(&mut self, tag: Tag, payload: &Bytes) -> Result<SendReq, SendWindowFull> {
+        Ok(self.post_mcast(tag, payload))
     }
 
     // ------------------------------------------------------------------
@@ -496,6 +667,7 @@ pub struct Inbox {
     unmatched: VecDeque<Message>,
     nacks: VecDeque<Message>,
     unavail: VecDeque<Message>,
+    horizons: VecDeque<Message>,
     assembler: Assembler,
     seen: HashMap<u32, HashSet<u64>>,
     /// Per-source high-water mark of accepted seqs (bounds the
@@ -514,6 +686,7 @@ impl Inbox {
             unmatched: VecDeque::new(),
             nacks: VecDeque::new(),
             unavail: VecDeque::new(),
+            horizons: VecDeque::new(),
             assembler: Assembler::new(),
             seen: HashMap::new(),
             seen_max: HashMap::new(),
@@ -569,6 +742,28 @@ impl Inbox {
         if m.tag == FIRE_AND_FORGET_TAG {
             return; // modelled ack traffic: wire-visible, never matched
         }
+        if m.kind == MsgKind::AckHorizon {
+            // Session message: repair-plane traffic, never matchable by
+            // the application — and diverted BEFORE the seq tracking,
+            // because horizons live in their own sequence space (a
+            // per-endpoint counter, not `fresh_seq`). Folding them into
+            // the data seq space would make every *lost* horizon a
+            // permanent hole that receivers solicit forever: the origin
+            // never records session messages for retransmission, so the
+            // hole is unanswerable by design. One live entry per peer —
+            // the one with the highest seq wins (a reordered fabric may
+            // deliver an older horizon after a newer one; frontiers are
+            // monotone per sender, so seq order is supersession order).
+            if let Some(i) = self.horizons.iter().position(|h| h.src_rank == m.src_rank) {
+                if self.horizons[i].seq <= m.seq {
+                    self.horizons.remove(i);
+                } else {
+                    return;
+                }
+            }
+            self.horizons.push_back(m);
+            return;
+        }
         let seqs = self.seen.entry(m.src_rank).or_default();
         if !seqs.insert(m.seq) {
             self.dropped_duplicates += 1;
@@ -605,6 +800,11 @@ impl Inbox {
     /// Take the oldest pending repair solicitation, if any.
     pub fn take_nack(&mut self) -> Option<Message> {
         self.nacks.pop_front()
+    }
+
+    /// Take the oldest pending ACK-horizon session message, if any.
+    pub fn take_horizon(&mut self) -> Option<Message> {
+        self.horizons.pop_front()
     }
 
     /// Take the oldest `Unavail` advertisement matching `(src, tag)`, if
@@ -667,6 +867,31 @@ impl Inbox {
             });
         }
         out
+    }
+
+    /// Every source this inbox has accepted traffic from, sorted — the
+    /// deterministic iteration order the ACK-horizon builder needs (the
+    /// seen-sets themselves are hash maps).
+    pub fn sources(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.seen_max.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// This inbox's delivery frontier for `src`, as advertised in an
+    /// ACK-horizon message: the high-water mark plus the holes at or
+    /// below it (from [`Inbox::missing_from`], so the below-window
+    /// conservatism carries over — old unseen history stays "missing",
+    /// which can only under-acknowledge). `None` before anything was
+    /// accepted from `src`.
+    pub fn frontier_of(&self, src: u32) -> Option<SourceHorizon> {
+        let &hwm = self.seen_max.get(&src)?;
+        let mut missing = self.missing_from(src);
+        missing.retain(|r| r.start <= hwm);
+        for r in &mut missing {
+            r.end = r.end.min(hwm);
+        }
+        Some(SourceHorizon { src, hwm, missing })
     }
 
     /// Put a message back at the *front* of the matching queue — the
@@ -843,6 +1068,99 @@ impl SrmState {
     }
 }
 
+/// SRM/RFC-6298-style RTT estimator for one peer: integer-nanosecond
+/// EWMAs `srtt += (sample − srtt)/8`, `rttvar += (|sample − srtt| −
+/// rttvar)/4`, retransmission timeout `srtt + 4·rttvar`. All arithmetic
+/// is on [`Nanos`] from the backend clock, so simulated estimates replay
+/// byte-identically.
+#[derive(Clone, Copy, Debug, Default)]
+struct PeerRtt {
+    srtt: Nanos,
+    rttvar: Nanos,
+    samples: u64,
+}
+
+impl PeerRtt {
+    fn observe(&mut self, sample: Nanos) {
+        let sample = sample.max(1);
+        if self.samples == 0 {
+            self.srtt = sample;
+            self.rttvar = sample / 2;
+        } else {
+            self.rttvar = (3 * self.rttvar + self.srtt.abs_diff(sample)) / 4;
+            self.srtt = (7 * self.srtt + sample) / 8;
+        }
+        self.samples += 1;
+    }
+
+    /// Smoothed RTT, once at least one sample exists.
+    fn srtt(&self) -> Option<Nanos> {
+        (self.samples > 0).then_some(self.srtt)
+    }
+
+    /// Derived solicitation timeout `srtt + 4·rttvar` (unclamped — the
+    /// consumer clamps into its configured band).
+    fn timeout(&self) -> Option<Nanos> {
+        (self.samples > 0).then(|| self.srtt + 4 * self.rttvar.max(1))
+    }
+}
+
+/// Wire offset of the horizon sequence space: session messages count
+/// from here, data messages from zero, and the chunk assembler (keyed
+/// by `(src, seq)`) can never confuse the two.
+const HORIZON_SEQ_BASE: u64 = 1 << 63;
+
+/// Per-endpoint state of the ACK-horizon session plane: the per-peer RTT
+/// estimators, the probe timestamps owed an echo, each peer's advertised
+/// frontier for *our* traffic, and the emission schedule. Exists whenever
+/// the repair loop is armed (cheap: two `Vec`s of `n`); stays inert until
+/// [`RepairConfig::horizon_interval`] turns emission on.
+#[derive(Debug)]
+struct HorizonState {
+    /// Per-peer RTT estimators, indexed by rank.
+    rtt: Vec<PeerRtt>,
+    /// `peer → (their latest probe timestamp, our clock at ingest)`:
+    /// probes owed an echo on our next horizon. `BTreeMap`, not
+    /// `HashMap`: the builder iterates it into wire bytes, and replay
+    /// determinism forbids hash-order output.
+    owed: BTreeMap<u32, (Nanos, Nanos)>,
+    /// `peer → frontier that peer advertised for our traffic` (only the
+    /// `src == our rank` entry of their horizon), indexed by rank.
+    frontier: Vec<Option<SourceHorizon>>,
+    /// Next scheduled emission (0 = emit on the first progress pass).
+    next_at: Nanos,
+    /// Rotation cursor over the inbox's known sources when there are
+    /// more frontiers than one message carries.
+    ack_cursor: usize,
+    /// `src → when we last solicited it` — the NACK→repair secondary
+    /// RTT source: the next matched arrival from that source closes the
+    /// pair. Gated against app-not-ready pollution at sample time.
+    solicited_at: BTreeMap<u32, Nanos>,
+    /// Sequence counter for our own horizon emissions. A space of its
+    /// own, *not* [`EndpointCore::fresh_seq`]: session messages are
+    /// never recorded for retransmission, so threading them through the
+    /// data sequence space would turn every lost horizon into a
+    /// permanent, unanswerable hole in receivers' missing-range
+    /// advertisements. Offset by [`HORIZON_SEQ_BASE`] on the wire so
+    /// the two spaces can never collide in the chunk assembler's
+    /// `(src, seq)` keys.
+    seq: u64,
+}
+
+impl HorizonState {
+    fn new(n: usize) -> Self {
+        HorizonState {
+            rtt: vec![PeerRtt::default(); n],
+            owed: BTreeMap::new(),
+            frontier: vec![None; n],
+            next_at: 0,
+            ack_cursor: 0,
+            solicited_at: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+}
+
 /// One posted receive in the endpoint's request table: its matcher, its
 /// private NACK solicitation deadline, and — once the progress engine
 /// completes it — the parked result awaiting a claim.
@@ -877,6 +1195,8 @@ pub struct EndpointCore {
     rtx: RetransmitBuffer,
     rstats: RepairStats,
     srm: Option<SrmState>,
+    horizon: Option<HorizonState>,
+    cancels: CancelSink,
     next_seq: u64,
     /// Posted receives, in post order (the matching priority).
     pending: Vec<PendingRecv>,
@@ -908,10 +1228,39 @@ impl EndpointCore {
             srm: repair
                 .filter(|r| r.srm)
                 .map(|r| SrmState::new(r.seed, rank, context)),
+            horizon: repair.map(|_| HorizonState::new(n)),
+            cancels: CancelSink::new(),
             next_seq: 0,
             pending: Vec::new(),
             next_req: 0,
         }
+    }
+
+    /// A clone of this endpoint's deferred-cancel sink (see
+    /// [`CancelSink`]); drained at the start of every progress pass.
+    pub fn cancel_sink(&self) -> CancelSink {
+        self.cancels.clone()
+    }
+
+    /// The smoothed RTT estimate for `peer`, if any samples exist —
+    /// exposed for the adaptive-timer convergence tests and diagnostics.
+    pub fn peer_rtt(&self, peer: usize) -> Option<Duration> {
+        self.horizon
+            .as_ref()?
+            .rtt
+            .get(peer)?
+            .srtt()
+            .map(Duration::from_nanos)
+    }
+
+    /// The per-peer solicitation timeout a directed receive from `peer`
+    /// would use right now: RTT-derived (clamped into the configured
+    /// band) when adaptivity is on and samples exist, otherwise the
+    /// configured [`RepairConfig::nack_timeout`]. `None` with repair off.
+    pub fn peer_nack_timeout(&self, peer: usize) -> Option<Duration> {
+        self.repair?;
+        let (t, _) = self.repair_timers(Some(peer));
+        Some(Duration::from_nanos(t))
     }
 
     /// This endpoint's rank.
@@ -972,7 +1321,10 @@ impl EndpointCore {
 
     /// The shared unicast send path: allocate a sequence number, encode,
     /// record for retransmission when armed, hand to the pump. Every
-    /// backend's [`Comm::send_kind`] is this.
+    /// backend's [`Comm::send_kind`] is this. `Data` sends first block on
+    /// the send window when one is configured (control and repair kinds
+    /// are never gated — gating them would deadlock the very plane that
+    /// opens the window).
     pub fn send_message<P: RepairPump>(
         &mut self,
         io: &mut P,
@@ -982,6 +1334,9 @@ impl EndpointCore {
         payload: &Bytes,
     ) -> u64 {
         assert!(dst < self.n, "rank {dst} out of range");
+        if kind == MsgKind::Data {
+            self.wait_for_send_window(io);
+        }
         let seq = self.fresh_seq();
         let dgs = self.encode(tag, kind, payload, seq);
         self.record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
@@ -997,11 +1352,97 @@ impl EndpointCore {
         kind: MsgKind,
         payload: &Bytes,
     ) -> u64 {
+        if kind == MsgKind::Data {
+            self.wait_for_send_window(io);
+        }
         let seq = self.fresh_seq();
         let dgs = self.encode(tag, kind, payload, seq);
         self.record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
         io.send_encoded_mcast(&dgs);
         seq
+    }
+
+    /// Nonblocking unicast `Data` send: with the window full after one
+    /// nonblocking progress pass, fail with [`SendWindowFull`] instead
+    /// of blocking — the request-path (`WouldBlock`) surface.
+    pub fn try_send_message<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<u64, SendWindowFull> {
+        if !self.send_window_open() {
+            self.progress(io);
+            if !self.send_window_open() {
+                self.rstats.send_window_stalls += 1;
+                return Err(SendWindowFull);
+            }
+        }
+        Ok(self.send_message(io, dst, tag, MsgKind::Data, payload))
+    }
+
+    /// Nonblocking multicast `Data` send (see
+    /// [`EndpointCore::try_send_message`]).
+    pub fn try_mcast_message<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<u64, SendWindowFull> {
+        if !self.send_window_open() {
+            self.progress(io);
+            if !self.send_window_open() {
+                self.rstats.send_window_stalls += 1;
+                return Err(SendWindowFull);
+            }
+        }
+        Ok(self.mcast_message(io, tag, MsgKind::Data, payload))
+    }
+
+    /// True when another `Data` send fits the send window. Always true
+    /// without a configured window — and without a horizon interval,
+    /// whose session messages are the only thing that could ever open a
+    /// closed window again.
+    pub fn send_window_open(&self) -> bool {
+        match self.repair {
+            Some(RepairConfig {
+                send_window: Some(w),
+                horizon_interval: Some(_),
+                ..
+            }) => self.rtx.data_bytes() <= w,
+            _ => true,
+        }
+    }
+
+    /// Block until the send window opens: progress the engine (which
+    /// ingests peers' ACK horizons and garbage-collects acknowledged
+    /// ring history) and park on the pump between passes. The park
+    /// deadline includes our own next horizon emission, so mutually
+    /// blocked endpoints keep exchanging session messages — the window
+    /// cannot deadlock on itself.
+    fn wait_for_send_window<P: RepairPump>(&mut self, io: &mut P) {
+        if self.send_window_open() {
+            return;
+        }
+        self.rstats.send_window_stalls += 1;
+        let interval = self
+            .repair
+            .and_then(|rc| rc.effective_horizon_interval(self.n))
+            .map(dur_nanos)
+            .expect("window closed implies horizon interval set");
+        loop {
+            self.advance(io);
+            if self.send_window_open() {
+                return;
+            }
+            let now = io.now();
+            let until = self
+                .park_deadline()
+                .map_or(now + interval, |at| at.min(now + interval))
+                .max(now + 1);
+            io.pump_one(self, Some(until));
+        }
     }
 
     /// Re-multicast under an explicit (previously used) sequence number —
@@ -1139,6 +1580,197 @@ impl EndpointCore {
         }
     }
 
+    /// Ingest every queued ACK-horizon session message: remember the
+    /// peer's probe for echoing, fold any echo of *our* probe into that
+    /// peer's RTT estimator, adopt the peer's advertised frontier for
+    /// our traffic (monotone by high-water mark — a reordered stale
+    /// horizon cannot regress it), then garbage-collect the ring.
+    fn service_horizons<P: RepairPump>(&mut self, io: &mut P) {
+        if self.horizon.is_none() {
+            return;
+        }
+        let me = self.rank as u32;
+        let mut applied = false;
+        while let Some(m) = self.inbox.take_horizon() {
+            let peer = m.src_rank;
+            if peer as usize >= self.n || peer == me {
+                continue;
+            }
+            let Ok(p) = AckHorizonPayload::decode(&m.payload) else {
+                continue;
+            };
+            let now = io.now();
+            self.rstats.horizons_received += 1;
+            applied = true;
+            let hz = self.horizon.as_mut().expect("checked above");
+            hz.owed.insert(peer, (p.probe_ts, now));
+            for e in &p.echoes {
+                if e.peer == me {
+                    let rtt = now.saturating_sub(e.ts).saturating_sub(e.hold_ns);
+                    hz.rtt[peer as usize].observe(rtt);
+                    self.rstats.rtt_samples += 1;
+                }
+            }
+            if let Some(f) = p.acks.iter().find(|a| a.src == me) {
+                let slot = &mut hz.frontier[peer as usize];
+                if slot.as_ref().is_none_or(|old| f.hwm >= old.hwm) {
+                    *slot = Some(f.clone());
+                }
+            }
+        }
+        if applied {
+            self.gc_acked();
+        }
+    }
+
+    /// Free ring history every relevant peer has acknowledged: a
+    /// multicast record needs every other rank's frontier to cover its
+    /// seq, a unicast record only its target's. Peers that have never
+    /// advertised a frontier acknowledge nothing — conservative, the
+    /// capacity eviction floor still backstops them.
+    fn gc_acked(&mut self) {
+        let Some(hz) = &self.horizon else {
+            return;
+        };
+        if hz.frontier.iter().all(|f| f.is_none()) {
+            return;
+        }
+        let (n, me) = (self.n, self.rank);
+        let frontier = &hz.frontier;
+        let acked_by = |p: usize, seq: u64| frontier[p].as_ref().is_some_and(|f| f.acks(seq));
+        let freed = self.rtx.release_acked(|rec| match rec.dst {
+            SendDst::Multicast => (0..n).filter(|&p| p != me).all(|p| acked_by(p, rec.seq)),
+            SendDst::Rank(d) => acked_by(d as usize, rec.seq),
+        });
+        self.rstats.acked_records_freed += freed;
+    }
+
+    /// Multicast our ACK-horizon session message when its period is due:
+    /// a probe timestamp, every echo owed (capped; the map refills each
+    /// period), and our per-source frontiers (rotating through the
+    /// sources when one message cannot carry them all). Never recorded
+    /// in the retransmit ring — a replayed stale frontier could only
+    /// mislead — and never emitted from the drain loop, whose quiet
+    /// clock it would restart forever.
+    fn emit_horizon_if_due<P: RepairPump>(&mut self, io: &mut P) {
+        let Some(interval) = self
+            .repair
+            .and_then(|rc| rc.effective_horizon_interval(self.n))
+        else {
+            return;
+        };
+        if self.horizon.is_none() {
+            return;
+        }
+        let now = io.now();
+        if now < self.horizon.as_ref().expect("checked").next_at {
+            return;
+        }
+        let sources = self.inbox.sources();
+        let (echoes, acks) = {
+            let hz = self.horizon.as_mut().expect("checked");
+            hz.next_at = now + dur_nanos(interval);
+            let mut echoes = Vec::new();
+            while echoes.len() < MAX_HORIZON_ECHOES {
+                let Some((&peer, &(ts, seen_at))) = hz.owed.iter().next() else {
+                    break;
+                };
+                hz.owed.remove(&peer);
+                echoes.push(HorizonEcho {
+                    peer,
+                    ts,
+                    hold_ns: now.saturating_sub(seen_at),
+                });
+            }
+            let total = sources.len();
+            let take = total.min(MAX_HORIZON_ACKS);
+            let mut acks = Vec::with_capacity(take);
+            for k in 0..take {
+                let src = sources[(hz.ack_cursor + k) % total];
+                if let Some(f) = self.inbox.frontier_of(src) {
+                    acks.push(f);
+                }
+            }
+            if total > 0 {
+                hz.ack_cursor = (hz.ack_cursor + take) % total;
+            }
+            (echoes, acks)
+        };
+        let payload = AckHorizonPayload {
+            probe_ts: now,
+            echoes,
+            acks,
+        }
+        .encode();
+        self.rstats.horizons_sent += 1;
+        let hz = self.horizon.as_mut().expect("checked");
+        let seq = HORIZON_SEQ_BASE | hz.seq;
+        hz.seq += 1;
+        let dgs = self.encode(0, MsgKind::AckHorizon, &payload, seq);
+        io.send_encoded_mcast(&dgs);
+    }
+
+    /// The `(timeout, backoff)` a solicit of `src` uses, in [`Nanos`]:
+    /// the RTT-derived pair — `srtt + 4·rttvar` clamped into
+    /// `[nack_timeout, 16 × nack_timeout]`, backoff scaled by the same
+    /// ratio — when adaptivity is on and samples exist for a directed
+    /// source, otherwise the configured constants (any-source waits have
+    /// no single peer to adapt to). The clamp floor is the *configured*
+    /// timeout, never below it: the RTT estimate measures the network,
+    /// but a blocked receive is also waiting out the sender's service
+    /// time (the peer may simply not have reached its send yet), and
+    /// that floor is exactly what `nack_timeout` encodes. Adaptivity
+    /// only stretches timers for links slower than assumed — shrinking
+    /// them below the base turns ordinary scheduling skew into a
+    /// premature-solicit storm.
+    fn repair_timers(&self, src: Option<usize>) -> (Nanos, Nanos) {
+        let Some(rc) = self.repair else {
+            return (0, 0);
+        };
+        let base_t = dur_nanos(rc.nack_timeout);
+        let base_b = dur_nanos(rc.backoff);
+        if !rc.adaptive {
+            return (base_t, base_b);
+        }
+        let est = src
+            .and_then(|s| self.horizon.as_ref()?.rtt.get(s))
+            .and_then(|p| p.timeout());
+        match est {
+            Some(e) if base_t > 0 => {
+                let t = e.clamp(base_t, base_t.saturating_mul(16));
+                let b = (t.saturating_mul(base_b) / base_t).min(base_b.saturating_mul(16));
+                (t, b)
+            }
+            _ => (base_t, base_b),
+        }
+    }
+
+    /// Record the NACK→repair RTT sampling point: a matched arrival from
+    /// `src` while a solicit of it is outstanding closes the pair. The
+    /// sample includes responder service time (it still tracks the link)
+    /// but is rejected beyond the adaptive clamp ceiling — an arrival
+    /// that late measures the application not being ready, not the
+    /// network.
+    fn note_repair_sample<P: RepairPump>(&mut self, io: &mut P, src: u32) {
+        let adaptive = self.repair.is_some_and(|rc| rc.adaptive);
+        let Some(hz) = &mut self.horizon else {
+            return;
+        };
+        let Some(at) = hz.solicited_at.remove(&src) else {
+            return;
+        };
+        if !adaptive {
+            return;
+        }
+        let sample = io.now().saturating_sub(at);
+        let ceiling = dur_nanos(self.repair.expect("adaptive implies repair").nack_timeout)
+            .saturating_mul(16);
+        if sample <= ceiling {
+            hz.rtt[src as usize].observe(sample);
+            self.rstats.rtt_samples += 1;
+        }
+    }
+
     /// Solicit a retransmission of `tag` traffic. SRM: one *multicast*
     /// NACK naming the target (or any-source) plus the sequence ranges we
     /// are missing — peers overhear it and suppress their own. Legacy:
@@ -1146,6 +1778,12 @@ impl EndpointCore {
     fn solicit<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) {
         if src == Some(self.rank) {
             return; // self-sends never need repair
+        }
+        if self.repair.is_some_and(|rc| rc.adaptive) {
+            if let (Some(hz), Some(s)) = (&mut self.horizon, src) {
+                let now = io.now();
+                hz.solicited_at.insert(s as u32, now);
+            }
         }
         if self.srm.is_some() {
             let target = src.map_or(NACK_TARGET_ANY, |s| s as u32);
@@ -1190,11 +1828,13 @@ impl EndpointCore {
     /// — a uniform draw from `[0, backoff]` off the endpoint's seeded
     /// stream. The jitter is what de-synchronizes the group's stuck
     /// receivers so one solicit goes out first and the rest overhear it.
-    fn solicit_deadline<P: RepairPump>(&mut self, io: &mut P) -> Option<Nanos> {
-        let rc = self.repair?;
-        let mut at = io.now() + dur_nanos(rc.nack_timeout);
+    /// With adaptivity on, both terms are the RTT-derived per-peer pair
+    /// of [`EndpointCore::repair_timers`] for a directed `src`.
+    fn solicit_deadline<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>) -> Option<Nanos> {
+        self.repair?;
+        let (t, b) = self.repair_timers(src);
+        let mut at = io.now() + t;
         if let Some(srm) = &mut self.srm {
-            let b = dur_nanos(rc.backoff);
             if b > 0 {
                 at += srm.rng.next_below(b + 1);
             }
@@ -1203,15 +1843,23 @@ impl EndpointCore {
     }
 
     /// True when our own solicit for `(src, tag)` should be skipped
-    /// because a peer's was overheard inside the suppression window.
+    /// because a peer's was overheard inside the suppression window —
+    /// which scales with the adaptive timeout ratio for a directed
+    /// source, so fast links suppress briefly and slow links long
+    /// enough for their slower repairs to land.
     fn solicit_suppressed(&self, now: Nanos, src: Option<usize>, tag: Tag) -> bool {
         match (&self.srm, self.repair) {
-            (Some(srm), Some(rc)) => srm.heard_recently(
-                src.map(|s| s as u32),
-                tag,
-                now,
-                dur_nanos(rc.suppress_window),
-            ),
+            (Some(srm), Some(rc)) => {
+                let base_w = dur_nanos(rc.suppress_window);
+                let base_t = dur_nanos(rc.nack_timeout);
+                let window = if rc.adaptive && base_t > 0 {
+                    let (t, _) = self.repair_timers(src);
+                    (base_w.saturating_mul(t) / base_t).max(1)
+                } else {
+                    base_w
+                };
+                srm.heard_recently(src.map(|s| s as u32), tag, now, window)
+            }
             _ => false,
         }
     }
@@ -1229,7 +1877,7 @@ impl EndpointCore {
         } else {
             self.solicit(io, src, tag);
         }
-        self.solicit_deadline(io)
+        self.solicit_deadline(io, src)
     }
 
     /// Turn a matching `Unavail` advertisement into the typed error —
@@ -1266,7 +1914,7 @@ impl EndpointCore {
     ) -> RecvReq {
         let id = self.next_req;
         self.next_req += 1;
-        let solicit_at = self.solicit_deadline(io);
+        let solicit_at = self.solicit_deadline(io, src);
         self.pending.push(PendingRecv {
             id,
             src,
@@ -1285,6 +1933,13 @@ impl EndpointCore {
     /// nonblockingly ([`EndpointCore::progress`]) or park
     /// ([`EndpointCore::wait_req`] & co.).
     fn advance<P: RepairPump>(&mut self, io: &mut P) {
+        if !self.cancels.is_empty() {
+            for req in self.cancels.drain() {
+                self.cancel_req(req);
+            }
+        }
+        self.emit_horizon_if_due(io);
+        self.service_horizons(io);
         self.service_nacks(io);
         for i in 0..self.pending.len() {
             if self.pending[i].done.is_some() {
@@ -1292,6 +1947,7 @@ impl EndpointCore {
             }
             let (src, tag) = (self.pending[i].src, self.pending[i].tag);
             if let Some(m) = self.inbox.take_match(src, tag) {
+                self.note_repair_sample(io, m.src_rank);
                 self.pending[i].done = Some(Ok(m));
                 continue;
             }
@@ -1338,6 +1994,28 @@ impl EndpointCore {
             .filter(|p| p.done.is_none())
             .filter_map(|p| p.solicit_at)
             .min()
+    }
+
+    /// The deadline a blocking pump parks until: the earliest solicit,
+    /// or — with the session plane on — our next horizon emission,
+    /// whichever is sooner. Folding the emission schedule in is what
+    /// keeps periodic horizons flowing from endpoints that spend their
+    /// life parked in wait loops.
+    fn park_deadline(&self) -> Option<Nanos> {
+        let horizon_due = match (self.repair, &self.horizon) {
+            (
+                Some(RepairConfig {
+                    horizon_interval: Some(_),
+                    ..
+                }),
+                Some(hz),
+            ) => Some(hz.next_at),
+            _ => None,
+        };
+        match (self.earliest_solicit(), horizon_due) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Claim a parked completion, retiring the handle. `None` while
@@ -1393,7 +2071,7 @@ impl EndpointCore {
         if self.pending.iter().any(|p| p.done.is_some()) {
             return;
         }
-        let until = self.earliest_solicit();
+        let until = self.park_deadline();
         io.pump_one(self, until);
         self.advance(io);
     }
@@ -1417,7 +2095,7 @@ impl EndpointCore {
             if reqs.iter().any(|r| ready(r.0)) {
                 return;
             }
-            let until = self.earliest_solicit();
+            let until = self.park_deadline();
             io.pump_one(self, until);
         }
     }
@@ -1449,7 +2127,7 @@ impl EndpointCore {
             if let Some(r) = self.claim(req) {
                 return r;
             }
-            let until = self.earliest_solicit();
+            let until = self.park_deadline();
             io.pump_one(self, until);
         }
     }
@@ -1475,9 +2153,7 @@ impl EndpointCore {
                 self.cancel_req(req);
                 return Ok(None);
             }
-            let until = self
-                .earliest_solicit()
-                .map_or(deadline, |at| at.min(deadline));
+            let until = self.park_deadline().map_or(deadline, |at| at.min(deadline));
             io.pump_one(self, Some(until));
         }
     }
@@ -1503,7 +2179,7 @@ impl EndpointCore {
                     return res.map(|m| (i, m));
                 }
             }
-            let until = self.earliest_solicit();
+            let until = self.park_deadline();
             io.pump_one(self, until);
         }
     }
@@ -1571,14 +2247,50 @@ impl EndpointCore {
     /// chain through `~n` earlier-round recoveries before posting the
     /// receive that needs us. No-op with repair off.
     pub fn drain<P: RepairPump>(&mut self, io: &mut P) {
-        let Some(rc) = self.repair else {
+        if self.repair.is_none() {
             return;
         };
-        let grace = rc.effective_drain_grace(self.n);
+        let grace = self.drain_grace();
         self.service_nacks(io);
         while io.pump_drain(self, grace) {
             self.service_nacks(io);
         }
+    }
+
+    /// The drain grace this endpoint actually applies: the
+    /// group-size-scaled configured bound
+    /// ([`RepairConfig::effective_drain_grace`]) — or, with adaptivity
+    /// on and RTT samples in hand, the same straggler-chain derivation
+    /// `2 × n × (timeout + backoff)` computed from the *measured* worst
+    /// per-peer timeout (clamped into the configured band) instead of
+    /// the configured constants, still capped at
+    /// [`RepairConfig::drain_grace_cap`]. Measured-fast worlds drain
+    /// sooner; measured-slow worlds get the grace their repairs need.
+    pub fn drain_grace(&self) -> Duration {
+        let Some(rc) = self.repair else {
+            return Duration::ZERO;
+        };
+        let base = rc.effective_drain_grace(self.n);
+        if !rc.adaptive || rc.fixed_drain {
+            return base;
+        }
+        let worst = self
+            .horizon
+            .as_ref()
+            .and_then(|hz| hz.rtt.iter().filter_map(|p| p.timeout()).max());
+        let Some(w) = worst else {
+            return base;
+        };
+        let base_t = dur_nanos(rc.nack_timeout);
+        if base_t == 0 {
+            return base;
+        }
+        let t = w.clamp(base_t, base_t.saturating_mul(16));
+        let b = (t.saturating_mul(dur_nanos(rc.backoff)) / base_t)
+            .min(dur_nanos(rc.backoff).saturating_mul(16));
+        let chained = (t + b).saturating_mul(2 * self.n.max(2) as u64);
+        let chained = Duration::from_nanos(chained.min(dur_nanos(rc.drain_grace_cap)));
+        rc.drain_grace.max(chained)
     }
 }
 
@@ -1953,5 +2665,184 @@ mod tests {
              twice while only one was being waited on (got {})",
             s.nacks_sent
         );
+    }
+
+    #[test]
+    fn peer_rtt_follows_rfc6298() {
+        let mut p = PeerRtt::default();
+        assert_eq!(p.timeout(), None, "no estimate before the first sample");
+        p.observe(1_000_000);
+        // First sample: srtt = s, rttvar = s/2, timeout = 3s.
+        assert_eq!(p.srtt(), Some(1_000_000));
+        assert_eq!(p.timeout(), Some(3_000_000));
+        // Repeated identical samples: variance decays, timeout tightens
+        // toward srtt.
+        for _ in 0..40 {
+            p.observe(1_000_000);
+        }
+        assert_eq!(p.srtt(), Some(1_000_000));
+        assert!(p.timeout().unwrap() < 1_200_000, "{:?}", p.timeout());
+        // A sustained jump re-converges the mean.
+        for _ in 0..60 {
+            p.observe(5_000_000);
+        }
+        assert!(p.srtt().unwrap() > 4_500_000, "{:?}", p.srtt());
+    }
+
+    fn horizon_repair() -> RepairConfig {
+        RepairConfig::sim_default()
+            .with_adaptive()
+            .with_horizon_interval(Duration::from_millis(1))
+    }
+
+    /// Queue an encoded ACK-horizon session message from `src`.
+    fn queue_horizon(io: &mut QueuePump, src: u32, seq: u64, p: &AckHorizonPayload) {
+        let payload = p.encode();
+        for d in split_message(
+            MsgKind::AckHorizon,
+            0,
+            src,
+            0,
+            HORIZON_SEQ_BASE | seq,
+            &payload,
+            60_000,
+        ) {
+            io.inbound.push_back(d);
+        }
+    }
+
+    #[test]
+    fn horizon_emission_paces_by_interval_and_own_seq_space() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(horizon_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().horizons_sent, 1, "due immediately");
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().horizons_sent,
+            1,
+            "not due again within the period"
+        );
+        io.now += 1_000_000;
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().horizons_sent, 2);
+        // Session messages never enter the data sequence space: the next
+        // data send still takes seq 0, so a lost horizon can never look
+        // like a data hole to receivers.
+        let seq = core.send_message(&mut io, 1, 5, MsgKind::Data, &Bytes::new());
+        assert_eq!(seq, 0, "horizons must not consume data seqs");
+    }
+
+    #[test]
+    fn horizon_frontier_frees_acked_ring_history() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(horizon_repair()));
+        let mut io = QueuePump::new();
+        for i in 0..3u64 {
+            core.send_message(
+                &mut io,
+                1,
+                5,
+                MsgKind::Data,
+                &Bytes::from(vec![i as u8; 100]),
+            );
+        }
+        // Ring bytes are encoded-frame sizes (header + payload), so
+        // compare per-record rather than hardcoding the frame overhead.
+        let per_record = core.rtx.data_bytes() / 3;
+        assert!(per_record >= 100, "each record holds at least its payload");
+        // Rank 1 advertises seqs 0..=1 delivered (hwm 1, no holes).
+        let hz = AckHorizonPayload {
+            probe_ts: 0,
+            echoes: vec![],
+            acks: vec![SourceHorizon {
+                src: 0,
+                hwm: 1,
+                missing: vec![],
+            }],
+        };
+        queue_horizon(&mut io, 1, 0, &hz);
+        core.progress(&mut io);
+        let s = core.repair_stats();
+        assert_eq!(s.horizons_received, 1);
+        assert_eq!(s.acked_records_freed, 2, "seqs 0 and 1 acked, 2 still out");
+        assert_eq!(core.rtx.data_bytes(), per_record);
+    }
+
+    #[test]
+    fn horizon_echo_yields_rtt_sample_minus_hold_time() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(horizon_repair()));
+        let mut io = QueuePump::new();
+        io.now = 1_000_000;
+        // Rank 1 echoes a probe we stamped at t=600µs and claims it sat
+        // on it for 100µs: rtt = 1000 - 600 - 100 = 300µs.
+        let hz = AckHorizonPayload {
+            probe_ts: 7,
+            echoes: vec![HorizonEcho {
+                peer: 0,
+                ts: 600_000,
+                hold_ns: 100_000,
+            }],
+            acks: vec![],
+        };
+        queue_horizon(&mut io, 1, 0, &hz);
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().rtt_samples, 1);
+        assert_eq!(core.peer_rtt(1), Some(Duration::from_micros(300)));
+        // First sample: timeout = 3 × rtt = 900µs, below the configured
+        // 2 ms — the per-peer timer clamps up to the configured floor.
+        assert_eq!(
+            core.peer_nack_timeout(1),
+            Some(Duration::from_millis(2)),
+            "estimate below the configured timeout clamps up to it"
+        );
+    }
+
+    #[test]
+    fn send_window_gates_data_and_reopens_on_ack() {
+        let mut rc = horizon_repair();
+        rc.send_window = Some(1000);
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(rc));
+        let mut io = QueuePump::new();
+        let payload = Bytes::from(vec![0u8; 800]);
+        core.try_send_message(&mut io, 1, 5, &payload)
+            .expect("empty ring: window open");
+        core.try_send_message(&mut io, 1, 5, &payload)
+            .expect("800 ≤ 1000: still open");
+        assert!(
+            core.try_send_message(&mut io, 1, 5, &payload).is_err(),
+            "1600 unacked bytes exceed the window"
+        );
+        assert_eq!(core.repair_stats().send_window_stalls, 1);
+        // Rank 1 acknowledges everything: the window reopens.
+        let hz = AckHorizonPayload {
+            probe_ts: 0,
+            echoes: vec![],
+            acks: vec![SourceHorizon {
+                src: 0,
+                hwm: 1,
+                missing: vec![],
+            }],
+        };
+        queue_horizon(&mut io, 1, 0, &hz);
+        core.progress(&mut io);
+        core.try_send_message(&mut io, 1, 5, &payload)
+            .expect("acked history freed: window reopens");
+    }
+
+    #[test]
+    fn cancel_sink_drains_posted_receives_on_progress() {
+        let mut core = EndpointCore::new(0, 0, 1, 60_000, None);
+        let mut io = QueuePump::new();
+        let req = core.post_recv(&mut io, Some(0), 5);
+        assert_eq!(core.outstanding_recvs(), 1);
+        // A dropped request machine pushes its handles here instead of
+        // cancelling inline (no `&mut Comm` inside `Drop`).
+        core.cancel_sink().push(req);
+        core.progress(&mut io);
+        assert_eq!(core.outstanding_recvs(), 0, "deferred cancel applied");
+        // Ids are never reused, so a double-push is a no-op.
+        core.cancel_sink().push(req);
+        core.progress(&mut io);
+        assert_eq!(core.outstanding_recvs(), 0);
     }
 }

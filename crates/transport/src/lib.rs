@@ -20,7 +20,13 @@
 //! The sim and UDP backends optionally run the NACK/retransmit repair
 //! loop (enable with [`comm::RepairConfig`]; walkthrough in
 //! `docs/PROTOCOL.md`), which lets the collectives complete on a fabric
-//! that drops, duplicates or reorders datagrams.
+//! that drops, duplicates or reorders datagrams. On top of it, the
+//! adaptive control plane (`RepairConfig::with_adaptive` /
+//! `with_horizon_interval` / `with_send_window`; `docs/PROTOCOL.md` §9)
+//! adds periodic `AckHorizon` session messages: per-peer RTT estimates
+//! stretch each peer's solicitation timers to its measured link,
+//! acknowledged frontiers garbage-collect the retransmit ring, and a
+//! send window back-pressures senders that outrun their receivers.
 //! [`sim::run_sim_world_stats`] reports the recovery effort alongside the
 //! network counters as a [`sim::WorldStats`].
 
@@ -32,8 +38,8 @@ pub mod sim;
 pub mod udp;
 
 pub use comm::{
-    Comm, EndpointCore, Inbox, Nanos, RecvError, RecvReq, RepairConfig, RepairPump, SendReq, Tag,
-    FIRE_AND_FORGET_TAG,
+    CancelSink, Comm, EndpointCore, Inbox, Nanos, RecvError, RecvReq, RepairConfig, RepairPump,
+    SendReq, SendWindowFull, Tag, FIRE_AND_FORGET_TAG,
 };
 pub use mem::{run_mem_world, MemComm};
 pub use sim::{

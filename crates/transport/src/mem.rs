@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mmpi_wire::{Bytes, Datagram, Message, MsgKind};
 
-use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairPump, Tag};
+use crate::comm::{CancelSink, Comm, EndpointCore, RecvError, RecvReq, RepairPump, Tag};
 
 /// The channel half of an in-memory endpoint. Implements [`RepairPump`]
 /// over wall-clock time (only timeouts ever read the clock — mem has no
@@ -132,6 +132,13 @@ impl MemComm {
             })
             .collect()
     }
+
+    /// Posted-but-unclaimed receives (diagnostics — a steadily growing
+    /// value means requests are leaking instead of being waited on or
+    /// cancelled).
+    pub fn outstanding_recvs(&self) -> usize {
+        self.core.outstanding_recvs()
+    }
 }
 
 impl Comm for MemComm {
@@ -203,6 +210,10 @@ impl Comm for MemComm {
 
     fn cancel_recv(&mut self, req: RecvReq) {
         self.core.cancel_req(req);
+    }
+
+    fn cancel_sink(&self) -> CancelSink {
+        self.core.cancel_sink()
     }
 
     fn compute(&mut self, _d: Duration) {

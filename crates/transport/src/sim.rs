@@ -34,7 +34,10 @@ use mmpi_netsim::time::SimDuration;
 use mmpi_netsim::{SharedPayload, SimError, SimTime};
 use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats};
 
-use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, Tag};
+use crate::comm::{
+    CancelSink, Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, SendReq,
+    SendWindowFull, Tag,
+};
 
 /// Thread-safe accumulator the ranks of one run flush their
 /// [`RepairStats`] into (each rank adds its totals when its endpoint
@@ -50,6 +53,11 @@ pub struct RepairStatsSink {
     nacks_overheard: AtomicU64,
     repairs_suppressed: AtomicU64,
     unavailable_sent: AtomicU64,
+    horizons_sent: AtomicU64,
+    horizons_received: AtomicU64,
+    acked_records_freed: AtomicU64,
+    rtt_samples: AtomicU64,
+    send_window_stalls: AtomicU64,
 }
 
 impl RepairStatsSink {
@@ -70,6 +78,15 @@ impl RepairStatsSink {
             .fetch_add(s.repairs_suppressed, Ordering::Relaxed);
         self.unavailable_sent
             .fetch_add(s.unavailable_sent, Ordering::Relaxed);
+        self.horizons_sent
+            .fetch_add(s.horizons_sent, Ordering::Relaxed);
+        self.horizons_received
+            .fetch_add(s.horizons_received, Ordering::Relaxed);
+        self.acked_records_freed
+            .fetch_add(s.acked_records_freed, Ordering::Relaxed);
+        self.rtt_samples.fetch_add(s.rtt_samples, Ordering::Relaxed);
+        self.send_window_stalls
+            .fetch_add(s.send_window_stalls, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -83,6 +100,11 @@ impl RepairStatsSink {
             nacks_overheard: self.nacks_overheard.load(Ordering::Relaxed),
             repairs_suppressed: self.repairs_suppressed.load(Ordering::Relaxed),
             unavailable_sent: self.unavailable_sent.load(Ordering::Relaxed),
+            horizons_sent: self.horizons_sent.load(Ordering::Relaxed),
+            horizons_received: self.horizons_received.load(Ordering::Relaxed),
+            acked_records_freed: self.acked_records_freed.load(Ordering::Relaxed),
+            rtt_samples: self.rtt_samples.load(Ordering::Relaxed),
+            send_window_stalls: self.send_window_stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -282,6 +304,23 @@ impl SimComm {
         self.core.repair_stats()
     }
 
+    /// Smoothed RTT estimate toward `peer`, if the adaptive control
+    /// plane has collected samples for it.
+    pub fn peer_rtt(&self, peer: usize) -> Option<Duration> {
+        self.core.peer_rtt(peer)
+    }
+
+    /// The NACK solicitation timeout the repair loop currently applies
+    /// toward `peer` (configured base, or RTT-derived when adaptive).
+    pub fn peer_nack_timeout(&self, peer: usize) -> Option<Duration> {
+        self.core.peer_nack_timeout(peer)
+    }
+
+    /// Posted-but-unclaimed receives (diagnostics).
+    pub fn outstanding_recvs(&self) -> usize {
+        self.core.outstanding_recvs()
+    }
+
     /// Local virtual time (for measurement).
     pub fn now(&self) -> SimTime {
         self.io.proc.now()
@@ -377,6 +416,27 @@ impl Comm for SimComm {
 
     fn cancel_recv(&mut self, req: RecvReq) {
         self.core.cancel_req(req);
+    }
+
+    fn cancel_sink(&self) -> CancelSink {
+        self.core.cancel_sink()
+    }
+
+    fn try_post_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<SendReq, SendWindowFull> {
+        self.core
+            .try_send_message(&mut self.io, dst, tag, payload)
+            .map(SendReq::completed)
+    }
+
+    fn try_post_mcast(&mut self, tag: Tag, payload: &Bytes) -> Result<SendReq, SendWindowFull> {
+        self.core
+            .try_mcast_message(&mut self.io, tag, payload)
+            .map(SendReq::completed)
     }
 
     fn compute(&mut self, d: Duration) {

@@ -33,7 +33,10 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use mmpi_wire::{Bytes, Datagram, Message, MsgKind, RepairStats};
 use socket2::{Domain, Protocol, Socket, Type};
 
-use crate::comm::{Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, Tag};
+use crate::comm::{
+    CancelSink, Comm, EndpointCore, RecvError, RecvReq, RepairConfig, RepairPump, SendReq,
+    SendWindowFull, Tag,
+};
 
 /// Addressing plan for a UDP world.
 #[derive(Clone, Debug)]
@@ -382,6 +385,27 @@ impl Comm for UdpComm {
 
     fn cancel_recv(&mut self, req: RecvReq) {
         self.core.cancel_req(req);
+    }
+
+    fn cancel_sink(&self) -> CancelSink {
+        self.core.cancel_sink()
+    }
+
+    fn try_post_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<SendReq, SendWindowFull> {
+        self.core
+            .try_send_message(&mut self.io, dst, tag, payload)
+            .map(SendReq::completed)
+    }
+
+    fn try_post_mcast(&mut self, tag: Tag, payload: &Bytes) -> Result<SendReq, SendWindowFull> {
+        self.core
+            .try_mcast_message(&mut self.io, tag, payload)
+            .map(SendReq::completed)
     }
 
     fn compute(&mut self, d: Duration) {

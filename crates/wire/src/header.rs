@@ -55,6 +55,14 @@ pub enum MsgKind {
     /// re-soliciting forever. Consumed by the repair loop, never
     /// delivered to the application.
     Unavail = 5,
+    /// ACK-horizon session message: a receiver's periodic advertisement
+    /// of its per-source delivery frontier plus timestamp echoes. Carries
+    /// a [`crate::nack::AckHorizonPayload`]; senders use the frontiers to
+    /// garbage-collect acknowledged retransmit-ring history (and to
+    /// release send-window back-pressure) and the echoes to estimate
+    /// per-peer RTT, SRM-session-message style. Consumed by the repair
+    /// loop, never delivered to the application.
+    AckHorizon = 6,
 }
 
 impl MsgKind {
@@ -67,6 +75,7 @@ impl MsgKind {
             3 => MsgKind::Release,
             4 => MsgKind::Nack,
             5 => MsgKind::Unavail,
+            6 => MsgKind::AckHorizon,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -288,6 +297,7 @@ mod tests {
             MsgKind::Release,
             MsgKind::Nack,
             MsgKind::Unavail,
+            MsgKind::AckHorizon,
         ] {
             assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
         }

@@ -33,7 +33,10 @@ pub use assemble::{split_message, Assembler, Datagram, Message};
 pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
-pub use nack::{NackPayload, SeqRange, UnavailPayload, MAX_NACK_RANGES, NACK_TARGET_ANY};
+pub use nack::{
+    AckHorizonPayload, HorizonEcho, NackPayload, SeqRange, SourceHorizon, UnavailPayload,
+    MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES, MAX_HORIZON_HOLES, MAX_NACK_RANGES, NACK_TARGET_ANY,
+};
 pub use retransmit::{RepairStats, RetransmitBuffer, SendDst, SentRecord, DEFAULT_RETRANSMIT_CAP};
 
 /// Default maximum chunk payload per datagram: comfortably under the

@@ -166,6 +166,177 @@ impl UnavailPayload {
     }
 }
 
+/// Cap on timestamp echoes carried by one ACK-horizon message.
+pub const MAX_HORIZON_ECHOES: usize = 16;
+/// Cap on per-source frontier entries carried by one ACK-horizon message.
+pub const MAX_HORIZON_ACKS: usize = 32;
+/// Cap on encoded holes per frontier entry. More holes than this collapse
+/// into one open-ended range — conservative in the safe direction (a
+/// collapsed hole keeps the sender from freeing, never frees too much).
+pub const MAX_HORIZON_HOLES: usize = 4;
+
+/// One timestamp echo inside an [`AckHorizonPayload`]: "peer, I heard
+/// your probe stamped `ts` and sat on it for `hold_ns` before answering".
+/// The probing peer computes `rtt = now - ts - hold_ns` on its own clock,
+/// so no clock synchronization between hosts is needed (SRM session
+/// messages use the same trick).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HorizonEcho {
+    /// Rank whose probe timestamp is being echoed.
+    pub peer: u32,
+    /// That peer's probe timestamp, returned verbatim (its clock).
+    pub ts: u64,
+    /// Nanoseconds this endpoint held the timestamp before echoing.
+    pub hold_ns: u64,
+}
+
+/// One per-source delivery frontier inside an [`AckHorizonPayload`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceHorizon {
+    /// The sender whose traffic this frontier describes.
+    pub src: u32,
+    /// Highest sequence number received from `src` (high-water mark).
+    pub hwm: u64,
+    /// Holes at or below `hwm` still outstanding, sorted and disjoint.
+    /// May be conservatively over-wide (see [`MAX_HORIZON_HOLES`]).
+    pub missing: Vec<SeqRange>,
+}
+
+impl SourceHorizon {
+    /// True when this frontier acknowledges `seq`: at or below the
+    /// high-water mark and not inside a hole. Unlike
+    /// [`NackPayload::covers`], an empty `missing` set here means *no
+    /// holes* — everything up to `hwm` is acknowledged.
+    pub fn acks(&self, seq: u64) -> bool {
+        seq <= self.hwm && !self.missing.iter().any(|r| r.contains(seq))
+    }
+}
+
+/// Decoded body of a [`crate::MsgKind::AckHorizon`] datagram: the
+/// receiver-driven session message that closes the repair loop. It serves
+/// three consumers at once — retransmit-ring garbage collection (the
+/// frontiers say what every peer already holds), send-window
+/// back-pressure (unacknowledged bytes shrink as frontiers advance), and
+/// per-peer RTT estimation (the probe/echo pair).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckHorizonPayload {
+    /// This endpoint's clock when the message was built; peers echo it
+    /// back (with their hold time) so this endpoint can measure RTT.
+    pub probe_ts: u64,
+    /// Echoes of peers' recent probe timestamps.
+    pub echoes: Vec<HorizonEcho>,
+    /// Per-source delivery frontiers observed by this endpoint.
+    pub acks: Vec<SourceHorizon>,
+}
+
+/// Wire size of the fixed ACK-horizon prefix (probe_ts + two counts).
+const HORIZON_FIXED: usize = 12;
+/// Wire size of one encoded echo.
+const ECHO_LEN: usize = 20;
+/// Wire size of one frontier entry's fixed part (src + hwm + hole count).
+const ACK_FIXED: usize = 14;
+
+impl AckHorizonPayload {
+    /// Encode into a fresh payload buffer. Echo/ack entries beyond their
+    /// caps are dropped (stale echoes and extra frontiers are re-sent on
+    /// the next period); holes beyond [`MAX_HORIZON_HOLES`] collapse into
+    /// an open-ended range, which can only under-acknowledge.
+    pub fn encode(&self) -> Bytes {
+        let echoes = &self.echoes[..self.echoes.len().min(MAX_HORIZON_ECHOES)];
+        let acks = &self.acks[..self.acks.len().min(MAX_HORIZON_ACKS)];
+        let mut buf = BytesMut::with_capacity(
+            HORIZON_FIXED
+                + echoes.len() * ECHO_LEN
+                + acks.len() * (ACK_FIXED + MAX_HORIZON_HOLES * RANGE_LEN),
+        );
+        buf.extend_from_slice(&self.probe_ts.to_le_bytes());
+        buf.extend_from_slice(&(echoes.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&(acks.len() as u16).to_le_bytes());
+        for e in echoes {
+            buf.extend_from_slice(&e.peer.to_le_bytes());
+            buf.extend_from_slice(&e.ts.to_le_bytes());
+            buf.extend_from_slice(&e.hold_ns.to_le_bytes());
+        }
+        for a in acks {
+            let mut holes: Vec<SeqRange> = a.missing.clone();
+            if holes.len() > MAX_HORIZON_HOLES {
+                let tail_start = holes[MAX_HORIZON_HOLES - 1].start;
+                holes.truncate(MAX_HORIZON_HOLES - 1);
+                holes.push(SeqRange {
+                    start: tail_start,
+                    end: u64::MAX,
+                });
+            }
+            buf.extend_from_slice(&a.src.to_le_bytes());
+            buf.extend_from_slice(&a.hwm.to_le_bytes());
+            buf.extend_from_slice(&(holes.len() as u16).to_le_bytes());
+            for r in &holes {
+                buf.extend_from_slice(&r.start.to_le_bytes());
+                buf.extend_from_slice(&r.end.to_le_bytes());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode an ACK-horizon payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let need_at = |need: usize, got: usize| WireError::Truncated { got, need };
+        if bytes.len() < HORIZON_FIXED {
+            return Err(need_at(HORIZON_FIXED, bytes.len()));
+        }
+        let probe_ts = u64::from_le_bytes(bytes[0..8].try_into().expect("checked"));
+        let echo_count = u16::from_le_bytes(bytes[8..10].try_into().expect("checked")) as usize;
+        let ack_count = u16::from_le_bytes(bytes[10..12].try_into().expect("checked")) as usize;
+        if echo_count > MAX_HORIZON_ECHOES || ack_count > MAX_HORIZON_ACKS {
+            // Mirror the NACK codec: a count beyond the protocol cap is
+            // rejected as malformed via the same truncation error.
+            let claimed = HORIZON_FIXED + echo_count * ECHO_LEN + ack_count * ACK_FIXED;
+            return Err(need_at(claimed, bytes.len()));
+        }
+        let mut off = HORIZON_FIXED;
+        let mut echoes = Vec::with_capacity(echo_count);
+        for _ in 0..echo_count {
+            if bytes.len() < off + ECHO_LEN {
+                return Err(need_at(off + ECHO_LEN, bytes.len()));
+            }
+            echoes.push(HorizonEcho {
+                peer: u32::from_le_bytes(bytes[off..off + 4].try_into().expect("checked")),
+                ts: u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("checked")),
+                hold_ns: u64::from_le_bytes(bytes[off + 12..off + 20].try_into().expect("checked")),
+            });
+            off += ECHO_LEN;
+        }
+        let mut acks = Vec::with_capacity(ack_count);
+        for _ in 0..ack_count {
+            if bytes.len() < off + ACK_FIXED {
+                return Err(need_at(off + ACK_FIXED, bytes.len()));
+            }
+            let src = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("checked"));
+            let hwm = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("checked"));
+            let holes =
+                u16::from_le_bytes(bytes[off + 12..off + 14].try_into().expect("checked")) as usize;
+            off += ACK_FIXED;
+            if holes > MAX_HORIZON_HOLES || bytes.len() < off + holes * RANGE_LEN {
+                return Err(need_at(off + holes * RANGE_LEN, bytes.len()));
+            }
+            let mut missing = Vec::with_capacity(holes);
+            for _ in 0..holes {
+                missing.push(SeqRange {
+                    start: u64::from_le_bytes(bytes[off..off + 8].try_into().expect("checked")),
+                    end: u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("checked")),
+                });
+                off += RANGE_LEN;
+            }
+            acks.push(SourceHorizon { src, hwm, missing });
+        }
+        Ok(AckHorizonPayload {
+            probe_ts,
+            echoes,
+            acks,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +410,108 @@ mod tests {
         let u = UnavailPayload { tag_floor: 0xBEEF };
         assert_eq!(UnavailPayload::decode(&u.encode()).unwrap(), u);
         assert!(UnavailPayload::decode(&[1]).is_err());
+    }
+
+    #[test]
+    fn horizon_roundtrip() {
+        let p = AckHorizonPayload {
+            probe_ts: 42_000,
+            echoes: vec![
+                HorizonEcho {
+                    peer: 1,
+                    ts: 7,
+                    hold_ns: 900,
+                },
+                HorizonEcho {
+                    peer: 3,
+                    ts: 11,
+                    hold_ns: 0,
+                },
+            ],
+            acks: vec![
+                SourceHorizon {
+                    src: 0,
+                    hwm: 99,
+                    missing: vec![SeqRange { start: 5, end: 7 }],
+                },
+                SourceHorizon {
+                    src: 2,
+                    hwm: 3,
+                    missing: Vec::new(),
+                },
+            ],
+        };
+        assert_eq!(AckHorizonPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn horizon_acks_respects_hwm_and_holes() {
+        let h = SourceHorizon {
+            src: 0,
+            hwm: 10,
+            missing: vec![SeqRange { start: 4, end: 5 }],
+        };
+        assert!(h.acks(0) && h.acks(3) && h.acks(6) && h.acks(10));
+        assert!(!h.acks(4) && !h.acks(5), "holes are not acknowledged");
+        assert!(!h.acks(11), "beyond the high-water mark");
+        let no_holes = SourceHorizon {
+            src: 1,
+            hwm: 2,
+            missing: Vec::new(),
+        };
+        assert!(
+            no_holes.acks(0) && no_holes.acks(2),
+            "empty missing means no holes, unlike NackPayload::covers"
+        );
+    }
+
+    #[test]
+    fn horizon_encode_caps_holes_conservatively() {
+        let missing: Vec<SeqRange> = (0..12)
+            .map(|i| SeqRange {
+                start: i * 10,
+                end: i * 10 + 1,
+            })
+            .collect();
+        let p = AckHorizonPayload {
+            probe_ts: 0,
+            echoes: Vec::new(),
+            acks: vec![SourceHorizon {
+                src: 7,
+                hwm: 1_000,
+                missing: missing.clone(),
+            }],
+        };
+        let dec = AckHorizonPayload::decode(&p.encode()).unwrap();
+        let a = &dec.acks[0];
+        assert_eq!(a.missing.len(), MAX_HORIZON_HOLES);
+        assert_eq!(a.missing.last().unwrap().end, u64::MAX);
+        // Capping may withhold acknowledgement but never grants one the
+        // uncapped frontier would not have granted.
+        let full = SourceHorizon {
+            src: 7,
+            hwm: 1_000,
+            missing,
+        };
+        for seq in 0..=1_001 {
+            assert!(!a.acks(seq) || full.acks(seq), "seq {seq} over-acked");
+        }
+    }
+
+    #[test]
+    fn horizon_decode_rejects_garbage() {
+        assert!(AckHorizonPayload::decode(&[0u8; 4]).is_err());
+        // Claimed echo count larger than the bytes present.
+        let p = AckHorizonPayload {
+            probe_ts: 1,
+            echoes: Vec::new(),
+            acks: Vec::new(),
+        };
+        let mut enc = p.encode().into_vec();
+        enc[8] = 3;
+        assert!(AckHorizonPayload::decode(&enc).is_err());
+        // Counts beyond the protocol caps are malformed.
+        enc[8] = (MAX_HORIZON_ECHOES + 1) as u8;
+        assert!(AckHorizonPayload::decode(&enc).is_err());
     }
 }

@@ -85,6 +85,8 @@ pub struct RetransmitBuffer {
     evicted: u64,
     evicted_tag_max: Option<u32>,
     evicted_seq_max: Option<u64>,
+    acked_freed: u64,
+    data_bytes: usize,
 }
 
 impl RetransmitBuffer {
@@ -97,6 +99,18 @@ impl RetransmitBuffer {
             evicted: 0,
             evicted_tag_max: None,
             evicted_seq_max: None,
+            acked_freed: 0,
+            data_bytes: 0,
+        }
+    }
+
+    /// Wire bytes of one record's `Data` payload, as charged against the
+    /// send window (control traffic is never charged).
+    fn charged_bytes(rec: &SentRecord) -> usize {
+        if rec.kind == MsgKind::Data {
+            rec.datagrams.iter().map(|d| d.len()).sum()
+        } else {
+            0
         }
     }
 
@@ -121,15 +135,57 @@ impl RetransmitBuffer {
                     Some(self.evicted_tag_max.map_or(old.tag, |m| m.max(old.tag)));
                 self.evicted_seq_max =
                     Some(self.evicted_seq_max.map_or(old.seq, |m| m.max(old.seq)));
+                self.data_bytes -= Self::charged_bytes(&old);
             }
         }
-        self.ring.push_back(SentRecord {
+        let rec = SentRecord {
             seq,
             dst,
             tag,
             kind,
             datagrams: datagrams.to_vec(),
-        });
+        };
+        self.data_bytes += Self::charged_bytes(&rec);
+        self.ring.push_back(rec);
+    }
+
+    /// Garbage-collect acknowledged history: pop records off the *front*
+    /// of the ring while `acked` says every relevant peer has the
+    /// message, returning how many were freed. Front-only freeing keeps
+    /// the ring's send-order invariants (oldest-first replay, eviction
+    /// floors monotone); an acknowledged record stuck behind an
+    /// unacknowledged older one is simply retained until the head clears
+    /// — conservative, never wrong.
+    ///
+    /// Unlike capacity eviction this does **not** advance
+    /// `evicted_tag_max` / `evicted_seq_max`: an acknowledged message was
+    /// *delivered*, so freeing it must not teach the `Unavail` path to
+    /// declare its tag unrecoverable.
+    pub fn release_acked(&mut self, mut acked: impl FnMut(&SentRecord) -> bool) -> u64 {
+        let mut freed = 0;
+        while let Some(front) = self.ring.front() {
+            if !acked(front) {
+                break;
+            }
+            let old = self.ring.pop_front().expect("front just observed");
+            self.data_bytes -= Self::charged_bytes(&old);
+            freed += 1;
+        }
+        self.acked_freed += freed;
+        freed
+    }
+
+    /// Records freed by ACK-horizon garbage collection so far.
+    pub fn acked_freed(&self) -> u64 {
+        self.acked_freed
+    }
+
+    /// Wire bytes of `Data` traffic currently held in the ring — the
+    /// sender's unacknowledged-bytes figure for send-window back-pressure
+    /// (repair/control kinds are never charged, so repair traffic can
+    /// always flow even when the window is closed).
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
     }
 
     /// Every buffered message `requester` could match on `tag`, oldest
@@ -205,6 +261,18 @@ pub struct RepairStats {
     pub repairs_suppressed: u64,
     /// `Unavail` answers sent for NACKs naming ring-evicted traffic.
     pub unavailable_sent: u64,
+    /// ACK-horizon session messages this endpoint sent.
+    pub horizons_sent: u64,
+    /// ACK-horizon session messages this endpoint received and applied.
+    pub horizons_received: u64,
+    /// Retransmit-ring records freed by ACK-horizon garbage collection
+    /// (as opposed to capacity eviction).
+    pub acked_records_freed: u64,
+    /// Per-peer RTT samples folded into the adaptive-timer estimators.
+    pub rtt_samples: u64,
+    /// Times a send stalled (or reported `WouldBlock`) on the send
+    /// window waiting for peers' horizons to advance.
+    pub send_window_stalls: u64,
 }
 
 impl RepairStats {
@@ -218,6 +286,11 @@ impl RepairStats {
         self.nacks_overheard += other.nacks_overheard;
         self.repairs_suppressed += other.repairs_suppressed;
         self.unavailable_sent += other.unavailable_sent;
+        self.horizons_sent += other.horizons_sent;
+        self.horizons_received += other.horizons_received;
+        self.acked_records_freed += other.acked_records_freed;
+        self.rtt_samples += other.rtt_samples;
+        self.send_window_stalls += other.send_window_stalls;
     }
 }
 
@@ -333,6 +406,11 @@ mod tests {
             nacks_overheard: 6,
             repairs_suppressed: 7,
             unavailable_sent: 8,
+            horizons_sent: 9,
+            horizons_received: 10,
+            acked_records_freed: 11,
+            rtt_samples: 12,
+            send_window_stalls: 13,
         };
         a.merge(&a.clone());
         assert_eq!(a.nacks_sent, 2);
@@ -342,6 +420,52 @@ mod tests {
         assert_eq!(a.nacks_overheard, 12);
         assert_eq!(a.repairs_suppressed, 14);
         assert_eq!(a.unavailable_sent, 16);
+        assert_eq!(a.horizons_sent, 18);
+        assert_eq!(a.horizons_received, 20);
+        assert_eq!(a.acked_records_freed, 22);
+        assert_eq!(a.rtt_samples, 24);
+        assert_eq!(a.send_window_stalls, 26);
+    }
+
+    #[test]
+    fn release_acked_frees_front_only_and_keeps_floors_clean() {
+        let mut b = buf3();
+        let before = b.data_bytes();
+        assert!(before > 0, "Data records charge bytes");
+        // Middle record (seq 1) acked, head (seq 0) not: nothing frees.
+        assert_eq!(b.release_acked(|r| r.seq == 1), 0);
+        assert_eq!(b.len(), 3);
+        // Head + middle acked: both free; seq 2 (unacked) stays.
+        assert_eq!(b.release_acked(|r| r.seq <= 1), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.acked_freed(), 2);
+        assert!(b.data_bytes() < before, "freed Data bytes are uncharged");
+        // ACK freeing is not eviction: the Unavail floors stay untouched.
+        assert_eq!(b.evicted(), 0);
+        assert_eq!(b.evicted_tag_max(), None);
+        assert_eq!(b.evicted_seq_max(), None);
+    }
+
+    #[test]
+    fn data_bytes_tracks_data_kind_only() {
+        let mut b = RetransmitBuffer::new(4);
+        b.record(
+            0,
+            SendDst::Multicast,
+            1,
+            MsgKind::Scout,
+            &dgs(MsgKind::Scout, 1, 0, b""),
+        );
+        assert_eq!(b.data_bytes(), 0, "control kinds are never charged");
+        let sent = dgs(MsgKind::Data, 1, 1, b"payload");
+        let wire: usize = sent.iter().map(|d| d.len()).sum();
+        b.record(1, SendDst::Multicast, 1, MsgKind::Data, &sent);
+        assert_eq!(b.data_bytes(), wire);
+        // Capacity eviction uncharges too.
+        let mut small = RetransmitBuffer::new(1);
+        small.record(0, SendDst::Multicast, 1, MsgKind::Data, &sent);
+        small.record(1, SendDst::Multicast, 2, MsgKind::Data, &sent);
+        assert_eq!(small.data_bytes(), wire, "evicted record was uncharged");
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //!   with injectable per-link faults (loss, duplication, reordering,
 //!   partitions).
 //! * [`wire`] — on-the-wire message formats (headers, fragmentation,
-//!   scouts, NACKs) and the sender-side retransmit ring, built as a
+//!   scouts, NACKs, ACK-horizon session messages) and the sender-side
+//!   retransmit ring with acknowledged-frontier release, built as a
 //!   zero-copy `Bytes` datagram path (`docs/PERFORMANCE.md`).
 //! * [`transport`] — the request-based [`transport::Comm`] abstraction
 //!   (posted receives + progress engine, `docs/API.md`) and its
 //!   simulator, real-UDP-multicast and in-memory implementations, plus
-//!   the NACK/retransmit repair loop (`docs/PROTOCOL.md`).
+//!   the NACK/retransmit repair loop and the adaptive control plane
+//!   (per-peer RTT estimation, ring GC, send-window back-pressure —
+//!   `docs/PROTOCOL.md` §9).
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
 //!   multicast, plus the MPICH point-to-point baselines and the
 //!   nonblocking `ibcast`/`ibarrier`/`iallgather` state machines.
@@ -58,6 +61,12 @@
 //!                    │         │                 backoff, mcast NACK
 //!                    │         │                 suppression, mcast
 //!                    │         │                 repair, Unavail floor
+//!                    │         │               · adaptive control plane:
+//!                    │         │                 AckHorizon session msgs,
+//!                    │         │                 per-peer RTT timers
+//!                    │         │                 (RFC 6298), ring GC from
+//!                    │         │                 acked frontiers, send-
+//!                    │         │                 window back-pressure
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
 //!                │                 │           datagram format
@@ -68,12 +77,14 @@
 //!                │                 │  (docs/PERFORMANCE.md, BENCH_3.json)
 //!                │                 └─ RetransmitBuffer: replays recorded
 //!                │                    datagrams by (requester, tag),
-//!                │                    original seq
+//!                │                    original seq; frees history the
+//!                │                    peers' ACK horizons cover
 //!                ├─ SharedPayload: datagrams cross the simulator as
 //!                │  shared Bytes segments (fan-out/dup/redeliver are
 //!                │  refcount bumps)
 //!                └─ FaultParams: per-link drop · dup · reorder ·
-//!                   partition, on a dedicated deterministic RNG stream
+//!                   partition · heterogeneous extra delay, on a
+//!                   dedicated deterministic RNG stream
 //! ```
 //!
 //! # Quickstart

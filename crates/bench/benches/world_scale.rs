@@ -1,0 +1,80 @@
+//! Criterion bench: the world itself at scale (ISSUE 7).
+//!
+//! A thousand-host multicast storm driven straight against the `World`
+//! driver API — no rank threads, no protocol stack, just the simulator
+//! moving frames — comparing the sequential event-loop engine against
+//! the frame-based parallel engine (`RunMode::Frames`) at several
+//! worker counts, N ∈ {256, 1024}, 5 % injected loss.
+//!
+//! Two effects are on display. The parallel speedup proper needs cores;
+//! on a single-core runner the interesting number is `frames/w1` vs
+//! `event_loop` — the frame engine replaces one global binary heap of
+//! every in-flight event (O(log total) per operation, cache-hostile at
+//! N=1024) with per-host queues merged at Δ-frame barriers, which wins
+//! on its own. `BENCH_7.json` records a quick-mode sweep; the
+//! `world_scale` group is part of the CI quick JSON job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mmpi_netsim::ids::{DatagramDst, GroupId, HostId, UdpPort};
+use mmpi_netsim::params::NetParams;
+use mmpi_netsim::world::{RunMode, StepOutcome, World};
+use mmpi_netsim::SimTime;
+
+const PORT: UdpPort = UdpPort(4400);
+const GROUP: GroupId = GroupId(1);
+
+/// Every 16th host multicasts two 1200-byte datagrams to the full
+/// group on staggered instants; the run ends when the fabric drains.
+/// At N=1024 that is 128 senders × 2 sends × 1024 receivers ≈ 260 k
+/// frame deliveries per iteration.
+fn storm(n: usize, mode: RunMode, seed: u64) -> u64 {
+    let params = NetParams::fast_ethernet_switch().with_loss(0.05);
+    let mut world = World::with_mode(n, params, seed, mode);
+    for h in 0..n as u32 {
+        let s = world.bind(HostId(h), PORT);
+        world.join_group_quiet(HostId(h), s, GROUP);
+    }
+    for (k, h) in (0..n as u32).step_by(16).enumerate() {
+        for j in 0..2u64 {
+            world.send_datagram(
+                HostId(h),
+                PORT,
+                DatagramDst::Multicast(GROUP),
+                PORT,
+                vec![h as u8; 1200].into(),
+                SimTime::from_micros(5 + (k as u64 % 7) * 3 + 40 * j),
+                false,
+                false,
+            );
+        }
+    }
+    while !matches!(world.step(), StepOutcome::Quiescent) {}
+    let delivered = world.stats().datagrams_delivered;
+    assert!(delivered > 0, "the storm must deliver");
+    delivered
+}
+
+fn bench_world_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_scale");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        // Throughput in delivered datagrams: ~0.95 × senders × 2 × n.
+        let senders = n.div_ceil(16) as u64;
+        g.throughput(Throughput::Elements(senders * 2 * n as u64));
+        g.bench_with_input(BenchmarkId::new("event_loop", n), &n, |b, &n| {
+            b.iter(|| storm(n, RunMode::EventLoop, 7))
+        });
+        for workers in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("frames/w{workers}"), n),
+                &n,
+                |b, &n| b.iter(|| storm(n, RunMode::Frames { workers }, 7)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_world_scale);
+criterion_main!(benches);

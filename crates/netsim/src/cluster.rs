@@ -28,7 +28,7 @@ use crate::process::{ProcShared, Request, Response, SimProcess, Slot};
 use crate::rng::SplitMix64;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
-use crate::world::{Completion, StepOutcome, World};
+use crate::world::{Completion, RunMode, StepOutcome, World};
 
 /// Configuration for one simulated cluster run.
 #[derive(Clone, Debug)]
@@ -48,6 +48,12 @@ pub struct ClusterConfig {
     pub multicast_loopback: bool,
     /// Abort if virtual time passes this limit (livelock guard).
     pub time_limit: SimDuration,
+    /// Which engine advances the world. `None` (the default) consults the
+    /// `MMPI_SIM_WORKERS` environment variable: unset or `0` selects
+    /// [`RunMode::EventLoop`], `w >= 1` selects [`RunMode::Frames`] with
+    /// `w` workers. `Some(mode)` pins the engine regardless of the
+    /// environment (tests asserting exact event-loop counters do this).
+    pub run_mode: Option<RunMode>,
 }
 
 impl ClusterConfig {
@@ -61,6 +67,7 @@ impl ClusterConfig {
             start_skew_max: SimDuration::ZERO,
             multicast_loopback: false,
             time_limit: SimDuration::from_secs(60),
+            run_mode: None,
         }
     }
 
@@ -74,6 +81,29 @@ impl ClusterConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Builder-style: pin the execution engine (see
+    /// [`ClusterConfig::run_mode`]).
+    pub fn with_run_mode(mut self, mode: RunMode) -> Self {
+        self.run_mode = Some(mode);
+        self
+    }
+
+    /// The engine this config resolves to: the pinned mode if set, else
+    /// the `MMPI_SIM_WORKERS` environment variable (unset, unparsable, or
+    /// `0` → the event-loop engine).
+    pub fn resolved_run_mode(&self) -> RunMode {
+        if let Some(mode) = self.run_mode {
+            return mode;
+        }
+        match std::env::var("MMPI_SIM_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(workers) if workers >= 1 => RunMode::Frames { workers },
+            _ => RunMode::EventLoop,
+        }
     }
 }
 
@@ -112,7 +142,12 @@ where
     R: Send,
 {
     assert!(config.n > 0, "cluster needs at least one rank");
-    let mut world = World::new(config.n, config.params.clone(), config.seed);
+    let mut world = World::with_mode(
+        config.n,
+        config.params.clone(),
+        config.seed,
+        config.resolved_run_mode(),
+    );
     let mut rng = SplitMix64::new(config.seed ^ 0x5EED_5EED_5EED_5EED);
     let skews: Vec<SimTime> = (0..config.n)
         .map(|_| {
@@ -376,7 +411,7 @@ fn drive(
                 }
                 for c in completions {
                     match c {
-                        Completion::RecvReady { host, socket } => {
+                        Completion::RecvReady { host, socket, at } => {
                             let i = host.index();
                             let RankStatus::BlockedRecv { socket: s, timer } = status[i] else {
                                 // Spurious: the rank is no longer blocked
@@ -386,12 +421,15 @@ fn drive(
                             };
                             debug_assert_eq!(s, socket);
                             if let Some(tok) = timer {
-                                world.cancel_timer(tok);
+                                world.cancel_timer(host, tok);
                             }
                             let (_arrived, dg) = world
                                 .take_recv(host, socket)
                                 .expect("completion implies a buffered datagram");
-                            local[i] = local[i].max(now)
+                            // Use the completion's event time, not `now`:
+                            // under the frame engine the world clock is
+                            // already at the frame boundary.
+                            local[i] = local[i].max(at)
                                 + hp.o_recv
                                 + hp.recv_per_byte * dg.payload.len() as u64;
                             status[i] = RankStatus::Running;
@@ -401,6 +439,7 @@ fn drive(
                             host,
                             socket,
                             token,
+                            at,
                         } => {
                             let i = host.index();
                             match status[i] {
@@ -410,7 +449,7 @@ fn drive(
                                 } if tok == token => {
                                     debug_assert_eq!(Some(s), socket);
                                     world.cancel_recv(host, s);
-                                    local[i] = local[i].max(now);
+                                    local[i] = local[i].max(at);
                                     status[i] = RankStatus::Running;
                                     respond(&shareds[i], Response::Datagram(None), local[i]);
                                 }

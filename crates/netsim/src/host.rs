@@ -100,6 +100,10 @@ pub struct HostStack {
     reassembly: HashMap<u64, Reassembly>,
     rx_buffer_limit: usize,
     strict_posted_recv: bool,
+    /// Tokens of lazily cancelled timers (the timer event is left in the
+    /// queue and swallowed when it fires). Lives on the host so each
+    /// parallel-engine shard cancels its own timers without global state.
+    cancelled_timers: HashSet<u64>,
 }
 
 impl HostStack {
@@ -112,7 +116,19 @@ impl HostStack {
             reassembly: HashMap::new(),
             rx_buffer_limit,
             strict_posted_recv,
+            cancelled_timers: HashSet::new(),
         }
+    }
+
+    /// Lazily cancel the timer scheduled with `token` on this host.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.cancelled_timers.insert(token);
+    }
+
+    /// Consume a cancellation: true when `token` was cancelled (the
+    /// pending timer event must be swallowed, not fired).
+    pub fn take_timer_cancellation(&mut self, token: u64) -> bool {
+        self.cancelled_timers.remove(&token)
     }
 
     /// Bind a new socket on `port`. Ports need not be unique across hosts,

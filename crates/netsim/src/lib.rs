@@ -25,6 +25,17 @@
 //! The same protocol code that runs here also runs over real UDP multicast
 //! sockets via the `mmpi-transport` crate.
 //!
+//! ## Execution engines
+//!
+//! The world runs on one of two engines behind the [`world::World`]
+//! facade (selected by [`world::RunMode`]): the sequential event-loop
+//! engine, and a frame-based [`parallel`] engine that shards hosts
+//! across a worker pool and stays byte-deterministic at any worker
+//! count. Scheduled link faults — holds, partitions, heals — are
+//! described by a [`topology::TopologyScript`]. The frame model,
+//! merge ordering, and determinism contract are documented in
+//! `docs/SIMULATOR.md`.
+//!
 //! ```
 //! use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
 //! use mmpi_netsim::ids::{DatagramDst, GroupId};
@@ -57,12 +68,14 @@ pub mod host;
 pub mod hub;
 pub mod ids;
 pub mod nic;
+pub mod parallel;
 pub mod params;
 pub mod process;
 pub mod rng;
 pub mod stats;
 pub mod switch;
 pub mod time;
+pub mod topology;
 pub mod trace;
 pub mod world;
 
@@ -73,3 +86,5 @@ pub use ids::{DatagramDst, GroupId, HostId, SocketId, UdpPort};
 pub use params::{EthernetParams, FabricKind, HostParams, IpParams, NetParams, SwitchParams};
 pub use process::SimProcess;
 pub use time::{SimDuration, SimTime};
+pub use topology::{TopologyOp, TopologyScript};
+pub use world::{Completion, RunMode, StepOutcome, World};

@@ -1,0 +1,1429 @@
+//! Frame-based parallel execution engine for the simulated world.
+//!
+//! The event-loop engine in [`crate::world`] advances one global
+//! time-ordered queue; every event handler may touch any host, so it is
+//! inherently sequential. This module trades that single queue for a
+//! **fixed frame clock** and per-host **shards** (the full model and its
+//! determinism contract are documented in `docs/SIMULATOR.md`):
+//!
+//! * The frame width is the switch forwarding latency Δ — the *lookahead*
+//!   of the star topology. The only event one host can schedule onto
+//!   another host's state is the per-port enqueue after forwarding, which
+//!   happens exactly Δ after switch ingress, so an event processed in
+//!   frame `f` can only affect other shards in frame `f + 1` or later.
+//! * Each frame, a worker pool claims shards through an atomic cursor and
+//!   processes each shard's local events with `time < frame_end` in
+//!   `(time, local seq)` order, exactly as the event loop would.
+//! * Cross-shard effects (port enqueues, IGMP snoops) are buffered
+//!   per-worker and tagged `(time, source shard, per-shard sequence)` — a
+//!   total order that does not depend on which worker ran what. At the
+//!   frame barrier the coordinator scatters port enqueues to per-host
+//!   **inboxes** (time-sorted `Vec`s the run loop merges against the
+//!   local event queue by front timestamp — O(1) per fan-out target
+//!   instead of a heap round-trip) and canonicalizes each touched
+//!   inbox's new tail by that key, so the per-destination order is
+//!   independent of scatter order and therefore of the worker count.
+//!   With a single worker the staging hop is skipped entirely and the
+//!   inline worker writes destination inboxes directly; the same tail
+//!   sort makes the result byte-equal to the staged path.
+//! * Every shard owns a private fault-RNG stream (SplitMix64, forked from
+//!   the world seed in host order), its own topology cursor, and its own
+//!   parked-frame list, so no random draw or topology decision ever
+//!   crosses a shard boundary.
+//!
+//! The result: for a fixed seed and parameters the simulation is
+//! **byte-identical at any worker count** (including `workers = 1`).
+//! Relative to the event-loop engine, timing is preserved for the frame
+//! data path (the Δ-lookahead argument is exact), but RNG streams and
+//! same-instant tie-breaking differ, so cross-engine runs are compared on
+//! outputs, not on traces.
+//!
+//! Shards live in `Racy` cells — `UnsafeCell`s with a phase protocol
+//! instead of locks: during a frame each shard is touched only by the
+//! worker that claimed it from the cursor, and between frames only the
+//! coordinator (which holds `&mut ParEngine`) touches anything. The
+//! generation counter / done counter pair establishes the necessary
+//! happens-before edges.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::{Event, EventQueue};
+use crate::frame::{fragment_datagram, Datagram, Frame, FrameDst, FramePayload, SharedPayload};
+use crate::host::{Delivery, DeliveryFailure, HostStack};
+use crate::ids::{DatagramDst, GroupId, HostId, SocketId, SwitchPort, UdpPort};
+use crate::params::{FabricKind, NetParams, SwitchMode};
+use crate::rng::SplitMix64;
+use crate::stats::{FrameClass, LinkStats, NetStats};
+use crate::switch::{OutPort, SwitchTables};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::TopoCursor;
+use crate::trace::{Trace, TraceEvent};
+use crate::world::{frame_class, Completion, EngineParts, StepOutcome, FAULT_RNG_SALT};
+
+/// Frame ids for control frames injected from driver context (IGMP) use
+/// the top bit so they can never collide with the per-datagram-derived
+/// data frame ids (`datagram_id << 16 | fragment`).
+const CONTROL_FRAME_ID_BASE: u64 = 1 << 63;
+
+/// Iterations a worker spins on the generation counter before parking on
+/// the condvar, and the coordinator spins on the done counter. Frames are
+/// short (tens of microseconds of real work), so the next frame usually
+/// starts within the spin window; parking is the idle-world fallback.
+const SPIN_ITERS: u32 = 10_000;
+
+/// An `UnsafeCell` shared across the worker pool under the phase
+/// protocol described in the module docs. All access is `unsafe` and
+/// must follow that protocol; the atomics in [`Shared`] provide the
+/// happens-before edges between phases.
+struct Racy<T>(UnsafeCell<T>);
+
+// Safety: see the module docs. T moves between threads across barriers
+// (Send); concurrent access never aliases because each shard slot is
+// claimed by exactly one worker per phase and only the coordinator
+// touches anything between phases.
+unsafe impl<T: Send> Send for Racy<T> {}
+unsafe impl<T: Send> Sync for Racy<T> {}
+
+impl<T> Racy<T> {
+    fn new(v: T) -> Self {
+        Racy(UnsafeCell::new(v))
+    }
+
+    /// Callers must uphold the phase protocol (module docs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// Shared read-only view. Callers must guarantee no writer exists
+    /// for the duration of the borrow (e.g. the active list is frozen
+    /// while a frame is in flight).
+    unsafe fn get_ref(&self) -> &T {
+        &*self.0.get()
+    }
+
+    /// Exclusive access through an exclusive borrow — always safe.
+    fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+/// A buffered cross-shard effect, tagged with a worker-independent total
+/// order key `(time, src, seq)`.
+struct Staged {
+    /// Simulated time of the effect (for port enqueues: ingress + Δ).
+    time: SimTime,
+    /// Source shard (the host whose event produced the effect).
+    src: u32,
+    /// Per-source-shard monotone sequence number.
+    seq: u64,
+    op: StagedOp,
+}
+
+enum StagedOp {
+    /// Enqueue `frame` on destination shard `dst`'s output port.
+    PortEnqueue { dst: u32, frame: Frame },
+    /// Apply a snooped IGMP join to the shared switch tables.
+    SnoopJoin { group: GroupId, port: SwitchPort },
+    /// Apply a snooped IGMP leave to the shared switch tables.
+    SnoopLeave { group: GroupId, port: SwitchPort },
+}
+
+/// Per-shard statistics delta, folded into the global [`NetStats`] at
+/// each frame barrier. Only scalar counters plus this shard's own rows
+/// (`frames_per_host[h]`, `links[h]`) — a shard never records stats for
+/// another host, so the delta stays O(1) per shard.
+#[derive(Default)]
+struct ShardDelta {
+    frames_sent: u64,
+    data_frames_sent: u64,
+    ack_frames_sent: u64,
+    payload_bytes_sent: u64,
+    wire_bytes_sent: u64,
+    switch_buffer_drops: u64,
+    rx_buffer_drops: u64,
+    unposted_recv_drops: u64,
+    injected_frame_losses: u64,
+    injected_duplicates: u64,
+    injected_reorders: u64,
+    link_delayed_frames: u64,
+    partition_drops: u64,
+    frames_held: u64,
+    frames_released: u64,
+    datagrams_delivered: u64,
+    /// Frames transmitted by this shard's host.
+    frames_tx: u64,
+    /// This shard's receiving-link row.
+    link: LinkStats,
+}
+
+/// One host's slice of the world: its stack, its egress switch port, its
+/// local event queue, and its private randomness/topology/trace state.
+struct Shard {
+    host: HostStack,
+    /// The switch output port feeding this host's downlink.
+    port: OutPort,
+    queue: EventQueue,
+    /// Local clock: time of the last event processed on this shard.
+    now: SimTime,
+    fault_rng: SplitMix64,
+    topo: TopoCursor,
+    /// Frames parked by a topology hold: `(src, frame)` in arrival order
+    /// (the destination is always this shard's host).
+    held: Vec<(HostId, Frame)>,
+    /// Cross-shard frames bound for this host's output port, kept in
+    /// `(time, src, seq)` order past `inbox_pos` — the barrier appends
+    /// each frame's new arrivals and sorts only that tail (every barrier
+    /// adds entries strictly later than everything before, so the whole
+    /// run stays sorted), and the run loop merges the front against the
+    /// local event queue by timestamp. This keeps fan-out traffic out of
+    /// the binary heap entirely: a multicast to 1023 ports costs 1023
+    /// O(1) appends, not 1023 heap round-trips. The middle element is
+    /// the packed `(src, seq)` tie-break key for the tail sort.
+    inbox: Vec<(SimTime, u128, Frame)>,
+    /// Consumed prefix of `inbox`; reset when the inbox fully drains.
+    inbox_pos: usize,
+    /// Start of the current barrier's unsorted tail; `usize::MAX` when
+    /// this shard has no new arrivals this barrier.
+    inbox_mark: usize,
+    delta: ShardDelta,
+    completions: Vec<Completion>,
+    trace_buf: Vec<(SimTime, TraceEvent)>,
+    trace_enabled: bool,
+    /// Monotone counter tagging this shard's staged cross-shard effects.
+    out_seq: u64,
+}
+
+/// State shared between the coordinator and the worker pool.
+struct Shared {
+    params: NetParams,
+    /// Switch forwarding latency == the frame width Δ.
+    latency: SimDuration,
+    /// Per-port tail-drop threshold (from the split [`crate::switch::Switch`]).
+    buffer_limit: usize,
+    /// Read-mostly forwarding tables. Written only from driver context
+    /// and at frame barriers (deferred snoops), so phase-A readers never
+    /// race a write.
+    tables: RwLock<SwitchTables>,
+    shards: Vec<Racy<Shard>>,
+    /// Per-worker staging buffers for cross-shard effects.
+    staging: Vec<Racy<Vec<Staged>>>,
+    /// Single-worker mode: the one worker IS the coordinator thread, so
+    /// port enqueues skip the staging hop and go straight to the
+    /// destination inbox (race-free by construction). The barrier's
+    /// canonical per-destination tail sort makes the result byte-equal
+    /// to the staged path, so worker-count invariance is preserved.
+    direct: bool,
+    /// Destinations whose inbox gained entries since the last barrier
+    /// (tail-sorted and re-armed there). Written by the coordinator at
+    /// barriers, and — in `direct` mode only — by the inline worker
+    /// during the phase.
+    touched: Racy<Vec<u32>>,
+    /// Next pending event per shard, in raw nanoseconds (`u64::MAX` =
+    /// idle). Refreshed by whichever worker processed the shard at the
+    /// end of its frame slice, and by the coordinator whenever it pushes
+    /// an event from driver or barrier context. Lets the coordinator
+    /// find the next frame and build the active set without touching
+    /// every shard's queue.
+    next_ns: Vec<AtomicU64>,
+    /// Indices of the shards with events inside the current frame; the
+    /// claim cursor indexes into this list, so idle shards cost nothing.
+    /// Rebuilt by the coordinator before each frame launch, read-only
+    /// while the frame is in flight.
+    active: Racy<Vec<u32>>,
+    /// Shard-claim cursor for the current frame.
+    cursor: AtomicUsize,
+    /// Active-list entries claimed per `fetch_add` (set per frame).
+    chunk: AtomicUsize,
+    /// End of the current frame (exclusive), in raw nanoseconds.
+    frame_end_ns: AtomicU64,
+    /// Frame generation; a bump launches the worker pool on a new frame.
+    gen: AtomicU64,
+    /// Workers (excluding the coordinator) done with the current frame.
+    done: AtomicUsize,
+    shutdown: AtomicBool,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+/// The frame-based parallel engine (see module docs). Constructed from
+/// an [`EngineParts`] handed over by the event-loop engine; driven
+/// through the same facade methods.
+pub(crate) struct ParEngine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    /// World clock: the last frame boundary reached.
+    now: SimTime,
+    /// Global statistics, *excluding* whatever has accumulated in the
+    /// per-shard deltas since the last read. Shard deltas are folded in
+    /// lazily by [`Self::stats`]/[`Self::stats_mut`] rather than at
+    /// every frame barrier — a pure counter fold commutes with frame
+    /// boundaries, so deferring it off the per-frame path changes
+    /// nothing observable. Interior mutability lets the `&self` read
+    /// path do the fold; only coordinator context ever touches it.
+    stats: Racy<NetStats>,
+    next_datagram_id: u64,
+    next_control_frame_id: u64,
+    trace: Option<Trace>,
+}
+
+impl ParEngine {
+    pub(crate) fn new(parts: EngineParts, workers: usize) -> Self {
+        let EngineParts {
+            n,
+            hosts,
+            switch,
+            params,
+            stats,
+            seed,
+            now,
+            next_datagram_id,
+            trace_capacity,
+        } = parts;
+        let latency = match &params.fabric {
+            FabricKind::Switch(sp) => sp.forwarding_latency,
+            FabricKind::Hub => unreachable!("parallel engine is switch-only"),
+        };
+        assert!(
+            latency > SimDuration::ZERO,
+            "frame engine needs nonzero forwarding latency for lookahead"
+        );
+        let (tables, ports, buffer_limit) = switch.split();
+        assert_eq!(ports.len(), n);
+        // Independent per-host fault streams, forked in host order from
+        // the same salted seed the event engine uses for its single
+        // stream (streams differ from the event engine's by design; see
+        // module docs).
+        let mut fault_base = SplitMix64::new(seed ^ FAULT_RNG_SALT);
+        let op_times = params.faults.topology.op_times();
+        let shards: Vec<Shard> = hosts
+            .into_iter()
+            .zip(ports)
+            .enumerate()
+            .map(|(h, (host, port))| {
+                let mut queue = EventQueue::new();
+                // Each shard wakes independently at every scripted op time
+                // so holds release even on idle links. Times already in
+                // the past (mid-run conversion) fire immediately.
+                for &t in &op_times {
+                    queue.schedule(t.max(now), Event::TopologyWake);
+                }
+                Shard {
+                    host,
+                    port,
+                    queue,
+                    now,
+                    fault_rng: fault_base.fork(h as u64),
+                    topo: TopoCursor::new(&params.faults.topology),
+                    held: Vec::new(),
+                    inbox: Vec::new(),
+                    inbox_pos: 0,
+                    inbox_mark: usize::MAX,
+                    delta: ShardDelta::default(),
+                    completions: Vec::new(),
+                    trace_buf: Vec::new(),
+                    trace_enabled: false,
+                    out_seq: 0,
+                }
+            })
+            .collect();
+        let next_ns: Vec<AtomicU64> = shards
+            .iter()
+            .map(|s| AtomicU64::new(s.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos())))
+            .collect();
+        let shards: Vec<Racy<Shard>> = shards.into_iter().map(Racy::new).collect();
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            params,
+            latency,
+            buffer_limit,
+            tables: RwLock::new(tables),
+            shards,
+            staging: (0..workers).map(|_| Racy::new(Vec::new())).collect(),
+            direct: workers == 1,
+            touched: Racy::new(Vec::new()),
+            next_ns,
+            active: Racy::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+            chunk: AtomicUsize::new(1),
+            frame_end_ns: AtomicU64::new(0),
+            gen: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("netsim-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn netsim worker")
+            })
+            .collect();
+        let mut engine = ParEngine {
+            shared,
+            handles,
+            workers,
+            now,
+            stats: Racy::new(stats),
+            next_datagram_id,
+            next_control_frame_id: CONTROL_FRAME_ID_BASE,
+            trace: None,
+        };
+        if let Some(cap) = trace_capacity {
+            engine.enable_trace(cap);
+        }
+        engine
+    }
+
+    /// Safety: only from coordinator (driver) context — `&self` methods
+    /// are never called while a frame is in flight because frames only
+    /// run inside `advance_once(&mut self)`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard(&self, h: HostId) -> &mut Shard {
+        self.shared.shards[h.index()].get()
+    }
+
+    /// Record a coordinator-context event push into `host`'s queue so
+    /// the shard shows up in the next frame's active set.
+    fn note_scheduled(&self, host: HostId, at: SimTime) {
+        let slot = &self.shared.next_ns[host.index()];
+        let ns = at.as_nanos();
+        if ns < slot.load(Ordering::Relaxed) {
+            slot.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn host_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Fold every shard's accumulated delta into the global statistics.
+    /// Deltas build up across frames (the barrier never sweeps them) and
+    /// drain here, on a stats read; host order keeps the result equal to
+    /// a per-frame fold regardless of when the read happens.
+    fn fold_pending(&self) {
+        // Safety: coordinator context — never called while a frame is in
+        // flight (frames run only inside `advance_once(&mut self)`).
+        let stats = unsafe { self.stats.get() };
+        for (h, shard) in self.shared.shards.iter().enumerate() {
+            // Safety: coordinator context.
+            let shard = unsafe { shard.get() };
+            fold_delta(stats, h, std::mem::take(&mut shard.delta));
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &NetStats {
+        self.fold_pending();
+        // Safety: coordinator context; `fold_pending`'s writer is gone.
+        unsafe { self.stats.get_ref() }
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut NetStats {
+        self.fold_pending();
+        self.stats.get_mut()
+    }
+
+    pub(crate) fn params(&self) -> &NetParams {
+        &self.shared.params
+    }
+
+    pub(crate) fn host(&self, h: HostId) -> &HostStack {
+        // Safety: coordinator context (see `shard`).
+        &unsafe { self.shard(h) }.host
+    }
+
+    pub(crate) fn host_mut(&mut self, h: HostId) -> &mut HostStack {
+        // Safety: coordinator context with exclusive access.
+        &mut unsafe { self.shard(h) }.host
+    }
+
+    pub(crate) fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+        for shard in &self.shared.shards {
+            // Safety: coordinator context with exclusive access.
+            unsafe { shard.get() }.trace_enabled = true;
+        }
+    }
+
+    pub(crate) fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    pub(crate) fn bind(&mut self, host: HostId, port: UdpPort) -> SocketId {
+        self.host_mut(host).bind(port)
+    }
+
+    pub(crate) fn join_group_quiet(&mut self, host: HostId, socket: SocketId, group: GroupId) {
+        // Safety: coordinator context.
+        unsafe { self.shard(host) }.host.join_group(socket, group);
+        self.shared
+            .tables
+            .write()
+            .unwrap()
+            .snoop_join(group, SwitchPort(host.0));
+    }
+
+    pub(crate) fn leave_group_quiet(&mut self, host: HostId, socket: SocketId, group: GroupId) {
+        // Safety: coordinator context.
+        let h = &mut unsafe { self.shard(host) }.host;
+        h.leave_group(socket, group);
+        if !h.nic.is_member(group) {
+            self.shared
+                .tables
+                .write()
+                .unwrap()
+                .snoop_leave(group, SwitchPort(host.0));
+        }
+    }
+
+    pub(crate) fn join_group_igmp(
+        &mut self,
+        host: HostId,
+        socket: SocketId,
+        group: GroupId,
+        at: SimTime,
+    ) {
+        let at = at.max(self.now);
+        let id = self.next_control_frame_id;
+        self.next_control_frame_id += 1;
+        // Safety: coordinator context.
+        let shard = unsafe { self.shard(host) };
+        shard.host.join_group(socket, group);
+        let frame = Frame {
+            id,
+            src: host,
+            dst: FrameDst::Broadcast,
+            mac_payload: 46,
+            payload: FramePayload::IgmpJoin { group },
+        };
+        if shard.host.nic.enqueue(frame) {
+            shard.host.nic.tx_busy = true;
+            shard.queue.schedule(at, Event::NicTxNext { host });
+            self.note_scheduled(host, at);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_datagram(
+        &mut self,
+        host: HostId,
+        src_port: UdpPort,
+        dst: DatagramDst,
+        dst_port: UdpPort,
+        payload: SharedPayload,
+        at: SimTime,
+        multicast_loopback: bool,
+        kernel: bool,
+    ) -> u64 {
+        // Injections land no earlier than the current frame boundary —
+        // the frame clock has already passed `at` (documented divergence
+        // from the event-loop engine, bounded by Δ).
+        let at = at.max(self.now);
+        let id = self.next_datagram_id;
+        self.next_datagram_id += 1;
+        let datagram = Arc::new(Datagram {
+            id,
+            src_host: host,
+            src_port,
+            dst,
+            dst_port,
+            payload,
+            kernel,
+        });
+        let stats = self.stats.get_mut();
+        if kernel {
+            stats.kernel_datagrams_sent += 1;
+        } else {
+            stats.datagrams_sent += 1;
+            match dst {
+                DatagramDst::Multicast(_) => stats.mcast_datagrams_sent += 1,
+                DatagramDst::Unicast(_) => stats.unicast_datagrams_sent += 1,
+            }
+        }
+        // Safety: coordinator context.
+        let shard = unsafe { self.shard(host) };
+        match dst {
+            DatagramDst::Unicast(d) if d == host => {
+                shard
+                    .queue
+                    .schedule(at, Event::LoopbackDelivery { host, datagram });
+            }
+            _ => {
+                if multicast_loopback && matches!(dst, DatagramDst::Multicast(_)) {
+                    shard.queue.schedule(
+                        at,
+                        Event::LoopbackDelivery {
+                            host,
+                            datagram: Arc::clone(&datagram),
+                        },
+                    );
+                }
+                shard
+                    .queue
+                    .schedule(at, Event::DatagramReady { host, datagram });
+            }
+        }
+        self.note_scheduled(host, at);
+        id
+    }
+
+    pub(crate) fn schedule_post_recv(&mut self, host: HostId, socket: SocketId, at: SimTime) {
+        let at = at.max(self.now);
+        // Safety: coordinator context.
+        unsafe { self.shard(host) }
+            .queue
+            .schedule(at, Event::PostRecv { host, socket });
+        self.note_scheduled(host, at);
+    }
+
+    pub(crate) fn schedule_timer(
+        &mut self,
+        host: HostId,
+        socket: Option<SocketId>,
+        token: u64,
+        at: SimTime,
+    ) {
+        let at = at.max(self.now);
+        // Safety: coordinator context.
+        unsafe { self.shard(host) }.queue.schedule(
+            at,
+            Event::Timer {
+                host,
+                socket,
+                token,
+            },
+        );
+        self.note_scheduled(host, at);
+    }
+
+    /// Advance by one non-empty frame: find the earliest pending event,
+    /// run the frame window containing it across the worker pool, merge
+    /// at the barrier, and report the frame's completions.
+    pub(crate) fn advance_once(&mut self) -> StepOutcome {
+        // Dense scan of the per-shard next-event cache: no queue is
+        // touched to find the next frame or to build its active set.
+        let mut earliest_ns = u64::MAX;
+        for slot in &self.shared.next_ns {
+            earliest_ns = earliest_ns.min(slot.load(Ordering::Relaxed));
+        }
+        if earliest_ns == u64::MAX {
+            return StepOutcome::Quiescent;
+        }
+        let t0 = SimTime::from_nanos(earliest_ns);
+        let q = self.shared.latency.as_nanos();
+        let frame_end = SimTime::from_nanos((t0.as_nanos() / q + 1) * q);
+        let frame_end_ns = frame_end.as_nanos();
+
+        // Build the frame's active set: only shards with an event inside
+        // the window get claimed, so an idle host costs one atomic load.
+        {
+            // Safety: coordinator context, workers idle.
+            let active = unsafe { self.shared.active.get() };
+            active.clear();
+            for (h, slot) in self.shared.next_ns.iter().enumerate() {
+                if slot.load(Ordering::Relaxed) < frame_end_ns {
+                    active.push(h as u32);
+                }
+            }
+            let chunk = (active.len() / (self.workers * 4)).max(1);
+            self.shared.chunk.store(chunk, Ordering::Relaxed);
+        }
+
+        // Launch the frame on the pool; the coordinator works as worker 0.
+        self.shared
+            .frame_end_ns
+            .store(frame_end_ns, Ordering::Relaxed);
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        if self.workers == 1 {
+            // No pool to wake or wait for: the coordinator runs the
+            // whole frame inline, skipping the generation handshake.
+            run_phase(&self.shared, 0);
+        } else {
+            self.shared.done.store(0, Ordering::Relaxed);
+            {
+                let _g = self.shared.mutex.lock();
+                self.shared.gen.fetch_add(1, Ordering::Release);
+            }
+            self.shared.condvar.notify_all();
+            run_phase(&self.shared, 0);
+            let mut spins = 0u32;
+            while self.shared.done.load(Ordering::Acquire) < self.workers - 1 {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(SPIN_ITERS) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+
+        // ---- barrier: serial merge in deterministic order ----
+        // Scatter each worker's staged effects straight to their
+        // destination inboxes, then restore per-destination `(time, src,
+        // seq)` order by sorting only each touched inbox's new tail.
+        // The scatter order (worker-major) varies with the worker count
+        // but the *set* per destination does not, and the unique sort
+        // key makes the per-destination order canonical — so the result
+        // is worker-count invariant without a global sort. Snoops are
+        // ordered among themselves; they touch only the shared tables,
+        // which no phase reads until the next frame.
+        let mut snoops: Vec<(SimTime, u32, u64, StagedOp)> = Vec::new();
+        for w in 0..self.workers {
+            // Safety: coordinator context, workers parked (done counter
+            // acquired above). In direct mode port enqueues never get
+            // staged, so this loop only ever sees snoops there.
+            let staging = unsafe { self.shared.staging[w].get() };
+            for st in staging.drain(..) {
+                match st.op {
+                    StagedOp::PortEnqueue { dst, frame } => {
+                        debug_assert!(st.time >= frame_end);
+                        // Safety: coordinator context.
+                        let shard = unsafe { self.shared.shards[dst as usize].get() };
+                        let key = ((st.src as u128) << 64) | st.seq as u128;
+                        inbox_push(
+                            shard,
+                            st.time,
+                            key,
+                            frame,
+                            // Safety: coordinator context.
+                            unsafe { self.shared.touched.get() },
+                            dst,
+                        );
+                    }
+                    op => snoops.push((st.time, st.src, st.seq, op)),
+                }
+            }
+        }
+        // Canonicalize each touched inbox's new tail and publish its
+        // earliest arrival — one `next_ns` update per destination, not
+        // one per frame.
+        // Safety: coordinator context.
+        let touched = unsafe { self.shared.touched.get() };
+        for &dst in touched.iter() {
+            // Safety: coordinator context.
+            let shard = unsafe { self.shared.shards[dst as usize].get() };
+            let mark = std::mem::replace(&mut shard.inbox_mark, usize::MAX);
+            shard.inbox[mark..].sort_unstable_by_key(|e| (e.0, e.1));
+            self.note_scheduled(HostId(dst), shard.inbox[mark].0);
+        }
+        touched.clear();
+        if !snoops.is_empty() {
+            snoops.sort_unstable_by_key(|(t, src, seq, _)| (*t, *src, *seq));
+            let mut tables = self.shared.tables.write().unwrap();
+            for (_, _, _, op) in snoops {
+                match op {
+                    StagedOp::SnoopJoin { group, port } => tables.snoop_join(group, port),
+                    StagedOp::SnoopLeave { group, port } => tables.snoop_leave(group, port),
+                    StagedOp::PortEnqueue { .. } => unreachable!(),
+                }
+            }
+        }
+
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut trace_bufs: Vec<(SimTime, TraceEvent)> = Vec::new();
+        // Only shards the frame actually ran can have produced
+        // completions or trace records. Stats deltas stay buffered in
+        // the shards and drain on the next `stats()` read instead of
+        // being swept every frame (see `fold_pending`).
+        // Safety: coordinator context; the list is read back in place.
+        let active = std::mem::take(unsafe { self.shared.active.get() });
+        for &h in &active {
+            let h = h as usize;
+            // Safety: coordinator context.
+            let shard = unsafe { self.shared.shards[h].get() };
+            completions.append(&mut shard.completions);
+            if shard.trace_enabled {
+                trace_bufs.append(&mut shard.trace_buf);
+            }
+        }
+        // Safety: coordinator context.
+        *unsafe { self.shared.active.get() } = active;
+        // Shard-major concatenation is already time-ordered within each
+        // shard; a stable sort by time yields (time, host) order.
+        completions.sort_by_key(|c| c.at());
+        if let Some(trace) = &mut self.trace {
+            trace_bufs.sort_by_key(|(at, _)| *at);
+            for (at, ev) in trace_bufs {
+                trace.push(at, ev);
+            }
+        }
+
+        self.now = frame_end;
+        StepOutcome::Advanced {
+            now: frame_end,
+            completions,
+        }
+    }
+}
+
+impl Drop for ParEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.mutex.lock();
+        }
+        self.shared.condvar.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Append one cross-shard arrival to `shard`'s inbox, recycling the
+/// buffer when fully drained and recording the first touch since the
+/// last barrier in `touched` (the barrier tail-sorts from `inbox_mark`
+/// and re-arms it). Shared by the barrier drain (staged mode) and the
+/// inline single-worker fast path.
+fn inbox_push(
+    shard: &mut Shard,
+    time: SimTime,
+    key: u128,
+    frame: Frame,
+    touched: &mut Vec<u32>,
+    dst: u32,
+) {
+    if shard.inbox_pos == shard.inbox.len() && shard.inbox_pos > 0 {
+        // Fully drained: recycle the buffer.
+        shard.inbox.clear();
+        shard.inbox_pos = 0;
+    }
+    if shard.inbox_mark == usize::MAX {
+        shard.inbox_mark = shard.inbox.len();
+        touched.push(dst);
+    }
+    shard.inbox.push((time, key, frame));
+}
+
+/// Fold one shard's frame delta into the global statistics.
+fn fold_delta(stats: &mut NetStats, h: usize, d: ShardDelta) {
+    stats.frames_sent += d.frames_sent;
+    stats.data_frames_sent += d.data_frames_sent;
+    stats.ack_frames_sent += d.ack_frames_sent;
+    stats.payload_bytes_sent += d.payload_bytes_sent;
+    stats.wire_bytes_sent += d.wire_bytes_sent;
+    stats.switch_buffer_drops += d.switch_buffer_drops;
+    stats.rx_buffer_drops += d.rx_buffer_drops;
+    stats.unposted_recv_drops += d.unposted_recv_drops;
+    stats.injected_frame_losses += d.injected_frame_losses;
+    stats.injected_duplicates += d.injected_duplicates;
+    stats.injected_reorders += d.injected_reorders;
+    stats.link_delayed_frames += d.link_delayed_frames;
+    stats.partition_drops += d.partition_drops;
+    stats.frames_held += d.frames_held;
+    stats.frames_released += d.frames_released;
+    stats.datagrams_delivered += d.datagrams_delivered;
+    stats.frames_per_host[h] += d.frames_tx;
+    let l = &mut stats.links[h];
+    l.frames_delivered += d.link.frames_delivered;
+    l.injected_drops += d.link.injected_drops;
+    l.injected_dups += d.link.injected_dups;
+    l.injected_reorders += d.link.injected_reorders;
+    l.delayed_frames += d.link.delayed_frames;
+    l.partition_drops += d.link.partition_drops;
+}
+
+fn worker_loop(shared: &Shared, worker_id: usize) {
+    let mut seen_gen = 0u64;
+    loop {
+        // Wait for the next frame launch: spin briefly, then park.
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let g = shared.gen.load(Ordering::Acquire);
+            if g != seen_gen {
+                seen_gen = g;
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_ITERS {
+                std::hint::spin_loop();
+            } else {
+                let mut guard = shared.mutex.lock();
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let g = shared.gen.load(Ordering::Acquire);
+                    if g != seen_gen {
+                        seen_gen = g;
+                        break;
+                    }
+                    shared.condvar.wait(&mut guard);
+                }
+                break;
+            }
+        }
+        run_phase(shared, worker_id);
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Claim active-list entries through the cursor and run each claimed
+/// shard up to the frame end.
+fn run_phase(shared: &Shared, worker_id: usize) {
+    let frame_end = SimTime::from_nanos(shared.frame_end_ns.load(Ordering::Relaxed));
+    // Safety: the active list is frozen while the frame is in flight.
+    let active = unsafe { shared.active.get_ref() };
+    let n = active.len();
+    let chunk = shared.chunk.load(Ordering::Relaxed);
+    loop {
+        let start = shared.cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        for &s in &active[start..(start + chunk).min(n)] {
+            let s = s as usize;
+            // Safety: the cursor hands each active entry to exactly one
+            // worker per frame; the staging slot is this worker's own.
+            let shard = unsafe { shared.shards[s].get() };
+            let staging = unsafe { shared.staging[worker_id].get() };
+            ShardCtx {
+                shard,
+                staging,
+                shared,
+            }
+            .run(frame_end);
+            // Publish the shard's next local event time (heap or inbox)
+            // for the coordinator's frame scan (ordered by the done
+            // counter).
+            let shard = unsafe { shared.shards[s].get() };
+            let mut next = shard.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+            if let Some((t, _, _)) = shard.inbox.get(shard.inbox_pos) {
+                next = next.min(t.as_nanos());
+            }
+            shared.next_ns[s].store(next, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One worker's view while processing a single shard.
+struct ShardCtx<'a> {
+    shard: &'a mut Shard,
+    staging: &'a mut Vec<Staged>,
+    shared: &'a Shared,
+}
+
+impl ShardCtx<'_> {
+    /// Process this shard's events with `time < frame_end` in
+    /// `(time, local seq)` order, merging the local heap with the
+    /// time-sorted cross-shard inbox by front timestamp. On a tie the
+    /// inbox entry goes first: it was produced (and globally ordered) a
+    /// frame earlier than anything the heap can still hold at that
+    /// instant, and a fixed rule is all determinism needs.
+    fn run(mut self, frame_end: SimTime) {
+        loop {
+            let queue_at = self.shard.queue.peek_time().filter(|t| *t < frame_end);
+            let inbox_at = self
+                .shard
+                .inbox
+                .get(self.shard.inbox_pos)
+                .map(|(t, _, _)| *t)
+                .filter(|t| *t < frame_end);
+            let take_inbox = match (inbox_at, queue_at) {
+                (Some(i), Some(q)) => i <= q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_inbox {
+                let pos = self.shard.inbox_pos;
+                self.shard.inbox_pos += 1;
+                // Take the frame out without shifting the prefix (the
+                // barrier recycles the buffer once it fully drains); the
+                // placeholder is a payload-free dummy, never read back.
+                let (at, _, frame) = std::mem::replace(
+                    &mut self.shard.inbox[pos],
+                    (
+                        SimTime::ZERO,
+                        0,
+                        Frame {
+                            id: 0,
+                            src: HostId(0),
+                            dst: FrameDst::Unicast(HostId(0)),
+                            mac_payload: 0,
+                            payload: FramePayload::IgmpJoin { group: GroupId(0) },
+                        },
+                    ),
+                );
+                debug_assert!(at >= self.shard.now, "shard time went backwards");
+                self.shard.now = at;
+                self.port_enqueue(frame);
+            } else {
+                let (at, event) = self.shard.queue.pop().expect("peeked");
+                debug_assert!(at >= self.shard.now, "shard time went backwards");
+                self.shard.now = at;
+                self.handle(event);
+            }
+        }
+    }
+
+    fn own_host(&self) -> HostId {
+        self.shard.host.id
+    }
+
+    fn trace_push(&mut self, event: TraceEvent) {
+        if self.shard.trace_enabled {
+            self.shard.trace_buf.push((self.shard.now, event));
+        }
+    }
+
+    /// Buffer a cross-shard effect with this shard's next order tag.
+    fn stage(&mut self, time: SimTime, op: StagedOp) {
+        let seq = self.shard.out_seq;
+        self.shard.out_seq += 1;
+        self.staging.push(Staged {
+            time,
+            src: self.own_host().0,
+            seq,
+            op,
+        });
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::DatagramReady { datagram, .. } => {
+                // Frame ids derive from the datagram id so they are
+                // independent of shard interleaving.
+                let dg_id = datagram.id;
+                let mut k = 0u64;
+                let frames = fragment_datagram(
+                    datagram,
+                    &self.shared.params.ip,
+                    self.shared.params.ethernet.mtu_bytes,
+                    || {
+                        let id = (dg_id << 16) | k;
+                        k += 1;
+                        id
+                    },
+                );
+                let nic = &mut self.shard.host.nic;
+                let mut kick = false;
+                for f in frames {
+                    kick |= nic.enqueue(f);
+                }
+                if kick {
+                    nic.tx_busy = true;
+                    let host = self.own_host();
+                    let at = self.shard.now;
+                    self.shard.queue.schedule(at, Event::NicTxNext { host });
+                }
+            }
+            Event::LoopbackDelivery { datagram, .. } => {
+                self.deliver_datagram(datagram);
+            }
+            Event::NicTxNext { .. } => self.nic_tx_next(),
+            Event::SwitchIngress { frame, in_port } => self.switch_ingress(frame, in_port),
+            Event::PortEnqueue { frame, .. } => self.port_enqueue(frame),
+            Event::PortDelivered { frame, .. } => self.port_delivered(frame),
+            Event::PortTxNext { .. } => self.port_tx_next(),
+            Event::LinkRedeliver { frame, .. } => self.receive_frame(&frame),
+            Event::TopologyWake => {
+                let now = self.shard.now;
+                let released = self.shard.topo.advance_to(now);
+                self.apply_releases(released);
+            }
+            Event::PostRecv { host, socket } => {
+                debug_assert_eq!(host, self.own_host());
+                let at = self.shard.now;
+                let sock = self.shard.host.socket_mut(socket);
+                sock.recv_posted = true;
+                if sock.buffered() > 0 {
+                    self.shard
+                        .completions
+                        .push(Completion::RecvReady { host, socket, at });
+                }
+            }
+            Event::Timer {
+                host,
+                socket,
+                token,
+            } => {
+                debug_assert_eq!(host, self.own_host());
+                if !self.shard.host.take_timer_cancellation(token) {
+                    let at = self.shard.now;
+                    self.shard.completions.push(Completion::TimerFired {
+                        host,
+                        socket,
+                        token,
+                        at,
+                    });
+                }
+            }
+            Event::SwitchForward { .. }
+            | Event::HubArbitrate
+            | Event::HubFrameDelivered { .. }
+            | Event::NicRetry { .. } => {
+                unreachable!("event not used by the frame engine")
+            }
+        }
+    }
+
+    /// Begin serializing the next queued frame on this host's uplink.
+    fn nic_tx_next(&mut self) {
+        let Some(frame) = self.shard.host.nic.pop_head() else {
+            self.shard.host.nic.tx_busy = false;
+            return;
+        };
+        self.shard.host.nic.tx_busy = true;
+        let eth = &self.shared.params.ethernet;
+        let wire = eth.frame_wire_time(frame.mac_payload);
+        let wire_bytes = (eth.preamble_bytes
+            + eth.mac_header_bytes
+            + frame.mac_payload.max(eth.min_payload_bytes)
+            + eth.fcs_bytes) as u64;
+        let class = frame_class(&frame);
+        let ingress_after = match &self.shared.params.fabric {
+            FabricKind::Switch(sp) => match sp.mode {
+                SwitchMode::StoreAndForward => wire,
+                SwitchMode::CutThrough { header_bytes } => {
+                    eth.byte_time(u64::from((eth.preamble_bytes + header_bytes).min(
+                        eth.preamble_bytes
+                            + eth.mac_header_bytes
+                            + frame.mac_payload.max(eth.min_payload_bytes)
+                            + eth.fcs_bytes,
+                    )))
+                }
+            },
+            FabricKind::Hub => unreachable!(),
+        };
+        let ingress_at = self.shard.now + ingress_after + eth.prop_delay;
+        let next_at = self.shard.now + wire + eth.ifg_time();
+        self.record_frame_sent(frame.mac_payload, wire_bytes, class);
+        let host = self.own_host();
+        self.trace_push(TraceEvent::TxStart {
+            src: host,
+            frame: frame.id,
+            bytes: frame.mac_payload,
+        });
+        self.shard.queue.schedule(
+            ingress_at,
+            Event::SwitchIngress {
+                frame,
+                in_port: SwitchPort(host.0),
+            },
+        );
+        self.shard
+            .queue
+            .schedule(next_at, Event::NicTxNext { host });
+    }
+
+    fn record_frame_sent(&mut self, mac_payload: u32, wire_bytes: u64, class: FrameClass) {
+        let d = &mut self.shard.delta;
+        d.frames_sent += 1;
+        match class {
+            FrameClass::Data => d.data_frames_sent += 1,
+            FrameClass::KernelAck => d.ack_frames_sent += 1,
+            FrameClass::Control => {}
+        }
+        d.payload_bytes_sent += mac_payload as u64;
+        d.wire_bytes_sent += wire_bytes;
+        d.frames_tx += 1;
+    }
+
+    /// The last bit of one of this host's frames arrived at the switch.
+    /// Fan-out crosses shard boundaries, so every target port enqueue is
+    /// staged at `now + Δ` — the frame engine's whole lookahead argument.
+    fn switch_ingress(&mut self, frame: Frame, in_port: SwitchPort) {
+        // The static star is pre-learned and a host only ingresses on its
+        // own port, so the MAC table never changes mid-run — skipping the
+        // write keeps phase A free of table writes.
+        debug_assert!(self.shared.tables.read().unwrap().knows(frame.src, in_port));
+        let now = self.shard.now;
+        match &frame.payload {
+            FramePayload::IgmpJoin { group } => {
+                // Deferred to the frame barrier (applied in staged order);
+                // membership becomes visible the next frame.
+                let group = *group;
+                self.stage(
+                    now,
+                    StagedOp::SnoopJoin {
+                        group,
+                        port: in_port,
+                    },
+                );
+            }
+            FramePayload::IgmpLeave { group } => {
+                let group = *group;
+                self.stage(
+                    now,
+                    StagedOp::SnoopLeave {
+                        group,
+                        port: in_port,
+                    },
+                );
+            }
+            FramePayload::Fragment { .. } => {
+                let at = now + self.shared.latency;
+                let targets = self
+                    .shared
+                    .tables
+                    .read()
+                    .unwrap()
+                    .forward_set(&frame, in_port)
+                    .ports;
+                if self.shared.direct {
+                    // Single-worker fast path: this thread is the only
+                    // one running, so the destination inbox can be
+                    // written without the staging hop. `out_seq` is
+                    // bumped exactly as `stage` would, so the barrier's
+                    // canonical tail sort sees identical keys and the
+                    // result is byte-equal to the staged path.
+                    let src = self.own_host().0;
+                    for port in targets {
+                        let seq = self.shard.out_seq;
+                        self.shard.out_seq += 1;
+                        let key = ((src as u128) << 64) | seq as u128;
+                        // Safety: single-worker mode; `forward_set`
+                        // never includes the ingress port, so `dst` is
+                        // not the shard this context holds `&mut` to.
+                        let dst = unsafe { self.shared.shards[port.0 as usize].get() };
+                        let touched = unsafe { self.shared.touched.get() };
+                        inbox_push(dst, at, key, frame.clone(), touched, port.0);
+                    }
+                } else {
+                    for port in targets {
+                        self.stage(
+                            at,
+                            StagedOp::PortEnqueue {
+                                dst: port.0,
+                                frame: frame.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A forwarded frame lands on this host's output port (merged from
+    /// another shard at the previous frame barrier).
+    fn port_enqueue(&mut self, frame: Frame) {
+        match self.shard.port.enqueue(frame, self.shared.buffer_limit) {
+            Ok(true) => self.port_tx_next(),
+            Ok(false) => {}
+            Err(()) => self.shard.delta.switch_buffer_drops += 1,
+        }
+    }
+
+    /// Begin serializing the next queued frame on this host's downlink.
+    fn port_tx_next(&mut self) {
+        let Some(frame) = self.shard.port.dequeue() else {
+            self.shard.port.tx_busy = false;
+            return;
+        };
+        self.shard.port.tx_busy = true;
+        let eth = &self.shared.params.ethernet;
+        let wire = eth.frame_wire_time(frame.mac_payload);
+        let delivered_at = self.shard.now + wire + eth.prop_delay;
+        let next_at = self.shard.now + wire + eth.ifg_time();
+        let port = SwitchPort(self.own_host().0);
+        self.shard
+            .queue
+            .schedule(delivered_at, Event::PortDelivered { frame, port });
+        self.shard
+            .queue
+            .schedule(next_at, Event::PortTxNext { port });
+    }
+
+    fn port_delivered(&mut self, frame: Frame) {
+        let host = self.own_host();
+        if self.shared.params.frame_loss_prob > 0.0 {
+            let p = self.shared.params.frame_loss_prob;
+            // The event engine draws this from its global stream; here it
+            // comes from the shard stream (documented divergence).
+            if self.shard.fault_rng.coin(p) {
+                self.shard.delta.injected_frame_losses += 1;
+                return;
+            }
+        }
+        let accepted = frame.accepted_by(host, |g| self.shard.host.nic.is_member(g));
+        if accepted {
+            self.link_deliver(&frame);
+        }
+    }
+
+    /// Re-deliver frames parked under just-released holds targeting this
+    /// host, in arrival order (no further fault rolls).
+    fn apply_releases(&mut self, released: Vec<(HostId, HostId)>) {
+        let own = self.own_host();
+        for (src, dst) in released {
+            if dst != own {
+                continue; // another shard's link; its own cursor handles it
+            }
+            let mut i = 0;
+            while i < self.shard.held.len() {
+                if self.shard.held[i].0 == src {
+                    let (_, frame) = self.shard.held.remove(i);
+                    self.shard.delta.frames_released += 1;
+                    self.receive_frame(&frame);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Last hop onto this host's link — the same dice order as the event
+    /// engine (hold, partition, drop, reorder, dup, extra delay), drawn
+    /// from this shard's private stream.
+    fn link_deliver(&mut self, frame: &Frame) {
+        let host = self.own_host();
+        if self.shared.params.faults.is_inert() {
+            self.receive_frame(frame);
+            return;
+        }
+        let now = self.shard.now;
+        let released = self.shard.topo.advance_to(now);
+        if !released.is_empty() {
+            self.apply_releases(released);
+        }
+        if self.shard.topo.is_held(frame.src, host) {
+            self.shard.delta.frames_held += 1;
+            self.shard.held.push((frame.src, frame.clone()));
+            return;
+        }
+        if self.shard.topo.separated(frame.src, host) {
+            self.shard.delta.partition_drops += 1;
+            self.shard.delta.link.partition_drops += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "partition",
+            });
+            return;
+        }
+        let drop_p = self.shared.params.faults.drop_prob_for(host);
+        if drop_p > 0.0 && self.shard.fault_rng.coin(drop_p) {
+            self.shard.delta.injected_frame_losses += 1;
+            self.shard.delta.link.injected_drops += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "injected loss",
+            });
+            return;
+        }
+        let reorder_p = self.shared.params.faults.reorder_prob;
+        if reorder_p > 0.0 && self.shard.fault_rng.coin(reorder_p) {
+            let max = self
+                .shared
+                .params
+                .faults
+                .reorder_max_delay
+                .as_nanos()
+                .max(1);
+            let delay = SimDuration::from_nanos(self.shard.fault_rng.range_inclusive(1, max));
+            self.shard.delta.injected_reorders += 1;
+            self.shard.delta.link.injected_reorders += 1;
+            self.shard.queue.schedule(
+                now + delay,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+            return;
+        }
+        let dup_p = self.shared.params.faults.dup_prob;
+        if dup_p > 0.0 && self.shard.fault_rng.coin(dup_p) {
+            self.shard.delta.injected_duplicates += 1;
+            self.shard.delta.link.injected_dups += 1;
+            let slot = self.shared.params.ethernet.frame_slot(frame.mac_payload);
+            self.shard.queue.schedule(
+                now + slot,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        let extra = self.shared.params.faults.extra_delay_for(host);
+        if extra.as_nanos() > 0 {
+            self.shard.delta.link_delayed_frames += 1;
+            self.shard.delta.link.delayed_frames += 1;
+            self.shard.queue.schedule(
+                now + extra,
+                Event::LinkRedeliver {
+                    host,
+                    frame: frame.clone(),
+                },
+            );
+            return;
+        }
+        self.receive_frame(frame);
+    }
+
+    fn receive_frame(&mut self, frame: &Frame) {
+        let host = self.own_host();
+        self.shard.delta.link.frames_delivered += 1;
+        self.trace_push(TraceEvent::Delivered {
+            dst: host,
+            frame: frame.id,
+        });
+        if let FramePayload::Fragment {
+            datagram,
+            index,
+            count,
+        } = &frame.payload
+        {
+            let datagram = Arc::clone(datagram);
+            let (index, count) = (*index, *count);
+            let complete = self.shard.host.receive_fragment(&datagram, index, count);
+            if let Some(dg) = complete {
+                self.deliver_datagram(dg);
+            }
+        }
+    }
+
+    fn deliver_datagram(&mut self, dg: Arc<Datagram>) {
+        let host = self.own_host();
+        let now = self.shard.now;
+        match self.shard.host.deliver(dg, now) {
+            Delivery::Delivered {
+                socket,
+                had_posted_recv,
+            } => {
+                self.shard.delta.datagrams_delivered += 1;
+                if had_posted_recv {
+                    self.shard.completions.push(Completion::RecvReady {
+                        host,
+                        socket,
+                        at: now,
+                    });
+                }
+            }
+            Delivery::Dropped(DeliveryFailure::BufferOverflow) => {
+                self.shard.delta.rx_buffer_drops += 1;
+                self.trace_push(TraceEvent::Drop {
+                    host,
+                    reason: "rx buffer overflow",
+                });
+            }
+            Delivery::Dropped(DeliveryFailure::NoPostedReceive) => {
+                self.shard.delta.unposted_recv_drops += 1;
+                self.trace_push(TraceEvent::Drop {
+                    host,
+                    reason: "no posted receive (strict multicast)",
+                });
+            }
+            Delivery::Dropped(DeliveryFailure::NoMatchingSocket) => {}
+        }
+    }
+}

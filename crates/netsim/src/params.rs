@@ -23,14 +23,15 @@
 //! | `reorder_max_delay` | virtual time | 500 µs | bound on the extra delay |
 //! | `per_link_drop` | list of `(host, prob)` | empty | per-link override of `drop_prob` |
 //! | `per_link_extra_delay` | list of `(host, delay)` | empty | extra latency on frames arriving at `host` |
-//! | `partition` | `[start, start+duration)` window | none | one-shot network split |
+//! | `topology` | scheduled ops | empty | scripted holds / partitions / heals ([`TopologyScript`]) |
 //!
 //! The separate, older [`NetParams::frame_loss_prob`] models hardware bit
 //! errors (one roll per frame, not per link) and is kept for the paper's
 //! §2 ablations; new scenario code should prefer [`FaultParams`].
 
 use crate::ids::HostId;
-use crate::time::{SimDuration, SimTime};
+use crate::time::SimDuration;
+use crate::topology::TopologyScript;
 
 /// Ethernet physical/MAC layer constants.
 #[derive(Clone, Debug)]
@@ -238,34 +239,6 @@ impl Default for SwitchParams {
     }
 }
 
-/// A one-shot network partition: during `[start, start + duration)` every
-/// frame crossing the cut between `island` and the rest of the hosts is
-/// dropped. Traffic within either side flows normally, and the network
-/// heals (frames flow again) once the window closes.
-#[derive(Clone, Debug)]
-pub struct Partition {
-    /// Virtual time the partition begins.
-    pub start: SimTime,
-    /// How long the partition lasts.
-    pub duration: SimDuration,
-    /// Hosts on the minority side of the cut.
-    pub island: Vec<HostId>,
-}
-
-impl Partition {
-    /// True when the partition is in force at `now`.
-    #[inline]
-    pub fn active_at(&self, now: SimTime) -> bool {
-        now >= self.start && now < self.start + self.duration
-    }
-
-    /// True when a frame from `src` to `dst` crosses the cut.
-    #[inline]
-    pub fn separates(&self, src: HostId, dst: HostId) -> bool {
-        self.island.contains(&src) != self.island.contains(&dst)
-    }
-}
-
 /// Fault-injection parameters (see the module docs for the knob table).
 ///
 /// All faults are applied at the receiving end of a link — after the frame
@@ -299,8 +272,10 @@ pub struct FaultParams {
     /// fault dice with no RNG draw of its own, so turning it on never
     /// perturbs which frames the other knobs hit. Default: empty.
     pub per_link_extra_delay: Vec<(HostId, SimDuration)>,
-    /// One-shot partition window, if any. Default: none.
-    pub partition: Option<Partition>,
+    /// Scheduled topology faults — holds, partitions, heals (see
+    /// [`TopologyScript`]). The old one-shot partition window is
+    /// [`TopologyScript::partition_window`]. Default: empty.
+    pub topology: TopologyScript,
 }
 
 impl Default for FaultParams {
@@ -312,7 +287,7 @@ impl Default for FaultParams {
             reorder_max_delay: SimDuration::from_micros(500),
             per_link_drop: Vec::new(),
             per_link_extra_delay: Vec::new(),
-            partition: None,
+            topology: TopologyScript::default(),
         }
     }
 }
@@ -355,7 +330,7 @@ impl FaultParams {
             && self.reorder_prob <= 0.0
             && self.per_link_drop.is_empty()
             && self.per_link_extra_delay.is_empty()
-            && self.partition.is_none()
+            && self.topology.is_empty()
     }
 }
 
@@ -546,19 +521,16 @@ mod tests {
     }
 
     #[test]
-    fn partition_window_and_cut() {
-        let p = Partition {
-            start: SimTime::from_micros(10),
-            duration: SimDuration::from_micros(5),
-            island: vec![HostId(0), HostId(1)],
+    fn topology_script_makes_faults_non_inert() {
+        let f = FaultParams {
+            topology: TopologyScript::partition_window(
+                crate::time::SimTime::from_micros(10),
+                SimDuration::from_micros(5),
+                vec![HostId(0), HostId(1)],
+            ),
+            ..Default::default()
         };
-        assert!(!p.active_at(SimTime::from_micros(9)));
-        assert!(p.active_at(SimTime::from_micros(10)));
-        assert!(p.active_at(SimTime::from_micros(14)));
-        assert!(!p.active_at(SimTime::from_micros(15)));
-        assert!(p.separates(HostId(0), HostId(2)));
-        assert!(!p.separates(HostId(0), HostId(1)));
-        assert!(!p.separates(HostId(2), HostId(3)));
+        assert!(!f.is_inert());
     }
 
     #[test]

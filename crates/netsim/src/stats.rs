@@ -75,6 +75,12 @@ pub struct NetStats {
     pub link_delayed_frames: u64,
     /// Frames dropped by an active partition.
     pub partition_drops: u64,
+    /// Frames parked by a topology-script hold (released later, not
+    /// dropped — so this is *not* part of [`NetStats::total_drops`]).
+    pub frames_held: u64,
+    /// Held frames re-delivered by a release or heal. Equal to
+    /// `frames_held` once every hold has been released.
+    pub frames_released: u64,
     /// Datagrams fully reassembled and delivered to a socket.
     pub datagrams_delivered: u64,
     /// Datagram sends issued by hosts.
@@ -170,6 +176,8 @@ impl NetStats {
         self.injected_reorders += other.injected_reorders;
         self.link_delayed_frames += other.link_delayed_frames;
         self.partition_drops += other.partition_drops;
+        self.frames_held += other.frames_held;
+        self.frames_released += other.frames_released;
         self.datagrams_delivered += other.datagrams_delivered;
         self.datagrams_sent += other.datagrams_sent;
         self.mcast_datagrams_sent += other.mcast_datagrams_sent;

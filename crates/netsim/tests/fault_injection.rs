@@ -6,8 +6,9 @@
 
 use mmpi_netsim::cluster::{run_cluster, ClusterConfig};
 use mmpi_netsim::ids::{DatagramDst, GroupId, HostId};
-use mmpi_netsim::params::{FaultParams, NetParams, Partition};
+use mmpi_netsim::params::{FaultParams, NetParams};
 use mmpi_netsim::time::{SimDuration, SimTime};
+use mmpi_netsim::topology::TopologyScript;
 
 const PORT: u16 = 4000;
 
@@ -138,11 +139,11 @@ fn partition_blocks_cut_then_heals() {
     // Host 1 is islanded for 2 ms starting at t=0. A frame sent during
     // the window dies; the same send after the window arrives.
     let faults = FaultParams {
-        partition: Some(Partition {
-            start: SimTime::ZERO,
-            duration: SimDuration::from_millis(2),
-            island: vec![HostId(1)],
-        }),
+        topology: TopologyScript::partition_window(
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            vec![HostId(1)],
+        ),
         ..Default::default()
     };
     let params = NetParams::fast_ethernet_switch().with_faults(faults);

@@ -438,16 +438,17 @@ fn overheard_any_source_solicit_suppresses_our_own() {
 fn sim_partition_provokes_eviction_and_typed_error() {
     use mmpi_netsim::cluster::ClusterConfig;
     use mmpi_netsim::ids::HostId;
-    use mmpi_netsim::params::{FaultParams, NetParams, Partition};
+    use mmpi_netsim::params::{FaultParams, NetParams};
+    use mmpi_netsim::topology::TopologyScript;
     use mmpi_netsim::{SimDuration, SimTime};
     use mmpi_transport::{run_sim_world_stats, Comm, SimCommConfig};
 
     let faults = FaultParams {
-        partition: Some(Partition {
-            start: SimTime::from_micros(100),
-            duration: SimDuration::from_millis(4),
-            island: vec![HostId(1)],
-        }),
+        topology: TopologyScript::partition_window(
+            SimTime::from_micros(100),
+            SimDuration::from_millis(4),
+            vec![HostId(1)],
+        ),
         ..Default::default()
     };
     let params = NetParams::fast_ethernet_switch().with_faults(faults);

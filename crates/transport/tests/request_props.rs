@@ -14,7 +14,8 @@ use proptest::prelude::*;
 
 use mmpi_netsim::cluster::ClusterConfig;
 use mmpi_netsim::ids::HostId;
-use mmpi_netsim::params::{FaultParams, NetParams, Partition};
+use mmpi_netsim::params::{FaultParams, NetParams};
+use mmpi_netsim::topology::TopologyScript;
 use mmpi_netsim::{SimDuration, SimTime};
 use mmpi_transport::{run_mem_world, run_sim_world, run_sim_world_stats, Comm, SimCommConfig};
 
@@ -141,11 +142,11 @@ fn repair_progresses_while_parked_in_wait_any_on_unrelated_request() {
     const LOST_TAG: u32 = 10;
     const SLOW_TAG: u32 = 20;
     let faults = FaultParams {
-        partition: Some(Partition {
-            start: SimTime::from_micros(100),
-            duration: SimDuration::from_millis(4),
-            island: vec![HostId(0)],
-        }),
+        topology: TopologyScript::partition_window(
+            SimTime::from_micros(100),
+            SimDuration::from_millis(4),
+            vec![HostId(0)],
+        ),
         ..Default::default()
     };
     let params = NetParams::fast_ethernet_switch().with_faults(faults);

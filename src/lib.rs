@@ -6,7 +6,10 @@
 //!
 //! * [`netsim`] — discrete-event Fast Ethernet / IP / UDP simulator,
 //!   with injectable per-link faults (loss, duplication, reordering,
-//!   partitions).
+//!   scripted holds/partitions) and two execution engines behind one
+//!   `World` facade: the sequential event loop and the frame-based
+//!   parallel engine, byte-identical at any worker count
+//!   (`docs/SIMULATOR.md`).
 //! * [`wire`] — on-the-wire message formats (headers, fragmentation,
 //!   scouts, NACKs, ACK-horizon session messages) and the sender-side
 //!   retransmit ring with acknowledged-frontier release, built as a
@@ -82,6 +85,9 @@
 //!                ├─ SharedPayload: datagrams cross the simulator as
 //!                │  shared Bytes segments (fan-out/dup/redeliver are
 //!                │  refcount bumps)
+//!                ├─ RunMode: event-loop engine or frame-based
+//!                │  parallel engine (per-host shards, Δ-lookahead
+//!                │  frames, worker-count-invariant — docs/SIMULATOR.md)
 //!                └─ FaultParams: per-link drop · dup · reorder ·
 //!                   partition · heterogeneous extra delay, on a
 //!                   dedicated deterministic RNG stream

@@ -1,0 +1,181 @@
+//! Criterion bench: the membership layer (`docs/PROTOCOL.md` §10).
+//!
+//! Two questions, both answered with deterministic virtual-time
+//! numbers printed next to the criterion wall times (the data
+//! `BENCH_8.json` records):
+//!
+//! * `detect` — how fast does the detector confirm a silent rank, as a
+//!   function of the heartbeat interval, at N ∈ {16, 64}? The victim
+//!   crashes right after a barrier; every survivor polls until
+//!   `failed_peers()` is non-empty and reports the virtual latency
+//!   from the barrier. Confirmation takes
+//!   `(suspicion_factor + confirm_misses) × max(rto, interval)` of
+//!   silence plus up to one beacon period of scheduling slack, so the
+//!   printed medians track `7 × interval` once the interval dominates
+//!   the 2 ms rto.
+//! * `shrink_vs_clean` — what does the full PeerFailed → shrink →
+//!   retry recovery cost against the same collective completing
+//!   cleanly, at 10% loss? The clean run is the denominator the
+//!   recovery's wall time should be read against (detection dominates;
+//!   the vote round itself is one unicast exchange).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_core::{expect_coll, AllgatherAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::ids::HostId;
+use mmpi_netsim::params::{FaultParams, NetParams};
+use mmpi_netsim::time::SimTime;
+use mmpi_netsim::topology::TopologyScript;
+use mmpi_transport::{run_sim_world_stats, Comm, RecvError, RepairConfig, SimCommConfig};
+
+fn member_cfg(seed: u64, interval: Duration) -> SimCommConfig {
+    SimCommConfig {
+        repair: Some(
+            RepairConfig::sim_default()
+                .with_seed(seed)
+                .with_membership(interval),
+        ),
+        ..Default::default()
+    }
+}
+
+/// Crash-to-confirmation latency: returns each survivor's virtual
+/// nanoseconds from the post-barrier instant to its local confirmation
+/// of the victim. Lossless fabric — this measures the detector's
+/// timers, not repair tails.
+fn detect_trial(n: usize, interval: Duration, seed: u64) -> Vec<u64> {
+    let victim = n / 2;
+    let params = NetParams::fast_ethernet_switch();
+    let (report, _) = run_sim_world_stats(
+        &ClusterConfig::new(n, params, seed),
+        &member_cfg(seed, interval),
+        move |c| {
+            let me = c.rank();
+            let mut comm = Communicator::new(c);
+            expect_coll(comm.barrier());
+            let t0 = comm.transport().now();
+            if me == victim {
+                comm.transport_mut().simulate_crash();
+                return 0u64;
+            }
+            for _ in 0..10_000 {
+                comm.transport_mut().progress();
+                comm.transport_mut().compute(Duration::from_micros(500));
+                if !comm.transport().failed_peers().is_empty() {
+                    return comm.transport().now().as_nanos() - t0.as_nanos();
+                }
+            }
+            panic!("rank {me}: victim never confirmed");
+        },
+    )
+    .expect("detect trial failed");
+    let mut lat: Vec<u64> = report
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|&(r, _)| r != victim)
+        .map(|(_, &v)| v)
+        .collect();
+    lat.sort_unstable();
+    lat
+}
+
+/// One allgather world at 10% loss; with `kill`, the victim dies
+/// mid-`iallgather` and the survivors run the full PeerFailed →
+/// shrink → retry recovery. Returns the slowest rank's virtual
+/// completion time in nanoseconds.
+fn shrink_trial(n: usize, kill: bool, seed: u64) -> u64 {
+    let victim = n / 2;
+    let faults = FaultParams {
+        drop_prob: 0.10,
+        topology: if kill {
+            TopologyScript::new().crash(SimTime::from_micros(50_000), HostId(victim as u32))
+        } else {
+            TopologyScript::new()
+        },
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    let (report, _) = run_sim_world_stats(
+        &ClusterConfig::new(n, params, seed),
+        &member_cfg(seed, Duration::from_millis(4)),
+        move |c| {
+            let me = c.rank();
+            let block = vec![me as u8 + 1; 32];
+            let mut comm = Communicator::new(c).with_allgather(AllgatherAlgorithm::Multicast);
+            let warm = expect_coll(comm.allgather(&block));
+            assert_eq!(warm.len(), n);
+            expect_coll(comm.barrier());
+            if kill && me == victim {
+                drop(comm.iallgather(&block));
+                comm.transport_mut().simulate_crash();
+                return;
+            }
+            match comm.allgather(&block) {
+                Ok(out) => assert_eq!(out.len(), n, "clean run must see every block"),
+                Err(RecvError::PeerFailed { .. }) => {
+                    let mut comm = comm.shrink().expect("survivor agreement");
+                    let out = expect_coll(comm.allgather(&block));
+                    assert_eq!(out.len(), n - 1);
+                    expect_coll(comm.barrier());
+                }
+                Err(e) => panic!("rank {me}: {e}"),
+            }
+        },
+    )
+    .expect("shrink trial failed");
+    report
+        .completion_times
+        .iter()
+        .map(|t| t.as_nanos())
+        .max()
+        .unwrap_or(0)
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership_detect");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        for ms in [2u64, 4, 8] {
+            let interval = Duration::from_millis(ms);
+            let lat = detect_trial(n, interval, 1);
+            println!(
+                "# membership_detect n={n} hb={ms}ms: confirm latency \
+                 first={:.2}ms median={:.2}ms last={:.2}ms (virtual)",
+                lat[0] as f64 / 1e6,
+                lat[lat.len() / 2] as f64 / 1e6,
+                lat[lat.len() - 1] as f64 / 1e6,
+            );
+            g.bench_with_input(BenchmarkId::new(format!("hb_{ms}ms"), n), &n, |b, &n| {
+                b.iter(|| detect_trial(n, interval, 1))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership_shrink_vs_clean");
+    g.sample_size(10);
+    for n in [16usize] {
+        for kill in [false, true] {
+            let label = if kill { "kill_shrink_retry" } else { "clean" };
+            let slowest = shrink_trial(n, kill, 1);
+            println!(
+                "# membership_shrink n={n} {label}: slowest completion \
+                 {:.2}ms (virtual, incl. drain)",
+                slowest as f64 / 1e6
+            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| shrink_trial(n, kill, 1));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detect, bench_shrink);
+criterion_main!(benches);

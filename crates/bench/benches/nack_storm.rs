@@ -132,6 +132,7 @@ fn backpressure_trial(window: bool, seed: u64) -> (u64, WorldStats) {
                     match c.recv_match(0, TAG) {
                         Ok(_) => {}
                         Err(RecvError::Unavailable { .. }) => unavailable += 1,
+                        Err(e) => panic!("unexpected recv error: {e:?}"),
                     }
                 }
                 unavailable

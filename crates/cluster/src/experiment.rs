@@ -222,6 +222,17 @@ pub struct RepairCounters {
     /// Per-peer RTT samples folded into the adaptive timer estimators
     /// (summed).
     pub rtt_samples: u64,
+    /// Standalone heartbeat beacons multicast by the membership layer
+    /// (summed); zero unless membership is enabled — piggybacked
+    /// beacons ride horizons and are not counted here.
+    pub heartbeats: u64,
+    /// Suspicions opened against silent peers (summed).
+    pub suspicions: u64,
+    /// Peers confirmed failed by the detector or a shrink vote (summed).
+    pub failures: u64,
+    /// Highest liveness epoch reached (maxed, not summed): 0 until a
+    /// communicator shrink commits a new epoch.
+    pub epoch: u64,
 }
 
 impl RepairCounters {
@@ -235,13 +246,17 @@ impl RepairCounters {
             horizons: res.repair.horizons_sent,
             acked_freed: res.repair.acked_records_freed,
             rtt_samples: res.repair.rtt_samples,
+            heartbeats: res.repair.heartbeats_sent,
+            suspicions: res.repair.suspicions,
+            failures: res.repair.failures_confirmed,
+            epoch: res.repair.epoch,
         }
     }
 
     /// The aligned table header shared by the sweep renderers.
     fn table_header() -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}",
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}",
             "drops",
             "nacks",
             "suppressed",
@@ -249,14 +264,18 @@ impl RepairCounters {
             "repairs_suppr",
             "horizons",
             "acked_freed",
-            "rtt_samples"
+            "rtt_samples",
+            "heartbeats",
+            "suspicions",
+            "failures",
+            "epoch"
         )
     }
 
     /// The aligned table cells matching [`RepairCounters::table_header`].
     fn table_cells(&self) -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}",
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}",
             self.drops,
             self.nacks,
             self.suppressed,
@@ -264,7 +283,11 @@ impl RepairCounters {
             self.repairs_suppressed,
             self.horizons,
             self.acked_freed,
-            self.rtt_samples
+            self.rtt_samples,
+            self.heartbeats,
+            self.suspicions,
+            self.failures,
+            self.epoch
         )
     }
 }

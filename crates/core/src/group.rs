@@ -112,6 +112,12 @@ impl<'a, C: Comm> GroupComm<'a, C> {
                 // the same way so the caller compares like with like.
                 tag_floor: tag_floor.wrapping_sub(self.tag_shift),
             },
+            // Failures surface only on receives directed at members, so
+            // the failed rank always translates into group coordinates.
+            RecvError::PeerFailed { rank, epoch } => RecvError::PeerFailed {
+                rank: self.unshift_rank(rank),
+                epoch,
+            },
         }
     }
 
@@ -255,6 +261,36 @@ impl<C: Comm> Comm for GroupComm<'_, C> {
         let world = self.members[dst];
         self.parent.tcp_ack_model(world, count);
     }
+
+    fn failed_peers(&self) -> Vec<usize> {
+        // Only failures of group members matter in group coordinates.
+        self.parent
+            .failed_peers()
+            .into_iter()
+            .filter_map(|w| self.members.iter().position(|&m| m == w))
+            .collect()
+    }
+
+    fn departed_peers(&self) -> Vec<usize> {
+        self.parent
+            .departed_peers()
+            .into_iter()
+            .filter_map(|w| self.members.iter().position(|&m| m == w))
+            .collect()
+    }
+
+    fn epoch(&self) -> u32 {
+        self.parent.epoch()
+    }
+
+    fn declare_failed(&mut self, rank: usize) {
+        let world = self.members[rank];
+        self.parent.declare_failed(world);
+    }
+
+    // `leave`/`rebase_epoch` deliberately keep the no-op defaults: a
+    // group is a borrowed view, and departing or re-contexting the
+    // *world* endpoint from inside one would outlive the view's scope.
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod group;
 pub mod many_to_many;
 pub mod request;
 mod ring;
+pub mod shrink;
 pub mod tags;
 mod tree;
 
@@ -67,6 +68,7 @@ pub use coll::{combine_u64_max, combine_u64_sum, Combine};
 pub use communicator::{AllgatherAlgorithm, Communicator};
 pub use group::GroupComm;
 pub use request::{CollRequest, IallgatherRequest, IbarrierRequest, IbcastRequest};
+pub use shrink::ShrunkComm;
 pub use tags::{OpCode, OpTags, Phase};
 
 /// Re-export of the transport's typed unrecoverable-loss error — what

@@ -1,0 +1,477 @@
+//! ULFM-style communicator shrink: survivor agreement and the
+//! rank-compacted communicator it produces.
+//!
+//! When the transport's membership layer (`docs/PROTOCOL.md` §10)
+//! confirms a peer dead, collectives start failing with
+//! [`RecvError::PeerFailed`]. Recovery follows the MPI ULFM recipe:
+//! every survivor calls [`Communicator::shrink`], which runs one
+//! deterministic agreement round over the overheard failure sets and
+//! rebuilds the group as a [`ShrunkComm`] with compacted ranks and a
+//! bumped liveness epoch. The epoch is stamped into the transport's
+//! message context ([`Comm::rebase_epoch`]), so stragglers from the old
+//! group can never match new-epoch receives.
+//!
+//! ## The agreement round
+//!
+//! Symmetric all-to-all voting — no coordinator, so there is no
+//! coordinator to lose mid-round:
+//!
+//! 1. each survivor sends its local failure view (confirmed failures ∪
+//!    graceful departures) to every rank it believes alive, on a tag
+//!    derived from the current epoch;
+//! 2. it then waits for the matching vote from each of those ranks. A
+//!    wait that completes with [`RecvError::PeerFailed`] *is* a vote:
+//!    the rank died, and the local detector has confirmed it;
+//! 3. the final failure set is the union of every vote received plus
+//!    the failures discovered while waiting. Every actual crash is
+//!    either in some survivor's vote (flooded announcements converge)
+//!    or confirmed by each waiter's own detector in step 2, so all
+//!    survivors compute the same union — deterministically, with no
+//!    tie to break.
+//!
+//! The round leans on the detector's *no-false-positive* discipline: a
+//! rank named in any vote is treated as dead even if its process still
+//! runs (the ULFM stance — suspected means excluded). Conversely a
+//! false positive naming *us* is ignored by the membership layer, but a
+//! vote round held together by one would exclude a live rank; the
+//! suspicion bounds in [`mmpi_transport::comm::RepairConfig`] are sized
+//! so heartbeats always outrun them.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use mmpi_transport::{CancelSink, Comm, RecvError, RecvReq, SendReq, SendWindowFull, Tag};
+use mmpi_wire::{Bytes, Message, MsgKind};
+
+use crate::communicator::Communicator;
+
+/// Tag space reserved for shrink votes, far above the collective
+/// op-sequence layout (`crate::tags`) and distinct from the group shift
+/// (`0x4000_0000`). Successive shrinks use distinct tags (epoch in bits
+/// 4..16), so a straggling vote from an earlier round — possible on the
+/// mem transport, whose context never changes — cannot match.
+const SHRINK_TAG_BASE: Tag = 0x7F00_0000;
+
+fn vote_tag(epoch: u32) -> Tag {
+    SHRINK_TAG_BASE | ((epoch & 0x0FFF) << 4)
+}
+
+/// Vote body: the epoch voted in plus the sender's failure view.
+/// Deliberately not [`mmpi_wire::FailureAnnouncePayload`]: votes are
+/// point-to-point data (repair-protected, any size), not flooded
+/// control datagrams, so the announce rank cap does not apply.
+fn encode_vote(epoch: u32, failed: &BTreeSet<u32>) -> Bytes {
+    let mut buf = Vec::with_capacity(8 + failed.len() * 4);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&(failed.len() as u32).to_le_bytes());
+    for r in failed {
+        buf.extend_from_slice(&r.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+fn decode_vote(payload: &[u8]) -> Vec<u32> {
+    if payload.len() < 8 {
+        return Vec::new();
+    }
+    let count = u32::from_le_bytes(payload[4..8].try_into().expect("checked")) as usize;
+    payload[8..]
+        .chunks_exact(4)
+        .take(count)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
+        .collect()
+}
+
+/// A communicator transport over the survivors of a failed group.
+///
+/// Like [`crate::GroupComm`] this translates member ranks to parent
+/// (pre-shrink) ranks and shifts the tag space — but it *owns* the
+/// parent transport (the old communicator is consumed; there is nothing
+/// to go back to), and it keeps real multicast: every non-member is
+/// dead or departed, so a wire-level multicast reaches exactly the
+/// members and cannot grow a bystander's inbox.
+pub struct ShrunkComm<C: Comm> {
+    parent: C,
+    /// Parent ranks of the survivors, sorted; position = new rank.
+    members: Vec<usize>,
+    /// This process's rank among the survivors.
+    my_rank: usize,
+    /// Tag-space shift for this epoch.
+    tag_shift: Tag,
+    /// The liveness epoch this group was formed in.
+    epoch: u32,
+}
+
+impl<C: Comm> ShrunkComm<C> {
+    fn new(parent: C, members: Vec<usize>, epoch: u32) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        let my_rank = members
+            .iter()
+            .position(|&m| m == parent.rank())
+            .expect("survivor set must contain the calling rank");
+        ShrunkComm {
+            parent,
+            members,
+            my_rank,
+            // Epoch in the high bits: tags of successive shrinks differ
+            // even on transports whose context never changes.
+            tag_shift: 0x2000_0000u32.wrapping_add(epoch.wrapping_shl(16)),
+            epoch,
+        }
+    }
+
+    /// Parent rank of survivor `rank`.
+    pub fn parent_rank_of(&self, rank: usize) -> usize {
+        self.members[rank]
+    }
+
+    /// The survivor list (parent ranks, sorted).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The epoch this group was formed in.
+    pub fn formed_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The underlying (pre-shrink) transport.
+    pub fn parent(&self) -> &C {
+        &self.parent
+    }
+
+    fn shift(&self, tag: Tag) -> Tag {
+        tag.wrapping_add(self.tag_shift)
+    }
+
+    fn unshift_rank(&self, parent_src: u32) -> u32 {
+        self.members
+            .iter()
+            .position(|&m| m == parent_src as usize)
+            .expect("message from non-survivor leaked past the epoch context") as u32
+    }
+
+    fn local_message(&self, mut m: Message) -> Message {
+        m.tag = m.tag.wrapping_sub(self.tag_shift);
+        m.src_rank = self.unshift_rank(m.src_rank);
+        m
+    }
+
+    fn local_error(&self, e: RecvError) -> RecvError {
+        match e {
+            RecvError::Unavailable {
+                src,
+                tag,
+                tag_floor,
+            } => RecvError::Unavailable {
+                src: self.unshift_rank(src),
+                tag: tag.wrapping_sub(self.tag_shift),
+                tag_floor: tag_floor.wrapping_sub(self.tag_shift),
+            },
+            RecvError::PeerFailed { rank, epoch } => RecvError::PeerFailed {
+                rank: self.unshift_rank(rank),
+                epoch,
+            },
+        }
+    }
+
+    fn local_result(&self, r: Result<Message, RecvError>) -> Result<Message, RecvError> {
+        r.map(|m| self.local_message(m))
+            .map_err(|e| self.local_error(e))
+    }
+}
+
+impl<C: Comm> Comm for ShrunkComm<C> {
+    fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn context(&self) -> u32 {
+        self.parent.context()
+    }
+
+    fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        let world = self.members[dst];
+        let t = self.shift(tag);
+        self.parent.send_kind(world, t, kind, payload)
+    }
+
+    fn mcast_kind(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
+        // Real multicast (see type docs): the dead can't overhear.
+        let t = self.shift(tag);
+        self.parent.mcast_kind(t, kind, payload)
+    }
+
+    fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64) {
+        let t = self.shift(tag);
+        self.parent.mcast_resend(t, kind, payload, seq);
+    }
+
+    fn post_recv(&mut self, src: Option<usize>, tag: Tag) -> RecvReq {
+        let world = src.map(|s| self.members[s]);
+        let t = self.shift(tag);
+        self.parent.post_recv(world, t)
+    }
+
+    fn progress(&mut self) {
+        self.parent.progress();
+    }
+
+    fn progress_block(&mut self) {
+        self.parent.progress_block();
+    }
+
+    fn test(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.parent.test(req).map(|r| self.local_result(r))
+    }
+
+    fn test_claimed(&mut self, req: RecvReq) -> Option<Result<Message, RecvError>> {
+        self.parent.test_claimed(req).map(|r| self.local_result(r))
+    }
+
+    fn wait(&mut self, req: RecvReq) -> Result<Message, RecvError> {
+        let r = self.parent.wait(req);
+        self.local_result(r)
+    }
+
+    fn wait_deadline(
+        &mut self,
+        req: RecvReq,
+        timeout: Duration,
+    ) -> Result<Option<Message>, RecvError> {
+        match self.parent.wait_deadline(req, timeout) {
+            Ok(Some(m)) => Ok(Some(self.local_message(m))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.local_error(e)),
+        }
+    }
+
+    fn wait_any(&mut self, reqs: &[RecvReq]) -> Result<(usize, Message), RecvError> {
+        match self.parent.wait_any(reqs) {
+            Ok((i, m)) => Ok((i, self.local_message(m))),
+            Err(e) => Err(self.local_error(e)),
+        }
+    }
+
+    fn wait_ready(&mut self, reqs: &[RecvReq]) {
+        self.parent.wait_ready(reqs);
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.parent.cancel_recv(req);
+    }
+
+    fn cancel_sink(&self) -> CancelSink {
+        self.parent.cancel_sink()
+    }
+
+    fn try_post_send(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: &Bytes,
+    ) -> Result<SendReq, SendWindowFull> {
+        let world = self.members[dst];
+        let t = self.shift(tag);
+        self.parent.try_post_send(world, t, payload)
+    }
+
+    fn try_post_mcast(&mut self, tag: Tag, payload: &Bytes) -> Result<SendReq, SendWindowFull> {
+        let t = self.shift(tag);
+        self.parent.try_post_mcast(t, payload)
+    }
+
+    fn compute(&mut self, d: Duration) {
+        self.parent.compute(d);
+    }
+
+    fn tcp_ack_model(&mut self, dst: usize, count: u32) {
+        let world = self.members[dst];
+        self.parent.tcp_ack_model(world, count);
+    }
+
+    fn failed_peers(&self) -> Vec<usize> {
+        // Failures since the shrink, in survivor coordinates.
+        self.parent
+            .failed_peers()
+            .into_iter()
+            .filter_map(|w| self.members.iter().position(|&m| m == w))
+            .collect()
+    }
+
+    fn departed_peers(&self) -> Vec<usize> {
+        self.parent
+            .departed_peers()
+            .into_iter()
+            .filter_map(|w| self.members.iter().position(|&m| m == w))
+            .collect()
+    }
+
+    fn epoch(&self) -> u32 {
+        // On transports without membership `rebase_epoch` is a no-op
+        // and the parent still reports 0; the formed epoch is the floor
+        // so repeated shrinks keep advancing regardless.
+        self.parent.epoch().max(self.epoch)
+    }
+
+    // Unlike a borrowed group view, the shrunk transport owns its
+    // parent, so lifecycle calls forward: a further failure can be
+    // survived by shrinking again, and a survivor can leave.
+    fn leave(&mut self) {
+        self.parent.leave();
+    }
+
+    fn rebase_epoch(&mut self, epoch: u32) {
+        self.parent.rebase_epoch(epoch);
+    }
+
+    fn declare_failed(&mut self, rank: usize) {
+        let world = self.members[rank];
+        self.parent.declare_failed(world);
+    }
+}
+
+impl<C: Comm> Communicator<C> {
+    /// Rebuild the group after a failure (`MPI_Comm_shrink`): run the
+    /// survivor-agreement round (module docs) and return a communicator
+    /// over the survivors with compacted ranks and a bumped epoch.
+    ///
+    /// Every survivor must call this collectively, like any other
+    /// collective — typically from the error path of a collective that
+    /// returned [`RecvError::PeerFailed`]. Algorithm selections carry
+    /// over to the new communicator. Errors other than peer failures
+    /// (unrecoverable loss) propagate.
+    pub fn shrink(mut self) -> Result<Communicator<ShrunkComm<C>>, RecvError> {
+        let (bcast_algo, barrier_algo, allgather_algo) =
+            (self.bcast_algo, self.barrier_algo, self.allgather_algo);
+        let bcast_cfg = self.bcast_cfg.clone();
+        let t = self.transport_mut();
+        let me = t.rank();
+        let n = t.size();
+        let epoch0 = t.epoch();
+        let tag = vote_tag(epoch0);
+        let mut failed: BTreeSet<u32> = t
+            .failed_peers()
+            .into_iter()
+            .chain(t.departed_peers())
+            .map(|p| p as u32)
+            .collect();
+        // Vote to everyone believed alive, then collect their votes.
+        let vote = encode_vote(epoch0, &failed);
+        let alive: Vec<usize> = (0..n)
+            .filter(|&p| p != me && !failed.contains(&(p as u32)))
+            .collect();
+        for &p in &alive {
+            t.send_kind(p, tag, MsgKind::Data, &vote);
+        }
+        let reqs: Vec<(usize, RecvReq)> = alive
+            .iter()
+            .map(|&p| (p, t.post_recv(Some(p), tag)))
+            .collect();
+        for (p, req) in reqs {
+            match t.wait(req) {
+                Ok(m) => {
+                    for r in decode_vote(&m.payload) {
+                        if (r as usize) < n && r as usize != me {
+                            failed.insert(r);
+                        }
+                    }
+                }
+                // The voter itself died: that is its vote.
+                Err(RecvError::PeerFailed { rank, .. }) => {
+                    failed.insert(rank);
+                    failed.insert(p as u32);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Commit the union to the membership layer (ack quorums and
+        // drain grace drop the dead at once), then move to the new
+        // epoch: the context changes, stranding old-epoch stragglers.
+        for &r in &failed {
+            t.declare_failed(r as usize);
+        }
+        let epoch = epoch0.wrapping_add(1);
+        t.rebase_epoch(epoch);
+        let survivors: Vec<usize> = (0..n).filter(|&p| !failed.contains(&(p as u32))).collect();
+        let mut comm = Communicator::new(ShrunkComm::new(self.into_transport(), survivors, epoch));
+        comm.bcast_algo = bcast_algo;
+        comm.barrier_algo = barrier_algo;
+        comm.bcast_cfg = bcast_cfg;
+        comm.allgather_algo = allgather_algo;
+        Ok(comm)
+    }
+
+    /// Graceful departure (drain-on-leave, `docs/API.md`): announce,
+    /// flush the retransmit ring, and retire the endpoint. The
+    /// communicator is consumed — there is no rejoining. Survivors see
+    /// the departure as a non-failure: drain grace and ack quorums stop
+    /// counting this rank, and the next [`Communicator::shrink`]
+    /// removes it without an error ever being raised.
+    pub fn leave(mut self) {
+        self.transport_mut().leave();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{combine_u64_sum, Communicator};
+    use mmpi_transport::run_mem_world;
+
+    #[test]
+    fn vote_codec_roundtrip() {
+        let set: BTreeSet<u32> = [3, 7, 11].into_iter().collect();
+        let enc = encode_vote(5, &set);
+        assert_eq!(decode_vote(&enc), vec![3, 7, 11]);
+        assert_eq!(
+            decode_vote(&encode_vote(1, &BTreeSet::new())),
+            Vec::<u32>::new()
+        );
+        assert_eq!(decode_vote(&[1, 2, 3]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn shrink_without_failures_keeps_everyone_and_collectives_still_run() {
+        let out = run_mem_world(5, 0, |c| {
+            let comm = Communicator::new(c);
+            let mut comm = comm.shrink().unwrap();
+            assert_eq!(comm.size(), 5);
+            assert_eq!(comm.transport().members(), &[0, 1, 2, 3, 4]);
+            let mut buf = if comm.rank() == 0 {
+                b"regrouped".to_vec()
+            } else {
+                Vec::new()
+            };
+            comm.bcast(0, &mut buf).unwrap();
+            let s = comm
+                .allreduce(
+                    (comm.rank() as u64).to_le_bytes().to_vec(),
+                    &combine_u64_sum,
+                )
+                .unwrap();
+            (buf, u64::from_le_bytes(s[..8].try_into().unwrap()))
+        });
+        for (buf, sum) in out {
+            assert_eq!(buf, b"regrouped");
+            assert_eq!(sum, 1 + 2 + 3 + 4);
+        }
+    }
+
+    #[test]
+    fn repeated_shrink_bumps_epoch_and_separates_tag_spaces() {
+        let out = run_mem_world(3, 0, |c| {
+            let comm = Communicator::new(c).shrink().unwrap();
+            let t1 = comm.transport().tag_shift;
+            let comm2 = comm.shrink().unwrap();
+            let t2 = comm2.transport().tag_shift;
+            assert_ne!(t1, t2);
+            (comm2.transport().formed_epoch(), comm2.size())
+        });
+        assert_eq!(out, vec![(2, 3); 3]);
+    }
+}

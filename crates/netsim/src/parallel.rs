@@ -153,6 +153,7 @@ struct ShardDelta {
     injected_reorders: u64,
     link_delayed_frames: u64,
     partition_drops: u64,
+    crashed_frames: u64,
     frames_held: u64,
     frames_released: u64,
     datagrams_delivered: u64,
@@ -826,6 +827,7 @@ fn fold_delta(stats: &mut NetStats, h: usize, d: ShardDelta) {
     stats.injected_reorders += d.injected_reorders;
     stats.link_delayed_frames += d.link_delayed_frames;
     stats.partition_drops += d.partition_drops;
+    stats.crashed_frames += d.crashed_frames;
     stats.frames_held += d.frames_held;
     stats.frames_released += d.frames_released;
     stats.datagrams_delivered += d.datagrams_delivered;
@@ -1372,6 +1374,17 @@ impl ShardCtx<'_> {
 
     fn receive_frame(&mut self, frame: &Frame) {
         let host = self.own_host();
+        // Final-hop check, mirroring the event engine: in-flight frames
+        // already past the dice (reorders, dups, delays, released holds)
+        // die with the host too.
+        if self.shard.topo.is_crashed(host) {
+            self.shard.delta.crashed_frames += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "crashed host",
+            });
+            return;
+        }
         self.shard.delta.link.frames_delivered += 1;
         self.trace_push(TraceEvent::Delivered {
             dst: host,

@@ -75,6 +75,9 @@ pub struct NetStats {
     pub link_delayed_frames: u64,
     /// Frames dropped by an active partition.
     pub partition_drops: u64,
+    /// Frames dropped on arrival at a crashed host (the
+    /// [`crate::topology::TopologyOp::Crash`] primitive).
+    pub crashed_frames: u64,
     /// Frames parked by a topology-script hold (released later, not
     /// dropped — so this is *not* part of [`NetStats::total_drops`]).
     pub frames_held: u64,
@@ -143,6 +146,7 @@ impl NetStats {
             + self.unposted_recv_drops
             + self.injected_frame_losses
             + self.partition_drops
+            + self.crashed_frames
     }
 
     /// Reset every counter (e.g. after a warm-up phase), keeping sizing.
@@ -176,6 +180,7 @@ impl NetStats {
         self.injected_reorders += other.injected_reorders;
         self.link_delayed_frames += other.link_delayed_frames;
         self.partition_drops += other.partition_drops;
+        self.crashed_frames += other.crashed_frames;
         self.frames_held += other.frames_held;
         self.frames_released += other.frames_released;
         self.datagrams_delivered += other.datagrams_delivered;
@@ -226,9 +231,10 @@ mod tests {
             unposted_recv_drops: 4,
             injected_frame_losses: 5,
             partition_drops: 6,
+            crashed_frames: 7,
             ..NetStats::new(1)
         };
-        assert_eq!(s.total_drops(), 21);
+        assert_eq!(s.total_drops(), 28);
     }
 
     #[test]

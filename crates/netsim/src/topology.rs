@@ -44,6 +44,12 @@ pub enum TopologyOp {
     Partition(Vec<Vec<HostId>>),
     /// Remove the partition and release every outstanding hold.
     Heal,
+    /// Permanently crash a host: from the op time on, every frame
+    /// arriving at it is dropped (counted as `crashed_frames`) — frames
+    /// already in flight included — and the host process is descheduled.
+    /// Unlike [`TopologyOp::Partition`] this is never healed; it is the
+    /// fault injector for the membership layer's failure detector.
+    Crash(HostId),
 }
 
 /// A schedule of topology operations at virtual times.
@@ -89,6 +95,11 @@ impl TopologyScript {
         self.op(at, TopologyOp::Heal)
     }
 
+    /// At `at`, permanently crash `host` (see [`TopologyOp::Crash`]).
+    pub fn crash(self, at: SimTime, host: HostId) -> Self {
+        self.op(at, TopologyOp::Crash(host))
+    }
+
     /// The old one-shot `Partition` window: isolate `island` from the
     /// rest during `[start, start + duration)`, then heal.
     pub fn partition_window(start: SimTime, duration: SimDuration, island: Vec<HostId>) -> Self {
@@ -129,6 +140,8 @@ pub struct TopoCursor {
     holds: Vec<(HostId, HostId)>,
     /// The partition currently in force, if any.
     partition: Option<Vec<Vec<HostId>>>,
+    /// Hosts crashed so far (permanent; small, linear scans are fine).
+    crashed: Vec<HostId>,
 }
 
 impl TopoCursor {
@@ -141,6 +154,7 @@ impl TopoCursor {
             next: 0,
             holds: Vec::new(),
             partition: None,
+            crashed: Vec::new(),
         }
     }
 
@@ -169,6 +183,11 @@ impl TopoCursor {
                     self.partition = None;
                     released.append(&mut self.holds);
                 }
+                TopologyOp::Crash(h) => {
+                    if !self.crashed.contains(&h) {
+                        self.crashed.push(h);
+                    }
+                }
             }
         }
         released
@@ -178,6 +197,17 @@ impl TopoCursor {
     #[inline]
     pub fn is_held(&self, src: HostId, dst: HostId) -> bool {
         self.holds.contains(&(src, dst))
+    }
+
+    /// True once `host` has crashed (permanent).
+    #[inline]
+    pub fn is_crashed(&self, host: HostId) -> bool {
+        self.crashed.contains(&host)
+    }
+
+    /// The hosts crashed so far, in crash order.
+    pub fn crashed(&self) -> &[HostId] {
+        &self.crashed
     }
 
     /// True when a `src → dst` frame crosses the partition cut.
@@ -202,9 +232,10 @@ impl TopoCursor {
     }
 
     /// True when the cursor currently affects no traffic at all (no
-    /// hold, no partition) and never will again.
+    /// hold, no partition, no crash) and never will again. A crash is
+    /// permanent, so a cursor that has crashed a host is never inert.
     pub fn is_inert_now(&self) -> bool {
-        self.is_done() && self.partition.is_none()
+        self.is_done() && self.partition.is_none() && self.crashed.is_empty()
     }
 }
 
@@ -280,6 +311,25 @@ mod tests {
         let mut c = TopoCursor::new(&script);
         assert_eq!(c.advance_to(at), vec![(HostId(0), HostId(1))]);
         assert!(!c.is_held(HostId(0), HostId(1)));
+    }
+
+    #[test]
+    fn crash_is_permanent_and_never_inert() {
+        let script = TopologyScript::new()
+            .crash(SimTime::from_micros(5), HostId(2))
+            .heal(SimTime::from_micros(9));
+        let mut c = TopoCursor::new(&script);
+        c.advance_to(SimTime::from_micros(4));
+        assert!(!c.is_crashed(HostId(2)));
+        c.advance_to(SimTime::from_micros(5));
+        assert!(c.is_crashed(HostId(2)));
+        assert!(!c.is_crashed(HostId(0)));
+        // Heal clears partitions and holds, never a crash.
+        c.advance_to(SimTime::from_micros(20));
+        assert!(c.is_crashed(HostId(2)));
+        assert!(c.is_done());
+        assert!(!c.is_inert_now(), "a crashed host keeps the cursor live");
+        assert_eq!(c.crashed(), &[HostId(2)]);
     }
 
     #[test]

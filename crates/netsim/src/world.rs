@@ -1179,6 +1179,17 @@ impl EventEngine {
     }
 
     fn receive_frame(&mut self, host: HostId, frame: &Frame) {
+        // Checked at the final hop (not in link_deliver) so in-flight
+        // frames already past the dice — reorders, dups, extra-delay
+        // redeliveries, released holds — also die with the host.
+        if self.topo.is_crashed(host) {
+            self.stats.crashed_frames += 1;
+            self.trace_push(TraceEvent::Drop {
+                host,
+                reason: "crashed host",
+            });
+            return;
+        }
         self.stats.link_mut(host).frames_delivered += 1;
         self.trace_push(TraceEvent::Delivered {
             dst: host,

@@ -44,9 +44,10 @@ use std::time::Duration;
 
 use mmpi_netsim::rng::SplitMix64;
 use mmpi_wire::{
-    split_message, AckHorizonPayload, Assembler, Bytes, Datagram, HorizonEcho, Message, MsgKind,
-    NackPayload, RepairStats, RetransmitBuffer, SendDst, SourceHorizon, UnavailPayload, WireError,
-    MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES, NACK_TARGET_ANY,
+    split_message, AckHorizonPayload, Assembler, Bytes, Datagram, FailureAnnouncePayload,
+    HeartbeatPayload, HorizonEcho, Message, MsgKind, NackPayload, RepairStats, RetransmitBuffer,
+    SendDst, SourceHorizon, UnavailPayload, WireError, MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES,
+    NACK_TARGET_ANY,
 };
 
 /// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
@@ -132,6 +133,14 @@ pub struct RepairConfig {
     /// sender can outrun its own repair history (capacity eviction +
     /// `Unavail` is then the only bound).
     pub send_window: Option<usize>,
+    /// Membership/liveness layer (`docs/PROTOCOL.md` §10): heartbeats
+    /// piggybacked on the ACK-horizon cadence (standalone beacons only
+    /// while outbound traffic is quiet), per-peer suspicion timers
+    /// derived from the RTT estimators, confirmed failures flooded as
+    /// `MsgKind::FailureAnnounce` and surfaced to blocked receives as
+    /// [`RecvError::PeerFailed`]. `None` (the default) disables the
+    /// layer entirely — byte-identical to the membership-less protocol.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl RepairConfig {
@@ -152,6 +161,7 @@ impl RepairConfig {
             horizon_interval: None,
             adaptive: false,
             send_window: None,
+            membership: None,
         }
     }
 
@@ -172,6 +182,7 @@ impl RepairConfig {
             horizon_interval: None,
             adaptive: false,
             send_window: None,
+            membership: None,
         }
     }
 
@@ -216,6 +227,30 @@ impl RepairConfig {
         self
     }
 
+    /// Builder-style: arm the membership/liveness layer with heartbeats
+    /// every `interval` and the default suspicion knobs
+    /// ([`MembershipConfig::suspicion_factor`] = 4 intervals of silence
+    /// to suspect, [`MembershipConfig::confirm_misses`] = 3 more to
+    /// confirm). The split matters on a lossy fabric: a verdict takes
+    /// seven consecutive missing liveness proofs, so at 10% loss a
+    /// false confirmation is a one-in-10⁷-per-window event rather than
+    /// the one-in-10⁵ the old 3+2 split allowed — which a seed sweep
+    /// over enough rank pairs *will* hit. Enables horizons at the
+    /// default period if no interval was set — heartbeats piggyback on
+    /// the session cadence, so a membership endpoint with no horizon
+    /// plane would pay a standalone datagram for every beacon.
+    pub fn with_membership(mut self, interval: Duration) -> Self {
+        if self.horizon_interval.is_none() {
+            self.horizon_interval = Some(self.nack_timeout * 4);
+        }
+        self.membership = Some(MembershipConfig {
+            heartbeat_interval: interval,
+            suspicion_factor: 4,
+            confirm_misses: 3,
+        });
+        self
+    }
+
     /// The horizon period actually used by an endpoint in an `n`-rank
     /// world: the configured interval stretched by `n/2` (floor 1×).
     /// Every endpoint multicasts its session message each period, so
@@ -249,6 +284,30 @@ impl RepairConfig {
     }
 }
 
+/// Tuning for the membership/liveness layer (`docs/PROTOCOL.md` §10),
+/// armed via [`RepairConfig::with_membership`]. Detection reads three
+/// knobs: a peer silent longer than
+/// `suspicion_factor × max(rto, heartbeat_interval)` (rto = the same
+/// clamped `srtt + 4·rttvar` estimate the adaptive repair timers use)
+/// becomes *suspected*; a suspect still silent after `confirm_misses`
+/// further heartbeat intervals is *confirmed failed*, counted in
+/// [`RepairStats::failures_confirmed`], and flooded to the group.
+#[derive(Clone, Copy, Debug)]
+pub struct MembershipConfig {
+    /// Target period between liveness proofs from each endpoint. Any
+    /// outbound traffic counts as a proof (receivers track per-peer
+    /// activity, and horizons carry a piggybacked heartbeat trailer), so
+    /// a standalone `MsgKind::Heartbeat` datagram is only spent when the
+    /// endpoint has been quiet for a full interval.
+    pub heartbeat_interval: Duration,
+    /// Silence tolerance before suspicion, in units of
+    /// `max(rto, heartbeat_interval)`.
+    pub suspicion_factor: u32,
+    /// Heartbeat intervals a *suspected* peer must stay silent before
+    /// the suspicion is confirmed as a failure.
+    pub confirm_misses: u32,
+}
+
 /// Typed unrecoverable-loss errors a repair-enabled receive can surface
 /// (see [`Comm::recv_checked`]). The blocking conveniences
 /// ([`Comm::recv_match`] & co.) panic on these instead — an unrecoverable
@@ -268,6 +327,18 @@ pub enum RecvError {
         /// The responder's eviction floor: tags at or below this are gone.
         tag_floor: u32,
     },
+    /// The awaited sender is gone: the membership layer confirmed it
+    /// failed (heartbeat silence past the suspicion bound) or it
+    /// announced a graceful departure. The receive can never complete —
+    /// the ULFM-style continuation is to `shrink()` the communicator to
+    /// the survivor group and retry the operation over it
+    /// (`docs/API.md`).
+    PeerFailed {
+        /// The rank the membership layer declared dead or departed.
+        rank: u32,
+        /// The liveness epoch in which the failure was observed.
+        epoch: u32,
+    },
 }
 
 impl fmt::Display for RecvError {
@@ -282,6 +353,12 @@ impl fmt::Display for RecvError {
                 "repair unavailable: rank {src} evicted tag {tag} traffic from its \
                  retransmit ring (eviction floor {tag_floor}); size the ring up or \
                  shorten the tag distance the workload re-requests"
+            ),
+            RecvError::PeerFailed { rank, epoch } => write!(
+                f,
+                "peer failed: rank {rank} was declared dead in liveness epoch \
+                 {epoch}; shrink the communicator to the survivor group and \
+                 retry the operation"
             ),
         }
     }
@@ -630,6 +707,45 @@ pub trait Comm {
         let _ = (dst, count);
     }
 
+    /// Ranks the membership layer has confirmed failed (sorted). Empty
+    /// on transports without membership ([`RepairConfig::membership`]).
+    fn failed_peers(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Ranks that announced a graceful departure (sorted). Empty on
+    /// transports without membership.
+    fn departed_peers(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// The current liveness epoch (0 without membership or before any
+    /// communicator shrink).
+    fn epoch(&self) -> u32 {
+        0
+    }
+
+    /// Graceful departure: announce, flush the retransmit ring, and
+    /// retire this endpoint (drain-on-leave, `docs/API.md`). A no-op on
+    /// transports without membership.
+    fn leave(&mut self) {}
+
+    /// Adopt a new liveness epoch after a communicator shrink: the
+    /// message context is re-derived so old-epoch stragglers are
+    /// discarded. A no-op on transports without membership (their
+    /// context never changes).
+    fn rebase_epoch(&mut self, epoch: u32) {
+        let _ = epoch;
+    }
+
+    /// Adopt an externally agreed failure verdict (the communicator
+    /// shrink's vote union): mark `rank` failed immediately, without
+    /// waiting out the local suspicion timers. A no-op on transports
+    /// without membership.
+    fn declare_failed(&mut self, rank: usize) {
+        let _ = rank;
+    }
+
     /// Convenience: unicast data.
     fn send(&mut self, dst: usize, tag: Tag, payload: impl Into<Bytes>) -> u64
     where
@@ -668,11 +784,39 @@ pub struct Inbox {
     nacks: VecDeque<Message>,
     unavail: VecDeque<Message>,
     horizons: VecDeque<Message>,
+    membership: VecDeque<Message>,
     assembler: Assembler,
     seen: HashMap<u32, HashSet<u64>>,
     /// Per-source high-water mark of accepted seqs (bounds the
     /// [`Inbox::missing_from`] walk without scanning the seen-set).
     seen_max: HashMap<u32, u64>,
+    /// Per-source count of every message accepted past the context and
+    /// self-echo filters — the liveness signal the membership layer
+    /// diffs: *any* traffic from a peer proves it alive, so heartbeats
+    /// are only spent when a peer has nothing else to say.
+    activity: HashMap<u32, u64>,
+    /// The context this inbox matched before an epoch rebase
+    /// ([`Inbox::rebase`]). Repair-plane traffic (NACKs, Unavail,
+    /// horizons, membership) from the previous epoch is still honored —
+    /// a survivor may drain a pre-shrink recovery across the boundary —
+    /// but old-epoch *data* stragglers are discarded as foreign.
+    prev_context: Option<u32>,
+    /// The context of the *next* epoch (derivable ahead of time — the
+    /// epoch→context mix is deterministic). Repair-plane traffic stamped
+    /// with it is honored: during a shrink, survivors that finish the
+    /// vote early rebase first, and their beacons/horizons must keep
+    /// proving them alive to survivors still voting in the old epoch —
+    /// otherwise the laggards' suspicion timers would confirm the
+    /// fastest survivors dead mid-agreement. `None` when membership is
+    /// off (the context never changes, so there is no next epoch).
+    next_context: Option<u32>,
+    /// Count of ingested datagrams that can matter to a draining
+    /// endpoint — everything except pure-liveness traffic (heartbeats,
+    /// failure announces). The membership-armed drain restarts its
+    /// quiet clock only when this advances: beacons keep flowing from
+    /// *other* drainers by design, and letting them restart the clock
+    /// would keep a group of draining endpoints alive forever.
+    repair_relevant: u64,
     dropped_duplicates: u64,
     dropped_foreign: u64,
 }
@@ -687,9 +831,14 @@ impl Inbox {
             nacks: VecDeque::new(),
             unavail: VecDeque::new(),
             horizons: VecDeque::new(),
+            membership: VecDeque::new(),
             assembler: Assembler::new(),
             seen: HashMap::new(),
             seen_max: HashMap::new(),
+            activity: HashMap::new(),
+            prev_context: None,
+            next_context: None,
+            repair_relevant: 0,
             dropped_duplicates: 0,
             dropped_foreign: 0,
         }
@@ -732,15 +881,54 @@ impl Inbox {
     /// Feed an already-decoded message. `via_multicast` enables the
     /// self-echo filter (a sender's own multicast looping back).
     pub fn ingest_message(&mut self, m: Message, via_multicast: bool) {
+        if !matches!(m.kind, MsgKind::Heartbeat | MsgKind::FailureAnnounce) {
+            // Counted before every filter: the drain's quiet test is
+            // about the wire still carrying non-liveness traffic at
+            // all, not about whether this endpoint accepted it.
+            self.repair_relevant += 1;
+        }
         if m.context != self.context {
-            self.dropped_foreign += 1;
-            return;
+            // After an epoch rebase the *repair plane* of the previous
+            // epoch stays open (a survivor may still be answering NACKs
+            // or draining horizons from a pre-shrink recovery); data
+            // stragglers from the old epoch are exactly what the epoch
+            // stamp exists to discard.
+            let repair_plane = matches!(
+                m.kind,
+                MsgKind::Nack
+                    | MsgKind::Unavail
+                    | MsgKind::AckHorizon
+                    | MsgKind::Heartbeat
+                    | MsgKind::FailureAnnounce
+            );
+            // ...and the *next* epoch's repair plane is already open:
+            // mid-shrink, the survivors that rebased first must keep
+            // proving themselves alive to the ones still voting.
+            let adjacent =
+                self.prev_context == Some(m.context) || self.next_context == Some(m.context);
+            if !(repair_plane && adjacent) {
+                self.dropped_foreign += 1;
+                return;
+            }
         }
         if via_multicast && m.src_rank == self.rank {
             return; // our own multicast echoed back
         }
+        *self.activity.entry(m.src_rank).or_default() += 1;
         if m.tag == FIRE_AND_FORGET_TAG {
             return; // modelled ack traffic: wire-visible, never matched
+        }
+        if matches!(m.kind, MsgKind::Heartbeat | MsgKind::FailureAnnounce) {
+            // Membership traffic shares the horizons' out-of-band
+            // sequence space (same reasoning: a lost beacon must not
+            // become an unanswerable data hole), so it too is diverted
+            // before the seq tracking. Bounded queue — beacons are
+            // idempotent, so shedding the oldest under a flood is safe.
+            self.membership.push_back(m);
+            if self.membership.len() > 64 {
+                self.membership.pop_front();
+            }
+            return;
         }
         if m.kind == MsgKind::AckHorizon {
             // Session message: repair-plane traffic, never matchable by
@@ -805,6 +993,39 @@ impl Inbox {
     /// Take the oldest pending ACK-horizon session message, if any.
     pub fn take_horizon(&mut self) -> Option<Message> {
         self.horizons.pop_front()
+    }
+
+    /// Take the oldest pending membership message (`Heartbeat` or
+    /// `FailureAnnounce`), if any.
+    pub fn take_membership(&mut self) -> Option<Message> {
+        self.membership.pop_front()
+    }
+
+    /// Messages accepted from `src` so far (the liveness counter the
+    /// membership layer snapshots and diffs).
+    pub fn activity_of(&self, src: u32) -> u64 {
+        self.activity.get(&src).copied().unwrap_or(0)
+    }
+
+    /// Ingested datagrams other than pure-liveness traffic (see the
+    /// field docs) — the membership-armed drain's quiet-clock signal.
+    pub fn repair_relevant(&self) -> u64 {
+        self.repair_relevant
+    }
+
+    /// Switch to a new communicator context after an epoch bump
+    /// (communicator shrink). Buffered *data* from the old epoch is
+    /// discarded — those are exactly the stragglers the epoch stamp
+    /// exists to kill — while the repair-plane queues survive, and the
+    /// old context stays honored for repair-plane arrivals (see
+    /// [`Inbox::ingest_message`]). The seq/dedup history is kept: senders
+    /// never rewind their counters across a rebase, so old history stays
+    /// valid.
+    pub fn rebase(&mut self, new_context: u32) {
+        self.prev_context = Some(self.context);
+        self.context = new_context;
+        self.dropped_foreign += self.unmatched.len() as u64;
+        self.unmatched.clear();
     }
 
     /// Take the oldest `Unavail` advertisement matching `(src, tag)`, if
@@ -1161,6 +1382,86 @@ impl HorizonState {
     }
 }
 
+/// Per-peer liveness record of the membership layer (`docs/PROTOCOL.md`
+/// §10).
+#[derive(Clone, Copy, Debug)]
+struct PeerLive {
+    /// Last instant this peer proved itself alive. *Any* accepted
+    /// traffic counts — the inbox's activity counter, not just
+    /// heartbeats — so a chatty peer never pays a beacon.
+    last_heard: Nanos,
+    /// Snapshot of [`Inbox::activity_of`] at the last refresh; a higher
+    /// live value means traffic arrived since.
+    activity: u64,
+    /// When suspicion opened; `None` while the peer is in good standing.
+    suspected_at: Option<Nanos>,
+    /// Confirmed failed — by our own timer or an adopted announcement.
+    /// Sticky: a failure is never un-declared (a late heartbeat from a
+    /// declared-dead peer is the classic split-brain seed).
+    failed: bool,
+    /// Announced a graceful departure ([`EndpointCore::leave`]). Sticky.
+    departed: bool,
+    /// This peer's failure has been flooded by us once (either our own
+    /// confirmation or the one-shot re-flood when adopting a foreign
+    /// announcement on a lossy fabric).
+    announced: bool,
+}
+
+impl PeerLive {
+    fn dead(&self) -> bool {
+        self.failed || self.departed
+    }
+}
+
+/// Membership/liveness state of one endpoint: the group epoch and this
+/// endpoint's incarnation (both carried by every heartbeat), the
+/// per-peer suspicion records, and the standalone-beacon schedule.
+#[derive(Debug)]
+struct MemberState {
+    /// Liveness epoch — bumped by [`EndpointCore::rebase_epoch`] after a
+    /// communicator shrink; stamped into the message context so
+    /// old-epoch stragglers are discarded.
+    epoch: u32,
+    /// This endpoint's incarnation. Restarts would bump it so peers can
+    /// tell a reborn endpoint from a late duplicate; this transport
+    /// never restarts an endpoint in place, so it stays 0.
+    incarnation: u32,
+    /// Per-peer records, indexed by rank (our own slot is unused).
+    peers: Vec<PeerLive>,
+    /// Next heartbeat-schedule tick (emission is skipped when outbound
+    /// traffic already proved us alive this interval).
+    next_hb_at: Nanos,
+    /// Our last outbound transmission of any kind — the "quiet" test.
+    last_tx_at: Nanos,
+    /// Baselines (`last_heard` = first-observed now) are set lazily on
+    /// the first progress pass, not at construction: endpoint creation
+    /// time is not a liveness proof.
+    started: bool,
+}
+
+impl MemberState {
+    fn new(n: usize) -> Self {
+        MemberState {
+            epoch: 0,
+            incarnation: 0,
+            peers: vec![
+                PeerLive {
+                    last_heard: 0,
+                    activity: 0,
+                    suspected_at: None,
+                    failed: false,
+                    departed: false,
+                    announced: false,
+                };
+                n
+            ],
+            next_hb_at: 0,
+            last_tx_at: 0,
+            started: false,
+        }
+    }
+}
+
 /// One posted receive in the endpoint's request table: its matcher, its
 /// private NACK solicitation deadline, and — once the progress engine
 /// completes it — the parked result awaiting a claim.
@@ -1196,11 +1497,35 @@ pub struct EndpointCore {
     rstats: RepairStats,
     srm: Option<SrmState>,
     horizon: Option<HorizonState>,
+    member: Option<MemberState>,
+    /// The context this endpoint was created with; epoch rebases derive
+    /// each epoch's context from it ([`EndpointCore::rebase_epoch`]).
+    base_context: u32,
+    /// Set by [`EndpointCore::leave`] (graceful, after announcing and
+    /// draining) or [`EndpointCore::abandon`] (crash injection): the
+    /// endpoint is out of the group and must not drain again on drop.
+    left: bool,
     cancels: CancelSink,
     next_seq: u64,
     /// Posted receives, in post order (the matching priority).
     pending: Vec<PendingRecv>,
     next_req: u64,
+}
+
+/// The message context of `epoch` for a communicator whose epoch-0
+/// context is `base`. A SplitMix64-style finalizer over the epoch: any
+/// two epochs' contexts differ in ~half their bits, so cross-epoch
+/// traffic can never alias. Pure, so any endpoint can derive the
+/// context of an epoch it has not reached yet.
+fn epoch_context(base: u32, epoch: u32) -> u32 {
+    let x = (u64::from(epoch)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let x = (x ^ (x >> 31)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let salt = if epoch == 0 {
+        0
+    } else {
+        (x >> 32) as u32 ^ x as u32
+    };
+    base ^ salt
 }
 
 impl EndpointCore {
@@ -1212,13 +1537,17 @@ impl EndpointCore {
         max_chunk: usize,
         repair: Option<RepairConfig>,
     ) -> Self {
+        let mut inbox = Inbox::new(context, rank as u32);
+        if repair.and_then(|r| r.membership).is_some() {
+            inbox.next_context = Some(epoch_context(context, 1));
+        }
         EndpointCore {
             context,
             rank,
             n,
             max_chunk,
             repair,
-            inbox: Inbox::new(context, rank as u32),
+            inbox,
             rtx: RetransmitBuffer::new(
                 repair
                     .map(|r| r.buffer_cap)
@@ -1229,6 +1558,11 @@ impl EndpointCore {
                 .filter(|r| r.srm)
                 .map(|r| SrmState::new(r.seed, rank, context)),
             horizon: repair.map(|_| HorizonState::new(n)),
+            member: repair
+                .and_then(|r| r.membership)
+                .map(|_| MemberState::new(n)),
+            base_context: context,
+            left: false,
             cancels: CancelSink::new(),
             next_seq: 0,
             pending: Vec::new(),
@@ -1341,6 +1675,11 @@ impl EndpointCore {
         let dgs = self.encode(tag, kind, payload, seq);
         self.record_if_armed(seq, SendDst::Rank(dst as u32), tag, kind, &dgs);
         io.send_encoded(dst, &dgs);
+        // Deliberately no `note_tx`: a unicast proves us alive to its
+        // one destination only. Every other observer's suspicion clock
+        // keeps running, so a unicast-heavy phase (pairwise barrier
+        // rounds, directed repair) must NOT suppress the standalone
+        // beacon — only group-visible multicasts may.
         seq
     }
 
@@ -1359,7 +1698,21 @@ impl EndpointCore {
         let dgs = self.encode(tag, kind, payload, seq);
         self.record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
         io.send_encoded_mcast(&dgs);
+        self.note_tx(io);
         seq
+    }
+
+    /// Stamp an outbound *multicast* for the membership layer's "quiet"
+    /// test (a peer whose multicast the whole group just heard owes no
+    /// standalone heartbeat). Unicast sends never stamp: they prove
+    /// liveness to a single destination, and suppressing the beacon on
+    /// their account starves every other observer's suspicion clock.
+    /// No-op — and, deliberately, no clock read — with membership off,
+    /// so the membership-less send path stays identical.
+    fn note_tx<P: RepairPump>(&mut self, io: &mut P) {
+        if let Some(m) = self.member.as_mut() {
+            m.last_tx_at = io.now();
+        }
     }
 
     /// Nonblocking unicast `Data` send: with the window full after one
@@ -1627,20 +1980,26 @@ impl EndpointCore {
     /// multicast record needs every other rank's frontier to cover its
     /// seq, a unicast record only its target's. Peers that have never
     /// advertised a frontier acknowledge nothing — conservative, the
-    /// capacity eviction floor still backstops them.
+    /// capacity eviction floor still backstops them. Confirmed-dead
+    /// peers are dropped from the quorum: a corpse will never advance
+    /// its frontier, and keeping it in the quorum would pin the ring
+    /// (and a closed send window) forever.
     fn gc_acked(&mut self) {
+        let dead: Vec<bool> = (0..self.n).map(|p| self.peer_dead(p)).collect();
         let Some(hz) = &self.horizon else {
             return;
         };
-        if hz.frontier.iter().all(|f| f.is_none()) {
+        if hz.frontier.iter().all(|f| f.is_none()) && !dead.iter().any(|&d| d) {
             return;
         }
         let (n, me) = (self.n, self.rank);
         let frontier = &hz.frontier;
         let acked_by = |p: usize, seq: u64| frontier[p].as_ref().is_some_and(|f| f.acks(seq));
         let freed = self.rtx.release_acked(|rec| match rec.dst {
-            SendDst::Multicast => (0..n).filter(|&p| p != me).all(|p| acked_by(p, rec.seq)),
-            SendDst::Rank(d) => acked_by(d as usize, rec.seq),
+            SendDst::Multicast => (0..n)
+                .filter(|&p| p != me && !dead[p])
+                .all(|p| acked_by(p, rec.seq)),
+            SendDst::Rank(d) => dead[d as usize] || acked_by(d as usize, rec.seq),
         });
         self.rstats.acked_records_freed += freed;
     }
@@ -1700,6 +2059,14 @@ impl EndpointCore {
             probe_ts: now,
             echoes,
             acks,
+            // The piggybacked heartbeat: with membership on, the session
+            // cadence carries the liveness proof for free — `None`
+            // encodes zero bytes, keeping membership-off horizons
+            // byte-identical.
+            member: self.member.as_ref().map(|m| HeartbeatPayload {
+                epoch: m.epoch,
+                incarnation: m.incarnation,
+            }),
         }
         .encode();
         self.rstats.horizons_sent += 1;
@@ -1708,6 +2075,9 @@ impl EndpointCore {
         hz.seq += 1;
         let dgs = self.encode(0, MsgKind::AckHorizon, &payload, seq);
         io.send_encoded_mcast(&dgs);
+        if let Some(m) = &mut self.member {
+            m.last_tx_at = now;
+        }
     }
 
     /// The `(timeout, backoff)` a solicit of `src` uses, in [`Nanos`]:
@@ -1778,6 +2148,12 @@ impl EndpointCore {
     fn solicit<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>, tag: Tag) {
         if src == Some(self.rank) {
             return; // self-sends never need repair
+        }
+        if src.is_some_and(|s| self.peer_dead(s)) {
+            // Confirmed dead or departed: NACKing a corpse can never be
+            // answered, and the blocked receive is about to complete
+            // with `PeerFailed` instead.
+            return;
         }
         if self.repair.is_some_and(|rc| rc.adaptive) {
             if let (Some(hz), Some(s)) = (&mut self.horizon, src) {
@@ -1940,6 +2316,7 @@ impl EndpointCore {
         }
         self.emit_horizon_if_due(io);
         self.service_horizons(io);
+        self.service_membership(io);
         self.service_nacks(io);
         for i in 0..self.pending.len() {
             if self.pending[i].done.is_some() {
@@ -1952,6 +2329,14 @@ impl EndpointCore {
                 continue;
             }
             if let Some(e) = self.take_unavailable(src, tag) {
+                self.pending[i].done = Some(Err(e));
+                continue;
+            }
+            // Checked after the match: traffic already in hand from a
+            // now-dead peer is still delivered (it is valid pre-failure
+            // data); only a receive that would otherwise block forever
+            // fails over to the membership verdict.
+            if let Some(e) = self.peer_failed_error(src) {
                 self.pending[i].done = Some(Err(e));
                 continue;
             }
@@ -2000,7 +2385,9 @@ impl EndpointCore {
     /// or — with the session plane on — our next horizon emission,
     /// whichever is sooner. Folding the emission schedule in is what
     /// keeps periodic horizons flowing from endpoints that spend their
-    /// life parked in wait loops.
+    /// life parked in wait loops; folding the heartbeat tick in is what
+    /// keeps the suspicion clocks advancing (and beacons flowing) from
+    /// parked endpoints even when no solicit is armed.
     fn park_deadline(&self) -> Option<Nanos> {
         let horizon_due = match (self.repair, &self.horizon) {
             (
@@ -2012,10 +2399,15 @@ impl EndpointCore {
             ) => Some(hz.next_at),
             _ => None,
         };
-        match (self.earliest_solicit(), horizon_due) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let hb_due = self
+            .member
+            .as_ref()
+            .filter(|m| m.started)
+            .map(|m| m.next_hb_at);
+        [self.earliest_solicit(), horizon_due, hb_due]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Claim a parked completion, retiring the handle. `None` while
@@ -2246,15 +2638,102 @@ impl EndpointCore {
     /// ([`RepairConfig::effective_drain_grace`]), because a straggler can
     /// chain through `~n` earlier-round recoveries before posting the
     /// receive that needs us. No-op with repair off.
+    ///
+    /// With membership armed the drain also keeps the *beacon* cadence
+    /// running: a draining endpoint still services repair, so for the
+    /// liveness layer it is alive, and going dark here would have a
+    /// straggler confirm its drained peers failed mid-repair and abort
+    /// (`tests/membership.rs` regresses that teardown race). To keep
+    /// mutually-draining endpoints from holding each other open
+    /// forever, liveness traffic does not restart the quiet clock —
+    /// only [`Inbox::repair_relevant`] arrivals do.
     pub fn drain<P: RepairPump>(&mut self, io: &mut P) {
-        if self.repair.is_none() {
+        if self.repair.is_none() || self.left {
             return;
         };
         let grace = self.drain_grace();
-        self.service_nacks(io);
-        while io.pump_drain(self, grace) {
+        if self.member.is_none() {
+            // The membership-less path, byte-for-byte the pre-liveness
+            // behavior: any arrival restarts the full grace.
             self.service_nacks(io);
+            while io.pump_drain(self, grace) {
+                self.service_nacks(io);
+            }
+            return;
         }
+        let grace = dur_nanos(grace);
+        self.service_nacks(io);
+        self.beacon_tick(io);
+        let mut quiet_since = io.now();
+        loop {
+            let now = io.now();
+            let deadline = quiet_since.saturating_add(grace);
+            if now >= deadline {
+                break;
+            }
+            // Wake no later than the next beacon is due, so the cadence
+            // holds even when nothing arrives.
+            let hb_at = self.next_heartbeat_due().unwrap_or(deadline);
+            let wake = deadline.min(hb_at.max(now + 1));
+            let before = self.inbox.repair_relevant();
+            let got = io.pump_drain(self, Duration::from_nanos(wake - now));
+            self.service_nacks(io);
+            self.beacon_tick(io);
+            if self.inbox.repair_relevant() > before {
+                quiet_since = io.now();
+            } else if !got && io.now() <= now {
+                // The pump produced nothing and cannot advance its
+                // clock (test harness pumps): grace semantics are
+                // meaningless, treat the link as already quiet.
+                break;
+            }
+        }
+    }
+
+    /// When the next standalone heartbeat is due, or `None` when the
+    /// membership layer is off (or has not seen its first service pass).
+    /// Transports use this to slice long mute phases — drains, compute —
+    /// at beacon boundaries.
+    pub fn next_heartbeat_due(&self) -> Option<Nanos> {
+        self.member
+            .as_ref()
+            .filter(|m| m.started)
+            .map(|m| m.next_hb_at)
+    }
+
+    /// Emit the standalone heartbeat if the schedule is due, with no
+    /// quiet test: callers invoke this from phases where the endpoint is
+    /// otherwise mute (the drain loop, mid-`compute` slices), so the
+    /// beacon is the only thing keeping its suspicion clocks at bay —
+    /// see [`EndpointCore::drain`] for the teardown race it prevents.
+    /// No-op with membership off or before the first service pass.
+    pub fn beacon_tick<P: RepairPump>(&mut self, io: &mut P) {
+        let Some(mc) = self.repair.and_then(|r| r.membership) else {
+            return;
+        };
+        if !self.member.as_ref().is_some_and(|m| m.started) {
+            return;
+        }
+        let now = io.now();
+        let interval = dur_nanos(mc.heartbeat_interval).max(1);
+        {
+            let m = self.member.as_mut().expect("checked");
+            if now < m.next_hb_at {
+                return;
+            }
+            m.next_hb_at = now + interval;
+            m.last_tx_at = now;
+        }
+        let m = self.member.as_ref().expect("checked");
+        let pl = HeartbeatPayload {
+            epoch: m.epoch,
+            incarnation: m.incarnation,
+        }
+        .encode();
+        self.rstats.heartbeats_sent += 1;
+        let seq = self.control_seq();
+        let dgs = self.encode(0, MsgKind::Heartbeat, &pl, seq);
+        io.send_encoded_mcast(&dgs);
     }
 
     /// The drain grace this endpoint actually applies: the
@@ -2266,11 +2745,17 @@ impl EndpointCore {
     /// the configured constants, still capped at
     /// [`RepairConfig::drain_grace_cap`]. Measured-fast worlds drain
     /// sooner; measured-slow worlds get the grace their repairs need.
+    /// The straggler-chain length is the *live* group size: peers that
+    /// failed or announced a graceful departure cannot be chaining
+    /// through recoveries, so survivors need not wait out their share of
+    /// the grace (`tests/membership.rs` regresses the early-leaver
+    /// case).
     pub fn drain_grace(&self) -> Duration {
         let Some(rc) = self.repair else {
             return Duration::ZERO;
         };
-        let base = rc.effective_drain_grace(self.n);
+        let n_live = self.live_n();
+        let base = rc.effective_drain_grace(n_live);
         if !rc.adaptive || rc.fixed_drain {
             return base;
         }
@@ -2288,9 +2773,336 @@ impl EndpointCore {
         let t = w.clamp(base_t, base_t.saturating_mul(16));
         let b = (t.saturating_mul(dur_nanos(rc.backoff)) / base_t)
             .min(dur_nanos(rc.backoff).saturating_mul(16));
-        let chained = (t + b).saturating_mul(2 * self.n.max(2) as u64);
+        let chained = (t + b).saturating_mul(2 * n_live.max(2) as u64);
         let chained = Duration::from_nanos(chained.min(dur_nanos(rc.drain_grace_cap)));
         rc.drain_grace.max(chained)
+    }
+
+    // ------------------------------------------------------------------
+    // The membership/liveness layer (`docs/PROTOCOL.md` §10).
+    // ------------------------------------------------------------------
+
+    /// True when the membership layer has declared `p` failed or
+    /// departed. Always false with membership off.
+    fn peer_dead(&self, p: usize) -> bool {
+        self.member
+            .as_ref()
+            .and_then(|m| m.peers.get(p))
+            .is_some_and(PeerLive::dead)
+    }
+
+    /// The [`RecvError::PeerFailed`] a *directed* receive from `src`
+    /// should complete with, if its peer is confirmed dead. Any-source
+    /// receives never fail over: another peer can still satisfy them.
+    fn peer_failed_error(&self, src: Option<usize>) -> Option<RecvError> {
+        let s = src?;
+        let m = self.member.as_ref()?;
+        m.peers.get(s)?.dead().then_some(RecvError::PeerFailed {
+            rank: s as u32,
+            epoch: m.epoch,
+        })
+    }
+
+    /// Group members not confirmed dead — what the drain grace and the
+    /// straggler-chain derivations scale with.
+    fn live_n(&self) -> usize {
+        match &self.member {
+            Some(m) => self.n - m.peers.iter().filter(|p| p.dead()).count(),
+            None => self.n,
+        }
+    }
+
+    /// Ranks the membership layer has confirmed failed (crash-dead, not
+    /// graceful), sorted. Empty with membership off.
+    pub fn failed_peers(&self) -> Vec<usize> {
+        self.member.as_ref().map_or_else(Vec::new, |m| {
+            m.peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.failed)
+                .map(|(i, _)| i)
+                .collect()
+        })
+    }
+
+    /// Ranks that announced a graceful departure, sorted. Empty with
+    /// membership off.
+    pub fn departed_peers(&self) -> Vec<usize> {
+        self.member.as_ref().map_or_else(Vec::new, |m| {
+            m.peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.departed)
+                .map(|(i, _)| i)
+                .collect()
+        })
+    }
+
+    /// The current liveness epoch (0 with membership off or before any
+    /// shrink).
+    pub fn epoch(&self) -> u32 {
+        self.member.as_ref().map_or(0, |m| m.epoch)
+    }
+
+    /// Allocate a sequence number in the out-of-band control space
+    /// shared with horizons (see [`HorizonState::seq`]) — membership
+    /// beacons are session traffic: never recorded for retransmission,
+    /// so they must not punch holes in the data space.
+    fn control_seq(&mut self) -> u64 {
+        let hz = self
+            .horizon
+            .as_mut()
+            .expect("repair armed implies horizon state");
+        let s = HORIZON_SEQ_BASE | hz.seq;
+        hz.seq += 1;
+        s
+    }
+
+    /// Multicast a `FailureAnnounce` naming `ranks` (split across
+    /// messages past the wire cap), stamping the current epoch.
+    fn announce_failure<P: RepairPump>(&mut self, io: &mut P, ranks: &[u32], graceful: bool) {
+        if self.member.is_none() || ranks.is_empty() {
+            return;
+        }
+        let epoch = self.member.as_ref().expect("checked").epoch;
+        for chunk in ranks.chunks(mmpi_wire::MAX_ANNOUNCE_RANKS) {
+            let pl = FailureAnnouncePayload {
+                epoch,
+                graceful,
+                ranks: chunk.to_vec(),
+            }
+            .encode();
+            let seq = self.control_seq();
+            let dgs = self.encode(0, MsgKind::FailureAnnounce, &pl, seq);
+            io.send_encoded_mcast(&dgs);
+        }
+        self.note_tx(io);
+    }
+
+    /// One pass of the membership state machine, run from every
+    /// [`EndpointCore::advance`]: fold queued announcements, refresh
+    /// per-peer liveness from the inbox activity counters, open/confirm
+    /// suspicions against the RTT-derived bound, flood confirmed
+    /// failures, and emit a standalone heartbeat if the schedule is due
+    /// and the endpoint has been quiet. No-op — with no clock read —
+    /// when membership is off.
+    fn service_membership<P: RepairPump>(&mut self, io: &mut P) {
+        let Some(mc) = self.repair.and_then(|r| r.membership) else {
+            return;
+        };
+        if self.member.is_none() {
+            return;
+        }
+        let now = io.now();
+        let interval = dur_nanos(mc.heartbeat_interval).max(1);
+        {
+            let m = self.member.as_mut().expect("checked");
+            if !m.started {
+                m.started = true;
+                m.next_hb_at = now + interval;
+                m.last_tx_at = now;
+                for p in &mut m.peers {
+                    p.last_heard = now;
+                }
+            }
+        }
+        // 1. Queued membership traffic: heartbeats prove liveness via
+        //    the activity counters (folded below); announcements adopt
+        //    the sender's verdicts.
+        let mut adopted: Vec<u32> = Vec::new();
+        let (me, n) = (self.rank, self.n);
+        while let Some(msg) = self.inbox.take_membership() {
+            if msg.src_rank as usize >= n {
+                continue; // stray traffic on a real port
+            }
+            if msg.kind != MsgKind::FailureAnnounce {
+                continue; // heartbeat: nothing beyond the activity bump
+            }
+            let Ok(p) = FailureAnnouncePayload::decode(&msg.payload) else {
+                continue;
+            };
+            let m = self.member.as_mut().expect("checked");
+            for &r in &p.ranks {
+                let ri = r as usize;
+                if ri >= n || ri == me {
+                    // An announce naming us is a false positive about a
+                    // peer that is, demonstrably, running this code:
+                    // ignore it (we keep proving liveness by traffic).
+                    continue;
+                }
+                let st = &mut m.peers[ri];
+                if st.dead() {
+                    continue;
+                }
+                if p.graceful {
+                    st.departed = true;
+                } else {
+                    st.failed = true;
+                    // One-shot gossip re-flood: on a lossy fabric the
+                    // origin's announce may have missed some survivors;
+                    // each adopter re-multicasts once, which converges
+                    // (the flag is sticky) without a NACK storm's worth
+                    // of copies.
+                    if !st.announced {
+                        st.announced = true;
+                        adopted.push(r);
+                    }
+                }
+            }
+        }
+        // 2. Liveness refresh: any accepted traffic since the last
+        //    snapshot clears suspicion and restamps `last_heard`.
+        {
+            let me = self.rank;
+            let inbox = &self.inbox;
+            let m = self.member.as_mut().expect("checked");
+            for (p, st) in m.peers.iter_mut().enumerate() {
+                if p == me || st.dead() {
+                    continue;
+                }
+                let cur = inbox.activity_of(p as u32);
+                if cur > st.activity {
+                    st.activity = cur;
+                    st.last_heard = now;
+                    st.suspected_at = None;
+                }
+            }
+        }
+        // 3. Suspicion timers: silent past `k × max(rto, interval)`
+        //    opens suspicion; a suspect silent for `m` further intervals
+        //    is confirmed failed. The rto term is the same clamped
+        //    `srtt + 4·rttvar` the adaptive repair timers use, so slow
+        //    links get proportionally more tolerance before the layer
+        //    cries wolf.
+        let mut confirmed: Vec<u32> = Vec::new();
+        let mut new_suspects = 0u64;
+        for p in 0..self.n {
+            if p == self.rank || self.peer_dead(p) {
+                continue;
+            }
+            let (rto, _) = self.repair_timers(Some(p));
+            let suspect_bound = u64::from(mc.suspicion_factor.max(1)) * rto.max(interval);
+            let confirm_bound = u64::from(mc.confirm_misses.max(1)) * rto.max(interval);
+            let st = &mut self.member.as_mut().expect("checked").peers[p];
+            match st.suspected_at {
+                None if now.saturating_sub(st.last_heard) > suspect_bound => {
+                    st.suspected_at = Some(now);
+                    new_suspects += 1;
+                }
+                Some(at) if now.saturating_sub(at) > confirm_bound => {
+                    st.failed = true;
+                    st.announced = true;
+                    confirmed.push(p as u32);
+                }
+                _ => {}
+            }
+        }
+        self.rstats.suspicions += new_suspects;
+        self.rstats.failures_confirmed += confirmed.len() as u64;
+        // 4. Flood what changed, then re-run ring GC: a dead peer just
+        //    left every ack quorum, which may reopen the send window.
+        if !confirmed.is_empty() || !adopted.is_empty() {
+            self.announce_failure(io, &confirmed, false);
+            self.announce_failure(io, &adopted, false);
+            self.gc_acked();
+        }
+        // 5. Standalone heartbeat: only when the schedule is due *and*
+        //    nothing else we sent this interval already proved us alive.
+        let m = self.member.as_ref().expect("checked");
+        if now >= m.next_hb_at {
+            let quiet = now.saturating_sub(m.last_tx_at) >= interval;
+            let beacon = HeartbeatPayload {
+                epoch: m.epoch,
+                incarnation: m.incarnation,
+            };
+            self.member.as_mut().expect("checked").next_hb_at = now + interval;
+            if quiet {
+                self.rstats.heartbeats_sent += 1;
+                let pl = beacon.encode();
+                let seq = self.control_seq();
+                let dgs = self.encode(0, MsgKind::Heartbeat, &pl, seq);
+                io.send_encoded_mcast(&dgs);
+                self.member.as_mut().expect("checked").last_tx_at = now;
+            }
+        }
+    }
+
+    /// Graceful departure (drain-on-leave, `docs/API.md`): flood a
+    /// graceful `FailureAnnounce` (several copies — it races the same
+    /// lossy fabric the repair plane exists for, and a missed announce
+    /// costs every survivor the full drain grace), flush the retransmit
+    /// ring by draining (peers may still be missing our final traffic),
+    /// and mark the endpoint as left so the drop-time drain is a no-op.
+    /// Idempotent.
+    pub fn leave<P: RepairPump>(&mut self, io: &mut P) {
+        if self.left {
+            return;
+        }
+        if self.member.is_some() {
+            for _ in 0..3 {
+                self.announce_failure(io, &[self.rank as u32], true);
+            }
+        }
+        self.drain(io);
+        self.left = true;
+    }
+
+    /// Crash injection for tests: the endpoint stops participating
+    /// without announcing or draining — exactly what a killed process
+    /// looks like to the survivors. Not reversible.
+    pub fn abandon(&mut self) {
+        self.left = true;
+    }
+
+    /// True once [`EndpointCore::leave`] or [`EndpointCore::abandon`]
+    /// retired this endpoint.
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Adopt an externally agreed failure verdict — the communicator
+    /// shrink's vote union: mark `rank` failed *now*, without waiting
+    /// out the local suspicion timers, so ack quorums and the drain
+    /// grace stop counting it immediately. No announce is flooded: the
+    /// verdict came out of an agreement round, so every survivor
+    /// already holds it. A no-op with membership off, for the local
+    /// rank, and for peers already dead.
+    pub fn force_fail(&mut self, rank: usize) {
+        if rank == self.rank {
+            return;
+        }
+        let Some(m) = &mut self.member else {
+            return;
+        };
+        let Some(st) = m.peers.get_mut(rank) else {
+            return;
+        };
+        if st.dead() {
+            return;
+        }
+        st.failed = true;
+        st.announced = true;
+        self.rstats.failures_confirmed += 1;
+        self.gc_acked();
+    }
+
+    /// Adopt a new liveness epoch after a communicator shrink: derive
+    /// the epoch's context from the creation context (a seeded integer
+    /// mix — deterministic, so every survivor lands on the same
+    /// context), rebase the inbox onto it (old-epoch data stragglers
+    /// become foreign; the old epoch's repair plane stays honored), and
+    /// stamp the epoch into the stats. Sequence counters are *not*
+    /// rewound — receivers' dedup history stays valid across the
+    /// boundary.
+    pub fn rebase_epoch(&mut self, epoch: u32) {
+        let new_context = epoch_context(self.base_context, epoch);
+        self.inbox.rebase(new_context);
+        self.inbox.next_context = Some(epoch_context(self.base_context, epoch.wrapping_add(1)));
+        self.context = new_context;
+        if let Some(m) = &mut self.member {
+            m.epoch = epoch;
+        }
+        self.rstats.epoch = self.rstats.epoch.max(u64::from(epoch));
     }
 }
 
@@ -2759,6 +3571,7 @@ mod tests {
                 hwm: 1,
                 missing: vec![],
             }],
+            member: None,
         };
         queue_horizon(&mut io, 1, 0, &hz);
         core.progress(&mut io);
@@ -2783,6 +3596,7 @@ mod tests {
                 hold_ns: 100_000,
             }],
             acks: vec![],
+            member: None,
         };
         queue_horizon(&mut io, 1, 0, &hz);
         core.progress(&mut io);
@@ -2822,6 +3636,7 @@ mod tests {
                 hwm: 1,
                 missing: vec![],
             }],
+            member: None,
         };
         queue_horizon(&mut io, 1, 0, &hz);
         core.progress(&mut io);
@@ -2844,5 +3659,243 @@ mod tests {
         core.cancel_sink().push(req);
         core.progress(&mut io);
         assert_eq!(core.outstanding_recvs(), 0);
+    }
+
+    fn member_repair() -> RepairConfig {
+        RepairConfig::sim_default().with_membership(Duration::from_millis(1))
+    }
+
+    /// Queue an encoded membership message (`Heartbeat` or
+    /// `FailureAnnounce`) from `src`, in the out-of-band control seq
+    /// space like the real emitters.
+    fn queue_control(io: &mut QueuePump, kind: MsgKind, src: u32, seq: u64, payload: &[u8]) {
+        let shared = Bytes::copy_from_slice(payload);
+        for d in split_message(kind, 0, src, 0, HORIZON_SEQ_BASE | seq, &shared, 60_000) {
+            io.inbound.push_back(d);
+        }
+    }
+
+    #[test]
+    fn standalone_heartbeat_only_when_quiet() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        // First pass baselines the layer; creation time is not silence.
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().heartbeats_sent, 0);
+        io.now = 1_000_000;
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().heartbeats_sent,
+            1,
+            "a full quiet interval owes a beacon"
+        );
+        // A multicast inside the interval proves us alive for free...
+        io.now = 1_500_000;
+        core.mcast_message(&mut io, 5, MsgKind::Data, &Bytes::new());
+        io.now = 2_000_000;
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().heartbeats_sent,
+            1,
+            "recent multicast suppresses the standalone beacon"
+        );
+        io.now = 3_000_000;
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().heartbeats_sent, 2, "quiet again");
+        // ...but a unicast does not: only its destination heard it, so
+        // the rest of the group is still owed the beacon.
+        io.now = 3_500_000;
+        core.send_message(&mut io, 1, 5, MsgKind::Data, &Bytes::new());
+        io.now = 4_000_000;
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().heartbeats_sent,
+            3,
+            "a unicast must not suppress the standalone beacon"
+        );
+    }
+
+    #[test]
+    fn silent_peer_suspected_confirmed_and_directed_recv_fails() {
+        // sim defaults: nack_timeout 2 ms, not adaptive → rto = 2 ms.
+        // Suspect after 4 × 2 ms of silence, confirm 3 × 2 ms later.
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io); // baseline at t=0
+        io.now = 9_000_000;
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().suspicions, 1);
+        assert!(core.failed_peers().is_empty(), "suspected is not failed");
+        io.now = 16_000_000;
+        let before = io.mcasts_out;
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().failures_confirmed, 1);
+        assert_eq!(core.failed_peers(), vec![1]);
+        assert!(io.mcasts_out > before, "confirmation floods an announce");
+        // A directed receive from the corpse fails typed instead of
+        // NACKing forever.
+        let req = core.post_recv(&mut io, Some(1), 5);
+        let got = core.test_req(&mut io, req).expect("completes immediately");
+        assert_eq!(got, Err(RecvError::PeerFailed { rank: 1, epoch: 0 }));
+        assert_eq!(
+            core.repair_stats().nacks_sent,
+            0,
+            "confirmed-dead sources are never solicited"
+        );
+    }
+
+    #[test]
+    fn peer_traffic_clears_suspicion_before_confirmation() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io);
+        io.now = 9_000_000;
+        core.progress(&mut io);
+        assert_eq!(core.repair_stats().suspicions, 1);
+        // Any accepted traffic — not just a heartbeat — clears it.
+        io.now = 10_000_000;
+        io.queue_message(1, 5, 0, b"alive");
+        core.progress(&mut io);
+        io.now = 16_000_000;
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().failures_confirmed,
+            0,
+            "suspicion cleared by traffic at 10 ms; 6 ms of silence since \
+             is inside the suspicion bound"
+        );
+        assert!(core.failed_peers().is_empty());
+    }
+
+    #[test]
+    fn heartbeats_prevent_false_positives() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io);
+        // Peer 1 beacons every millisecond for 50 ms; we never suspect.
+        for k in 1..=50u64 {
+            io.now = k * 1_000_000;
+            let hb = HeartbeatPayload {
+                epoch: 0,
+                incarnation: 0,
+            }
+            .encode();
+            queue_control(&mut io, MsgKind::Heartbeat, 1, k, &hb);
+            core.progress(&mut io);
+        }
+        assert_eq!(core.repair_stats().suspicions, 0);
+        assert_eq!(core.repair_stats().failures_confirmed, 0);
+    }
+
+    #[test]
+    fn adopted_announce_marks_failed_refloods_once_without_own_count() {
+        let mut core = EndpointCore::new(0, 0, 4, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io);
+        let ann = FailureAnnouncePayload {
+            epoch: 0,
+            graceful: false,
+            ranks: vec![3],
+        }
+        .encode();
+        let before = io.mcasts_out;
+        queue_control(&mut io, MsgKind::FailureAnnounce, 1, 0, &ann);
+        core.progress(&mut io);
+        assert_eq!(core.failed_peers(), vec![3]);
+        assert_eq!(
+            core.repair_stats().failures_confirmed,
+            0,
+            "adopted verdicts are the origin's count, not ours"
+        );
+        let after_first = io.mcasts_out;
+        assert!(after_first > before, "adoption re-floods once (gossip)");
+        // A duplicate announce changes nothing and floods nothing.
+        queue_control(&mut io, MsgKind::FailureAnnounce, 2, 0, &ann);
+        core.progress(&mut io);
+        assert_eq!(core.failed_peers(), vec![3]);
+        assert_eq!(io.mcasts_out, after_first, "sticky flags: no re-flood");
+    }
+
+    #[test]
+    fn graceful_departure_shrinks_drain_grace_and_leave_is_idempotent() {
+        let mut core = EndpointCore::new(0, 0, 16, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        core.progress(&mut io);
+        // sim defaults: chained grace = (2 ms + 2 ms) × 2 × n.
+        assert_eq!(core.drain_grace(), Duration::from_millis(128));
+        let bye = FailureAnnouncePayload {
+            epoch: 0,
+            graceful: true,
+            ranks: vec![3],
+        }
+        .encode();
+        queue_control(&mut io, MsgKind::FailureAnnounce, 3, 0, &bye);
+        core.progress(&mut io);
+        assert_eq!(core.departed_peers(), vec![3]);
+        assert!(core.failed_peers().is_empty(), "departed is not failed");
+        assert_eq!(
+            core.drain_grace(),
+            Duration::from_millis(120),
+            "survivors stop waiting out the leaver's share of the grace"
+        );
+        // Our own leave announces, drains, and retires the endpoint.
+        let before = io.mcasts_out;
+        core.leave(&mut io);
+        assert!(core.has_left());
+        assert!(io.mcasts_out > before);
+        let announced = io.mcasts_out;
+        core.leave(&mut io);
+        assert_eq!(io.mcasts_out, announced, "leave is idempotent");
+    }
+
+    #[test]
+    fn rebase_epoch_discards_stragglers_but_keeps_repair_plane_open() {
+        let mut core = EndpointCore::new(7, 0, 2, 60_000, Some(member_repair()));
+        let mut io = QueuePump::new();
+        let old_context = core.context();
+        core.rebase_epoch(1);
+        assert_eq!(core.epoch(), 1);
+        assert_ne!(core.context(), old_context);
+        assert_eq!(core.repair_stats().epoch, 1);
+        // An old-epoch data straggler is foreign now...
+        let shared = Bytes::copy_from_slice(b"stale");
+        for d in split_message(MsgKind::Data, old_context, 1, 5, 0, &shared, 60_000) {
+            let _ = core.inbox.ingest_wire(&d, false);
+        }
+        assert_eq!(core.inbox.backlog(), 0);
+        assert_eq!(core.inbox.foreign_dropped(), 1);
+        // ...but an old-epoch NACK still reaches the repair loop (the
+        // pre-shrink recovery tail must be allowed to finish).
+        let nack = NackPayload::addressed_to(0).encode();
+        for d in split_message(MsgKind::Nack, old_context, 1, 5, 1, &nack, 60_000) {
+            let _ = core.inbox.ingest_wire(&d, false);
+        }
+        core.progress(&mut io);
+        assert_eq!(
+            core.repair_stats().nacks_received,
+            1,
+            "prev-epoch solicit serviced across the boundary"
+        );
+        // Same-epoch survivors agree on the context deterministically.
+        let mut twin = EndpointCore::new(7, 1, 2, 60_000, Some(member_repair()));
+        twin.rebase_epoch(1);
+        assert_eq!(twin.context(), core.context());
+    }
+
+    #[test]
+    fn membership_off_emits_nothing_and_declares_no_one() {
+        let mut core = EndpointCore::new(0, 0, 2, 60_000, Some(horizon_repair()));
+        let mut io = QueuePump::new();
+        for k in 0..40u64 {
+            io.now = k * 1_000_000;
+            core.progress(&mut io);
+        }
+        let s = core.repair_stats();
+        assert_eq!(s.heartbeats_sent, 0);
+        assert_eq!(s.suspicions, 0);
+        assert_eq!(s.failures_confirmed, 0);
+        assert!(core.failed_peers().is_empty());
+        assert!(core.departed_peers().is_empty());
+        assert_eq!(core.epoch(), 0);
     }
 }

@@ -38,8 +38,8 @@ pub mod sim;
 pub mod udp;
 
 pub use comm::{
-    CancelSink, Comm, EndpointCore, Inbox, Nanos, RecvError, RecvReq, RepairConfig, RepairPump,
-    SendReq, SendWindowFull, Tag, FIRE_AND_FORGET_TAG,
+    CancelSink, Comm, EndpointCore, Inbox, MembershipConfig, Nanos, RecvError, RecvReq,
+    RepairConfig, RepairPump, SendReq, SendWindowFull, Tag, FIRE_AND_FORGET_TAG,
 };
 pub use mem::{run_mem_world, MemComm};
 pub use sim::{

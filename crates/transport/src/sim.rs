@@ -58,6 +58,12 @@ pub struct RepairStatsSink {
     acked_records_freed: AtomicU64,
     rtt_samples: AtomicU64,
     send_window_stalls: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    suspicions: AtomicU64,
+    failures_confirmed: AtomicU64,
+    /// High-water mark (merged by max, like [`RepairStats::merge`]):
+    /// the epoch the furthest-along rank reached, not a sum.
+    epoch: AtomicU64,
 }
 
 impl RepairStatsSink {
@@ -87,6 +93,12 @@ impl RepairStatsSink {
         self.rtt_samples.fetch_add(s.rtt_samples, Ordering::Relaxed);
         self.send_window_stalls
             .fetch_add(s.send_window_stalls, Ordering::Relaxed);
+        self.heartbeats_sent
+            .fetch_add(s.heartbeats_sent, Ordering::Relaxed);
+        self.suspicions.fetch_add(s.suspicions, Ordering::Relaxed);
+        self.failures_confirmed
+            .fetch_add(s.failures_confirmed, Ordering::Relaxed);
+        self.epoch.fetch_max(s.epoch, Ordering::Relaxed);
     }
 
     /// Current totals.
@@ -105,6 +117,10 @@ impl RepairStatsSink {
             acked_records_freed: self.acked_records_freed.load(Ordering::Relaxed),
             rtt_samples: self.rtt_samples.load(Ordering::Relaxed),
             send_window_stalls: self.send_window_stalls.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
+            failures_confirmed: self.failures_confirmed.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,6 +353,19 @@ impl SimComm {
     pub fn process_mut(&mut self) -> &mut SimProcess {
         &mut self.io.proc
     }
+
+    /// The drain grace this endpoint would apply on shutdown right now
+    /// (exposed for the drain-on-leave regression tests).
+    pub fn drain_grace(&self) -> Duration {
+        self.core.drain_grace()
+    }
+
+    /// Crash injection for failure tests: the endpoint stops
+    /// participating immediately — no departure announcement, no drain
+    /// on drop — exactly what a killed process looks like to survivors.
+    pub fn simulate_crash(&mut self) {
+        self.core.abandon();
+    }
 }
 
 impl Drop for SimComm {
@@ -447,9 +476,49 @@ impl Comm for SimComm {
     }
 
     fn compute(&mut self, d: Duration) {
-        self.io
-            .proc
-            .compute(SimDuration::from_nanos(d.as_nanos() as u64));
+        // A busy rank is deaf, but it must not go mute: with membership
+        // armed, slice the advance at beacon boundaries and emit the
+        // heartbeats that fall due mid-slice (the job a real
+        // deployment's progress thread does), so peers never read a
+        // long compute phase as death. Without membership this folds to
+        // the plain single clock advance.
+        let mut remaining = d.as_nanos() as u64;
+        while remaining > 0 {
+            let step = match self.core.next_heartbeat_due() {
+                Some(hb_at) => {
+                    let now = self.io.now();
+                    remaining.min(hb_at.saturating_sub(now).max(1))
+                }
+                None => remaining,
+            };
+            self.io.proc.compute(SimDuration::from_nanos(step));
+            remaining -= step;
+            self.core.beacon_tick(&mut self.io);
+        }
+    }
+
+    fn failed_peers(&self) -> Vec<usize> {
+        self.core.failed_peers()
+    }
+
+    fn departed_peers(&self) -> Vec<usize> {
+        self.core.departed_peers()
+    }
+
+    fn epoch(&self) -> u32 {
+        self.core.epoch()
+    }
+
+    fn leave(&mut self) {
+        self.core.leave(&mut self.io);
+    }
+
+    fn rebase_epoch(&mut self, epoch: u32) {
+        self.core.rebase_epoch(epoch);
+    }
+
+    fn declare_failed(&mut self, rank: usize) {
+        self.core.force_fail(rank);
     }
 
     fn tcp_ack_model(&mut self, dst: usize, count: u32) {

@@ -409,7 +409,49 @@ impl Comm for UdpComm {
     }
 
     fn compute(&mut self, d: Duration) {
-        std::thread::sleep(d);
+        // Same contract as the simulator: with membership armed, sleep
+        // in beacon-sized slices and emit the heartbeats that fall due,
+        // so a long compute phase never reads as death to the peers.
+        let end = Instant::now() + d;
+        loop {
+            let left = end.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let step = match self.core.next_heartbeat_due() {
+                Some(hb_at) => {
+                    let until_hb = hb_at.saturating_sub(self.io.now()).max(1);
+                    left.min(Duration::from_nanos(until_hb))
+                }
+                None => left,
+            };
+            std::thread::sleep(step);
+            self.core.beacon_tick(&mut self.io);
+        }
+    }
+
+    fn failed_peers(&self) -> Vec<usize> {
+        self.core.failed_peers()
+    }
+
+    fn departed_peers(&self) -> Vec<usize> {
+        self.core.departed_peers()
+    }
+
+    fn epoch(&self) -> u32 {
+        self.core.epoch()
+    }
+
+    fn leave(&mut self) {
+        self.core.leave(&mut self.io);
+    }
+
+    fn rebase_epoch(&mut self, epoch: u32) {
+        self.core.rebase_epoch(epoch);
+    }
+
+    fn declare_failed(&mut self, rank: usize) {
+        self.core.force_fail(rank);
     }
 }
 

@@ -63,6 +63,18 @@ pub enum MsgKind {
     /// per-peer RTT, SRM-session-message style. Consumed by the repair
     /// loop, never delivered to the application.
     AckHorizon = 6,
+    /// Standalone liveness heartbeat: multicast only while an endpoint's
+    /// data/session traffic is quiet, so peers' failure detectors keep
+    /// hearing from it. Carries a [`crate::member::HeartbeatPayload`]
+    /// (liveness epoch + incarnation). Consumed by the membership layer,
+    /// never delivered to the application.
+    Heartbeat = 7,
+    /// Failure/departure announcement: floods a confirmed-dead peer set
+    /// (or the sender's own graceful departure) through the group so
+    /// every survivor converges on the same view. Carries a
+    /// [`crate::member::FailureAnnouncePayload`]. Consumed by the
+    /// membership layer, never delivered to the application.
+    FailureAnnounce = 8,
 }
 
 impl MsgKind {
@@ -76,6 +88,8 @@ impl MsgKind {
             4 => MsgKind::Nack,
             5 => MsgKind::Unavail,
             6 => MsgKind::AckHorizon,
+            7 => MsgKind::Heartbeat,
+            8 => MsgKind::FailureAnnounce,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -298,6 +312,8 @@ mod tests {
             MsgKind::Nack,
             MsgKind::Unavail,
             MsgKind::AckHorizon,
+            MsgKind::Heartbeat,
+            MsgKind::FailureAnnounce,
         ] {
             assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
         }

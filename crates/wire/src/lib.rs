@@ -26,6 +26,7 @@
 pub mod assemble;
 pub mod error;
 pub mod header;
+pub mod member;
 pub mod nack;
 pub mod retransmit;
 
@@ -33,6 +34,7 @@ pub use assemble::{split_message, Assembler, Datagram, Message};
 pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
+pub use member::{FailureAnnouncePayload, HeartbeatPayload, HEARTBEAT_LEN, MAX_ANNOUNCE_RANKS};
 pub use nack::{
     AckHorizonPayload, HorizonEcho, NackPayload, SeqRange, SourceHorizon, UnavailPayload,
     MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES, MAX_HORIZON_HOLES, MAX_NACK_RANGES, NACK_TARGET_ANY,

@@ -23,6 +23,7 @@
 use bytes::{Bytes, BytesMut};
 
 use crate::error::WireError;
+use crate::member::{HeartbeatPayload, HEARTBEAT_LEN};
 
 /// `target` value naming no specific rank: an any-source solicitation —
 /// every peer holding matching traffic may answer.
@@ -227,6 +228,12 @@ pub struct AckHorizonPayload {
     pub echoes: Vec<HorizonEcho>,
     /// Per-source delivery frontiers observed by this endpoint.
     pub acks: Vec<SourceHorizon>,
+    /// Optional liveness trailer (`docs/PROTOCOL.md` §10): with membership
+    /// enabled the heartbeat piggybacks on the session cadence instead of
+    /// spending its own datagrams. `None` encodes zero extra bytes, so a
+    /// membership-off endpoint's horizons stay byte-identical; decoders
+    /// that predate the trailer simply ignore it.
+    pub member: Option<HeartbeatPayload>,
 }
 
 /// Wire size of the fixed ACK-horizon prefix (probe_ts + two counts).
@@ -274,6 +281,9 @@ impl AckHorizonPayload {
                 buf.extend_from_slice(&r.start.to_le_bytes());
                 buf.extend_from_slice(&r.end.to_le_bytes());
             }
+        }
+        if let Some(hb) = &self.member {
+            buf.extend_from_slice(&hb.encode_array());
         }
         buf.freeze()
     }
@@ -329,10 +339,16 @@ impl AckHorizonPayload {
             }
             acks.push(SourceHorizon { src, hwm, missing });
         }
+        let member = if bytes.len() >= off + HEARTBEAT_LEN {
+            Some(HeartbeatPayload::decode(&bytes[off..])?)
+        } else {
+            None
+        };
         Ok(AckHorizonPayload {
             probe_ts,
             echoes,
             acks,
+            member,
         })
     }
 }
@@ -440,8 +456,40 @@ mod tests {
                     missing: Vec::new(),
                 },
             ],
+            member: None,
         };
         assert_eq!(AckHorizonPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn horizon_member_trailer_roundtrip() {
+        let mut p = AckHorizonPayload {
+            probe_ts: 5,
+            echoes: vec![HorizonEcho {
+                peer: 2,
+                ts: 1,
+                hold_ns: 0,
+            }],
+            acks: vec![SourceHorizon {
+                src: 0,
+                hwm: 9,
+                missing: vec![SeqRange { start: 3, end: 4 }],
+            }],
+            member: None,
+        };
+        let bare = p.encode();
+        p.member = Some(HeartbeatPayload {
+            epoch: 4,
+            incarnation: 1,
+        });
+        let with = p.encode();
+        // The trailer costs exactly HEARTBEAT_LEN bytes; None adds none,
+        // so membership-off traffic is byte-identical to the old codec.
+        assert_eq!(with.len(), bare.len() + HEARTBEAT_LEN);
+        assert_eq!(&with[..bare.len()], &bare[..]);
+        assert_eq!(AckHorizonPayload::decode(&with).unwrap(), p);
+        // A trailer-unaware decode of the bare form sees member: None.
+        assert_eq!(AckHorizonPayload::decode(&bare).unwrap().member, None);
     }
 
     #[test]
@@ -481,6 +529,7 @@ mod tests {
                 hwm: 1_000,
                 missing: missing.clone(),
             }],
+            member: None,
         };
         let dec = AckHorizonPayload::decode(&p.encode()).unwrap();
         let a = &dec.acks[0];
@@ -506,6 +555,7 @@ mod tests {
             probe_ts: 1,
             echoes: Vec::new(),
             acks: Vec::new(),
+            member: None,
         };
         let mut enc = p.encode().into_vec();
         enc[8] = 3;

@@ -273,6 +273,20 @@ pub struct RepairStats {
     /// Times a send stalled (or reported `WouldBlock`) on the send
     /// window waiting for peers' horizons to advance.
     pub send_window_stalls: u64,
+    /// Standalone liveness heartbeats this endpoint multicast (only while
+    /// its data/session traffic was quiet — piggybacked beacons ride the
+    /// horizon counter instead).
+    pub heartbeats_sent: u64,
+    /// Suspicion episodes opened: a peer went silent past the adaptive
+    /// bound. Counted once per episode; cleared suspicions don't repeat.
+    pub suspicions: u64,
+    /// Peers this endpoint itself confirmed dead (suspicion ran through
+    /// the confirmation misses). Failures adopted from peers' announce
+    /// floods are not re-counted.
+    pub failures_confirmed: u64,
+    /// Highest membership epoch this endpoint committed (merged by max —
+    /// an epoch is a water mark, not a count).
+    pub epoch: u64,
 }
 
 impl RepairStats {
@@ -291,6 +305,10 @@ impl RepairStats {
         self.acked_records_freed += other.acked_records_freed;
         self.rtt_samples += other.rtt_samples;
         self.send_window_stalls += other.send_window_stalls;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.suspicions += other.suspicions;
+        self.failures_confirmed += other.failures_confirmed;
+        self.epoch = self.epoch.max(other.epoch);
     }
 }
 
@@ -411,6 +429,10 @@ mod tests {
             acked_records_freed: 11,
             rtt_samples: 12,
             send_window_stalls: 13,
+            heartbeats_sent: 14,
+            suspicions: 15,
+            failures_confirmed: 16,
+            epoch: 17,
         };
         a.merge(&a.clone());
         assert_eq!(a.nacks_sent, 2);
@@ -425,6 +447,10 @@ mod tests {
         assert_eq!(a.acked_records_freed, 22);
         assert_eq!(a.rtt_samples, 24);
         assert_eq!(a.send_window_stalls, 26);
+        assert_eq!(a.heartbeats_sent, 28);
+        assert_eq!(a.suspicions, 30);
+        assert_eq!(a.failures_confirmed, 32);
+        assert_eq!(a.epoch, 17, "epoch merges by max, not sum");
     }
 
     #[test]

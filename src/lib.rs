@@ -17,12 +17,16 @@
 //! * [`transport`] — the request-based [`transport::Comm`] abstraction
 //!   (posted receives + progress engine, `docs/API.md`) and its
 //!   simulator, real-UDP-multicast and in-memory implementations, plus
-//!   the NACK/retransmit repair loop and the adaptive control plane
+//!   the NACK/retransmit repair loop, the adaptive control plane
 //!   (per-peer RTT estimation, ring GC, send-window back-pressure —
-//!   `docs/PROTOCOL.md` §9).
+//!   `docs/PROTOCOL.md` §9) and the membership layer (heartbeat
+//!   liveness, suspicion, failure announcement, epoch rebasing —
+//!   `docs/PROTOCOL.md` §10).
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
-//!   multicast, plus the MPICH point-to-point baselines and the
-//!   nonblocking `ibcast`/`ibarrier`/`iallgather` state machines.
+//!   multicast, plus the MPICH point-to-point baselines, the
+//!   nonblocking `ibcast`/`ibarrier`/`iallgather` state machines, and
+//!   the ULFM-style `PeerFailed` → `shrink()` → retry recovery
+//!   (`docs/API.md`).
 //! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV,
 //!   loss sweeps with drop/NACK/retransmit columns).
 //!
@@ -49,7 +53,9 @@
 //!                        │                     nonblocking ibcast /
 //!                        │                     ibarrier / iallgather
 //!                        │                     (overlapped ring, zero-
-//!                        │                     copy step forwarding)
+//!                        │                     copy step forwarding),
+//!                        │                     ULFM shrink/leave over
+//!                        │                     survivor-agreement votes
 //!                        ▼
 //!                  mmpi-transport ───────────  Comm: sim | udp | mem
 //!                    │         │               · request layer: posted
@@ -70,6 +76,11 @@
 //!                    │         │                 (RFC 6298), ring GC from
 //!                    │         │                 acked frontiers, send-
 //!                    │         │                 window back-pressure
+//!                    │         │               · membership: heartbeat
+//!                    │         │                 beacons + suspicion
+//!                    │         │                 timers, PeerFailed,
+//!                    │         │                 announce flooding,
+//!                    │         │                 epoch-rotated contexts
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
 //!                │                 │           datagram format

@@ -233,6 +233,7 @@ fn send_window_prevents_unavailable_where_capacity_eviction_fails() {
                     match c.recv_match(0, TAG) {
                         Ok(_) => {}
                         Err(RecvError::Unavailable { .. }) => unavailable += 1,
+                        Err(e) => panic!("unexpected recv error: {e:?}"),
                     }
                 }
                 unavailable

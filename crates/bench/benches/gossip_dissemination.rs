@@ -1,0 +1,287 @@
+//! Criterion bench: the dissemination seam (`docs/PROTOCOL.md` §11).
+//!
+//! Three questions, each answered with deterministic virtual-time
+//! numbers printed next to the criterion wall times (the data
+//! `BENCH_9.json` records):
+//!
+//! * `lossy` — what does the epidemic Advr/Want plane cost against the
+//!   unicast binomial, ring (scatter–allgather) and raw-multicast
+//!   broadcasts at 10% per-link loss, N ∈ {16, 64}? Gossip pays digest
+//!   traffic and a pull round-trip per receiver; multicast pays one
+//!   frame plus NACK repair. The crossover the sweep shows is the
+//!   paper's tradeoff inverted: gossip buys multicast-independence with
+//!   latency, not bandwidth (each payload still crosses each link once).
+//! * `unicast_only` — the same broadcasts on a fabric whose switch
+//!   forwards no multicast at all. The multicast algorithms livelock
+//!   (their repair loop re-solicits forever; the trial dies at a small
+//!   virtual time limit), the unicast baselines are unaffected, and
+//!   gossip completes with per-link payload crossings ≤ 1 — the
+//!   acceptance row `BENCH_9.json` pins.
+//! * `partitioned` — a root↔receiver link held down for 150 ms of
+//!   virtual time (a partial partition: connectivity is non-transitive).
+//!   Multicast cannot finish before the heal — only the origin's ring
+//!   answers NACKs, and the origin is unreachable — while gossip pulls
+//!   the payload from any relay that has it and completes three orders
+//!   of magnitude sooner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmpi_cluster::{run_trial, try_run_trial, Experiment, Fabric, Workload};
+use mmpi_core::{BcastAlgorithm, Communicator};
+use mmpi_netsim::cluster::ClusterConfig;
+use mmpi_netsim::ids::HostId;
+use mmpi_netsim::params::{FaultParams, NetParams};
+use mmpi_netsim::time::{SimDuration, SimTime};
+use mmpi_netsim::topology::TopologyScript;
+use mmpi_transport::{run_sim_world_stats, RepairConfig, SimCommConfig};
+
+const BYTES: usize = 4096;
+
+/// The four broadcast families the seam is swept against.
+const ALGOS: &[(&str, BcastAlgorithm, bool)] = &[
+    ("binomial", BcastAlgorithm::MpichBinomial, false),
+    ("ring", BcastAlgorithm::ScatterAllgather, false),
+    ("mcast", BcastAlgorithm::McastBinary, false),
+    ("gossip", BcastAlgorithm::Gossip, true),
+];
+
+fn point(
+    n: usize,
+    algo: BcastAlgorithm,
+    gossip: bool,
+    unicast_only: bool,
+    loss: f64,
+) -> Experiment {
+    let mut exp = Experiment::new(n, Fabric::Switch, Workload::Bcast { algo, bytes: BYTES })
+        .with_trials(1)
+        .with_seed(9)
+        .with_loss(loss);
+    if gossip {
+        exp = exp.with_gossip();
+    }
+    if unicast_only {
+        exp = exp.with_unicast_only();
+    }
+    exp
+}
+
+fn bench_lossy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_bcast_lossy");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        for &(label, algo, gossip) in ALGOS {
+            let exp = point(n, algo, gossip, false, 0.10);
+            let (us, stats) = run_trial(&exp, 0);
+            println!(
+                "# gossip_bcast_lossy n={n} {label}: {:.2}ms virtual \
+                 (advrs={} wants={} pulls={} retx={})",
+                us / 1e3,
+                stats.repair.advrs_sent,
+                stats.repair.wants_sent,
+                stats.repair.pulls_answered,
+                stats.repair.retransmits_sent,
+            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| run_trial(&exp, 0))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_unicast_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_bcast_unicast_only");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        // The headline failure: raw multicast cannot cross this fabric,
+        // lossless or not. A 200 ms virtual cap is ~100 repair rounds —
+        // ample proof of the livelock without simulating the default 60 s.
+        let doomed = point(n, BcastAlgorithm::McastBinary, false, true, 0.10)
+            .with_time_limit(SimDuration::from_millis(200));
+        let err = try_run_trial(&doomed, 0)
+            .expect_err("multicast bcast must fail on a unicast-only switch");
+        println!("# gossip_bcast_unicast_only n={n} mcast(10% loss): FAILS ({err})");
+        // The subtler failure: the *unicast* binomial also livelocks once
+        // frames drop, because the SRM repair plane solicits by multicast
+        // — which this fabric eats. Only the gossip plane repairs by
+        // unicast throughout.
+        let doomed = point(n, BcastAlgorithm::MpichBinomial, false, true, 0.10)
+            .with_time_limit(SimDuration::from_millis(200));
+        let err = try_run_trial(&doomed, 0)
+            .expect_err("multicast NACK solicits cannot cross a unicast-only switch");
+        println!("# gossip_bcast_unicast_only n={n} binomial(10% loss): FAILS ({err})");
+        // Lossless sweep: every unicast-clean algorithm completes; the
+        // comparable baseline trio for gossip's multicast-less latency.
+        for &(label, algo, gossip) in ALGOS {
+            if algo == BcastAlgorithm::McastBinary {
+                continue;
+            }
+            let exp = point(n, algo, gossip, true, 0.0);
+            let (us, stats) = run_trial(&exp, 0);
+            println!(
+                "# gossip_bcast_unicast_only n={n} {label}: {:.2}ms virtual \
+                 (advrs={} pulls={} mcast_drops={})",
+                us / 1e3,
+                stats.repair.advrs_sent,
+                stats.repair.pulls_answered,
+                stats.net.unicast_only_drops,
+            );
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| run_trial(&exp, 0))
+            });
+        }
+        // And gossip alone survives loss here: its advertisements, pulls
+        // and repairs are all unicast.
+        let exp = point(n, BcastAlgorithm::Gossip, true, true, 0.10);
+        let (us, stats) = run_trial(&exp, 0);
+        println!(
+            "# gossip_bcast_unicast_only n={n} gossip(10% loss): {:.2}ms virtual \
+             (advrs={} pulls={} retx={})",
+            us / 1e3,
+            stats.repair.advrs_sent,
+            stats.repair.pulls_answered,
+            stats.repair.retransmits_sent,
+        );
+        g.bench_with_input(BenchmarkId::new("gossip_lossy", n), &n, |b, _| {
+            b.iter(|| run_trial(&exp, 0))
+        });
+        // Acceptance row: with payload tracking on, no chunk crosses any
+        // link twice under gossip (clean fabric isolates the epidemic
+        // plane's own behaviour from loss-repair recrossings).
+        let (_, stats) = run_sim_world_stats(
+            &ClusterConfig::new(
+                n,
+                NetParams::fast_ethernet_switch()
+                    .with_unicast_only()
+                    .with_payload_tracking(),
+                9,
+            ),
+            &gossip_cfg(9),
+            |c| {
+                let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::Gossip);
+                let me = comm.rank();
+                let mut buf = if me == 0 {
+                    vec![7u8; BYTES]
+                } else {
+                    vec![0; BYTES]
+                };
+                comm.bcast(0, &mut buf).unwrap();
+                comm.barrier().unwrap();
+            },
+        )
+        .expect("tracked gossip bcast");
+        let max_dup = stats
+            .net
+            .links
+            .iter()
+            .map(|l| l.duplicate_data_chunks)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "# gossip_bcast_unicast_only n={n} gossip: max per-link duplicate \
+             payload crossings = {max_dup} (acceptance: 0)"
+        );
+        assert_eq!(max_dup, 0, "payload crossed a link twice under gossip");
+    }
+    g.finish();
+}
+
+fn gossip_cfg(seed: u64) -> SimCommConfig {
+    SimCommConfig {
+        repair: Some(RepairConfig::sim_default().with_seed(seed).with_gossip()),
+        ..Default::default()
+    }
+}
+
+/// One bcast across a fabric whose root↔victim link is held down until
+/// 150 ms. Returns the slowest rank's virtual *delivery* time in µs
+/// (read off the endpoint clock inside the closure — the run's
+/// `completion_times` also bill the shutdown drain, which the pending
+/// release event inflates to the full grace for every algorithm), or
+/// the error if the run died at `limit`.
+fn partitioned_trial(
+    n: usize,
+    algo: BcastAlgorithm,
+    gossip: bool,
+    limit: SimDuration,
+    seed: u64,
+) -> Result<f64, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let victim = HostId((n / 2) as u32);
+    let faults = FaultParams {
+        drop_prob: 0.10,
+        topology: TopologyScript::new()
+            .hold(SimTime::ZERO, HostId(0), victim)
+            .release(SimTime::from_micros(150_000), HostId(0), victim),
+        ..Default::default()
+    };
+    let params = NetParams::fast_ethernet_switch().with_faults(faults);
+    let mut cluster = ClusterConfig::new(n, params, seed);
+    cluster.time_limit = limit;
+    let cfg = if gossip {
+        gossip_cfg(seed)
+    } else {
+        SimCommConfig::default().with_repair()
+    };
+    let slowest = Arc::new(AtomicU64::new(0));
+    let sl = slowest.clone();
+    run_sim_world_stats(&cluster, &cfg, move |c| {
+        let mut comm = Communicator::new(c).with_bcast(algo);
+        let me = comm.rank();
+        let mut buf = if me == 0 {
+            vec![7u8; BYTES]
+        } else {
+            vec![0; BYTES]
+        };
+        comm.bcast(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; BYTES]);
+        sl.fetch_max(comm.transport().now().as_nanos(), Ordering::Relaxed);
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(slowest.load(Ordering::Relaxed) as f64 / 1e3)
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_bcast_partitioned");
+    g.sample_size(10);
+    let n = 16;
+    // While the link is held, multicast cannot deliver to the victim at
+    // all — only the unreachable origin answers NACKs — so a cap below
+    // the 150 ms heal kills it.
+    let err = partitioned_trial(
+        n,
+        BcastAlgorithm::McastBinary,
+        false,
+        SimDuration::from_millis(50),
+        9,
+    )
+    .expect_err("multicast cannot finish before the held link heals");
+    println!("# gossip_bcast_partitioned n={n} mcast: FAILS within 50ms cap ({err})");
+    // Uncapped, both finish: multicast delivers to the victim only once
+    // the link heals at 150 ms, gossip as soon as the victim pulls the
+    // payload from any relay the partial partition still lets it reach.
+    // The gap is the headline.
+    let deadline = SimDuration::from_secs(60);
+    let mcast_us = partitioned_trial(n, BcastAlgorithm::McastBinary, false, deadline, 9)
+        .expect("multicast completes once the link heals");
+    let gossip_us = partitioned_trial(n, BcastAlgorithm::Gossip, true, deadline, 9)
+        .expect("gossip routes around the held link");
+    println!(
+        "# gossip_bcast_partitioned n={n}: slowest-rank delivery \
+         mcast={:.2}ms (waits for the 150ms heal) vs gossip={:.2}ms",
+        mcast_us / 1e3,
+        gossip_us / 1e3,
+    );
+    assert!(
+        gossip_us < 150_000.0 && mcast_us >= 150_000.0,
+        "gossip must beat the heal; multicast must wait for it"
+    );
+    g.bench_with_input(BenchmarkId::new("gossip", n), &n, |b, _| {
+        b.iter(|| partitioned_trial(n, BcastAlgorithm::Gossip, true, deadline, 9).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lossy, bench_unicast_only, bench_partitioned);
+criterion_main!(benches);

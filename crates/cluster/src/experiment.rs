@@ -80,6 +80,21 @@ pub struct Experiment {
     /// Injected per-link frame-drop probability. Nonzero enables the
     /// NACK/retransmit repair loop on every endpoint.
     pub drop_prob: f64,
+    /// Run on a unicast-only fabric: the switch forwards no multicast
+    /// frames (dropped and counted). Only the gossip dissemination plane
+    /// completes here; multicast workloads fail with a deadlock or
+    /// time-limit error.
+    pub unicast_only: bool,
+    /// Use the epidemic Advr/Want dissemination plane instead of raw
+    /// multicast (enables the repair loop with
+    /// `RepairConfig::with_gossip` on every endpoint).
+    pub gossip: bool,
+    /// Virtual-time cap per trial; `None` keeps the cluster default
+    /// (60 s). Set a small cap when a trial is *expected* to fail — e.g.
+    /// a multicast workload on a unicast-only fabric — so
+    /// [`try_run_trial`] reports the failure quickly instead of spinning
+    /// the repair loop for a minute of virtual time.
+    pub time_limit: Option<SimDuration>,
 }
 
 impl Experiment {
@@ -93,6 +108,9 @@ impl Experiment {
             seed: 0x0EA6_1E00,
             start_skew: SimDuration::from_micros(50),
             drop_prob: 0.0,
+            unicast_only: false,
+            gossip: false,
+            time_limit: None,
         }
     }
 
@@ -111,6 +129,25 @@ impl Experiment {
     /// Builder-style loss injection (enables repair on every endpoint).
     pub fn with_loss(mut self, drop_prob: f64) -> Self {
         self.drop_prob = drop_prob;
+        self
+    }
+
+    /// Builder-style unicast-only fabric (multicast frames dropped at
+    /// the switch).
+    pub fn with_unicast_only(mut self) -> Self {
+        self.unicast_only = true;
+        self
+    }
+
+    /// Builder-style epidemic dissemination (Advr/Want gossip plane).
+    pub fn with_gossip(mut self) -> Self {
+        self.gossip = true;
+        self
+    }
+
+    /// Builder-style virtual-time cap per trial.
+    pub fn with_time_limit(mut self, limit: SimDuration) -> Self {
+        self.time_limit = Some(limit);
         self
     }
 }
@@ -138,15 +175,34 @@ pub struct ExperimentResult {
 /// drain the endpoints run after the workload, which is teardown
 /// bookkeeping, not collective latency.
 pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
+    try_run_trial(exp, trial).expect("experiment trial failed")
+}
+
+/// Fallible [`run_trial`]: a deadlock or time-limit abort comes back as
+/// `Err` instead of panicking. This is how a sweep records that an
+/// algorithm *cannot* complete on a topology (e.g. any multicast
+/// dissemination on a unicast-only fabric) rather than crashing the
+/// whole sweep.
+pub fn try_run_trial(exp: &Experiment, trial: usize) -> Result<(f64, WorldStats), String> {
     let workload = exp.workload;
-    let params = exp.fabric.params().with_loss(exp.drop_prob);
-    let cluster =
+    let mut params = exp.fabric.params().with_loss(exp.drop_prob);
+    if exp.unicast_only {
+        params = params.with_unicast_only();
+    }
+    let mut cluster =
         ClusterConfig::new(exp.n, params, exp.seed + trial as u64).with_start_skew(exp.start_skew);
+    if let Some(limit) = exp.time_limit {
+        cluster.time_limit = limit;
+    }
     let mut comm_cfg = SimCommConfig::default();
-    if exp.drop_prob > 0.0 {
+    if exp.drop_prob > 0.0 || exp.gossip {
         // Reseed the randomized NACK backoff per trial so trials draw
         // decorrelated jitter while each replays exactly.
-        comm_cfg.repair = Some(RepairConfig::sim_default().with_seed(exp.seed + trial as u64));
+        let mut rc = RepairConfig::sim_default().with_seed(exp.seed + trial as u64);
+        if exp.gossip {
+            rc = rc.with_gossip();
+        }
+        comm_cfg.repair = Some(rc);
     }
     let (report, world) = run_sim_world_stats(&cluster, &comm_cfg, move |c| {
         let mut comm = Communicator::new(c);
@@ -166,13 +222,13 @@ pub fn run_trial(exp: &Experiment, trial: usize) -> (f64, WorldStats) {
         }
         comm.transport().now()
     })
-    .expect("experiment trial failed");
+    .map_err(|e| e.to_string())?;
     let end = report
         .outputs
         .iter()
         .copied()
         .fold(SimTime::ZERO, SimTime::max);
-    (end.as_micros_f64(), world)
+    Ok((end.as_micros_f64(), world))
 }
 
 /// Run every trial of an experiment point.
@@ -233,6 +289,16 @@ pub struct RepairCounters {
     /// Highest liveness epoch reached (maxed, not summed): 0 until a
     /// communicator shrink commits a new epoch.
     pub epoch: u64,
+    /// Advr digests unicast by the gossip dissemination plane (summed);
+    /// zero unless the experiment runs with gossip.
+    pub advrs: u64,
+    /// Want pull requests unicast by the gossip plane (summed).
+    pub wants: u64,
+    /// Want requests answered with a unicast payload (summed).
+    pub pulls: u64,
+    /// Pulls skipped because the advertised payload was already held
+    /// (summed) — the epidemic plane's duplicate suppression.
+    pub dup_avoided: u64,
 }
 
 impl RepairCounters {
@@ -250,13 +316,17 @@ impl RepairCounters {
             suspicions: res.repair.suspicions,
             failures: res.repair.failures_confirmed,
             epoch: res.repair.epoch,
+            advrs: res.repair.advrs_sent,
+            wants: res.repair.wants_sent,
+            pulls: res.repair.pulls_answered,
+            dup_avoided: res.repair.duplicate_payloads_avoided,
         }
     }
 
     /// The aligned table header shared by the sweep renderers.
     fn table_header() -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}",
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}  {:>8}  {:>8}  {:>8}  {:>11}",
             "drops",
             "nacks",
             "suppressed",
@@ -268,14 +338,18 @@ impl RepairCounters {
             "heartbeats",
             "suspicions",
             "failures",
-            "epoch"
+            "epoch",
+            "advrs",
+            "wants",
+            "pulls",
+            "dup_avoided"
         )
     }
 
     /// The aligned table cells matching [`RepairCounters::table_header`].
     fn table_cells(&self) -> String {
         format!(
-            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}",
+            "{:>8}  {:>8}  {:>10}  {:>12}  {:>15}  {:>9}  {:>11}  {:>11}  {:>10}  {:>10}  {:>8}  {:>5}  {:>8}  {:>8}  {:>8}  {:>11}",
             self.drops,
             self.nacks,
             self.suppressed,
@@ -287,7 +361,11 @@ impl RepairCounters {
             self.heartbeats,
             self.suspicions,
             self.failures,
-            self.epoch
+            self.epoch,
+            self.advrs,
+            self.wants,
+            self.pulls,
+            self.dup_avoided
         )
     }
 }

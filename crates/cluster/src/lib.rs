@@ -31,7 +31,8 @@ pub mod stats;
 
 pub use experiment::{
     loss_sweep, render_loss_table, render_scale_table, run_experiment, run_trial, scale_sweep,
-    Experiment, ExperimentResult, Fabric, LossSweepRow, RepairCounters, ScaleSweepRow, Workload,
+    try_run_trial, Experiment, ExperimentResult, Fabric, LossSweepRow, RepairCounters,
+    ScaleSweepRow, Workload,
 };
 pub use figures::{all_figures, render_table, run_figure, write_csv, FigureData, FigureSpec};
 pub use stats::Summary;

@@ -53,6 +53,13 @@ pub enum BcastAlgorithm {
     Chain,
     /// Van de Geijn scatter + ring allgather (large-message baseline).
     ScatterAllgather,
+    /// Epidemic dissemination: the root records the payload and lazily
+    /// pushes `Advr` digests; receivers pull with `Want` (unicast, no
+    /// multicast frames required). Pair with
+    /// `RepairConfig::with_gossip()` on the transport — without it the
+    /// group send degenerates to a plain multicast. See
+    /// `docs/PROTOCOL.md` §11.
+    Gossip,
     /// Pick by message size: MPICH for small messages (scout overhead
     /// dominates), multicast-binary for large (see the paper's crossover).
     Auto,
@@ -127,6 +134,7 @@ pub fn bcast<C: Comm>(
         BcastAlgorithm::ScatterAllgather => {
             crate::bcast_ext::bcast_scatter_allgather(c, tags, root, buf)
         }
+        BcastAlgorithm::Gossip => bcast_gossip(c, tags, root, buf),
         BcastAlgorithm::Auto => {
             if buf.len() >= cfg.auto_crossover_bytes && c.size() > 2 {
                 bcast_mcast_binary(c, tags, root, buf)
@@ -282,6 +290,35 @@ pub fn bcast_mcast_linear<C: Comm>(
         return Ok(());
     }
     scout_reduce_linear(c, tags, root)?;
+    let tag = tags.tag(Phase::Data);
+    if c.rank() == root {
+        c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));
+    } else {
+        *buf = c.recv_match(root, tag)?.into_vec();
+    }
+    Ok(())
+}
+
+/// Epidemic broadcast over the gossip dissemination plane.
+///
+/// No scout phase: the root hands the payload to the group send
+/// immediately. Under `Dissemination::Gossip` that records the message
+/// and advertises its id to live peers; a receiver that has not yet
+/// posted its receive still pulls the payload later via `Want`, so the
+/// lazy-push plane itself covers late receivers (the role scouts play
+/// for raw multicast). Under `Dissemination::Multicast` (or no repair
+/// plane at all, as on the `mem` backend) this is a bare multicast of a
+/// recorded, repairable message — still correct because the transport
+/// delivery is lossless or repaired.
+pub fn bcast_gossip<C: Comm>(
+    c: &mut C,
+    tags: OpTags,
+    root: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), RecvError> {
+    if c.size() == 1 {
+        return Ok(());
+    }
     let tag = tags.tag(Phase::Data);
     if c.rank() == root {
         c.mcast_kind(tag, MsgKind::Data, &Bytes::from(&*buf));

@@ -104,6 +104,14 @@ pub struct HostStack {
     /// queue and swallowed when it fires). Lives on the host so each
     /// parallel-engine shard cancels its own timers without global state.
     cancelled_timers: HashSet<u64>,
+    /// Payload-crossing tracker ([`NetParams::track_payload_crossings`]):
+    /// `(src_rank, seq, chunk_index)` of every `mcast-mpi` Data chunk that
+    /// has crossed this host's link, or `None` when tracking is off.
+    /// Lives on the host so the state survives the event-loop ->
+    /// frame-engine conversion with no extra plumbing.
+    ///
+    /// [`NetParams::track_payload_crossings`]: crate::params::NetParams::track_payload_crossings
+    crossing_seen: Option<HashSet<(u32, u64, u32)>>,
 }
 
 impl HostStack {
@@ -117,7 +125,50 @@ impl HostStack {
             rx_buffer_limit,
             strict_posted_recv,
             cancelled_timers: HashSet::new(),
+            crossing_seen: None,
         }
+    }
+
+    /// Enable (or disable) per-link payload-crossing tracking. Pure
+    /// bookkeeping: no RNG draws, no timing effect — enabling it never
+    /// perturbs a run's schedule.
+    pub fn set_track_crossings(&mut self, on: bool) {
+        self.crossing_seen = if on { Some(HashSet::new()) } else { None };
+    }
+
+    /// Record a completed datagram crossing this host's link. Returns
+    /// `Some(duplicate)` when tracking is on and the datagram is an
+    /// `mcast-mpi` Data chunk — `duplicate` is true when the same
+    /// `(src_rank, seq, chunk_index)` already crossed this link. Returns
+    /// `None` for control traffic, foreign payloads, or when tracking is
+    /// off.
+    ///
+    /// The simulator is deliberately payload-agnostic everywhere else;
+    /// this peeks at the fixed 40-byte `mmpi-wire` header (magic 0x4D43,
+    /// little-endian fields) without depending on the wire crate.
+    pub fn note_crossing(&mut self, dg: &Datagram) -> Option<bool> {
+        let seen = self.crossing_seen.as_mut()?;
+        // Gather the first 32 header bytes across payload segments.
+        let mut hdr = [0u8; 32];
+        let mut filled = 0;
+        for s in dg.payload.segments() {
+            let take = (32 - filled).min(s.len());
+            hdr[filled..filled + take].copy_from_slice(&s[..take]);
+            filled += take;
+            if filled == 32 {
+                break;
+            }
+        }
+        let magic = u16::from_le_bytes([hdr[0], hdr[1]]);
+        if filled < 32 || magic != 0x4D43 || hdr[3] != 0 {
+            return None; // not an mcast-mpi Data chunk
+        }
+        let src_rank = u32::from_le_bytes([hdr[8], hdr[9], hdr[10], hdr[11]]);
+        let seq = u64::from_le_bytes([
+            hdr[16], hdr[17], hdr[18], hdr[19], hdr[20], hdr[21], hdr[22], hdr[23],
+        ]);
+        let chunk_index = u32::from_le_bytes([hdr[28], hdr[29], hdr[30], hdr[31]]);
+        Some(!seen.insert((src_rank, seq, chunk_index)))
     }
 
     /// Lazily cancel the timer scheduled with `token` on this host.

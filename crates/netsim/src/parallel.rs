@@ -146,6 +146,7 @@ struct ShardDelta {
     payload_bytes_sent: u64,
     wire_bytes_sent: u64,
     switch_buffer_drops: u64,
+    unicast_only_drops: u64,
     rx_buffer_drops: u64,
     unposted_recv_drops: u64,
     injected_frame_losses: u64,
@@ -820,6 +821,7 @@ fn fold_delta(stats: &mut NetStats, h: usize, d: ShardDelta) {
     stats.payload_bytes_sent += d.payload_bytes_sent;
     stats.wire_bytes_sent += d.wire_bytes_sent;
     stats.switch_buffer_drops += d.switch_buffer_drops;
+    stats.unicast_only_drops += d.unicast_only_drops;
     stats.rx_buffer_drops += d.rx_buffer_drops;
     stats.unposted_recv_drops += d.unposted_recv_drops;
     stats.injected_frame_losses += d.injected_frame_losses;
@@ -839,6 +841,8 @@ fn fold_delta(stats: &mut NetStats, h: usize, d: ShardDelta) {
     l.injected_reorders += d.link.injected_reorders;
     l.delayed_frames += d.link.delayed_frames;
     l.partition_drops += d.link.partition_drops;
+    l.data_chunks_delivered += d.link.data_chunks_delivered;
+    l.duplicate_data_chunks += d.link.duplicate_data_chunks;
 }
 
 fn worker_loop(shared: &Shared, worker_id: usize) {
@@ -1175,13 +1179,13 @@ impl ShardCtx<'_> {
             }
             FramePayload::Fragment { .. } => {
                 let at = now + self.shared.latency;
-                let targets = self
-                    .shared
-                    .tables
-                    .read()
-                    .unwrap()
-                    .forward_set(&frame, in_port)
-                    .ports;
+                let tables = self.shared.tables.read().unwrap();
+                if tables.unicast_only() && matches!(frame.dst, FrameDst::Multicast(_)) {
+                    self.shard.delta.unicast_only_drops += 1;
+                    return;
+                }
+                let targets = tables.forward_set(&frame, in_port).ports;
+                drop(tables);
                 if self.shared.direct {
                     // Single-worker fast path: this thread is the only
                     // one running, so the destination inbox can be
@@ -1400,6 +1404,12 @@ impl ShardCtx<'_> {
             let (index, count) = (*index, *count);
             let complete = self.shard.host.receive_fragment(&datagram, index, count);
             if let Some(dg) = complete {
+                if let Some(dup) = self.shard.host.note_crossing(&dg) {
+                    self.shard.delta.link.data_chunks_delivered += 1;
+                    if dup {
+                        self.shard.delta.link.duplicate_data_chunks += 1;
+                    }
+                }
                 self.deliver_datagram(dg);
             }
         }

@@ -226,6 +226,13 @@ pub struct SwitchParams {
     /// When true the switch floods multicast frames to all ports instead of
     /// using IGMP-snooped membership (an unmanaged switch).
     pub flood_multicast: bool,
+    /// When true the fabric forwards **no** multicast frames at all —
+    /// they are dropped at the switch and tallied in
+    /// [`crate::stats::NetStats::unicast_only_drops`]. Models networks
+    /// with multicast routing disabled (most WANs, many cloud fabrics),
+    /// the regime the epidemic Advr/Want dissemination plane exists for
+    /// (`docs/PROTOCOL.md` §11). Overrides `flood_multicast`.
+    pub unicast_only: bool,
 }
 
 impl Default for SwitchParams {
@@ -235,6 +242,7 @@ impl Default for SwitchParams {
             forwarding_latency: SimDuration::from_micros(10),
             port_buffer_bytes: 512 * 1024,
             flood_multicast: false,
+            unicast_only: false,
         }
     }
 }
@@ -360,6 +368,12 @@ pub struct NetParams {
     /// Injected faults: per-link loss, duplication, reordering, partitions
     /// (all off by default; see [`FaultParams`]).
     pub faults: FaultParams,
+    /// When true, every host tracks which `mcast-mpi` Data chunks have
+    /// crossed its receiving link and tallies repeats in
+    /// [`crate::stats::LinkStats::duplicate_data_chunks`]. Pure
+    /// bookkeeping (no RNG, no timing effect) but off by default to keep
+    /// the memory footprint of long runs flat.
+    pub track_payload_crossings: bool,
 }
 
 impl Default for NetParams {
@@ -371,6 +385,7 @@ impl Default for NetParams {
             fabric: FabricKind::Switch(SwitchParams::default()),
             frame_loss_prob: 0.0,
             faults: FaultParams::default(),
+            track_payload_crossings: false,
         }
     }
 }
@@ -402,6 +417,28 @@ impl NetParams {
     /// Builder-style: replace the whole fault plan.
     pub fn with_faults(mut self, faults: FaultParams) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style: disable multicast forwarding on the switch fabric
+    /// (see [`SwitchParams::unicast_only`]).
+    ///
+    /// # Panics
+    ///
+    /// On a hub fabric — a shared hub is physical broadcast, there is no
+    /// switch to filter at.
+    pub fn with_unicast_only(mut self) -> Self {
+        match &mut self.fabric {
+            FabricKind::Switch(sp) => sp.unicast_only = true,
+            FabricKind::Hub => panic!("unicast_only needs a switch fabric"),
+        }
+        self
+    }
+
+    /// Builder-style: enable per-link payload-crossing tracking (see
+    /// [`NetParams::track_payload_crossings`]).
+    pub fn with_payload_tracking(mut self) -> Self {
+        self.track_payload_crossings = true;
         self
     }
 

@@ -26,6 +26,14 @@ pub struct LinkStats {
     pub delayed_frames: u64,
     /// Frames dropped because a partition separated sender and receiver.
     pub partition_drops: u64,
+    /// Completed `mcast-mpi` Data chunks that crossed this link (zero
+    /// unless [`crate::params::NetParams::track_payload_crossings`] is
+    /// on). Counts every crossing, including repeats.
+    pub data_chunks_delivered: u64,
+    /// Of those, crossings of a chunk that had already crossed this link
+    /// — the gossip plane's "no payload crosses a link twice" invariant
+    /// holds exactly when this stays zero on every link.
+    pub duplicate_data_chunks: u64,
 }
 
 /// Classification of a transmitted frame for statistics purposes.
@@ -61,6 +69,11 @@ pub struct NetStats {
     pub excessive_collision_drops: u64,
     /// Frames dropped by a full switch output-port buffer.
     pub switch_buffer_drops: u64,
+    /// Multicast frames suppressed by the switch's `unicast_only` fabric
+    /// mode (a network with no multicast routing; see
+    /// [`crate::params::SwitchParams::unicast_only`]). Counted once per
+    /// frame, not per would-be output port.
+    pub unicast_only_drops: u64,
     /// Datagrams dropped because a socket receive buffer was full.
     pub rx_buffer_drops: u64,
     /// Datagrams dropped by strict posted-receive mode (no receive posted).
@@ -142,6 +155,7 @@ impl NetStats {
     pub fn total_drops(&self) -> u64 {
         self.excessive_collision_drops
             + self.switch_buffer_drops
+            + self.unicast_only_drops
             + self.rx_buffer_drops
             + self.unposted_recv_drops
             + self.injected_frame_losses
@@ -173,6 +187,7 @@ impl NetStats {
         self.collisions += other.collisions;
         self.excessive_collision_drops += other.excessive_collision_drops;
         self.switch_buffer_drops += other.switch_buffer_drops;
+        self.unicast_only_drops += other.unicast_only_drops;
         self.rx_buffer_drops += other.rx_buffer_drops;
         self.unposted_recv_drops += other.unposted_recv_drops;
         self.injected_frame_losses += other.injected_frame_losses;
@@ -197,6 +212,8 @@ impl NetStats {
             a.injected_reorders += b.injected_reorders;
             a.delayed_frames += b.delayed_frames;
             a.partition_drops += b.partition_drops;
+            a.data_chunks_delivered += b.data_chunks_delivered;
+            a.duplicate_data_chunks += b.duplicate_data_chunks;
         }
     }
 }

@@ -72,6 +72,9 @@ pub struct SwitchTables {
     n_ports: usize,
     /// Flood multicast instead of snooping.
     flood_multicast: bool,
+    /// Forward no multicast frames at all (see
+    /// [`crate::params::SwitchParams::unicast_only`]).
+    unicast_only: bool,
 }
 
 /// Where a frame must be forwarded.
@@ -89,12 +92,25 @@ impl SwitchTables {
             group_table: HashMap::new(),
             n_ports,
             flood_multicast,
+            unicast_only: false,
         }
     }
 
     /// Number of ports.
     pub fn port_count(&self) -> usize {
         self.n_ports
+    }
+
+    /// Enable (or disable) unicast-only mode: multicast frames get an
+    /// empty forwarding set. Callers count the suppressed frames
+    /// themselves (per ingress frame, not per port).
+    pub fn set_unicast_only(&mut self, on: bool) {
+        self.unicast_only = on;
+    }
+
+    /// True when multicast forwarding is disabled.
+    pub fn unicast_only(&self) -> bool {
+        self.unicast_only
     }
 
     /// Learn that `host` is reachable via `port` (called on every ingress).
@@ -151,7 +167,9 @@ impl SwitchTables {
                 None => all_but_ingress(), // unknown unicast: flood
             },
             Multicast(group) => {
-                if self.flood_multicast {
+                if self.unicast_only {
+                    Vec::new()
+                } else if self.flood_multicast {
                     all_but_ingress()
                 } else {
                     self.group_members(group)
@@ -196,6 +214,11 @@ impl Switch {
     /// The forwarding tables.
     pub fn tables(&self) -> &SwitchTables {
         &self.tables
+    }
+
+    /// Enable (or disable) unicast-only mode on the forwarding tables.
+    pub fn set_unicast_only(&mut self, on: bool) {
+        self.tables.set_unicast_only(on);
     }
 
     /// Split into `(tables, ports, buffer_limit)` — the parallel engine's

@@ -523,17 +523,22 @@ impl EventEngine {
     fn new(n: usize, params: NetParams, seed: u64) -> Self {
         let hosts = (0..n)
             .map(|i| {
-                HostStack::new(
+                let mut h = HostStack::new(
                     HostId(i as u32),
                     params.host.rx_buffer_bytes,
                     params.host.strict_posted_recv,
-                )
+                );
+                if params.track_payload_crossings {
+                    h.set_track_crossings(true);
+                }
+                h
             })
             .collect();
         let fabric = match &params.fabric {
             FabricKind::Hub => Fabric::Hub(Hub::new()),
             FabricKind::Switch(sp) => {
                 let mut sw = Switch::new(n, sp.port_buffer_bytes, sp.flood_multicast);
+                sw.set_unicast_only(sp.unicast_only);
                 // Static star topology: port i <-> host i. Pre-populate the
                 // learning table (a warm ARP/MAC cache) so the first unicast
                 // of a run is not flooded to every port.
@@ -1028,6 +1033,10 @@ impl EventEngine {
         let Fabric::Switch(sw) = &mut self.fabric else {
             unreachable!();
         };
+        if sw.tables().unicast_only() && matches!(frame.dst, crate::frame::FrameDst::Multicast(_)) {
+            self.stats.unicast_only_drops += 1;
+            return;
+        }
         let targets = sw.forward_set(&frame, in_port).ports;
         for port in targets {
             self.port_enqueue_frame(frame.clone(), port);
@@ -1203,6 +1212,13 @@ impl EventEngine {
         {
             let complete = self.hosts[host.index()].receive_fragment(datagram, *index, *count);
             if let Some(dg) = complete {
+                if let Some(dup) = self.hosts[host.index()].note_crossing(&dg) {
+                    let l = self.stats.link_mut(host);
+                    l.data_chunks_delivered += 1;
+                    if dup {
+                        l.duplicate_data_chunks += 1;
+                    }
+                }
                 self.deliver_datagram(host, dg);
             }
         }

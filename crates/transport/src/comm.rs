@@ -45,9 +45,9 @@ use std::time::Duration;
 use mmpi_netsim::rng::SplitMix64;
 use mmpi_wire::{
     split_message, AckHorizonPayload, Assembler, Bytes, Datagram, FailureAnnouncePayload,
-    HeartbeatPayload, HorizonEcho, Message, MsgKind, NackPayload, RepairStats, RetransmitBuffer,
-    SendDst, SourceHorizon, UnavailPayload, WireError, MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES,
-    NACK_TARGET_ANY,
+    GossipDigest, HeartbeatPayload, HorizonEcho, Message, MsgKind, NackPayload, RepairStats,
+    RetransmitBuffer, SeenTable, SendDst, SeqRange, SourceDigest, SourceHorizon, UnavailPayload,
+    WireError, MAX_HORIZON_ACKS, MAX_HORIZON_ECHOES, NACK_TARGET_ANY,
 };
 
 /// Tuning for the NACK/retransmit repair loop shared by the sim and UDP
@@ -141,6 +141,16 @@ pub struct RepairConfig {
     /// [`RecvError::PeerFailed`]. `None` (the default) disables the
     /// layer entirely — byte-identical to the membership-less protocol.
     pub membership: Option<MembershipConfig>,
+    /// How a payload reaches the group (`docs/PROTOCOL.md` §11). The
+    /// default, [`Dissemination::Multicast`], is the paper's setting —
+    /// one datagram on the wire, the fabric fans it out — and is
+    /// byte-identical to the pre-seam protocol. [`Dissemination::Gossip`]
+    /// replaces the fan-out with the epidemic `Advr`/`Want` lazy-push
+    /// pull plane: group sends advertise digests unicast and peers pull
+    /// what they miss, so the stack runs on fabrics where multicast
+    /// structurally cannot (unicast-only switches, partitions with a
+    /// relay).
+    pub dissemination: Dissemination,
 }
 
 impl RepairConfig {
@@ -162,6 +172,7 @@ impl RepairConfig {
             adaptive: false,
             send_window: None,
             membership: None,
+            dissemination: Dissemination::Multicast,
         }
     }
 
@@ -183,6 +194,7 @@ impl RepairConfig {
             adaptive: false,
             send_window: None,
             membership: None,
+            dissemination: Dissemination::Multicast,
         }
     }
 
@@ -251,6 +263,32 @@ impl RepairConfig {
         self
     }
 
+    /// Builder-style: select the epidemic `Advr`/`Want` dissemination
+    /// plane with its default knobs. Arms the ACK-horizon plane at the
+    /// default period if no interval was set — gossip needs the horizon
+    /// frontiers to garbage-collect its per-peer seen tables and relay
+    /// store, exactly as the retransmit ring does.
+    pub fn with_gossip(mut self) -> Self {
+        if self.horizon_interval.is_none() {
+            self.horizon_interval = Some(self.nack_timeout * 4);
+        }
+        self.dissemination = Dissemination::Gossip(GossipConfig::default());
+        self
+    }
+
+    /// True when the epidemic plane is selected.
+    pub fn is_gossip(&self) -> bool {
+        matches!(self.dissemination, Dissemination::Gossip(_))
+    }
+
+    /// The gossip knobs, when the epidemic plane is selected.
+    pub fn gossip(&self) -> Option<GossipConfig> {
+        match self.dissemination {
+            Dissemination::Gossip(g) => Some(g),
+            Dissemination::Multicast => None,
+        }
+    }
+
     /// The horizon period actually used by an endpoint in an `n`-rank
     /// world: the configured interval stretched by `n/2` (floor 1×).
     /// Every endpoint multicasts its session message each period, so
@@ -306,6 +344,76 @@ pub struct MembershipConfig {
     /// Heartbeat intervals a *suspected* peer must stay silent before
     /// the suspicion is confirmed as a failure.
     pub confirm_misses: u32,
+}
+
+impl MembershipConfig {
+    /// The heartbeat period actually used by an endpoint in an `n`-rank
+    /// world: the configured interval stretched by `n/2` (floor 1×) —
+    /// the same constant-bandwidth-share rule
+    /// [`RepairConfig::effective_horizon_interval`] applies to the
+    /// session messages. Every endpoint's standalone beacon is a
+    /// multicast each period, so at a fixed period aggregate beacon
+    /// traffic per receiving link grows linearly with `n`; at N=64 and a
+    /// 2 ms base that is 63 ranks' beacons queuing at the switch every
+    /// 2 ms, which is what blew the confirmation tail to ~770 ms virtual
+    /// in BENCH_8. Scaling the period keeps the aggregate near
+    /// `2/interval` at any size. Suspicion/confirmation bounds already
+    /// use `max(rto, interval)`, so tolerance stretches with the cadence
+    /// automatically.
+    pub fn effective_heartbeat_interval(&self, n: usize) -> Duration {
+        self.heartbeat_interval
+            .saturating_mul((n as u32 / 2).max(1))
+    }
+}
+
+/// The dissemination plane: how a group send's payload reaches every
+/// member (`docs/PROTOCOL.md` §11). Selected per endpoint via
+/// [`RepairConfig::dissemination`]; both impls share the sequence space,
+/// the retransmit ring, the ACK-horizon GC, and the membership layer —
+/// only the "who transmits the payload bytes, and when" decision moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dissemination {
+    /// The paper's setting: one datagram on the wire, the fabric (IP
+    /// multicast or the simulated switch's flood/snoop) fans it out.
+    /// The default, byte-identical to the pre-seam protocol.
+    Multicast,
+    /// Epidemic lazy-push pull: a group send *records* the payload and
+    /// unicasts a compact `Advr` digest to each live peer; peers answer
+    /// with `Want` pulls for ids they miss, served unicast out of the
+    /// retransmit ring (origin) or the relay store (receivers re-Advr
+    /// what they hold, so partitioned-from-origin peers pull from any
+    /// reachable relay). Each payload crosses each receiving link at
+    /// most once. Control traffic (horizons, beacons, failure floods,
+    /// NACK solicits) also goes unicast-per-peer — under this plane the
+    /// fabric is assumed to have no working multicast at all.
+    Gossip(GossipConfig),
+}
+
+/// Knobs of the epidemic plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Re-issue an unanswered `Want` after this many repair timeouts
+    /// (`nack_timeout`, or the adaptive per-peer RTO), stretched by the
+    /// `n/2` constant-bandwidth-share factor (see
+    /// `EndpointCore::want_retry_after`), rotating to a different
+    /// advertiser when one is known. Keeps a lost pull from stalling
+    /// delivery forever without re-pulling answers that are merely
+    /// queued behind a collective's fan-in burst.
+    pub want_retry_factor: u32,
+    /// Capacity of the relay store (messages): payloads this endpoint
+    /// received and re-advertises so partitioned peers can pull from it.
+    /// Bounded like the retransmit ring; the ACK-horizon plane frees
+    /// fully-acknowledged entries first.
+    pub relay_cap: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            want_retry_factor: 2,
+            relay_cap: mmpi_wire::DEFAULT_RETRANSMIT_CAP,
+        }
+    }
 }
 
 /// Typed unrecoverable-loss errors a repair-enabled receive can surface
@@ -785,6 +893,15 @@ pub struct Inbox {
     unavail: VecDeque<Message>,
     horizons: VecDeque<Message>,
     membership: VecDeque<Message>,
+    /// Gossip-plane control (`Advr`/`Want`), diverted like horizons:
+    /// out-of-band sequence space, never application-matchable.
+    gossip: VecDeque<Message>,
+    /// When set (gossip plane armed), every accepted `Data` message is
+    /// also logged here for the endpoint's relay store — receivers
+    /// re-advertise what they hold so partitioned peers can pull from
+    /// any reachable relay. Off (and empty) under multicast.
+    log_data: bool,
+    data_log: VecDeque<Message>,
     assembler: Assembler,
     seen: HashMap<u32, HashSet<u64>>,
     /// Per-source high-water mark of accepted seqs (bounds the
@@ -832,6 +949,9 @@ impl Inbox {
             unavail: VecDeque::new(),
             horizons: VecDeque::new(),
             membership: VecDeque::new(),
+            gossip: VecDeque::new(),
+            log_data: false,
+            data_log: VecDeque::new(),
             assembler: Assembler::new(),
             seen: HashMap::new(),
             seen_max: HashMap::new(),
@@ -900,6 +1020,8 @@ impl Inbox {
                     | MsgKind::AckHorizon
                     | MsgKind::Heartbeat
                     | MsgKind::FailureAnnounce
+                    | MsgKind::Advr
+                    | MsgKind::Want
             );
             // ...and the *next* epoch's repair plane is already open:
             // mid-shrink, the survivors that rebased first must keep
@@ -927,6 +1049,20 @@ impl Inbox {
             self.membership.push_back(m);
             if self.membership.len() > 64 {
                 self.membership.pop_front();
+            }
+            return;
+        }
+        if matches!(m.kind, MsgKind::Advr | MsgKind::Want) {
+            // Gossip-plane control: like horizons and beacons it lives in
+            // the out-of-band control sequence space (a lost digest must
+            // never become an unanswerable data hole), so it is diverted
+            // before the seq tracking. Bounded queue: digests are
+            // cumulative — a later `Advr` re-covers anything a shed one
+            // carried — and an unanswered `Want` is re-issued by the
+            // requester's retry timer.
+            self.gossip.push_back(m);
+            if self.gossip.len() > 256 {
+                self.gossip.pop_front();
             }
             return;
         }
@@ -982,12 +1118,42 @@ impl Inbox {
             }
             return;
         }
+        if self.log_data && m.kind == MsgKind::Data {
+            // Relay feed (gossip plane): remember accepted payloads so
+            // this endpoint can re-advertise and answer pulls for them.
+            // Clone is handle-bumps only — `Message` payloads are shared
+            // `Bytes` views. Bounded: the relay store drains this every
+            // pump; shedding the oldest under a flood only costs a relay
+            // opportunity, never delivery.
+            self.data_log.push_back(m.clone());
+            if self.data_log.len() > 256 {
+                self.data_log.pop_front();
+            }
+        }
         self.unmatched.push_back(m);
     }
 
     /// Take the oldest pending repair solicitation, if any.
     pub fn take_nack(&mut self) -> Option<Message> {
         self.nacks.pop_front()
+    }
+
+    /// Take the oldest pending gossip control message (`Advr`/`Want`),
+    /// if any.
+    pub fn take_gossip(&mut self) -> Option<Message> {
+        self.gossip.pop_front()
+    }
+
+    /// Arm the relay feed: accepted `Data` messages are also logged for
+    /// [`Inbox::take_data_log`]. Called once when the gossip plane is
+    /// selected — under multicast the log stays off and empty.
+    pub fn set_log_data(&mut self, on: bool) {
+        self.log_data = on;
+    }
+
+    /// Take the oldest logged `Data` message (relay feed), if any.
+    pub fn take_data_log(&mut self) -> Option<Message> {
+        self.data_log.pop_front()
     }
 
     /// Take the oldest pending ACK-horizon session message, if any.
@@ -999,6 +1165,14 @@ impl Inbox {
     /// `FailureAnnounce`), if any.
     pub fn take_membership(&mut self) -> Option<Message> {
         self.membership.pop_front()
+    }
+
+    /// True when a message `(src, seq)` has already been accepted past
+    /// the dedup layer — the gossip plane's "do I hold this id" test (a
+    /// pulled payload is delivered through the same dedup, so an id in
+    /// here is an id this endpoint, or its application, has).
+    pub fn has_seen(&self, src: u32, seq: u64) -> bool {
+        self.seen.get(&src).is_some_and(|s| s.contains(&seq))
     }
 
     /// Messages accepted from `src` so far (the liveness counter the
@@ -1054,13 +1228,13 @@ impl Inbox {
     /// conservative (covers more, suppresses less) and preserves the
     /// lowest hole, which the responder's eviction-horizon check relies
     /// on. Never empty: "no information" would disable that check.
-    pub fn missing_from(&self, src: u32) -> Vec<mmpi_wire::SeqRange> {
+    pub fn missing_from(&self, src: u32) -> Vec<SeqRange> {
         /// Sequence distance below the high-water mark inside which
         /// holes are reported precisely (≥ any sane retransmit ring).
         const PRECISE_WINDOW: u64 = 1024;
         let (Some(seen), Some(&max)) = (self.seen.get(&src), self.seen_max.get(&src)) else {
             // Nothing received from this source yet: everything missing.
-            return vec![mmpi_wire::SeqRange {
+            return vec![SeqRange {
                 start: 0,
                 end: u64::MAX,
             }];
@@ -1072,7 +1246,7 @@ impl Inbox {
         for s in wstart..=max {
             match (seen.contains(&s), hole_start) {
                 (true, Some(start)) => {
-                    out.push(mmpi_wire::SeqRange { start, end: s - 1 });
+                    out.push(SeqRange { start, end: s - 1 });
                     hole_start = None;
                 }
                 (false, None) => hole_start = Some(s),
@@ -1082,7 +1256,7 @@ impl Inbox {
         // Everything above the high-water mark is unseen by definition
         // (`max` itself is always seen, so no hole is open here).
         if max < u64::MAX {
-            out.push(mmpi_wire::SeqRange {
+            out.push(SeqRange {
                 start: max + 1,
                 end: u64::MAX,
             });
@@ -1462,6 +1636,68 @@ impl MemberState {
     }
 }
 
+/// One outstanding gossip pull: the advertiser it was sent to and when
+/// to retry (rotating to another known holder) if no payload lands.
+#[derive(Clone, Copy, Debug)]
+struct WantPending {
+    /// The peer the `Want` was addressed to.
+    peer: u32,
+    /// Retry deadline.
+    at: Nanos,
+}
+
+/// Per-endpoint state of the epidemic dissemination plane
+/// (`docs/PROTOCOL.md` §11). Everything iterated into wire bytes is
+/// `BTreeMap`/`Vec`-backed — replay determinism forbids hash-order
+/// output.
+#[derive(Debug)]
+struct GossipState {
+    cfg: GossipConfig,
+    /// Per-peer: which ids that peer is known to hold (its `Advr`s plus
+    /// the positive half of its ACK-horizon frontiers). Routes pulls and
+    /// retries; GC'd by the horizon plane.
+    peer_seen: Vec<SeenTable>,
+    /// Per-peer: which ids we already advertised to that peer —
+    /// re-advertising is suppressed. GC'd with `peer_seen`.
+    advertised: Vec<SeenTable>,
+    /// Relay store: payloads this endpoint accepted and re-advertises,
+    /// so a peer partitioned from the origin can pull from us. Keyed
+    /// `(src, seq)`; FIFO-evicted at `cfg.relay_cap` via `relay_order`,
+    /// horizon-GC'd first.
+    relay: BTreeMap<(u32, u64), Message>,
+    /// Insertion order of `relay` keys (the FIFO eviction queue).
+    relay_order: VecDeque<(u32, u64)>,
+    /// Outstanding pulls by id. One `Want` in flight per id — the inbox
+    /// dedups any duplicate answers, but not re-pulling at all is what
+    /// keeps each payload to one crossing per link.
+    wanted: BTreeMap<(u32, u64), WantPending>,
+    /// Per-peer frontiers from the horizon plane (`peer → src → that
+    /// peer's advertised SourceHorizon`): the GC quorum for the relay
+    /// store and the tables.
+    frontiers: Vec<BTreeMap<u32, SourceHorizon>>,
+}
+
+impl GossipState {
+    fn new(cfg: GossipConfig, n: usize) -> Self {
+        GossipState {
+            cfg,
+            peer_seen: vec![SeenTable::new(); n],
+            advertised: vec![SeenTable::new(); n],
+            relay: BTreeMap::new(),
+            relay_order: VecDeque::new(),
+            wanted: BTreeMap::new(),
+            frontiers: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Earliest outstanding pull retry, if any — folded into the park
+    /// deadline so a lost `Want` or answer is re-solicited even from an
+    /// endpoint parked in a wait loop.
+    fn earliest_retry(&self) -> Option<Nanos> {
+        self.wanted.values().map(|w| w.at).min()
+    }
+}
+
 /// One posted receive in the endpoint's request table: its matcher, its
 /// private NACK solicitation deadline, and — once the progress engine
 /// completes it — the parked result awaiting a claim.
@@ -1498,6 +1734,10 @@ pub struct EndpointCore {
     srm: Option<SrmState>,
     horizon: Option<HorizonState>,
     member: Option<MemberState>,
+    /// Epidemic dissemination state; `None` under the `Multicast` plane
+    /// (every gossip hook is gated on it, so the multicast paths draw
+    /// and send byte-identically to the pre-seam protocol).
+    gossip: Option<GossipState>,
     /// The context this endpoint was created with; epoch rebases derive
     /// each epoch's context from it ([`EndpointCore::rebase_epoch`]).
     base_context: u32,
@@ -1510,6 +1750,39 @@ pub struct EndpointCore {
     /// Posted receives, in post order (the matching priority).
     pending: Vec<PendingRecv>,
     next_req: u64,
+}
+
+/// Intern a flat id list into wire digests: group by source, coalesce
+/// into ranges, and split across as many digests as the codec caps
+/// require — never silently dropping an id (the encoder's drop-tail rule
+/// is a backstop, not the plan).
+fn digests_of(ids: &[(u32, u64)]) -> Vec<GossipDigest> {
+    let mut by_src: BTreeMap<u32, Vec<SeqRange>> = BTreeMap::new();
+    for &(src, seq) in ids {
+        by_src.entry(src).or_default().push(SeqRange {
+            start: seq,
+            end: seq,
+        });
+    }
+    let mut out = Vec::new();
+    let mut cur: Vec<SourceDigest> = Vec::new();
+    for (src, ranges) in by_src {
+        for chunk in mmpi_wire::compact_ranges(ranges).chunks(mmpi_wire::MAX_DIGEST_RANGES) {
+            if cur.len() == mmpi_wire::MAX_DIGEST_SOURCES {
+                out.push(GossipDigest {
+                    entries: std::mem::take(&mut cur),
+                });
+            }
+            cur.push(SourceDigest {
+                src,
+                ranges: chunk.to_vec(),
+            });
+        }
+    }
+    if !cur.is_empty() {
+        out.push(GossipDigest { entries: cur });
+    }
+    out
 }
 
 /// The message context of `epoch` for a communicator whose epoch-0
@@ -1541,6 +1814,10 @@ impl EndpointCore {
         if repair.and_then(|r| r.membership).is_some() {
             inbox.next_context = Some(epoch_context(context, 1));
         }
+        let gossip_cfg = repair.and_then(|r| r.gossip());
+        if gossip_cfg.is_some() {
+            inbox.set_log_data(true);
+        }
         EndpointCore {
             context,
             rank,
@@ -1561,6 +1838,7 @@ impl EndpointCore {
             member: repair
                 .and_then(|r| r.membership)
                 .map(|_| MemberState::new(n)),
+            gossip: gossip_cfg.map(|g| GossipState::new(g, n)),
             base_context: context,
             left: false,
             cancels: CancelSink::new(),
@@ -1683,7 +1961,14 @@ impl EndpointCore {
         seq
     }
 
-    /// The shared multicast send path (see [`EndpointCore::send_message`]).
+    /// The shared *group* send path (see [`EndpointCore::send_message`]) —
+    /// the dissemination seam. Under [`Dissemination::Multicast`] the
+    /// encoded message goes out as one fabric multicast, byte-identical
+    /// to the pre-seam protocol. Under [`Dissemination::Gossip`] the
+    /// payload is only *recorded* (as a `Multicast` record, so any
+    /// requester may pull it) and a compact `Advr` digest is unicast to
+    /// every live peer instead — lazy push; the payload itself crosses a
+    /// link only when a peer answers with a `Want`.
     pub fn mcast_message<P: RepairPump>(
         &mut self,
         io: &mut P,
@@ -1697,9 +1982,29 @@ impl EndpointCore {
         let seq = self.fresh_seq();
         let dgs = self.encode(tag, kind, payload, seq);
         self.record_if_armed(seq, SendDst::Multicast, tag, kind, &dgs);
-        io.send_encoded_mcast(&dgs);
+        if self.gossip.is_some() {
+            self.advertise_ids(io, &[(self.rank as u32, seq)]);
+        } else {
+            io.send_encoded_mcast(&dgs);
+        }
         self.note_tx(io);
         seq
+    }
+
+    /// Put an encoded control message in front of the whole group: one
+    /// fabric multicast under the `Multicast` plane, a unicast per live
+    /// peer under `Gossip` (whose fabric is assumed to have no working
+    /// multicast at all).
+    fn group_transmit<P: RepairPump>(&self, io: &mut P, dgs: &[Datagram]) {
+        if self.gossip.is_some() {
+            for p in 0..self.n {
+                if p != self.rank && !self.peer_dead(p) {
+                    io.send_encoded(p, dgs);
+                }
+            }
+        } else {
+            io.send_encoded_mcast(dgs);
+        }
     }
 
     /// Stamp an outbound *multicast* for the membership layer's "quiet"
@@ -1798,8 +2103,10 @@ impl EndpointCore {
         }
     }
 
-    /// Re-multicast under an explicit (previously used) sequence number —
-    /// already recorded when first sent, so no re-record.
+    /// Re-send to the group under an explicit (previously used) sequence
+    /// number — already recorded when first sent, so no re-record. Under
+    /// gossip the re-send goes unicast per live peer (receivers that
+    /// already hold the seq dedup it).
     pub fn mcast_resend_message<P: RepairPump>(
         &mut self,
         io: &mut P,
@@ -1809,7 +2116,7 @@ impl EndpointCore {
         seq: u64,
     ) {
         let dgs = self.encode(tag, kind, payload, seq);
-        io.send_encoded_mcast(&dgs);
+        self.group_transmit(io, &dgs);
     }
 
     /// Answer every queued NACK out of the retransmit buffer. With SRM
@@ -1868,7 +2175,12 @@ impl EndpointCore {
             // flight) — only that satisfies the solicit.
             let mut matched_any = false;
             let mut answered = false;
-            let mut mcast_guard = self.srm.as_mut();
+            // Under gossip the fabric has no multicast: every repair is
+            // a unicast to the requester, and the responder-side repeat
+            // suppression does not apply (each requester needs its own
+            // copy — there is no shared repair for peers to overhear).
+            let gossip_on = self.gossip.is_some();
+            let mut mcast_guard = self.srm.as_mut().filter(|_| !gossip_on);
             for record in self.rtx.matching(requester, nack.tag) {
                 matched_any = true;
                 if !payload.covers(record.seq) {
@@ -1970,9 +2282,25 @@ impl EndpointCore {
                     *slot = Some(f.clone());
                 }
             }
+            if let Some(g) = &mut self.gossip {
+                // Gossip feed: a frontier is positive knowledge — the
+                // peer *holds* its acknowledged prefix — and the GC
+                // quorum for the relay store and tables.
+                for f in &p.acks {
+                    let prefix = match f.missing.iter().map(|r| r.start).min() {
+                        Some(first) => first.checked_sub(1),
+                        None => Some(f.hwm),
+                    };
+                    if let Some(end) = prefix {
+                        g.peer_seen[peer as usize].note_range(f.src, SeqRange { start: 0, end });
+                    }
+                    g.frontiers[peer as usize].insert(f.src, f.clone());
+                }
+            }
         }
         if applied {
             self.gc_acked();
+            self.gc_gossip();
         }
     }
 
@@ -2002,6 +2330,330 @@ impl EndpointCore {
             SendDst::Rank(d) => dead[d as usize] || acked_by(d as usize, rec.seq),
         });
         self.rstats.acked_records_freed += freed;
+    }
+
+    // ------------------------------------------------------------------
+    // The epidemic dissemination plane (`docs/PROTOCOL.md` §11).
+    // ------------------------------------------------------------------
+
+    /// One pass of the gossip state machine, run from every
+    /// [`EndpointCore::advance`]: fold freshly accepted payloads into the
+    /// relay store and advertise them, ingest queued `Advr`s (pulling
+    /// what we miss) and `Want`s (answering out of the ring or relay),
+    /// then re-issue expired pulls. No-op — with no clock read and no
+    /// RNG draw — under the `Multicast` plane, so multicast replay stays
+    /// byte-identical to the pre-seam protocol.
+    fn service_gossip<P: RepairPump>(&mut self, io: &mut P) {
+        let Some(mut g) = self.gossip.take() else {
+            return;
+        };
+        // 1. Relay feed: every payload the inbox accepted becomes
+        //    answerable here and is advertised onward — the epidemic
+        //    relay that lets a peer partitioned from the origin pull
+        //    from whoever it *can* reach.
+        let mut fresh: Vec<(u32, u64)> = Vec::new();
+        while let Some(m) = self.inbox.take_data_log() {
+            let src = m.src_rank;
+            if src as usize >= self.n {
+                continue;
+            }
+            let key = (src, m.seq);
+            if g.relay.contains_key(&key) {
+                continue;
+            }
+            // The origin of a payload holds it by definition.
+            g.peer_seen[src as usize].note(src, m.seq);
+            g.relay.insert(key, m);
+            g.relay_order.push_back(key);
+            while g.relay.len() > g.cfg.relay_cap.max(1) {
+                match g.relay_order.pop_front() {
+                    Some(old) => {
+                        g.relay.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            fresh.push(key);
+        }
+        if !fresh.is_empty() {
+            self.advertise_to_peers(io, &mut g, &fresh);
+        }
+        // 2. Queued gossip control.
+        while let Some(msg) = self.inbox.take_gossip() {
+            let peer = msg.src_rank as usize;
+            if peer >= self.n || peer == self.rank {
+                continue; // stray traffic on a real port
+            }
+            let Ok(digest) = GossipDigest::decode(&msg.payload) else {
+                continue; // malformed stray traffic
+            };
+            match msg.kind {
+                MsgKind::Advr => self.ingest_advr(io, &mut g, peer, &digest),
+                MsgKind::Want => self.answer_want(io, &mut g, peer, &digest),
+                _ => {}
+            }
+        }
+        // 3. Expired pulls rotate to another known holder.
+        self.retry_wants(io, &mut g);
+        self.gossip = Some(g);
+    }
+
+    /// Lazy-push step of [`EndpointCore::mcast_message`]: advertise the
+    /// freshly recorded ids to every live peer (via
+    /// [`EndpointCore::advertise_to_peers`]). No-op under `Multicast`.
+    fn advertise_ids<P: RepairPump>(&mut self, io: &mut P, ids: &[(u32, u64)]) {
+        let Some(mut g) = self.gossip.take() else {
+            return;
+        };
+        self.advertise_to_peers(io, &mut g, ids);
+        self.gossip = Some(g);
+    }
+
+    /// Unicast an `Advr` digest of `ids` to every live peer that is not
+    /// already known (or already told) to hold them. The per-peer
+    /// `advertised` table is what keeps re-sends and relay loops from
+    /// amplifying: an id is pushed at a peer once, ever, per endpoint.
+    fn advertise_to_peers<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        g: &mut GossipState,
+        ids: &[(u32, u64)],
+    ) {
+        for p in 0..self.n {
+            if p == self.rank || self.peer_dead(p) {
+                continue;
+            }
+            let mut fresh: Vec<(u32, u64)> = Vec::new();
+            for &(src, seq) in ids {
+                if src as usize == p || g.peer_seen[p].contains(src, seq) {
+                    continue; // the origin, or a peer already known to hold it
+                }
+                if !g.advertised[p].note(src, seq) {
+                    continue; // already advertised to this peer
+                }
+                fresh.push((src, seq));
+            }
+            for d in digests_of(&fresh) {
+                self.rstats.advrs_sent += 1;
+                let seq = self.control_seq();
+                let dgs = self.encode(0, MsgKind::Advr, &d.encode(), seq);
+                io.send_encoded(p, &dgs);
+            }
+        }
+    }
+
+    /// Fold one peer's advertisement: every id it names is positive
+    /// knowledge (the peer holds it and will answer pulls); ids we do
+    /// not hold and are not already pulling become a merged `Want` back
+    /// to the advertiser. Ids we already hold count as
+    /// `duplicate_payloads_avoided` — each is a payload that did *not*
+    /// cross our link a second time.
+    fn ingest_advr<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        g: &mut GossipState,
+        peer: usize,
+        digest: &GossipDigest,
+    ) {
+        let me = self.rank as u32;
+        let now = io.now();
+        let mut missing: Vec<(u32, u64)> = Vec::new();
+        for e in &digest.entries {
+            for r in &e.ranges {
+                // Bound the walk: a corrupt range cannot spin us.
+                let end = r.end.min(r.start.saturating_add(4096));
+                for s in r.start..=end {
+                    let newly = g.peer_seen[peer].note(e.src, s);
+                    if e.src == me {
+                        continue; // our own traffic: we hold it
+                    }
+                    if self.inbox.has_seen(e.src, s) || g.relay.contains_key(&(e.src, s)) {
+                        if newly {
+                            self.rstats.duplicate_payloads_avoided += 1;
+                        }
+                        continue;
+                    }
+                    if g.wanted.contains_key(&(e.src, s)) {
+                        continue; // pull in flight; `peer` is a known alternate now
+                    }
+                    let retry = self.want_retry_after(&g.cfg, peer);
+                    g.wanted.insert(
+                        (e.src, s),
+                        WantPending {
+                            peer: peer as u32,
+                            at: now + retry,
+                        },
+                    );
+                    missing.push((e.src, s));
+                }
+            }
+        }
+        self.send_want(io, peer, &missing);
+    }
+
+    /// Unicast a merged `Want` digest of `ids` to `peer` (no-op when
+    /// empty).
+    fn send_want<P: RepairPump>(&mut self, io: &mut P, peer: usize, ids: &[(u32, u64)]) {
+        for d in digests_of(ids) {
+            self.rstats.wants_sent += 1;
+            let seq = self.control_seq();
+            let dgs = self.encode(0, MsgKind::Want, &d.encode(), seq);
+            io.send_encoded(peer, &dgs);
+        }
+    }
+
+    /// Answer one peer's pull: our own traffic replays out of the
+    /// retransmit ring (group records, or unicasts that were addressed
+    /// to the requester — never another rank's point-to-point payload),
+    /// relayed traffic re-encodes from the relay store under the
+    /// *origin's* rank and sequence number, so the requester's dedup and
+    /// matching treat the relayed copy exactly like the original. Ids we
+    /// no longer hold go unanswered — the requester's retry rotates to
+    /// another holder, and the NACK plane backstops it.
+    fn answer_want<P: RepairPump>(
+        &mut self,
+        io: &mut P,
+        g: &mut GossipState,
+        peer: usize,
+        digest: &GossipDigest,
+    ) {
+        let me = self.rank as u32;
+        for e in &digest.entries {
+            for r in &e.ranges {
+                let end = r.end.min(r.start.saturating_add(4096));
+                for s in r.start..=end {
+                    if e.src == me {
+                        let answer = self
+                            .rtx
+                            .find_seq(s)
+                            .filter(|rec| rec.matches(peer as u32, rec.tag))
+                            .map(|rec| rec.datagrams.clone());
+                        if let Some(dgs) = answer {
+                            self.rstats.pulls_answered += 1;
+                            io.send_encoded(peer, &dgs);
+                        }
+                    } else if let Some(m) = g.relay.get(&(e.src, s)) {
+                        let dgs = split_message(
+                            m.kind,
+                            m.context,
+                            m.src_rank,
+                            m.tag,
+                            m.seq,
+                            &m.payload,
+                            self.max_chunk,
+                        );
+                        self.rstats.pulls_answered += 1;
+                        io.send_encoded(peer, &dgs);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retire pulls whose payload landed, then re-issue expired ones —
+    /// rotated to the next live peer known to hold the id, so one slow
+    /// or dead advertiser cannot stall a pull that anyone else could
+    /// answer. An id with no live known holder left is dropped: the
+    /// per-request NACK plane is the backstop for truly lost traffic.
+    fn retry_wants<P: RepairPump>(&mut self, io: &mut P, g: &mut GossipState) {
+        if g.wanted.is_empty() {
+            return;
+        }
+        {
+            let inbox = &self.inbox;
+            g.wanted.retain(|&(src, s), _| !inbox.has_seen(src, s));
+        }
+        if g.wanted.is_empty() {
+            return;
+        }
+        let now = io.now();
+        let expired: Vec<((u32, u64), u32)> = g
+            .wanted
+            .iter()
+            .filter(|(_, w)| now >= w.at)
+            .map(|(&k, w)| (k, w.peer))
+            .collect();
+        let mut per_peer: BTreeMap<usize, Vec<(u32, u64)>> = BTreeMap::new();
+        for (key, prev) in expired {
+            let (src, s) = key;
+            // First live holder ranked strictly after the previous
+            // advertiser, wrapping to the smallest — a deterministic
+            // rotation (no RNG: replay must hold).
+            let next = (0..self.n)
+                .filter(|&p| {
+                    p != self.rank && !self.peer_dead(p) && g.peer_seen[p].contains(src, s)
+                })
+                .min_by_key(|&p| (p as u32 <= prev, p));
+            let Some(peer) = next else {
+                g.wanted.remove(&key);
+                continue;
+            };
+            let retry = self.want_retry_after(&g.cfg, peer);
+            let w = g.wanted.get_mut(&key).expect("expired key still present");
+            w.peer = peer as u32;
+            w.at = now + retry;
+            per_peer.entry(peer).or_default().push(key);
+        }
+        for (peer, ids) in per_peer {
+            self.send_want(io, peer, &ids);
+        }
+    }
+
+    /// Horizon-driven GC of the gossip plane: a relay entry every live
+    /// peer (other than the origin) has acknowledged can never be pulled
+    /// again, and per-source seen/advertised history below the
+    /// group-wide acknowledged floor buys nothing — exactly the quorum
+    /// rule [`EndpointCore::gc_acked`] applies to the retransmit ring.
+    fn gc_gossip(&mut self) {
+        if self.gossip.is_none() {
+            return;
+        }
+        let dead: Vec<bool> = (0..self.n).map(|p| self.peer_dead(p)).collect();
+        let (me, n) = (self.rank, self.n);
+        let g = self.gossip.as_mut().expect("checked");
+        let quorum = |g: &GossipState, src: u32, seq: u64| {
+            (0..n)
+                .filter(|&p| p != me && p != src as usize && !dead[p])
+                .all(|p| g.frontiers[p].get(&src).is_some_and(|f| f.acks(seq)))
+        };
+        let drop_keys: Vec<(u32, u64)> = g
+            .relay
+            .keys()
+            .filter(|&&(src, seq)| quorum(g, src, seq))
+            .copied()
+            .collect();
+        for k in &drop_keys {
+            g.relay.remove(k);
+        }
+        // Per-source floors for the tables: the contiguous prefix every
+        // live peer's frontier acknowledges.
+        let srcs: Vec<u32> = {
+            let mut s: Vec<u32> = g.frontiers.iter().flat_map(|f| f.keys().copied()).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        for src in srcs {
+            let floor = (0..n)
+                .filter(|&p| p != me && p != src as usize && !dead[p])
+                .map(|p| {
+                    g.frontiers[p].get(&src).map_or(0, |f| {
+                        match f.missing.iter().map(|r| r.start).min() {
+                            Some(first) => first.saturating_sub(1),
+                            None => f.hwm,
+                        }
+                    })
+                })
+                .min()
+                .unwrap_or(0);
+            if floor == 0 {
+                continue;
+            }
+            for p in 0..n {
+                g.peer_seen[p].release_below(src, floor);
+                g.advertised[p].release_below(src, floor);
+            }
+        }
     }
 
     /// Multicast our ACK-horizon session message when its period is due:
@@ -2074,7 +2726,7 @@ impl EndpointCore {
         let seq = HORIZON_SEQ_BASE | hz.seq;
         hz.seq += 1;
         let dgs = self.encode(0, MsgKind::AckHorizon, &payload, seq);
-        io.send_encoded_mcast(&dgs);
+        self.group_transmit(io, &dgs);
         if let Some(m) = &mut self.member {
             m.last_tx_at = now;
         }
@@ -2113,6 +2765,21 @@ impl EndpointCore {
             }
             _ => (base_t, base_b),
         }
+    }
+
+    /// How long an outstanding `Want` waits before rotating to another
+    /// holder: `want_retry_factor` repair timeouts, stretched by `n/2`
+    /// (floor 1×) — the constant-bandwidth-share rule again. A
+    /// collective phase advertises from up to `n-1` origins at once, so
+    /// a pull answer's latency includes the fan-in queue *and* the
+    /// advertiser's service cadence; an unscaled deadline fires while
+    /// the answer is still in flight and the duplicate answer breaks
+    /// the one-crossing-per-link property on a clean fabric. Truly lost
+    /// answers still recover: first by this rotation, ultimately by the
+    /// per-request NACK plane.
+    fn want_retry_after(&self, cfg: &GossipConfig, peer: usize) -> Nanos {
+        let (t, _) = self.repair_timers(Some(peer));
+        t.max(1) * u64::from(cfg.want_retry_factor.max(1)) * (self.n as u64 / 2).max(1)
     }
 
     /// Record the NACK→repair RTT sampling point: a matched arrival from
@@ -2171,7 +2838,17 @@ impl EndpointCore {
             self.rstats.nacks_sent += 1;
             let seq = self.fresh_seq();
             let dgs = self.encode(tag, MsgKind::Nack, &payload, seq);
-            io.send_solicit(src, &dgs);
+            if self.gossip.is_some() {
+                // No multicast to overhear: the solicit goes straight to
+                // the awaited source (or to every live peer when
+                // any-source — each may hold a relayed copy).
+                match src {
+                    Some(s) => io.send_encoded(s, &dgs),
+                    None => self.group_transmit(io, &dgs),
+                }
+            } else {
+                io.send_solicit(src, &dgs);
+            }
         } else {
             match src {
                 // Directed: the empty payload is the PR-2 wire form,
@@ -2206,9 +2883,20 @@ impl EndpointCore {
     /// receivers so one solicit goes out first and the rest overhear it.
     /// With adaptivity on, both terms are the RTT-derived per-peer pair
     /// of [`EndpointCore::repair_timers`] for a directed `src`.
+    ///
+    /// Under the gossip dissemination plane the deadline is stretched by
+    /// the same `n/2` factor as the `Want` rotation: there, normal
+    /// delivery *is* the Advr→Want→answer pull (plus its fan-in
+    /// queueing), so an unstretched NACK races the pull and its
+    /// retransmission puts a second copy of the payload on a link the
+    /// pull already crossed. The NACK plane stays the final backstop —
+    /// it just fires behind the rotation instead of in front of it.
     fn solicit_deadline<P: RepairPump>(&mut self, io: &mut P, src: Option<usize>) -> Option<Nanos> {
-        self.repair?;
-        let (t, b) = self.repair_timers(src);
+        let rc = self.repair?;
+        let (mut t, b) = self.repair_timers(src);
+        if rc.is_gossip() {
+            t = t.saturating_mul((self.n as u64 / 2).max(1));
+        }
         let mut at = io.now() + t;
         if let Some(srm) = &mut self.srm {
             if b > 0 {
@@ -2317,6 +3005,7 @@ impl EndpointCore {
         self.emit_horizon_if_due(io);
         self.service_horizons(io);
         self.service_membership(io);
+        self.service_gossip(io);
         self.service_nacks(io);
         for i in 0..self.pending.len() {
             if self.pending[i].done.is_some() {
@@ -2404,7 +3093,11 @@ impl EndpointCore {
             .as_ref()
             .filter(|m| m.started)
             .map(|m| m.next_hb_at);
-        [self.earliest_solicit(), horizon_due, hb_due]
+        // Outstanding gossip pulls: their retry deadlines must wake a
+        // parked endpoint, or a lost Want/answer stalls the pull until
+        // the (much later) NACK backstop.
+        let want_due = self.gossip.as_ref().and_then(GossipState::earliest_retry);
+        [self.earliest_solicit(), horizon_due, hb_due, want_due]
             .into_iter()
             .flatten()
             .min()
@@ -2654,14 +3347,18 @@ impl EndpointCore {
         let grace = self.drain_grace();
         if self.member.is_none() {
             // The membership-less path, byte-for-byte the pre-liveness
-            // behavior: any arrival restarts the full grace.
+            // behavior: any arrival restarts the full grace (the gossip
+            // pass is a strict no-op under multicast).
+            self.service_gossip(io);
             self.service_nacks(io);
             while io.pump_drain(self, grace) {
+                self.service_gossip(io);
                 self.service_nacks(io);
             }
             return;
         }
         let grace = dur_nanos(grace);
+        self.service_gossip(io);
         self.service_nacks(io);
         self.beacon_tick(io);
         let mut quiet_since = io.now();
@@ -2677,6 +3374,7 @@ impl EndpointCore {
             let wake = deadline.min(hb_at.max(now + 1));
             let before = self.inbox.repair_relevant();
             let got = io.pump_drain(self, Duration::from_nanos(wake - now));
+            self.service_gossip(io);
             self.service_nacks(io);
             self.beacon_tick(io);
             if self.inbox.repair_relevant() > before {
@@ -2715,7 +3413,7 @@ impl EndpointCore {
             return;
         }
         let now = io.now();
-        let interval = dur_nanos(mc.heartbeat_interval).max(1);
+        let interval = dur_nanos(mc.effective_heartbeat_interval(self.n)).max(1);
         {
             let m = self.member.as_mut().expect("checked");
             if now < m.next_hb_at {
@@ -2733,7 +3431,7 @@ impl EndpointCore {
         self.rstats.heartbeats_sent += 1;
         let seq = self.control_seq();
         let dgs = self.encode(0, MsgKind::Heartbeat, &pl, seq);
-        io.send_encoded_mcast(&dgs);
+        self.group_transmit(io, &dgs);
     }
 
     /// The drain grace this endpoint actually applies: the
@@ -2874,7 +3572,7 @@ impl EndpointCore {
             .encode();
             let seq = self.control_seq();
             let dgs = self.encode(0, MsgKind::FailureAnnounce, &pl, seq);
-            io.send_encoded_mcast(&dgs);
+            self.group_transmit(io, &dgs);
         }
         self.note_tx(io);
     }
@@ -2894,7 +3592,12 @@ impl EndpointCore {
             return;
         }
         let now = io.now();
-        let interval = dur_nanos(mc.heartbeat_interval).max(1);
+        // The group-size-scaled cadence: at a fixed period every rank's
+        // beacon is a frame on every receiving link, which queues at the
+        // switch as the group grows (the BENCH_8 N=64 confirmation-tail
+        // blowup). Suspicion bounds below use `max(rto, interval)`, so
+        // tolerance stretches with the cadence automatically.
+        let interval = dur_nanos(mc.effective_heartbeat_interval(self.n)).max(1);
         {
             let m = self.member.as_mut().expect("checked");
             if !m.started {
@@ -3021,7 +3724,7 @@ impl EndpointCore {
                 let pl = beacon.encode();
                 let seq = self.control_seq();
                 let dgs = self.encode(0, MsgKind::Heartbeat, &pl, seq);
-                io.send_encoded_mcast(&dgs);
+                self.group_transmit(io, &dgs);
                 self.member.as_mut().expect("checked").last_tx_at = now;
             }
         }
@@ -3248,8 +3951,8 @@ mod tests {
         assert_eq!(
             inbox.missing_from(1),
             vec![
-                mmpi_wire::SeqRange { start: 2, end: 2 },
-                mmpi_wire::SeqRange {
+                SeqRange { start: 2, end: 2 },
+                SeqRange {
                     start: 4,
                     end: u64::MAX
                 },
@@ -3258,7 +3961,7 @@ mod tests {
         // Unknown source: everything is missing (one conservative range).
         assert_eq!(
             inbox.missing_from(7),
-            vec![mmpi_wire::SeqRange {
+            vec![SeqRange {
                 start: 0,
                 end: u64::MAX
             }]
@@ -3273,7 +3976,7 @@ mod tests {
         }
         let ranges = holey.missing_from(1);
         assert!(ranges.len() > mmpi_wire::MAX_NACK_RANGES);
-        assert_eq!(ranges[0], mmpi_wire::SeqRange { start: 1, end: 1 });
+        assert_eq!(ranges[0], SeqRange { start: 1, end: 1 });
         let encoded = NackPayload {
             target: 1,
             missing: ranges,

@@ -61,6 +61,10 @@ pub struct RepairStatsSink {
     heartbeats_sent: AtomicU64,
     suspicions: AtomicU64,
     failures_confirmed: AtomicU64,
+    advrs_sent: AtomicU64,
+    wants_sent: AtomicU64,
+    pulls_answered: AtomicU64,
+    duplicate_payloads_avoided: AtomicU64,
     /// High-water mark (merged by max, like [`RepairStats::merge`]):
     /// the epoch the furthest-along rank reached, not a sum.
     epoch: AtomicU64,
@@ -98,6 +102,12 @@ impl RepairStatsSink {
         self.suspicions.fetch_add(s.suspicions, Ordering::Relaxed);
         self.failures_confirmed
             .fetch_add(s.failures_confirmed, Ordering::Relaxed);
+        self.advrs_sent.fetch_add(s.advrs_sent, Ordering::Relaxed);
+        self.wants_sent.fetch_add(s.wants_sent, Ordering::Relaxed);
+        self.pulls_answered
+            .fetch_add(s.pulls_answered, Ordering::Relaxed);
+        self.duplicate_payloads_avoided
+            .fetch_add(s.duplicate_payloads_avoided, Ordering::Relaxed);
         self.epoch.fetch_max(s.epoch, Ordering::Relaxed);
     }
 
@@ -120,6 +130,10 @@ impl RepairStatsSink {
             heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
             suspicions: self.suspicions.load(Ordering::Relaxed),
             failures_confirmed: self.failures_confirmed.load(Ordering::Relaxed),
+            advrs_sent: self.advrs_sent.load(Ordering::Relaxed),
+            wants_sent: self.wants_sent.load(Ordering::Relaxed),
+            pulls_answered: self.pulls_answered.load(Ordering::Relaxed),
+            duplicate_payloads_avoided: self.duplicate_payloads_avoided.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Relaxed),
         }
     }

@@ -75,6 +75,20 @@ pub enum MsgKind {
     /// [`crate::member::FailureAnnouncePayload`]. Consumed by the
     /// membership layer, never delivered to the application.
     FailureAnnounce = 8,
+    /// Gossip advertisement (epidemic dissemination, `docs/PROTOCOL.md`
+    /// §11): a compact digest of message ids the sender holds and can
+    /// answer pulls for. Carries a [`crate::gossip::GossipDigest`]
+    /// (interned `(src, seq-range)` form, mirroring the NACK range
+    /// codec). Lazy-push: the payload itself stays home until a peer
+    /// answers with a `Want`. Consumed by the dissemination plane, never
+    /// delivered to the application.
+    Advr = 9,
+    /// Gossip pull request: the receiver of an `Advr` names the digest
+    /// entries it is missing and the advertiser answers with unicast
+    /// retransmissions out of its retransmit ring or relay store. Also a
+    /// [`crate::gossip::GossipDigest`]. Consumed by the dissemination
+    /// plane, never delivered to the application.
+    Want = 10,
 }
 
 impl MsgKind {
@@ -90,6 +104,8 @@ impl MsgKind {
             6 => MsgKind::AckHorizon,
             7 => MsgKind::Heartbeat,
             8 => MsgKind::FailureAnnounce,
+            9 => MsgKind::Advr,
+            10 => MsgKind::Want,
             other => return Err(WireError::BadKind(other)),
         })
     }
@@ -314,6 +330,8 @@ mod tests {
             MsgKind::AckHorizon,
             MsgKind::Heartbeat,
             MsgKind::FailureAnnounce,
+            MsgKind::Advr,
+            MsgKind::Want,
         ] {
             assert_eq!(MsgKind::from_u8(kind as u8).unwrap(), kind);
         }

@@ -25,6 +25,7 @@
 
 pub mod assemble;
 pub mod error;
+pub mod gossip;
 pub mod header;
 pub mod member;
 pub mod nack;
@@ -33,6 +34,9 @@ pub mod retransmit;
 pub use assemble::{split_message, Assembler, Datagram, Message};
 pub use bytes::{Bytes, BytesMut};
 pub use error::WireError;
+pub use gossip::{
+    compact_ranges, GossipDigest, SeenTable, SourceDigest, MAX_DIGEST_RANGES, MAX_DIGEST_SOURCES,
+};
 pub use header::{Header, MsgKind, HEADER_LEN, MAGIC, VERSION};
 pub use member::{FailureAnnouncePayload, HeartbeatPayload, HEARTBEAT_LEN, MAX_ANNOUNCE_RANKS};
 pub use nack::{

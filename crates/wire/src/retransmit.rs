@@ -194,6 +194,13 @@ impl RetransmitBuffer {
         self.ring.iter().filter(move |r| r.matches(requester, tag))
     }
 
+    /// The record sent under `seq`, if still buffered. Seqs are unique
+    /// per sender, so this is the gossip plane's `Want`-answer lookup:
+    /// a pull names an exact `(src, seq)` id rather than a tag.
+    pub fn find_seq(&self, seq: u64) -> Option<&SentRecord> {
+        self.ring.iter().find(|r| r.seq == seq)
+    }
+
     /// Messages currently buffered.
     pub fn len(&self) -> usize {
         self.ring.len()
@@ -284,6 +291,20 @@ pub struct RepairStats {
     /// the confirmation misses). Failures adopted from peers' announce
     /// floods are not re-counted.
     pub failures_confirmed: u64,
+    /// Gossip advertisements (`MsgKind::Advr`) this endpoint sent — one
+    /// per (peer, digest) lazy-push cycle under the gossip dissemination
+    /// plane; always zero under multicast.
+    pub advrs_sent: u64,
+    /// Gossip pull requests (`MsgKind::Want`) this endpoint sent for
+    /// advertised ids it was missing.
+    pub wants_sent: u64,
+    /// `Want` requests this endpoint answered with a unicast payload out
+    /// of its retransmit ring or relay store.
+    pub pulls_answered: u64,
+    /// Advertised ids this endpoint declined to pull because it already
+    /// held the payload — the epidemic plane's duplicate-suppression win
+    /// (each skipped pull is a payload that did not cross the link again).
+    pub duplicate_payloads_avoided: u64,
     /// Highest membership epoch this endpoint committed (merged by max —
     /// an epoch is a water mark, not a count).
     pub epoch: u64,
@@ -308,6 +329,10 @@ impl RepairStats {
         self.heartbeats_sent += other.heartbeats_sent;
         self.suspicions += other.suspicions;
         self.failures_confirmed += other.failures_confirmed;
+        self.advrs_sent += other.advrs_sent;
+        self.wants_sent += other.wants_sent;
+        self.pulls_answered += other.pulls_answered;
+        self.duplicate_payloads_avoided += other.duplicate_payloads_avoided;
         self.epoch = self.epoch.max(other.epoch);
     }
 }
@@ -432,7 +457,11 @@ mod tests {
             heartbeats_sent: 14,
             suspicions: 15,
             failures_confirmed: 16,
-            epoch: 17,
+            advrs_sent: 17,
+            wants_sent: 18,
+            pulls_answered: 19,
+            duplicate_payloads_avoided: 20,
+            epoch: 21,
         };
         a.merge(&a.clone());
         assert_eq!(a.nacks_sent, 2);
@@ -450,7 +479,11 @@ mod tests {
         assert_eq!(a.heartbeats_sent, 28);
         assert_eq!(a.suspicions, 30);
         assert_eq!(a.failures_confirmed, 32);
-        assert_eq!(a.epoch, 17, "epoch merges by max, not sum");
+        assert_eq!(a.advrs_sent, 34);
+        assert_eq!(a.wants_sent, 36);
+        assert_eq!(a.pulls_answered, 38);
+        assert_eq!(a.duplicate_payloads_avoided, 40);
+        assert_eq!(a.epoch, 21, "epoch merges by max, not sum");
     }
 
     #[test]

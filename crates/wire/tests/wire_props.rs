@@ -109,3 +109,115 @@ proptest! {
         }
     }
 }
+
+// ---- Advr/Want digest codec (`docs/PROTOCOL.md` §11) ----
+
+use mmpi_wire::gossip::{compact_ranges, GossipDigest, SourceDigest, MAX_DIGEST_RANGES};
+use mmpi_wire::SeqRange;
+
+fn range_strategy() -> impl Strategy<Value = SeqRange> {
+    (0u64..500, 0u64..40).prop_map(|(start, span)| SeqRange {
+        start,
+        end: start + span,
+    })
+}
+
+fn digest_strategy() -> impl Strategy<Value = GossipDigest> {
+    proptest::collection::vec(
+        (0u32..64, proptest::collection::vec(range_strategy(), 0..20)),
+        0..24,
+    )
+    .prop_map(|v| {
+        // Dedup sources and sort by src — the encoder's canonical order.
+        let mut m = std::collections::BTreeMap::new();
+        for (src, ranges) in v {
+            m.entry(src).or_insert(ranges);
+        }
+        GossipDigest {
+            entries: m
+                .into_iter()
+                .map(|(src, ranges)| SourceDigest { src, ranges })
+                .collect(),
+        }
+    })
+}
+
+/// Every id a decoded digest names must have been in the original —
+/// the codec under-advertises past its caps, it never invents ids
+/// (an invented Advr id becomes an unanswerable pull).
+fn assert_subset(decoded: &GossipDigest, original: &GossipDigest) {
+    for e in &decoded.entries {
+        for r in &e.ranges {
+            for s in [r.start, (r.start + r.end) / 2, r.end] {
+                assert!(
+                    original.contains(e.src, s),
+                    "decoded names ({}, {s}) which was never encoded",
+                    e.src
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Roundtrip within the caps: a digest that fits loses nothing —
+    /// decode(encode(d)) names exactly the ids d names, in canonical
+    /// (sorted, disjoint, coalesced) form.
+    #[test]
+    fn gossip_digest_roundtrips_within_caps(d in digest_strategy()) {
+        let decoded = GossipDigest::decode(&GossipDigest::encode(&d)).unwrap();
+        assert_subset(&decoded, &d);
+        for e in &d.entries {
+            let compacted = compact_ranges(e.ranges.clone());
+            if compacted.len() > MAX_DIGEST_RANGES || d.entries.len() > 16 {
+                continue; // over the caps: drop-tail applies, subset already checked
+            }
+            for r in &compacted {
+                for s in [r.start, (r.start + r.end) / 2, r.end] {
+                    prop_assert!(
+                        decoded.contains(e.src, s),
+                        "in-cap id ({}, {s}) lost by the codec", e.src
+                    );
+                }
+            }
+        }
+        // Canonical form: decoded ranges are sorted, disjoint, coalesced.
+        for e in &decoded.entries {
+            prop_assert_eq!(&compact_ranges(e.ranges.clone()), &e.ranges);
+        }
+    }
+
+    /// `compact_ranges` is canonical and lossless: output sorted,
+    /// disjoint, non-adjacent; membership preserved both ways; and the
+    /// function is idempotent.
+    #[test]
+    fn range_compaction_is_canonical(ranges in proptest::collection::vec(range_strategy(), 0..30)) {
+        let out = compact_ranges(ranges.clone());
+        for w in out.windows(2) {
+            prop_assert!(w[0].end.saturating_add(1) < w[1].start,
+                "ranges must stay sorted, disjoint and non-adjacent: {out:?}");
+        }
+        for r in &ranges {
+            for s in [r.start, (r.start + r.end) / 2, r.end] {
+                prop_assert!(out.iter().any(|o| o.contains(s)),
+                    "compaction lost seq {s}");
+            }
+        }
+        for o in &out {
+            for s in [o.start, o.end] {
+                prop_assert!(ranges.iter().any(|r| r.contains(s)),
+                    "compaction invented seq {s}");
+            }
+        }
+        prop_assert_eq!(&compact_ranges(out.clone()), &out);
+    }
+
+    /// The digest decoder never panics on arbitrary bytes, and whatever
+    /// it accepts re-encodes cleanly (no internal inconsistency).
+    #[test]
+    fn digest_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(d) = GossipDigest::decode(&bytes) {
+            let _ = d.encode();
+        }
+    }
+}

@@ -19,9 +19,12 @@
 //!   simulator, real-UDP-multicast and in-memory implementations, plus
 //!   the NACK/retransmit repair loop, the adaptive control plane
 //!   (per-peer RTT estimation, ring GC, send-window back-pressure —
-//!   `docs/PROTOCOL.md` §9) and the membership layer (heartbeat
+//!   `docs/PROTOCOL.md` §9), the membership layer (heartbeat
 //!   liveness, suspicion, failure announcement, epoch rebasing —
-//!   `docs/PROTOCOL.md` §10).
+//!   `docs/PROTOCOL.md` §10), and the pluggable dissemination seam:
+//!   the byte-identical `Multicast` default or the epidemic
+//!   `Advr`/`Want` gossip plane for multicast-less networks
+//!   (`docs/PROTOCOL.md` §11).
 //! * [`core`] — the paper's contribution: broadcast and barrier over IP
 //!   multicast, plus the MPICH point-to-point baselines, the
 //!   nonblocking `ibcast`/`ibarrier`/`iallgather` state machines, and
@@ -81,6 +84,13 @@
 //!                    │         │                 timers, PeerFailed,
 //!                    │         │                 announce flooding,
 //!                    │         │                 epoch-rotated contexts
+//!                    │         │               · dissemination seam:
+//!                    │         │                 Multicast (default,
+//!                    │         │                 byte-identical) | Gossip
+//!                    │         │                 (lazy-push Advr digests,
+//!                    │         │                 Want pulls from ring or
+//!                    │         │                 relay store, n/2-scaled
+//!                    │         │                 retry rotation — §11)
 //!                    ▼         ▼
 //!              mmpi-netsim   mmpi-wire ──────  event-driven net model /
 //!                │                 │           datagram format
@@ -101,7 +111,9 @@
 //!                │  frames, worker-count-invariant — docs/SIMULATOR.md)
 //!                └─ FaultParams: per-link drop · dup · reorder ·
 //!                   partition · heterogeneous extra delay, on a
-//!                   dedicated deterministic RNG stream
+//!                   dedicated deterministic RNG stream; unicast-only
+//!                   fabric mode (multicast dropped-and-counted at the
+//!                   switch) with per-link payload-crossing counters
 //! ```
 //!
 //! # Quickstart

@@ -354,3 +354,83 @@ fn graceful_leave_beats_silent_crash_for_survivors() {
         c_stats.repair.suspicions
     );
 }
+
+/// The beacon-cadence scaling regression (ISSUE 9 satellite). BENCH_8
+/// measured crash-to-confirmation at N=64 on a 2 ms base heartbeat:
+/// first survivor 83 ms, last 770 ms (virtual) — 63 ranks' beacons
+/// queuing at the switch every 2 ms starved the stragglers.
+/// `MembershipConfig::effective_heartbeat_interval` now stretches the
+/// period by `n/2` (the AckHorizon constant-bandwidth-share rule), so
+/// confirmation is slower-but-uniform: the deterministic
+/// `(suspicion_factor + confirm_misses) × interval` bound, with the
+/// 9× first-to-last spread collapsed to under one beacon period.
+#[test]
+fn beacon_cadence_scales_with_group_size_and_tightens_the_tail() {
+    let n = 64;
+    let victim = n / 2;
+    let base = Duration::from_millis(2);
+    let cfg = SimCommConfig {
+        repair: Some(
+            RepairConfig::sim_default()
+                .with_seed(1)
+                .with_membership(base),
+        ),
+        ..Default::default()
+    };
+    let mc = cfg.repair.as_ref().unwrap().membership.unwrap();
+    let effective = mc.effective_heartbeat_interval(n);
+    assert_eq!(
+        effective,
+        base * 32,
+        "N=64 must stretch the 2 ms base by n/2"
+    );
+
+    let params = NetParams::fast_ethernet_switch();
+    let (report, _) = run_sim_world_stats(
+        &ClusterConfig::new(n, params, 1),
+        &cfg,
+        move |c: SimComm| {
+            let me = c.rank();
+            let mut comm = Communicator::new(c);
+            expect_coll(comm.barrier());
+            let t0 = comm.transport().now();
+            if me == victim {
+                comm.transport_mut().simulate_crash();
+                return 0u64;
+            }
+            for _ in 0..100_000 {
+                comm.transport_mut().progress();
+                comm.transport_mut().compute(Duration::from_micros(500));
+                if !comm.transport().failed_peers().is_empty() {
+                    return comm.transport().now().as_nanos() - t0.as_nanos();
+                }
+            }
+            panic!("rank {me}: victim never confirmed");
+        },
+    )
+    .expect("detect run failed");
+    let mut lat: Vec<u64> = report
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|&(r, _)| r != victim)
+        .map(|(_, &v)| v)
+        .collect();
+    lat.sort_unstable();
+    let (first, last) = (lat[0], lat[lat.len() - 1]);
+    // BENCH_8's pre-scaling tail was 770 ms; the analytic bound is now
+    // 7 × 64 ms = 448 ms plus at most one beacon period of slack.
+    assert!(
+        last < 600_000_000,
+        "confirmation tail must tighten below the pre-scaling 770 ms \
+         (last = {:.2} ms)",
+        last as f64 / 1e6
+    );
+    assert!(
+        last - first < 2 * effective.as_nanos() as u64,
+        "survivors must confirm within ~a beacon period of each other \
+         (first = {:.2} ms, last = {:.2} ms)",
+        first as f64 / 1e6,
+        last as f64 / 1e6
+    );
+}

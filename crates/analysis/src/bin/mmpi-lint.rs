@@ -1,0 +1,74 @@
+//! The `mmpi-lint` command: lint the workspace against `lint.toml`.
+//!
+//! Usage: `mmpi-lint [--root <dir>]` — `<dir>` defaults to the current
+//! directory and must contain `lint.toml`. Exits non-zero on any
+//! violation or stale allowlist budget, printing one line per finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mmpi_analysis::{config::Config, rules};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("mmpi-lint: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mmpi-lint [--root <workspace dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mmpi-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg_path = root.join("lint.toml");
+    let src = match std::fs::read_to_string(&cfg_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mmpi-lint: cannot read {}: {e}", cfg_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match Config::parse(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mmpi-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match rules::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmpi-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.is_clean() {
+        println!(
+            "mmpi-lint: {} files scanned, clean ({} reviewed exceptions)",
+            report.files_scanned,
+            cfg.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{}", report.render());
+        eprintln!(
+            "mmpi-lint: {} violation(s), {} budget error(s) across {} files",
+            report.violations.len(),
+            report.budget_errors.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

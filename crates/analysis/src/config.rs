@@ -1,0 +1,378 @@
+//! `lint.toml` loading.
+//!
+//! The container builds offline, so instead of a `toml` dependency this
+//! module parses the small TOML subset the config actually uses:
+//! comments, `[table]` / `[[array-of-tables]]` headers, and
+//! `key = string | integer | bool | [string, ...]` pairs. Anything
+//! outside that subset is a hard error — better to reject a config
+//! construct than to silently ignore an allowlist entry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings.
+    Arr(Vec<String>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[String]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A `key = value` table.
+pub type Table = BTreeMap<String, Value>;
+
+/// Configuration error with line context.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One lint rule's file scope and token list.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Workspace-relative path prefixes the rule applies to.
+    pub include: Vec<String>,
+    /// Path prefixes exempt from the rule (on top of global excludes).
+    pub exclude: Vec<String>,
+    /// Rule-specific token list (see `rules.rs` for the grammar:
+    /// `.method`, `macro!`, or a bare identifier).
+    pub tokens: Vec<String>,
+    /// Skip `#[cfg(test)]` regions and `tests/` files.
+    pub skip_tests: bool,
+}
+
+/// One reviewed exception: pins the rule's violation count for a file.
+///
+/// `count` is an *exact* budget, not a cap — the lint fails when a file
+/// gains a violation (regression) **and** when it loses one (stale
+/// budget; ratchet it down so the exception list never overstates the
+/// debt). Every entry must say why it exists.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name the exception applies to.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Exact number of tolerated violations.
+    pub count: usize,
+    /// Why the exception is sound (required; surfaced in reports).
+    pub reason: String,
+}
+
+/// The whole `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory roots to scan, workspace-relative.
+    pub roots: Vec<String>,
+    /// Path prefixes never scanned (fixtures, generated code).
+    pub exclude: Vec<String>,
+    /// Per-rule configuration, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+    /// Reviewed exceptions.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parse a `lint.toml` document.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        // Current insertion target: None = top level (rejected),
+        // Some(path) = the open [table] or [[array-of-tables]] entry.
+        enum Target {
+            Scan,
+            Rule(String),
+            Allow(Table),
+        }
+        let mut target: Option<Target> = None;
+
+        let flush = |cfg: &mut Config, target: &mut Option<Target>| -> Result<(), ConfigError> {
+            if let Some(Target::Allow(t)) = target.take() {
+                cfg.allows.push(allow_from_table(&t)?);
+            }
+            Ok(())
+        };
+
+        // Join multi-line arrays into logical lines first: a `key = [`
+        // value continues until its brackets balance.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (ln, raw) in src.lines().enumerate() {
+            let piece = strip_comment(raw).trim().to_string();
+            if piece.is_empty() {
+                continue;
+            }
+            if let Some((_, open)) = logical.last_mut().filter(|(_, l)| !brackets_balance(l)) {
+                open.push(' ');
+                open.push_str(&piece);
+            } else {
+                logical.push((ln, piece));
+            }
+        }
+        if let Some((ln, open)) = logical.last().filter(|(_, l)| !brackets_balance(l)) {
+            return Err(ConfigError(format!(
+                "line {}: unterminated array `{}`",
+                ln + 1,
+                open
+            )));
+        }
+
+        for (ln, line) in logical {
+            let err = |m: String| ConfigError(format!("line {}: {}", ln + 1, m));
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                flush(&mut cfg, &mut target).map_err(|e| err(e.0))?;
+                if header.trim() != "allow" {
+                    return Err(err(format!("unknown array-of-tables [[{header}]]")));
+                }
+                target = Some(Target::Allow(Table::new()));
+            } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                flush(&mut cfg, &mut target).map_err(|e| err(e.0))?;
+                let header = header.trim();
+                if header == "scan" {
+                    target = Some(Target::Scan);
+                } else if let Some(rule) = header.strip_prefix("rules.") {
+                    target = Some(Target::Rule(rule.to_string()));
+                } else {
+                    return Err(err(format!("unknown table [{header}]")));
+                }
+            } else if let Some(eq) = line.find('=') {
+                let key = line[..eq].trim().to_string();
+                let value = parse_value(line[eq + 1..].trim()).map_err(&err)?;
+                match &mut target {
+                    None => return Err(err(format!("key `{key}` outside any table"))),
+                    Some(Target::Scan) => match key.as_str() {
+                        "roots" => {
+                            cfg.roots = value
+                                .as_arr()
+                                .ok_or_else(|| err("roots: want array".into()))?
+                                .to_vec();
+                        }
+                        "exclude" => {
+                            cfg.exclude = value
+                                .as_arr()
+                                .ok_or_else(|| err("exclude: want array".into()))?
+                                .to_vec();
+                        }
+                        k => return Err(err(format!("unknown [scan] key `{k}`"))),
+                    },
+                    Some(Target::Rule(name)) => {
+                        let rc = cfg.rules.entry(name.clone()).or_default();
+                        match key.as_str() {
+                            "include" => {
+                                rc.include = value
+                                    .as_arr()
+                                    .ok_or_else(|| err("include: want array".into()))?
+                                    .to_vec();
+                            }
+                            "exclude" => {
+                                rc.exclude = value
+                                    .as_arr()
+                                    .ok_or_else(|| err("exclude: want array".into()))?
+                                    .to_vec();
+                            }
+                            "tokens" => {
+                                rc.tokens = value
+                                    .as_arr()
+                                    .ok_or_else(|| err("tokens: want array".into()))?
+                                    .to_vec();
+                            }
+                            "skip-tests" => {
+                                rc.skip_tests = matches!(value, Value::Bool(true));
+                            }
+                            k => return Err(err(format!("unknown rule key `{k}`"))),
+                        }
+                    }
+                    Some(Target::Allow(t)) => {
+                        t.insert(key, value);
+                    }
+                }
+            } else {
+                return Err(err(format!("unparseable line `{line}`")));
+            }
+        }
+        flush(&mut cfg, &mut target)?;
+        Ok(cfg)
+    }
+}
+
+fn allow_from_table(t: &Table) -> Result<AllowEntry, ConfigError> {
+    let get_str = |k: &str| -> Result<String, ConfigError> {
+        t.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ConfigError(format!("[[allow]] entry missing string key `{k}`")))
+    };
+    let entry = AllowEntry {
+        rule: get_str("rule")?,
+        path: get_str("path")?,
+        count: t
+            .get("count")
+            .and_then(Value::as_int)
+            .ok_or_else(|| ConfigError("[[allow]] entry missing integer `count`".into()))?
+            as usize,
+        reason: get_str("reason")?,
+    };
+    if entry.reason.trim().is_empty() {
+        return Err(ConfigError(format!(
+            "[[allow]] for {} in {} has an empty reason — exceptions must be justified",
+            entry.rule, entry.path
+        )));
+    }
+    Ok(entry)
+}
+
+/// Do `[`/`]` match up outside quotes? Used to join multi-line arrays.
+fn brackets_balance(line: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(body) = s.strip_prefix('"').and_then(|x| x.strip_suffix('"')) {
+        return Ok(Value::Str(body.to_string()));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Some(body) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_commas(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(x) => items.push(x),
+                _ => return Err(format!("array element `{part}` is not a string")),
+            }
+        }
+        return Ok(Value::Arr(items));
+    }
+    Err(format!("unparseable value `{s}`"))
+}
+
+/// Split on commas outside quotes (arrays stay single-line).
+fn split_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let src = r#"
+# comment
+[scan]
+roots = ["crates", "src"]
+exclude = ["crates/analysis/tests/fixtures"]
+
+[rules.wall-clock]
+include = ["crates/wire/src"]
+tokens = ["Instant", "SystemTime"]
+
+[rules.panic-path]
+include = ["crates/transport/src"]
+tokens = [".unwrap", "panic!"]
+skip-tests = true
+
+[[allow]]
+rule = "wall-clock"
+path = "crates/transport/src/udp.rs"
+count = 5
+reason = "the UDP pump is wall time by definition"
+"#;
+        let cfg = Config::parse(src).unwrap();
+        assert_eq!(cfg.roots, ["crates", "src"]);
+        assert_eq!(cfg.rules["wall-clock"].tokens, ["Instant", "SystemTime"]);
+        assert!(cfg.rules["panic-path"].skip_tests);
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].count, 5);
+    }
+
+    #[test]
+    fn rejects_unreasoned_allow() {
+        let src = "[[allow]]\nrule = \"x\"\npath = \"y\"\ncount = 1\nreason = \"  \"\n";
+        assert!(Config::parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_keys() {
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse("[scan]\nbogus = 3\n").is_err());
+        assert!(Config::parse("dangling = true\n").is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! A line-oriented Rust lexer for lint rules.
+//!
+//! Not a parser: the rules in [`crate::rules`] only need to know, per
+//! source line, (a) the code text with comments and literal *contents*
+//! blanked out, (b) the comment text, and (c) whether the line sits
+//! inside a `#[cfg(test)] mod` region. Blanking (rather than removing)
+//! keeps every byte at its original column, so diagnostics point at the
+//! real source.
+//!
+//! Handles the token classes that would otherwise produce false
+//! positives: line and (nested) block comments, string / raw-string /
+//! byte-string / char literals, and the `'a` lifetime vs `'a'` char
+//! ambiguity.
+
+/// One analyzed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text on this line (line, block, and doc).
+    pub comment: String,
+    /// `true` when the line is inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// A line carrying no code at all (blank, or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// A comment-only line (no code, some comment text).
+    pub fn is_comment_only(&self) -> bool {
+        self.is_code_blank() && !self.comment.trim().is_empty()
+    }
+
+    /// An attribute-only line (`#[...]` / `#![...]`, no trailing code).
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#!")
+    }
+}
+
+/// Lex a whole file into per-line code/comment views.
+pub fn lex(src: &str) -> Vec<Line> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Code,
+        Block(u32),  // nested block comment, depth
+        Str,         // "..."
+        RawStr(u32), // r##"..."## with N hashes
+        Char,        // '...'
+    }
+
+    let mut lines: Vec<Line> = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let n = bytes.len();
+        let mut i = 0;
+        while i < n {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[char_byte_idx(raw, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::Block(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        code.push('"');
+                    }
+                    'r' | 'b' => {
+                        // r"...", r#"..."#, b"...", br#"..."# raw/byte
+                        // strings; plain identifiers otherwise.
+                        if let Some((hashes, consumed)) = raw_str_open(&bytes, i) {
+                            mode = Mode::RawStr(hashes);
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            i += consumed;
+                            continue;
+                        }
+                        // b'x' byte char
+                        if c == 'b' && next == Some('\'') && !prev_is_ident(&code) {
+                            code.push(' ');
+                            i += 1;
+                            continue; // the '\'' is handled next round
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A char literal is
+                        // 'x' or '\..'; a lifetime is 'ident not closed
+                        // by a quote.
+                        if next == Some('\\') {
+                            mode = Mode::Char;
+                            code.push('\'');
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            // 'x' — but ''' (char of quote) is invalid
+                            // anyway, and 'a' as lifetime-then-quote
+                            // cannot appear.
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                            continue;
+                        } else {
+                            // Lifetime: keep the quote, idents follow.
+                            code.push('\'');
+                        }
+                    }
+                    _ => code.push(c),
+                },
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes, i, hashes) {
+                        mode = Mode::Code;
+                        for _ in 0..(1 + hashes) {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                Mode::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        mode = Mode::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        // A string may span lines (multi-line string literal); block
+        // comments span lines; both carry over via `mode`. Line comments
+        // never do.
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Byte index of the `i`-th char of `s` (lines are short; O(n) is fine).
+fn char_byte_idx(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
+}
+
+/// Does a raw/byte-string literal open at `i`? Returns `(hashes, chars
+/// consumed)` for `r"`, `r#"`, `b"`, `br#"`, `rb"` forms.
+fn raw_str_open(bytes: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    // optional b/r prefix pair in either order, at most one of each
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match bytes.get(j) {
+            Some('r') if !saw_r => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') if j == i => {
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    // A preceding identifier char means this `r`/`b` is mid-identifier.
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        if hashes > 0 && !saw_r {
+            return None; // b#" is not a thing
+        }
+        if !saw_r && hashes == 0 {
+            // plain b"..." byte string: treat like a normal string open
+            // (no hashes). Caller blanks it the same way.
+            return Some((0, j - i + 1));
+        }
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Mark lines inside `#[cfg(test)] mod ... { ... }` regions.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the following `mod` item (skipping further
+            // attributes); functions under cfg(test) outside a mod are
+            // rare and stay covered by rules (conservative).
+            let mut j = i + 1;
+            while j < lines.len()
+                && (lines[j].is_code_blank() || lines[j].is_attr_only())
+                && !lines[j].code.contains("mod ")
+            {
+                j += 1;
+            }
+            if j < lines.len() && contains_token(&lines[j].code, "mod") {
+                // Brace-match from the mod's opening brace.
+                let mut depth = 0i64;
+                let mut opened = false;
+                let mut k = j;
+                while k < lines.len() {
+                    for c in lines[k].code.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    lines[k].in_test = true;
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Iterate the identifier tokens of a code line as `(column, token)`.
+pub fn idents(code: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (b, c) in code.char_indices() {
+        if c.is_alphanumeric() || c == '_' {
+            if start.is_none() {
+                start = Some(b);
+            }
+        } else if let Some(s) = start.take() {
+            out.push((s, &code[s..b]));
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &code[s..]));
+    }
+    out
+}
+
+/// Does `code` contain `tok` as a standalone identifier token?
+pub fn contains_token(code: &str, tok: &str) -> bool {
+    idents(code).iter().any(|(_, t)| *t == tok)
+}
+
+/// The first char following the identifier token ending at byte `end`
+/// (skipping spaces), if any.
+pub fn char_after(code: &str, end: usize) -> Option<char> {
+    code[end..].chars().find(|c| !c.is_whitespace())
+}
+
+/// The last non-space char before byte `start`, if any.
+pub fn char_before(code: &str, start: usize) -> Option<char> {
+    code[..start].chars().rev().find(|c| !c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"let x = "Instant::now()"; // Instant in comment
+let y = unsafe { get() }; /* unsafe in block */
+"#;
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant"));
+        assert!(contains_token(&lines[1].code, "unsafe"));
+        assert!(lines[1].comment.contains("unsafe in block"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nInstant\n*/ code";
+        let lines = lex(src);
+        assert!(contains_token(&lines[0].code, "a"));
+        assert!(contains_token(&lines[0].code, "b"));
+        assert!(!contains_token(&lines[2].code, "Instant"));
+        assert!(lines[2].comment.contains("Instant"));
+        assert!(contains_token(&lines[3].code, "code"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"unsafe panic!\"#; after(s)";
+        let lines = lex(src);
+        assert!(!contains_token(&lines[0].code, "unsafe"));
+        assert!(!contains_token(&lines[0].code, "panic"));
+        assert!(contains_token(&lines[0].code, "after"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'q'; g()";
+        let lines = lex(src);
+        assert!(contains_token(&lines[0].code, "str"));
+        assert!(contains_token(&lines[0].code, "g"));
+        // the char literal content is blanked; the lifetimes are not
+        // mistaken for an unterminated char that would swallow the rest
+        assert!(!contains_token(&lines[0].code, "q"));
+    }
+
+    #[test]
+    fn char_escape_literal() {
+        let src = "let c = '\\n'; h()";
+        let lines = lex(src);
+        assert!(contains_token(&lines[0].code, "h"));
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn idents_with_columns() {
+        let v = idents("self.seen_max.keys()");
+        let names: Vec<&str> = v.iter().map(|(_, t)| *t).collect();
+        assert_eq!(names, ["self", "seen_max", "keys"]);
+    }
+}

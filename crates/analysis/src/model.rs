@@ -1,0 +1,528 @@
+//! Exhaustive interleaving model checker for the parallel frame
+//! engine's shard-claim protocol (`crates/netsim/src/parallel.rs`).
+//!
+//! The engine's concurrency core is small but subtle: a coordinator
+//! opens each frame by bumping a generation counter and broadcasting on
+//! a condvar; workers spin-then-park on the generation, claim shards
+//! through an atomic `fetch_add` cursor, and signal a `done` counter
+//! the coordinator spins on before merging the frame. The `Racy<T>`
+//! cells holding the shards are sound *only if* that protocol gives
+//! every claimed shard to exactly one worker per phase and the
+//! coordinator never merges while a worker is still inside the phase.
+//! `parallel.rs` argues this in comments; this module proves it by
+//! brute force.
+//!
+//! The protocol is modeled as a pure state machine (no threads, no
+//! atomics) and every interleaving of coordinator + workers is
+//! enumerated by breadth-first search with state memoization — a
+//! hand-rolled mini-loom, since the build is offline. Each atomic or
+//! mutex-protected step of the real code is one indivisible model
+//! transition; everything between such steps is a distinct program
+//! counter so the scheduler can preempt there.
+//!
+//! Checked properties, over *all* schedules:
+//! * **exclusivity** — no shard is claimed twice within a phase;
+//! * **barrier** — the coordinator merges only when every worker has
+//!   left the phase and every shard ran exactly once;
+//! * **liveness** — no reachable state is stuck (every parked worker
+//!   is eventually released and the final frame completes).
+//!
+//! To show the checker actually has teeth, [`Bug`] injects the three
+//! classic ways to get this protocol wrong — a torn (non-atomic)
+//! cursor claim, a coordinator that skips the done-wait, and a worker
+//! that parks without rechecking the generation under the mutex (the
+//! lost-wakeup bug the real `worker_loop` defends against). Each
+//! mutation must be caught; tests pin that.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Protocol mutation to inject (or [`Bug::None`] for the real protocol).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bug {
+    /// The faithful protocol — must verify.
+    None,
+    /// The shard claim reads and writes the cursor in two steps instead
+    /// of one `fetch_add`: two workers can read the same value and both
+    /// process that shard.
+    NonAtomicClaim,
+    /// The coordinator merges without waiting for `done == workers`:
+    /// it can observe shards mid-mutation.
+    SkipDoneWait,
+    /// A worker decides to park on a stale generation check and only
+    /// then parks, instead of rechecking under the mutex: a notify
+    /// landing in between is lost and the worker sleeps forever.
+    ParkWithoutRecheck,
+}
+
+/// Model size: `workers` claim `shards` per frame, `frames` times.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Number of worker threads (the coordinator is modeled separately).
+    pub workers: usize,
+    /// Frames to run; each frame is one generation bump + barrier.
+    pub frames: u8,
+    /// Shards claimed through the cursor each frame.
+    pub shards: u8,
+    /// Injected mutation.
+    pub bug: Bug,
+}
+
+/// Outcome of an exhaustive check.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Every schedule satisfies every property.
+    Pass {
+        /// Distinct states visited.
+        states: usize,
+        /// Transitions explored.
+        transitions: usize,
+    },
+    /// A schedule violates a property; `trace` replays it.
+    Fail {
+        /// What went wrong.
+        kind: String,
+        /// The step labels of a shortest offending schedule.
+        trace: Vec<String>,
+    },
+}
+
+impl Verdict {
+    /// Did the check pass?
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass { .. })
+    }
+
+    /// Render a failure trace for assertion messages.
+    pub fn render(&self) -> String {
+        match self {
+            Verdict::Pass {
+                states,
+                transitions,
+            } => {
+                format!("pass: {states} states, {transitions} transitions")
+            }
+            Verdict::Fail { kind, trace } => {
+                let mut out = format!("FAIL: {kind}\nschedule:\n");
+                for (i, step) in trace.iter().enumerate() {
+                    out.push_str(&format!("  {:2}. {step}\n", i + 1));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Worker program counter. Each variant boundary is a preemption point
+/// in the real code.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Wpc {
+    /// Spinning on the generation (or just woken).
+    Idle,
+    /// [`Bug::ParkWithoutRecheck`] only: committed to park on a stale
+    /// generation read, not yet parked.
+    PrePark,
+    /// Parked on the condvar; wakes when `gen` moves past `at_gen`.
+    Parked {
+        /// Generation observed at park time (the wake predicate).
+        at_gen: u8,
+    },
+    /// About to claim a shard from the cursor.
+    Claim,
+    /// [`Bug::NonAtomicClaim`] only: read the cursor, not yet written.
+    ReadCursor {
+        /// The stale cursor value read.
+        val: u8,
+    },
+    /// Holding exclusive access to `shard`.
+    Processing {
+        /// The claimed shard index.
+        shard: u8,
+    },
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Worker {
+    pc: Wpc,
+    /// Last generation this worker acted on.
+    seen_gen: u8,
+}
+
+/// Coordinator program counter.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Coord {
+    /// Between frames.
+    Idle,
+    /// Spinning until `done == workers`, then merging.
+    WaitDone,
+    /// All frames merged; quiescent.
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct State {
+    coord: Coord,
+    /// Frames fully merged so far.
+    frame: u8,
+    /// Phase generation (bump + notify are one mutex-protected step).
+    gen: u8,
+    /// Workers that signalled completion of the current phase.
+    done: u8,
+    /// Shard-claim cursor.
+    cursor: u8,
+    /// Per-shard claim count for the current phase.
+    claims: Vec<u8>,
+    workers: Vec<Worker>,
+}
+
+/// Runaway guard; the intended spaces are ~10^3..10^5 states.
+const MAX_STATES: usize = 2_000_000;
+
+/// Exhaustively enumerate all schedules of the protocol and check the
+/// exclusivity, barrier, and liveness properties.
+pub fn check(p: &Params) -> Verdict {
+    assert!(
+        (1..=4).contains(&p.workers) && p.frames >= 1 && p.shards >= 1,
+        "model sized for exhaustive search"
+    );
+    let init = State {
+        coord: Coord::Idle,
+        frame: 0,
+        gen: 0,
+        done: 0,
+        cursor: 0,
+        claims: vec![0; p.shards as usize],
+        workers: vec![
+            Worker {
+                pc: Wpc::Idle,
+                seen_gen: 0,
+            };
+            p.workers
+        ],
+    };
+
+    let mut ids: BTreeMap<State, usize> = BTreeMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut pred: Vec<Option<(usize, String)>> = Vec::new();
+    ids.insert(init.clone(), 0);
+    states.push(init);
+    pred.push(None);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    let mut transitions = 0usize;
+    let mut terminal = false;
+    while let Some(id) = queue.pop_front() {
+        let st = states[id].clone();
+        let succ = successors(&st, p);
+        if succ.is_empty() {
+            if st.coord == Coord::Done {
+                terminal = true;
+                continue;
+            }
+            return Verdict::Fail {
+                kind: format!(
+                    "deadlock at frame {}: every worker is parked with no pending \
+                     notify and the coordinator is waiting on done={}/{}",
+                    st.frame, st.done, p.workers
+                ),
+                trace: trace_of(&pred, id, None),
+            };
+        }
+        for (label, step) in succ {
+            transitions += 1;
+            match step {
+                Err(kind) => {
+                    return Verdict::Fail {
+                        kind,
+                        trace: trace_of(&pred, id, Some(label)),
+                    };
+                }
+                Ok(s2) => {
+                    if !ids.contains_key(&s2) {
+                        let nid = states.len();
+                        if nid >= MAX_STATES {
+                            return Verdict::Fail {
+                                kind: format!("state space exceeds {MAX_STATES} states"),
+                                trace: Vec::new(),
+                            };
+                        }
+                        ids.insert(s2.clone(), nid);
+                        states.push(s2);
+                        pred.push(Some((id, label)));
+                        queue.push_back(nid);
+                    }
+                }
+            }
+        }
+    }
+    if !terminal {
+        return Verdict::Fail {
+            kind: "no quiescent terminal state is reachable".into(),
+            trace: Vec::new(),
+        };
+    }
+    Verdict::Pass {
+        states: states.len(),
+        transitions,
+    }
+}
+
+/// All enabled transitions from `st`, as `(label, next-state or
+/// property violation)`.
+fn successors(st: &State, p: &Params) -> Vec<(String, Result<State, String>)> {
+    let mut out = Vec::new();
+
+    match st.coord {
+        Coord::Idle => {
+            if st.frame < p.frames {
+                // advance_once: reset staging/cursor/done, then bump gen
+                // and notify_all under the mutex — one indivisible step.
+                let mut s = st.clone();
+                s.gen += 1;
+                s.done = 0;
+                s.cursor = 0;
+                s.claims = vec![0; p.shards as usize];
+                s.coord = Coord::WaitDone;
+                out.push((
+                    format!(
+                        "coordinator: opens frame {} (gen -> {}, notify_all)",
+                        st.frame, s.gen
+                    ),
+                    Ok(s),
+                ));
+            } else {
+                let mut s = st.clone();
+                s.coord = Coord::Done;
+                out.push((
+                    "coordinator: all frames merged, engine quiescent".into(),
+                    Ok(s),
+                ));
+            }
+        }
+        Coord::WaitDone => {
+            let gate_open = st.done as usize == p.workers || p.bug == Bug::SkipDoneWait;
+            if gate_open {
+                let label = format!(
+                    "coordinator: merges frame {} (done = {}/{})",
+                    st.frame, st.done, p.workers
+                );
+                let mid = st.workers.iter().position(|w| {
+                    matches!(
+                        w.pc,
+                        Wpc::Claim | Wpc::ReadCursor { .. } | Wpc::Processing { .. }
+                    )
+                });
+                if let Some(i) = mid {
+                    out.push((
+                        label,
+                        Err(format!(
+                            "barrier violation: coordinator merges frame {} while \
+                             worker {} is still inside the phase",
+                            st.frame, i
+                        )),
+                    ));
+                } else if let Some(shard) = st.claims.iter().position(|&c| c != 1) {
+                    out.push((
+                        label,
+                        Err(format!(
+                            "barrier violation: coordinator merges frame {} but \
+                             shard {} ran {} times",
+                            st.frame, shard, st.claims[shard]
+                        )),
+                    ));
+                } else {
+                    let mut s = st.clone();
+                    s.frame += 1;
+                    s.coord = Coord::Idle;
+                    out.push((label, Ok(s)));
+                }
+            }
+        }
+        Coord::Done => {}
+    }
+
+    for i in 0..p.workers {
+        match st.workers[i].pc {
+            Wpc::Idle => {
+                if st.workers[i].seen_gen != st.gen {
+                    let mut s = st.clone();
+                    s.workers[i].seen_gen = st.gen;
+                    s.workers[i].pc = Wpc::Claim;
+                    out.push((
+                        format!("worker {i}: sees gen {}, enters the phase", st.gen),
+                        Ok(s),
+                    ));
+                } else if p.bug == Bug::ParkWithoutRecheck {
+                    let mut s = st.clone();
+                    s.workers[i].pc = Wpc::PrePark;
+                    out.push((
+                        format!("worker {i}: spin budget exhausted, decides to park on a stale gen read"),
+                        Ok(s),
+                    ));
+                } else {
+                    // worker_loop: lock, recheck gen, park — the recheck
+                    // and the park are atomic w.r.t. the gen bump, so
+                    // the park's wake predicate is exactly "gen moved".
+                    let mut s = st.clone();
+                    s.workers[i].pc = Wpc::Parked { at_gen: st.gen };
+                    out.push((
+                        format!("worker {i}: rechecks gen under the mutex, parks"),
+                        Ok(s),
+                    ));
+                }
+            }
+            Wpc::PrePark => {
+                // The buggy park captures whatever generation is current
+                // *now*: a notify that landed since the stale check is
+                // lost forever.
+                let mut s = st.clone();
+                s.workers[i].pc = Wpc::Parked { at_gen: st.gen };
+                out.push((
+                    format!("worker {i}: parks on the condvar (any notify in between is lost)"),
+                    Ok(s),
+                ));
+            }
+            Wpc::Parked { at_gen } => {
+                if at_gen != st.gen {
+                    let mut s = st.clone();
+                    s.workers[i].pc = Wpc::Idle;
+                    out.push((format!("worker {i}: woken by notify_all"), Ok(s)));
+                }
+            }
+            Wpc::Claim => {
+                if p.bug == Bug::NonAtomicClaim {
+                    let mut s = st.clone();
+                    s.workers[i].pc = Wpc::ReadCursor { val: st.cursor };
+                    out.push((format!("worker {i}: reads cursor = {}", st.cursor), Ok(s)));
+                } else {
+                    out.push(claim(st, p, i, st.cursor, true));
+                }
+            }
+            Wpc::ReadCursor { val } => {
+                out.push(claim(st, p, i, val, false));
+            }
+            Wpc::Processing { shard } => {
+                let mut s = st.clone();
+                s.workers[i].pc = Wpc::Claim;
+                out.push((format!("worker {i}: finishes shard {shard}"), Ok(s)));
+            }
+        }
+    }
+    out
+}
+
+/// The cursor claim: atomically (`fetch_add`) or as the write half of a
+/// torn read-modify-write when `atomic` is false.
+fn claim(
+    st: &State,
+    p: &Params,
+    i: usize,
+    val: u8,
+    atomic: bool,
+) -> (String, Result<State, String>) {
+    let mut s = st.clone();
+    if val < p.shards {
+        // Cursor values past `shards` all behave identically; clamping
+        // keeps the state space finite without changing semantics.
+        s.cursor = (val + 1).min(p.shards);
+        s.claims[val as usize] += 1;
+        s.workers[i].pc = Wpc::Processing { shard: val };
+        let label = if atomic {
+            format!("worker {i}: fetch_add claims shard {val}")
+        } else {
+            format!(
+                "worker {i}: writes cursor = {} and takes shard {val}",
+                val + 1
+            )
+        };
+        if s.claims[val as usize] > 1 {
+            return (
+                label,
+                Err(format!(
+                    "exclusivity violation: shard {val} claimed twice in one phase"
+                )),
+            );
+        }
+        (label, Ok(s))
+    } else {
+        s.workers[i].pc = Wpc::Idle;
+        s.done += 1;
+        (
+            format!(
+                "worker {i}: cursor past the end, signals done ({}/{})",
+                s.done, p.workers
+            ),
+            Ok(s),
+        )
+    }
+}
+
+/// Reconstruct the shortest schedule reaching state `id` (BFS order),
+/// optionally appending the violating step's label.
+fn trace_of(pred: &[Option<(usize, String)>], mut id: usize, last: Option<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(l) = last {
+        out.push(l);
+    }
+    while let Some((parent, label)) = &pred[id] {
+        out.push(label.clone());
+        id = *parent;
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(workers: usize, frames: u8, shards: u8, bug: Bug) -> Params {
+        Params {
+            workers,
+            frames,
+            shards,
+            bug,
+        }
+    }
+
+    #[test]
+    fn faithful_protocol_verifies_2x2() {
+        let v = check(&params(2, 2, 2, Bug::None));
+        assert!(v.is_pass(), "{}", v.render());
+    }
+
+    #[test]
+    fn faithful_protocol_verifies_3_workers() {
+        let v = check(&params(3, 2, 3, Bug::None));
+        assert!(v.is_pass(), "{}", v.render());
+    }
+
+    #[test]
+    fn torn_claim_is_caught() {
+        match check(&params(2, 2, 2, Bug::NonAtomicClaim)) {
+            Verdict::Fail { kind, trace } => {
+                assert!(kind.contains("claimed twice"), "{kind}");
+                assert!(!trace.is_empty());
+            }
+            v => panic!("expected exclusivity failure, got {}", v.render()),
+        }
+    }
+
+    #[test]
+    fn skipped_done_wait_is_caught() {
+        match check(&params(2, 2, 2, Bug::SkipDoneWait)) {
+            Verdict::Fail { kind, .. } => {
+                assert!(kind.contains("barrier violation"), "{kind}")
+            }
+            v => panic!("expected barrier failure, got {}", v.render()),
+        }
+    }
+
+    #[test]
+    fn lost_wakeup_park_is_caught() {
+        match check(&params(2, 2, 2, Bug::ParkWithoutRecheck)) {
+            Verdict::Fail { kind, .. } => assert!(kind.contains("deadlock"), "{kind}"),
+            v => panic!("expected deadlock, got {}", v.render()),
+        }
+    }
+}

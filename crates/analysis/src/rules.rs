@@ -1,0 +1,473 @@
+//! The lint rules and the engine that drives them.
+//!
+//! Five rules, each enforcing one of the repo's standing invariants
+//! (`docs/INVARIANTS.md` is the prose version):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `safety-comment` | every `unsafe` carries an adjacent `SAFETY:` argument |
+//! | `wall-clock` | no `Instant`/`SystemTime` outside the wall-clock backends |
+//! | `hash-iter` | no hash-order iteration in wire/transport ordering paths |
+//! | `ambient-rng` | all randomness flows from seeded streams |
+//! | `panic-path` | no `panic!`/`unwrap`/`expect` in protocol paths |
+//!
+//! Exceptions are explicit: an inline `mmpi-lint: allow(<rule>)`
+//! comment on (or directly above) the offending line, or an exact-count
+//! `[[allow]]` budget in `lint.toml` — both carry a reason a reviewer
+//! signed off on.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, RuleConfig};
+use crate::lexer::{char_after, char_before, idents, lex, Line};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// The lint outcome for a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived inline allows and budgets.
+    pub violations: Vec<Violation>,
+    /// Budget mismatches (stale or missing `[[allow]]` entries).
+    pub budget_errors: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Did the workspace lint clean?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.budget_errors.is_empty()
+    }
+
+    /// Render every finding, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{}:{}: [{}] {}\n", v.path, v.line, v.rule, v.msg));
+        }
+        for b in &self.budget_errors {
+            out.push_str(&format!("budget: {b}\n"));
+        }
+        out
+    }
+}
+
+/// Names of every implemented rule (order = report order).
+pub const RULE_NAMES: [&str; 5] = [
+    "safety-comment",
+    "wall-clock",
+    "hash-iter",
+    "ambient-rng",
+    "panic-path",
+];
+
+/// Run the configured rules over every `.rs` file under the config's
+/// scan roots, resolve inline allows and budgets, and report.
+pub fn run(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for r in &cfg.roots {
+        collect_rs_files(&root.join(r), &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.exclude.iter().any(|e| rel.starts_with(e.as_str())) {
+            continue;
+        }
+        scanned += 1;
+        let src = std::fs::read_to_string(file)?;
+        let lines = lex(&src);
+        for rule in RULE_NAMES {
+            let Some(rc) = cfg.rules.get(rule) else {
+                continue;
+            };
+            if !applies(rc, &rel) {
+                continue;
+            }
+            let vs = match rule {
+                "safety-comment" => safety_comment(&rel, &lines),
+                "wall-clock" | "ambient-rng" | "panic-path" => {
+                    token_ban(rule_static(rule), rc, &rel, &lines)
+                }
+                "hash-iter" => hash_iter(&rel, &lines),
+                _ => unreachable!("rule names are closed"),
+            };
+            raw.extend(vs);
+        }
+    }
+
+    // Inline allows: `mmpi-lint: allow(rule)` on the line or directly
+    // above it suppresses the violation at that site.
+    let mut kept: Vec<Violation> = Vec::new();
+    let mut lex_cache: BTreeMap<String, Vec<Line>> = BTreeMap::new();
+    for v in raw {
+        let lines = lex_cache.entry(v.path.clone()).or_insert_with(|| {
+            let src = std::fs::read_to_string(root.join(&v.path)).unwrap_or_default();
+            lex(&src)
+        });
+        if inline_allowed(lines, v.line, v.rule) {
+            continue;
+        }
+        kept.push(v);
+    }
+
+    // Budgets: exact per-(rule, file) counts from [[allow]].
+    let mut report = Report {
+        files_scanned: scanned,
+        ..Report::default()
+    };
+    let mut counts: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in kept {
+        counts
+            .entry((v.rule.to_string(), v.path.clone()))
+            .or_default()
+            .push(v);
+    }
+    for allow in &cfg.allows {
+        let key = (allow.rule.clone(), allow.path.clone());
+        let have = counts.get(&key).map_or(0, Vec::len);
+        match have.cmp(&allow.count) {
+            std::cmp::Ordering::Equal => {
+                counts.remove(&key);
+            }
+            std::cmp::Ordering::Greater => {
+                let vs = counts.remove(&key).unwrap_or_default();
+                report.budget_errors.push(format!(
+                    "{} in {}: {} violations exceed the reviewed budget of {} ({}); \
+                     new sites:\n{}",
+                    allow.rule,
+                    allow.path,
+                    have,
+                    allow.count,
+                    allow.reason,
+                    vs.iter()
+                        .map(|v| format!("    {}:{}: {}", v.path, v.line, v.msg))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                ));
+            }
+            std::cmp::Ordering::Less => {
+                counts.remove(&key);
+                report.budget_errors.push(format!(
+                    "{} in {}: {} violations but the budget says {} — \
+                     ratchet the [[allow]] count down",
+                    allow.rule, allow.path, have, allow.count
+                ));
+            }
+        }
+    }
+    for vs in counts.into_values() {
+        report.violations.extend(vs);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+fn rule_static(name: &str) -> &'static str {
+    RULE_NAMES
+        .into_iter()
+        .find(|r| *r == name)
+        .expect("known rule")
+}
+
+fn applies(rc: &RuleConfig, rel: &str) -> bool {
+    rc.include.iter().any(|p| rel.starts_with(p.as_str()))
+        && !rc.exclude.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// `tests/`, `benches/`, `examples/`, `src/bin/` are boundary code where
+/// panics are an acceptable failure mode.
+fn is_boundary(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/bin/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+}
+
+fn inline_allowed(lines: &[Line], line_1based: usize, rule: &str) -> bool {
+    let needle = format!("mmpi-lint: allow({rule})");
+    let idx = line_1based - 1;
+    if lines.get(idx).is_some_and(|l| l.comment.contains(&needle)) {
+        return true;
+    }
+    // Scan the contiguous comment block directly above the site.
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if !l.is_comment_only() {
+            return false;
+        }
+        if l.comment.contains(&needle) {
+            return true;
+        }
+    }
+    false
+}
+
+// --------------------------------------------------------------------
+// Rule: safety-comment
+// --------------------------------------------------------------------
+
+/// Every `unsafe` token must have a `SAFETY:` comment on the same line
+/// or in the contiguous comment block directly above it (attributes and
+/// doc comments may sit between). This is what turns each unsafe site
+/// into a reviewable proof obligation.
+fn safety_comment(rel: &str, lines: &[Line]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let unsafe_count = idents(&line.code)
+            .iter()
+            .filter(|(_, t)| *t == "unsafe")
+            .count();
+        if unsafe_count == 0 {
+            continue;
+        }
+        if comment_mentions_safety(line) {
+            continue;
+        }
+        // Scan the contiguous comment/attribute block directly above.
+        let mut j = i;
+        let mut found = false;
+        while j > 0 {
+            j -= 1;
+            let l = &lines[j];
+            if l.is_comment_only() {
+                if mentions_safety(&l.comment) {
+                    found = true;
+                    break;
+                }
+            } else if l.is_attr_only() {
+                if mentions_safety(&l.comment) {
+                    found = true;
+                    break;
+                }
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !found {
+            out.push(Violation {
+                rule: "safety-comment",
+                path: rel.to_string(),
+                line: i + 1,
+                msg: "`unsafe` without an adjacent `SAFETY:` comment \
+                      (state the invariant that makes this sound)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+fn mentions_safety(comment: &str) -> bool {
+    comment.to_ascii_lowercase().contains("safety")
+}
+
+fn comment_mentions_safety(line: &Line) -> bool {
+    mentions_safety(&line.comment)
+}
+
+// --------------------------------------------------------------------
+// Rule: token bans (wall-clock, ambient-rng, panic-path)
+// --------------------------------------------------------------------
+
+/// Generic banned-token rule. Token grammar in `lint.toml`:
+/// * `.name`  — flags `recv.name(...)` method calls only,
+/// * `name!`  — flags `name!(...)` macro invocations only,
+/// * `name`   — flags any identifier occurrence.
+fn token_ban(rule: &'static str, rc: &RuleConfig, rel: &str, lines: &[Line]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rc.skip_tests && is_boundary(rel) {
+        return out;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if rc.skip_tests && line.in_test {
+            continue;
+        }
+        for (col, tok) in idents(&line.code) {
+            for banned in &rc.tokens {
+                let hit = if let Some(m) = banned.strip_prefix('.') {
+                    tok == m && char_before(&line.code, col) == Some('.')
+                } else if let Some(m) = banned.strip_suffix('!') {
+                    tok == m && char_after(&line.code, col + tok.len()) == Some('!')
+                } else {
+                    tok == banned
+                };
+                if hit {
+                    out.push(Violation {
+                        rule,
+                        path: rel.to_string(),
+                        line: i + 1,
+                        msg: format!("forbidden token `{banned}`"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------------
+// Rule: hash-iter
+// --------------------------------------------------------------------
+
+/// Iteration methods whose order is the hasher's, not the program's.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Flag iteration over identifiers declared (in this file) with a
+/// `HashMap`/`HashSet` type. Intra-file and heuristic by design: it
+/// catches the realistic regression — someone adds a `for (k, v) in
+/// &self.seen { send(...) }` to a wire/transport ordering path — while
+/// staying dependency-free. Cross-file type flow is out of scope;
+/// `docs/INVARIANTS.md` documents the limitation.
+fn hash_iter(rel: &str, lines: &[Line]) -> Vec<Violation> {
+    // Pass 1: names bound to hash-ordered types.
+    let mut hashed: Vec<String> = Vec::new();
+    for line in lines {
+        let toks = idents(&line.code);
+        for (k, (_, t)) in toks.iter().enumerate() {
+            if *t != "HashMap" && *t != "HashSet" {
+                continue;
+            }
+            // `name: HashMap<...>` (field, param, or annotated let) —
+            // take the identifier before the `:`, but not a `::` path
+            // segment like `collections::HashMap`.
+            if k > 0 {
+                let (pc, prev) = toks[k - 1];
+                let rest = line.code[pc + prev.len()..].trim_start();
+                if rest.starts_with(':') && !rest.starts_with("::") {
+                    hashed.push(prev.to_string());
+                    continue;
+                }
+            }
+            // `let name = HashMap::new()` / `= HashMap::default()`.
+            if let Some(pos) = toks.iter().position(|(_, t)| *t == "let") {
+                if let Some((_, name)) = toks
+                    .get(pos + 1)
+                    .filter(|(_, t)| *t != "mut")
+                    .or_else(|| toks.get(pos + 2))
+                {
+                    hashed.push((*name).to_string());
+                }
+            }
+        }
+    }
+    hashed.sort();
+    hashed.dedup();
+
+    // Pass 2: iteration over those names. At most one violation per
+    // line so `for v in self.seen.values()` counts once, not twice.
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let toks = idents(&line.code);
+        let mut hit: Option<String> = None;
+        for (k, (col, t)) in toks.iter().enumerate() {
+            let is_iter_call = ITER_METHODS.contains(t)
+                && char_before(&line.code, *col) == Some('.')
+                && char_after(&line.code, col + t.len()) == Some('(');
+            if is_iter_call && k > 0 && hashed.iter().any(|h| h == toks[k - 1].1) {
+                hit = Some(format!(
+                    "hash-order iteration `{}.{}()` in an ordering path — \
+                     use a BTreeMap/BTreeSet or sort before iterating",
+                    toks[k - 1].1,
+                    t
+                ));
+                break;
+            }
+            // `for x in <expr>` where the iterated expression mentions a
+            // hash-typed name (`&name`, `self.name`, `name.iter()`, …).
+            if *t == "for" {
+                if let Some(pos_in) = toks[k..].iter().position(|(_, t)| *t == "in") {
+                    if let Some((_, name)) = toks[k + pos_in + 1..]
+                        .iter()
+                        .find(|(_, t)| hashed.iter().any(|h| h == t))
+                    {
+                        hit = Some(format!(
+                            "hash-order `for` loop over `{name}` in an ordering path — \
+                             use a BTreeMap/BTreeSet or sort before iterating"
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(msg) = hit {
+            out.push(Violation {
+                rule: "hash-iter",
+                path: rel.to_string(),
+                line: i + 1,
+                msg,
+            });
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if path.is_dir() {
+            if name.as_deref() == Some("target") || name.as_deref() == Some(".git") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

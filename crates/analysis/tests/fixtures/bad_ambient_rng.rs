@@ -1,0 +1,16 @@
+// Fixture: ambient (unseeded) randomness is flagged — all RNG flows
+// from seeded SplitMix64 streams so replay stays byte-identical.
+
+use std::collections::hash_map::RandomState; // FLAG
+
+pub fn jitter() -> u64 {
+    let rng = thread_rng(); // FLAG
+    rng.next()
+}
+
+pub fn seeded(seed: u64) -> u64 {
+    // A seeded stream is the sanctioned path; nothing to flag here.
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}

@@ -1,0 +1,48 @@
+// Fixture: iterating a HashMap/HashSet in an ordering path is
+// flagged — the iteration order is the hasher's, not the protocol's.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Book {
+    seen: HashMap<u32, u64>,
+    peers: HashSet<u32>,
+}
+
+impl Book {
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for v in self.seen.values() { // FLAG
+            acc ^= *v;
+        }
+        acc
+    }
+
+    pub fn fanout(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for p in &self.peers { // FLAG
+            out.push(*p);
+        }
+        out
+    }
+
+    pub fn drain_all(&mut self) -> u64 {
+        self.seen.drain().map(|(_, v)| v).sum() // FLAG
+    }
+
+    pub fn lookup(&self, k: u32) -> Option<u64> {
+        self.seen.get(&k).copied() // not flagged: point lookup is fine
+    }
+
+    pub fn sorted(&self) -> Vec<u32> {
+        let mut ks: Vec<u32> = self.seen.keys().copied().collect(); // mmpi-lint: allow(hash-iter)
+        ks.sort_unstable();
+        ks
+    }
+
+    pub fn sorted_above(&self) -> Vec<u32> {
+        // mmpi-lint: allow(hash-iter)
+        let mut ks: Vec<u32> = self.seen.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+}

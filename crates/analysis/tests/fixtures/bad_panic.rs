@@ -1,0 +1,26 @@
+// Fixture: panicking operators in protocol paths are flagged — a lost
+// datagram must surface as an error, not abort the rank.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let head = buf.first().unwrap(); // FLAG
+    if *head > 4 {
+        panic!("bad version"); // FLAG
+    }
+    let got: Result<u32, ()> = Ok(*head as u32);
+    got.expect("checked above") // FLAG
+}
+
+pub fn decode_ok(buf: &[u8]) -> Result<u32, ()> {
+    match buf.first() {
+        Some(h) => Ok(*h as u32),
+        None => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        super::decode_ok(&[1]).unwrap(); // not flagged: test region
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: an `unsafe` token with no justifying comment is flagged;
+// one with a justification on the same line or in the comment block
+// directly above is not. (Never compiled — scanned as text.)
+
+pub struct Cell(*mut u8);
+
+unsafe impl Send for Cell {} // FLAG: no justification anywhere
+
+impl Cell {
+    pub fn read(&self) -> u8 {
+        unsafe { *self.0 } // FLAG: bare block
+    }
+
+    pub fn write(&self, v: u8) {
+        // SAFETY: callers hold the exclusive claim for this cell, so
+        // the raw write cannot race.
+        unsafe { *self.0 = v }
+    }
+
+    pub fn read_inline(&self) -> u8 {
+        unsafe { *self.0 } // SAFETY: fixture cell is never shared.
+    }
+
+    // SAFETY: the pointer is only dereferenced by claim holders; the
+    // attribute between the comment and the token is skipped.
+    #[inline]
+    pub unsafe fn raw(&self) -> *mut u8 {
+        self.0
+    }
+}
+
+// SAFETY: Cell owns its pointer exclusively, so reading it from
+// another thread under the claim protocol is sound.
+unsafe impl Sync for Cell {}

@@ -1,0 +1,23 @@
+// Fixture: wall-clock reads in replay-critical code are flagged.
+
+use std::time::{Instant, SystemTime}; // FLAG: both tokens, one line
+
+pub fn stamp() -> u128 {
+    let t = Instant::now(); // FLAG
+    let _ = SystemTime::now(); // FLAG
+    t.elapsed().as_nanos()
+}
+
+pub fn fine() -> u64 {
+    // "Instant" inside a string or comment is not a wall-clock read.
+    let s = "Instant::now()";
+    s.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now(); // not flagged: test region
+    }
+}

@@ -1,0 +1,45 @@
+// Fixture: a well-behaved protocol module — every rule must pass.
+
+use std::collections::BTreeMap;
+
+pub struct Ledger {
+    seen: BTreeMap<u32, u64>,
+}
+
+impl Ledger {
+    pub fn digest(&self) -> u64 {
+        // BTreeMap iteration order is the key order: deterministic.
+        self.seen.values().fold(0u64, |a, v| a ^ *v)
+    }
+
+    pub fn record(&mut self, k: u32, v: u64) -> Result<(), ()> {
+        match self.seen.get(&k) {
+            Some(old) if *old != v => Err(()),
+            _ => {
+                self.seen.insert(k, v);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A seeded SplitMix64 step — the sanctioned randomness source.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boundary_code_may_panic() {
+        let mut s = super::Ledger {
+            seen: std::collections::BTreeMap::new(),
+        };
+        s.record(1, 2).unwrap();
+        assert_eq!(s.digest(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixture tests for every `mmpi-lint` rule: each rule must fire on
+//! its bad fixture at exactly the lines marked `// FLAG`, stay silent
+//! on the clean fixture, honor inline `mmpi-lint: allow(...)` markers,
+//! and enforce `[[allow]]` budgets exactly (over *and* under fail).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use mmpi_analysis::config::Config;
+use mmpi_analysis::rules::{self, Report};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint(cfg: &str) -> Report {
+    let cfg = Config::parse(cfg).expect("fixture config parses");
+    rules::run(&fixtures_root(), &cfg).expect("fixture scan succeeds")
+}
+
+/// Lines in `file` carrying a `// FLAG` marker (1-based).
+fn marked_lines(file: &str) -> BTreeSet<usize> {
+    let src = std::fs::read_to_string(fixtures_root().join(file)).expect("fixture readable");
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// FLAG"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Distinct violation lines the report holds for `file`.
+fn violation_lines(r: &Report, file: &str) -> BTreeSet<usize> {
+    r.violations
+        .iter()
+        .filter(|v| v.path == file)
+        .map(|v| v.line)
+        .collect()
+}
+
+/// The rule must flag exactly the marked lines of its bad fixture and
+/// nothing in `clean.rs`.
+fn assert_rule_matches_markers(rule_cfg: &str, file: &str) {
+    let r = lint(rule_cfg);
+    assert_eq!(
+        violation_lines(&r, file),
+        marked_lines(file),
+        "flagged lines differ from // FLAG markers in {file}:\n{}",
+        r.render()
+    );
+    assert!(
+        violation_lines(&r, "clean.rs").is_empty(),
+        "clean fixture flagged:\n{}",
+        r.render()
+    );
+    assert!(r.budget_errors.is_empty(), "{}", r.render());
+}
+
+#[test]
+fn safety_comment_rule_fires() {
+    assert_rule_matches_markers(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.safety-comment]\ninclude = [\"bad_safety.rs\", \"clean.rs\"]\n",
+        "bad_safety.rs",
+    );
+}
+
+#[test]
+fn wall_clock_rule_fires() {
+    assert_rule_matches_markers(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.wall-clock]\n\
+         include = [\"bad_wall_clock.rs\", \"clean.rs\"]\n\
+         tokens = [\"Instant\", \"SystemTime\"]\n\
+         skip-tests = true\n",
+        "bad_wall_clock.rs",
+    );
+}
+
+#[test]
+fn hash_iter_rule_fires() {
+    assert_rule_matches_markers(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.hash-iter]\ninclude = [\"bad_hash_iter.rs\", \"clean.rs\"]\n",
+        "bad_hash_iter.rs",
+    );
+}
+
+#[test]
+fn ambient_rng_rule_fires() {
+    assert_rule_matches_markers(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.ambient-rng]\n\
+         include = [\"bad_ambient_rng.rs\", \"clean.rs\"]\n\
+         tokens = [\"thread_rng\", \"from_entropy\", \"RandomState\", \"getrandom\"]\n\
+         skip-tests = true\n",
+        "bad_ambient_rng.rs",
+    );
+}
+
+#[test]
+fn panic_path_rule_fires() {
+    assert_rule_matches_markers(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.panic-path]\n\
+         include = [\"bad_panic.rs\", \"clean.rs\"]\n\
+         tokens = [\".unwrap\", \".expect\", \"panic!\", \"unreachable!\", \"unimplemented!\", \"todo!\"]\n\
+         skip-tests = true\n",
+        "bad_panic.rs",
+    );
+}
+
+/// The one-line `use` in the wall-clock fixture carries two banned
+/// tokens: the violation *count* (which budgets consume) exceeds the
+/// distinct-line count.
+#[test]
+fn wall_clock_counts_tokens_not_lines() {
+    let r = lint(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.wall-clock]\n\
+         include = [\"bad_wall_clock.rs\"]\n\
+         tokens = [\"Instant\", \"SystemTime\"]\n\
+         skip-tests = true\n",
+    );
+    assert_eq!(r.violations.len(), 4, "{}", r.render());
+    assert_eq!(violation_lines(&r, "bad_wall_clock.rs").len(), 3);
+}
+
+const PANIC_RULE: &str = "[scan]\nroots = [\".\"]\n\n\
+    [rules.panic-path]\ninclude = [\"bad_panic.rs\"]\n\
+    tokens = [\".unwrap\", \".expect\", \"panic!\"]\nskip-tests = true\n";
+
+#[test]
+fn exact_budget_passes() {
+    let cfg = format!(
+        "{PANIC_RULE}\n[[allow]]\nrule = \"panic-path\"\npath = \"bad_panic.rs\"\n\
+         count = 3\nreason = \"fixture debt, pinned\"\n"
+    );
+    let r = lint(&cfg);
+    assert!(r.is_clean(), "{}", r.render());
+}
+
+#[test]
+fn over_budget_fails_as_regression() {
+    let cfg = format!(
+        "{PANIC_RULE}\n[[allow]]\nrule = \"panic-path\"\npath = \"bad_panic.rs\"\n\
+         count = 2\nreason = \"fixture debt, pinned\"\n"
+    );
+    let r = lint(&cfg);
+    assert!(!r.is_clean());
+    assert!(
+        r.budget_errors.iter().any(|e| e.contains("exceed")),
+        "{}",
+        r.render()
+    );
+}
+
+#[test]
+fn under_budget_fails_as_stale() {
+    let cfg = format!(
+        "{PANIC_RULE}\n[[allow]]\nrule = \"panic-path\"\npath = \"bad_panic.rs\"\n\
+         count = 4\nreason = \"fixture debt, pinned\"\n"
+    );
+    let r = lint(&cfg);
+    assert!(!r.is_clean());
+    assert!(
+        r.budget_errors.iter().any(|e| e.contains("ratchet")),
+        "{}",
+        r.render()
+    );
+}
+
+/// Inline allows are already exercised by `bad_hash_iter.rs` (same-line
+/// and line-above markers on the two `sorted*` methods); pin that the
+/// marker only suppresses its own rule.
+#[test]
+fn inline_allow_is_rule_specific() {
+    let r = lint(
+        "[scan]\nroots = [\".\"]\n\n\
+         [rules.panic-path]\ninclude = [\"bad_hash_iter.rs\"]\n\
+         tokens = [\".sort_unstable\"]\n",
+    );
+    // The sort_unstable calls sit next to `allow(hash-iter)` markers,
+    // which must NOT silence a different rule.
+    assert_eq!(r.violations.len(), 2, "{}", r.render());
+}
+
+/// Fixtures with deliberate violations must be excluded from the real
+/// workspace scan.
+#[test]
+fn global_exclude_hides_fixtures() {
+    let r = lint(
+        "[scan]\nroots = [\".\"]\nexclude = [\"bad_\"]\n\n\
+         [rules.panic-path]\ninclude = [\"\"]\ntokens = [\".unwrap\", \"panic!\"]\n\
+         skip-tests = true\n",
+    );
+    assert!(r.is_clean(), "{}", r.render());
+}

@@ -1,0 +1,80 @@
+//! The shard-claim protocol model-check suite CI runs: the faithful
+//! protocol must verify exhaustively at the sizes the ISSUE pins
+//! (2–3 workers × 2 frames), and every injected mutation must be
+//! caught with a replayable counterexample schedule.
+
+use mmpi_analysis::model::{check, Bug, Params, Verdict};
+
+fn p(workers: usize, frames: u8, shards: u8, bug: Bug) -> Params {
+    Params {
+        workers,
+        frames,
+        shards,
+        bug,
+    }
+}
+
+#[test]
+fn faithful_protocol_exhaustive_sweep() {
+    for workers in [1, 2, 3] {
+        for shards in [1, 2, 3] {
+            let v = check(&p(workers, 2, shards, Bug::None));
+            assert!(
+                v.is_pass(),
+                "workers={workers} shards={shards}: {}",
+                v.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn faithful_protocol_covers_a_real_state_space() {
+    match check(&p(3, 2, 3, Bug::None)) {
+        Verdict::Pass {
+            states,
+            transitions,
+        } => {
+            // Exhaustiveness sanity: the space must be non-trivial.
+            assert!(states > 1_000, "only {states} states explored");
+            assert!(transitions > states);
+        }
+        v => panic!("{}", v.render()),
+    }
+}
+
+#[test]
+fn claim_twice_mutation_is_caught_with_trace() {
+    match check(&p(2, 2, 2, Bug::NonAtomicClaim)) {
+        Verdict::Fail { kind, trace } => {
+            assert!(kind.contains("claimed twice"), "{kind}");
+            // The counterexample replays from frame open to the torn
+            // write.
+            assert!(trace.first().is_some_and(|s| s.contains("opens frame")));
+            assert!(trace.last().is_some_and(|s| s.contains("takes shard")));
+        }
+        v => panic!("expected exclusivity violation, got {}", v.render()),
+    }
+}
+
+#[test]
+fn early_barrier_mutation_is_caught() {
+    match check(&p(2, 2, 2, Bug::SkipDoneWait)) {
+        Verdict::Fail { kind, .. } => {
+            assert!(kind.contains("barrier violation"), "{kind}")
+        }
+        v => panic!("expected barrier violation, got {}", v.render()),
+    }
+}
+
+#[test]
+fn lost_wakeup_mutation_deadlocks_every_size() {
+    for workers in [2, 3] {
+        match check(&p(workers, 2, 2, Bug::ParkWithoutRecheck)) {
+            Verdict::Fail { kind, .. } => {
+                assert!(kind.contains("deadlock"), "{kind}")
+            }
+            v => panic!("workers={workers}: expected deadlock, got {}", v.render()),
+        }
+    }
+}

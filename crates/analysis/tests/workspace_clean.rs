@@ -1,0 +1,24 @@
+//! Regression pin: the workspace itself lints clean under the
+//! checked-in `lint.toml`. This is the same check CI's `analysis` job
+//! runs via the `mmpi-lint` binary; failing here means either a new
+//! violation crept in or an `[[allow]]` budget went stale.
+
+use std::path::PathBuf;
+
+use mmpi_analysis::config::Config;
+use mmpi_analysis::rules;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let src =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at the workspace root");
+    let cfg = Config::parse(&src).expect("lint.toml parses");
+    let report = rules::run(&root, &cfg).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — lint.toml roots wrong?",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render());
+}

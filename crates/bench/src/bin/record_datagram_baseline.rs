@@ -30,19 +30,26 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` — every contract (layout
+// validity, pointer provenance) is forwarded unchanged; the counter is
+// a lock-free atomic with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY (all three methods): caller upholds GlobalAlloc's
+    // contract; we forward the exact same arguments to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
+        unsafe { System.alloc(layout) } // SAFETY: forwarded contract.
     }
 
+    // SAFETY: see `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
+        unsafe { System.dealloc(ptr, layout) } // SAFETY: forwarded contract.
     }
 
+    // SAFETY: see `alloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
+        unsafe { System.realloc(ptr, layout, new_size) } // SAFETY: forwarded contract.
     }
 }
 
@@ -142,6 +149,7 @@ struct SeedRecord {
 
 fn time_us(iters: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm-up
+    #[allow(clippy::disallowed_methods)] // bench harness: wall time is the measurement
     let t = Instant::now();
     for _ in 0..iters {
         f();

@@ -4,3 +4,7 @@
 //!   figure of the paper (tables + CSV + shape checks).
 //! * `cargo bench -p mmpi-bench` runs the criterion benches: one per
 //!   paper figure plus micro-benches of the simulator and wire format.
+
+// Bench *library* code is unsafe-free; the GlobalAlloc instrumentation
+// lives in bins/tests, which carry their own SAFETY comments.
+#![forbid(unsafe_code)]

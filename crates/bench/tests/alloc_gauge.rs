@@ -22,23 +22,30 @@ struct Gauge;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static LIVE: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` — every contract (layout
+// validity, pointer provenance) is forwarded unchanged; the counters
+// are lock-free atomics with no allocation of their own.
 unsafe impl GlobalAlloc for Gauge {
+    // SAFETY (all three methods): caller upholds GlobalAlloc's
+    // contract; we forward the exact same arguments to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
+        unsafe { System.alloc(layout) } // SAFETY: forwarded contract.
     }
 
+    // SAFETY: see `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.dealloc(ptr, layout) }
+        unsafe { System.dealloc(ptr, layout) } // SAFETY: forwarded contract.
     }
 
+    // SAFETY: see `alloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         LIVE.fetch_add(new_size as u64, Ordering::Relaxed);
         LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
+        unsafe { System.realloc(ptr, layout, new_size) } // SAFETY: forwarded contract.
     }
 }
 

@@ -24,6 +24,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod experiment;
 pub mod figures;

@@ -62,6 +62,11 @@ pub enum BcastAlgorithm {
     Gossip,
     /// Pick by message size: MPICH for small messages (scout overhead
     /// dominates), multicast-binary for large (see the paper's crossover).
+    /// On a fabric whose transport reports
+    /// [`Comm::multicast_capable`]` == false`, falls back to [`Gossip`]
+    /// regardless of size — multicast-shaped plans cannot deliver there.
+    ///
+    /// [`Gossip`]: BcastAlgorithm::Gossip
     Auto,
 }
 
@@ -136,7 +141,13 @@ pub fn bcast<C: Comm>(
         }
         BcastAlgorithm::Gossip => bcast_gossip(c, tags, root, buf),
         BcastAlgorithm::Auto => {
-            if buf.len() >= cfg.auto_crossover_bytes && c.size() > 2 {
+            if !c.multicast_capable() {
+                // No multicast on this fabric: a multicast-shaped plan
+                // would deliver nothing and stall until the repair plane
+                // rebuilt every message. Epidemic dissemination is the
+                // design answer here (docs/PROTOCOL.md §11).
+                bcast_gossip(c, tags, root, buf)
+            } else if buf.len() >= cfg.auto_crossover_bytes && c.size() > 2 {
                 bcast_mcast_binary(c, tags, root, buf)
             } else {
                 bcast_mpich_binomial(c, cfg.mpich_layer_overhead, tags, root, buf)

@@ -47,6 +47,7 @@
 //! protocol.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod barrier;
 pub mod bcast;

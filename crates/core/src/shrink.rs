@@ -194,6 +194,10 @@ impl<C: Comm> Comm for ShrunkComm<C> {
         self.parent.context()
     }
 
+    fn multicast_capable(&self) -> bool {
+        self.parent.multicast_capable()
+    }
+
     fn send_kind(&mut self, dst: usize, tag: Tag, kind: MsgKind, payload: &Bytes) -> u64 {
         let world = self.members[dst];
         let t = self.shift(tag);

@@ -59,6 +59,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// The only unsafe in the workspace's own crates lives in the parallel
+// engine's `Racy` shard protocol (parallel.rs); every site must argue
+// its claim explicitly (mmpi-lint enforces the comments, and
+// crates/analysis/src/model.rs model-checks the protocol itself).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cluster;
 pub mod error;

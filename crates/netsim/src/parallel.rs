@@ -85,8 +85,14 @@ struct Racy<T>(UnsafeCell<T>);
 // Safety: see the module docs. T moves between threads across barriers
 // (Send); concurrent access never aliases because each shard slot is
 // claimed by exactly one worker per phase and only the coordinator
-// touches anything between phases.
+// touches anything between phases. The claim protocol itself is
+// machine-checked: crates/analysis/src/model.rs enumerates every
+// coordinator/worker interleaving and proves the exclusivity, barrier,
+// and liveness properties these impls rely on.
 unsafe impl<T: Send> Send for Racy<T> {}
+// Safety: same argument as Send — the phase protocol serializes all
+// cross-thread access, so a shared `&Racy<T>` never yields aliasing
+// borrows of the inner T.
 unsafe impl<T: Send> Sync for Racy<T> {}
 
 impl<T> Racy<T> {
@@ -94,17 +100,29 @@ impl<T> Racy<T> {
         Racy(UnsafeCell::new(v))
     }
 
-    /// Callers must uphold the phase protocol (module docs).
+    /// Exclusive access through a shared borrow.
+    ///
+    /// # Safety
+    /// Callers must hold this cell's claim under the phase protocol
+    /// (module docs): one worker per claimed shard while a frame is in
+    /// flight, coordinator only between frames. No other `get`/`get_ref`
+    /// borrow of this cell may be live.
     #[allow(clippy::mut_from_ref)]
     unsafe fn get(&self) -> &mut T {
-        &mut *self.0.get()
+        // Safety: caller contract — the claim makes this the only
+        // borrow of the cell.
+        unsafe { &mut *self.0.get() }
     }
 
-    /// Shared read-only view. Callers must guarantee no writer exists
-    /// for the duration of the borrow (e.g. the active list is frozen
-    /// while a frame is in flight).
+    /// Shared read-only view.
+    ///
+    /// # Safety
+    /// Callers must guarantee no writer (`get` borrow) exists for the
+    /// duration of the borrow (e.g. the active list is frozen while a
+    /// frame is in flight, or coordinator context with no live `get`).
     unsafe fn get_ref(&self) -> &T {
-        &*self.0.get()
+        // Safety: caller contract — no exclusive borrow is live.
+        unsafe { &*self.0.get() }
     }
 
     /// Exclusive access through an exclusive borrow — always safe.
@@ -386,12 +404,29 @@ impl ParEngine {
         engine
     }
 
-    /// Safety: only from coordinator (driver) context — `&self` methods
-    /// are never called while a frame is in flight because frames only
-    /// run inside `advance_once(&mut self)`.
+    /// Exclusive shard access from coordinator context.
+    ///
+    /// # Safety
+    /// Only from coordinator (driver) context — `&self` methods are
+    /// never called while a frame is in flight because frames only run
+    /// inside `advance_once(&mut self)` — and no other borrow of this
+    /// shard (from `shard` or `shard_ref`) may be live.
     #[allow(clippy::mut_from_ref)]
     unsafe fn shard(&self, h: HostId) -> &mut Shard {
-        self.shared.shards[h.index()].get()
+        // Safety: caller contract above.
+        unsafe { self.shared.shards[h.index()].get() }
+    }
+
+    /// Shared shard view from coordinator context. Prefer this over
+    /// [`Self::shard`] for reads: repeated `&mut` from `shard` would
+    /// alias, while shared reborrows stack soundly.
+    ///
+    /// # Safety
+    /// Coordinator context (as for [`Self::shard`]), with no live
+    /// exclusive borrow of this shard.
+    unsafe fn shard_ref(&self, h: HostId) -> &Shard {
+        // Safety: caller contract above — no writer exists.
+        unsafe { self.shared.shards[h.index()].get_ref() }
     }
 
     /// Record a coordinator-context event push into `host`'s queue so
@@ -447,8 +482,9 @@ impl ParEngine {
     }
 
     pub(crate) fn host(&self, h: HostId) -> &HostStack {
-        // Safety: coordinator context (see `shard`).
-        &unsafe { self.shard(h) }.host
+        // Safety: coordinator context (see `shard_ref`); a shared view
+        // keeps repeated `host()` calls from creating aliasing `&mut`s.
+        &unsafe { self.shard_ref(h) }.host
     }
 
     pub(crate) fn host_mut(&mut self, h: HostId) -> &mut HostStack {
@@ -899,8 +935,11 @@ fn run_phase(shared: &Shared, worker_id: usize) {
         for &s in &active[start..(start + chunk).min(n)] {
             let s = s as usize;
             // Safety: the cursor hands each active entry to exactly one
-            // worker per frame; the staging slot is this worker's own.
+            // worker per frame.
             let shard = unsafe { shared.shards[s].get() };
+            // Safety: the staging slot is indexed by `worker_id`, so it
+            // is this worker's own — no other thread touches it while
+            // the frame is in flight.
             let staging = unsafe { shared.staging[worker_id].get() };
             ShardCtx {
                 shard,
@@ -911,6 +950,9 @@ fn run_phase(shared: &Shared, worker_id: usize) {
             // Publish the shard's next local event time (heap or inbox)
             // for the coordinator's frame scan (ordered by the done
             // counter).
+            // Safety: same claim as above — this worker still owns the
+            // shard's cursor slot; the previous borrow ended with
+            // `run`.
             let shard = unsafe { shared.shards[s].get() };
             let mut next = shard.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos());
             if let Some((t, _, _)) = shard.inbox.get(shard.inbox_pos) {
@@ -1202,6 +1244,8 @@ impl ShardCtx<'_> {
                         // never includes the ingress port, so `dst` is
                         // not the shard this context holds `&mut` to.
                         let dst = unsafe { self.shared.shards[port.0 as usize].get() };
+                        // Safety: single-worker mode — no other thread
+                        // exists to contend for the touched set.
                         let touched = unsafe { self.shared.touched.get() };
                         inbox_push(dst, at, key, frame.clone(), touched, port.0);
                     }

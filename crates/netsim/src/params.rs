@@ -435,6 +435,17 @@ impl NetParams {
         self
     }
 
+    /// Does this fabric drop all multicast frames (see
+    /// [`SwitchParams::unicast_only`])? A hub is physical broadcast, so it
+    /// is never unicast-only. Transports use this to report
+    /// multicast capability to algorithm selectors.
+    pub fn is_unicast_only(&self) -> bool {
+        match &self.fabric {
+            FabricKind::Switch(sp) => sp.unicast_only,
+            FabricKind::Hub => false,
+        }
+    }
+
     /// Builder-style: enable per-link payload-crossing tracking (see
     /// [`NetParams::track_payload_crossings`]).
     pub fn with_payload_tracking(mut self) -> Self {

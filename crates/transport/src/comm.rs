@@ -625,6 +625,16 @@ pub trait Comm {
     /// number, so receivers that already have it deduplicate.
     fn mcast_resend(&mut self, tag: Tag, kind: MsgKind, payload: &Bytes, seq: u64);
 
+    /// Does the fabric actually deliver [`Comm::mcast_kind`] as a single
+    /// multicast send? When `false` the transport falls back to unicast
+    /// fan-out, and algorithm selectors (e.g. the `Auto` broadcast) should
+    /// prefer gossip dissemination over multicast-shaped plans. Default
+    /// `true`: multicast is this project's whole premise, so only
+    /// backends that *know* they lack it report otherwise.
+    fn multicast_capable(&self) -> bool {
+        true
+    }
+
     // ------------------------------------------------------------------
     // The request layer: post / progress / test / wait.
     // ------------------------------------------------------------------
@@ -1268,6 +1278,8 @@ impl Inbox {
     /// deterministic iteration order the ACK-horizon builder needs (the
     /// seen-sets themselves are hash maps).
     pub fn sources(&self) -> Vec<u32> {
+        // mmpi-lint: allow(hash-iter) — collected then sorted; hash
+        // order never escapes this function.
         let mut v: Vec<u32> = self.seen_max.keys().copied().collect();
         v.sort_unstable();
         v

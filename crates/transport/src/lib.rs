@@ -31,6 +31,7 @@
 //! network counters as a [`sim::WorldStats`].
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod comm;
 pub mod mem;

@@ -126,6 +126,9 @@ impl MemComm {
                     rank,
                     senders: senders.clone(),
                     rx,
+                    // Real-threads backend: recv deadlines are wall-clock
+                    // waits (lint.toml carries the budget).
+                    #[allow(clippy::disallowed_methods)]
                     epoch: Instant::now(),
                 },
                 core: EndpointCore::new(context, rank, n, mmpi_wire::DEFAULT_MAX_CHUNK, None),

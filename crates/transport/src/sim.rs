@@ -178,6 +178,13 @@ pub struct SimCommConfig {
     /// Where ranks flush their repair counters on drop (see
     /// [`run_sim_world_stats`], which wires this automatically).
     pub stats_sink: Option<Arc<RepairStatsSink>>,
+    /// What [`Comm::multicast_capable`] reports. `None` (default) means
+    /// "derive from the fabric": [`run_sim_world`] fills it from
+    /// [`mmpi_netsim::params::NetParams::is_unicast_only`], and a bare
+    /// [`SimComm::new`] treats it as `true`. Set `Some(false)` to force
+    /// algorithm selectors onto gossip-shaped plans regardless of the
+    /// fabric.
+    pub multicast_capable: Option<bool>,
 }
 
 impl Default for SimCommConfig {
@@ -189,6 +196,7 @@ impl Default for SimCommConfig {
             max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
             repair: None,
             stats_sink: None,
+            multicast_capable: None,
         }
     }
 }
@@ -315,6 +323,7 @@ pub struct SimComm {
     io: SimIo,
     core: EndpointCore,
     stats_sink: Option<Arc<RepairStatsSink>>,
+    multicast_capable: bool,
 }
 
 impl SimComm {
@@ -333,6 +342,7 @@ impl SimComm {
             },
             core,
             stats_sink: cfg.stats_sink,
+            multicast_capable: cfg.multicast_capable.unwrap_or(true),
         }
     }
 
@@ -400,6 +410,10 @@ impl Drop for SimComm {
 impl Comm for SimComm {
     fn rank(&self) -> usize {
         self.core.rank()
+    }
+
+    fn multicast_capable(&self) -> bool {
+        self.multicast_capable
     }
 
     fn size(&self) -> usize {
@@ -570,6 +584,14 @@ where
     R: Send,
 {
     let n = cluster.n;
+    // Resolve "derive from the fabric" here, where we can see the
+    // cluster's NetParams: a unicast-only switch drops every multicast
+    // frame, so selectors should know not to build multicast-shaped
+    // plans that only the repair plane would ever deliver.
+    let mut comm_cfg = comm_cfg.clone();
+    if comm_cfg.multicast_capable.is_none() {
+        comm_cfg.multicast_capable = Some(!cluster.params.is_unicast_only());
+    }
     run_cluster(cluster, move |proc| {
         let comm = SimComm::new(proc, n, comm_cfg.clone());
         f(comm)

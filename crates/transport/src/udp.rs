@@ -62,6 +62,12 @@ pub struct UdpConfig {
     /// quick availability probes, which must give up fast instead of
     /// re-soliciting (see [`multicast_available`]).
     pub repair: Option<RepairConfig>,
+    /// What [`Comm::multicast_capable`] reports. Default `true`
+    /// (loopback multicast works on every supported platform); set
+    /// `false` when the deployment network filters multicast — e.g.
+    /// after a failed [`multicast_available`] probe — so algorithm
+    /// selectors fall back to gossip dissemination.
+    pub multicast_capable: bool,
 }
 
 impl UdpConfig {
@@ -77,6 +83,7 @@ impl UdpConfig {
             context: 0,
             max_chunk: mmpi_wire::DEFAULT_MAX_CHUNK,
             repair: None,
+            multicast_capable: true,
         }
     }
 
@@ -287,6 +294,9 @@ impl UdpComm {
                 stop,
                 readers,
                 scratch: Vec::new(),
+                // Real-network backend: the repair pump's time base is
+                // wall time by definition (lint.toml carries the budget).
+                #[allow(clippy::disallowed_methods)]
                 epoch: Instant::now(),
             },
             core,
@@ -319,6 +329,10 @@ impl Drop for UdpComm {
 impl Comm for UdpComm {
     fn rank(&self) -> usize {
         self.core.rank()
+    }
+
+    fn multicast_capable(&self) -> bool {
+        self.io.cfg.multicast_capable
     }
 
     fn size(&self) -> usize {
@@ -412,8 +426,10 @@ impl Comm for UdpComm {
         // Same contract as the simulator: with membership armed, sleep
         // in beacon-sized slices and emit the heartbeats that fall due,
         // so a long compute phase never reads as death to the peers.
+        #[allow(clippy::disallowed_methods)] // real-network backend: wall time
         let end = Instant::now() + d;
         loop {
+            #[allow(clippy::disallowed_methods)] // real-network backend: wall time
             let left = end.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return;

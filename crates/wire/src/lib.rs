@@ -22,6 +22,7 @@
 //! allocates, who slices, and when memory is released.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod assemble;
 pub mod error;

@@ -33,6 +33,16 @@
 //! * [`cluster`] — SPMD experiment harness (trials, statistics, CSV,
 //!   loss sweeps with drop/NACK/retransmit columns).
 //!
+//! A seventh crate sits outside the dependency graph entirely:
+//! `crates/analysis` (`mmpi-analysis`) is the enforcement layer — the
+//! `mmpi-lint` binary that checks the workspace against the invariant
+//! rules in the root `lint.toml` (SAFETY comments on every `unsafe`,
+//! wall-clock/hash-iter/ambient-RNG/panic bans with exact exception
+//! budgets) and the exhaustive interleaving model checker for the
+//! parallel engine's `Racy` shard-claim protocol. It depends on no
+//! workspace crate and nothing depends on it; `docs/INVARIANTS.md` is
+//! its human-readable half.
+//!
 //! # Crate graph
 //!
 //! Dependencies point downward; everything meets at the wire format, which
@@ -130,6 +140,8 @@
 //! ```text
 //! cargo run -p mmpi-bench --release --bin figures
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub use mmpi_cluster as cluster;
 pub use mmpi_core as core;

@@ -116,6 +116,84 @@ fn gossip_digest_matches_mem_across_sizes_and_fabrics() {
     }
 }
 
+/// The kitchen sink with the size-based `Auto` selector left in place.
+fn auto_sink<C: Comm>(c: C) -> u64 {
+    let mut comm = Communicator::new(c).with_bcast(BcastAlgorithm::Auto);
+    let me = comm.rank();
+    let n = comm.size();
+
+    let mut buf = if me == 0 {
+        vec![3u8; 2048]
+    } else {
+        vec![0; 2048]
+    };
+    comm.bcast(0, &mut buf).unwrap();
+    let mut digest = buf.iter().map(|&b| b as u64).sum::<u64>();
+
+    comm.barrier().unwrap();
+
+    let gathered = comm.gather(1 % n, &[me as u8]).unwrap();
+    if let Some(parts) = gathered {
+        digest += parts.iter().map(|p| p[0] as u64).sum::<u64>();
+    }
+
+    let summed = comm
+        .allreduce((me as u64 + 1).to_le_bytes().to_vec(), &combine_u64_sum)
+        .unwrap();
+    digest += u64::from_le_bytes(summed[..8].try_into().unwrap());
+
+    let everyone = comm.allgather(&[me as u8; 3]).unwrap();
+    digest += everyone.iter().map(|p| p[0] as u64).sum::<u64>();
+
+    digest
+}
+
+/// Acceptance (ISSUE 10): `BcastAlgorithm::Auto` must notice a transport
+/// that reports no multicast capability and lower to the *gossip* plan —
+/// not merely "a plan that happens to get repaired". The 2048-byte
+/// payload sits above the size crossover, so on a capable fabric `Auto`
+/// would pick multicast-binary with its scout-reduction phase; on the
+/// unicast-only fabric the run must instead be frame-for-frame identical
+/// to an explicit `Gossip` run (same seed, same config) — the scout
+/// phase's extra traffic would show up in every counter.
+#[test]
+fn auto_bcast_lowers_to_gossip_on_multicast_less_fabric() {
+    let n = 8;
+    let seed = 0xA07D_55E1;
+    let params = || NetParams::fast_ethernet_switch().with_unicast_only();
+    let mem = run_mem_world(n, 0, auto_sink);
+
+    let (auto_report, auto_stats) = run_sim_world_stats(
+        &ClusterConfig::new(n, params(), seed),
+        &gossip_cfg(seed),
+        auto_sink,
+    )
+    .expect("auto run on a multicast-less fabric must complete");
+    assert_eq!(auto_report.outputs, mem, "auto digest mismatch");
+
+    let (gossip_report, gossip_stats) = run_sim_world_stats(
+        &ClusterConfig::new(n, params(), seed),
+        &gossip_cfg(seed),
+        gossip_sink,
+    )
+    .expect("explicit gossip reference run must complete");
+    assert_eq!(auto_report.outputs, gossip_report.outputs);
+
+    assert_eq!(
+        auto_stats.repair, gossip_stats.repair,
+        "Auto must lower to the exact gossip plan on a multicast-less fabric"
+    );
+    assert_eq!(
+        format!("{:?}", auto_stats.net),
+        format!("{:?}", gossip_stats.net),
+        "Auto's traffic must be frame-for-frame the gossip plan's traffic"
+    );
+    assert_eq!(
+        auto_stats.net.unicast_only_drops, 0,
+        "the selector kept every frame off the multicast path"
+    );
+}
+
 /// Gossip replay: advertisement cadence, pull retries and relay choices
 /// all come off the virtual clock and the seeded RNG, so a lossy
 /// unicast-only gossip run is a pure function of the seed.

@@ -9,6 +9,10 @@
 //! dependency at crates.io to use the real crate; the only deliberate
 //! deviations are noted on the items below.
 
+// The shim's whole point is safe buffer management (Arc + window); pin
+// that property so it can't regress silently.
+#![forbid(unsafe_code)]
+
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 

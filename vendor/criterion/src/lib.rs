@@ -123,6 +123,7 @@ impl Bencher {
         // Warm-up (also primes lazy state).
         let _ = routine();
         let (time_budget, max_iters) = budget();
+        #[allow(clippy::disallowed_methods)] // bench shim: wall time is the measurement
         let start = Instant::now();
         let mut iters = 0u64;
         while iters < max_iters && (iters == 0 || start.elapsed() < time_budget) {

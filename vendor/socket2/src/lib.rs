@@ -130,12 +130,14 @@ impl Socket {
     /// Create a socket of the given domain/type/protocol.
     pub fn new(domain: Domain, ty: Type, protocol: Option<Protocol>) -> io::Result<Socket> {
         let proto = protocol.map_or(0, |p| p.0);
+        // SAFETY: plain FFI call with integer arguments; no pointers.
         let fd = unsafe { socket(domain.0, ty.0 | SOCK_CLOEXEC, proto) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
-        // SAFETY: `fd` is a freshly created, owned file descriptor.
         Ok(Socket {
+            // SAFETY: `fd` is a freshly created, owned file descriptor
+            // that nothing else closes.
             fd: unsafe { OwnedFd::from_raw_fd(fd) },
         })
     }
